@@ -1,0 +1,117 @@
+//! Join hash tables for the binary hash join baseline.
+
+use fj_storage::Value;
+use free_join::BoundInput;
+use std::collections::HashMap;
+
+/// A hash table over one join input, keyed on a subset of its variables and
+/// mapping each key to the offsets of the matching rows.
+///
+/// This is the classic build-side structure of a hash join: "build a hash
+/// table for S keyed on y, where each y maps to a vector of (y, z) tuples"
+/// (Example 2.2) — except that, like the rest of this workspace, it stores
+/// row offsets into the columnar relation instead of tuple copies.
+#[derive(Debug)]
+pub struct JoinHashTable {
+    /// The key variables, in the order key tuples are laid out.
+    key_vars: Vec<String>,
+    /// Key tuple → offsets of matching rows.
+    buckets: HashMap<Vec<Value>, Vec<u32>>,
+    /// Total number of rows indexed.
+    rows: usize,
+}
+
+impl JoinHashTable {
+    /// Build a hash table over `input`, keyed on `key_vars`.
+    ///
+    /// # Panics
+    /// Panics if a key variable is not bound by the input.
+    pub fn build(input: &BoundInput, key_vars: &[String]) -> Self {
+        let cols: Vec<usize> = key_vars
+            .iter()
+            .map(|v| input.col_of(v).unwrap_or_else(|| panic!("key variable {v} not bound by {}", input.name)))
+            .collect();
+        let mut buckets: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        let relation = &input.relation;
+        for row in 0..relation.num_rows() {
+            let key: Vec<Value> = cols.iter().map(|&c| relation.column(c).get(row)).collect();
+            buckets.entry(key).or_default().push(row as u32);
+        }
+        JoinHashTable { key_vars: key_vars.to_vec(), buckets, rows: relation.num_rows() }
+    }
+
+    /// The key variables.
+    pub fn key_vars(&self) -> &[String] {
+        &self.key_vars
+    }
+
+    /// Probe with a key, returning the matching row offsets.
+    pub fn probe(&self, key: &[Value]) -> Option<&[u32]> {
+        self.buckets.get(key).map(Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of rows indexed.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_query::QueryBuilder;
+    use fj_storage::{Catalog, RelationBuilder, Schema};
+    use free_join::prepare_inputs;
+
+    fn input() -> BoundInput {
+        let mut cat = Catalog::new();
+        let mut b = RelationBuilder::new("S", Schema::all_int(&["y", "z"]));
+        for (y, z) in [(1, 10), (1, 11), (2, 20), (3, 30), (3, 30)] {
+            b.push_ints(&[y, z]).unwrap();
+        }
+        cat.add(b.finish()).unwrap();
+        let q = QueryBuilder::new("q").atom("S", &["y", "z"]).build();
+        prepare_inputs(&cat, &q).unwrap().atoms.remove(0)
+    }
+
+    #[test]
+    fn build_and_probe_single_key() {
+        let input = input();
+        let ht = JoinHashTable::build(&input, &["y".to_string()]);
+        assert_eq!(ht.num_keys(), 3);
+        assert_eq!(ht.num_rows(), 5);
+        assert_eq!(ht.key_vars(), &["y".to_string()]);
+        assert_eq!(ht.probe(&[Value::Int(1)]).unwrap().len(), 2);
+        assert_eq!(ht.probe(&[Value::Int(3)]).unwrap(), &[3, 4]);
+        assert!(ht.probe(&[Value::Int(9)]).is_none());
+    }
+
+    #[test]
+    fn build_and_probe_composite_key() {
+        let input = input();
+        let ht = JoinHashTable::build(&input, &["y".to_string(), "z".to_string()]);
+        assert_eq!(ht.num_keys(), 4);
+        assert_eq!(ht.probe(&[Value::Int(3), Value::Int(30)]).unwrap().len(), 2);
+        assert!(ht.probe(&[Value::Int(3), Value::Int(31)]).is_none());
+    }
+
+    #[test]
+    fn empty_key_groups_everything() {
+        let input = input();
+        let ht = JoinHashTable::build(&input, &[]);
+        assert_eq!(ht.num_keys(), 1);
+        assert_eq!(ht.probe(&[]).unwrap().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn unknown_key_variable_panics() {
+        let input = input();
+        JoinHashTable::build(&input, &["w".to_string()]);
+    }
+}

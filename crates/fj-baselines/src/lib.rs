@@ -1,0 +1,27 @@
+//! # fj-baselines
+//!
+//! The two baseline join engines the paper compares Free Join against
+//! (Section 5.1):
+//!
+//! * [`BinaryJoinEngine`] — a traditional pipelined **binary hash join**
+//!   executor, standing in for DuckDB's in-memory hash join: left-deep
+//!   pipelines iterate the left-most input and probe hash tables built on
+//!   every other input; bushy plans materialize intermediates.
+//! * [`GenericJoinEngine`] — a textbook **Generic Join** (worst-case optimal
+//!   join) over fully-built hash tries, one level per variable, intersecting
+//!   by iterating the smallest relation and probing the rest.
+//!
+//! Both engines consume the same inputs as the Free Join engine (a catalog, a
+//! conjunctive query and a binary plan from `fj-plan`'s optimizer) and
+//! produce the same `QueryOutput`/`ExecStats`, so results and timings are
+//! directly comparable.
+
+pub mod binary;
+pub mod generic;
+pub mod hash_table;
+pub mod trie;
+
+pub use binary::BinaryJoinEngine;
+pub use generic::GenericJoinEngine;
+pub use hash_table::JoinHashTable;
+pub use trie::HashTrie;

@@ -1,0 +1,203 @@
+//! Fully-built hash tries for the Generic Join baseline.
+//!
+//! This is the classic trie of Section 2.3: one level per variable (in the
+//! plan's variable order), each level a hash map from a single value to the
+//! next level, and leaves storing tuple multiplicities (bag semantics,
+//! footnote 3 of the paper). Unlike COLT, the whole trie is built eagerly in
+//! the build phase — which is precisely the cost the paper identifies as
+//! Generic Join's main source of inefficiency.
+
+use fj_storage::Value;
+use free_join::BoundInput;
+use std::collections::HashMap;
+
+/// One level of a hash trie: either a map keyed on a single variable's
+/// values, or a leaf holding the multiplicity of the tuple spelled out by the
+/// path from the root.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrieLevel {
+    /// An internal level.
+    Map(HashMap<Value, TrieLevel>),
+    /// A leaf: the number of base tuples matching the root-to-leaf path.
+    Leaf(u64),
+}
+
+impl TrieLevel {
+    /// The number of keys at this level (0 for a leaf).
+    pub fn num_keys(&self) -> usize {
+        match self {
+            TrieLevel::Map(m) => m.len(),
+            TrieLevel::Leaf(_) => 0,
+        }
+    }
+
+    /// Look up a key at this level.
+    pub fn get(&self, key: Value) -> Option<&TrieLevel> {
+        match self {
+            TrieLevel::Map(m) => m.get(&key),
+            TrieLevel::Leaf(_) => None,
+        }
+    }
+
+    /// The multiplicity stored at a leaf (`None` for internal levels).
+    pub fn leaf_count(&self) -> Option<u64> {
+        match self {
+            TrieLevel::Leaf(c) => Some(*c),
+            TrieLevel::Map(_) => None,
+        }
+    }
+
+    /// Total number of tuples below this level.
+    pub fn tuple_count(&self) -> u64 {
+        match self {
+            TrieLevel::Leaf(c) => *c,
+            TrieLevel::Map(m) => m.values().map(TrieLevel::tuple_count).sum(),
+        }
+    }
+}
+
+/// A fully-built hash trie over one join input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashTrie {
+    /// The variables keyed, outermost level first.
+    vars: Vec<String>,
+    /// The root level.
+    root: TrieLevel,
+}
+
+impl HashTrie {
+    /// Build the trie for `input`, keying the given variables in order.
+    /// Variables not bound by the input are ignored, so callers can pass a
+    /// global variable order directly.
+    pub fn build(input: &BoundInput, var_order: &[String]) -> Self {
+        let vars: Vec<String> = var_order.iter().filter(|v| input.col_of(v).is_some()).cloned().collect();
+        let cols: Vec<usize> = vars.iter().map(|v| input.col_of(v).expect("filtered above")).collect();
+        let mut root = if cols.is_empty() { TrieLevel::Leaf(0) } else { TrieLevel::Map(HashMap::new()) };
+        for row in 0..input.relation.num_rows() {
+            let mut node = &mut root;
+            for (i, &col) in cols.iter().enumerate() {
+                let value = input.relation.column(col).get(row);
+                let last = i + 1 == cols.len();
+                match node {
+                    TrieLevel::Map(m) => {
+                        node = m.entry(value).or_insert_with(|| {
+                            if last {
+                                TrieLevel::Leaf(0)
+                            } else {
+                                TrieLevel::Map(HashMap::new())
+                            }
+                        });
+                    }
+                    TrieLevel::Leaf(_) => unreachable!("internal levels are maps"),
+                }
+            }
+            match node {
+                TrieLevel::Leaf(c) => *c += 1,
+                TrieLevel::Map(_) => unreachable!("paths end at leaves"),
+            }
+        }
+        HashTrie { vars, root }
+    }
+
+    /// The variables keyed by this trie, in level order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The root level.
+    pub fn root(&self) -> &TrieLevel {
+        &self.root
+    }
+
+    /// Number of levels (excluding leaves).
+    pub fn depth(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Total number of map nodes in the trie — the structure whose
+    /// construction cost the paper's Figure 17 measures.
+    pub fn num_map_nodes(&self) -> u64 {
+        fn count(level: &TrieLevel) -> u64 {
+            match level {
+                TrieLevel::Leaf(_) => 0,
+                TrieLevel::Map(m) => 1 + m.values().map(count).sum::<u64>(),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_query::QueryBuilder;
+    use fj_storage::{Catalog, RelationBuilder, Schema};
+    use free_join::prepare_inputs;
+
+    fn input(rows: &[[i64; 2]]) -> BoundInput {
+        let mut cat = Catalog::new();
+        let mut b = RelationBuilder::new("R", Schema::all_int(&["x", "y"]));
+        for r in rows {
+            b.push_ints(r).unwrap();
+        }
+        cat.add(b.finish()).unwrap();
+        let q = QueryBuilder::new("q").atom("R", &["x", "y"]).build();
+        prepare_inputs(&cat, &q).unwrap().atoms.remove(0)
+    }
+
+    #[test]
+    fn build_two_level_trie() {
+        let input = input(&[[1, 10], [1, 11], [2, 20], [1, 10]]);
+        let order: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let trie = HashTrie::build(&input, &order);
+        assert_eq!(trie.vars(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(trie.depth(), 2);
+        assert_eq!(trie.root().num_keys(), 2);
+        let x1 = trie.root().get(Value::Int(1)).unwrap();
+        assert_eq!(x1.num_keys(), 2);
+        // The duplicate (1, 10) tuple is recorded as multiplicity 2.
+        assert_eq!(x1.get(Value::Int(10)).unwrap().leaf_count(), Some(2));
+        assert_eq!(x1.get(Value::Int(11)).unwrap().leaf_count(), Some(1));
+        assert_eq!(trie.root().tuple_count(), 4);
+        assert_eq!(trie.num_map_nodes(), 3);
+    }
+
+    #[test]
+    fn variable_order_controls_level_order() {
+        let input = input(&[[1, 10], [2, 10], [3, 11]]);
+        let order: Vec<String> = ["y", "x"].iter().map(|s| s.to_string()).collect();
+        let trie = HashTrie::build(&input, &order);
+        assert_eq!(trie.vars(), &["y".to_string(), "x".to_string()]);
+        // Level 0 keys are y values now.
+        assert_eq!(trie.root().num_keys(), 2);
+        let y10 = trie.root().get(Value::Int(10)).unwrap();
+        assert_eq!(y10.num_keys(), 2);
+    }
+
+    #[test]
+    fn unrelated_variables_are_ignored() {
+        let input = input(&[[1, 10]]);
+        let order: Vec<String> = ["z", "x", "w", "y"].iter().map(|s| s.to_string()).collect();
+        let trie = HashTrie::build(&input, &order);
+        assert_eq!(trie.vars(), &["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn empty_relation_builds_empty_trie() {
+        let input = input(&[]);
+        let order: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let trie = HashTrie::build(&input, &order);
+        assert_eq!(trie.root().num_keys(), 0);
+        assert_eq!(trie.root().tuple_count(), 0);
+        assert!(trie.root().get(Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn leaf_queries_on_internal_levels() {
+        let input = input(&[[1, 10]]);
+        let order: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let trie = HashTrie::build(&input, &order);
+        assert_eq!(trie.root().leaf_count(), None);
+        assert_eq!(trie.root().get(Value::Int(1)).unwrap().get(Value::Int(10)).unwrap().num_keys(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 19: LSQB-like run time with and without factorized output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::{execute, plan_query, Engine};
+use fj_plan::EstimatorMode;
+use fj_workloads::lsqb;
+use free_join::FreeJoinOptions;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let workload = lsqb::workload(&lsqb::LsqbConfig::at_scale(0.3));
+    let mut group = c.benchmark_group("fig19_factorized_output");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for named in &workload.queries {
+        let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
+        for (label, factorize) in [("plain", false), ("factorized", true)] {
+            let engine = Engine::FreeJoin(FreeJoinOptions::default().with_factorized_output(factorize));
+            group.bench_function(format!("{}/{label}", named.name), |b| {
+                b.iter(|| execute(&workload.catalog, &named.query, &plan, &engine))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

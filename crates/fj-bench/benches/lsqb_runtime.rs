@@ -1,0 +1,27 @@
+//! Figure 16: LSQB-like q1-q5 across scale factors for all three engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::{execute, plan_query, Engine};
+use fj_plan::EstimatorMode;
+use fj_workloads::lsqb;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_lsqb_runtime");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for sf in [0.1, 0.3] {
+        let workload = lsqb::workload(&lsqb::LsqbConfig::at_scale(sf));
+        for named in &workload.queries {
+            let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
+            for engine in Engine::paper_lineup() {
+                group.bench_function(format!("{}_sf{sf}/{}", named.name, engine.label()), |b| {
+                    b.iter(|| execute(&workload.catalog, &named.query, &plan, &engine))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

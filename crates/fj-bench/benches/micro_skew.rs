@@ -1,0 +1,32 @@
+//! Headline micro-benchmarks (Section 5.2 anatomy): the paper's clover
+//! instance, a Zipf-skewed triangle, and a skewed star query — the cases
+//! where worst-case optimal execution pays off most.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::{execute, plan_query, Engine};
+use fj_plan::EstimatorMode;
+use fj_workloads::micro;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let workloads = vec![
+        ("clover_n2000", micro::clover(2_000)),
+        ("triangle_skew", micro::skewed_triangle(1_000, 10, 1.0, 17)),
+        ("star_skew", micro::star(3, 3_000, 200, 1.0, 23)),
+    ];
+    let mut group = c.benchmark_group("headline_micro_skew");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (label, workload) in &workloads {
+        let named = &workload.queries[0];
+        let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
+        for engine in Engine::paper_lineup() {
+            group.bench_function(format!("{label}/{}", engine.label()), |b| {
+                b.iter(|| execute(&workload.catalog, &named.query, &plan, &engine))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

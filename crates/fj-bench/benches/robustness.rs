@@ -1,0 +1,34 @@
+//! Figures 15 and 20: sensitivity to plan quality. The same queries are
+//! planned with accurate statistics and with the cardinality estimator pinned
+//! to 1 (the paper's "bad plan" configuration), and each engine runs both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::{execute, plan_query, Engine};
+use fj_plan::EstimatorMode;
+use fj_workloads::job;
+use std::time::Duration;
+
+/// Lighter queries keep the bad-plan runs bounded; the experiments binary
+/// covers the full suite.
+const QUERIES: &[&str] = &["q1a_like", "q3a_like", "q4a_like", "q8a_like", "q20a_like"];
+
+fn bench(c: &mut Criterion) {
+    let workload = job::workload(&job::JobConfig::benchmark());
+    let mut group = c.benchmark_group("fig15_20_robustness");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for name in QUERIES {
+        let named = workload.query(name).expect("query exists");
+        for (label, mode) in [("good", EstimatorMode::Accurate), ("bad", EstimatorMode::AlwaysOne)] {
+            let (plan, _) = plan_query(&workload.catalog, &named.query, mode);
+            for engine in Engine::paper_lineup() {
+                group.bench_function(format!("{name}/{label}/{}", engine.label()), |b| {
+                    b.iter(|| execute(&workload.catalog, &named.query, &plan, &engine))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 18: the impact of vectorized execution — batch sizes 1 (no
+//! vectorization), 10, 100 and 1000.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::{execute, plan_query, Engine};
+use fj_plan::EstimatorMode;
+use fj_workloads::job;
+use free_join::FreeJoinOptions;
+use std::time::Duration;
+
+const QUERIES: &[&str] = &["q1a_like", "q3a_like", "q6a_like", "q10a_like", "q13a_like", "q17a_like"];
+
+fn bench(c: &mut Criterion) {
+    let workload = job::workload(&job::JobConfig::benchmark());
+    let mut group = c.benchmark_group("fig18_vectorization");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for name in QUERIES {
+        let named = workload.query(name).expect("query exists");
+        let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
+        for batch in [1usize, 10, 100, 1000] {
+            let engine = Engine::FreeJoin(FreeJoinOptions::default().with_batch_size(batch));
+            group.bench_function(format!("{name}/batch{batch}"), |b| {
+                b.iter(|| execute(&workload.catalog, &named.query, &plan, &engine))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

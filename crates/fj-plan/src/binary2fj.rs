@@ -1,0 +1,150 @@
+//! Conversion of a left-deep binary plan into an equivalent Free Join plan
+//! (Figure 9 of the paper).
+//!
+//! The input is the pipeline's list of inputs (left-most first) together with
+//! each input's variables; the output is a Free Join plan that executes
+//! exactly like the binary hash join: iterate over the left-most input, probe
+//! each subsequent input on the variables it shares with what is already
+//! bound, then iterate over the remaining variables of the probed input.
+
+use crate::fj_plan::{FjNode, FreeJoinPlan, Subatom};
+use std::collections::BTreeSet;
+
+/// Convert a left-deep pipeline into an equivalent Free Join plan.
+///
+/// `input_vars[i]` holds the variables of the pipeline's `i`-th input in
+/// pipeline order (index 0 is the left-most, iterated input).
+///
+/// # Panics
+/// Panics if there are no inputs.
+pub fn binary2fj(input_vars: &[Vec<String>]) -> FreeJoinPlan {
+    assert!(!input_vars.is_empty(), "binary2fj requires at least one input");
+
+    let mut fj_plan: Vec<FjNode> = Vec::new();
+    // φ0 = [ r(r.schema) ]: iterate over the left-most relation in full.
+    let mut node = FjNode::new(vec![Subatom::new(0, input_vars[0].clone())]);
+    let mut available: BTreeSet<String> = input_vars[0].iter().cloned().collect();
+
+    for (idx, vars) in input_vars.iter().enumerate().skip(1) {
+        // Probe with the variables already available.
+        let probe_vars: Vec<String> = vars.iter().filter(|v| available.contains(*v)).cloned().collect();
+        node.subatoms.push(Subatom::new(idx, probe_vars));
+        fj_plan.push(node);
+
+        // Iterate over the probe result: the remaining variables of this input.
+        let rest: Vec<String> = vars.iter().filter(|v| !available.contains(*v)).cloned().collect();
+        node = FjNode::new(vec![Subatom::new(idx, rest)]);
+        available.extend(vars.iter().cloned());
+    }
+    fj_plan.push(node);
+
+    FreeJoinPlan::new(fj_plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(lists: &[&[&str]]) -> Vec<Vec<String>> {
+        lists.iter().map(|l| l.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    fn sub(input: usize, v: &[&str]) -> Subatom {
+        Subatom::new(input, v.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn clover_matches_paper_eq2() {
+        // Binary plan [R, S, T] over R(x,a), S(x,b), T(x,c) becomes
+        // [[R(x,a), S(x)], [S(b), T(x)], [T(c)]] (Example 4.1 / Eq. (2)).
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"]]);
+        let plan = binary2fj(&iv);
+        plan.validate(&iv).unwrap();
+        assert_eq!(
+            plan,
+            FreeJoinPlan::new(vec![
+                FjNode::new(vec![sub(0, &["x", "a"]), sub(1, &["x"])]),
+                FjNode::new(vec![sub(1, &["b"]), sub(2, &["x"])]),
+                FjNode::new(vec![sub(2, &["c"])]),
+            ])
+        );
+    }
+
+    #[test]
+    fn chain_matches_paper_example_41() {
+        // Chain query R(x,y), S(y,z), T(z,u), W(u,v) with plan [R,S,T,W]:
+        // [[R(x,y), S(y)], [S(z), T(z)], [T(u), W(u)], [W(v)]].
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "u"], &["u", "v"]]);
+        let plan = binary2fj(&iv);
+        plan.validate(&iv).unwrap();
+        assert_eq!(
+            plan,
+            FreeJoinPlan::new(vec![
+                FjNode::new(vec![sub(0, &["x", "y"]), sub(1, &["y"])]),
+                FjNode::new(vec![sub(1, &["z"]), sub(2, &["z"])]),
+                FjNode::new(vec![sub(2, &["u"]), sub(3, &["u"])]),
+                FjNode::new(vec![sub(3, &["v"])]),
+            ])
+        );
+    }
+
+    #[test]
+    fn triangle_conversion() {
+        // Triangle query with plan [R, S, T]: the T probe uses both x and z.
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "x"]]);
+        let plan = binary2fj(&iv);
+        plan.validate(&iv).unwrap();
+        assert_eq!(
+            plan,
+            FreeJoinPlan::new(vec![
+                FjNode::new(vec![sub(0, &["x", "y"]), sub(1, &["y"])]),
+                FjNode::new(vec![sub(1, &["z"]), sub(2, &["z", "x"])]),
+                FjNode::new(vec![sub(2, &[])]),
+            ])
+        );
+        // The last node exposes no new variables — T is fully bound by the
+        // probe — and its cover is the empty-variable subatom.
+        assert_eq!(plan.new_vars(2), Vec::<String>::new());
+        assert_eq!(plan.covers(2), vec![0]);
+    }
+
+    #[test]
+    fn single_input_plan() {
+        let iv = vars(&[&["x", "y"]]);
+        let plan = binary2fj(&iv);
+        plan.validate(&iv).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.nodes[0].subatoms, vec![sub(0, &["x", "y"])]);
+    }
+
+    #[test]
+    fn converted_plan_is_always_valid() {
+        // A handful of shapes, including repeated variables across inputs.
+        let cases = vec![
+            vars(&[&["a"], &["a", "b"], &["b", "c"], &["c", "d"], &["d"]]),
+            vars(&[&["x", "y", "z"], &["x"], &["y"], &["z"]]),
+            vars(&[&["x"], &["x"], &["x"]]),
+            vars(&[&["u", "v"], &["w", "t"]]),
+        ];
+        for iv in cases {
+            let plan = binary2fj(&iv);
+            plan.validate(&iv).unwrap_or_else(|e| panic!("invalid plan for {iv:?}: {e}"));
+            // Every node's designated cover (first subatom) must be a cover.
+            for k in 0..plan.len() {
+                assert!(plan.covers(k).contains(&0), "node {k} first subatom is not a cover");
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_is_number_of_inputs() {
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "w"]]);
+        assert_eq!(binary2fj(&iv).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_input_panics() {
+        binary2fj(&[]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Factorization of Free Join plans (Figure 10 of the paper).
+//!
+//! Starting from the plan produced by [`crate::binary2fj`], factorization
+//! moves probe subatoms to earlier nodes whenever their variables are already
+//! available there, filtering out redundant tuples early. The paper's clover
+//! example turns
+//!
+//! ```text
+//! [[R(x,a), S(x)], [S(b), T(x)], [T(c)]]
+//! ```
+//!
+//! into
+//!
+//! ```text
+//! [[R(x,a), S(x), T(x)], [S(b)], [T(c)]]
+//! ```
+//!
+//! which probes `T` before expanding the skewed `R ⋈ S` result, reducing the
+//! running time from quadratic to linear on the paper's skewed instance.
+
+use crate::fj_plan::FreeJoinPlan;
+use std::collections::BTreeSet;
+
+/// Run one factorization pass over the plan (the paper's Figure 10).
+///
+/// Nodes are visited in reverse order. Within each node the probe subatoms
+/// (everything after the cover) are considered in order, and a probe is moved
+/// to the end of the previous node when (a) all its variables are available
+/// before the current node, and (b) the previous node has no subatom of the
+/// same input. The scan stops at the first subatom that cannot be moved, so
+/// the probe order chosen by the cost-based optimizer is respected
+/// ("we factor lookups conservatively").
+///
+/// Returns the number of subatoms moved.
+pub fn factor(plan: &mut FreeJoinPlan) -> usize {
+    let n = plan.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut moved = 0;
+    for i in (1..n).rev() {
+        // avs(φ_i): variables available before node i.
+        let avs: BTreeSet<String> = plan.available_vars(i);
+        // Consider the probes of node i in order; stop at the first one that
+        // cannot be factored out. Removing a probe shifts the next one into
+        // position `j`, so the index never advances.
+        let j = 1;
+        loop {
+            if j >= plan.nodes[i].subatoms.len() {
+                break;
+            }
+            let subatom = plan.nodes[i].subatoms[j].clone();
+            let movable = subatom.vars.iter().all(|v| avs.contains(v))
+                && !plan.nodes[i - 1].references_input(subatom.input);
+            if movable {
+                plan.nodes[i].subatoms.remove(j);
+                plan.nodes[i - 1].subatoms.push(subatom);
+                moved += 1;
+                // Do not advance j: the next probe shifted into position j.
+            } else {
+                break;
+            }
+        }
+    }
+    // Factoring can leave a node consisting solely of an empty-variable cover
+    // whose input is already fully probed elsewhere; such nodes are kept —
+    // they still drive iteration over the matched tuples (bag semantics).
+    moved
+}
+
+/// Repeat [`factor`] until no subatom moves. A single pass moves a subatom at
+/// most one node earlier; iterating allows probes to migrate as far up the
+/// plan as validity permits, which is how the plan approaches the Generic
+/// Join end of the design space.
+pub fn factor_until_fixpoint(plan: &mut FreeJoinPlan) -> usize {
+    let mut total = 0;
+    loop {
+        let moved = factor(plan);
+        if moved == 0 {
+            return total;
+        }
+        total += moved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary2fj::binary2fj;
+    use crate::fj_plan::{FjNode, Subatom};
+
+    fn vars(lists: &[&[&str]]) -> Vec<Vec<String>> {
+        lists.iter().map(|l| l.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    fn sub(input: usize, v: &[&str]) -> Subatom {
+        Subatom::new(input, v.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn clover_factorization_matches_paper() {
+        // Naive plan (Eq. 2) -> optimized plan (Section 4.1).
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"]]);
+        let mut plan = binary2fj(&iv);
+        let moved = factor(&mut plan);
+        assert_eq!(moved, 1);
+        plan.validate(&iv).unwrap();
+        assert_eq!(
+            plan,
+            FreeJoinPlan::new(vec![
+                FjNode::new(vec![sub(0, &["x", "a"]), sub(1, &["x"]), sub(2, &["x"])]),
+                FjNode::new(vec![sub(1, &["b"])]),
+                FjNode::new(vec![sub(2, &["c"])]),
+            ])
+        );
+    }
+
+    #[test]
+    fn chain_plan_has_nothing_to_factor() {
+        // In the chain query each probe needs a variable bound by the cover
+        // of its own node, so nothing can move (Example 4.1).
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "u"], &["u", "v"]]);
+        let mut plan = binary2fj(&iv);
+        let before = plan.clone();
+        assert_eq!(factor(&mut plan), 0);
+        assert_eq!(plan, before);
+    }
+
+    #[test]
+    fn factored_plan_remains_valid_and_equivalent_partition() {
+        let cases = vec![
+            vars(&[&["x", "a"], &["x", "b"], &["x", "c"], &["b"]]),
+            vars(&[&["x", "y"], &["y", "z"], &["z", "x"]]),
+            vars(&[&["a", "b"], &["b", "c"], &["a", "c"], &["a", "d"], &["d", "b"]]),
+            vars(&[&["x"], &["x"], &["x"], &["x"]]),
+        ];
+        for iv in cases {
+            let mut plan = binary2fj(&iv);
+            factor_until_fixpoint(&mut plan);
+            plan.validate(&iv).unwrap_or_else(|e| panic!("invalid factored plan for {iv:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn star_query_factors_all_probes_into_first_node() {
+        // Star query R(x,a), S(x,b), T(x,c), U(x,d): every probe on x can be
+        // pulled into the first node.
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"], &["x", "d"]]);
+        let mut plan = binary2fj(&iv);
+        factor_until_fixpoint(&mut plan);
+        plan.validate(&iv).unwrap();
+        // First node: R(x,a) cover plus probes into S, T, U on x.
+        assert_eq!(plan.nodes[0].subatoms.len(), 4);
+        assert_eq!(plan.nodes[0].subatoms[0], sub(0, &["x", "a"]));
+        let probed: Vec<usize> = plan.nodes[0].subatoms[1..].iter().map(|s| s.input).collect();
+        assert_eq!(probed, vec![1, 2, 3]);
+        // Remaining nodes expand b, c, d one at a time.
+        assert_eq!(plan.nodes[1].subatoms, vec![sub(1, &["b"])]);
+        assert_eq!(plan.nodes[2].subatoms, vec![sub(2, &["c"])]);
+        assert_eq!(plan.nodes[3].subatoms, vec![sub(3, &["d"])]);
+    }
+
+    #[test]
+    fn single_pass_moves_at_most_one_node_up() {
+        // A probe whose variables become available two nodes earlier needs two
+        // passes to get there.
+        let iv = vars(&[&["x", "a"], &["a", "b"], &["x", "c"]]);
+        // binary2fj: [[R(x,a), S(a)], [S(b), T(x)], [T(c)]].
+        let mut plan = binary2fj(&iv);
+        let moved_first = factor(&mut plan);
+        assert_eq!(moved_first, 1);
+        // T(x) is now at the end of node 0? No: x is available before node 1
+        // (bound by node 0), so one pass moves it from node 1 to node 0.
+        assert!(plan.nodes[0].references_input(2));
+        plan.validate(&iv).unwrap();
+    }
+
+    #[test]
+    fn conservative_order_stops_at_first_unmovable_probe() {
+        // Node with two probes where the first cannot move: the second must
+        // not move either, even if it could.
+        // Hand-built plan where an unmovable probe precedes a movable one.
+        let mut plan = FreeJoinPlan::new(vec![
+            FjNode::new(vec![sub(0, &["x", "a"])]),
+            // S(a,y) is the cover; probes: S? no — use T(x) after a probe that
+            // cannot move because it mentions y (bound in this node).
+            FjNode::new(vec![sub(1, &["a", "y"]), sub(2, &["x", "z"])]),
+        ]);
+        // sub(2) mentions z, which is not available before node 1, so nothing
+        // moves even though x alone would be available.
+        assert_eq!(factor(&mut plan), 0);
+
+        let mut plan2 = FreeJoinPlan::new(vec![
+            FjNode::new(vec![sub(0, &["x", "a"])]),
+            FjNode::new(vec![sub(1, &["a", "y"]), sub(2, &["x"]), sub(2, &["z"])]),
+        ]);
+        // First probe sub(2, [x]) can move; the scan then considers the next
+        // probe, sub(2, [z]), which cannot (z unavailable), so exactly one
+        // subatom moves.
+        assert_eq!(factor(&mut plan2), 1);
+        assert!(plan2.nodes[0].references_input(2));
+    }
+
+    #[test]
+    fn probe_does_not_move_onto_node_with_same_input() {
+        // The previous node already references the same input, so the probe
+        // must stay (condition (b) of the algorithm).
+        let mut plan = FreeJoinPlan::new(vec![
+            FjNode::new(vec![sub(0, &["x"]), sub(1, &["x"])]),
+            FjNode::new(vec![sub(2, &["x", "y"]), sub(1, &[])]),
+        ]);
+        // The probe sub(1, []) has no unavailable variables, but node 0
+        // already references input 1, so it must stay put.
+        assert_eq!(factor(&mut plan), 0);
+    }
+
+    #[test]
+    fn empty_and_single_node_plans_are_untouched() {
+        let mut empty = FreeJoinPlan::default();
+        assert_eq!(factor(&mut empty), 0);
+        let mut single = FreeJoinPlan::new(vec![FjNode::new(vec![sub(0, &["x"])])]);
+        assert_eq!(factor(&mut single), 0);
+    }
+}

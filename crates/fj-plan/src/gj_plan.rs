@@ -1,0 +1,168 @@
+//! Generic Join plans (total variable orders) and their correspondence with
+//! Free Join plans.
+//!
+//! A Generic Join plan is a total order on the query variables (Section 2.3).
+//! Two bridges are provided:
+//!
+//! * [`variable_order`] extracts a variable order from a Free Join plan — the
+//!   paper's experiments "chose as variable order for Generic Join the same
+//!   as for Free Join" (the plan only defines a partial order, which is
+//!   extended to a total order by first appearance).
+//! * [`fj_plan_from_var_order`] builds the Generic-Join-shaped Free Join plan
+//!   of Eq. (3): one node per variable, containing a single-variable subatom
+//!   for every input that still holds that variable.
+
+use crate::fj_plan::{FjNode, FreeJoinPlan, Subatom};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A Generic Join plan: a total order over the query variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GjPlan {
+    /// The variable order, outermost loop first.
+    pub var_order: Vec<String>,
+}
+
+impl GjPlan {
+    /// Create a plan from a variable order.
+    pub fn new(var_order: Vec<String>) -> Self {
+        GjPlan { var_order }
+    }
+
+    /// Number of variables (loop levels).
+    pub fn len(&self) -> usize {
+        self.var_order.len()
+    }
+
+    /// True when the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.var_order.is_empty()
+    }
+
+    /// Position of a variable in the order.
+    pub fn position(&self, var: &str) -> Option<usize> {
+        self.var_order.iter().position(|v| v == var)
+    }
+}
+
+/// Extract a total variable order from a Free Join plan: variables in the
+/// order they are first bound by the plan's nodes, followed by any input
+/// variables the plan never mentions (possible only for degenerate plans).
+pub fn variable_order(plan: &FreeJoinPlan, input_vars: &[Vec<String>]) -> GjPlan {
+    let mut order = plan.all_vars();
+    let mut seen: BTreeSet<String> = order.iter().cloned().collect();
+    for vars in input_vars {
+        for v in vars {
+            if seen.insert(v.clone()) {
+                order.push(v.clone());
+            }
+        }
+    }
+    GjPlan::new(order)
+}
+
+/// Build the Generic-Join-style Free Join plan for a variable order
+/// (Eq. (3) of the paper): node `k` joins, on the single variable
+/// `var_order[k]`, every input that contains it, each contributing a
+/// single-variable subatom. Inputs with variables not covered by the order
+/// are ignored (callers should pass a complete order).
+pub fn fj_plan_from_var_order(var_order: &[String], input_vars: &[Vec<String>]) -> FreeJoinPlan {
+    let mut nodes = Vec::with_capacity(var_order.len());
+    for var in var_order {
+        let mut subatoms = Vec::new();
+        for (input, vars) in input_vars.iter().enumerate() {
+            if vars.contains(var) {
+                subatoms.push(Subatom::new(input, vec![var.clone()]));
+            }
+        }
+        if !subatoms.is_empty() {
+            nodes.push(FjNode::new(subatoms));
+        }
+    }
+    FreeJoinPlan::new(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary2fj::binary2fj;
+    use crate::factor::factor;
+
+    fn vars(lists: &[&[&str]]) -> Vec<Vec<String>> {
+        lists.iter().map(|l| l.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn clover_gj_plan_matches_paper_eq3() {
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"]]);
+        let order: Vec<String> = ["x", "a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let plan = fj_plan_from_var_order(&order, &iv);
+        plan.validate(&iv).unwrap();
+        assert_eq!(plan.len(), 4);
+        // First node intersects all three inputs on x.
+        assert_eq!(plan.nodes[0].subatoms.len(), 3);
+        assert!(plan.nodes[0].subatoms.iter().all(|s| s.vars == vec!["x".to_string()]));
+        // Remaining nodes expand a, b, c from their single input.
+        for (k, (input, var)) in [(0usize, "a"), (1, "b"), (2, "c")].iter().enumerate() {
+            let node = &plan.nodes[k + 1];
+            assert_eq!(node.subatoms.len(), 1);
+            assert_eq!(node.subatoms[0].input, *input);
+            assert_eq!(node.subatoms[0].vars, vec![var.to_string()]);
+        }
+    }
+
+    #[test]
+    fn triangle_gj_plan_is_valid_for_any_order() {
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "x"]]);
+        for order in [["x", "y", "z"], ["y", "z", "x"], ["z", "x", "y"], ["z", "y", "x"]] {
+            let order: Vec<String> = order.iter().map(|s| s.to_string()).collect();
+            let plan = fj_plan_from_var_order(&order, &iv);
+            plan.validate(&iv).unwrap_or_else(|e| panic!("order {order:?}: {e}"));
+            // Every node intersects exactly the two relations sharing the variable.
+            for node in &plan.nodes {
+                assert_eq!(node.subatoms.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn variable_order_follows_plan_binding_order() {
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"]]);
+        let mut plan = binary2fj(&iv);
+        factor(&mut plan);
+        let gj = variable_order(&plan, &iv);
+        assert_eq!(gj.var_order, vec!["x", "a", "b", "c"]);
+        assert_eq!(gj.position("b"), Some(2));
+        assert_eq!(gj.position("zz"), None);
+        assert_eq!(gj.len(), 4);
+    }
+
+    #[test]
+    fn variable_order_appends_unmentioned_vars() {
+        // A degenerate plan that never mentions input 1's variable "c".
+        let iv = vars(&[&["x"], &["x", "c"]]);
+        let plan = FreeJoinPlan::new(vec![FjNode::new(vec![Subatom::new(0, vec!["x".into()]), Subatom::new(1, vec!["x".into()])])]);
+        let gj = variable_order(&plan, &iv);
+        assert_eq!(gj.var_order, vec!["x", "c"]);
+    }
+
+    #[test]
+    fn var_order_skips_variables_without_inputs() {
+        let iv = vars(&[&["x", "a"]]);
+        let order: Vec<String> = ["x", "ghost", "a"].iter().map(|s| s.to_string()).collect();
+        let plan = fj_plan_from_var_order(&order, &iv);
+        // "ghost" contributes no node.
+        assert_eq!(plan.len(), 2);
+        plan.validate(&iv).unwrap();
+    }
+
+    #[test]
+    fn round_trip_variable_order() {
+        // variable_order(fj_plan_from_var_order(o)) == o for a complete order.
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "x"]]);
+        let order: Vec<String> = ["y", "x", "z"].iter().map(|s| s.to_string()).collect();
+        let plan = fj_plan_from_var_order(&order, &iv);
+        let extracted = variable_order(&plan, &iv);
+        assert_eq!(extracted.var_order, order);
+    }
+}

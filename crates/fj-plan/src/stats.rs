@@ -1,0 +1,318 @@
+//! Catalog statistics and cardinality estimation.
+//!
+//! The paper relies on DuckDB's cost-based optimizer for binary plans; this
+//! module provides the statistics and estimation machinery our stand-in
+//! optimizer uses. Estimates follow the textbook System-R model:
+//!
+//! * base cardinality = row count × filter selectivity,
+//! * per-variable distinct counts scaled by selectivity,
+//! * join cardinality `|A ⋈ B| = |A|·|B| / Π_v max(d_A(v), d_B(v))` over the
+//!   shared variables `v`.
+//!
+//! The [`EstimatorMode::AlwaysOne`] mode reproduces the paper's robustness
+//! experiment (Section 5.4), which "hijacks DuckDB's optimizer ... by
+//! modifying its cardinality estimator to always return 1".
+
+use fj_query::{Atom, ConjunctiveQuery};
+use fj_storage::Catalog;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Statistics for one column of a relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Minimum value for integer columns.
+    pub min: Option<i64>,
+    /// Maximum value for integer columns.
+    pub max: Option<i64>,
+}
+
+/// Statistics for one relation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Per-column statistics, keyed by column name.
+    pub columns: BTreeMap<String, ColumnStats>,
+    /// Column names in schema order, so positional atom variables can be
+    /// resolved to their column statistics.
+    pub column_order: Vec<String>,
+}
+
+impl TableStats {
+    /// Distinct count of a column, defaulting to the row count when the
+    /// column is unknown (conservative).
+    pub fn distinct(&self, column: &str) -> usize {
+        self.columns.get(column).map(|c| c.distinct).unwrap_or(self.rows.max(1))
+    }
+
+    /// Distinct count of the column at schema position `pos`.
+    pub fn distinct_at(&self, pos: usize) -> usize {
+        self.column_order
+            .get(pos)
+            .map(|name| self.distinct(name))
+            .unwrap_or(self.rows.max(1))
+    }
+}
+
+/// Statistics for every relation in a catalog.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CatalogStats {
+    /// Per-relation statistics, keyed by relation name.
+    pub tables: BTreeMap<String, TableStats>,
+}
+
+impl CatalogStats {
+    /// Scan the catalog and collect statistics for every relation. This is an
+    /// O(data) pass; benchmarks collect statistics once per dataset, outside
+    /// the timed region, mirroring how a database maintains statistics ahead
+    /// of query optimization.
+    pub fn collect(catalog: &Catalog) -> Self {
+        let mut tables = BTreeMap::new();
+        for name in catalog.relation_names() {
+            let relation = catalog.get(name).expect("relation listed but missing");
+            let mut columns = BTreeMap::new();
+            let mut column_order = Vec::with_capacity(relation.arity());
+            for (idx, field) in relation.schema().fields().iter().enumerate() {
+                let col = relation.column(idx);
+                let (min, max) = col.int_min_max().map(|(a, b)| (Some(a), Some(b))).unwrap_or((None, None));
+                columns.insert(
+                    field.name.clone(),
+                    ColumnStats { distinct: col.distinct_count(), min, max },
+                );
+                column_order.push(field.name.clone());
+            }
+            tables.insert(
+                name.to_string(),
+                TableStats { rows: relation.num_rows(), columns, column_order },
+            );
+        }
+        CatalogStats { tables }
+    }
+
+    /// Statistics for one relation; empty statistics if unknown.
+    pub fn table(&self, name: &str) -> TableStats {
+        self.tables.get(name).cloned().unwrap_or_default()
+    }
+}
+
+/// How the estimator behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EstimatorMode {
+    /// Use collected statistics (the "good plan" configuration).
+    #[default]
+    Accurate,
+    /// Always estimate cardinality 1, reproducing the paper's "bad
+    /// cardinality estimate" configuration (Section 5.4).
+    AlwaysOne,
+}
+
+/// A summary of an already-planned sub-join, tracked during optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubPlanInfo {
+    /// Estimated cardinality of the sub-join result.
+    pub cardinality: f64,
+    /// Estimated distinct count per variable bound by the sub-join.
+    pub distinct: HashMap<String, f64>,
+}
+
+/// Cardinality estimator over catalog statistics.
+#[derive(Debug, Clone)]
+pub struct CardinalityEstimator<'a> {
+    stats: &'a CatalogStats,
+    mode: EstimatorMode,
+}
+
+impl<'a> CardinalityEstimator<'a> {
+    /// Create an estimator.
+    pub fn new(stats: &'a CatalogStats, mode: EstimatorMode) -> Self {
+        CardinalityEstimator { stats, mode }
+    }
+
+    /// The estimator mode.
+    pub fn mode(&self) -> EstimatorMode {
+        self.mode
+    }
+
+    /// Estimate the cardinality of a single atom after its pushed-down
+    /// filter.
+    pub fn atom_cardinality(&self, atom: &Atom) -> f64 {
+        if self.mode == EstimatorMode::AlwaysOne {
+            return 1.0;
+        }
+        let table = self.stats.table(&atom.relation);
+        let base = table.rows as f64;
+        (base * atom.filter.selectivity()).max(1.0)
+    }
+
+    /// Build the [`SubPlanInfo`] of a single atom: cardinality plus distinct
+    /// counts for each of its variables (scaled down by the filter, and never
+    /// above the cardinality).
+    pub fn atom_info(&self, query: &ConjunctiveQuery, atom_idx: usize) -> SubPlanInfo {
+        let atom = &query.atoms[atom_idx];
+        let card = self.atom_cardinality(atom);
+        let table = self.stats.table(&atom.relation);
+        let relation_rows = table.rows.max(1) as f64;
+        let scale = (card / relation_rows).min(1.0);
+        let mut distinct = HashMap::new();
+        // Columns are matched to variables positionally via the table's
+        // schema order.
+        for (pos, var) in atom.vars.iter().enumerate() {
+            let d = if self.mode == EstimatorMode::AlwaysOne {
+                1.0
+            } else {
+                let col_distinct = table.distinct_at(pos) as f64;
+                // Scaling distinct counts linearly with selectivity is crude
+                // but standard; clamp to [1, card].
+                (col_distinct * scale).clamp(1.0, card)
+            };
+            distinct.insert(var.clone(), d);
+        }
+        SubPlanInfo { cardinality: card, distinct }
+    }
+
+    /// Estimate the join of two sub-plans that share `shared_vars`.
+    pub fn join(&self, left: &SubPlanInfo, right: &SubPlanInfo, shared_vars: &[String]) -> SubPlanInfo {
+        if self.mode == EstimatorMode::AlwaysOne {
+            let mut distinct = left.distinct.clone();
+            for (v, d) in &right.distinct {
+                distinct.entry(v.clone()).or_insert(*d);
+            }
+            for d in distinct.values_mut() {
+                *d = 1.0;
+            }
+            return SubPlanInfo { cardinality: 1.0, distinct };
+        }
+        let mut cardinality = left.cardinality * right.cardinality;
+        for v in shared_vars {
+            let dl = left.distinct.get(v).copied().unwrap_or(left.cardinality).max(1.0);
+            let dr = right.distinct.get(v).copied().unwrap_or(right.cardinality).max(1.0);
+            cardinality /= dl.max(dr);
+        }
+        cardinality = cardinality.max(1.0);
+        let mut distinct = HashMap::new();
+        for (v, d) in &left.distinct {
+            let merged = match right.distinct.get(v) {
+                Some(rd) => d.min(*rd),
+                None => *d,
+            };
+            distinct.insert(v.clone(), merged.min(cardinality));
+        }
+        for (v, d) in &right.distinct {
+            distinct.entry(v.clone()).or_insert(d.min(cardinality));
+        }
+        SubPlanInfo { cardinality, distinct }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_query::Atom;
+    use fj_storage::{Predicate, RelationBuilder, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut r = RelationBuilder::new("R", Schema::all_int(&["x", "y"]));
+        for i in 0..100i64 {
+            r.push_ints(&[i % 10, i]).unwrap();
+        }
+        cat.add(r.finish()).unwrap();
+        let mut s = RelationBuilder::new("S", Schema::all_int(&["y", "z"]));
+        for i in 0..50i64 {
+            s.push_ints(&[i, i % 5]).unwrap();
+        }
+        cat.add(s.finish()).unwrap();
+        cat
+    }
+
+    #[test]
+    fn collect_gathers_row_and_distinct_counts() {
+        let stats = CatalogStats::collect(&catalog());
+        let r = stats.table("R");
+        assert_eq!(r.rows, 100);
+        assert_eq!(r.distinct("x"), 10);
+        assert_eq!(r.distinct("y"), 100);
+        assert_eq!(r.columns["x"].min, Some(0));
+        assert_eq!(r.columns["x"].max, Some(9));
+        // Unknown tables/columns degrade gracefully.
+        assert_eq!(stats.table("missing").rows, 0);
+        assert_eq!(r.distinct("missing"), 100);
+    }
+
+    #[test]
+    fn atom_cardinality_respects_filters_and_mode() {
+        let stats = CatalogStats::collect(&catalog());
+        let est = CardinalityEstimator::new(&stats, EstimatorMode::Accurate);
+        let plain = Atom::new("R", vec!["x", "y"]);
+        assert_eq!(est.atom_cardinality(&plain), 100.0);
+        let filtered = Atom::new("R", vec!["x", "y"]).with_filter(Predicate::eq_const("x", 3i64));
+        assert!(est.atom_cardinality(&filtered) < 100.0);
+        assert!(est.atom_cardinality(&filtered) >= 1.0);
+
+        let bad = CardinalityEstimator::new(&stats, EstimatorMode::AlwaysOne);
+        assert_eq!(bad.atom_cardinality(&plain), 1.0);
+        assert_eq!(bad.atom_cardinality(&filtered), 1.0);
+    }
+
+    #[test]
+    fn join_estimate_divides_by_max_distinct() {
+        let stats = CatalogStats::collect(&catalog());
+        let est = CardinalityEstimator::new(&stats, EstimatorMode::Accurate);
+        let left = SubPlanInfo {
+            cardinality: 100.0,
+            distinct: HashMap::from([("y".to_string(), 100.0)]),
+        };
+        let right = SubPlanInfo {
+            cardinality: 50.0,
+            distinct: HashMap::from([("y".to_string(), 50.0)]),
+        };
+        let joined = est.join(&left, &right, &["y".to_string()]);
+        // 100 * 50 / max(100, 50) = 50.
+        assert!((joined.cardinality - 50.0).abs() < 1e-9);
+        assert!(joined.distinct["y"] <= 50.0);
+
+        // Cartesian product when no shared variables.
+        let cross = est.join(&left, &right, &[]);
+        assert!((cross.cardinality - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_estimate_always_one_mode() {
+        let stats = CatalogStats::collect(&catalog());
+        let est = CardinalityEstimator::new(&stats, EstimatorMode::AlwaysOne);
+        let left = SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
+        let right = SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
+        let joined = est.join(&left, &right, &["y".to_string()]);
+        assert_eq!(joined.cardinality, 1.0);
+        assert_eq!(est.mode(), EstimatorMode::AlwaysOne);
+    }
+
+    #[test]
+    fn atom_info_resolves_positional_variables() {
+        let stats = CatalogStats::collect(&catalog());
+        assert_eq!(stats.table("R").distinct_at(0), 10);
+        assert_eq!(stats.table("R").distinct_at(1), 100);
+        assert_eq!(stats.table("R").distinct_at(7), 100); // out of range -> rows
+
+        let est = CardinalityEstimator::new(&stats, EstimatorMode::Accurate);
+        let q = ConjunctiveQuery::new("q", vec![], vec![Atom::new("R", vec!["a", "b"])]);
+        let info = est.atom_info(&q, 0);
+        assert_eq!(info.cardinality, 100.0);
+        // Variable "a" is bound to column x (10 distinct values), "b" to y.
+        assert!((info.distinct["a"] - 10.0).abs() < 1e-9);
+        assert!((info.distinct["b"] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_never_drop_below_one() {
+        let stats = CatalogStats::collect(&catalog());
+        let est = CardinalityEstimator::new(&stats, EstimatorMode::Accurate);
+        let tiny = SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
+        let big = SubPlanInfo { cardinality: 2.0, distinct: HashMap::from([("y".to_string(), 1000.0)]) };
+        let joined = est.join(&tiny, &big, &["y".to_string()]);
+        assert!(joined.cardinality >= 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! A fluent builder for conjunctive queries.
+
+use crate::atom::Atom;
+use crate::output::Aggregate;
+use crate::query::ConjunctiveQuery;
+use fj_storage::Predicate;
+
+/// Builds a [`ConjunctiveQuery`] programmatically.
+///
+/// ```
+/// use fj_query::QueryBuilder;
+///
+/// let q = QueryBuilder::new("triangle")
+///     .atom("R", &["x", "y"])
+///     .atom("S", &["y", "z"])
+///     .atom("T", &["z", "x"])
+///     .count()
+///     .build();
+/// assert_eq!(q.num_atoms(), 3);
+/// assert!(!q.is_acyclic());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    name: String,
+    head: Vec<String>,
+    atoms: Vec<Atom>,
+    aggregate: Aggregate,
+}
+
+impl QueryBuilder {
+    /// Start building a query with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryBuilder { name: name.into(), head: Vec::new(), atoms: Vec::new(), aggregate: Aggregate::Materialize }
+    }
+
+    /// Set the head (output) variables. If never called, the head defaults to
+    /// all body variables.
+    pub fn head(mut self, vars: &[&str]) -> Self {
+        self.head = vars.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Add an atom over `relation` binding the given variables.
+    pub fn atom(mut self, relation: &str, vars: &[&str]) -> Self {
+        self.atoms.push(Atom::new(relation, vars.to_vec()));
+        self
+    }
+
+    /// Add an aliased atom (for self-joins).
+    pub fn atom_as(mut self, relation: &str, alias: &str, vars: &[&str]) -> Self {
+        self.atoms.push(Atom::with_alias(relation, alias, vars.to_vec()));
+        self
+    }
+
+    /// Add an atom with a pushed-down selection.
+    pub fn atom_where(mut self, relation: &str, vars: &[&str], filter: Predicate) -> Self {
+        self.atoms.push(Atom::new(relation, vars.to_vec()).with_filter(filter));
+        self
+    }
+
+    /// Add an aliased atom with a pushed-down selection.
+    pub fn atom_as_where(mut self, relation: &str, alias: &str, vars: &[&str], filter: Predicate) -> Self {
+        self.atoms.push(Atom::with_alias(relation, alias, vars.to_vec()).with_filter(filter));
+        self
+    }
+
+    /// Attach a filter to the most recently added atom.
+    ///
+    /// # Panics
+    /// Panics if no atom has been added yet.
+    pub fn filter_last(mut self, filter: Predicate) -> Self {
+        let last = self.atoms.last_mut().expect("filter_last called before any atom was added");
+        let existing = std::mem::take(&mut last.filter);
+        last.filter = existing.and(filter);
+        self
+    }
+
+    /// Request a `COUNT(*)` aggregate.
+    pub fn count(mut self) -> Self {
+        self.aggregate = Aggregate::Count;
+        self
+    }
+
+    /// Request a `GROUP BY vars, COUNT(*)` aggregate.
+    pub fn group_count(mut self, vars: &[&str]) -> Self {
+        self.aggregate = Aggregate::group_count(vars);
+        self
+    }
+
+    /// Request full materialization (the default).
+    pub fn materialize(mut self) -> Self {
+        self.aggregate = Aggregate::Materialize;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ConjunctiveQuery {
+        let head_refs: Vec<&str> = self.head.iter().map(String::as_str).collect();
+        ConjunctiveQuery::new(self.name, head_refs, self.atoms).with_aggregate(self.aggregate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_storage::CmpOp;
+
+    #[test]
+    fn build_triangle() {
+        let q = QueryBuilder::new("tri")
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .atom("T", &["z", "x"])
+            .build();
+        assert_eq!(q.name, "tri");
+        assert_eq!(q.head, vec!["x", "y", "z"]);
+        assert_eq!(q.aggregate, Aggregate::Materialize);
+    }
+
+    #[test]
+    fn explicit_head_and_count() {
+        let q = QueryBuilder::new("q")
+            .head(&["x"])
+            .atom("R", &["x", "y"])
+            .count()
+            .build();
+        assert_eq!(q.head, vec!["x"]);
+        assert_eq!(q.aggregate, Aggregate::Count);
+    }
+
+    #[test]
+    fn aliased_atoms_and_filters() {
+        let q = QueryBuilder::new("q")
+            .atom_as("M", "s", &["u", "v"])
+            .filter_last(Predicate::cmp_const("w", CmpOp::Gt, 30i64))
+            .atom_as_where("M", "t", &["v", "w"], Predicate::cmp_cols("v", CmpOp::Eq, "w"))
+            .group_count(&["u"])
+            .build();
+        assert_eq!(q.atoms[0].alias, "s");
+        assert!(q.atoms[0].has_filter());
+        assert!(q.atoms[1].has_filter());
+        assert_eq!(q.aggregate, Aggregate::group_count(&["u"]));
+    }
+
+    #[test]
+    fn filter_last_composes_with_existing_filter() {
+        let q = QueryBuilder::new("q")
+            .atom_where("R", &["x"], Predicate::cmp_const("x", CmpOp::Gt, 0i64))
+            .filter_last(Predicate::cmp_const("x", CmpOp::Lt, 10i64))
+            .build();
+        match &q.atoms[0].filter {
+            Predicate::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before any atom")]
+    fn filter_last_panics_without_atoms() {
+        let _ = QueryBuilder::new("q").filter_last(Predicate::True);
+    }
+
+    #[test]
+    fn materialize_resets_aggregate() {
+        let q = QueryBuilder::new("q").atom("R", &["x"]).count().materialize().build();
+        assert_eq!(q.aggregate, Aggregate::Materialize);
+    }
+}

@@ -1,0 +1,443 @@
+//! Query outputs and execution statistics.
+//!
+//! Every execution engine in this workspace (binary hash join, Generic Join,
+//! Free Join) produces the same [`QueryOutput`] so that integration tests can
+//! assert cross-engine equivalence, and the same [`ExecStats`] so that the
+//! benchmark harness can report the paper's measurements (join time excluding
+//! selection and aggregation, build time, intermediate sizes).
+
+use fj_storage::{Row, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// What to do with the join result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Aggregate {
+    /// Materialize the full result tuples (projected onto the head).
+    #[default]
+    Materialize,
+    /// `COUNT(*)` over the join result.
+    Count,
+    /// `GROUP BY <vars>, COUNT(*)` — the "simple group-by at the end" the
+    /// paper's benchmark queries carry.
+    GroupCount(Vec<String>),
+}
+
+impl Aggregate {
+    /// Group-count over the given variables.
+    pub fn group_count(vars: &[&str]) -> Self {
+        Aggregate::GroupCount(vars.iter().map(|s| s.to_string()).collect())
+    }
+}
+
+/// The result of evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputKind {
+    /// Number of result tuples (with multiplicity — bag semantics).
+    Count(u64),
+    /// Materialized result rows in head-variable order.
+    Rows(Vec<Row>),
+    /// Group-by counts: group key (in the aggregate's variable order) to count.
+    Groups(HashMap<Row, u64>),
+}
+
+/// A query result together with its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// The variables labelling the columns of `Rows` output (the query head),
+    /// or the grouping variables for `Groups` output.
+    pub vars: Vec<String>,
+    /// The result payload.
+    pub kind: OutputKind,
+}
+
+impl QueryOutput {
+    /// A count-only output.
+    pub fn count(count: u64) -> Self {
+        QueryOutput { vars: Vec::new(), kind: OutputKind::Count(count) }
+    }
+
+    /// A materialized output.
+    pub fn rows(vars: Vec<String>, rows: Vec<Row>) -> Self {
+        QueryOutput { vars, kind: OutputKind::Rows(rows) }
+    }
+
+    /// A grouped output.
+    pub fn groups(vars: Vec<String>, groups: HashMap<Row, u64>) -> Self {
+        QueryOutput { vars, kind: OutputKind::Groups(groups) }
+    }
+
+    /// Total number of result tuples (with multiplicity), regardless of kind.
+    pub fn cardinality(&self) -> u64 {
+        match &self.kind {
+            OutputKind::Count(c) => *c,
+            OutputKind::Rows(rows) => rows.len() as u64,
+            OutputKind::Groups(groups) => groups.values().sum(),
+        }
+    }
+
+    /// Materialized rows sorted into a canonical order, for order-insensitive
+    /// comparison in tests. Panics if the output is not `Rows`.
+    pub fn canonical_rows(&self) -> Vec<Row> {
+        match &self.kind {
+            OutputKind::Rows(rows) => {
+                let mut rows = rows.clone();
+                rows.sort_by(|a, b| {
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        let ord = x.total_cmp(*y);
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    a.len().cmp(&b.len())
+                });
+                rows
+            }
+            other => panic!("canonical_rows called on non-Rows output: {other:?}"),
+        }
+    }
+
+    /// Check semantic equality with another output, insensitive to row order.
+    /// Outputs of different kinds are compared by cardinality only when one
+    /// of them is a `Count`.
+    pub fn result_eq(&self, other: &QueryOutput) -> bool {
+        match (&self.kind, &other.kind) {
+            (OutputKind::Count(_), _) | (_, OutputKind::Count(_)) => {
+                self.cardinality() == other.cardinality()
+            }
+            (OutputKind::Rows(_), OutputKind::Rows(_)) => {
+                self.vars == other.vars && self.canonical_rows() == other.canonical_rows()
+            }
+            (OutputKind::Groups(a), OutputKind::Groups(b)) => self.vars == other.vars && a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Accumulates join result tuples into a [`QueryOutput`] according to an
+/// [`Aggregate`] specification.
+///
+/// Every execution engine pushes full result tuples (all bound variables, in
+/// a fixed *binding order* it declares up front); the builder projects onto
+/// the query head, counts, or groups as requested. Pushing with a weight
+/// supports bag-semantics multiplicities and factorized counting, where an
+/// engine knows that a partial binding expands into `weight` result tuples
+/// without enumerating them.
+#[derive(Debug, Clone)]
+pub struct OutputBuilder {
+    aggregate: Aggregate,
+    vars: Vec<String>,
+    /// Positions (in the binding order) of the variables to project onto.
+    positions: Vec<usize>,
+    rows: Vec<Row>,
+    count: u64,
+    groups: HashMap<Row, u64>,
+}
+
+impl OutputBuilder {
+    /// Create a builder.
+    ///
+    /// * `head` — the query head variables (used for `Materialize`).
+    /// * `aggregate` — what to compute.
+    /// * `binding_order` — the order in which the engine lays out variable
+    ///   values in each pushed tuple.
+    ///
+    /// # Panics
+    /// Panics if a projected/grouped variable is missing from the binding
+    /// order; query validation guarantees head variables appear in the body,
+    /// and engines bind every body variable.
+    pub fn new(head: &[String], aggregate: Aggregate, binding_order: &[String]) -> Self {
+        let vars: Vec<String> = match &aggregate {
+            Aggregate::GroupCount(gs) => gs.clone(),
+            // COUNT(*) needs no output columns at all.
+            Aggregate::Count => Vec::new(),
+            Aggregate::Materialize => head.to_vec(),
+        };
+        let positions = vars
+            .iter()
+            .map(|v| {
+                binding_order
+                    .iter()
+                    .position(|b| b == v)
+                    .unwrap_or_else(|| panic!("output variable {v} is not bound by the engine (binding order {binding_order:?})"))
+            })
+            .collect();
+        OutputBuilder { aggregate, vars, positions, rows: Vec::new(), count: 0, groups: HashMap::new() }
+    }
+
+    /// Push one result tuple (in binding order) with multiplicity 1.
+    pub fn push(&mut self, tuple: &[Value]) {
+        self.push_weighted(tuple, 1);
+    }
+
+    /// Push one result tuple with the given multiplicity.
+    pub fn push_weighted(&mut self, tuple: &[Value], weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        match &self.aggregate {
+            Aggregate::Count => self.count += weight,
+            Aggregate::Materialize => {
+                let row: Row = self.positions.iter().map(|&p| tuple[p]).collect();
+                for _ in 0..weight.saturating_sub(1) {
+                    self.rows.push(row.clone());
+                }
+                self.rows.push(row);
+            }
+            Aggregate::GroupCount(_) => {
+                let key: Row = self.positions.iter().map(|&p| tuple[p]).collect();
+                *self.groups.entry(key).or_insert(0) += weight;
+            }
+        }
+    }
+
+    /// Total tuples accumulated so far (with multiplicity).
+    pub fn tuples(&self) -> u64 {
+        match &self.aggregate {
+            Aggregate::Count => self.count,
+            Aggregate::Materialize => self.rows.len() as u64,
+            Aggregate::GroupCount(_) => self.groups.values().sum(),
+        }
+    }
+
+    /// The aggregate being computed.
+    pub fn aggregate(&self) -> &Aggregate {
+        &self.aggregate
+    }
+
+    /// Are the output variables (head or group-by) all bound before position
+    /// `bound_prefix` of the binding order? Engines use this to decide when
+    /// factorized (non-enumerating) counting is safe.
+    pub fn vars_bound_within(&self, bound_prefix: usize) -> bool {
+        self.positions.iter().all(|&p| p < bound_prefix)
+    }
+
+    /// Does this aggregate avoid materializing individual rows (so weighted
+    /// pushes are cheap)?
+    pub fn is_counting(&self) -> bool {
+        !matches!(self.aggregate, Aggregate::Materialize)
+    }
+
+    /// Finish and produce the output.
+    pub fn finish(self) -> QueryOutput {
+        match self.aggregate {
+            Aggregate::Count => QueryOutput::count(self.count),
+            Aggregate::Materialize => QueryOutput::rows(self.vars, self.rows),
+            Aggregate::GroupCount(_) => QueryOutput::groups(self.vars, self.groups),
+        }
+    }
+}
+
+/// Timings and counters collected while executing a query.
+///
+/// The paper reports join time excluding selection and aggregation ("This
+/// excluded time takes up on average less than 1% of the total execution
+/// time"), and separately discusses trie/hash build cost, so all three phases
+/// are tracked here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Time spent applying base-table selections.
+    pub selection_time: Duration,
+    /// Time spent building hash tables / tries (the build phase).
+    pub build_time: Duration,
+    /// Time spent in the join phase proper.
+    pub join_time: Duration,
+    /// Time spent in final aggregation / projection.
+    pub aggregate_time: Duration,
+    /// Number of output tuples produced (with multiplicity).
+    pub output_tuples: u64,
+    /// Number of tuples materialized for intermediate results (bushy plans).
+    pub intermediate_tuples: u64,
+    /// Number of probe operations performed.
+    pub probes: u64,
+    /// Number of probe operations that found a match.
+    pub probe_hits: u64,
+    /// Number of hash-trie nodes (or hash tables) built.
+    pub tries_built: u64,
+    /// Number of trie nodes expanded lazily at run time (COLT forcing).
+    pub lazy_expansions: u64,
+}
+
+impl ExecStats {
+    /// Join time plus build time: the quantity the paper's scatter plots use
+    /// (it excludes selection and aggregation).
+    pub fn reported_time(&self) -> Duration {
+        self.build_time + self.join_time
+    }
+
+    /// Total wall time across all phases.
+    pub fn total_time(&self) -> Duration {
+        self.selection_time + self.build_time + self.join_time + self.aggregate_time
+    }
+
+    /// Accumulate another stats record into this one (used when a bushy plan
+    /// is executed as several left-deep pipelines).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.selection_time += other.selection_time;
+        self.build_time += other.build_time;
+        self.join_time += other.join_time;
+        self.aggregate_time += other.aggregate_time;
+        self.output_tuples += other.output_tuples;
+        self.intermediate_tuples += other.intermediate_tuples;
+        self.probes += other.probes;
+        self.probe_hits += other.probe_hits;
+        self.tries_built += other.tries_built;
+        self.lazy_expansions += other.lazy_expansions;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "build {:?}, join {:?}, out {}, intermediates {}, probes {} ({} hits), tries {}, lazy {}",
+            self.build_time,
+            self.join_time,
+            self.output_tuples,
+            self.intermediate_tuples,
+            self.probes,
+            self.probe_hits,
+            self.tries_built,
+            self.lazy_expansions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_storage::Value;
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn cardinality_of_each_kind() {
+        assert_eq!(QueryOutput::count(7).cardinality(), 7);
+        let rows = QueryOutput::rows(vec!["x".into()], vec![row(&[1]), row(&[2])]);
+        assert_eq!(rows.cardinality(), 2);
+        let mut groups = HashMap::new();
+        groups.insert(row(&[1]), 3u64);
+        groups.insert(row(&[2]), 4u64);
+        assert_eq!(QueryOutput::groups(vec!["x".into()], groups).cardinality(), 7);
+    }
+
+    #[test]
+    fn canonical_rows_sorts() {
+        let out = QueryOutput::rows(vec!["x".into(), "y".into()], vec![row(&[2, 1]), row(&[1, 5]), row(&[1, 2])]);
+        assert_eq!(out.canonical_rows(), vec![row(&[1, 2]), row(&[1, 5]), row(&[2, 1])]);
+    }
+
+    #[test]
+    fn result_eq_is_order_insensitive() {
+        let a = QueryOutput::rows(vec!["x".into()], vec![row(&[1]), row(&[2])]);
+        let b = QueryOutput::rows(vec!["x".into()], vec![row(&[2]), row(&[1])]);
+        assert!(a.result_eq(&b));
+        let c = QueryOutput::rows(vec!["y".into()], vec![row(&[2]), row(&[1])]);
+        assert!(!a.result_eq(&c));
+    }
+
+    #[test]
+    fn result_eq_count_vs_rows_compares_cardinality() {
+        let a = QueryOutput::rows(vec!["x".into()], vec![row(&[1]), row(&[2])]);
+        assert!(a.result_eq(&QueryOutput::count(2)));
+        assert!(!a.result_eq(&QueryOutput::count(3)));
+    }
+
+    #[test]
+    fn stats_merge_and_reported_time() {
+        let mut a = ExecStats {
+            build_time: Duration::from_millis(10),
+            join_time: Duration::from_millis(20),
+            output_tuples: 5,
+            probes: 7,
+            ..ExecStats::default()
+        };
+        let b = ExecStats {
+            build_time: Duration::from_millis(1),
+            join_time: Duration::from_millis(2),
+            selection_time: Duration::from_millis(4),
+            output_tuples: 1,
+            probes: 3,
+            probe_hits: 2,
+            ..ExecStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.output_tuples, 6);
+        assert_eq!(a.probes, 10);
+        assert_eq!(a.probe_hits, 2);
+        assert_eq!(a.reported_time(), Duration::from_millis(33));
+        assert_eq!(a.total_time(), Duration::from_millis(37));
+        assert!(a.to_string().contains("out 6"));
+    }
+
+    #[test]
+    fn output_builder_materialize_projects_head() {
+        let binding: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let head: Vec<String> = ["z", "x"].iter().map(|s| s.to_string()).collect();
+        let mut b = OutputBuilder::new(&head, Aggregate::Materialize, &binding);
+        b.push(&[Value::Int(1), Value::Int(2), Value::Int(3)]);
+        b.push_weighted(&[Value::Int(4), Value::Int(5), Value::Int(6)], 2);
+        assert_eq!(b.tuples(), 3);
+        let out = b.finish();
+        assert_eq!(out.vars, head);
+        assert_eq!(
+            out.canonical_rows(),
+            vec![row(&[3, 1]), row(&[6, 4]), row(&[6, 4])]
+        );
+    }
+
+    #[test]
+    fn output_builder_count_and_groups() {
+        let binding: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let mut c = OutputBuilder::new(&binding, Aggregate::Count, &binding);
+        c.push(&[Value::Int(1), Value::Int(2)]);
+        c.push_weighted(&[Value::Int(1), Value::Int(2)], 10);
+        c.push_weighted(&[Value::Int(1), Value::Int(2)], 0);
+        assert!(c.is_counting());
+        assert_eq!(c.finish(), QueryOutput::count(11));
+
+        let mut g = OutputBuilder::new(&binding, Aggregate::group_count(&["y"]), &binding);
+        g.push(&[Value::Int(1), Value::Int(7)]);
+        g.push(&[Value::Int(2), Value::Int(7)]);
+        g.push_weighted(&[Value::Int(3), Value::Int(8)], 4);
+        let out = g.finish();
+        assert_eq!(out.vars, vec!["y"]);
+        match out.kind {
+            OutputKind::Groups(groups) => {
+                assert_eq!(groups[&row(&[7])], 2);
+                assert_eq!(groups[&row(&[8])], 4);
+            }
+            other => panic!("expected groups, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_builder_vars_bound_within() {
+        let binding: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let head: Vec<String> = ["y"].iter().map(|s| s.to_string()).collect();
+        let b = OutputBuilder::new(&head, Aggregate::group_count(&["y"]), &binding);
+        assert!(b.vars_bound_within(2));
+        assert!(!b.vars_bound_within(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn output_builder_rejects_unbound_head() {
+        let binding: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
+        let head: Vec<String> = vec!["missing".to_string()];
+        let _ = OutputBuilder::new(&head, Aggregate::Materialize, &binding);
+    }
+
+    #[test]
+    fn aggregate_constructors() {
+        assert_eq!(Aggregate::default(), Aggregate::Materialize);
+        assert_eq!(
+            Aggregate::group_count(&["x", "y"]),
+            Aggregate::GroupCount(vec!["x".into(), "y".into()])
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! A datalog-style text syntax for conjunctive queries.
+//!
+//! The grammar mirrors the notation used throughout the paper:
+//!
+//! ```text
+//! query   := name '(' vars ')' ':-' atom (',' atom)* '.'?
+//! atom    := rel ('as' alias)? '(' vars ')' ('where' filter)?
+//! filter  := cond ('and' cond)*
+//! cond    := column op constant | column op column
+//! op      := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! Example (the paper's triangle query over filtered views):
+//!
+//! ```text
+//! Q(x, y, z) :- R(x, y), S(y, z), T(z, x).
+//! ```
+//!
+//! Filters reference *relation column names* (filters are pushed to base
+//! tables before variables are bound), e.g.
+//! `M as s(u, v) where w > 30` filters M on its third column `w` even though
+//! `w` is not bound to a query variable.
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+use fj_storage::{CmpOp, Predicate, Value};
+use std::fmt;
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), position: self.pos })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            self.error(format!("expected {token:?}"))
+        }
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        rest.starts_with(kw)
+            && rest[kw.len()..]
+                .chars()
+                .next()
+                .map_or(true, |c| !c.is_alphanumeric() && c != '_')
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.error("expected identifier");
+        }
+        let ident = &self.input[start..self.pos];
+        if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos = start;
+            return self.error("identifier cannot start with a digit");
+        }
+        Ok(ident.to_string())
+    }
+
+    fn var_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect("(")?;
+        let mut vars = Vec::new();
+        self.skip_ws();
+        if self.eat(")") {
+            return Ok(vars);
+        }
+        loop {
+            vars.push(self.identifier()?);
+            if self.eat(")") {
+                break;
+            }
+            self.expect(",")?;
+        }
+        Ok(vars)
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        self.skip_ws();
+        // Longest match first.
+        for (tok, op) in [
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        self.error("expected comparison operator")
+    }
+
+    fn integer(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut end = self.pos;
+        let bytes = self.input.as_bytes();
+        if end < bytes.len() && (bytes[end] == b'-' || bytes[end] == b'+') {
+            end += 1;
+        }
+        let digits_start = end;
+        while end < bytes.len() && bytes[end].is_ascii_digit() {
+            end += 1;
+        }
+        if end == digits_start {
+            return None;
+        }
+        let parsed = self.input[start..end].parse::<i64>().ok()?;
+        self.pos = end;
+        Some(parsed)
+    }
+
+    fn condition(&mut self) -> Result<Predicate, ParseError> {
+        let left = self.identifier()?;
+        let op = self.cmp_op()?;
+        if let Some(value) = self.integer() {
+            return Ok(Predicate::ColCmpConst { column: left, op, value: Value::Int(value) });
+        }
+        let right = self.identifier()?;
+        Ok(Predicate::ColCmpCol { left, op, right })
+    }
+
+    fn filter(&mut self) -> Result<Predicate, ParseError> {
+        let mut pred = self.condition()?;
+        while self.eat_keyword("and") {
+            pred = pred.and(self.condition()?);
+        }
+        Ok(pred)
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let relation = self.identifier()?;
+        let alias = if self.eat_keyword("as") { self.identifier()? } else { relation.clone() };
+        let vars = self.var_list()?;
+        let mut atom = Atom {
+            relation,
+            alias,
+            vars,
+            filter: Predicate::True,
+        };
+        if self.eat_keyword("where") {
+            atom.filter = self.filter()?;
+        }
+        Ok(atom)
+    }
+
+    fn query(&mut self) -> Result<ConjunctiveQuery, ParseError> {
+        let name = self.identifier()?;
+        let head = self.var_list()?;
+        self.expect(":-")?;
+        let mut atoms = vec![self.atom()?];
+        while self.eat(",") {
+            atoms.push(self.atom()?);
+        }
+        self.eat(".");
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return self.error("trailing input after query");
+        }
+        let head_refs: Vec<&str> = head.iter().map(String::as_str).collect();
+        Ok(ConjunctiveQuery::new(name, head_refs, atoms))
+    }
+}
+
+/// Parse a conjunctive query from text.
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
+    Parser::new(input).query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_triangle() {
+        let q = parse_query("Q(x, y, z) :- R(x, y), S(y, z), T(z, x).").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.head, vec!["x", "y", "z"]);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.atoms[2].vars, vec!["z", "x"]);
+        assert!(!q.is_acyclic());
+    }
+
+    #[test]
+    fn parse_without_trailing_dot_and_empty_head() {
+        let q = parse_query("Q() :- R(x, a), S(x, b)").unwrap();
+        // Empty head defaults to all variables.
+        assert_eq!(q.head, vec!["x", "a", "b"]);
+    }
+
+    #[test]
+    fn parse_aliases_for_self_join() {
+        let q = parse_query("Q(x, u) :- M as s(x, u), M as t(u, x).").unwrap();
+        assert_eq!(q.atoms[0].relation, "M");
+        assert_eq!(q.atoms[0].alias, "s");
+        assert_eq!(q.atoms[1].alias, "t");
+    }
+
+    #[test]
+    fn parse_filters() {
+        let q = parse_query("Q(x, u) :- M as s(u, v) where w > 30 and v != 7, R(x, u).").unwrap();
+        let f = &q.atoms[0].filter;
+        match f {
+            Predicate::And(ps) => {
+                assert_eq!(ps.len(), 2);
+                assert_eq!(ps[0], Predicate::cmp_const("w", CmpOp::Gt, 30i64));
+                assert_eq!(ps[1], Predicate::cmp_const("v", CmpOp::Ne, 7i64));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert!(!q.atoms[1].has_filter());
+    }
+
+    #[test]
+    fn parse_column_to_column_filter() {
+        let q = parse_query("Q(u) :- M as t(u, v) where v = w.").unwrap();
+        assert_eq!(q.atoms[0].filter, Predicate::cmp_cols("v", CmpOp::Eq, "w"));
+    }
+
+    #[test]
+    fn parse_negative_constant() {
+        let q = parse_query("Q(x) :- R(x) where x >= -5.").unwrap();
+        assert_eq!(q.atoms[0].filter, Predicate::cmp_const("x", CmpOp::Ge, -5i64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("Q(x) : R(x)").is_err());
+        assert!(parse_query("Q(x) :- ").is_err());
+        assert!(parse_query("Q(x) :- R(x) extra").is_err());
+        assert!(parse_query("(x) :- R(x)").is_err());
+        assert!(parse_query("Q(x) :- R(x where y > 3)").is_err());
+        assert!(parse_query("Q(x) :- R(x) where > 3").is_err());
+        let err = parse_query("Q(x) :- R(1x)").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn round_trip_with_display() {
+        let text = "Q(x, y, z) :- R(x, y), S(y, z), T(z, x).";
+        let q = parse_query(text).unwrap();
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn keywords_are_not_greedy() {
+        // A relation called "andes" must not be mistaken for the "and" keyword.
+        let q = parse_query("Q(x) :- andes(x) where x > 1 and x < 9.").unwrap();
+        assert_eq!(q.atoms[0].relation, "andes");
+        match &q.atoms[0].filter {
+            Predicate::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+}

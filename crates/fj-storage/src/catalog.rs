@@ -1,0 +1,162 @@
+//! The catalog: a namespace of relations plus the shared string dictionary.
+
+use crate::dict::Dictionary;
+use crate::error::{StorageError, StorageResult};
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A collection of named relations.
+///
+/// Relations are stored behind `Arc` so that execution engines can hold cheap
+/// references while the catalog stays usable (e.g. to register materialized
+/// intermediates for bushy plans).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, Arc<Relation>>,
+    dict: Dictionary,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a relation under its own name. Fails if the name is taken.
+    pub fn add(&mut self, relation: Relation) -> StorageResult<()> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, Arc::new(relation));
+        Ok(())
+    }
+
+    /// Register a relation, replacing any existing relation with the same
+    /// name. Used for materialized intermediates in bushy plans, which are
+    /// recomputed per query.
+    pub fn add_or_replace(&mut self, relation: Relation) {
+        self.relations.insert(relation.name().to_string(), Arc::new(relation));
+    }
+
+    /// Remove a relation by name, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.remove(name)
+    }
+
+    /// Fetch a relation by name.
+    pub fn get(&self, name: &str) -> StorageResult<Arc<Relation>> {
+        self.relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Does a relation with this name exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of rows across all relations (useful in benchmarks to
+    /// report input sizes).
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(|r| r.num_rows()).sum()
+    }
+
+    /// Intern a string in the catalog dictionary and return it as a value.
+    pub fn intern(&mut self, s: &str) -> Value {
+        Value::Str(self.dict.intern(s))
+    }
+
+    /// Access the dictionary (read-only).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Access the dictionary mutably (for bulk loading).
+    pub fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+
+    fn rel(name: &str, rows: &[[i64; 2]]) -> Relation {
+        let mut b = RelationBuilder::new(name, Schema::all_int(&["a", "b"]));
+        for r in rows {
+            b.push_ints(r).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut cat = Catalog::new();
+        cat.add(rel("R", &[[1, 2]])).unwrap();
+        cat.add(rel("S", &[[2, 3], [3, 4]])).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("R").unwrap().num_rows(), 1);
+        assert_eq!(cat.get("S").unwrap().num_rows(), 2);
+        assert!(cat.get("T").is_err());
+        assert_eq!(cat.total_rows(), 3);
+    }
+
+    #[test]
+    fn duplicate_add_fails_but_replace_works() {
+        let mut cat = Catalog::new();
+        cat.add(rel("R", &[[1, 2]])).unwrap();
+        assert!(matches!(cat.add(rel("R", &[[9, 9]])), Err(StorageError::DuplicateRelation(_))));
+        cat.add_or_replace(rel("R", &[[9, 9], [8, 8]]));
+        assert_eq!(cat.get("R").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn remove_relation() {
+        let mut cat = Catalog::new();
+        cat.add(rel("R", &[[1, 2]])).unwrap();
+        assert!(cat.remove("R").is_some());
+        assert!(cat.remove("R").is_none());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn relation_names_sorted() {
+        let mut cat = Catalog::new();
+        cat.add(rel("zeta", &[])).unwrap();
+        cat.add(rel("alpha", &[])).unwrap();
+        assert_eq!(cat.relation_names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn intern_shares_dictionary() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("imdb");
+        let b = cat.intern("imdb");
+        let c = cat.intern("lsqb");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cat.dictionary().len(), 2);
+        assert_eq!(cat.dictionary().resolve(0), Some("imdb"));
+    }
+}

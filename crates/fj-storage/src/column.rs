@@ -1,0 +1,272 @@
+//! Typed column vectors.
+//!
+//! A [`Column`] stores one attribute of a relation as a contiguous vector.
+//! Integer and string columns are stored as `Vec<i64>` / `Vec<u32>` with an
+//! optional validity mask for NULLs; the mask is only allocated when the
+//! first NULL is pushed, so the common all-non-null case pays nothing.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::{DataType, Value};
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integer column. The second member is the validity mask:
+    /// `None` means all values are valid, otherwise `mask[i] == false` marks
+    /// row `i` as NULL.
+    Int64(Vec<i64>, Option<Vec<bool>>),
+    /// Dictionary-encoded string column with the same validity convention.
+    Str(Vec<u32>, Option<Vec<bool>>),
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int64 => Column::Int64(Vec::new(), None),
+            DataType::Str => Column::Str(Vec::new(), None),
+        }
+    }
+
+    /// Create an empty column with pre-allocated capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Self {
+        match data_type {
+            DataType::Int64 => Column::Int64(Vec::with_capacity(capacity), None),
+            DataType::Str => Column::Str(Vec::with_capacity(capacity), None),
+        }
+    }
+
+    /// Build an integer column from raw values (no NULLs).
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column::Int64(values, None)
+    }
+
+    /// Build a string column from dictionary ids (no NULLs).
+    pub fn from_str_ids(values: Vec<u32>) -> Self {
+        Column::Str(values, None)
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(..) => DataType::Int64,
+            Column::Str(..) => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v, _) => v.len(),
+            Column::Str(v, _) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Get the value at `row`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds; row indices come from offsets that
+    /// the engines generate themselves, so out-of-bounds is a bug.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int64(v, mask) => {
+                if mask.as_ref().is_some_and(|m| !m[row]) {
+                    Value::Null
+                } else {
+                    Value::Int(v[row])
+                }
+            }
+            Column::Str(v, mask) => {
+                if mask.as_ref().is_some_and(|m| !m[row]) {
+                    Value::Null
+                } else {
+                    Value::Str(v[row])
+                }
+            }
+        }
+    }
+
+    /// Append a value, checking its type.
+    pub fn push(&mut self, value: Value) -> StorageResult<()> {
+        match (self, value) {
+            (Column::Int64(v, mask), Value::Int(x)) => {
+                v.push(x);
+                if let Some(m) = mask {
+                    m.push(true);
+                }
+                Ok(())
+            }
+            (Column::Str(v, mask), Value::Str(x)) => {
+                v.push(x);
+                if let Some(m) = mask {
+                    m.push(true);
+                }
+                Ok(())
+            }
+            (col, Value::Null) => {
+                col.push_null();
+                Ok(())
+            }
+            (col, v) => Err(StorageError::TypeMismatch {
+                expected: col.data_type().name(),
+                found: v.data_type().map(|t| t.name()).unwrap_or("Null"),
+            }),
+        }
+    }
+
+    /// Append a NULL value.
+    pub fn push_null(&mut self) {
+        let len = self.len();
+        match self {
+            Column::Int64(v, mask) => {
+                let m = mask.get_or_insert_with(|| vec![true; len]);
+                v.push(0);
+                m.push(false);
+            }
+            Column::Str(v, mask) => {
+                let m = mask.get_or_insert_with(|| vec![true; len]);
+                v.push(0);
+                m.push(false);
+            }
+        }
+    }
+
+    /// Iterate over all values in the column.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Count the number of distinct non-null values (used by the optimizer's
+    /// statistics collector).
+    pub fn distinct_count(&self) -> usize {
+        use std::collections::HashSet;
+        let mut set: HashSet<Value> = HashSet::with_capacity(self.len().min(1 << 16));
+        for v in self.iter() {
+            if !v.is_null() {
+                set.insert(v);
+            }
+        }
+        set.len()
+    }
+
+    /// Minimum and maximum integer values, if this is a non-empty Int64
+    /// column with at least one non-null value.
+    pub fn int_min_max(&self) -> Option<(i64, i64)> {
+        match self {
+            Column::Int64(v, mask) => {
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                let mut any = false;
+                for (i, &x) in v.iter().enumerate() {
+                    if mask.as_ref().is_some_and(|m| !m[i]) {
+                        continue;
+                    }
+                    any = true;
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                if any {
+                    Some((min, max))
+                } else {
+                    None
+                }
+            }
+            Column::Str(..) => None,
+        }
+    }
+
+    /// Build a new column containing only the rows at `rows` (a gather).
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        let mut out = Column::with_capacity(self.data_type(), rows.len());
+        for &r in rows {
+            // push cannot fail: the value comes from a column of the same type.
+            out.push(self.get(r)).expect("gather type mismatch");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_ints() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Int(-2)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Int(-2));
+    }
+
+    #[test]
+    fn push_wrong_type_errors() {
+        let mut c = Column::new(DataType::Int64);
+        let err = c.push(Value::Str(0)).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn nulls_use_lazy_mask() {
+        let mut c = Column::from_i64(vec![10, 20]);
+        assert!(matches!(c, Column::Int64(_, None)));
+        c.push_null();
+        c.push(Value::Int(30)).unwrap();
+        assert_eq!(c.get(0), Value::Int(10));
+        assert_eq!(c.get(2), Value::Null);
+        assert_eq!(c.get(3), Value::Int(30));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn push_null_via_value() {
+        let mut c = Column::new(DataType::Str);
+        c.push(Value::Str(7)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(0), Value::Str(7));
+    }
+
+    #[test]
+    fn distinct_count_ignores_nulls() {
+        let mut c = Column::from_i64(vec![1, 2, 2, 3, 3, 3]);
+        c.push_null();
+        assert_eq!(c.distinct_count(), 3);
+    }
+
+    #[test]
+    fn int_min_max() {
+        let c = Column::from_i64(vec![5, -7, 3]);
+        assert_eq!(c.int_min_max(), Some((-7, 5)));
+        let s = Column::from_str_ids(vec![1, 2]);
+        assert_eq!(s.int_min_max(), None);
+        let empty = Column::new(DataType::Int64);
+        assert_eq!(empty.int_min_max(), None);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let c = Column::from_i64(vec![10, 11, 12, 13]);
+        let g = c.gather(&[3, 1, 1]);
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![Value::Int(13), Value::Int(11), Value::Int(11)]);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let c = Column::from_str_ids(vec![0, 4, 2]);
+        let collected: Vec<Value> = c.iter().collect();
+        assert_eq!(collected, vec![Value::Str(0), Value::Str(4), Value::Str(2)]);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let c = Column::with_capacity(DataType::Str, 100);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Minimal CSV import/export.
+//!
+//! The synthetic workloads are generated in-process, but a downstream user of
+//! the library will want to load their own data (e.g. the real IMDB dump for
+//! JOB). This module provides a small, dependency-free CSV reader/writer
+//! sufficient for that: comma separation, optional double-quote quoting with
+//! `""` escapes, and an optional header row.
+
+use crate::catalog::Catalog;
+use crate::error::{StorageError, StorageResult};
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Skip the first line (header).
+    pub has_header: bool,
+    /// Field delimiter.
+    pub delimiter: char,
+    /// Treat empty fields as NULL.
+    pub empty_as_null: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { has_header: true, delimiter: ',', empty_as_null: true }
+    }
+}
+
+/// Split one CSV line into fields, honouring double-quote quoting.
+fn split_line(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Parse CSV text into a relation with the given name and schema. String
+/// fields are interned into the catalog dictionary.
+pub fn read_csv<R: Read>(
+    reader: R,
+    name: &str,
+    schema: Schema,
+    catalog: &mut Catalog,
+    options: CsvOptions,
+) -> StorageResult<Relation> {
+    let buf = BufReader::new(reader);
+    let mut builder = RelationBuilder::new(name, schema.clone());
+    let mut line_no = 0usize;
+    for line in buf.lines() {
+        let line = line?;
+        line_no += 1;
+        if line_no == 1 && options.has_header {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(&line, options.delimiter);
+        if fields.len() != schema.arity() {
+            return Err(StorageError::Csv {
+                line: line_no,
+                message: format!("expected {} fields, found {}", schema.arity(), fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (field, spec) in fields.iter().zip(schema.fields()) {
+            if field.is_empty() && options.empty_as_null {
+                row.push(Value::Null);
+                continue;
+            }
+            let value = match spec.data_type {
+                DataType::Int64 => {
+                    let parsed = field.trim().parse::<i64>().map_err(|e| StorageError::Csv {
+                        line: line_no,
+                        message: format!("cannot parse {field:?} as Int64: {e}"),
+                    })?;
+                    Value::Int(parsed)
+                }
+                DataType::Str => catalog.intern(field),
+            };
+            row.push(value);
+        }
+        builder.push_row(row)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Load a CSV file from disk into the catalog.
+pub fn load_csv_file(
+    path: impl AsRef<Path>,
+    name: &str,
+    schema: Schema,
+    catalog: &mut Catalog,
+    options: CsvOptions,
+) -> StorageResult<()> {
+    let file = std::fs::File::open(path)?;
+    let relation = read_csv(file, name, schema, catalog, options)?;
+    catalog.add_or_replace(relation);
+    Ok(())
+}
+
+/// Write a relation as CSV (with header). String ids are resolved through the
+/// catalog dictionary; unknown ids are written as `str#<id>`.
+pub fn write_csv<W: Write>(writer: &mut W, relation: &Relation, catalog: &Catalog) -> StorageResult<()> {
+    let names = relation.schema().names();
+    writeln!(writer, "{}", names.join(","))?;
+    for row in relation.iter_rows() {
+        let rendered: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Int(x) => x.to_string(),
+                Value::Str(id) => catalog
+                    .dictionary()
+                    .resolve(*id)
+                    .map(|s| {
+                        if s.contains(',') || s.contains('"') {
+                            format!("\"{}\"", s.replace('"', "\"\""))
+                        } else {
+                            s.to_string()
+                        }
+                    })
+                    .unwrap_or_else(|| format!("str#{id}")),
+                Value::Null => String::new(),
+            })
+            .collect();
+        writeln!(writer, "{}", rendered.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    #[test]
+    fn split_plain_line() {
+        assert_eq!(split_line("1,2,3", ','), vec!["1", "2", "3"]);
+        assert_eq!(split_line("a,,c", ','), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn split_quoted_line() {
+        assert_eq!(split_line(r#""a,b",c"#, ','), vec!["a,b", "c"]);
+        assert_eq!(split_line(r#""say ""hi""",x"#, ','), vec![r#"say "hi""#, "x"]);
+    }
+
+    #[test]
+    fn read_simple_int_csv() {
+        let data = "a,b\n1,2\n3,4\n";
+        let mut cat = Catalog::new();
+        let rel = read_csv(
+            data.as_bytes(),
+            "R",
+            Schema::all_int(&["a", "b"]),
+            &mut cat,
+            CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rel.num_rows(), 2);
+        assert_eq!(rel.row(1), vec![Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn read_csv_with_strings_and_nulls() {
+        let data = "id,name\n1,alice\n2,\n3,bob\n";
+        let mut cat = Catalog::new();
+        let schema = Schema::new(vec![Field::int("id"), Field::str("name")]);
+        let rel = read_csv(data.as_bytes(), "people", schema, &mut cat, CsvOptions::default()).unwrap();
+        assert_eq!(rel.num_rows(), 3);
+        assert_eq!(rel.row(1)[1], Value::Null);
+        let alice = rel.row(0)[1];
+        assert_eq!(cat.dictionary().resolve(alice.as_str_id().unwrap()), Some("alice"));
+    }
+
+    #[test]
+    fn read_csv_rejects_bad_arity_and_bad_ints() {
+        let mut cat = Catalog::new();
+        let err = read_csv(
+            "a,b\n1\n".as_bytes(),
+            "R",
+            Schema::all_int(&["a", "b"]),
+            &mut cat,
+            CsvOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Csv { line: 2, .. }));
+
+        let err = read_csv(
+            "a\nxyz\n".as_bytes(),
+            "R",
+            Schema::all_int(&["a"]),
+            &mut cat,
+            CsvOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Csv { .. }));
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut cat = Catalog::new();
+        let schema = Schema::new(vec![Field::int("id"), Field::str("name")]);
+        let mut b = RelationBuilder::new("people", schema.clone());
+        let alice = cat.intern("alice, a");
+        b.push_row(vec![Value::Int(1), alice]).unwrap();
+        b.push_row(vec![Value::Int(2), Value::Null]).unwrap();
+        let rel = b.finish();
+
+        let mut out = Vec::new();
+        write_csv(&mut out, &rel, &cat).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("id,name\n"));
+
+        let rel2 = read_csv(text.as_bytes(), "people", schema, &mut cat, CsvOptions::default()).unwrap();
+        assert_eq!(rel2.num_rows(), 2);
+        assert_eq!(rel2.row(0)[0], Value::Int(1));
+        assert_eq!(rel2.row(1)[1], Value::Null);
+        // The re-read string resolves to the original text.
+        let id = rel2.row(0)[1].as_str_id().unwrap();
+        assert_eq!(cat.dictionary().resolve(id), Some("alice, a"));
+    }
+
+    #[test]
+    fn no_header_option() {
+        let mut cat = Catalog::new();
+        let rel = read_csv(
+            "5,6\n7,8\n".as_bytes(),
+            "R",
+            Schema::all_int(&["a", "b"]),
+            &mut cat,
+            CsvOptions { has_header: false, ..CsvOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(rel.num_rows(), 2);
+        assert_eq!(rel.row(0), vec![Value::Int(5), Value::Int(6)]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Dictionary encoding for strings.
+//!
+//! All string values in a [`crate::Catalog`] are interned into a single
+//! [`Dictionary`], so a string is represented everywhere by its `u32` id.
+//! Sharing the dictionary across relations means that equality of ids is
+//! equality of strings, which is the only operation joins require, and makes
+//! [`crate::Value`] a 16-byte `Copy` type.
+
+use std::collections::HashMap;
+
+/// An append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    strings: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its id. Repeated calls with the same string
+    /// return the same id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("dictionary overflow: more than u32::MAX distinct strings");
+        self.strings.push(s.to_string());
+        self.ids.insert(s.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned string without inserting it.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    /// Resolve an id back to its string.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        let a2 = d.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = Dictionary::new();
+        let id = d.intern("hello world");
+        assert_eq!(d.resolve(id), Some("hello world"));
+        assert_eq!(d.resolve(id + 100), None);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.lookup("missing"), None);
+        assert!(d.is_empty());
+        d.intern("present");
+        assert_eq!(d.lookup("present"), Some(0));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_insertion() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let id = d.intern(&format!("s{i}"));
+            assert_eq!(id, i as u32);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation was requested by name but does not exist in the catalog.
+    UnknownRelation(String),
+    /// A column was requested by name but is not part of the schema.
+    UnknownColumn { relation: String, column: String },
+    /// Columns of a relation do not all have the same length.
+    ColumnLengthMismatch { relation: String, expected: usize, found: usize },
+    /// A value of the wrong type was pushed into a typed column.
+    TypeMismatch { expected: &'static str, found: &'static str },
+    /// A relation with the same name already exists in the catalog.
+    DuplicateRelation(String),
+    /// Schema arity does not match the number of supplied columns or values.
+    ArityMismatch { expected: usize, found: usize },
+    /// CSV parsing failed.
+    Csv { line: usize, message: String },
+    /// An I/O error occurred (stringified to keep the error type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation: {name}"),
+            StorageError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column {column} in relation {relation}")
+            }
+            StorageError::ColumnLengthMismatch { relation, expected, found } => write!(
+                f,
+                "column length mismatch in relation {relation}: expected {expected}, found {found}"
+            ),
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation already exists: {name}")
+            }
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            StorageError::Csv { line, message } => {
+                write!(f, "CSV error at line {line}: {message}")
+            }
+            StorageError::Io(message) => write!(f, "I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(err: std::io::Error) -> Self {
+        StorageError::Io(err.to_string())
+    }
+}
+
+/// Convenience alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_relation() {
+        let err = StorageError::UnknownRelation("cast_info".to_string());
+        assert_eq!(err.to_string(), "unknown relation: cast_info");
+    }
+
+    #[test]
+    fn display_unknown_column() {
+        let err = StorageError::UnknownColumn {
+            relation: "title".to_string(),
+            column: "year".to_string(),
+        };
+        assert!(err.to_string().contains("year"));
+        assert!(err.to_string().contains("title"));
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let err = StorageError::TypeMismatch { expected: "Int64", found: "Str" };
+        assert!(err.to_string().contains("Int64"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: StorageError = io.into();
+        assert!(matches!(err, StorageError::Io(_)));
+    }
+}

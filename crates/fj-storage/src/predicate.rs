@@ -1,0 +1,329 @@
+//! Base-table selection predicates.
+//!
+//! The paper pushes selections down to the base tables (Section 2.1), so an
+//! atom in a conjunctive query may carry a filter over its relation. The
+//! execution engines evaluate the filter once per base table before the join
+//! phase, and the time spent doing so is reported separately from join time
+//! (matching the paper's measurement methodology).
+
+use crate::relation::Relation;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on two values. Comparisons involving NULL are
+    /// false (SQL three-valued logic collapsed to two values, which is enough
+    /// for WHERE-clause filtering).
+    pub fn eval(self, left: Value, right: Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        let ord = left.total_cmp(right);
+        match self {
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        }
+    }
+
+    /// Rough selectivity used by the cardinality estimator when no better
+    /// information is available.
+    pub fn default_selectivity(self) -> f64 {
+        match self {
+            CmpOp::Eq => 0.05,
+            CmpOp::Ne => 0.95,
+            _ => 0.33,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A predicate over the columns of a single relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (the neutral element for [`Predicate::and`]).
+    True,
+    /// `column <op> constant`
+    ColCmpConst { column: String, op: CmpOp, value: Value },
+    /// `column <op> column` (both in the same relation, e.g. `t.v = t.w`).
+    ColCmpCol { left: String, op: CmpOp, right: String },
+    /// `column IS NULL`
+    IsNull { column: String },
+    /// `column IS NOT NULL`
+    IsNotNull { column: String },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = constant`
+    pub fn eq_const(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::ColCmpConst { column: column.into(), op: CmpOp::Eq, value: value.into() }
+    }
+
+    /// `column <op> constant`
+    pub fn cmp_const(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::ColCmpConst { column: column.into(), op, value: value.into() }
+    }
+
+    /// `left <op> right` over two columns of the same relation.
+    pub fn cmp_cols(left: impl Into<String>, op: CmpOp, right: impl Into<String>) -> Self {
+        Predicate::ColCmpCol { left: left.into(), op, right: right.into() }
+    }
+
+    /// Conjunction of two predicates, flattening nested `And`s and dropping
+    /// `True`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), p) => {
+                a.push(p);
+                Predicate::And(a)
+            }
+            (p, Predicate::And(mut b)) => {
+                b.insert(0, p);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// All column names referenced by this predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::ColCmpConst { column, .. }
+            | Predicate::IsNull { column }
+            | Predicate::IsNotNull { column } => out.push(column),
+            Predicate::ColCmpCol { left, right, .. } => {
+                out.push(left);
+                out.push(right);
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Evaluate the predicate on row `row` of `relation`.
+    ///
+    /// # Panics
+    /// Panics if a referenced column is missing from the relation schema;
+    /// query validation (in `fj-query`) rejects such predicates up front.
+    pub fn eval(&self, relation: &Relation, row: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::ColCmpConst { column, op, value } => {
+                let idx = relation
+                    .schema()
+                    .index_of(column)
+                    .unwrap_or_else(|| panic!("predicate column {column} not in relation {}", relation.name()));
+                op.eval(relation.column(idx).get(row), *value)
+            }
+            Predicate::ColCmpCol { left, op, right } => {
+                let li = relation
+                    .schema()
+                    .index_of(left)
+                    .unwrap_or_else(|| panic!("predicate column {left} not in relation {}", relation.name()));
+                let ri = relation
+                    .schema()
+                    .index_of(right)
+                    .unwrap_or_else(|| panic!("predicate column {right} not in relation {}", relation.name()));
+                op.eval(relation.column(li).get(row), relation.column(ri).get(row))
+            }
+            Predicate::IsNull { column } => {
+                let idx = relation.schema().index_of(column).expect("predicate column missing");
+                relation.column(idx).get(row).is_null()
+            }
+            Predicate::IsNotNull { column } => {
+                let idx = relation.schema().index_of(column).expect("predicate column missing");
+                !relation.column(idx).get(row).is_null()
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(relation, row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(relation, row)),
+            Predicate::Not(p) => !p.eval(relation, row),
+        }
+    }
+
+    /// Estimated fraction of rows that satisfy the predicate, used by the
+    /// optimizer. This is a crude textbook heuristic, which is exactly what
+    /// the paper needs from its (good) cardinality estimator.
+    pub fn selectivity(&self) -> f64 {
+        match self {
+            Predicate::True => 1.0,
+            Predicate::ColCmpConst { op, .. } => op.default_selectivity(),
+            Predicate::ColCmpCol { op, .. } => op.default_selectivity(),
+            Predicate::IsNull { .. } => 0.05,
+            Predicate::IsNotNull { .. } => 0.95,
+            Predicate::And(ps) => ps.iter().map(Predicate::selectivity).product(),
+            Predicate::Or(ps) => {
+                let none: f64 = ps.iter().map(|p| 1.0 - p.selectivity()).product();
+                1.0 - none
+            }
+            Predicate::Not(p) => 1.0 - p.selectivity(),
+        }
+    }
+}
+
+impl Default for Predicate {
+    fn default() -> Self {
+        Predicate::True
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+
+    fn sample_relation() -> Relation {
+        let mut b = RelationBuilder::new("M", Schema::all_int(&["u", "v", "w"]));
+        b.push_row(vec![Value::Int(1), Value::Int(5), Value::Int(5)]).unwrap();
+        b.push_row(vec![Value::Int(2), Value::Int(3), Value::Int(40)]).unwrap();
+        b.push_row(vec![Value::Int(3), Value::Int(7), Value::Int(31)]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Eq.eval(Value::Int(3), Value::Int(3)));
+        assert!(CmpOp::Ne.eval(Value::Int(3), Value::Int(4)));
+        assert!(CmpOp::Lt.eval(Value::Int(3), Value::Int(4)));
+        assert!(CmpOp::Ge.eval(Value::Int(4), Value::Int(4)));
+        assert!(!CmpOp::Gt.eval(Value::Null, Value::Int(0)));
+        assert!(!CmpOp::Eq.eval(Value::Null, Value::Null));
+    }
+
+    #[test]
+    fn col_cmp_const_filters_rows() {
+        // The paper's running example: sigma_{w > 30}(M).
+        let rel = sample_relation();
+        let pred = Predicate::cmp_const("w", CmpOp::Gt, 30i64);
+        let matching: Vec<usize> = (0..rel.num_rows()).filter(|&i| pred.eval(&rel, i)).collect();
+        assert_eq!(matching, vec![1, 2]);
+    }
+
+    #[test]
+    fn col_cmp_col_filters_rows() {
+        // The paper's running example: sigma_{v = w}(M).
+        let rel = sample_relation();
+        let pred = Predicate::cmp_cols("v", CmpOp::Eq, "w");
+        let matching: Vec<usize> = (0..rel.num_rows()).filter(|&i| pred.eval(&rel, i)).collect();
+        assert_eq!(matching, vec![0]);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let rel = sample_relation();
+        let p = Predicate::cmp_const("u", CmpOp::Gt, 1i64).and(Predicate::cmp_const("w", CmpOp::Lt, 35i64));
+        let matching: Vec<usize> = (0..rel.num_rows()).filter(|&i| p.eval(&rel, i)).collect();
+        assert_eq!(matching, vec![2]);
+
+        let q = Predicate::Or(vec![
+            Predicate::eq_const("u", 1i64),
+            Predicate::eq_const("u", 3i64),
+        ]);
+        let matching: Vec<usize> = (0..rel.num_rows()).filter(|&i| q.eval(&rel, i)).collect();
+        assert_eq!(matching, vec![0, 2]);
+
+        let n = Predicate::Not(Box::new(q));
+        let matching: Vec<usize> = (0..rel.num_rows()).filter(|&i| n.eval(&rel, i)).collect();
+        assert_eq!(matching, vec![1]);
+    }
+
+    #[test]
+    fn and_flattens_and_drops_true() {
+        let p = Predicate::True.and(Predicate::eq_const("x", 1i64));
+        assert_eq!(p, Predicate::eq_const("x", 1i64));
+        let q = Predicate::eq_const("x", 1i64)
+            .and(Predicate::eq_const("y", 2i64))
+            .and(Predicate::eq_const("z", 3i64));
+        match q {
+            Predicate::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn columns_are_collected_and_deduped() {
+        let p = Predicate::cmp_cols("v", CmpOp::Eq, "w").and(Predicate::cmp_const("v", CmpOp::Gt, 0i64));
+        assert_eq!(p.columns(), vec!["v", "w"]);
+    }
+
+    #[test]
+    fn selectivity_is_in_unit_interval() {
+        let preds = [
+            Predicate::True,
+            Predicate::eq_const("x", 1i64),
+            Predicate::cmp_const("x", CmpOp::Gt, 1i64),
+            Predicate::Or(vec![Predicate::eq_const("x", 1i64), Predicate::eq_const("x", 2i64)]),
+            Predicate::Not(Box::new(Predicate::eq_const("x", 1i64))),
+        ];
+        for p in preds {
+            let s = p.selectivity();
+            assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range for {p:?}");
+        }
+    }
+
+    #[test]
+    fn null_handling() {
+        let mut b = RelationBuilder::new("N", Schema::all_int(&["a"]));
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        b.push_row(vec![Value::Null]).unwrap();
+        let rel = b.finish();
+        let is_null = Predicate::IsNull { column: "a".into() };
+        let not_null = Predicate::IsNotNull { column: "a".into() };
+        assert!(!is_null.eval(&rel, 0));
+        assert!(is_null.eval(&rel, 1));
+        assert!(not_null.eval(&rel, 0));
+        assert!(!not_null.eval(&rel, 1));
+    }
+}

@@ -1,0 +1,375 @@
+//! Columnar relations.
+
+use crate::column::Column;
+use crate::error::{StorageError, StorageResult};
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A named relation stored column-wise.
+///
+/// Rows are addressed by offset (`0..num_rows`); the join data structures in
+/// the engine crates (hash tables, tries, COLT) store these offsets rather
+/// than copies of tuples, exactly as the paper's COLT structure prescribes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Relation {
+    /// Create a relation from pre-built columns.
+    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> StorageResult<Self> {
+        let name = name.into();
+        if schema.arity() != columns.len() {
+            return Err(StorageError::ArityMismatch { expected: schema.arity(), found: columns.len() });
+        }
+        let num_rows = columns.first().map(Column::len).unwrap_or(0);
+        for c in &columns {
+            if c.len() != num_rows {
+                return Err(StorageError::ColumnLengthMismatch {
+                    relation: name,
+                    expected: num_rows,
+                    found: c.len(),
+                });
+            }
+        }
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.data_type != c.data_type() {
+                return Err(StorageError::TypeMismatch {
+                    expected: f.data_type.name(),
+                    found: c.data_type().name(),
+                });
+            }
+        }
+        Ok(Relation { name, schema, columns, num_rows })
+    }
+
+    /// An empty relation with the given schema.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::new(f.data_type)).collect();
+        Relation { name: name.into(), schema, columns, num_rows: 0 }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// The column at position `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The column with the given name.
+    pub fn column_by_name(&self, name: &str) -> StorageResult<&Column> {
+        let idx = self.schema.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
+            relation: self.name.clone(),
+            column: name.to_string(),
+        })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The full row at offset `row`.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// The values of the given column indices at offset `row` (a projected
+    /// row read, the hot path for key construction in the join engines).
+    pub fn row_projected(&self, row: usize, col_indices: &[usize]) -> Vec<Value> {
+        col_indices.iter().map(|&c| self.columns[c].get(row)).collect()
+    }
+
+    /// Iterate over all rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.num_rows).map(move |i| self.row(i))
+    }
+
+    /// Apply a selection predicate, producing a new relation containing only
+    /// the matching rows. Used to push selections down to base tables before
+    /// the join phase.
+    pub fn filter(&self, predicate: &Predicate) -> Relation {
+        if matches!(predicate, Predicate::True) {
+            return self.clone();
+        }
+        let rows: Vec<usize> = (0..self.num_rows).filter(|&i| predicate.eval(self, i)).collect();
+        self.gather(&rows)
+    }
+
+    /// Build a new relation from a subset of rows (in the given order).
+    pub fn gather(&self, rows: &[usize]) -> Relation {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.gather(rows)).collect();
+        Relation { name: self.name.clone(), schema: self.schema.clone(), columns, num_rows: rows.len() }
+    }
+
+    /// Project onto a subset of columns by name.
+    pub fn project(&self, names: &[&str]) -> StorageResult<Relation> {
+        let mut indices = Vec::with_capacity(names.len());
+        for n in names {
+            indices.push(self.schema.index_of(n).ok_or_else(|| StorageError::UnknownColumn {
+                relation: self.name.clone(),
+                column: n.to_string(),
+            })?);
+        }
+        let schema = self.schema.project(&indices);
+        let columns: Vec<Column> = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Ok(Relation { name: self.name.clone(), schema, columns, num_rows: self.num_rows })
+    }
+
+    /// Rename the relation (used when a query refers to the same base table
+    /// under several aliases — the paper's "rename one of them" treatment of
+    /// self-joins).
+    pub fn with_name(&self, name: impl Into<String>) -> Relation {
+        let mut out = self.clone();
+        out.name = name.into();
+        out
+    }
+
+    /// Sorted, deduplicated rows — useful for order-insensitive result
+    /// comparison in tests.
+    pub fn canonical_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = self.iter_rows().collect();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(*y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} [{} rows]", self.name, self.schema, self.num_rows)
+    }
+}
+
+/// An incremental builder for [`Relation`], accepting rows one at a time.
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl RelationBuilder {
+    /// Start building a relation with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::new(f.data_type)).collect();
+        RelationBuilder { name: name.into(), schema, columns }
+    }
+
+    /// Start building with pre-allocated row capacity.
+    pub fn with_capacity(name: impl Into<String>, schema: Schema, capacity: usize) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.data_type, capacity))
+            .collect();
+        RelationBuilder { name: name.into(), schema, columns }
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: Vec<Value>) -> StorageResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch { expected: self.schema.arity(), found: row.len() });
+        }
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Append a row of integers (convenience for the synthetic workloads,
+    /// whose columns are all Int64).
+    pub fn push_ints(&mut self, row: &[i64]) -> StorageResult<()> {
+        self.push_row(row.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.columns.first().map(Column::len).unwrap_or(0)
+    }
+
+    /// True when no rows were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Relation {
+        let num_rows = self.columns.first().map(Column::len).unwrap_or(0);
+        Relation { name: self.name, schema: self.schema, columns: self.columns, num_rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::schema::Field;
+
+    fn edges() -> Relation {
+        let mut b = RelationBuilder::new("E", Schema::all_int(&["src", "dst"]));
+        for (s, d) in [(1, 2), (2, 3), (3, 1), (1, 3)] {
+            b.push_ints(&[s, d]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_read_rows() {
+        let r = edges();
+        assert_eq!(r.num_rows(), 4);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.row(2), vec![Value::Int(3), Value::Int(1)]);
+        assert_eq!(r.row_projected(3, &[1]), vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn new_validates_column_lengths() {
+        let schema = Schema::all_int(&["a", "b"]);
+        let err = Relation::new(
+            "bad",
+            schema,
+            vec![Column::from_i64(vec![1, 2]), Column::from_i64(vec![1])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::ColumnLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn new_validates_arity_and_types() {
+        let schema = Schema::all_int(&["a", "b"]);
+        let err = Relation::new("bad", schema.clone(), vec![Column::from_i64(vec![1])]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+
+        let schema2 = Schema::new(vec![Field::int("a"), Field::str("b")]);
+        let err = Relation::new(
+            "bad",
+            schema2,
+            vec![Column::from_i64(vec![1]), Column::from_i64(vec![2])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let r = edges();
+        let filtered = r.filter(&Predicate::cmp_const("src", CmpOp::Eq, 1i64));
+        assert_eq!(filtered.num_rows(), 2);
+        assert_eq!(filtered.canonical_rows(), vec![
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(1), Value::Int(3)],
+        ]);
+        // True predicate is a no-op clone.
+        assert_eq!(r.filter(&Predicate::True).num_rows(), 4);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let r = edges();
+        let p = r.project(&["dst"]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.num_rows(), 4);
+        assert_eq!(p.row(0), vec![Value::Int(2)]);
+        assert!(r.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn gather_reorders_rows() {
+        let r = edges();
+        let g = r.gather(&[2, 0]);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.row(0), vec![Value::Int(3), Value::Int(1)]);
+        assert_eq!(g.row(1), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn column_by_name() {
+        let r = edges();
+        assert_eq!(r.column_by_name("dst").unwrap().get(1), Value::Int(3));
+        assert!(r.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn with_name_renames() {
+        let r = edges().with_name("E2");
+        assert_eq!(r.name(), "E2");
+        assert_eq!(r.num_rows(), 4);
+    }
+
+    #[test]
+    fn builder_arity_check() {
+        let mut b = RelationBuilder::new("R", Schema::all_int(&["a", "b"]));
+        assert!(b.push_ints(&[1]).is_err());
+        assert!(b.push_ints(&[1, 2]).is_ok());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty("R", Schema::all_int(&["a"]));
+        assert!(r.is_empty());
+        assert_eq!(r.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn display_contains_name_and_rows() {
+        let r = edges();
+        let s = r.to_string();
+        assert!(s.contains('E'));
+        assert!(s.contains("4 rows"));
+    }
+
+    #[test]
+    fn canonical_rows_sorted() {
+        let r = edges();
+        let rows = r.canonical_rows();
+        for w in rows.windows(2) {
+            let a = &w[0];
+            let b = &w[1];
+            let le = a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(*y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal);
+            assert_ne!(le, std::cmp::Ordering::Greater);
+        }
+    }
+}

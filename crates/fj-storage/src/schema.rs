@@ -1,0 +1,148 @@
+//! Relation schemas.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, typed column in a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Create a new field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+
+    /// Shorthand for an `Int64` field.
+    pub fn int(name: impl Into<String>) -> Self {
+        Field::new(name, DataType::Int64)
+    }
+
+    /// Shorthand for a `Str` field.
+    pub fn str(name: impl Into<String>) -> Self {
+        Field::new(name, DataType::Str)
+    }
+}
+
+/// An ordered list of fields describing the columns of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from a list of fields.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name; schemas are small and constructed
+    /// by hand, so this is a programming error rather than a runtime error.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[i + 1..] {
+                assert_ne!(f.name, g.name, "duplicate column name {:?} in schema", f.name);
+            }
+        }
+        Schema { fields }
+    }
+
+    /// A schema where every column is `Int64`, the common case for the
+    /// synthetic workloads.
+    pub fn all_int(names: &[&str]) -> Self {
+        Schema::new(names.iter().map(|n| Field::int(*n)).collect())
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Build a new schema by selecting a subset of the columns (projection).
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_of_finds_columns() {
+        let schema = Schema::all_int(&["x", "y", "z"]);
+        assert_eq!(schema.index_of("x"), Some(0));
+        assert_eq!(schema.index_of("z"), Some(2));
+        assert_eq!(schema.index_of("w"), None);
+        assert_eq!(schema.arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::all_int(&["x", "x"]);
+    }
+
+    #[test]
+    fn project_selects_subset() {
+        let schema = Schema::new(vec![Field::int("a"), Field::str("b"), Field::int("c")]);
+        let p = schema.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert_eq!(p.field(1).data_type, DataType::Int64);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let schema = Schema::new(vec![Field::int("id"), Field::str("name")]);
+        assert_eq!(schema.to_string(), "(id: Int64, name: Str)");
+    }
+
+    #[test]
+    fn empty_schema() {
+        let schema = Schema::default();
+        assert!(schema.is_empty());
+        assert_eq!(schema.arity(), 0);
+    }
+}

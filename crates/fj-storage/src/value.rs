@@ -1,0 +1,213 @@
+//! Atomic data values and their types.
+//!
+//! A [`Value`] is deliberately tiny (`Copy`, 16 bytes) so that tuples can be
+//! assembled and hashed cheaply during join execution. Strings are
+//! dictionary-encoded: the [`crate::Dictionary`] owned by the
+//! [`crate::Catalog`] maps each distinct string to a `u32` id, and values
+//! carry only the id. Because the dictionary is shared across all relations
+//! in a catalog, equality of `Value::Str` ids coincides with equality of the
+//! underlying strings, which is all a join needs.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Int64,
+    /// Dictionary-encoded strings.
+    Str,
+}
+
+impl DataType {
+    /// Human readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "Int64",
+            DataType::Str => "Str",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An atomic value stored in a relation.
+///
+/// `Null` compares equal to itself (so it can live in hash keys) but never
+/// joins: the execution engines skip null join keys, matching SQL semantics
+/// for equi-joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A dictionary-encoded string id.
+    Str(u32),
+    /// The SQL NULL value.
+    Null,
+}
+
+impl Value {
+    /// The data type of this value, or `None` for NULL.
+    pub fn data_type(self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Null => None,
+        }
+    }
+
+    /// Is this the NULL value?
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an integer, if this is one.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract a string id, if this is one.
+    pub fn as_str_id(self) -> Option<u32> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A total order used for sorting and for deterministic test output.
+    ///
+    /// NULLs sort first, integers before strings, and strings by dictionary
+    /// id (i.e. insertion order, not lexicographic — sufficient for
+    /// determinism, not for ORDER BY semantics, which this library does not
+    /// provide).
+    pub fn total_cmp(self, other: Value) -> Ordering {
+        fn rank(v: Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(&b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(&b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(id) => write!(f, "str#{id}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn value_size_is_small() {
+        // Values are hashed and copied constantly during joins; keep them lean.
+        assert!(std::mem::size_of::<Value>() <= 16);
+    }
+
+    #[test]
+    fn data_type_of_values() {
+        assert_eq!(Value::Int(3).data_type(), Some(DataType::Int64));
+        assert_eq!(Value::Str(0).data_type(), Some(DataType::Str));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn null_checks() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn as_int_and_str() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Str(7).as_int(), None);
+        assert_eq!(Value::Str(9).as_str_id(), Some(9));
+        assert_eq!(Value::Int(9).as_str_id(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(5u32), Value::Int(5));
+        assert_eq!(Value::from(5usize), Value::Int(5));
+    }
+
+    #[test]
+    fn values_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Int(1));
+        set.insert(Value::Str(1));
+        set.insert(Value::Null);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn total_cmp_orders_types() {
+        assert_eq!(Value::Null.total_cmp(Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(i64::MAX).total_cmp(Value::Str(0)), Ordering::Less);
+        assert_eq!(Value::Int(2).total_cmp(Value::Int(10)), Ordering::Less);
+        assert_eq!(Value::Str(2).total_cmp(Value::Str(2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Str(3).to_string(), "str#3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn type_name_display() {
+        assert_eq!(DataType::Int64.to_string(), "Int64");
+        assert_eq!(DataType::Str.to_string(), "Str");
+    }
+}

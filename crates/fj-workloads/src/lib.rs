@@ -1,0 +1,31 @@
+//! # fj-workloads
+//!
+//! Synthetic workload generators for the Free Join reproduction.
+//!
+//! The paper evaluates on the Join Order Benchmark (JOB, over the IMDB
+//! dataset) and on LSQB (over LDBC-style synthetic social-network data).
+//! Neither dataset can be redistributed with this repository, so this crate
+//! generates *shape-preserving* synthetic stand-ins:
+//!
+//! * [`job`] — an IMDB-shaped schema (title, cast_info, movie_companies,
+//!   movie_info, movie_keyword, ...) populated with Zipf-skewed
+//!   many-to-many foreign keys, plus a suite of acyclic multi-join queries
+//!   mirroring JOB's structure — including a `q13a`-like query whose first
+//!   joins are all many-to-many on the same attribute, the paper's headline
+//!   pathological case.
+//! * [`lsqb`] — an LDBC-shaped social graph (person, knows, city, tag,
+//!   message, ...) parameterized by a scale factor, with the first five LSQB
+//!   queries (cyclic q1–q3, star q4, path q5).
+//! * [`micro`] — the paper's own micro examples: the clover instance of
+//!   Figure 3, skewed triangles, chains and stars.
+//!
+//! All generators are deterministic given a seed, so benchmark runs are
+//! reproducible.
+
+pub mod job;
+pub mod lsqb;
+pub mod micro;
+pub mod skew;
+pub mod suite;
+
+pub use suite::{NamedQuery, Workload};

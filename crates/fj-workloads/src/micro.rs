@@ -1,0 +1,209 @@
+//! Micro workloads: the paper's own running examples.
+//!
+//! * [`clover`] — the clover query Q♣ over the adversarial instance of
+//!   Figure 3, where the first two joins explode to n² tuples that the third
+//!   join discards. This is the instance the paper uses to motivate plan
+//!   factorization (Section 4.1).
+//! * [`skewed_triangle`] — the triangle query Q△ over a graph with a
+//!   Zipf-skewed degree distribution, the canonical case where worst-case
+//!   optimal joins beat binary plans.
+//! * [`chain`] / [`star`] — acyclic shapes used by the ablation benches.
+
+use crate::skew::{seeded_rng, Zipf};
+use crate::suite::{NamedQuery, Workload};
+use fj_query::{Aggregate, Atom, ConjunctiveQuery, QueryBuilder};
+use fj_storage::{Catalog, RelationBuilder, Schema};
+use rand::Rng;
+
+/// The paper's clover instance (Figure 3) with parameter `n`:
+///
+/// * `R = {(x0,a0)} ∪ {(x1,a_i^l), (x2,a_i^r)}`
+/// * `S = {(x0,b0)} ∪ {(x2,b_i^l), (x3,b_i^r)}`
+/// * `T = {(x0,c0)} ∪ {(x3,c_i^l), (x1,c_i^r)}`
+///
+/// The only output tuple of `Q♣(x,a,b,c) :- R(x,a), S(x,b), T(x,c)` is
+/// `(x0, a0, b0, c0)`, but the naive binary plan materializes n² pairs.
+pub fn clover(n: i64) -> Workload {
+    let (x0, x1, x2, x3) = (0i64, 1, 2, 3);
+    let mut catalog = Catalog::new();
+
+    let spec: [(&str, i64, i64, i64); 3] =
+        [("R", x0, x1, x2), ("S", x0, x2, x3), ("T", x0, x3, x1)];
+    for (idx, (name, hub, left, right)) in spec.into_iter().enumerate() {
+        let value_base = 1000 * (idx as i64 + 1);
+        let col = ["a", "b", "c"][idx];
+        let mut b = RelationBuilder::new(name, Schema::all_int(&["x", col]));
+        b.push_ints(&[hub, value_base]).unwrap();
+        for i in 1..=n {
+            b.push_ints(&[left, value_base + i]).unwrap();
+            b.push_ints(&[right, value_base + n + i]).unwrap();
+        }
+        catalog.add(b.finish()).unwrap();
+    }
+
+    let query = QueryBuilder::new("clover")
+        .atom("R", &["x", "a"])
+        .atom("S", &["x", "b"])
+        .atom("T", &["x", "c"])
+        .count()
+        .build();
+    Workload::new(format!("clover n={n}"), catalog, vec![NamedQuery::new("clover", query)])
+}
+
+/// The triangle query over a random graph with `nodes` vertices,
+/// `edges_per_node` average out-degree and Zipf-skewed destination choice
+/// (`theta`). All three atoms read the same edge relation under different
+/// aliases, exercising the paper's self-join renaming.
+pub fn skewed_triangle(nodes: usize, edges_per_node: usize, theta: f64, seed: u64) -> Workload {
+    let mut rng = seeded_rng("triangle", seed);
+    let zipf = Zipf::new(nodes, theta);
+    let mut catalog = Catalog::new();
+    let mut edge = RelationBuilder::new("edge", Schema::all_int(&["src", "dst"]));
+    for src in 0..nodes {
+        for _ in 0..edges_per_node {
+            let dst = zipf.sample(&mut rng);
+            if dst != src {
+                edge.push_ints(&[src as i64, dst as i64]).unwrap();
+            }
+        }
+    }
+    catalog.add(edge.finish()).unwrap();
+
+    let query = ConjunctiveQuery::new(
+        "triangle",
+        vec![],
+        vec![
+            Atom::with_alias("edge", "e1", vec!["x", "y"]),
+            Atom::with_alias("edge", "e2", vec!["y", "z"]),
+            Atom::with_alias("edge", "e3", vec!["z", "x"]),
+        ],
+    )
+    .with_aggregate(Aggregate::Count);
+    Workload::new(
+        format!("triangle nodes={nodes} epn={edges_per_node} theta={theta}"),
+        catalog,
+        vec![NamedQuery::new("triangle", query)],
+    )
+}
+
+/// A chain query `R1(v0,v1) ⋈ R2(v1,v2) ⋈ ... ⋈ Rk(v_{k-1},v_k)` over `k`
+/// relations with `rows` rows each and join keys drawn uniformly from a
+/// domain of `domain` values.
+pub fn chain(k: usize, rows: usize, domain: i64, seed: u64) -> Workload {
+    assert!(k >= 1, "chain needs at least one relation");
+    let mut catalog = Catalog::new();
+    let mut atoms = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut rng = seeded_rng(&format!("chain-{i}"), seed);
+        let name = format!("C{i}");
+        let cols = [format!("v{i}"), format!("v{}", i + 1)];
+        let mut b = RelationBuilder::new(&name, Schema::all_int(&[cols[0].as_str(), cols[1].as_str()]));
+        for _ in 0..rows {
+            b.push_ints(&[rng.random_range(0..domain), rng.random_range(0..domain)]).unwrap();
+        }
+        catalog.add(b.finish()).unwrap();
+        atoms.push(Atom {
+            alias: name.clone(),
+            relation: name,
+            vars: cols.to_vec(),
+            filter: fj_storage::Predicate::True,
+        });
+    }
+    let query = ConjunctiveQuery::new("chain", vec![], atoms).with_aggregate(Aggregate::Count);
+    Workload::new(format!("chain k={k} rows={rows}"), catalog, vec![NamedQuery::new("chain", query)])
+}
+
+/// A star query `Hub(x, a1), Spoke1(x, b1), ..., Spoke_k(x, b_k)` with a
+/// Zipf-skewed hub attribute — the generalization of the clover query that
+/// drives the factorized-output experiments.
+pub fn star(spokes: usize, rows: usize, hub_domain: usize, theta: f64, seed: u64) -> Workload {
+    assert!(spokes >= 1, "star needs at least one spoke");
+    let mut catalog = Catalog::new();
+    let zipf = Zipf::new(hub_domain, theta);
+    let mut atoms = Vec::new();
+
+    let mut hub_rng = seeded_rng("star-hub", seed);
+    let mut hub = RelationBuilder::new("hub", Schema::all_int(&["x", "h"]));
+    for i in 0..rows {
+        hub.push_ints(&[zipf.sample(&mut hub_rng) as i64, i as i64]).unwrap();
+    }
+    catalog.add(hub.finish()).unwrap();
+    atoms.push(Atom::new("hub", vec!["x", "h"]));
+
+    for s in 0..spokes {
+        let mut rng = seeded_rng(&format!("star-spoke-{s}"), seed);
+        let name = format!("spoke{s}");
+        let col = format!("s{s}");
+        let mut b = RelationBuilder::new(&name, Schema::all_int(&["x", col.as_str()]));
+        for i in 0..rows {
+            b.push_ints(&[zipf.sample(&mut rng) as i64, (1000 * (s + 1) + i) as i64]).unwrap();
+        }
+        catalog.add(b.finish()).unwrap();
+        atoms.push(Atom {
+            alias: name.clone(),
+            relation: name,
+            vars: vec!["x".to_string(), col],
+            filter: fj_storage::Predicate::True,
+        });
+    }
+
+    let query = ConjunctiveQuery::new("star", vec![], atoms).with_aggregate(Aggregate::Count);
+    Workload::new(
+        format!("star spokes={spokes} rows={rows} theta={theta}"),
+        catalog,
+        vec![NamedQuery::new("star", query)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clover_instance_matches_paper_shape() {
+        let n = 10;
+        let w = clover(n);
+        w.validate().unwrap();
+        assert_eq!(w.catalog.get("R").unwrap().num_rows() as i64, 2 * n + 1);
+        assert_eq!(w.catalog.get("S").unwrap().num_rows() as i64, 2 * n + 1);
+        assert_eq!(w.catalog.get("T").unwrap().num_rows() as i64, 2 * n + 1);
+        assert!(!w.queries[0].cyclic, "the clover query is acyclic");
+    }
+
+    #[test]
+    fn skewed_triangle_generates_connected_query() {
+        let w = skewed_triangle(100, 4, 1.0, 7);
+        w.validate().unwrap();
+        assert!(w.queries[0].cyclic);
+        assert!(w.catalog.get("edge").unwrap().num_rows() > 100);
+        // Determinism.
+        let w2 = skewed_triangle(100, 4, 1.0, 7);
+        assert_eq!(
+            w.catalog.get("edge").unwrap().canonical_rows(),
+            w2.catalog.get("edge").unwrap().canonical_rows()
+        );
+    }
+
+    #[test]
+    fn chain_and_star_are_valid_and_acyclic() {
+        let c = chain(5, 50, 20, 11);
+        c.validate().unwrap();
+        assert!(!c.queries[0].cyclic);
+        assert_eq!(c.queries[0].query.num_atoms(), 5);
+
+        let s = star(4, 60, 10, 0.8, 13);
+        s.validate().unwrap();
+        assert!(!s.queries[0].cyclic);
+        assert_eq!(s.queries[0].query.num_atoms(), 5);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = skewed_triangle(50, 3, 1.0, 1);
+        let b = skewed_triangle(50, 3, 1.0, 2);
+        assert_ne!(
+            a.catalog.get("edge").unwrap().canonical_rows(),
+            b.catalog.get("edge").unwrap().canonical_rows()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Workload containers shared by the benchmark harness and the examples.
+
+use fj_query::ConjunctiveQuery;
+use fj_storage::Catalog;
+
+/// A query with a benchmark-facing name (e.g. `"q13a_like"`).
+#[derive(Debug, Clone)]
+pub struct NamedQuery {
+    /// Benchmark name of the query.
+    pub name: String,
+    /// The query itself.
+    pub query: ConjunctiveQuery,
+    /// Whether the query is cyclic (precomputed for reporting).
+    pub cyclic: bool,
+}
+
+impl NamedQuery {
+    /// Wrap a query, computing its cyclicity.
+    pub fn new(name: impl Into<String>, query: ConjunctiveQuery) -> Self {
+        let cyclic = !query.is_acyclic();
+        NamedQuery { name: name.into(), query, cyclic }
+    }
+}
+
+/// A dataset plus the queries that run over it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (e.g. `"job-like"`, `"lsqb-like sf=0.3"`).
+    pub name: String,
+    /// The generated relations.
+    pub catalog: Catalog,
+    /// The benchmark queries.
+    pub queries: Vec<NamedQuery>,
+}
+
+impl Workload {
+    /// Create a workload.
+    pub fn new(name: impl Into<String>, catalog: Catalog, queries: Vec<NamedQuery>) -> Self {
+        Workload { name: name.into(), catalog, queries }
+    }
+
+    /// Find a query by name.
+    pub fn query(&self, name: &str) -> Option<&NamedQuery> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// Total number of input rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.catalog.total_rows()
+    }
+
+    /// Validate every query against the catalog (used by tests to keep the
+    /// generators honest).
+    pub fn validate(&self) -> Result<(), String> {
+        for q in &self.queries {
+            q.query
+                .validate(&self.catalog)
+                .map_err(|e| format!("query {} is invalid: {e}", q.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_query::QueryBuilder;
+    use fj_storage::{RelationBuilder, Schema};
+
+    #[test]
+    fn named_query_detects_cyclicity() {
+        let tri = QueryBuilder::new("t")
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .atom("T", &["z", "x"])
+            .build();
+        assert!(NamedQuery::new("t", tri).cyclic);
+        let chain = QueryBuilder::new("c").atom("R", &["x", "y"]).atom("S", &["y", "z"]).build();
+        assert!(!NamedQuery::new("c", chain).cyclic);
+    }
+
+    #[test]
+    fn workload_lookup_and_validation() {
+        let mut cat = Catalog::new();
+        let mut r = RelationBuilder::new("R", Schema::all_int(&["x", "y"]));
+        r.push_ints(&[1, 2]).unwrap();
+        cat.add(r.finish()).unwrap();
+        let q = QueryBuilder::new("scan").atom("R", &["x", "y"]).build();
+        let w = Workload::new("tiny", cat, vec![NamedQuery::new("scan", q)]);
+        assert!(w.query("scan").is_some());
+        assert!(w.query("missing").is_none());
+        assert_eq!(w.total_rows(), 1);
+        w.validate().unwrap();
+
+        // A workload with a broken query fails validation.
+        let bad_q = QueryBuilder::new("bad").atom("Nope", &["x"]).build();
+        let bad = Workload::new("bad", w.catalog.clone(), vec![NamedQuery::new("bad", bad_q)]);
+        assert!(bad.validate().is_err());
+    }
+}

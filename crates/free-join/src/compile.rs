@@ -1,0 +1,293 @@
+//! Plan compilation: turning a [`FreeJoinPlan`] into the slot-addressed form
+//! the executor runs.
+//!
+//! The executor keeps a single tuple buffer whose slots correspond to the
+//! *binding order* — every query variable, in the order it is first bound by
+//! the plan's nodes. Compilation resolves, once per query, everything the hot
+//! loop needs:
+//!
+//! * for every subatom, the trie level it addresses and the tuple slots that
+//!   make up its probe key;
+//! * for every cover candidate, how its iterated key writes into (or must be
+//!   checked against) the tuple buffer;
+//! * which subatom is the last one of its input (its probe result contributes
+//!   a bag-semantics multiplicity rather than a new trie position);
+//! * from which node onward the remaining plan is a chain of independent
+//!   expansions, enabling the factorized-output shortcut (Section 4.4).
+
+use crate::error::{EngineError, EngineResult};
+use fj_plan::FreeJoinPlan;
+use std::collections::HashMap;
+
+/// What to do with one position of an iterated cover key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterAction {
+    /// The key value at this position binds a new variable: write it to the
+    /// given tuple slot.
+    Write { key_pos: usize, slot: usize },
+    /// The key value at this position re-binds an already-bound variable:
+    /// skip the iteration entry unless it matches the given tuple slot.
+    Check { key_pos: usize, slot: usize },
+}
+
+/// A compiled subatom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSubatom {
+    /// The pipeline input this subatom belongs to.
+    pub input: usize,
+    /// The trie level this subatom addresses (its position among the input's
+    /// subatoms in plan order).
+    pub level: usize,
+    /// Tuple slots forming the probe key, one per subatom variable.
+    pub key_slots: Vec<usize>,
+    /// Actions to apply when this subatom is iterated as the cover.
+    pub iter_actions: Vec<IterAction>,
+    /// Is this the input's final subatom in the plan? If so, the node
+    /// reached after it carries the input's remaining multiplicity.
+    pub final_for_input: bool,
+}
+
+/// A compiled plan node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledNode {
+    /// The node's subatoms in plan order.
+    pub subatoms: Vec<CompiledSubatom>,
+    /// Indices (into `subatoms`) of the cover candidates — subatoms that bind
+    /// every new variable of the node. Non-empty for valid plans.
+    pub cover_candidates: Vec<usize>,
+    /// Number of tuple slots bound before this node runs.
+    pub bound_before: usize,
+    /// Number of tuple slots bound after this node completes.
+    pub bound_after: usize,
+    /// True when this node and every following node consist of a single
+    /// subatom that is final for its (distinct) input and binds only new
+    /// variables — the remaining plan is then a Cartesian product of
+    /// independent expansions whose size can be computed without enumeration.
+    pub independent_tail: bool,
+}
+
+/// A fully compiled pipeline plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPlan {
+    /// Every query variable in the order it is bound (tuple slot order).
+    pub binding_order: Vec<String>,
+    /// Compiled nodes, in execution order.
+    pub nodes: Vec<CompiledNode>,
+    /// Number of pipeline inputs.
+    pub num_inputs: usize,
+    /// The GHT schema of every input, as used to build its trie.
+    pub schemas: Vec<Vec<Vec<String>>>,
+}
+
+/// Compile a validated Free Join plan over the given input variable lists.
+pub fn compile(plan: &FreeJoinPlan, input_vars: &[Vec<String>]) -> EngineResult<CompiledPlan> {
+    plan.validate(input_vars).map_err(EngineError::Plan)?;
+
+    let num_inputs = input_vars.len();
+    let schemas = plan.ght_schemas(input_vars);
+
+    // Total number of subatoms per input, to mark final subatoms.
+    let mut subatom_totals = vec![0usize; num_inputs];
+    for node in &plan.nodes {
+        for s in &node.subatoms {
+            subatom_totals[s.input] += 1;
+        }
+    }
+
+    let mut slot_of: HashMap<String, usize> = HashMap::new();
+    let mut binding_order: Vec<String> = Vec::new();
+    let mut seen_per_input = vec![0usize; num_inputs];
+    let mut nodes = Vec::with_capacity(plan.len());
+
+    for (k, node) in plan.nodes.iter().enumerate() {
+        let bound_before = binding_order.len();
+        // Assign slots to the node's new variables in the order they appear
+        // across its subatoms (cover first).
+        for v in node.vars() {
+            if !slot_of.contains_key(&v) {
+                slot_of.insert(v.clone(), binding_order.len());
+                binding_order.push(v);
+            }
+        }
+        let bound_after = binding_order.len();
+
+        let mut subatoms = Vec::with_capacity(node.subatoms.len());
+        for s in &node.subatoms {
+            let level = seen_per_input[s.input];
+            seen_per_input[s.input] += 1;
+            let final_for_input = seen_per_input[s.input] == subatom_totals[s.input];
+            let key_slots: Vec<usize> = s.vars.iter().map(|v| slot_of[v]).collect();
+            let iter_actions: Vec<IterAction> = s
+                .vars
+                .iter()
+                .enumerate()
+                .map(|(key_pos, v)| {
+                    let slot = slot_of[v];
+                    if slot >= bound_before {
+                        IterAction::Write { key_pos, slot }
+                    } else {
+                        IterAction::Check { key_pos, slot }
+                    }
+                })
+                .collect();
+            subatoms.push(CompiledSubatom { input: s.input, level, key_slots, iter_actions, final_for_input });
+        }
+
+        // Cover candidates: subatoms that bind every new variable of the node.
+        let cover_candidates = plan.covers(k);
+
+        nodes.push(CompiledNode {
+            subatoms,
+            cover_candidates,
+            bound_before,
+            bound_after,
+            independent_tail: false, // filled below
+        });
+    }
+
+    // Mark independent tails, scanning from the back.
+    let mut tail_ok = true;
+    let mut seen_inputs = std::collections::BTreeSet::new();
+    for k in (0..nodes.len()).rev() {
+        let node = &nodes[k];
+        let single_expansion = node.subatoms.len() == 1
+            && node.subatoms[0].final_for_input
+            && node
+                .subatoms[0]
+                .iter_actions
+                .iter()
+                .all(|a| matches!(a, IterAction::Write { .. }))
+            && seen_inputs.insert(node.subatoms[0].input);
+        tail_ok = tail_ok && single_expansion;
+        nodes[k].independent_tail = tail_ok;
+    }
+
+    Ok(CompiledPlan { binding_order, nodes, num_inputs, schemas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_plan::{binary2fj, factor, fj_plan_from_var_order};
+
+    fn vars(lists: &[&[&str]]) -> Vec<Vec<String>> {
+        lists.iter().map(|l| l.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn compile_clover_binary_plan() {
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"]]);
+        let plan = binary2fj(&iv);
+        let compiled = compile(&plan, &iv).unwrap();
+        assert_eq!(compiled.binding_order, vec!["x", "a", "b", "c"]);
+        assert_eq!(compiled.num_inputs, 3);
+        assert_eq!(compiled.nodes.len(), 3);
+
+        // Node 0: cover R(x,a) writes slots 0 and 1; probe S(x) keys slot 0.
+        let n0 = &compiled.nodes[0];
+        assert_eq!(n0.bound_before, 0);
+        assert_eq!(n0.bound_after, 2);
+        assert_eq!(n0.cover_candidates, vec![0]);
+        assert_eq!(n0.subatoms[0].iter_actions, vec![
+            IterAction::Write { key_pos: 0, slot: 0 },
+            IterAction::Write { key_pos: 1, slot: 1 },
+        ]);
+        assert_eq!(n0.subatoms[1].key_slots, vec![0]);
+        assert!(!n0.subatoms[1].final_for_input);
+
+        // Node 1: cover S(b) is S's final subatom; probe T(x).
+        let n1 = &compiled.nodes[1];
+        assert!(n1.subatoms[0].final_for_input);
+        assert_eq!(n1.subatoms[0].level, 1);
+        assert_eq!(n1.subatoms[1].level, 0);
+        assert!(!n1.subatoms[1].final_for_input);
+
+        // Node 2: T(c) final, level 1.
+        let n2 = &compiled.nodes[2];
+        assert!(n2.subatoms[0].final_for_input);
+        assert_eq!(n2.subatoms[0].level, 1);
+    }
+
+    #[test]
+    fn compile_marks_independent_tail_after_factoring() {
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"]]);
+        let mut plan = binary2fj(&iv);
+        factor(&mut plan);
+        // Optimized plan: [[R(x,a), S(x), T(x)], [S(b)], [T(c)]].
+        let compiled = compile(&plan, &iv).unwrap();
+        assert!(!compiled.nodes[0].independent_tail);
+        assert!(compiled.nodes[1].independent_tail);
+        assert!(compiled.nodes[2].independent_tail);
+    }
+
+    #[test]
+    fn chain_has_no_independent_tail_except_last() {
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "u"], &["u", "v"]]);
+        let plan = binary2fj(&iv);
+        let compiled = compile(&plan, &iv).unwrap();
+        // Every node except the last contains a probe, so only the final
+        // single-subatom node is an independent tail.
+        assert!(compiled.nodes[3].independent_tail);
+        assert!(!compiled.nodes[2].independent_tail);
+        assert!(!compiled.nodes[0].independent_tail);
+    }
+
+    #[test]
+    fn compile_gj_style_plan_levels() {
+        let iv = vars(&[&["x", "y"], &["y", "z"], &["z", "x"]]);
+        let order: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let plan = fj_plan_from_var_order(&order, &iv);
+        let compiled = compile(&plan, &iv).unwrap();
+        assert_eq!(compiled.binding_order, vec!["x", "y", "z"]);
+        // Node 0 joins R(x) and T(x); both are cover candidates.
+        assert_eq!(compiled.nodes[0].cover_candidates.len(), 2);
+        // R's subatoms sit at levels 0 (x) and 1 (y); the y-subatom is final.
+        let r_levels: Vec<(usize, bool)> = compiled
+            .nodes
+            .iter()
+            .flat_map(|n| n.subatoms.iter())
+            .filter(|s| s.input == 0)
+            .map(|s| (s.level, s.final_for_input))
+            .collect();
+        assert_eq!(r_levels, vec![(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn checks_generated_for_rebinding_covers() {
+        use fj_plan::{FjNode, FreeJoinPlan, Subatom};
+        // Node 1's cover S(x, b) re-binds x (already bound by node 0).
+        let iv = vars(&[&["x"], &["x", "b"]]);
+        let plan = FreeJoinPlan::new(vec![
+            FjNode::new(vec![Subatom::new(0, vec!["x".into()])]),
+            FjNode::new(vec![Subatom::new(1, vec!["x".into(), "b".into()])]),
+        ]);
+        let compiled = compile(&plan, &iv).unwrap();
+        assert_eq!(compiled.nodes[1].subatoms[0].iter_actions, vec![
+            IterAction::Check { key_pos: 0, slot: 0 },
+            IterAction::Write { key_pos: 1, slot: 1 },
+        ]);
+        // A re-binding cover is not a pure expansion, so no independent tail.
+        assert!(!compiled.nodes[1].independent_tail);
+    }
+
+    #[test]
+    fn compile_rejects_invalid_plans() {
+        use fj_plan::{FjNode, FreeJoinPlan, Subatom};
+        let iv = vars(&[&["x", "a"], &["x", "b"]]);
+        let plan = FreeJoinPlan::new(vec![FjNode::new(vec![
+            Subatom::new(0, vec!["x".into(), "a".into()]),
+            Subatom::new(1, vec!["x".into(), "b".into()]),
+        ])]);
+        // Missing cover for {x, a, b}... actually subatom 0 covers {x,a} and
+        // subatom 1 covers {x,b}; neither covers all new vars -> invalid.
+        assert!(matches!(compile(&plan, &iv), Err(EngineError::Plan(_))));
+    }
+
+    #[test]
+    fn schemas_match_plan_ght_schemas() {
+        let iv = vars(&[&["x", "a"], &["x", "b"], &["x", "c"]]);
+        let plan = binary2fj(&iv);
+        let compiled = compile(&plan, &iv).unwrap();
+        assert_eq!(compiled.schemas, plan.ght_schemas(&iv));
+    }
+}

@@ -1,0 +1,428 @@
+//! The Free Join engine: the library's main entry point.
+//!
+//! Mirroring the paper's system (Section 5): "The main entry point of the
+//! library is a function that takes a binary join plan (produced and
+//! optimized by DuckDB), and a set of input relations. The system converts
+//! the binary plan to a Free Join plan, optimizes it, then runs it using COLT
+//! and vectorized execution." Here the binary plan comes from
+//! `fj_plan::optimize` (or is built by hand), and the input relations live in
+//! an `fj_storage::Catalog`.
+
+use crate::compile::{compile, CompiledPlan};
+use crate::error::{EngineError, EngineResult};
+use crate::exec::execute_pipeline;
+use crate::options::FreeJoinOptions;
+use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput, PreparedQuery};
+use crate::sink::{MaterializeSink, OutputSink};
+use crate::trie::InputTrie;
+use fj_plan::{
+    binary2fj, factor, factor_until_fixpoint, optimize, BinaryPlan, CatalogStats, FreeJoinPlan,
+    OptimizerOptions, PipeInput,
+};
+use fj_query::{ConjunctiveQuery, ExecStats, OutputBuilder, QueryOutput};
+use fj_storage::Catalog;
+use std::time::Instant;
+
+/// The Free Join execution engine.
+#[derive(Debug, Clone, Default)]
+pub struct FreeJoinEngine {
+    options: FreeJoinOptions,
+}
+
+impl FreeJoinEngine {
+    /// Create an engine with the given options.
+    pub fn new(options: FreeJoinOptions) -> Self {
+        FreeJoinEngine { options }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &FreeJoinOptions {
+        &self.options
+    }
+
+    /// Convenience: collect statistics, run the cost-based optimizer, and
+    /// execute the resulting plan.
+    pub fn plan_and_execute(
+        &self,
+        catalog: &Catalog,
+        query: &ConjunctiveQuery,
+        optimizer: OptimizerOptions,
+    ) -> EngineResult<(QueryOutput, ExecStats)> {
+        let stats = CatalogStats::collect(catalog);
+        let plan = optimize(query, &stats, optimizer);
+        self.execute(catalog, query, &plan)
+    }
+
+    /// Execute a query given an already-optimized binary plan.
+    ///
+    /// The plan is decomposed into left-deep pipelines; each pipeline is
+    /// converted to a Free Join plan, optionally optimized by factorization,
+    /// and executed over tries built with the configured strategy. Non-final
+    /// pipelines materialize intermediate relations (bushy plans).
+    pub fn execute(
+        &self,
+        catalog: &Catalog,
+        query: &ConjunctiveQuery,
+        plan: &BinaryPlan,
+    ) -> EngineResult<(QueryOutput, ExecStats)> {
+        if !plan.covers_query(query) {
+            return Err(EngineError::PlanDoesNotCoverQuery);
+        }
+        let prepared = prepare_inputs(catalog, query)?;
+        let mut stats = ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
+
+        let decomposed = plan.decompose();
+        let mut intermediates: Vec<Option<BoundInput>> = vec![None; decomposed.len()];
+        let mut output = None;
+
+        for (p, pipeline) in decomposed.pipelines.iter().enumerate() {
+            let inputs: Vec<BoundInput> = pipeline
+                .inputs
+                .iter()
+                .map(|&input| match input {
+                    PipeInput::Atom(i) => prepared.atoms[i].clone(),
+                    PipeInput::Intermediate(j) => intermediates[j]
+                        .clone()
+                        .expect("pipelines are dependency-ordered"),
+                })
+                .collect();
+            let input_vars: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+            let fj_plan = self.make_fj_plan(&input_vars);
+            let compiled = compile(&fj_plan, &input_vars)?;
+
+            let is_final = p == decomposed.root_pipeline();
+            let pipeline_result =
+                self.run_pipeline(&prepared, &inputs, &compiled, query, is_final, &mut stats)?;
+            match pipeline_result {
+                PipelineResult::Output(out) => output = Some(out),
+                PipelineResult::Intermediate(bound) => {
+                    stats.intermediate_tuples += bound.num_rows() as u64;
+                    intermediates[pipeline.id] = Some(bound);
+                }
+            }
+        }
+
+        let output = output.expect("the final pipeline produces the output");
+        stats.output_tuples = output.cardinality();
+        Ok((output, stats))
+    }
+
+    /// Execute a hand-written Free Join plan over the atoms of a query
+    /// (single pipeline, inputs in atom order). This exposes the full design
+    /// space of Figure 1 to callers who want to run a specific plan.
+    pub fn execute_fj_plan(
+        &self,
+        catalog: &Catalog,
+        query: &ConjunctiveQuery,
+        fj_plan: &FreeJoinPlan,
+    ) -> EngineResult<(QueryOutput, ExecStats)> {
+        let prepared = prepare_inputs(catalog, query)?;
+        let mut stats = ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
+        let input_vars: Vec<Vec<String>> = prepared.atoms.iter().map(|i| i.vars.clone()).collect();
+        let compiled = compile(fj_plan, &input_vars)?;
+        let result = self.run_pipeline(&prepared, &prepared.atoms, &compiled, query, true, &mut stats)?;
+        match result {
+            PipelineResult::Output(output) => {
+                stats.output_tuples = output.cardinality();
+                Ok((output, stats))
+            }
+            PipelineResult::Intermediate(_) => unreachable!("final pipeline yields output"),
+        }
+    }
+
+    /// Convert a pipeline's inputs into a Free Join plan according to the
+    /// engine options (conversion plus optional factorization).
+    fn make_fj_plan(&self, input_vars: &[Vec<String>]) -> FreeJoinPlan {
+        let mut fj_plan = binary2fj(input_vars);
+        if self.options.optimize_plan {
+            if self.options.factor_to_fixpoint {
+                factor_until_fixpoint(&mut fj_plan);
+            } else {
+                factor(&mut fj_plan);
+            }
+        }
+        fj_plan
+    }
+
+    /// Build tries and run one pipeline.
+    fn run_pipeline(
+        &self,
+        prepared: &PreparedQuery,
+        inputs: &[BoundInput],
+        compiled: &CompiledPlan,
+        query: &ConjunctiveQuery,
+        is_final: bool,
+        stats: &mut ExecStats,
+    ) -> EngineResult<PipelineResult> {
+        // Build phase.
+        let build_start = Instant::now();
+        let tries: Vec<InputTrie> = inputs
+            .iter()
+            .zip(&compiled.schemas)
+            .map(|(input, schema)| InputTrie::build(input, schema.clone(), self.options.trie))
+            .collect();
+        stats.build_time += build_start.elapsed();
+
+        // Join phase.
+        let join_start = Instant::now();
+        let result = if is_final {
+            let builder =
+                OutputBuilder::new(&query.head, query.aggregate.clone(), &compiled.binding_order);
+            let mut sink = OutputSink::new(builder);
+            let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
+            stats.probes += counters.probes;
+            stats.probe_hits += counters.probe_hits;
+            PipelineResult::Output(sink.finish())
+        } else {
+            let mut sink = MaterializeSink::new();
+            let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
+            stats.probes += counters.probes;
+            stats.probe_hits += counters.probe_hits;
+            let rows = sink.into_rows();
+            let name = format!("__fj_intermediate_{}", compiled.binding_order.join("_"));
+            let bound =
+                materialize_intermediate(&name, &compiled.binding_order, &prepared.var_types, &rows)?;
+            PipelineResult::Intermediate(bound)
+        };
+        stats.join_time += join_start.elapsed();
+
+        for trie in &tries {
+            stats.tries_built += trie.maps_built();
+            stats.lazy_expansions += trie.lazy_built();
+        }
+        Ok(result)
+    }
+}
+
+/// What a pipeline produced.
+enum PipelineResult {
+    /// The query output (final pipeline).
+    Output(QueryOutput),
+    /// A materialized intermediate (non-final pipeline of a bushy plan).
+    Intermediate(BoundInput),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::TrieStrategy;
+    use fj_plan::{FjNode, PlanTree, Subatom};
+    use fj_query::QueryBuilder;
+    use fj_storage::{RelationBuilder, Schema, Value};
+
+    /// A small social-network-flavoured catalog used across the engine tests.
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        // follows(src, dst): a ring plus some chords.
+        let mut follows = RelationBuilder::new("follows", Schema::all_int(&["src", "dst"]));
+        for i in 0..40i64 {
+            follows.push_ints(&[i, (i + 1) % 40]).unwrap();
+            if i % 3 == 0 {
+                follows.push_ints(&[i, (i + 5) % 40]).unwrap();
+            }
+        }
+        cat.add(follows.finish()).unwrap();
+        // person(id, city)
+        let mut person = RelationBuilder::new("person", Schema::all_int(&["id", "city"]));
+        for i in 0..40i64 {
+            person.push_ints(&[i, i % 4]).unwrap();
+        }
+        cat.add(person.finish()).unwrap();
+        // city(id, country)
+        let mut city = RelationBuilder::new("city", Schema::all_int(&["id", "country"]));
+        for i in 0..4i64 {
+            city.push_ints(&[i, i % 2]).unwrap();
+        }
+        cat.add(city.finish()).unwrap();
+        cat
+    }
+
+    fn two_hop_query() -> ConjunctiveQuery {
+        QueryBuilder::new("two_hop")
+            .atom_as("follows", "f1", &["a", "b"])
+            .atom_as("follows", "f2", &["b", "c"])
+            .atom("person", &["c", "city"])
+            .atom("city", &["city", "country"])
+            .count()
+            .build()
+    }
+
+    #[test]
+    fn execute_left_deep_plan() {
+        let cat = catalog();
+        let q = two_hop_query();
+        let plan = BinaryPlan::left_deep(&[0, 1, 2, 3]);
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let (out, stats) = engine.execute(&cat, &q, &plan).unwrap();
+        // Every 2-hop path joins with person and city, so the count equals
+        // the number of 2-hop paths.
+        let followers: u64 = 40 + 14; // ring edges + chords (i % 3 == 0 for 0..40)
+        assert!(out.cardinality() > followers);
+        assert!(stats.output_tuples == out.cardinality());
+        assert!(stats.probes > 0);
+    }
+
+    #[test]
+    fn execute_bushy_plan_matches_left_deep() {
+        let cat = catalog();
+        let q = two_hop_query();
+        let left_deep = BinaryPlan::left_deep(&[0, 1, 2, 3]);
+        // Bushy: (f1 ⋈ f2) ⋈ (person ⋈ city)
+        let bushy = BinaryPlan::new(PlanTree::Join(
+            Box::new(PlanTree::Join(Box::new(PlanTree::Leaf(0)), Box::new(PlanTree::Leaf(1)))),
+            Box::new(PlanTree::Join(Box::new(PlanTree::Leaf(2)), Box::new(PlanTree::Leaf(3)))),
+        ));
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let (a, _) = engine.execute(&cat, &q, &left_deep).unwrap();
+        let (b, stats_b) = engine.execute(&cat, &q, &bushy).unwrap();
+        assert_eq!(a.cardinality(), b.cardinality());
+        assert!(stats_b.intermediate_tuples > 0, "bushy plans materialize intermediates");
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        let cat = catalog();
+        let q = two_hop_query();
+        let plan = BinaryPlan::left_deep(&[1, 0, 2, 3]);
+        let mut cardinalities = Vec::new();
+        for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+            for batch in [1usize, 4, 1000] {
+                for dynamic in [false, true] {
+                    for factorize in [false, true] {
+                        let options = FreeJoinOptions {
+                            trie,
+                            batch_size: batch,
+                            dynamic_cover: dynamic,
+                            factorize_output: factorize,
+                            ..FreeJoinOptions::default()
+                        };
+                        let engine = FreeJoinEngine::new(options);
+                        let (out, _) = engine.execute(&cat, &q, &plan).unwrap();
+                        cardinalities.push(out.cardinality());
+                    }
+                }
+            }
+        }
+        assert!(cardinalities.windows(2).all(|w| w[0] == w[1]), "{cardinalities:?}");
+    }
+
+    #[test]
+    fn plan_and_execute_uses_the_optimizer() {
+        let cat = catalog();
+        let q = two_hop_query();
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let (out, _) = engine.plan_and_execute(&cat, &q, OptimizerOptions::default()).unwrap();
+        let plan = BinaryPlan::left_deep(&[0, 1, 2, 3]);
+        let (reference, _) = engine.execute(&cat, &q, &plan).unwrap();
+        assert_eq!(out.cardinality(), reference.cardinality());
+    }
+
+    #[test]
+    fn group_count_aggregate() {
+        let cat = catalog();
+        let q = QueryBuilder::new("per_country")
+            .atom("person", &["p", "city"])
+            .atom("city", &["city", "country"])
+            .group_count(&["country"])
+            .build();
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let (out, _) = engine
+            .execute(&cat, &q, &BinaryPlan::left_deep(&[0, 1]))
+            .unwrap();
+        match out.kind {
+            fj_query::OutputKind::Groups(groups) => {
+                assert_eq!(groups.len(), 2);
+                let total: u64 = groups.values().sum();
+                assert_eq!(total, 40);
+            }
+            other => panic!("expected groups, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialized_head_projection() {
+        let cat = catalog();
+        let q = QueryBuilder::new("cities_of_followers")
+            .head(&["a", "city"])
+            .atom_as("follows", "f1", &["a", "b"])
+            .atom("person", &["b", "city"])
+            .build();
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let (out, _) = engine.execute(&cat, &q, &BinaryPlan::left_deep(&[0, 1])).unwrap();
+        match &out.kind {
+            fj_query::OutputKind::Rows(rows) => {
+                assert!(!rows.is_empty());
+                assert!(rows.iter().all(|r| r.len() == 2));
+                assert_eq!(out.vars, vec!["a", "city"]);
+                // city values are in 0..4.
+                assert!(rows.iter().all(|r| matches!(r[1], Value::Int(c) if (0..4).contains(&c))));
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_fj_plan_runs_custom_plans() {
+        let cat = catalog();
+        let q = QueryBuilder::new("mutual")
+            .atom_as("follows", "f1", &["a", "b"])
+            .atom_as("follows", "f2", &["b", "a"])
+            .count()
+            .build();
+        // A Generic-Join-shaped plan written by hand: join on a, then b.
+        let fj = FreeJoinPlan::new(vec![
+            FjNode::new(vec![Subatom::new(0, vec!["a".into()]), Subatom::new(1, vec!["a".into()])]),
+            FjNode::new(vec![Subatom::new(0, vec!["b".into()]), Subatom::new(1, vec!["b".into()])]),
+        ]);
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let (custom, _) = engine.execute_fj_plan(&cat, &q, &fj).unwrap();
+        let (reference, _) = engine.execute(&cat, &q, &BinaryPlan::left_deep(&[0, 1])).unwrap();
+        assert_eq!(custom.cardinality(), reference.cardinality());
+    }
+
+    #[test]
+    fn rejects_plans_that_do_not_cover_the_query() {
+        let cat = catalog();
+        let q = two_hop_query();
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let bad = BinaryPlan::left_deep(&[0, 1]);
+        assert!(matches!(engine.execute(&cat, &q, &bad), Err(EngineError::PlanDoesNotCoverQuery)));
+    }
+
+    #[test]
+    fn rejects_invalid_queries() {
+        let cat = catalog();
+        let q = QueryBuilder::new("bad").atom("nope", &["x"]).build();
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        assert!(matches!(
+            engine.execute(&cat, &q, &BinaryPlan::left_deep(&[0])),
+            Err(EngineError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn single_atom_query_scans() {
+        let cat = catalog();
+        let q = QueryBuilder::new("scan").atom("person", &["p", "c"]).count().build();
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let (out, stats) = engine.execute(&cat, &q, &BinaryPlan::left_deep(&[0])).unwrap();
+        assert_eq!(out.cardinality(), 40);
+        assert_eq!(stats.probes, 0);
+        assert_eq!(stats.tries_built, 0, "a pure scan builds no hash structures");
+    }
+
+    #[test]
+    fn aggregate_count_matches_materialize() {
+        let cat = catalog();
+        let base = QueryBuilder::new("q")
+            .atom_as("follows", "f1", &["a", "b"])
+            .atom("person", &["b", "city"]);
+        let count_q = base.clone().count().build();
+        let mat_q = base.materialize().build();
+        let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+        let plan = BinaryPlan::left_deep(&[0, 1]);
+        let (c, _) = engine.execute(&cat, &count_q, &plan).unwrap();
+        let (m, _) = engine.execute(&cat, &mat_q, &plan).unwrap();
+        assert_eq!(c.cardinality(), m.cardinality());
+    }
+}

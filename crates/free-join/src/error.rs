@@ -1,0 +1,75 @@
+//! Engine errors.
+
+use fj_plan::PlanValidityError;
+use fj_query::QueryError;
+use fj_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while preparing or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query failed validation against the catalog.
+    Query(QueryError),
+    /// A storage-level error (missing relation, type mismatch, ...).
+    Storage(StorageError),
+    /// The Free Join plan is invalid for the pipeline's inputs.
+    Plan(PlanValidityError),
+    /// The binary plan does not cover the query's atoms exactly once.
+    PlanDoesNotCoverQuery,
+    /// A pipeline input references a variable the engine cannot resolve.
+    UnboundVariable(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Plan(e) => write!(f, "invalid Free Join plan: {e}"),
+            EngineError::PlanDoesNotCoverQuery => {
+                write!(f, "binary plan does not cover the query atoms exactly once")
+            }
+            EngineError::UnboundVariable(v) => write!(f, "variable {v} is never bound"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<PlanValidityError> for EngineError {
+    fn from(e: PlanValidityError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = QueryError::Empty.into();
+        assert!(e.to_string().contains("query error"));
+        let e: EngineError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("storage error"));
+        let e: EngineError = PlanValidityError::NoCover { node: 2 }.into();
+        assert!(e.to_string().contains("node 2"));
+        assert!(EngineError::PlanDoesNotCoverQuery.to_string().contains("cover"));
+        assert!(EngineError::UnboundVariable("x".into()).to_string().contains('x'));
+    }
+}

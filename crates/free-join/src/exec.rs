@@ -1,0 +1,764 @@
+//! The Free Join execution algorithm (Figures 7 and 13 of the paper).
+//!
+//! Execution proceeds node by node over a compiled plan. For each node the
+//! engine iterates one subatom — the *cover* — and probes the others; when
+//! every probe succeeds it recurses into the next node, and when the plan is
+//! exhausted it emits the current tuple. Three of the paper's optimizations
+//! live here:
+//!
+//! * **Dynamic cover selection** (Section 4.4): among the node's cover
+//!   candidates, iterate the one whose trie currently has the fewest keys.
+//! * **Vectorized execution** (Section 4.3, Figure 13): gather a batch of
+//!   iterated keys, run each probe over the whole batch, then recurse for
+//!   the survivors.
+//! * **Factorized output** (Section 4.4): when the remaining nodes are
+//!   independent expansions and the sink only needs counts, multiply subtree
+//!   sizes instead of enumerating the Cartesian product.
+//!
+//! Bag semantics are handled with a running weight: when an input's final
+//! subatom is probed (rather than iterated), the probe result stands for all
+//! matching base tuples and multiplies the weight by their number.
+//!
+//! The hot path is allocation-free: every per-iteration buffer (probe keys,
+//! saved trie positions, vectorization batches) lives in a per-node
+//! [`NodeScratch`] allocated once per pipeline and reused across iterations.
+
+use crate::compile::{CompiledNode, CompiledPlan, IterAction};
+use crate::options::FreeJoinOptions;
+use crate::sink::Sink;
+use crate::trie::{InputTrie, TrieNode};
+use fj_storage::Value;
+use std::rc::Rc;
+
+/// Counters collected during the join phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Number of probe operations.
+    pub probes: u64,
+    /// Number of probes that found a match.
+    pub probe_hits: u64,
+}
+
+/// Reusable per-node scratch space. One instance exists per plan node and is
+/// reused by every invocation of that node, so the join loop performs no
+/// per-tuple heap allocation.
+#[derive(Debug, Default)]
+struct NodeScratch {
+    /// Probe-key buffer.
+    probe_key: Vec<Value>,
+    /// Saved trie positions to restore after a recursive call.
+    saved: Vec<(usize, Rc<TrieNode>)>,
+    /// Vectorized batch: values bound by the cover (stride = new slots).
+    writes: Vec<Value>,
+    /// Vectorized batch: accumulated weights.
+    weights: Vec<u64>,
+    /// Vectorized batch: survived all probes so far?
+    alive: Vec<bool>,
+    /// Vectorized batch: child trie nodes per (entry, subatom) — flat, stride
+    /// = number of subatoms in the node. Only non-final subatoms use a slot.
+    children: Vec<Option<Rc<TrieNode>>>,
+    /// Number of entries currently buffered.
+    count: usize,
+}
+
+/// Execute a compiled pipeline over its input tries, sending results to the
+/// sink. Returns probe counters; trie-building counters live on the tries.
+pub fn execute_pipeline(
+    tries: &[InputTrie],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    sink: &mut dyn Sink,
+) -> ExecCounters {
+    debug_assert_eq!(tries.len(), plan.num_inputs);
+    let mut counters = ExecCounters::default();
+    let mut tuple = vec![Value::Null; plan.binding_order.len()];
+    let mut current: Vec<Rc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
+    let mut scratch: Vec<NodeScratch> = plan.nodes.iter().map(|_| NodeScratch::default()).collect();
+    run_node(tries, plan, options, 0, &mut tuple, &mut current, 1, sink, &mut counters, &mut scratch);
+    counters
+}
+
+/// Select which subatom of the node to iterate (the runtime cover).
+fn select_cover(
+    tries: &[InputTrie],
+    node: &CompiledNode,
+    current: &[Rc<TrieNode>],
+    options: &FreeJoinOptions,
+) -> usize {
+    if options.dynamic_cover && node.cover_candidates.len() > 1 {
+        node.cover_candidates
+            .iter()
+            .copied()
+            .min_by_key(|&i| {
+                let sub = &node.subatoms[i];
+                tries[sub.input].estimated_keys(&current[sub.input])
+            })
+            .expect("valid plans have at least one cover")
+    } else {
+        node.cover_candidates[0]
+    }
+}
+
+/// The recursive join (Figure 7), one invocation per plan node. `scratch`
+/// holds the scratch space of this node and every following node
+/// (`scratch[0]` belongs to `node_idx`).
+#[allow(clippy::too_many_arguments)]
+fn run_node(
+    tries: &[InputTrie],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    node_idx: usize,
+    tuple: &mut Vec<Value>,
+    current: &mut Vec<Rc<TrieNode>>,
+    weight: u64,
+    sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
+    scratch: &mut [NodeScratch],
+) {
+    if node_idx == plan.nodes.len() {
+        sink.push(tuple, tuple.len(), weight);
+        return;
+    }
+    let node = &plan.nodes[node_idx];
+
+    // Factorized output: the rest of the plan is a Cartesian product of
+    // independent expansions and the sink only needs counts — multiply sizes.
+    if options.factorize_output
+        && node.independent_tail
+        && sink.accepts_factorized(node.bound_before)
+    {
+        let mut total = weight;
+        for tail in &plan.nodes[node_idx..] {
+            let sub = &tail.subatoms[0];
+            total = total.saturating_mul(tries[sub.input].tuple_count(&current[sub.input]));
+        }
+        sink.push(tuple, node.bound_before, total);
+        return;
+    }
+
+    let cover_idx = select_cover(tries, node, current, options);
+    if options.vectorized() && node.subatoms.len() > 1 {
+        run_node_vectorized(
+            tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters, scratch,
+        );
+    } else {
+        run_node_scalar(
+            tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters, scratch,
+        );
+    }
+}
+
+/// Apply the cover's iteration actions to the tuple buffer. Returns `false`
+/// when a `Check` action fails (the iterated key re-binds an already-bound
+/// variable to a different value).
+fn apply_iter_actions(actions: &[IterAction], key: &[Value], tuple: &mut [Value]) -> bool {
+    for action in actions {
+        match *action {
+            IterAction::Write { key_pos, slot } => tuple[slot] = key[key_pos],
+            IterAction::Check { key_pos, slot } => {
+                if tuple[slot] != key[key_pos] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Tuple-at-a-time execution of one node (no vectorization).
+#[allow(clippy::too_many_arguments)]
+fn run_node_scalar(
+    tries: &[InputTrie],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    node_idx: usize,
+    cover_idx: usize,
+    tuple: &mut Vec<Value>,
+    current: &mut Vec<Rc<TrieNode>>,
+    weight: u64,
+    sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
+    scratch: &mut [NodeScratch],
+) {
+    let node = &plan.nodes[node_idx];
+    let cover = &node.subatoms[cover_idx];
+    let cover_trie = &tries[cover.input];
+    let cover_node = current[cover.input].clone();
+    let (mine, rest) = scratch.split_at_mut(1);
+    let mine = &mut mine[0];
+
+    cover_trie.for_each(&cover_node, cover.level, |key, child| {
+        if !apply_iter_actions(&cover.iter_actions, key, tuple) {
+            return;
+        }
+        let mut local_weight = weight;
+        mine.saved.clear();
+
+        // The cover's own continuation.
+        if cover.final_for_input {
+            if let Some(c) = child {
+                local_weight = local_weight.saturating_mul(cover_trie.tuple_count(c));
+            }
+        } else {
+            let c = child.expect("non-final cover level is forced into a map").clone();
+            mine.saved.push((cover.input, std::mem::replace(&mut current[cover.input], c)));
+        }
+
+        // Probe the other subatoms in plan order.
+        let mut all_matched = true;
+        for (j, sub) in node.subatoms.iter().enumerate() {
+            if j == cover_idx {
+                continue;
+            }
+            mine.probe_key.clear();
+            for &s in &sub.key_slots {
+                mine.probe_key.push(tuple[s]);
+            }
+            counters.probes += 1;
+            match tries[sub.input].get(&current[sub.input], sub.level, &mine.probe_key) {
+                Some(child_node) => {
+                    counters.probe_hits += 1;
+                    if sub.final_for_input {
+                        local_weight =
+                            local_weight.saturating_mul(tries[sub.input].tuple_count(&child_node));
+                    } else {
+                        mine.saved
+                            .push((sub.input, std::mem::replace(&mut current[sub.input], child_node)));
+                    }
+                }
+                None => {
+                    all_matched = false;
+                    break;
+                }
+            }
+        }
+
+        if all_matched && local_weight > 0 {
+            run_node(
+                tries, plan, options, node_idx + 1, tuple, current, local_weight, sink, counters, rest,
+            );
+        }
+        for (input, old) in mine.saved.drain(..) {
+            current[input] = old;
+        }
+    });
+}
+
+/// Vectorized execution of one node (Figure 13): batch the cover iteration,
+/// run each probe across the whole batch, then recurse for the survivors.
+#[allow(clippy::too_many_arguments)]
+fn run_node_vectorized(
+    tries: &[InputTrie],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    node_idx: usize,
+    cover_idx: usize,
+    tuple: &mut Vec<Value>,
+    current: &mut Vec<Rc<TrieNode>>,
+    weight: u64,
+    sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
+    scratch: &mut [NodeScratch],
+) {
+    let node = &plan.nodes[node_idx];
+    let cover = &node.subatoms[cover_idx];
+    let cover_trie = &tries[cover.input];
+    let cover_node = current[cover.input].clone();
+    let new_slots = node.bound_after - node.bound_before;
+    let stride = node.subatoms.len();
+    let batch_size = options.batch_size;
+
+    let (mine, rest) = scratch.split_at_mut(1);
+    let mine = &mut mine[0];
+    // Size the batch buffers once; they are reused across invocations.
+    if mine.weights.len() < batch_size {
+        mine.writes.resize(batch_size * new_slots.max(1), Value::Null);
+        mine.weights.resize(batch_size, 0);
+        mine.alive.resize(batch_size, false);
+        mine.children.resize(batch_size * stride, None);
+    }
+    mine.count = 0;
+
+    cover_trie.for_each(&cover_node, cover.level, |key, child| {
+        // Evaluate checks; collect writes into the entry's slice of the batch
+        // buffer rather than the shared tuple.
+        let e = mine.count;
+        for action in &cover.iter_actions {
+            match *action {
+                IterAction::Write { key_pos, slot } => {
+                    mine.writes[e * new_slots + (slot - node.bound_before)] = key[key_pos];
+                }
+                IterAction::Check { key_pos, slot } => {
+                    if tuple[slot] != key[key_pos] {
+                        return;
+                    }
+                }
+            }
+        }
+        mine.weights[e] = weight;
+        mine.alive[e] = true;
+        if cover.final_for_input {
+            if let Some(c) = child {
+                mine.weights[e] = mine.weights[e].saturating_mul(cover_trie.tuple_count(c));
+            }
+        } else {
+            let c = child.expect("non-final cover level is forced into a map").clone();
+            mine.children[e * stride + cover_idx] = Some(c);
+        }
+        mine.count += 1;
+        if mine.count >= batch_size {
+            flush_batch(
+                tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters,
+            );
+        }
+    });
+    flush_batch(tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters);
+}
+
+/// Probe every non-cover subatom across the buffered batch, then recurse for
+/// the surviving entries (the body of Figure 13).
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    tries: &[InputTrie],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    node_idx: usize,
+    cover_idx: usize,
+    mine: &mut NodeScratch,
+    rest: &mut [NodeScratch],
+    tuple: &mut Vec<Value>,
+    current: &mut Vec<Rc<TrieNode>>,
+    sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
+) {
+    if mine.count == 0 {
+        return;
+    }
+    let node = &plan.nodes[node_idx];
+    let new_slots = node.bound_after - node.bound_before;
+    let stride = node.subatoms.len();
+
+    // Probe phase: one pass over the batch per probed relation, giving the
+    // temporal locality the paper's vectorization targets.
+    for (j, sub) in node.subatoms.iter().enumerate() {
+        if j == cover_idx {
+            continue;
+        }
+        let trie = &tries[sub.input];
+        let base = current[sub.input].clone();
+        for e in 0..mine.count {
+            if !mine.alive[e] {
+                continue;
+            }
+            mine.probe_key.clear();
+            for &s in &sub.key_slots {
+                let v = if s < node.bound_before {
+                    tuple[s]
+                } else {
+                    mine.writes[e * new_slots + (s - node.bound_before)]
+                };
+                mine.probe_key.push(v);
+            }
+            counters.probes += 1;
+            match trie.get(&base, sub.level, &mine.probe_key) {
+                Some(child) => {
+                    counters.probe_hits += 1;
+                    if sub.final_for_input {
+                        mine.weights[e] = mine.weights[e].saturating_mul(trie.tuple_count(&child));
+                    } else {
+                        mine.children[e * stride + j] = Some(child);
+                    }
+                }
+                None => mine.alive[e] = false,
+            }
+        }
+    }
+
+    // Recurse for the survivors.
+    for e in 0..mine.count {
+        if !mine.alive[e] || mine.weights[e] == 0 {
+            // Clear any children stored before a later probe failed.
+            for j in 0..stride {
+                mine.children[e * stride + j] = None;
+            }
+            continue;
+        }
+        for k in 0..new_slots {
+            tuple[node.bound_before + k] = mine.writes[e * new_slots + k];
+        }
+        mine.saved.clear();
+        for (j, sub) in node.subatoms.iter().enumerate() {
+            if let Some(child) = mine.children[e * stride + j].take() {
+                mine.saved.push((sub.input, std::mem::replace(&mut current[sub.input], child)));
+            }
+        }
+        run_node(
+            tries, plan, options, node_idx + 1, tuple, current, mine.weights[e], sink, counters, rest,
+        );
+        for (input, old) in mine.saved.drain(..) {
+            current[input] = old;
+        }
+    }
+    mine.count = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::options::TrieStrategy;
+    use crate::prep::{prepare_inputs, BoundInput};
+    use crate::sink::{MaterializeSink, OutputSink};
+    use fj_plan::{binary2fj, factor, fj_plan_from_var_order};
+    use fj_query::{Aggregate, OutputBuilder, QueryBuilder};
+    use fj_storage::{Catalog, RelationBuilder, Schema};
+
+    /// The paper's clover instance (Figure 3) with parameter n.
+    fn clover_catalog(n: i64) -> Catalog {
+        let mut cat = Catalog::new();
+        let x0 = 0;
+        let (x1, x2, x3) = (1, 2, 3);
+        let mut r = RelationBuilder::new("R", Schema::all_int(&["x", "a"]));
+        r.push_ints(&[x0, 1000]).unwrap();
+        for i in 1..=n {
+            r.push_ints(&[x1, 1000 + i]).unwrap();
+            r.push_ints(&[x2, 2000 + i]).unwrap();
+        }
+        cat.add(r.finish()).unwrap();
+        let mut s = RelationBuilder::new("S", Schema::all_int(&["x", "b"]));
+        s.push_ints(&[x0, 3000]).unwrap();
+        for i in 1..=n {
+            s.push_ints(&[x2, 3000 + i]).unwrap();
+            s.push_ints(&[x3, 4000 + i]).unwrap();
+        }
+        cat.add(s.finish()).unwrap();
+        let mut t = RelationBuilder::new("T", Schema::all_int(&["x", "c"]));
+        t.push_ints(&[x0, 5000]).unwrap();
+        for i in 1..=n {
+            t.push_ints(&[x3, 5000 + i]).unwrap();
+            t.push_ints(&[x1, 6000 + i]).unwrap();
+        }
+        cat.add(t.finish()).unwrap();
+        cat
+    }
+
+    fn clover_inputs(cat: &Catalog) -> Vec<BoundInput> {
+        let q = QueryBuilder::new("clover")
+            .atom("R", &["x", "a"])
+            .atom("S", &["x", "b"])
+            .atom("T", &["x", "c"])
+            .build();
+        prepare_inputs(cat, &q).unwrap().atoms
+    }
+
+    fn run(
+        inputs: &[BoundInput],
+        plan: &fj_plan::FreeJoinPlan,
+        options: &FreeJoinOptions,
+        aggregate: Aggregate,
+    ) -> (u64, ExecCounters) {
+        let input_vars: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let compiled = compile(plan, &input_vars).unwrap();
+        let tries: Vec<InputTrie> = inputs
+            .iter()
+            .zip(&compiled.schemas)
+            .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+            .collect();
+        let builder = OutputBuilder::new(&compiled.binding_order, aggregate, &compiled.binding_order);
+        let mut sink = OutputSink::new(builder);
+        let counters = execute_pipeline(&tries, &compiled, options, &mut sink);
+        (sink.finish().cardinality(), counters)
+    }
+
+    /// The clover instance has exactly one result: (x0, a0, b0, c0).
+    #[test]
+    fn clover_binary_style_plan_finds_single_result() {
+        let cat = clover_catalog(20);
+        let inputs = clover_inputs(&cat);
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let plan = binary2fj(&iv);
+        for options in [
+            FreeJoinOptions::default(),
+            FreeJoinOptions::default().with_batch_size(1),
+            FreeJoinOptions::generic_join_baseline(),
+            FreeJoinOptions { trie: TrieStrategy::Slt, ..FreeJoinOptions::default() },
+        ] {
+            let (count, counters) = run(&inputs, &plan, &options, Aggregate::Count);
+            assert_eq!(count, 1, "options {options:?}");
+            assert!(counters.probes >= counters.probe_hits);
+        }
+    }
+
+    #[test]
+    fn clover_factored_plan_gives_same_result_with_fewer_probes() {
+        let cat = clover_catalog(50);
+        let inputs = clover_inputs(&cat);
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let naive = binary2fj(&iv);
+        let mut optimized = naive.clone();
+        factor(&mut optimized);
+
+        let opts = FreeJoinOptions::default().with_batch_size(1);
+        let (c1, k1) = run(&inputs, &naive, &opts, Aggregate::Count);
+        let (c2, k2) = run(&inputs, &optimized, &opts, Aggregate::Count);
+        assert_eq!(c1, 1);
+        assert_eq!(c2, 1);
+        // The naive plan expands the skewed R ⋈ S pairs (quadratic in n)
+        // before probing T; the factored plan filters with T first.
+        assert!(
+            k2.probes < k1.probes,
+            "factored plan should probe less: {} vs {}",
+            k2.probes,
+            k1.probes
+        );
+    }
+
+    #[test]
+    fn gj_style_plan_matches_binary_style_results() {
+        let cat = clover_catalog(10);
+        let inputs = clover_inputs(&cat);
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let order: Vec<String> = ["x", "a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let gj = fj_plan_from_var_order(&order, &iv);
+        let binary = binary2fj(&iv);
+        let opts = FreeJoinOptions::default();
+        assert_eq!(
+            run(&inputs, &gj, &opts, Aggregate::Count).0,
+            run(&inputs, &binary, &opts, Aggregate::Count).0
+        );
+    }
+
+    #[test]
+    fn triangle_count_is_correct_across_plans_and_options() {
+        // Small dense graph where triangles can be counted by brute force.
+        let mut cat = Catalog::new();
+        let edges: Vec<(i64, i64)> = (0..30)
+            .flat_map(|i| ((i + 1)..30).map(move |j| (i, j)))
+            .filter(|(i, j)| (i * 7 + j * 13) % 3 != 0)
+            .collect();
+        for name in ["R", "S", "T"] {
+            let mut b = RelationBuilder::new(name, Schema::all_int(&["u", "v"]));
+            for &(i, j) in &edges {
+                b.push_ints(&[i, j]).unwrap();
+                b.push_ints(&[j, i]).unwrap();
+            }
+            cat.add(b.finish()).unwrap();
+        }
+        // Brute-force count of directed triangles.
+        let mut expected = 0u64;
+        let mut adj = std::collections::HashSet::new();
+        for &(i, j) in &edges {
+            adj.insert((i, j));
+            adj.insert((j, i));
+        }
+        let nodes: Vec<i64> = (0..30).collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                if !adj.contains(&(x, y)) {
+                    continue;
+                }
+                for &z in &nodes {
+                    if adj.contains(&(y, z)) && adj.contains(&(z, x)) {
+                        expected += 1;
+                    }
+                }
+            }
+        }
+
+        let q = QueryBuilder::new("triangle")
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .atom("T", &["z", "x"])
+            .build();
+        let inputs = prepare_inputs(&cat, &q).unwrap().atoms;
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+
+        let binary = binary2fj(&iv);
+        let mut factored = binary.clone();
+        factor(&mut factored);
+        let order: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let gj = fj_plan_from_var_order(&order, &iv);
+
+        for plan in [&binary, &factored, &gj] {
+            for options in [
+                FreeJoinOptions::default(),
+                FreeJoinOptions::default().with_batch_size(1),
+                FreeJoinOptions::default().with_batch_size(7),
+                FreeJoinOptions::generic_join_baseline(),
+                FreeJoinOptions { trie: TrieStrategy::Slt, dynamic_cover: false, ..FreeJoinOptions::default() },
+                FreeJoinOptions::default().with_factorized_output(true),
+            ] {
+                let (count, _) = run(&inputs, plan, &options, Aggregate::Count);
+                assert_eq!(count, expected, "plan {plan} options {options:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bag_semantics_duplicates_multiply() {
+        // R(x) = {1, 1}, S(x) = {1, 1, 1} -> R ⋈ S on x has 6 tuples.
+        let mut cat = Catalog::new();
+        let mut r = RelationBuilder::new("R", Schema::all_int(&["x"]));
+        r.push_ints(&[1]).unwrap();
+        r.push_ints(&[1]).unwrap();
+        cat.add(r.finish()).unwrap();
+        let mut s = RelationBuilder::new("S", Schema::all_int(&["x"]));
+        for _ in 0..3 {
+            s.push_ints(&[1]).unwrap();
+        }
+        cat.add(s.finish()).unwrap();
+        let q = QueryBuilder::new("dup").atom("R", &["x"]).atom("S", &["x"]).build();
+        let inputs = prepare_inputs(&cat, &q).unwrap().atoms;
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let plan = binary2fj(&iv);
+        for options in [
+            FreeJoinOptions::default(),
+            FreeJoinOptions::default().with_batch_size(1),
+            FreeJoinOptions::generic_join_baseline(),
+        ] {
+            let (count, _) = run(&inputs, &plan, &options, Aggregate::Count);
+            assert_eq!(count, 6, "options {options:?}");
+        }
+    }
+
+    #[test]
+    fn materialized_rows_match_counts() {
+        let cat = clover_catalog(5);
+        let inputs = clover_inputs(&cat);
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let mut plan = binary2fj(&iv);
+        factor(&mut plan);
+        let compiled = compile(&plan, &iv).unwrap();
+        let options = FreeJoinOptions::default();
+        let tries: Vec<InputTrie> = inputs
+            .iter()
+            .zip(&compiled.schemas)
+            .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+            .collect();
+        let mut sink = MaterializeSink::new();
+        execute_pipeline(&tries, &compiled, &options, &mut sink);
+        let rows = sink.into_rows();
+        assert_eq!(rows.len(), 1);
+        // Binding order is x, a, b, c.
+        assert_eq!(rows[0], vec![Value::Int(0), Value::Int(1000), Value::Int(3000), Value::Int(5000)]);
+    }
+
+    #[test]
+    fn factorized_output_counts_without_enumeration() {
+        // Star query: R(x,a), S(x,b), T(x,c) where every relation has the
+        // same single x value and k tuples; result size k^3.
+        let k = 20i64;
+        let mut cat = Catalog::new();
+        for (name, base) in [("R", 0i64), ("S", 1000), ("T", 2000)] {
+            let mut b = RelationBuilder::new(name, Schema::all_int(&["x", "v"]));
+            for i in 0..k {
+                b.push_ints(&[7, base + i]).unwrap();
+            }
+            cat.add(b.finish()).unwrap();
+        }
+        let q = QueryBuilder::new("star")
+            .atom("R", &["x", "a"])
+            .atom("S", &["x", "b"])
+            .atom("T", &["x", "c"])
+            .build();
+        let inputs = prepare_inputs(&cat, &q).unwrap().atoms;
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let mut plan = binary2fj(&iv);
+        factor(&mut plan);
+
+        let plain = FreeJoinOptions::default();
+        let fact = FreeJoinOptions::default().with_factorized_output(true);
+        let (c1, k1) = run(&inputs, &plan, &plain, Aggregate::Count);
+        let (c2, k2) = run(&inputs, &plan, &fact, Aggregate::Count);
+        assert_eq!(c1, (k * k * k) as u64);
+        assert_eq!(c2, c1);
+        // The factorized run should do no more probing than the plain run
+        // (it skips the expansion levels entirely).
+        assert!(k2.probes <= k1.probes);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_results() {
+        let mut cat = Catalog::new();
+        let mut r = RelationBuilder::new("R", Schema::all_int(&["x", "a"]));
+        r.push_ints(&[1, 2]).unwrap();
+        cat.add(r.finish()).unwrap();
+        cat.add(fj_storage::Relation::empty("S", Schema::all_int(&["x", "b"]))).unwrap();
+        let q = QueryBuilder::new("q").atom("R", &["x", "a"]).atom("S", &["x", "b"]).build();
+        let inputs = prepare_inputs(&cat, &q).unwrap().atoms;
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let plan = binary2fj(&iv);
+        let (count, counters) = run(&inputs, &plan, &FreeJoinOptions::default(), Aggregate::Count);
+        assert_eq!(count, 0);
+        assert_eq!(counters.probe_hits, 0);
+    }
+
+    #[test]
+    fn dynamic_cover_prefers_smaller_relation() {
+        // Node with two cover candidates where S is much smaller than R:
+        // dynamic selection should iterate S and probe R, giving fewer
+        // probes than the static choice of iterating R.
+        let mut cat = Catalog::new();
+        let mut r = RelationBuilder::new("R", Schema::all_int(&["x"]));
+        for i in 0..1000i64 {
+            r.push_ints(&[i]).unwrap();
+        }
+        cat.add(r.finish()).unwrap();
+        let mut s = RelationBuilder::new("S", Schema::all_int(&["x"]));
+        for i in 0..10i64 {
+            s.push_ints(&[i]).unwrap();
+        }
+        cat.add(s.finish()).unwrap();
+        let q = QueryBuilder::new("q").atom("R", &["x"]).atom("S", &["x"]).build();
+        let inputs = prepare_inputs(&cat, &q).unwrap().atoms;
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let order: Vec<String> = vec!["x".to_string()];
+        let plan = fj_plan_from_var_order(&order, &iv);
+
+        let dynamic = FreeJoinOptions { dynamic_cover: true, batch_size: 1, ..FreeJoinOptions::default() };
+        let fixed = FreeJoinOptions { dynamic_cover: false, batch_size: 1, ..FreeJoinOptions::default() };
+        let (c_dyn, k_dyn) = run(&inputs, &plan, &dynamic, Aggregate::Count);
+        let (c_fix, k_fix) = run(&inputs, &plan, &fixed, Aggregate::Count);
+        assert_eq!(c_dyn, 10);
+        assert_eq!(c_fix, 10);
+        // Iterating S (10 keys) and probing R does 10 probes; iterating R
+        // (1000 keys) and probing S does 1000.
+        assert_eq!(k_dyn.probes, 10);
+        assert_eq!(k_fix.probes, 1000);
+    }
+
+    #[test]
+    fn vectorized_batches_flush_incrementally() {
+        // A join whose cover has more entries than the batch size, so the
+        // incremental flush path is exercised (and the final partial flush).
+        let mut cat = Catalog::new();
+        let mut r = RelationBuilder::new("R", Schema::all_int(&["x", "a"]));
+        let mut s = RelationBuilder::new("S", Schema::all_int(&["x", "b"]));
+        for i in 0..257i64 {
+            r.push_ints(&[i % 50, i]).unwrap();
+            s.push_ints(&[i % 50, i]).unwrap();
+        }
+        cat.add(r.finish()).unwrap();
+        cat.add(s.finish()).unwrap();
+        let q = QueryBuilder::new("q").atom("R", &["x", "a"]).atom("S", &["x", "b"]).build();
+        let inputs = prepare_inputs(&cat, &q).unwrap().atoms;
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let plan = binary2fj(&iv);
+        let scalar = FreeJoinOptions::default().with_batch_size(1);
+        let small_batches = FreeJoinOptions::default().with_batch_size(8);
+        let (a, _) = run(&inputs, &plan, &scalar, Aggregate::Count);
+        let (b, _) = run(&inputs, &plan, &small_batches, Aggregate::Count);
+        assert_eq!(a, b);
+        // 257 rows over 50 keys: most keys hold 5 or 6 rows, so the count is
+        // sum over keys of |R_x| * |S_x|.
+        let mut expected = 0u64;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..257i64 {
+            *counts.entry(i % 50).or_insert(0u64) += 1;
+        }
+        for c in counts.values() {
+            expected += c * c;
+        }
+        assert_eq!(a, expected);
+    }
+}

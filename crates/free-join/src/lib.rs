@@ -1,0 +1,69 @@
+//! # free-join
+//!
+//! A Rust implementation of **Free Join**, the join framework from
+//! *"Free Join: Unifying Worst-Case Optimal and Traditional Joins"*
+//! (Wang, Willsey, Suciu — SIGMOD 2023). Free Join unifies traditional binary
+//! hash joins and the worst-case optimal Generic Join in a single algorithm:
+//!
+//! * a **Free Join plan** (`fj_plan::FreeJoinPlan`, re-exported from
+//!   `fj-plan`) generalizes both binary join plans and Generic Join variable
+//!   orders;
+//! * the **Generalized Hash Trie** ([`trie`]) generalizes the hash tables of
+//!   binary join and the hash tries of Generic Join, with three build
+//!   strategies — fully-eager simple tries, simple lazy tries (SLT, after
+//!   Freitag et al.), and the paper's **COLT** (Column-Oriented Lazy Trie);
+//! * the **Free Join algorithm** ([`exec`]) executes a plan over the tries,
+//!   with optional vectorized execution and dynamic cover selection.
+//!
+//! The main entry point is [`FreeJoinEngine`]: give it a catalog, a
+//! conjunctive query and an optimized binary plan (e.g. from
+//! `fj_plan::optimize`), and it converts the plan to a Free Join plan,
+//! optimizes it by factorization, builds COLTs and runs the join.
+//!
+//! ```
+//! use fj_plan::{optimize, CatalogStats, OptimizerOptions};
+//! use fj_query::QueryBuilder;
+//! use fj_storage::{Catalog, RelationBuilder, Schema};
+//! use free_join::{FreeJoinEngine, FreeJoinOptions};
+//!
+//! // A tiny triangle query.
+//! let mut catalog = Catalog::new();
+//! for name in ["R", "S", "T"] {
+//!     let mut b = RelationBuilder::new(name, Schema::all_int(&["a", "b"]));
+//!     for i in 0..10i64 {
+//!         b.push_ints(&[i % 3, (i + 1) % 3]).unwrap();
+//!     }
+//!     catalog.add(b.finish()).unwrap();
+//! }
+//! let query = QueryBuilder::new("triangle")
+//!     .atom("R", &["x", "y"])
+//!     .atom("S", &["y", "z"])
+//!     .atom("T", &["z", "x"])
+//!     .count()
+//!     .build();
+//!
+//! let stats = CatalogStats::collect(&catalog);
+//! let plan = optimize(&query, &stats, OptimizerOptions::default());
+//! let engine = FreeJoinEngine::new(FreeJoinOptions::default());
+//! let (output, _exec_stats) = engine.execute(&catalog, &query, &plan).unwrap();
+//! assert!(output.cardinality() > 0);
+//! ```
+
+pub mod compile;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod options;
+pub mod prep;
+pub mod sink;
+pub mod trie;
+
+pub use engine::FreeJoinEngine;
+pub use error::{EngineError, EngineResult};
+pub use options::{FreeJoinOptions, TrieStrategy};
+pub use prep::{prepare_inputs, BoundInput};
+pub use sink::{MaterializeSink, OutputSink, Sink};
+pub use trie::InputTrie;
+
+// Re-export the plan types most users need alongside the engine.
+pub use fj_plan::{binary2fj, factor, BinaryPlan, FreeJoinPlan};

@@ -1,0 +1,155 @@
+//! Execution options for the Free Join engine.
+
+use serde::{Deserialize, Serialize};
+
+/// Which trie build strategy to use (the ablation of Section 5.3 / Figure 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TrieStrategy {
+    /// Fully expand every trie ahead of time ("simple trie" in the paper) —
+    /// the strategy of a textbook Generic Join implementation.
+    Simple,
+    /// Expand the first level of each trie ahead of time and the inner levels
+    /// lazily — the "simple lazy trie" (SLT) of Freitag et al. [VLDB 2020].
+    Slt,
+    /// The paper's Column-Oriented Lazy Trie: build nothing up front, expand
+    /// a level only when it is first probed; iterate the base table directly
+    /// when possible.
+    #[default]
+    Colt,
+}
+
+impl TrieStrategy {
+    /// Human-readable name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrieStrategy::Simple => "simple",
+            TrieStrategy::Slt => "slt",
+            TrieStrategy::Colt => "colt",
+        }
+    }
+}
+
+/// Options controlling Free Join execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeJoinOptions {
+    /// Trie build strategy (default: COLT).
+    pub trie: TrieStrategy,
+    /// Vectorization batch size; `1` disables vectorization (Section 4.3,
+    /// Figure 18). The paper's default is 1000.
+    pub batch_size: usize,
+    /// Choose the cover with the fewest keys at run time (Section 4.4)
+    /// instead of always iterating the statically designated cover.
+    pub dynamic_cover: bool,
+    /// Use the factorized-output optimization (Section 4.4 / Figure 19):
+    /// when the remaining plan nodes are independent expansions and the
+    /// output is an aggregate, multiply subtree sizes instead of enumerating
+    /// the Cartesian product.
+    pub factorize_output: bool,
+    /// Optimize the converted Free Join plan by factoring probes into earlier
+    /// nodes (Section 4.1). Disabling this makes Free Join behave exactly
+    /// like the binary join plan it was given.
+    pub optimize_plan: bool,
+    /// Apply factorization to a fixpoint instead of the paper's single pass.
+    /// Off by default to match the paper; exposed for the ablation benches.
+    pub factor_to_fixpoint: bool,
+}
+
+impl Default for FreeJoinOptions {
+    fn default() -> Self {
+        FreeJoinOptions {
+            trie: TrieStrategy::Colt,
+            batch_size: 1000,
+            dynamic_cover: true,
+            factorize_output: false,
+            optimize_plan: true,
+            factor_to_fixpoint: false,
+        }
+    }
+}
+
+impl FreeJoinOptions {
+    /// The configuration the paper uses as its Generic Join baseline:
+    /// "modifying Free Join to fully construct all tries, and removing
+    /// vectorization" (Section 5.1).
+    pub fn generic_join_baseline() -> Self {
+        FreeJoinOptions {
+            trie: TrieStrategy::Simple,
+            batch_size: 1,
+            dynamic_cover: true,
+            factorize_output: false,
+            optimize_plan: true,
+            factor_to_fixpoint: true,
+        }
+    }
+
+    /// A configuration that makes Free Join execute the binary plan as-is
+    /// (no factoring), useful as a sanity baseline.
+    pub fn binary_equivalent() -> Self {
+        FreeJoinOptions { optimize_plan: false, dynamic_cover: false, ..Self::default() }
+    }
+
+    /// Builder-style setter for the trie strategy.
+    pub fn with_trie(mut self, trie: TrieStrategy) -> Self {
+        self.trie = trie;
+        self
+    }
+
+    /// Builder-style setter for the vectorization batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Builder-style setter for factorized output.
+    pub fn with_factorized_output(mut self, on: bool) -> Self {
+        self.factorize_output = on;
+        self
+    }
+
+    /// Is vectorization enabled?
+    pub fn vectorized(&self) -> bool {
+        self.batch_size > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = FreeJoinOptions::default();
+        assert_eq!(o.trie, TrieStrategy::Colt);
+        assert_eq!(o.batch_size, 1000);
+        assert!(o.dynamic_cover);
+        assert!(o.optimize_plan);
+        assert!(!o.factorize_output);
+        assert!(o.vectorized());
+    }
+
+    #[test]
+    fn generic_join_baseline_configuration() {
+        let o = FreeJoinOptions::generic_join_baseline();
+        assert_eq!(o.trie, TrieStrategy::Simple);
+        assert_eq!(o.batch_size, 1);
+        assert!(!o.vectorized());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let o = FreeJoinOptions::default()
+            .with_trie(TrieStrategy::Slt)
+            .with_batch_size(0)
+            .with_factorized_output(true);
+        assert_eq!(o.trie, TrieStrategy::Slt);
+        assert_eq!(o.batch_size, 1, "batch size is clamped to at least 1");
+        assert!(o.factorize_output);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(TrieStrategy::Simple.name(), "simple");
+        assert_eq!(TrieStrategy::Slt.name(), "slt");
+        assert_eq!(TrieStrategy::Colt.name(), "colt");
+    }
+}

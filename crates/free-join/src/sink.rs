@@ -1,0 +1,162 @@
+//! Result sinks: where the join phase sends its output tuples.
+//!
+//! The final pipeline of a query feeds an [`OutputSink`] (which applies the
+//! query's aggregate); earlier pipelines of a bushy plan feed a
+//! [`MaterializeSink`] whose rows become an intermediate relation.
+
+use fj_query::{OutputBuilder, QueryOutput};
+use fj_storage::{Row, Value};
+
+/// A consumer of join result tuples.
+///
+/// `tuple` is laid out in the pipeline's binding order; `bound_prefix` slots
+/// are valid. For fully-enumerated results `bound_prefix` equals the tuple
+/// length; the factorized-output optimization pushes partial tuples with a
+/// weight equal to the number of full tuples they expand into.
+pub trait Sink {
+    /// Push a (possibly partial) result tuple with a multiplicity.
+    fn push(&mut self, tuple: &[Value], bound_prefix: usize, weight: u64);
+
+    /// May the engine push partial tuples with only `bound_prefix` slots
+    /// bound? (True only for counting aggregates whose output variables are
+    /// all within the prefix.)
+    fn accepts_factorized(&self, bound_prefix: usize) -> bool;
+
+    /// Number of tuples pushed so far (with multiplicity).
+    fn tuples(&self) -> u64;
+}
+
+/// Sink applying the query aggregate via [`OutputBuilder`].
+#[derive(Debug)]
+pub struct OutputSink {
+    builder: OutputBuilder,
+}
+
+impl OutputSink {
+    /// Wrap an output builder.
+    pub fn new(builder: OutputBuilder) -> Self {
+        OutputSink { builder }
+    }
+
+    /// Finish and produce the query output.
+    pub fn finish(self) -> QueryOutput {
+        self.builder.finish()
+    }
+}
+
+impl Sink for OutputSink {
+    fn push(&mut self, tuple: &[Value], _bound_prefix: usize, weight: u64) {
+        self.builder.push_weighted(tuple, weight);
+    }
+
+    fn accepts_factorized(&self, bound_prefix: usize) -> bool {
+        self.builder.is_counting() && self.builder.vars_bound_within(bound_prefix)
+    }
+
+    fn tuples(&self) -> u64 {
+        self.builder.tuples()
+    }
+}
+
+/// Sink materializing full result rows (used for bushy-plan intermediates).
+///
+/// The paper notes its materialization strategy is deliberately simple:
+/// "for each intermediate that we need to materialize, we store the tuples
+/// containing all base-table attributes in a simple vector" — this sink does
+/// exactly that.
+#[derive(Debug, Default)]
+pub struct MaterializeSink {
+    rows: Vec<Row>,
+}
+
+impl MaterializeSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The materialized rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of rows materialized.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing was materialized.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Sink for MaterializeSink {
+    fn push(&mut self, tuple: &[Value], _bound_prefix: usize, weight: u64) {
+        let row: Row = tuple.to_vec();
+        for _ in 1..weight {
+            self.rows.push(row.clone());
+        }
+        if weight > 0 {
+            self.rows.push(row);
+        }
+    }
+
+    fn accepts_factorized(&self, _bound_prefix: usize) -> bool {
+        false
+    }
+
+    fn tuples(&self) -> u64 {
+        self.rows.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_query::Aggregate;
+
+    fn binding() -> Vec<String> {
+        ["x", "y"].iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn output_sink_counting_accepts_factorized() {
+        let b = OutputBuilder::new(&binding(), Aggregate::Count, &binding());
+        let mut sink = OutputSink::new(b);
+        assert!(sink.accepts_factorized(0));
+        sink.push(&[Value::Int(1), Value::Int(2)], 2, 5);
+        assert_eq!(sink.tuples(), 5);
+        assert_eq!(sink.finish(), QueryOutput::count(5));
+    }
+
+    #[test]
+    fn output_sink_group_count_requires_bound_group_vars() {
+        let b = OutputBuilder::new(&binding(), Aggregate::group_count(&["y"]), &binding());
+        let sink = OutputSink::new(b);
+        assert!(!sink.accepts_factorized(1)); // y is slot 1, not yet bound
+        assert!(sink.accepts_factorized(2));
+    }
+
+    #[test]
+    fn output_sink_materialize_never_factorizes() {
+        let b = OutputBuilder::new(&binding(), Aggregate::Materialize, &binding());
+        let sink = OutputSink::new(b);
+        assert!(!sink.accepts_factorized(2));
+    }
+
+    #[test]
+    fn materialize_sink_collects_weighted_rows() {
+        let mut sink = MaterializeSink::new();
+        assert!(sink.is_empty());
+        sink.push(&[Value::Int(1)], 1, 1);
+        sink.push(&[Value::Int(2)], 1, 3);
+        sink.push(&[Value::Int(3)], 1, 0);
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.tuples(), 4);
+        assert!(!sink.accepts_factorized(1));
+        let rows = sink.into_rows();
+        assert_eq!(rows[0], vec![Value::Int(1)]);
+        assert_eq!(rows[3], vec![Value::Int(2)]);
+    }
+}

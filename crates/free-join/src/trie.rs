@@ -1,0 +1,510 @@
+//! The Generalized Hash Trie (GHT) and its build strategies.
+//!
+//! A GHT (Definition 3.1) is a tree whose internal nodes are hash maps from
+//! key tuples to children and whose leaves are vectors of tuples. This module
+//! implements the GHT over the column-oriented storage of `fj-storage`: leaf
+//! vectors hold *row offsets* into the input relation rather than copies of
+//! tuples, exactly as the paper's COLT (Column-Oriented Lazy Trie,
+//! Section 4.2) prescribes, and hash-map levels are built either eagerly or
+//! lazily depending on the [`TrieStrategy`]:
+//!
+//! * [`TrieStrategy::Simple`] — every map level is built up front (the
+//!   classic Generic Join trie).
+//! * [`TrieStrategy::Slt`] — only the first level is built up front; inner
+//!   levels are built on first access (Freitag et al.'s lazy trie).
+//! * [`TrieStrategy::Colt`] — nothing is built up front; the root iterates
+//!   the base relation directly, and every level is built on first probe.
+//!
+//! Laziness is implemented with interior mutability (`RefCell`): the join
+//! algorithm only ever holds shared references to tries, and a probe may
+//! force a vector node into a hash map in place. The engine is
+//! single-threaded (like the paper's), so `RefCell` is sufficient.
+
+use crate::options::TrieStrategy;
+use crate::prep::BoundInput;
+use fj_storage::{Relation, Value};
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A key tuple (the values of one level's variables).
+pub type Tuple = Vec<Value>;
+
+/// The payload of a trie node.
+#[derive(Debug)]
+pub enum NodeData {
+    /// Lazily represents *every* row of the relation without materializing
+    /// offsets — the COLT root before any probe ("iterate directly over the
+    /// base table").
+    AllRows,
+    /// A vector of row offsets into the base relation (an unforced node, or a
+    /// leaf).
+    Offsets(Vec<u32>),
+    /// A forced hash-map level: key tuple to child node.
+    Map(HashMap<Tuple, Rc<TrieNode>>),
+}
+
+/// One node of a GHT.
+#[derive(Debug)]
+pub struct TrieNode {
+    data: RefCell<NodeData>,
+}
+
+impl TrieNode {
+    fn new(data: NodeData) -> Rc<Self> {
+        Rc::new(TrieNode { data: RefCell::new(data) })
+    }
+
+    /// Is this node currently a hash map?
+    pub fn is_map(&self) -> bool {
+        matches!(*self.data.borrow(), NodeData::Map(_))
+    }
+
+    /// Borrow the node payload (read-only).
+    pub fn data(&self) -> Ref<'_, NodeData> {
+        self.data.borrow()
+    }
+}
+
+/// The GHT of one pipeline input, together with the metadata needed to build
+/// and access it (the paper's `relation`, `schema` and `vars` fields of the
+/// COLT structure, Figure 12).
+#[derive(Debug)]
+pub struct InputTrie {
+    /// Input display name (for diagnostics).
+    name: String,
+    /// The bound (filtered) relation the offsets point into.
+    relation: Arc<Relation>,
+    /// Variable names per level; the last level may be empty (a pure leaf).
+    schema: Vec<Vec<String>>,
+    /// Column index (in `relation`) of each variable, per level.
+    level_cols: Vec<Vec<usize>>,
+    /// The root node.
+    root: Rc<TrieNode>,
+    /// Number of hash-map levels built (eager + lazy).
+    maps_built: Cell<u64>,
+    /// Number of hash-map levels built lazily during the join phase.
+    lazy_built: Cell<u64>,
+}
+
+impl InputTrie {
+    /// Build the trie for a bound input according to the GHT schema computed
+    /// from the Free Join plan and the chosen strategy.
+    ///
+    /// # Panics
+    /// Panics if a schema variable is not bound by the input.
+    pub fn build(input: &BoundInput, schema: Vec<Vec<String>>, strategy: TrieStrategy) -> Self {
+        let level_cols: Vec<Vec<usize>> = schema
+            .iter()
+            .map(|vars| {
+                vars.iter()
+                    .map(|v| {
+                        input
+                            .col_of(v)
+                            .unwrap_or_else(|| panic!("schema variable {v} not bound by input {}", input.name))
+                    })
+                    .collect()
+            })
+            .collect();
+        let trie = InputTrie {
+            name: input.name.clone(),
+            relation: Arc::clone(&input.relation),
+            schema,
+            level_cols,
+            root: TrieNode::new(NodeData::AllRows),
+            maps_built: Cell::new(0),
+            lazy_built: Cell::new(0),
+        };
+        match strategy {
+            TrieStrategy::Colt => {}
+            TrieStrategy::Slt => {
+                if trie.num_levels() > 1 {
+                    trie.force(&trie.root.clone(), 0, false);
+                }
+            }
+            TrieStrategy::Simple => {
+                let root = trie.root.clone();
+                trie.force_recursive(&root, 0);
+            }
+        }
+        trie
+    }
+
+    /// The input name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root node.
+    pub fn root(&self) -> Rc<TrieNode> {
+        self.root.clone()
+    }
+
+    /// Number of levels in the GHT schema.
+    pub fn num_levels(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The variables keyed at a level.
+    pub fn level_vars(&self, level: usize) -> &[String] {
+        &self.schema[level]
+    }
+
+    /// Is `level` the last level of the schema?
+    pub fn is_last_level(&self, level: usize) -> bool {
+        level + 1 >= self.schema.len()
+    }
+
+    /// Number of hash-map levels built so far (eager and lazy).
+    pub fn maps_built(&self) -> u64 {
+        self.maps_built.get()
+    }
+
+    /// Number of hash-map levels built lazily during the join phase.
+    pub fn lazy_built(&self) -> u64 {
+        self.lazy_built.get()
+    }
+
+    /// An estimate of the number of keys at a node, used for dynamic cover
+    /// selection: exact for forced nodes, the tuple count otherwise (the
+    /// paper: "we use the length of the vector as an estimate").
+    pub fn estimated_keys(&self, node: &TrieNode) -> usize {
+        match &*node.data.borrow() {
+            NodeData::AllRows => self.relation.num_rows(),
+            NodeData::Offsets(v) => v.len(),
+            NodeData::Map(m) => m.len(),
+        }
+    }
+
+    /// The number of base tuples represented below this node.
+    pub fn tuple_count(&self, node: &TrieNode) -> u64 {
+        match &*node.data.borrow() {
+            NodeData::AllRows => self.relation.num_rows() as u64,
+            NodeData::Offsets(v) => v.len() as u64,
+            NodeData::Map(m) => m.values().map(|c| self.tuple_count(c)).sum(),
+        }
+    }
+
+    /// Read the key tuple of `level` for a row offset.
+    fn read_key(&self, level: usize, offset: u32) -> Tuple {
+        self.level_cols[level]
+            .iter()
+            .map(|&c| self.relation.column(c).get(offset as usize))
+            .collect()
+    }
+
+    /// Force a node at `level` into a hash map (no-op if already forced).
+    /// `lazy` marks whether this happens during the join phase (for the
+    /// statistics that distinguish eager from lazy building).
+    pub fn force(&self, node: &TrieNode, level: usize, lazy: bool) {
+        let already_map = node.is_map();
+        if already_map {
+            return;
+        }
+        let mut groups: HashMap<Tuple, Vec<u32>> = HashMap::new();
+        {
+            let data = node.data.borrow();
+            match &*data {
+                NodeData::AllRows => {
+                    for offset in 0..self.relation.num_rows() as u32 {
+                        groups.entry(self.read_key(level, offset)).or_default().push(offset);
+                    }
+                }
+                NodeData::Offsets(offsets) => {
+                    for &offset in offsets {
+                        groups.entry(self.read_key(level, offset)).or_default().push(offset);
+                    }
+                }
+                NodeData::Map(_) => unreachable!("checked above"),
+            }
+        }
+        let map: HashMap<Tuple, Rc<TrieNode>> = groups
+            .into_iter()
+            .map(|(k, offsets)| (k, TrieNode::new(NodeData::Offsets(offsets))))
+            .collect();
+        *node.data.borrow_mut() = NodeData::Map(map);
+        self.maps_built.set(self.maps_built.get() + 1);
+        if lazy {
+            self.lazy_built.set(self.lazy_built.get() + 1);
+        }
+    }
+
+    /// Force every map level below `node` eagerly (used by the simple-trie
+    /// strategy). The last schema level is left as offset vectors — those are
+    /// the GHT leaves.
+    fn force_recursive(&self, node: &Rc<TrieNode>, level: usize) {
+        if self.is_last_level(level) {
+            return;
+        }
+        self.force(node, level, false);
+        let children: Vec<Rc<TrieNode>> = match &*node.data.borrow() {
+            NodeData::Map(m) => m.values().cloned().collect(),
+            _ => unreachable!("just forced"),
+        };
+        for child in children {
+            self.force_recursive(&child, level + 1);
+        }
+    }
+
+    /// Look up `key` at `node` (which sits at `level`), forcing the node into
+    /// a map first if necessary. Returns the child node, or `None` if the key
+    /// is absent. This is the `get` of the GHT interface (Figure 5).
+    pub fn get(&self, node: &TrieNode, level: usize, key: &[Value]) -> Option<Rc<TrieNode>> {
+        if !node.is_map() {
+            self.force(node, level, true);
+        }
+        match &*node.data.borrow() {
+            NodeData::Map(m) => m.get(key).cloned(),
+            _ => unreachable!("node was just forced"),
+        }
+    }
+
+    /// Iterate the entries of `node` at `level`, calling `f(key, child)`.
+    ///
+    /// * For a forced (map) node, `key` ranges over the distinct keys and
+    ///   `child` is the corresponding subtrie.
+    /// * For an unforced node at the **last** level, the iteration goes
+    ///   directly over the underlying tuples (one call per tuple, duplicates
+    ///   included) and `child` is `None` — the paper's "iterate directly over
+    ///   the base table" optimization.
+    /// * For an unforced node at a non-final level, the node is first forced
+    ///   (iterating it tuple-wise would enumerate duplicate keys and multiply
+    ///   work below).
+    ///
+    /// This is the `iter` of the GHT interface (Figure 5); the child is
+    /// passed along so the caller does not need a separate `get` on the
+    /// iterated trie (line 8 of Figure 7).
+    pub fn for_each(&self, node: &TrieNode, level: usize, mut f: impl FnMut(&[Value], Option<&Rc<TrieNode>>)) {
+        let forced_needed = !node.is_map() && !self.is_last_level(level);
+        if forced_needed {
+            self.force(node, level, true);
+        }
+        let data = node.data.borrow();
+        match &*data {
+            NodeData::Map(m) => {
+                for (key, child) in m {
+                    f(key, Some(child));
+                }
+            }
+            NodeData::AllRows => {
+                let mut key = Vec::with_capacity(self.level_cols[level].len());
+                for offset in 0..self.relation.num_rows() as u32 {
+                    key.clear();
+                    for &c in &self.level_cols[level] {
+                        key.push(self.relation.column(c).get(offset as usize));
+                    }
+                    f(&key, None);
+                }
+            }
+            NodeData::Offsets(offsets) => {
+                let mut key = Vec::with_capacity(self.level_cols[level].len());
+                for &offset in offsets {
+                    key.clear();
+                    for &c in &self.level_cols[level] {
+                        key.push(self.relation.column(c).get(offset as usize));
+                    }
+                    f(&key, None);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare_inputs;
+    use fj_query::QueryBuilder;
+    use fj_storage::{Catalog, RelationBuilder, Schema};
+
+    /// The paper's Figure 3 instance of relation S for the clover query,
+    /// with n = 3: {(x0,b0)} ∪ {(x2,bl_i), (x3,br_i) | i in 1..3}.
+    fn clover_s_input() -> BoundInput {
+        let mut cat = Catalog::new();
+        let mut b = RelationBuilder::new("S", Schema::all_int(&["x", "b"]));
+        b.push_ints(&[0, 100]).unwrap();
+        for i in 1..=3i64 {
+            b.push_ints(&[2, 200 + i]).unwrap();
+            b.push_ints(&[3, 300 + i]).unwrap();
+        }
+        cat.add(b.finish()).unwrap();
+        let q = QueryBuilder::new("q").atom("S", &["x", "b"]).build();
+        prepare_inputs(&cat, &q).unwrap().atoms.remove(0)
+    }
+
+    fn schema(levels: &[&[&str]]) -> Vec<Vec<String>> {
+        levels.iter().map(|l| l.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn colt_builds_nothing_up_front() {
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Colt);
+        assert_eq!(trie.maps_built(), 0);
+        assert_eq!(trie.lazy_built(), 0);
+        assert_eq!(trie.num_levels(), 2);
+        assert!(!trie.root().is_map());
+        assert_eq!(trie.estimated_keys(&trie.root()), 7);
+        assert_eq!(trie.tuple_count(&trie.root()), 7);
+    }
+
+    #[test]
+    fn slt_builds_only_first_level() {
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Slt);
+        assert_eq!(trie.maps_built(), 1);
+        assert_eq!(trie.lazy_built(), 0);
+        assert!(trie.root().is_map());
+        // The children (second level) are unforced offset vectors.
+        let root = trie.root();
+        let x2 = trie.get(&root, 0, &[Value::Int(2)]).unwrap();
+        assert!(!x2.is_map());
+        assert_eq!(trie.estimated_keys(&x2), 3);
+    }
+
+    #[test]
+    fn simple_builds_every_map_level() {
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["b"], &[]]), TrieStrategy::Simple);
+        // Level 0 is one map; level 1 is one map per x value (3 of them).
+        assert_eq!(trie.maps_built(), 4);
+        assert_eq!(trie.lazy_built(), 0);
+        let root = trie.root();
+        let x3 = trie.get(&root, 0, &[Value::Int(3)]).unwrap();
+        assert!(x3.is_map());
+        let b = trie.get(&x3, 1, &[Value::Int(301)]).unwrap();
+        // The leaf is a vector of one offset.
+        assert_eq!(trie.estimated_keys(&b), 1);
+        assert_eq!(trie.tuple_count(&x3), 3);
+    }
+
+    #[test]
+    fn colt_get_forces_lazily_and_counts() {
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Colt);
+        let root = trie.root();
+        // First probe forces the first level.
+        let x0 = trie.get(&root, 0, &[Value::Int(0)]).unwrap();
+        assert_eq!(trie.maps_built(), 1);
+        assert_eq!(trie.lazy_built(), 1);
+        assert_eq!(trie.estimated_keys(&x0), 1);
+        // Missing key returns None without further building.
+        assert!(trie.get(&root, 0, &[Value::Int(42)]).is_none());
+        assert_eq!(trie.maps_built(), 1);
+        // Probing the second level of one branch only forces that branch.
+        let x2 = trie.get(&root, 0, &[Value::Int(2)]).unwrap();
+        assert!(trie.get(&x2, 1, &[Value::Int(201)]).is_some());
+        assert!(trie.get(&x2, 1, &[Value::Int(999)]).is_none());
+        assert_eq!(trie.maps_built(), 2);
+        // The x3 branch was never touched.
+        let x3 = trie.get(&root, 0, &[Value::Int(3)]).unwrap();
+        assert!(!x3.is_map());
+    }
+
+    #[test]
+    fn for_each_on_map_yields_distinct_keys_with_children() {
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Slt);
+        let root = trie.root();
+        let mut keys = Vec::new();
+        trie.for_each(&root, 0, |key, child| {
+            assert!(child.is_some());
+            keys.push(key[0]);
+        });
+        keys.sort_by(|a, b| a.total_cmp(*b));
+        assert_eq!(keys, vec![Value::Int(0), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn for_each_on_last_level_iterates_tuples_directly() {
+        let input = clover_s_input();
+        // Single-level schema: the whole relation is iterated as a flat
+        // vector (the left-child case that COLT never builds a map for).
+        let trie = InputTrie::build(&input, schema(&[&["x", "b"]]), TrieStrategy::Colt);
+        let root = trie.root();
+        let mut count = 0;
+        trie.for_each(&root, 0, |key, child| {
+            assert_eq!(key.len(), 2);
+            assert!(child.is_none());
+            count += 1;
+        });
+        assert_eq!(count, 7);
+        // No map was ever built.
+        assert_eq!(trie.maps_built(), 0);
+    }
+
+    #[test]
+    fn for_each_on_unforced_middle_level_forces_first() {
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Colt);
+        let root = trie.root();
+        let mut distinct = 0;
+        trie.for_each(&root, 0, |_, child| {
+            assert!(child.is_some());
+            distinct += 1;
+        });
+        assert_eq!(distinct, 3);
+        assert_eq!(trie.lazy_built(), 1);
+    }
+
+    #[test]
+    fn duplicate_tuples_are_preserved_in_leaves() {
+        let mut cat = Catalog::new();
+        let mut b = RelationBuilder::new("D", Schema::all_int(&["x", "y"]));
+        b.push_ints(&[1, 5]).unwrap();
+        b.push_ints(&[1, 5]).unwrap();
+        b.push_ints(&[1, 6]).unwrap();
+        cat.add(b.finish()).unwrap();
+        let q = QueryBuilder::new("q").atom("D", &["x", "y"]).build();
+        let input = prepare_inputs(&cat, &q).unwrap().atoms.remove(0);
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["y"], &[]]), TrieStrategy::Colt);
+        let root = trie.root();
+        let x1 = trie.get(&root, 0, &[Value::Int(1)]).unwrap();
+        let y5 = trie.get(&x1, 1, &[Value::Int(5)]).unwrap();
+        // Two duplicate (1,5) tuples → the leaf holds two offsets.
+        assert_eq!(trie.estimated_keys(&y5), 2);
+        assert_eq!(trie.tuple_count(&y5), 2);
+        let y6 = trie.get(&x1, 1, &[Value::Int(6)]).unwrap();
+        assert_eq!(trie.tuple_count(&y6), 1);
+    }
+
+    #[test]
+    fn empty_key_level_maps_everything_to_one_child() {
+        let input = clover_s_input();
+        // Schema with an empty first level (arises for cross-product probes).
+        let trie = InputTrie::build(&input, schema(&[&[], &["x", "b"]]), TrieStrategy::Colt);
+        let root = trie.root();
+        let child = trie.get(&root, 0, &[]).unwrap();
+        assert_eq!(trie.tuple_count(&child), 7);
+        let mut n = 0;
+        trie.for_each(&child, 1, |_, _| n += 1);
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn empty_relation_trie() {
+        let mut cat = Catalog::new();
+        cat.add(fj_storage::Relation::empty("E", Schema::all_int(&["x"]))).unwrap();
+        let q = QueryBuilder::new("q").atom("E", &["x"]).build();
+        let input = prepare_inputs(&cat, &q).unwrap().atoms.remove(0);
+        let trie = InputTrie::build(&input, schema(&[&["x"]]), TrieStrategy::Simple);
+        let root = trie.root();
+        assert_eq!(trie.estimated_keys(&root), 0);
+        let mut n = 0;
+        trie.for_each(&root, 0, |_, _| n += 1);
+        assert_eq!(n, 0);
+        assert!(trie.get(&root, 0, &[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn name_and_level_metadata() {
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Colt);
+        assert_eq!(trie.name(), "S");
+        assert_eq!(trie.level_vars(0), &["x".to_string()]);
+        assert_eq!(trie.level_vars(1), &["b".to_string()]);
+        assert!(!trie.is_last_level(0));
+        assert!(trie.is_last_level(1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Robustness to poor query plans (the paper's Section 5.4, Figures 15/20).
+//!
+//! The same queries are optimized twice: once with accurate statistics and
+//! once with the cardinality estimator pinned to 1 — the paper's way of
+//! making DuckDB produce bad plans. Each engine runs both plans, and the
+//! slowdown shows how sensitive each algorithm is to optimizer quality.
+//!
+//! ```text
+//! cargo run --release --example robustness
+//! ```
+
+use freejoin::prelude::*;
+use freejoin::workloads::job;
+
+fn main() {
+    let config = job::JobConfig { movies: 400, people: 800, ..job::JobConfig::benchmark() };
+    let workload = job::workload(&config);
+    let stats = CatalogStats::collect(&workload.catalog);
+
+    println!(
+        "{:<14} {:>22} {:>22} {:>22}",
+        "query", "binary good->bad", "generic good->bad", "freejoin good->bad"
+    );
+
+    let binary = BinaryJoinEngine::new();
+    let generic = GenericJoinEngine::new();
+    let free = FreeJoinEngine::new(FreeJoinOptions::default());
+
+    for named in workload.queries.iter().filter(|q| q.name.ends_with("a_like")).take(6) {
+        let good = optimize(&named.query, &stats, OptimizerOptions::default());
+        let bad = optimize(&named.query, &stats, OptimizerOptions::bad_estimates());
+
+        let cell = |good_t: std::time::Duration, bad_t: std::time::Duration| {
+            format!("{:.4}s->{:.4}s ({:.1}x)", good_t.as_secs_f64(), bad_t.as_secs_f64(), bad_t.as_secs_f64() / good_t.as_secs_f64().max(1e-9))
+        };
+
+        let (b1, s1) = binary.execute(&workload.catalog, &named.query, &good).unwrap();
+        let (b2, s2) = binary.execute(&workload.catalog, &named.query, &bad).unwrap();
+        let (_, s3) = generic.execute(&workload.catalog, &named.query, &good).unwrap();
+        let (_, s4) = generic.execute(&workload.catalog, &named.query, &bad).unwrap();
+        let (f1, s5) = free.execute(&workload.catalog, &named.query, &good).unwrap();
+        let (f2, s6) = free.execute(&workload.catalog, &named.query, &bad).unwrap();
+
+        // Bad plans change performance, never answers.
+        assert_eq!(b1.cardinality(), b2.cardinality());
+        assert_eq!(f1.cardinality(), f2.cardinality());
+        assert_eq!(b1.cardinality(), f1.cardinality());
+
+        println!(
+            "{:<14} {:>22} {:>22} {:>22}",
+            named.name,
+            cell(s1.reported_time(), s2.reported_time()),
+            cell(s3.reported_time(), s4.reported_time()),
+            cell(s5.reported_time(), s6.reported_time()),
+        );
+    }
+    println!();
+    println!("The paper's finding: Generic Join degrades least (trie building dominates its");
+    println!("run time regardless of the plan), while Free Join and binary join both rely on");
+    println!("the cost-based plan — but Free Join remains the fastest in absolute terms.");
+}

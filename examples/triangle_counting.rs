@@ -1,0 +1,62 @@
+//! Triangle counting on a skewed graph — the canonical workload where
+//! worst-case optimal joins beat binary join plans.
+//!
+//! The example generates a Zipf-skewed random graph, counts directed
+//! triangles with all three engines, and prints the times side by side. On a
+//! skewed graph the binary plan's first join produces far more intermediate
+//! tuples than there are triangles; Free Join (like Generic Join) intersects
+//! one variable at a time and avoids that blow-up, while its COLT tries keep
+//! the build phase cheap.
+//!
+//! ```text
+//! cargo run --release --example triangle_counting
+//! ```
+
+use freejoin::prelude::*;
+use freejoin::query::ExecStats;
+use freejoin::workloads::micro;
+use std::time::Instant;
+
+fn report(name: &str, out: &QueryOutput, exec: &ExecStats, wall: std::time::Duration) {
+    println!(
+        "{name:<13} triangles={:<10} reported={:?} (build {:?}, join {:?}), wall {:?}",
+        out.cardinality(),
+        exec.reported_time(),
+        exec.build_time,
+        exec.join_time,
+        wall
+    );
+}
+
+fn main() {
+    // A 2,000-node graph with average out-degree 12 and heavy skew: a few
+    // "celebrity" nodes appear in a large fraction of the edges.
+    let workload = micro::skewed_triangle(2_000, 12, 1.0, 42);
+    let named = &workload.queries[0];
+    let edges = workload.catalog.get("edge").unwrap().num_rows();
+    println!("graph: {edges} edges over 2000 nodes (Zipf skew 1.0)");
+
+    let stats = CatalogStats::collect(&workload.catalog);
+    let plan = optimize(&named.query, &stats, OptimizerOptions::default());
+    println!("binary plan from the optimizer: {}", plan.display(&named.query));
+
+    let start = Instant::now();
+    let (bj_out, bj_stats) =
+        BinaryJoinEngine::new().execute(&workload.catalog, &named.query, &plan).unwrap();
+    report("binary join", &bj_out, &bj_stats, start.elapsed());
+
+    let start = Instant::now();
+    let (gj_out, gj_stats) =
+        GenericJoinEngine::new().execute(&workload.catalog, &named.query, &plan).unwrap();
+    report("generic join", &gj_out, &gj_stats, start.elapsed());
+
+    let start = Instant::now();
+    let (fj_out, fj_stats) = FreeJoinEngine::new(FreeJoinOptions::default())
+        .execute(&workload.catalog, &named.query, &plan)
+        .unwrap();
+    report("free join", &fj_out, &fj_stats, start.elapsed());
+
+    assert_eq!(bj_out.cardinality(), gj_out.cardinality());
+    assert_eq!(bj_out.cardinality(), fj_out.cardinality());
+    println!("all three engines agree.");
+}

@@ -1,0 +1,176 @@
+//! Plan-level equivalences from the paper's Section 3/4 (experiment E8 in
+//! DESIGN.md): a Free Join plan converted from a binary plan and executed
+//! without factorization behaves like the binary plan; the fully-factored
+//! plan and the Generic-Join-shaped plan compute the same results; and the
+//! factorization optimization preserves results while reducing probe work on
+//! the paper's adversarial clover instance.
+
+use freejoin::engine::exec::execute_pipeline;
+use freejoin::engine::compile::compile;
+use freejoin::engine::prepare_inputs;
+use freejoin::engine::sink::OutputSink;
+use freejoin::engine::InputTrie;
+use freejoin::plan::{binary2fj, factor, factor_until_fixpoint, fj_plan_from_var_order, variable_order, BinaryPlan};
+use freejoin::prelude::*;
+use freejoin::query::OutputBuilder;
+use freejoin::workloads::micro;
+
+/// Execute a hand-built Free Join plan over a query's atoms and return the
+/// result count together with the number of probes performed.
+fn run_fj_plan(
+    catalog: &Catalog,
+    query: &ConjunctiveQuery,
+    plan: &freejoin::plan::FreeJoinPlan,
+    options: &FreeJoinOptions,
+) -> (u64, u64) {
+    let prepared = prepare_inputs(catalog, query).unwrap();
+    let input_vars: Vec<Vec<String>> = prepared.atoms.iter().map(|a| a.vars.clone()).collect();
+    let compiled = compile(plan, &input_vars).unwrap();
+    let tries: Vec<InputTrie> = prepared
+        .atoms
+        .iter()
+        .zip(&compiled.schemas)
+        .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+        .collect();
+    let builder = OutputBuilder::new(&query.head, Aggregate::Count, &compiled.binding_order);
+    let mut sink = OutputSink::new(builder);
+    let counters = execute_pipeline(&tries, &compiled, options, &mut sink);
+    (sink.finish().cardinality(), counters.probes)
+}
+
+#[test]
+fn unfactored_fj_plan_equals_binary_join() {
+    // Free Join executing the converted-but-unoptimized plan is exactly the
+    // binary hash join (Section 3.3 / Figure 8a).
+    let w = micro::clover(60);
+    let named = &w.queries[0];
+    let plan = BinaryPlan::left_deep(&[0, 1, 2]);
+    let (bj, bj_stats) = freejoin::baselines::BinaryJoinEngine::new()
+        .execute(&w.catalog, &named.query, &plan)
+        .unwrap();
+    let (fj, fj_stats) = FreeJoinEngine::new(FreeJoinOptions::binary_equivalent())
+        .execute(&w.catalog, &named.query, &plan)
+        .unwrap();
+    assert_eq!(bj.cardinality(), fj.cardinality());
+    // Both walk the same nested loops, so they perform the same probes.
+    assert_eq!(bj_stats.probes, fj_stats.probes);
+}
+
+#[test]
+fn factored_plan_and_gj_plan_agree_with_binary_plan() {
+    let w = micro::clover(50);
+    let named = &w.queries[0];
+    let prepared_vars: Vec<Vec<String>> =
+        named.query.atoms.iter().map(|a| a.vars.clone()).collect();
+
+    let naive = binary2fj(&prepared_vars);
+    let mut factored = naive.clone();
+    factor(&mut factored);
+    let mut fixpoint = naive.clone();
+    factor_until_fixpoint(&mut fixpoint);
+    let order = variable_order(&factored, &prepared_vars);
+    let gj_style = fj_plan_from_var_order(&order.var_order, &prepared_vars);
+
+    let options = FreeJoinOptions::default();
+    let (naive_count, naive_probes) = run_fj_plan(&w.catalog, &named.query, &naive, &options);
+    let (factored_count, factored_probes) = run_fj_plan(&w.catalog, &named.query, &factored, &options);
+    let (fix_count, _) = run_fj_plan(&w.catalog, &named.query, &fixpoint, &options);
+    let (gj_count, _) = run_fj_plan(&w.catalog, &named.query, &gj_style, &options);
+
+    assert_eq!(naive_count, 1);
+    assert_eq!(factored_count, 1);
+    assert_eq!(fix_count, 1);
+    assert_eq!(gj_count, 1);
+    // Factoring pulls the T(x) probe out of the quadratic loop (Section 4.1).
+    assert!(
+        factored_probes < naive_probes,
+        "expected factoring to reduce probes: {factored_probes} vs {naive_probes}"
+    );
+}
+
+#[test]
+fn every_point_in_the_design_space_is_executable() {
+    // Figure 1: Free Join plans cover the whole design space between binary
+    // join and Generic Join. Execute several plans in between and check they
+    // all give the same answer on the triangle query.
+    let w = micro::skewed_triangle(120, 5, 0.9, 13);
+    let named = &w.queries[0];
+    let input_vars: Vec<Vec<String>> = named.query.atoms.iter().map(|a| a.vars.clone()).collect();
+
+    let binary_style = binary2fj(&input_vars);
+    let mut factored = binary_style.clone();
+    factor_until_fixpoint(&mut factored);
+    let order = variable_order(&binary_style, &input_vars);
+    let gj_style = fj_plan_from_var_order(&order.var_order, &input_vars);
+
+    let options = FreeJoinOptions::default();
+    let (a, _) = run_fj_plan(&w.catalog, &named.query, &binary_style, &options);
+    let (b, _) = run_fj_plan(&w.catalog, &named.query, &factored, &options);
+    let (c, _) = run_fj_plan(&w.catalog, &named.query, &gj_style, &options);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+
+    // Cross-check against the baseline engines.
+    let stats = CatalogStats::collect(&w.catalog);
+    let plan = optimize(&named.query, &stats, OptimizerOptions::default());
+    let (reference, _) = freejoin::baselines::BinaryJoinEngine::new()
+        .execute(&w.catalog, &named.query, &plan)
+        .unwrap();
+    assert_eq!(a, reference.cardinality());
+}
+
+#[test]
+fn factorization_never_changes_results_on_job_like_queries() {
+    let w = freejoin::workloads::job::workload(&freejoin::workloads::job::JobConfig::tiny());
+    let stats = CatalogStats::collect(&w.catalog);
+    for named in w.queries.iter().filter(|q| q.name.ends_with("a_like")) {
+        let plan = optimize(&named.query, &stats, OptimizerOptions::default());
+        let (unfactored, _) = FreeJoinEngine::new(FreeJoinOptions::binary_equivalent())
+            .execute(&w.catalog, &named.query, &plan)
+            .unwrap();
+        let (factored, _) = FreeJoinEngine::new(FreeJoinOptions::default())
+            .execute(&w.catalog, &named.query, &plan)
+            .unwrap();
+        assert_eq!(
+            unfactored.cardinality(),
+            factored.cardinality(),
+            "factoring changed the result of {}",
+            named.name
+        );
+    }
+}
+
+#[test]
+fn ght_schemas_follow_the_build_phase_rules() {
+    // Build-phase rules of Section 3.3, end-to-end on the triangle query.
+    let input_vars: Vec<Vec<String>> = vec![
+        vec!["x".into(), "y".into()],
+        vec!["y".into(), "z".into()],
+        vec!["z".into(), "x".into()],
+    ];
+    // The converted left-deep plan keeps R as a flat vector (no trie is ever
+    // built for the left-most input), S as a one-level map of vectors, and T
+    // as a map keyed on its probe key (z, x) with a trailing leaf level.
+    let mut plan = binary2fj(&input_vars);
+    factor(&mut plan);
+    let schemas = plan.ght_schemas(&input_vars);
+    assert_eq!(schemas[0], vec![vec!["x".to_string(), "y".to_string()]]);
+    assert_eq!(schemas[1], vec![vec!["y".to_string()], vec!["z".to_string()]]);
+    assert_eq!(schemas[2], vec![vec!["z".to_string(), "x".to_string()], Vec::<String>::new()]);
+
+    // The hand-written plan of Example 3.10 instead keys T one variable at a
+    // time, giving the three-level schema from the paper.
+    use freejoin::plan::{FjNode, Subatom};
+    let example = freejoin::plan::FreeJoinPlan::new(vec![
+        FjNode::new(vec![
+            Subatom::new(0, vec!["x".into(), "y".into()]),
+            Subatom::new(1, vec!["y".into()]),
+            Subatom::new(2, vec!["x".into()]),
+        ]),
+        FjNode::new(vec![Subatom::new(1, vec!["z".into()]), Subatom::new(2, vec!["z".into()])]),
+    ]);
+    let schemas = example.ght_schemas(&input_vars);
+    assert_eq!(schemas[0].len(), 1, "R is stored as a flat vector");
+    assert_eq!(schemas[1].len(), 2, "S is a hash map of vectors");
+    assert_eq!(schemas[2].len(), 3, "T is a hash map of hash maps of vectors");
+}
