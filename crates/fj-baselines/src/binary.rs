@@ -40,7 +40,8 @@ impl BinaryJoinEngine {
             return Err(EngineError::PlanDoesNotCoverQuery);
         }
         let prepared = prepare_inputs(catalog, query)?;
-        let mut stats = ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
+        let mut stats =
+            ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
 
         let decomposed = plan.decompose();
         let mut intermediates: Vec<Option<BoundInput>> = vec![None; decomposed.len()];
@@ -93,7 +94,8 @@ impl BinaryJoinEngine {
                 }
             }
         }
-        let slot_of = |v: &String| binding_order.iter().position(|b| b == v).expect("var in binding order");
+        let slot_of =
+            |v: &String| binding_order.iter().position(|b| b == v).expect("var in binding order");
 
         // For each probe input (everything but the first): the key variables
         // (shared with what is bound to its left), the hash table, the new
@@ -109,7 +111,8 @@ impl BinaryJoinEngine {
         let mut levels: Vec<ProbeLevel> = Vec::new();
         let mut bound: BTreeSet<String> = inputs[0].vars.iter().cloned().collect();
         for input in &inputs[1..] {
-            let key_vars: Vec<String> = input.vars.iter().filter(|v| bound.contains(*v)).cloned().collect();
+            let key_vars: Vec<String> =
+                input.vars.iter().filter(|v| bound.contains(*v)).cloned().collect();
             let table = JoinHashTable::build(input, &key_vars);
             let key_slots: Vec<usize> = key_vars.iter().map(slot_of).collect();
             let mut new_cols = Vec::new();
@@ -186,7 +189,8 @@ impl BinaryJoinEngine {
             PipelineSink::Materialize(sink) => {
                 let rows = sink.into_rows();
                 let name = format!("__bj_intermediate_{}", binding_order.join("_"));
-                let bound = materialize_intermediate(&name, &binding_order, &prepared.var_types, &rows)?;
+                let bound =
+                    materialize_intermediate(&name, &binding_order, &prepared.var_types, &rows)?;
                 Ok(PipelineResult::Intermediate(bound))
             }
         }
@@ -290,7 +294,8 @@ mod tests {
         assert!(expected > 0);
         let engine = BinaryJoinEngine::new();
         for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
-            let (out, stats) = engine.execute(&cat, &triangle(), &BinaryPlan::left_deep(&order)).unwrap();
+            let (out, stats) =
+                engine.execute(&cat, &triangle(), &BinaryPlan::left_deep(&order)).unwrap();
             assert_eq!(out.cardinality(), expected, "order {order:?}");
             assert!(stats.probes > 0);
             assert_eq!(stats.tries_built, 2);

@@ -44,7 +44,8 @@ impl GenericJoinEngine {
             return Err(EngineError::PlanDoesNotCoverQuery);
         }
         let prepared = prepare_inputs(catalog, query)?;
-        let mut stats = ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
+        let mut stats =
+            ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
 
         let decomposed = plan.decompose();
         let mut intermediates: Vec<Option<BoundInput>> = vec![None; decomposed.len()];
@@ -99,7 +100,8 @@ impl GenericJoinEngine {
 
         // Build phase: one full hash trie per input.
         let build_start = Instant::now();
-        let tries: Vec<HashTrie> = inputs.iter().map(|input| HashTrie::build(input, order)).collect();
+        let tries: Vec<HashTrie> =
+            inputs.iter().map(|input| HashTrie::build(input, order)).collect();
         for trie in &tries {
             stats.tries_built += trie.num_map_nodes();
         }
@@ -120,7 +122,11 @@ impl GenericJoinEngine {
 
         let join_start = Instant::now();
         let mut sink = if is_final {
-            PipelineSink::Output(OutputSink::new(OutputBuilder::new(&query.head, query.aggregate.clone(), order)))
+            PipelineSink::Output(OutputSink::new(OutputBuilder::new(
+                &query.head,
+                query.aggregate.clone(),
+                order,
+            )))
         } else {
             PipelineSink::Materialize(MaterializeSink::new())
         };
@@ -145,11 +151,11 @@ impl GenericJoinEngine {
 }
 
 /// The nested-loop recursion of Generic Join: one level per variable.
-fn gj_recurse<'a>(
+fn gj_recurse(
     participants: &[Vec<usize>],
     level: usize,
     tuple: &mut Vec<Value>,
-    current: &mut Vec<&'a TrieLevel>,
+    current: &mut Vec<&TrieLevel>,
     sink: &mut dyn Sink,
     stats: &mut ExecStats,
 ) {

@@ -29,7 +29,11 @@ impl JoinHashTable {
     pub fn build(input: &BoundInput, key_vars: &[String]) -> Self {
         let cols: Vec<usize> = key_vars
             .iter()
-            .map(|v| input.col_of(v).unwrap_or_else(|| panic!("key variable {v} not bound by {}", input.name)))
+            .map(|v| {
+                input
+                    .col_of(v)
+                    .unwrap_or_else(|| panic!("key variable {v} not bound by {}", input.name))
+            })
             .collect();
         let mut buckets: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
         let relation = &input.relation;

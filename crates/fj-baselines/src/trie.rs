@@ -70,9 +70,12 @@ impl HashTrie {
     /// Variables not bound by the input are ignored, so callers can pass a
     /// global variable order directly.
     pub fn build(input: &BoundInput, var_order: &[String]) -> Self {
-        let vars: Vec<String> = var_order.iter().filter(|v| input.col_of(v).is_some()).cloned().collect();
-        let cols: Vec<usize> = vars.iter().map(|v| input.col_of(v).expect("filtered above")).collect();
-        let mut root = if cols.is_empty() { TrieLevel::Leaf(0) } else { TrieLevel::Map(HashMap::new()) };
+        let vars: Vec<String> =
+            var_order.iter().filter(|v| input.col_of(v).is_some()).cloned().collect();
+        let cols: Vec<usize> =
+            vars.iter().map(|v| input.col_of(v).expect("filtered above")).collect();
+        let mut root =
+            if cols.is_empty() { TrieLevel::Leaf(0) } else { TrieLevel::Map(HashMap::new()) };
         for row in 0..input.relation.num_rows() {
             let mut node = &mut root;
             for (i, &col) in cols.iter().enumerate() {
@@ -198,6 +201,9 @@ mod tests {
         let order: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
         let trie = HashTrie::build(&input, &order);
         assert_eq!(trie.root().leaf_count(), None);
-        assert_eq!(trie.root().get(Value::Int(1)).unwrap().get(Value::Int(10)).unwrap().num_keys(), 0);
+        assert_eq!(
+            trie.root().get(Value::Int(1)).unwrap().get(Value::Int(10)).unwrap().num_keys(),
+            0
+        );
     }
 }

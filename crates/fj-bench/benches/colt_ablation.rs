@@ -8,17 +8,22 @@ use fj_workloads::job;
 use free_join::{FreeJoinOptions, TrieStrategy};
 use std::time::Duration;
 
-const QUERIES: &[&str] = &["q1a_like", "q2a_like", "q6a_like", "q8a_like", "q13a_like", "q20a_like"];
+const QUERIES: &[&str] =
+    &["q1a_like", "q2a_like", "q6a_like", "q8a_like", "q13a_like", "q20a_like"];
 
 fn bench(c: &mut Criterion) {
     let workload = job::workload(&job::JobConfig::benchmark());
     let mut group = c.benchmark_group("fig17_colt_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for name in QUERIES {
         let named = workload.query(name).expect("query exists");
         let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
         for strategy in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
-            let engine = Engine::FreeJoin(FreeJoinOptions { trie: strategy, ..FreeJoinOptions::default() });
+            let engine =
+                Engine::FreeJoin(FreeJoinOptions { trie: strategy, ..FreeJoinOptions::default() });
             group.bench_function(format!("{name}/{}", strategy.name()), |b| {
                 b.iter(|| execute(&workload.catalog, &named.query, &plan, &engine))
             });

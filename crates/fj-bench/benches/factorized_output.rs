@@ -10,11 +10,15 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let workload = lsqb::workload(&lsqb::LsqbConfig::at_scale(0.3));
     let mut group = c.benchmark_group("fig19_factorized_output");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for named in &workload.queries {
         let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
         for (label, factorize) in [("plain", false), ("factorized", true)] {
-            let engine = Engine::FreeJoin(FreeJoinOptions::default().with_factorized_output(factorize));
+            let engine =
+                Engine::FreeJoin(FreeJoinOptions::default().with_factorized_output(factorize));
             group.bench_function(format!("{}/{label}", named.name), |b| {
                 b.iter(|| execute(&workload.catalog, &named.query, &plan, &engine))
             });

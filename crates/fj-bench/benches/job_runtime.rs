@@ -10,14 +10,25 @@ use std::time::Duration;
 /// One representative query per JOB-like family keeps the bench short while
 /// covering every join shape; the `experiments` binary runs the full suite.
 const QUERIES: &[&str] = &[
-    "q1a_like", "q2a_like", "q3a_like", "q4a_like", "q6a_like", "q8a_like", "q10a_like",
-    "q13a_like", "q17a_like", "q20a_like",
+    "q1a_like",
+    "q2a_like",
+    "q3a_like",
+    "q4a_like",
+    "q6a_like",
+    "q8a_like",
+    "q10a_like",
+    "q13a_like",
+    "q17a_like",
+    "q20a_like",
 ];
 
 fn bench(c: &mut Criterion) {
     let workload = job::workload(&job::JobConfig::benchmark());
     let mut group = c.benchmark_group("fig14_job_runtime");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for name in QUERIES {
         let named = workload.query(name).expect("query exists");
         let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);

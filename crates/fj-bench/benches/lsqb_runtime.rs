@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_lsqb_runtime");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for sf in [0.1, 0.3] {
         let workload = lsqb::workload(&lsqb::LsqbConfig::at_scale(sf));
         for named in &workload.queries {

@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
         ("star_skew", micro::star(3, 3_000, 200, 1.0, 23)),
     ];
     let mut group = c.benchmark_group("headline_micro_skew");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (label, workload) in &workloads {
         let named = &workload.queries[0];
         let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);

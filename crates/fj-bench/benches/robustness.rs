@@ -15,10 +15,14 @@ const QUERIES: &[&str] = &["q1a_like", "q3a_like", "q4a_like", "q8a_like", "q20a
 fn bench(c: &mut Criterion) {
     let workload = job::workload(&job::JobConfig::benchmark());
     let mut group = c.benchmark_group("fig15_20_robustness");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for name in QUERIES {
         let named = workload.query(name).expect("query exists");
-        for (label, mode) in [("good", EstimatorMode::Accurate), ("bad", EstimatorMode::AlwaysOne)] {
+        for (label, mode) in [("good", EstimatorMode::Accurate), ("bad", EstimatorMode::AlwaysOne)]
+        {
             let (plan, _) = plan_query(&workload.catalog, &named.query, mode);
             for engine in Engine::paper_lineup() {
                 group.bench_function(format!("{name}/{label}/{}", engine.label()), |b| {

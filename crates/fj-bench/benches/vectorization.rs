@@ -8,12 +8,16 @@ use fj_workloads::job;
 use free_join::FreeJoinOptions;
 use std::time::Duration;
 
-const QUERIES: &[&str] = &["q1a_like", "q3a_like", "q6a_like", "q10a_like", "q13a_like", "q17a_like"];
+const QUERIES: &[&str] =
+    &["q1a_like", "q3a_like", "q6a_like", "q10a_like", "q13a_like", "q17a_like"];
 
 fn bench(c: &mut Criterion) {
     let workload = job::workload(&job::JobConfig::benchmark());
     let mut group = c.benchmark_group("fig18_vectorization");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for name in QUERIES {
         let named = workload.query(name).expect("query exists");
         let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);

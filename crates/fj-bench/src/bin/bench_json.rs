@@ -1,0 +1,130 @@
+//! Machine-readable benchmark mode: runs the headline micro/skew workloads
+//! over a (strategy × threads) grid and writes a `BENCH_micro.json` file, so
+//! that successive PRs accumulate a perf trajectory that scripts can diff.
+//!
+//! ```text
+//! cargo run --release -p fj-bench --bin bench_json [OUTPUT_DIR]
+//! ```
+//!
+//! Each record carries the query name, trie strategy, worker thread count
+//! and best-of-N wall milliseconds for the full plan-and-execute path
+//! (`threads = 1` is the exact legacy serial engine). The JSON is written by
+//! hand — the workspace's offline `serde` stand-in does not serialize — and
+//! the schema is deliberately flat:
+//!
+//! ```json
+//! {"schema_version":1,"cores":8,"results":[
+//!   {"query":"clover","strategy":"colt","threads":1,"wall_ms":12.34,"output_tuples":1}
+//! ]}
+//! ```
+
+use fj_bench::{execute, plan_query, Engine};
+use fj_plan::EstimatorMode;
+use fj_workloads::{micro, Workload};
+use free_join::{FreeJoinOptions, TrieStrategy};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timing repetitions per configuration; the minimum is reported.
+const REPS: usize = 2;
+
+struct Record {
+    query: String,
+    strategy: &'static str,
+    threads: usize,
+    wall_ms: f64,
+    output_tuples: u64,
+}
+
+fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
+    let named = &workload.queries[0];
+    let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
+    let engine = Engine::FreeJoin(options);
+    let mut best_ms = f64::INFINITY;
+    let mut output_tuples = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (output, _) = execute(&workload.catalog, &named.query, &plan, &engine);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+        output_tuples = output.cardinality();
+    }
+    Record {
+        query: named.name.clone(),
+        strategy: options.trie.name(),
+        threads: options.effective_threads(),
+        wall_ms: best_ms,
+        output_tuples,
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| ".".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // The `--large` flag selects the paper-scale instances; the default
+    // sizes keep a full grid under a couple of minutes on one core so the
+    // emitter can run in CI.
+    let large = std::env::args().any(|a| a == "--large");
+    let workloads = if large {
+        vec![
+            ("clover_n2000", micro::clover(2_000)),
+            ("triangle_skew", micro::skewed_triangle(1_000, 10, 1.0, 17)),
+            ("star_skew", micro::star(3, 1_500, 200, 1.0, 23)),
+        ]
+    } else {
+        vec![
+            ("clover_n600", micro::clover(600)),
+            ("triangle_skew", micro::skewed_triangle(300, 6, 0.8, 17)),
+            ("star_skew", micro::star(3, 400, 100, 0.6, 23)),
+        ]
+    };
+
+    // Thread grid: serial, plus powers of two up to the machine (and at
+    // least 2, so the parallel path is always recorded for trajectory
+    // comparison even on single-core CI boxes).
+    let mut thread_grid = vec![1usize, 2];
+    let mut t = 4;
+    while t <= cores {
+        thread_grid.push(t);
+        t *= 2;
+    }
+
+    let mut records = Vec::new();
+    for (label, workload) in &workloads {
+        eprintln!("running {label} ({} input rows)...", workload.total_rows());
+        // Strategy ablation on the serial path.
+        for strategy in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+            let options = FreeJoinOptions { trie: strategy, ..FreeJoinOptions::default() }
+                .with_num_threads(1);
+            records.push(measure(workload, options));
+        }
+        // Thread scaling on the default (COLT) configuration.
+        for &threads in &thread_grid[1..] {
+            let options = FreeJoinOptions::default().with_num_threads(threads);
+            records.push(measure(workload, options));
+        }
+    }
+
+    let mut json = String::new();
+    let _ = write!(json, "{{\"schema_version\":1,\"cores\":{cores},\"results\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"wall_ms\":{:.3},\"output_tuples\":{}}}",
+            r.query, r.strategy, r.threads, r.wall_ms, r.output_tuples
+        );
+    }
+    json.push_str("\n]}\n");
+
+    let path = std::path::Path::new(&out_dir).join("BENCH_micro.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("{json}");
+    eprintln!("wrote {}", path.display());
+}

@@ -62,9 +62,10 @@ fn fmt_time(d: Duration) -> String {
 fn fig14() {
     let w = job_workload();
     println!("\n[Figure 14] JOB-like run time ({}, {} input rows)", w.name, w.total_rows());
-    print_header("Fig 14: binary vs generic vs free join (JOB-like)", &[
-        "binary", "generic", "freejoin", "fj/bin spd", "fj/gj spd",
-    ]);
+    print_header(
+        "Fig 14: binary vs generic vs free join (JOB-like)",
+        &["binary", "generic", "freejoin", "fj/bin spd", "fj/gj spd"],
+    );
     let mut bin_ratios = Vec::new();
     let mut gj_ratios = Vec::new();
     for named in &w.queries {
@@ -76,13 +77,16 @@ fn fig14() {
         let s_gj = speedup(fj.reported, generic.reported);
         bin_ratios.push(s_bin);
         gj_ratios.push(s_gj);
-        print_row(&named.name, &[
-            fmt_time(binary.reported),
-            fmt_time(generic.reported),
-            fmt_time(fj.reported),
-            format!("{s_bin:.2}x"),
-            format!("{s_gj:.2}x"),
-        ]);
+        print_row(
+            &named.name,
+            &[
+                fmt_time(binary.reported),
+                fmt_time(generic.reported),
+                fmt_time(fj.reported),
+                format!("{s_bin:.2}x"),
+                format!("{s_gj:.2}x"),
+            ],
+        );
     }
     println!(
         "geometric mean speedup of Free Join: {:.2}x over binary join, {:.2}x over Generic Join",
@@ -101,9 +105,10 @@ fn fig14() {
 fn fig15_20() {
     let w = job_workload();
     println!("\n[Figure 15 / 20] JOB-like run time with bad cardinality estimates");
-    print_header("Fig 15: run time with cardinality estimate == 1", &[
-        "binary(bad)", "generic(bad)", "freejoin(bad)",
-    ]);
+    print_header(
+        "Fig 15: run time with cardinality estimate == 1",
+        &["binary(bad)", "generic(bad)", "freejoin(bad)"],
+    );
     let mut rows = Vec::new();
     for named in &w.queries {
         let (good_plan, _) = plan_query(&w.catalog, &named.query, EstimatorMode::Accurate);
@@ -114,17 +119,17 @@ fn fig15_20() {
             let bad = run_query_with_plan(&w.catalog, named, &bad_plan, &engine);
             per_engine.push((engine.label(), good.reported, bad.reported));
         }
-        print_row(&named.name, &[
-            fmt_time(per_engine[0].2),
-            fmt_time(per_engine[1].2),
-            fmt_time(per_engine[2].2),
-        ]);
+        print_row(
+            &named.name,
+            &[fmt_time(per_engine[0].2), fmt_time(per_engine[1].2), fmt_time(per_engine[2].2)],
+        );
         rows.push((named.name.clone(), per_engine));
     }
-    print_header("Fig 20: slowdown of bad plans per engine (bad / good)", &[
-        "binary", "generic", "freejoin",
-    ]);
-    let mut slowdowns = vec![Vec::new(), Vec::new(), Vec::new()];
+    print_header(
+        "Fig 20: slowdown of bad plans per engine (bad / good)",
+        &["binary", "generic", "freejoin"],
+    );
+    let mut slowdowns = [Vec::new(), Vec::new(), Vec::new()];
     for (name, per_engine) in &rows {
         let values: Vec<String> = per_engine
             .iter()
@@ -158,12 +163,15 @@ fn fig16() {
             let binary = run_query_with_plan(&w.catalog, named, &plan, &Engine::Binary);
             let generic = run_query_with_plan(&w.catalog, named, &plan, &Engine::Generic);
             let fj = run_query_with_plan(&w.catalog, named, &plan, &Engine::free_join_default());
-            print_row(&named.name, &[
-                format!("{sf}"),
-                fmt_time(binary.reported),
-                fmt_time(generic.reported),
-                fmt_time(fj.reported),
-            ]);
+            print_row(
+                &named.name,
+                &[
+                    format!("{sf}"),
+                    fmt_time(binary.reported),
+                    fmt_time(generic.reported),
+                    fmt_time(fj.reported),
+                ],
+            );
         }
     }
     println!("(paper: Free Join up to 15.45x faster than binary join on cyclic q3, up to 4.08x over Generic Join)");
@@ -173,7 +181,10 @@ fn fig16() {
 fn fig17() {
     let w = job_workload();
     println!("\n[Figure 17] Impact of the trie data structure (JOB-like)");
-    print_header("Fig 17: simple trie vs SLT vs COLT", &["simple", "slt", "colt", "colt/simple", "colt/slt"]);
+    print_header(
+        "Fig 17: simple trie vs SLT vs COLT",
+        &["simple", "slt", "colt", "colt/simple", "colt/slt"],
+    );
     let mut vs_simple = Vec::new();
     let mut vs_slt = Vec::new();
     for named in &w.queries {
@@ -188,13 +199,16 @@ fn fig17() {
         let s_slt = speedup(times[2], times[1]);
         vs_simple.push(s_simple);
         vs_slt.push(s_slt);
-        print_row(&named.name, &[
-            fmt_time(times[0]),
-            fmt_time(times[1]),
-            fmt_time(times[2]),
-            format!("{s_simple:.2}x"),
-            format!("{s_slt:.2}x"),
-        ]);
+        print_row(
+            &named.name,
+            &[
+                fmt_time(times[0]),
+                fmt_time(times[1]),
+                fmt_time(times[2]),
+                format!("{s_simple:.2}x"),
+                format!("{s_slt:.2}x"),
+            ],
+        );
     }
     println!(
         "geometric mean speedup of COLT: {:.2}x over simple trie, {:.2}x over SLT (paper: 8.47x / 1.91x)",
@@ -207,7 +221,10 @@ fn fig17() {
 fn fig18() {
     let w = job_workload();
     println!("\n[Figure 18] Impact of vectorization (JOB-like)");
-    print_header("Fig 18: batch sizes", &["batch=1", "batch=10", "batch=100", "batch=1000", "1000/1"]);
+    print_header(
+        "Fig 18: batch sizes",
+        &["batch=1", "batch=10", "batch=100", "batch=1000", "1000/1"],
+    );
     let mut ratios = Vec::new();
     for named in &w.queries {
         let (plan, _) = plan_query(&w.catalog, &named.query, EstimatorMode::Accurate);
@@ -219,13 +236,16 @@ fn fig18() {
         }
         let s = speedup(times[3], times[0]);
         ratios.push(s);
-        print_row(&named.name, &[
-            fmt_time(times[0]),
-            fmt_time(times[1]),
-            fmt_time(times[2]),
-            fmt_time(times[3]),
-            format!("{s:.2}x"),
-        ]);
+        print_row(
+            &named.name,
+            &[
+                fmt_time(times[0]),
+                fmt_time(times[1]),
+                fmt_time(times[2]),
+                fmt_time(times[3]),
+                format!("{s:.2}x"),
+            ],
+        );
     }
     println!(
         "geometric mean speedup of batch 1000 over batch 1: {:.2}x (paper: 2.12x, max 5.33x)",
@@ -248,15 +268,20 @@ fn fig19() {
                 &plan,
                 &Engine::FreeJoin(FreeJoinOptions::default().with_factorized_output(true)),
             );
-            print_row(&named.name, &[
-                format!("{sf}"),
-                fmt_time(plain.reported),
-                fmt_time(fact.reported),
-                format!("{:.2}x", speedup(fact.reported, plain.reported)),
-            ]);
+            print_row(
+                &named.name,
+                &[
+                    format!("{sf}"),
+                    fmt_time(plain.reported),
+                    fmt_time(fact.reported),
+                    format!("{:.2}x", speedup(fact.reported, plain.reported)),
+                ],
+            );
         }
     }
-    println!("(paper: factorizing the output makes q1 significantly faster, other queries unaffected)");
+    println!(
+        "(paper: factorizing the output makes q1 significantly faster, other queries unaffected)"
+    );
 }
 
 /// Headline numbers of Section 5.2: the clover-style skew case and the
@@ -290,7 +315,6 @@ fn report_one(label: &str, w: &Workload, named: &NamedQuery) {
         fj.output_tuples,
     );
 }
-
 
 /// Inspect one JOB-like query: print the optimizer's plan, the Free Join
 /// plan after factoring, and per-engine execution statistics. Useful when

@@ -13,12 +13,12 @@
 //! * the `experiments` binary — prints the rows behind every figure and is
 //!   used to fill `EXPERIMENTS.md`.
 
+use fj_baselines::{BinaryJoinEngine, GenericJoinEngine};
 use fj_plan::{optimize, BinaryPlan, CatalogStats, EstimatorMode, OptimizerOptions};
 use fj_query::{ConjunctiveQuery, ExecStats, QueryOutput};
 use fj_storage::Catalog;
 use fj_workloads::NamedQuery;
 use free_join::{FreeJoinEngine, FreeJoinOptions};
-use fj_baselines::{BinaryJoinEngine, GenericJoinEngine};
 use std::time::Duration;
 
 /// The engine used for one measurement.
@@ -50,7 +50,9 @@ impl Engine {
         match self {
             Engine::Binary => "binary".to_string(),
             Engine::Generic => "generic".to_string(),
-            Engine::FreeJoin(opts) => format!("freejoin[{},b{}]", opts.trie.name(), opts.batch_size),
+            Engine::FreeJoin(opts) => {
+                format!("freejoin[{},b{}]", opts.trie.name(), opts.batch_size)
+            }
         }
     }
 

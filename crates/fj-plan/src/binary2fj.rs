@@ -27,7 +27,8 @@ pub fn binary2fj(input_vars: &[Vec<String>]) -> FreeJoinPlan {
 
     for (idx, vars) in input_vars.iter().enumerate().skip(1) {
         // Probe with the variables already available.
-        let probe_vars: Vec<String> = vars.iter().filter(|v| available.contains(*v)).cloned().collect();
+        let probe_vars: Vec<String> =
+            vars.iter().filter(|v| available.contains(*v)).cloned().collect();
         node.subatoms.push(Subatom::new(idx, probe_vars));
         fj_plan.push(node);
 

@@ -114,7 +114,8 @@ impl BinaryPlan {
         let mut leaves = self.leaves();
         leaves.sort_unstable();
         leaves.dedup();
-        leaves.len() == self.root.leaves().len() && leaves == (0..query.num_atoms()).collect::<Vec<_>>()
+        leaves.len() == self.root.leaves().len()
+            && leaves == (0..query.num_atoms()).collect::<Vec<_>>()
     }
 
     /// Decompose into left-deep pipelines (Section 2.2): every join that is a
@@ -237,11 +238,7 @@ impl DecomposedPlan {
     /// is the `input_vars` argument taken by `binary2fj`, `factor` and the
     /// execution engines.
     pub fn pipeline_input_vars(&self, query: &ConjunctiveQuery, p: usize) -> Vec<Vec<String>> {
-        self.pipelines[p]
-            .inputs
-            .iter()
-            .map(|&i| self.input_vars(query, i))
-            .collect()
+        self.pipelines[p].inputs.iter().map(|&i| self.input_vars(query, i)).collect()
     }
 
     /// Index of the final (result-producing) pipeline.
@@ -252,6 +249,12 @@ impl DecomposedPlan {
     /// Total number of pipelines.
     pub fn len(&self) -> usize {
         self.pipelines.len()
+    }
+
+    /// True when the plan has no pipelines (never the case for valid plans;
+    /// provided for API completeness alongside `len`).
+    pub fn is_empty(&self) -> bool {
+        self.pipelines.is_empty()
     }
 
     /// True when the plan decomposed into a single pipeline (i.e. the binary

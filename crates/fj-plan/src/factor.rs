@@ -137,7 +137,8 @@ mod tests {
         for iv in cases {
             let mut plan = binary2fj(&iv);
             factor_until_fixpoint(&mut plan);
-            plan.validate(&iv).unwrap_or_else(|e| panic!("invalid factored plan for {iv:?}: {e}"));
+            plan.validate(&iv)
+                .unwrap_or_else(|e| panic!("invalid factored plan for {iv:?}: {e}"));
         }
     }
 

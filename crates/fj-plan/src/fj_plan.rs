@@ -232,7 +232,10 @@ impl FreeJoinPlan {
                     return Err(PlanValidityError::UnknownInput { node: k, input: s.input });
                 }
                 if !seen_inputs.insert(s.input) {
-                    return Err(PlanValidityError::DuplicateInputInNode { node: k, input: s.input });
+                    return Err(PlanValidityError::DuplicateInputInNode {
+                        node: k,
+                        input: s.input,
+                    });
                 }
                 for v in &s.vars {
                     if !input_vars[s.input].contains(v) {
@@ -374,7 +377,10 @@ mod tests {
 
     #[test]
     fn validity_rejects_duplicate_input_in_node() {
-        let plan = FreeJoinPlan::new(vec![FjNode::new(vec![s(0, &["x"]), s(0, &["a"])]), FjNode::new(vec![s(1, &["x", "b"]), s(2, &["x", "c"])])]);
+        let plan = FreeJoinPlan::new(vec![
+            FjNode::new(vec![s(0, &["x"]), s(0, &["a"])]),
+            FjNode::new(vec![s(1, &["x", "b"]), s(2, &["x", "c"])]),
+        ]);
         assert_eq!(
             plan.validate(&clover_inputs()),
             Err(PlanValidityError::DuplicateInputInNode { node: 0, input: 0 })
@@ -388,7 +394,10 @@ mod tests {
             FjNode::new(vec![s(0, &["x", "a"]), s(1, &["x"])]),
             FjNode::new(vec![s(2, &["x", "c"])]),
         ]);
-        assert_eq!(plan.validate(&clover_inputs()), Err(PlanValidityError::NotAPartition { input: 1 }));
+        assert_eq!(
+            plan.validate(&clover_inputs()),
+            Err(PlanValidityError::NotAPartition { input: 1 })
+        );
 
         // R's variable x appears twice.
         let plan = FreeJoinPlan::new(vec![
@@ -396,7 +405,10 @@ mod tests {
             FjNode::new(vec![s(0, &["x"]), s(1, &["b"])]),
             FjNode::new(vec![s(2, &["x", "c"])]),
         ]);
-        assert_eq!(plan.validate(&clover_inputs()), Err(PlanValidityError::NotAPartition { input: 0 }));
+        assert_eq!(
+            plan.validate(&clover_inputs()),
+            Err(PlanValidityError::NotAPartition { input: 0 })
+        );
     }
 
     #[test]
@@ -407,7 +419,10 @@ mod tests {
             Err(PlanValidityError::UnknownVariable { .. })
         ));
         let plan = FreeJoinPlan::new(vec![FjNode::new(vec![s(9, &["x"])])]);
-        assert!(matches!(plan.validate(&clover_inputs()), Err(PlanValidityError::UnknownInput { .. })));
+        assert!(matches!(
+            plan.validate(&clover_inputs()),
+            Err(PlanValidityError::UnknownInput { .. })
+        ));
         let plan = FreeJoinPlan::new(vec![FjNode::default()]);
         assert_eq!(plan.validate(&clover_inputs()), Err(PlanValidityError::EmptyNode { node: 0 }));
     }

@@ -141,7 +141,10 @@ mod tests {
     fn variable_order_appends_unmentioned_vars() {
         // A degenerate plan that never mentions input 1's variable "c".
         let iv = vars(&[&["x"], &["x", "c"]]);
-        let plan = FreeJoinPlan::new(vec![FjNode::new(vec![Subatom::new(0, vec!["x".into()]), Subatom::new(1, vec!["x".into()])])]);
+        let plan = FreeJoinPlan::new(vec![FjNode::new(vec![
+            Subatom::new(0, vec!["x".into()]),
+            Subatom::new(1, vec!["x".into()]),
+        ])]);
         let gj = variable_order(&plan, &iv);
         assert_eq!(gj.var_order, vec!["x", "c"]);
     }

@@ -18,8 +18,8 @@
 //!   routinely yields poor, bushy plans that materialize large intermediates.
 
 use crate::binary_plan::{BinaryPlan, PlanTree};
-use crate::stats::{CardinalityEstimator, CatalogStats, SubPlanInfo};
 pub use crate::stats::EstimatorMode;
+use crate::stats::{CardinalityEstimator, CatalogStats, SubPlanInfo};
 use fj_query::ConjunctiveQuery;
 use std::collections::HashMap;
 
@@ -62,7 +62,11 @@ struct DpEntry {
 ///
 /// # Panics
 /// Panics if the query has no atoms (validate the query first).
-pub fn optimize(query: &ConjunctiveQuery, stats: &CatalogStats, options: OptimizerOptions) -> BinaryPlan {
+pub fn optimize(
+    query: &ConjunctiveQuery,
+    stats: &CatalogStats,
+    options: OptimizerOptions,
+) -> BinaryPlan {
     let n = query.num_atoms();
     assert!(n > 0, "cannot optimize a query with no atoms");
     let estimator = CardinalityEstimator::new(stats, options.mode);
@@ -131,7 +135,10 @@ fn combine(
     right: &DpEntry,
     left_deep_only: bool,
 ) -> Option<DpEntry> {
-    if left_deep_only && !matches!(right.tree, PlanTree::Leaf(_)) && !matches!(left.tree, PlanTree::Leaf(_)) {
+    if left_deep_only
+        && !matches!(right.tree, PlanTree::Leaf(_))
+        && !matches!(left.tree, PlanTree::Leaf(_))
+    {
         return None;
     }
     let shared = shared_vars(query, left_mask, right_mask);
@@ -163,7 +170,11 @@ fn combine(
 
 /// Should the leaf be forced onto the right child? Only when restricted to
 /// left-deep plans and exactly one side is a leaf.
-fn options_prefers_leaf_right(left_deep_only: bool, left_is_leaf: bool, right_is_leaf: bool) -> bool {
+fn options_prefers_leaf_right(
+    left_deep_only: bool,
+    left_is_leaf: bool,
+    right_is_leaf: bool,
+) -> bool {
     left_deep_only && (left_is_leaf ^ right_is_leaf)
 }
 
@@ -344,16 +355,10 @@ mod tests {
             match tree {
                 PlanTree::Leaf(_) => true,
                 PlanTree::Join(l, r) => {
-                    let lv: std::collections::BTreeSet<String> = l
-                        .leaves()
-                        .iter()
-                        .flat_map(|&i| q.atoms[i].vars.clone())
-                        .collect();
-                    let rv: std::collections::BTreeSet<String> = r
-                        .leaves()
-                        .iter()
-                        .flat_map(|&i| q.atoms[i].vars.clone())
-                        .collect();
+                    let lv: std::collections::BTreeSet<String> =
+                        l.leaves().iter().flat_map(|&i| q.atoms[i].vars.clone()).collect();
+                    let rv: std::collections::BTreeSet<String> =
+                        r.leaves().iter().flat_map(|&i| q.atoms[i].vars.clone()).collect();
                     lv.intersection(&rv).next().is_some() && no_cross(l, q) && no_cross(r, q)
                 }
             }

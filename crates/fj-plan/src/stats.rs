@@ -77,7 +77,8 @@ impl CatalogStats {
             let mut column_order = Vec::with_capacity(relation.arity());
             for (idx, field) in relation.schema().fields().iter().enumerate() {
                 let col = relation.column(idx);
-                let (min, max) = col.int_min_max().map(|(a, b)| (Some(a), Some(b))).unwrap_or((None, None));
+                let (min, max) =
+                    col.int_min_max().map(|(a, b)| (Some(a), Some(b))).unwrap_or((None, None));
                 columns.insert(
                     field.name.clone(),
                     ColumnStats { distinct: col.distinct_count(), min, max },
@@ -174,7 +175,12 @@ impl<'a> CardinalityEstimator<'a> {
     }
 
     /// Estimate the join of two sub-plans that share `shared_vars`.
-    pub fn join(&self, left: &SubPlanInfo, right: &SubPlanInfo, shared_vars: &[String]) -> SubPlanInfo {
+    pub fn join(
+        &self,
+        left: &SubPlanInfo,
+        right: &SubPlanInfo,
+        shared_vars: &[String],
+    ) -> SubPlanInfo {
         if self.mode == EstimatorMode::AlwaysOne {
             let mut distinct = left.distinct.clone();
             for (v, d) in &right.distinct {
@@ -261,14 +267,10 @@ mod tests {
     fn join_estimate_divides_by_max_distinct() {
         let stats = CatalogStats::collect(&catalog());
         let est = CardinalityEstimator::new(&stats, EstimatorMode::Accurate);
-        let left = SubPlanInfo {
-            cardinality: 100.0,
-            distinct: HashMap::from([("y".to_string(), 100.0)]),
-        };
-        let right = SubPlanInfo {
-            cardinality: 50.0,
-            distinct: HashMap::from([("y".to_string(), 50.0)]),
-        };
+        let left =
+            SubPlanInfo { cardinality: 100.0, distinct: HashMap::from([("y".to_string(), 100.0)]) };
+        let right =
+            SubPlanInfo { cardinality: 50.0, distinct: HashMap::from([("y".to_string(), 50.0)]) };
         let joined = est.join(&left, &right, &["y".to_string()]);
         // 100 * 50 / max(100, 50) = 50.
         assert!((joined.cardinality - 50.0).abs() < 1e-9);
@@ -283,8 +285,10 @@ mod tests {
     fn join_estimate_always_one_mode() {
         let stats = CatalogStats::collect(&catalog());
         let est = CardinalityEstimator::new(&stats, EstimatorMode::AlwaysOne);
-        let left = SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
-        let right = SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
+        let left =
+            SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
+        let right =
+            SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
         let joined = est.join(&left, &right, &["y".to_string()]);
         assert_eq!(joined.cardinality, 1.0);
         assert_eq!(est.mode(), EstimatorMode::AlwaysOne);
@@ -310,8 +314,10 @@ mod tests {
     fn estimates_never_drop_below_one() {
         let stats = CatalogStats::collect(&catalog());
         let est = CardinalityEstimator::new(&stats, EstimatorMode::Accurate);
-        let tiny = SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
-        let big = SubPlanInfo { cardinality: 2.0, distinct: HashMap::from([("y".to_string(), 1000.0)]) };
+        let tiny =
+            SubPlanInfo { cardinality: 1.0, distinct: HashMap::from([("y".to_string(), 1.0)]) };
+        let big =
+            SubPlanInfo { cardinality: 2.0, distinct: HashMap::from([("y".to_string(), 1000.0)]) };
         let joined = est.join(&tiny, &big, &["y".to_string()]);
         assert!(joined.cardinality >= 1.0);
     }

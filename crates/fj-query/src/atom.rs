@@ -40,7 +40,11 @@ impl Atom {
     }
 
     /// An atom with an explicit alias (needed for self-joins).
-    pub fn with_alias(relation: impl Into<String>, alias: impl Into<String>, vars: Vec<&str>) -> Self {
+    pub fn with_alias(
+        relation: impl Into<String>,
+        alias: impl Into<String>,
+        vars: Vec<&str>,
+    ) -> Self {
         Atom {
             relation: relation.into(),
             alias: alias.into(),
@@ -118,7 +122,8 @@ mod tests {
 
     #[test]
     fn with_filter_sets_predicate() {
-        let a = Atom::new("M", vec!["u", "v"]).with_filter(Predicate::cmp_const("w", CmpOp::Gt, 30i64));
+        let a =
+            Atom::new("M", vec!["u", "v"]).with_filter(Predicate::cmp_const("w", CmpOp::Gt, 30i64));
         assert!(a.has_filter());
     }
 

@@ -30,7 +30,12 @@ pub struct QueryBuilder {
 impl QueryBuilder {
     /// Start building a query with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        QueryBuilder { name: name.into(), head: Vec::new(), atoms: Vec::new(), aggregate: Aggregate::Materialize }
+        QueryBuilder {
+            name: name.into(),
+            head: Vec::new(),
+            atoms: Vec::new(),
+            aggregate: Aggregate::Materialize,
+        }
     }
 
     /// Set the head (output) variables. If never called, the head defaults to
@@ -59,8 +64,15 @@ impl QueryBuilder {
     }
 
     /// Add an aliased atom with a pushed-down selection.
-    pub fn atom_as_where(mut self, relation: &str, alias: &str, vars: &[&str], filter: Predicate) -> Self {
-        self.atoms.push(Atom::with_alias(relation, alias, vars.to_vec()).with_filter(filter));
+    pub fn atom_as_where(
+        mut self,
+        relation: &str,
+        alias: &str,
+        vars: &[&str],
+        filter: Predicate,
+    ) -> Self {
+        self.atoms
+            .push(Atom::with_alias(relation, alias, vars.to_vec()).with_filter(filter));
         self
     }
 
@@ -119,11 +131,7 @@ mod tests {
 
     #[test]
     fn explicit_head_and_count() {
-        let q = QueryBuilder::new("q")
-            .head(&["x"])
-            .atom("R", &["x", "y"])
-            .count()
-            .build();
+        let q = QueryBuilder::new("q").head(&["x"]).atom("R", &["x", "y"]).count().build();
         assert_eq!(q.head, vec!["x"]);
         assert_eq!(q.aggregate, Aggregate::Count);
     }

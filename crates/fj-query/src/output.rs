@@ -164,7 +164,14 @@ impl OutputBuilder {
                     .unwrap_or_else(|| panic!("output variable {v} is not bound by the engine (binding order {binding_order:?})"))
             })
             .collect();
-        OutputBuilder { aggregate, vars, positions, rows: Vec::new(), count: 0, groups: HashMap::new() }
+        OutputBuilder {
+            aggregate,
+            vars,
+            positions,
+            rows: Vec::new(),
+            count: 0,
+            groups: HashMap::new(),
+        }
     }
 
     /// Push one result tuple (in binding order) with multiplicity 1.
@@ -218,6 +225,29 @@ impl OutputBuilder {
     /// pushes are cheap)?
     pub fn is_counting(&self) -> bool {
         !matches!(self.aggregate, Aggregate::Materialize)
+    }
+
+    /// Absorb another builder's accumulated results. Parallel engines give
+    /// each worker (or morsel) a clone of an empty builder and merge the
+    /// partial results in a deterministic order at the end.
+    ///
+    /// # Panics
+    /// Panics if the two builders compute different aggregates (they must be
+    /// clones of the same initial builder).
+    pub fn merge(&mut self, other: OutputBuilder) {
+        assert_eq!(
+            self.aggregate, other.aggregate,
+            "merged builders must compute the same aggregate"
+        );
+        match &self.aggregate {
+            Aggregate::Count => self.count += other.count,
+            Aggregate::Materialize => self.rows.extend(other.rows),
+            Aggregate::GroupCount(_) => {
+                for (key, count) in other.groups {
+                    *self.groups.entry(key).or_insert(0) += count;
+                }
+            }
+        }
     }
 
     /// Finish and produce the output.
@@ -327,7 +357,10 @@ mod tests {
 
     #[test]
     fn canonical_rows_sorts() {
-        let out = QueryOutput::rows(vec!["x".into(), "y".into()], vec![row(&[2, 1]), row(&[1, 5]), row(&[1, 2])]);
+        let out = QueryOutput::rows(
+            vec!["x".into(), "y".into()],
+            vec![row(&[2, 1]), row(&[1, 5]), row(&[1, 2])],
+        );
         assert_eq!(out.canonical_rows(), vec![row(&[1, 2]), row(&[1, 5]), row(&[2, 1])]);
     }
 
@@ -384,10 +417,7 @@ mod tests {
         assert_eq!(b.tuples(), 3);
         let out = b.finish();
         assert_eq!(out.vars, head);
-        assert_eq!(
-            out.canonical_rows(),
-            vec![row(&[3, 1]), row(&[6, 4]), row(&[6, 4])]
-        );
+        assert_eq!(out.canonical_rows(), vec![row(&[3, 1]), row(&[6, 4]), row(&[6, 4])]);
     }
 
     #[test]
@@ -413,6 +443,51 @@ mod tests {
             }
             other => panic!("expected groups, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn output_builder_merge_combines_partial_results() {
+        let binding: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+
+        // Counts add.
+        let mut a = OutputBuilder::new(&binding, Aggregate::Count, &binding);
+        let mut b = a.clone();
+        a.push_weighted(&[Value::Int(1), Value::Int(2)], 3);
+        b.push_weighted(&[Value::Int(1), Value::Int(2)], 4);
+        a.merge(b);
+        assert_eq!(a.finish(), QueryOutput::count(7));
+
+        // Rows concatenate in merge order.
+        let mut a = OutputBuilder::new(&binding, Aggregate::Materialize, &binding);
+        let mut b = a.clone();
+        a.push(&[Value::Int(1), Value::Int(2)]);
+        b.push(&[Value::Int(3), Value::Int(4)]);
+        a.merge(b);
+        assert_eq!(a.finish().canonical_rows(), vec![row(&[1, 2]), row(&[3, 4])]);
+
+        // Group counts add per key.
+        let mut a = OutputBuilder::new(&binding, Aggregate::group_count(&["y"]), &binding);
+        let mut b = a.clone();
+        a.push(&[Value::Int(1), Value::Int(7)]);
+        b.push_weighted(&[Value::Int(2), Value::Int(7)], 2);
+        b.push(&[Value::Int(3), Value::Int(8)]);
+        a.merge(b);
+        match a.finish().kind {
+            OutputKind::Groups(groups) => {
+                assert_eq!(groups[&row(&[7])], 3);
+                assert_eq!(groups[&row(&[8])], 1);
+            }
+            other => panic!("expected groups, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same aggregate")]
+    fn output_builder_merge_rejects_mismatched_aggregates() {
+        let binding: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
+        let mut a = OutputBuilder::new(&binding, Aggregate::Count, &binding);
+        let b = OutputBuilder::new(&binding, Aggregate::Materialize, &binding);
+        a.merge(b);
     }
 
     #[test]

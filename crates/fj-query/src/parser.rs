@@ -93,10 +93,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let rest = self.rest();
         rest.starts_with(kw)
-            && rest[kw.len()..]
-                .chars()
-                .next()
-                .map_or(true, |c| !c.is_alphanumeric() && c != '_')
+            && rest[kw.len()..].chars().next().is_none_or(|c| !c.is_alphanumeric() && c != '_')
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -206,12 +203,7 @@ impl<'a> Parser<'a> {
         let relation = self.identifier()?;
         let alias = if self.eat_keyword("as") { self.identifier()? } else { relation.clone() };
         let vars = self.var_list()?;
-        let mut atom = Atom {
-            relation,
-            alias,
-            vars,
-            filter: Predicate::True,
-        };
+        let mut atom = Atom { relation, alias, vars, filter: Predicate::True };
         if self.eat_keyword("where") {
             atom.filter = self.filter()?;
         }

@@ -41,13 +41,20 @@ impl fmt::Display for QueryError {
                 write!(f, "atom {alias} references unknown relation {relation}")
             }
             QueryError::ArityMismatch { alias, expected, found } => {
-                write!(f, "atom {alias} has {found} variables but its relation has {expected} columns")
+                write!(
+                    f,
+                    "atom {alias} has {found} variables but its relation has {expected} columns"
+                )
             }
             QueryError::UnknownFilterColumn { alias, column } => {
                 write!(f, "filter on atom {alias} references unknown column {column}")
             }
-            QueryError::UnknownHeadVar(v) => write!(f, "head variable {v} does not appear in the body"),
-            QueryError::Disconnected => write!(f, "query join graph is disconnected (cross product)"),
+            QueryError::UnknownHeadVar(v) => {
+                write!(f, "head variable {v} does not appear in the body")
+            }
+            QueryError::Disconnected => {
+                write!(f, "query join graph is disconnected (cross product)")
+            }
         }
     }
 }
@@ -147,7 +154,10 @@ impl ConjunctiveQuery {
             let mut vars = BTreeSet::new();
             for v in &atom.vars {
                 if !vars.insert(v.clone()) {
-                    return Err(QueryError::DuplicateVarInAtom { alias: atom.alias.clone(), var: v.clone() });
+                    return Err(QueryError::DuplicateVarInAtom {
+                        alias: atom.alias.clone(),
+                        var: v.clone(),
+                    });
                 }
             }
             // Relation exists with the right arity, filter columns exist.
@@ -196,9 +206,9 @@ impl ConjunctiveQuery {
         let mut stack = vec![0usize];
         visited[0] = true;
         while let Some(i) = stack.pop() {
-            for j in 0..n {
-                if !visited[j] && !self.atoms[i].shared_vars(&self.atoms[j]).is_empty() {
-                    visited[j] = true;
+            for (j, seen) in visited.iter_mut().enumerate() {
+                if !*seen && !self.atoms[i].shared_vars(&self.atoms[j]).is_empty() {
+                    *seen = true;
                     stack.push(j);
                 }
             }
@@ -233,7 +243,7 @@ mod tests {
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
         for (name, cols) in [("R", vec!["x", "y"]), ("S", vec!["y", "z"]), ("T", vec!["z", "x"])] {
-            let mut b = RelationBuilder::new(name, Schema::all_int(&cols.iter().map(|c| *c).collect::<Vec<_>>()));
+            let mut b = RelationBuilder::new(name, Schema::all_int(&cols));
             b.push_ints(&[1, 2]).unwrap();
             cat.add(b.finish()).unwrap();
         }
@@ -318,7 +328,11 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_filter_column_and_head_var() {
-        let atom = Atom::new("R", vec!["x", "y"]).with_filter(Predicate::cmp_const("nope", CmpOp::Gt, 1i64));
+        let atom = Atom::new("R", vec!["x", "y"]).with_filter(Predicate::cmp_const(
+            "nope",
+            CmpOp::Gt,
+            1i64,
+        ));
         let q = ConjunctiveQuery::new("bad", vec![], vec![atom]);
         assert!(matches!(q.validate(&catalog()), Err(QueryError::UnknownFilterColumn { .. })));
 

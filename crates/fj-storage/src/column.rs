@@ -254,7 +254,10 @@ mod tests {
     fn gather_selects_rows() {
         let c = Column::from_i64(vec![10, 11, 12, 13]);
         let g = c.gather(&[3, 1, 1]);
-        assert_eq!(g.iter().collect::<Vec<_>>(), vec![Value::Int(13), Value::Int(11), Value::Int(11)]);
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![Value::Int(13), Value::Int(11), Value::Int(11)]
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ pub fn load_csv_file(
 
 /// Write a relation as CSV (with header). String ids are resolved through the
 /// catalog dictionary; unknown ids are written as `str#<id>`.
-pub fn write_csv<W: Write>(writer: &mut W, relation: &Relation, catalog: &Catalog) -> StorageResult<()> {
+pub fn write_csv<W: Write>(
+    writer: &mut W,
+    relation: &Relation,
+    catalog: &Catalog,
+) -> StorageResult<()> {
     let names = relation.schema().names();
     writeln!(writer, "{}", names.join(","))?;
     for row in relation.iter_rows() {
@@ -193,7 +197,8 @@ mod tests {
         let data = "id,name\n1,alice\n2,\n3,bob\n";
         let mut cat = Catalog::new();
         let schema = Schema::new(vec![Field::int("id"), Field::str("name")]);
-        let rel = read_csv(data.as_bytes(), "people", schema, &mut cat, CsvOptions::default()).unwrap();
+        let rel =
+            read_csv(data.as_bytes(), "people", schema, &mut cat, CsvOptions::default()).unwrap();
         assert_eq!(rel.num_rows(), 3);
         assert_eq!(rel.row(1)[1], Value::Null);
         let alice = rel.row(0)[1];
@@ -239,7 +244,8 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("id,name\n"));
 
-        let rel2 = read_csv(text.as_bytes(), "people", schema, &mut cat, CsvOptions::default()).unwrap();
+        let rel2 =
+            read_csv(text.as_bytes(), "people", schema, &mut cat, CsvOptions::default()).unwrap();
         assert_eq!(rel2.num_rows(), 2);
         assert_eq!(rel2.row(0)[0], Value::Int(1));
         assert_eq!(rel2.row(1)[1], Value::Null);

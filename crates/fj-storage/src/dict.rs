@@ -27,7 +27,8 @@ impl Dictionary {
         if let Some(&id) = self.ids.get(s) {
             return id;
         }
-        let id = u32::try_from(self.strings.len()).expect("dictionary overflow: more than u32::MAX distinct strings");
+        let id = u32::try_from(self.strings.len())
+            .expect("dictionary overflow: more than u32::MAX distinct strings");
         self.strings.push(s.to_string());
         self.ids.insert(s.to_string(), id);
         id

@@ -67,9 +67,10 @@ impl fmt::Display for CmpOp {
 }
 
 /// A predicate over the columns of a single relation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Predicate {
     /// Always true (the neutral element for [`Predicate::and`]).
+    #[default]
     True,
     /// `column <op> constant`
     ColCmpConst { column: String, op: CmpOp, value: Value },
@@ -161,21 +162,18 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::ColCmpConst { column, op, value } => {
-                let idx = relation
-                    .schema()
-                    .index_of(column)
-                    .unwrap_or_else(|| panic!("predicate column {column} not in relation {}", relation.name()));
+                let idx = relation.schema().index_of(column).unwrap_or_else(|| {
+                    panic!("predicate column {column} not in relation {}", relation.name())
+                });
                 op.eval(relation.column(idx).get(row), *value)
             }
             Predicate::ColCmpCol { left, op, right } => {
-                let li = relation
-                    .schema()
-                    .index_of(left)
-                    .unwrap_or_else(|| panic!("predicate column {left} not in relation {}", relation.name()));
-                let ri = relation
-                    .schema()
-                    .index_of(right)
-                    .unwrap_or_else(|| panic!("predicate column {right} not in relation {}", relation.name()));
+                let li = relation.schema().index_of(left).unwrap_or_else(|| {
+                    panic!("predicate column {left} not in relation {}", relation.name())
+                });
+                let ri = relation.schema().index_of(right).unwrap_or_else(|| {
+                    panic!("predicate column {right} not in relation {}", relation.name())
+                });
                 op.eval(relation.column(li).get(row), relation.column(ri).get(row))
             }
             Predicate::IsNull { column } => {
@@ -209,12 +207,6 @@ impl Predicate {
             }
             Predicate::Not(p) => 1.0 - p.selectivity(),
         }
-    }
-}
-
-impl Default for Predicate {
-    fn default() -> Self {
-        Predicate::True
     }
 }
 
@@ -263,14 +255,15 @@ mod tests {
     #[test]
     fn and_or_not() {
         let rel = sample_relation();
-        let p = Predicate::cmp_const("u", CmpOp::Gt, 1i64).and(Predicate::cmp_const("w", CmpOp::Lt, 35i64));
+        let p = Predicate::cmp_const("u", CmpOp::Gt, 1i64).and(Predicate::cmp_const(
+            "w",
+            CmpOp::Lt,
+            35i64,
+        ));
         let matching: Vec<usize> = (0..rel.num_rows()).filter(|&i| p.eval(&rel, i)).collect();
         assert_eq!(matching, vec![2]);
 
-        let q = Predicate::Or(vec![
-            Predicate::eq_const("u", 1i64),
-            Predicate::eq_const("u", 3i64),
-        ]);
+        let q = Predicate::Or(vec![Predicate::eq_const("u", 1i64), Predicate::eq_const("u", 3i64)]);
         let matching: Vec<usize> = (0..rel.num_rows()).filter(|&i| q.eval(&rel, i)).collect();
         assert_eq!(matching, vec![0, 2]);
 
@@ -294,7 +287,11 @@ mod tests {
 
     #[test]
     fn columns_are_collected_and_deduped() {
-        let p = Predicate::cmp_cols("v", CmpOp::Eq, "w").and(Predicate::cmp_const("v", CmpOp::Gt, 0i64));
+        let p = Predicate::cmp_cols("v", CmpOp::Eq, "w").and(Predicate::cmp_const(
+            "v",
+            CmpOp::Gt,
+            0i64,
+        ));
         assert_eq!(p.columns(), vec!["v", "w"]);
     }
 

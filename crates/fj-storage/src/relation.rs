@@ -22,10 +22,17 @@ pub struct Relation {
 
 impl Relation {
     /// Create a relation from pre-built columns.
-    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> StorageResult<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> StorageResult<Self> {
         let name = name.into();
         if schema.arity() != columns.len() {
-            return Err(StorageError::ArityMismatch { expected: schema.arity(), found: columns.len() });
+            return Err(StorageError::ArityMismatch {
+                expected: schema.arity(),
+                found: columns.len(),
+            });
         }
         let num_rows = columns.first().map(Column::len).unwrap_or(0);
         for c in &columns {
@@ -128,7 +135,12 @@ impl Relation {
     /// Build a new relation from a subset of rows (in the given order).
     pub fn gather(&self, rows: &[usize]) -> Relation {
         let columns: Vec<Column> = self.columns.iter().map(|c| c.gather(rows)).collect();
-        Relation { name: self.name.clone(), schema: self.schema.clone(), columns, num_rows: rows.len() }
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            num_rows: rows.len(),
+        }
     }
 
     /// Project onto a subset of columns by name.
@@ -205,7 +217,10 @@ impl RelationBuilder {
     /// Append one row.
     pub fn push_row(&mut self, row: Vec<Value>) -> StorageResult<()> {
         if row.len() != self.schema.arity() {
-            return Err(StorageError::ArityMismatch { expected: self.schema.arity(), found: row.len() });
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: row.len(),
+            });
         }
         for (c, v) in self.columns.iter_mut().zip(row) {
             c.push(v)?;
@@ -274,7 +289,8 @@ mod tests {
     #[test]
     fn new_validates_arity_and_types() {
         let schema = Schema::all_int(&["a", "b"]);
-        let err = Relation::new("bad", schema.clone(), vec![Column::from_i64(vec![1])]).unwrap_err();
+        let err =
+            Relation::new("bad", schema.clone(), vec![Column::from_i64(vec![1])]).unwrap_err();
         assert!(matches!(err, StorageError::ArityMismatch { .. }));
 
         let schema2 = Schema::new(vec![Field::int("a"), Field::str("b")]);
@@ -292,10 +308,10 @@ mod tests {
         let r = edges();
         let filtered = r.filter(&Predicate::cmp_const("src", CmpOp::Eq, 1i64));
         assert_eq!(filtered.num_rows(), 2);
-        assert_eq!(filtered.canonical_rows(), vec![
-            vec![Value::Int(1), Value::Int(2)],
-            vec![Value::Int(1), Value::Int(3)],
-        ]);
+        assert_eq!(
+            filtered.canonical_rows(),
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(1), Value::Int(3)],]
+        );
         // True predicate is a no-op clone.
         assert_eq!(r.filter(&Predicate::True).num_rows(), 4);
     }

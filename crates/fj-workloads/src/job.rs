@@ -56,7 +56,15 @@ impl Default for JobConfig {
 impl JobConfig {
     /// A small configuration for unit and integration tests.
     pub fn tiny() -> Self {
-        JobConfig { movies: 120, people: 200, companies: 20, keywords: 40, cast_per_movie: 4, skew: 0.9, seed: 7 }
+        JobConfig {
+            movies: 120,
+            people: 200,
+            companies: 20,
+            keywords: 40,
+            cast_per_movie: 4,
+            skew: 0.9,
+            seed: 7,
+        }
     }
 
     /// A configuration scaled so the whole suite runs in minutes on a laptop
@@ -64,7 +72,14 @@ impl JobConfig {
     /// table sizes) matches [`JobConfig::default`]; only the absolute scale
     /// changes.
     pub fn benchmark() -> Self {
-        JobConfig { movies: 2_000, people: 4_000, companies: 150, keywords: 400, cast_per_movie: 6, ..JobConfig::default() }
+        JobConfig {
+            movies: 2_000,
+            people: 4_000,
+            companies: 150,
+            keywords: 400,
+            cast_per_movie: 6,
+            ..JobConfig::default()
+        }
     }
 }
 
@@ -92,9 +107,15 @@ pub fn generate_catalog(config: &JobConfig) -> Catalog {
     // title(id, kind_id, production_year)
     {
         let mut rng = seeded_rng("title", config.seed);
-        let mut b = RelationBuilder::new("title", Schema::all_int(&["id", "kind_id", "production_year"]));
+        let mut b =
+            RelationBuilder::new("title", Schema::all_int(&["id", "kind_id", "production_year"]));
         for id in 0..config.movies {
-            b.push_ints(&[id as i64, rng.random_range(0..KIND_TYPES), rng.random_range(1950..2023)]).unwrap();
+            b.push_ints(&[
+                id as i64,
+                rng.random_range(0..KIND_TYPES),
+                rng.random_range(1950..2023),
+            ])
+            .unwrap();
         }
         catalog.add(b.finish()).unwrap();
     }
@@ -146,7 +167,10 @@ pub fn generate_catalog(config: &JobConfig) -> Catalog {
     {
         let mut rng = seeded_rng("cast_info", config.seed);
         let rows = config.movies * config.cast_per_movie;
-        let mut b = RelationBuilder::new("cast_info", Schema::all_int(&["person_id", "movie_id", "role_id"]));
+        let mut b = RelationBuilder::new(
+            "cast_info",
+            Schema::all_int(&["person_id", "movie_id", "role_id"]),
+        );
         let mut seen = std::collections::HashSet::new();
         let mut attempts = 0usize;
         while b.len() < rows && attempts < rows * 4 {
@@ -189,7 +213,10 @@ pub fn generate_catalog(config: &JobConfig) -> Catalog {
     {
         let mut rng = seeded_rng("movie_info", config.seed);
         let rows = config.movies * 4;
-        let mut b = RelationBuilder::new("movie_info", Schema::all_int(&["movie_id", "info_type_id", "info"]));
+        let mut b = RelationBuilder::new(
+            "movie_info",
+            Schema::all_int(&["movie_id", "info_type_id", "info"]),
+        );
         let mut seen = std::collections::HashSet::new();
         let mut attempts = 0usize;
         while b.len() < rows && attempts < rows * 4 {
@@ -209,8 +236,10 @@ pub fn generate_catalog(config: &JobConfig) -> Catalog {
     {
         let mut rng = seeded_rng("movie_info_idx", config.seed);
         let rows = config.movies * 2;
-        let mut b =
-            RelationBuilder::new("movie_info_idx", Schema::all_int(&["movie_id", "info_type_id", "info"]));
+        let mut b = RelationBuilder::new(
+            "movie_info_idx",
+            Schema::all_int(&["movie_id", "info_type_id", "info"]),
+        );
         let mut seen = std::collections::HashSet::new();
         let mut attempts = 0usize;
         while b.len() < rows && attempts < rows * 4 {
@@ -230,7 +259,8 @@ pub fn generate_catalog(config: &JobConfig) -> Catalog {
     {
         let mut rng = seeded_rng("movie_keyword", config.seed);
         let rows = config.movies * 3;
-        let mut b = RelationBuilder::new("movie_keyword", Schema::all_int(&["movie_id", "keyword_id"]));
+        let mut b =
+            RelationBuilder::new("movie_keyword", Schema::all_int(&["movie_id", "keyword_id"]));
         let mut seen = std::collections::HashSet::new();
         let mut attempts = 0usize;
         while b.len() < rows && attempts < rows * 4 {
@@ -302,7 +332,11 @@ pub fn queries() -> Vec<NamedQuery> {
     for (variant, itype) in [("a", 2i64), ("b", 9)] {
         let q = QueryBuilder::new(format!("q4{variant}_like"))
             .atom("title", &["t", "kind", "year"])
-            .atom_where("movie_info_idx", &["t", "itype", "info"], Predicate::eq_const("info_type_id", itype))
+            .atom_where(
+                "movie_info_idx",
+                &["t", "itype", "info"],
+                Predicate::eq_const("info_type_id", itype),
+            )
             .atom("info_type", &["itype", "itkind"])
             .atom("movie_keyword", &["t", "kw"])
             .atom("keyword", &["kw", "cat"])
@@ -359,7 +393,9 @@ pub fn queries() -> Vec<NamedQuery> {
     // Family 13 (the paper's headline case): the first joins are all
     // many-to-many on the movie id — cast_info, movie_info, movie_keyword and
     // movie_companies all fan out of `title`, like the clover query.
-    for (variant, category, itype, year) in [("a", 2i64, 5i64, 1980), ("b", 8, 11, 2000), ("c", 12, 16, 2010)] {
+    for (variant, category, itype, year) in
+        [("a", 2i64, 5i64, 1980), ("b", 8, 11, 2000), ("c", 12, 16, 2010)]
+    {
         let q = QueryBuilder::new(format!("q13{variant}_like"))
             .atom("cast_info", &["p", "t", "role"])
             .atom("movie_info", &["t", "itype", "info"])
@@ -429,7 +465,9 @@ mod tests {
         assert_eq!(cat.get("name").unwrap().num_rows(), config.people);
         assert_eq!(cat.get("cast_info").unwrap().num_rows(), config.movies * config.cast_per_movie);
         assert_eq!(cat.get("movie_keyword").unwrap().num_rows(), config.movies * 3);
-        for dim in ["info_type", "kind_type", "role_type", "company_type", "company_name", "keyword"] {
+        for dim in
+            ["info_type", "kind_type", "role_type", "company_type", "company_name", "keyword"]
+        {
             assert!(!cat.get(dim).unwrap().is_empty(), "{dim} is empty");
         }
     }

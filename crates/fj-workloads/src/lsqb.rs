@@ -273,8 +273,12 @@ mod tests {
     fn catalog_scales_with_scale_factor() {
         let small = generate_catalog(&LsqbConfig::at_scale(0.1));
         let large = generate_catalog(&LsqbConfig::at_scale(0.3));
-        assert!(large.get("person").unwrap().num_rows() > 2 * small.get("person").unwrap().num_rows());
-        assert!(large.get("knows").unwrap().num_rows() > 2 * small.get("knows").unwrap().num_rows());
+        assert!(
+            large.get("person").unwrap().num_rows() > 2 * small.get("person").unwrap().num_rows()
+        );
+        assert!(
+            large.get("knows").unwrap().num_rows() > 2 * small.get("knows").unwrap().num_rows()
+        );
     }
 
     #[test]
@@ -306,7 +310,10 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate_catalog(&LsqbConfig::tiny());
         let b = generate_catalog(&LsqbConfig::tiny());
-        assert_eq!(a.get("knows").unwrap().canonical_rows(), b.get("knows").unwrap().canonical_rows());
+        assert_eq!(
+            a.get("knows").unwrap().canonical_rows(),
+            b.get("knows").unwrap().canonical_rows()
+        );
     }
 
     #[test]

@@ -97,9 +97,11 @@ pub fn chain(k: usize, rows: usize, domain: i64, seed: u64) -> Workload {
         let mut rng = seeded_rng(&format!("chain-{i}"), seed);
         let name = format!("C{i}");
         let cols = [format!("v{i}"), format!("v{}", i + 1)];
-        let mut b = RelationBuilder::new(&name, Schema::all_int(&[cols[0].as_str(), cols[1].as_str()]));
+        let mut b =
+            RelationBuilder::new(&name, Schema::all_int(&[cols[0].as_str(), cols[1].as_str()]));
         for _ in 0..rows {
-            b.push_ints(&[rng.random_range(0..domain), rng.random_range(0..domain)]).unwrap();
+            b.push_ints(&[rng.random_range(0..domain), rng.random_range(0..domain)])
+                .unwrap();
         }
         catalog.add(b.finish()).unwrap();
         atoms.push(Atom {
@@ -110,7 +112,11 @@ pub fn chain(k: usize, rows: usize, domain: i64, seed: u64) -> Workload {
         });
     }
     let query = ConjunctiveQuery::new("chain", vec![], atoms).with_aggregate(Aggregate::Count);
-    Workload::new(format!("chain k={k} rows={rows}"), catalog, vec![NamedQuery::new("chain", query)])
+    Workload::new(
+        format!("chain k={k} rows={rows}"),
+        catalog,
+        vec![NamedQuery::new("chain", query)],
+    )
 }
 
 /// A star query `Hub(x, a1), Spoke1(x, b1), ..., Spoke_k(x, b_k)` with a
@@ -136,7 +142,8 @@ pub fn star(spokes: usize, rows: usize, hub_domain: usize, theta: f64, seed: u64
         let col = format!("s{s}");
         let mut b = RelationBuilder::new(&name, Schema::all_int(&["x", col.as_str()]));
         for i in 0..rows {
-            b.push_ints(&[zipf.sample(&mut rng) as i64, (1000 * (s + 1) + i) as i64]).unwrap();
+            b.push_ints(&[zipf.sample(&mut rng) as i64, (1000 * (s + 1) + i) as i64])
+                .unwrap();
         }
         catalog.add(b.finish()).unwrap();
         atoms.push(Atom {

@@ -130,7 +130,13 @@ pub fn compile(plan: &FreeJoinPlan, input_vars: &[Vec<String>]) -> EngineResult<
                     }
                 })
                 .collect();
-            subatoms.push(CompiledSubatom { input: s.input, level, key_slots, iter_actions, final_for_input });
+            subatoms.push(CompiledSubatom {
+                input: s.input,
+                level,
+                key_slots,
+                iter_actions,
+                final_for_input,
+            });
         }
 
         // Cover candidates: subatoms that bind every new variable of the node.
@@ -152,8 +158,7 @@ pub fn compile(plan: &FreeJoinPlan, input_vars: &[Vec<String>]) -> EngineResult<
         let node = &nodes[k];
         let single_expansion = node.subatoms.len() == 1
             && node.subatoms[0].final_for_input
-            && node
-                .subatoms[0]
+            && node.subatoms[0]
                 .iter_actions
                 .iter()
                 .all(|a| matches!(a, IterAction::Write { .. }))
@@ -188,10 +193,13 @@ mod tests {
         assert_eq!(n0.bound_before, 0);
         assert_eq!(n0.bound_after, 2);
         assert_eq!(n0.cover_candidates, vec![0]);
-        assert_eq!(n0.subatoms[0].iter_actions, vec![
-            IterAction::Write { key_pos: 0, slot: 0 },
-            IterAction::Write { key_pos: 1, slot: 1 },
-        ]);
+        assert_eq!(
+            n0.subatoms[0].iter_actions,
+            vec![
+                IterAction::Write { key_pos: 0, slot: 0 },
+                IterAction::Write { key_pos: 1, slot: 1 },
+            ]
+        );
         assert_eq!(n0.subatoms[1].key_slots, vec![0]);
         assert!(!n0.subatoms[1].final_for_input);
 
@@ -262,10 +270,13 @@ mod tests {
             FjNode::new(vec![Subatom::new(1, vec!["x".into(), "b".into()])]),
         ]);
         let compiled = compile(&plan, &iv).unwrap();
-        assert_eq!(compiled.nodes[1].subatoms[0].iter_actions, vec![
-            IterAction::Check { key_pos: 0, slot: 0 },
-            IterAction::Write { key_pos: 1, slot: 1 },
-        ]);
+        assert_eq!(
+            compiled.nodes[1].subatoms[0].iter_actions,
+            vec![
+                IterAction::Check { key_pos: 0, slot: 0 },
+                IterAction::Write { key_pos: 1, slot: 1 },
+            ]
+        );
         // A re-binding cover is not a pure expansion, so no independent tail.
         assert!(!compiled.nodes[1].independent_tail);
     }

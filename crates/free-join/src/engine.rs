@@ -10,7 +10,7 @@
 
 use crate::compile::{compile, CompiledPlan};
 use crate::error::{EngineError, EngineResult};
-use crate::exec::execute_pipeline;
+use crate::exec::{execute_pipeline, execute_pipeline_parallel};
 use crate::options::FreeJoinOptions;
 use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput, PreparedQuery};
 use crate::sink::{MaterializeSink, OutputSink};
@@ -69,7 +69,8 @@ impl FreeJoinEngine {
             return Err(EngineError::PlanDoesNotCoverQuery);
         }
         let prepared = prepare_inputs(catalog, query)?;
-        let mut stats = ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
+        let mut stats =
+            ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
 
         let decomposed = plan.decompose();
         let mut intermediates: Vec<Option<BoundInput>> = vec![None; decomposed.len()];
@@ -81,9 +82,9 @@ impl FreeJoinEngine {
                 .iter()
                 .map(|&input| match input {
                     PipeInput::Atom(i) => prepared.atoms[i].clone(),
-                    PipeInput::Intermediate(j) => intermediates[j]
-                        .clone()
-                        .expect("pipelines are dependency-ordered"),
+                    PipeInput::Intermediate(j) => {
+                        intermediates[j].clone().expect("pipelines are dependency-ordered")
+                    }
                 })
                 .collect();
             let input_vars: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
@@ -117,10 +118,12 @@ impl FreeJoinEngine {
         fj_plan: &FreeJoinPlan,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
         let prepared = prepare_inputs(catalog, query)?;
-        let mut stats = ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
+        let mut stats =
+            ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
         let input_vars: Vec<Vec<String>> = prepared.atoms.iter().map(|i| i.vars.clone()).collect();
         let compiled = compile(fj_plan, &input_vars)?;
-        let result = self.run_pipeline(&prepared, &prepared.atoms, &compiled, query, true, &mut stats)?;
+        let result =
+            self.run_pipeline(&prepared, &prepared.atoms, &compiled, query, true, &mut stats)?;
         match result {
             PipelineResult::Output(output) => {
                 stats.output_tuples = output.cardinality();
@@ -154,34 +157,107 @@ impl FreeJoinEngine {
         is_final: bool,
         stats: &mut ExecStats,
     ) -> EngineResult<PipelineResult> {
-        // Build phase.
+        let threads = self.options.effective_threads();
+
+        // Build phase. With multiple workers available, independent input
+        // tries build concurrently (this is where the eager Simple/Slt
+        // strategies spend their time); the worker pool is capped at the
+        // configured thread count.
         let build_start = Instant::now();
-        let tries: Vec<InputTrie> = inputs
-            .iter()
-            .zip(&compiled.schemas)
-            .map(|(input, schema)| InputTrie::build(input, schema.clone(), self.options.trie))
-            .collect();
+        let tries: Vec<InputTrie> = if threads > 1 && inputs.len() > 1 {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let cursor = AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<InputTrie>>> =
+                Mutex::new((0..inputs.len()).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(inputs.len()) {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let trie = InputTrie::build(
+                            &inputs[i],
+                            compiled.schemas[i].clone(),
+                            self.options.trie,
+                        );
+                        slots.lock().expect("no poisoned build slots")[i] = Some(trie);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("no poisoned build slots")
+                .into_iter()
+                .map(|t| t.expect("every input trie was built"))
+                .collect()
+        } else {
+            inputs
+                .iter()
+                .zip(&compiled.schemas)
+                .map(|(input, schema)| InputTrie::build(input, schema.clone(), self.options.trie))
+                .collect()
+        };
         stats.build_time += build_start.elapsed();
 
-        // Join phase.
+        // Join phase: serial when one thread is configured (the exact legacy
+        // path), morsel-driven over the first node's cover otherwise, with
+        // the per-morsel sinks merged in morsel order.
         let join_start = Instant::now();
         let result = if is_final {
             let builder =
                 OutputBuilder::new(&query.head, query.aggregate.clone(), &compiled.binding_order);
-            let mut sink = OutputSink::new(builder);
-            let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
-            stats.probes += counters.probes;
-            stats.probe_hits += counters.probe_hits;
-            PipelineResult::Output(sink.finish())
+            let output = if threads > 1 {
+                let (sinks, counters) =
+                    execute_pipeline_parallel(&tries, compiled, &self.options, threads, || {
+                        OutputSink::new(builder.clone())
+                    });
+                stats.probes += counters.probes;
+                stats.probe_hits += counters.probe_hits;
+                let mut merged = OutputSink::new(builder);
+                for sink in sinks {
+                    merged.merge(sink);
+                }
+                merged.finish()
+            } else {
+                let mut sink = OutputSink::new(builder);
+                let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
+                stats.probes += counters.probes;
+                stats.probe_hits += counters.probe_hits;
+                sink.finish()
+            };
+            PipelineResult::Output(output)
         } else {
-            let mut sink = MaterializeSink::new();
-            let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
-            stats.probes += counters.probes;
-            stats.probe_hits += counters.probe_hits;
-            let rows = sink.into_rows();
+            let rows = if threads > 1 {
+                let (sinks, counters) = execute_pipeline_parallel(
+                    &tries,
+                    compiled,
+                    &self.options,
+                    threads,
+                    MaterializeSink::new,
+                );
+                stats.probes += counters.probes;
+                stats.probe_hits += counters.probe_hits;
+                let mut merged = MaterializeSink::new();
+                for sink in sinks {
+                    merged.merge(sink);
+                }
+                merged.into_rows()
+            } else {
+                let mut sink = MaterializeSink::new();
+                let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
+                stats.probes += counters.probes;
+                stats.probe_hits += counters.probe_hits;
+                sink.into_rows()
+            };
             let name = format!("__fj_intermediate_{}", compiled.binding_order.join("_"));
-            let bound =
-                materialize_intermediate(&name, &compiled.binding_order, &prepared.var_types, &rows)?;
+            let bound = materialize_intermediate(
+                &name,
+                &compiled.binding_order,
+                &prepared.var_types,
+                &rows,
+            )?;
             PipelineResult::Intermediate(bound)
         };
         stats.join_time += join_start.elapsed();
@@ -307,6 +383,66 @@ mod tests {
     }
 
     #[test]
+    fn multithreaded_execution_matches_serial() {
+        let cat = catalog();
+        let plan = BinaryPlan::left_deep(&[0, 1, 2, 3]);
+        // Count, materialize and group-count heads all merge correctly.
+        let queries = [
+            two_hop_query(),
+            QueryBuilder::new("two_hop_rows")
+                .head(&["a", "c"])
+                .atom_as("follows", "f1", &["a", "b"])
+                .atom_as("follows", "f2", &["b", "c"])
+                .atom("person", &["c", "city"])
+                .atom("city", &["city", "country"])
+                .build(),
+            QueryBuilder::new("two_hop_groups")
+                .atom_as("follows", "f1", &["a", "b"])
+                .atom_as("follows", "f2", &["b", "c"])
+                .atom("person", &["c", "city"])
+                .atom("city", &["city", "country"])
+                .group_count(&["country"])
+                .build(),
+        ];
+        for q in &queries {
+            let serial = FreeJoinEngine::new(FreeJoinOptions::default().with_num_threads(1));
+            let (reference, _) = serial.execute(&cat, q, &plan).unwrap();
+            for threads in [2usize, 4, 8] {
+                for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+                    let opts = FreeJoinOptions { trie, ..FreeJoinOptions::default() }
+                        .with_num_threads(threads);
+                    let (out, _) = FreeJoinEngine::new(opts).execute(&cat, q, &plan).unwrap();
+                    assert!(
+                        out.result_eq(&reference),
+                        "{} with {threads} threads / {trie:?} diverged: {} vs {}",
+                        q.name,
+                        out.cardinality(),
+                        reference.cardinality()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_bushy_plan_matches_serial() {
+        let cat = catalog();
+        let q = two_hop_query();
+        let bushy = BinaryPlan::new(PlanTree::Join(
+            Box::new(PlanTree::Join(Box::new(PlanTree::Leaf(0)), Box::new(PlanTree::Leaf(1)))),
+            Box::new(PlanTree::Join(Box::new(PlanTree::Leaf(2)), Box::new(PlanTree::Leaf(3)))),
+        ));
+        let (a, _) = FreeJoinEngine::new(FreeJoinOptions::default().with_num_threads(1))
+            .execute(&cat, &q, &bushy)
+            .unwrap();
+        let (b, stats) = FreeJoinEngine::new(FreeJoinOptions::default().with_num_threads(4))
+            .execute(&cat, &q, &bushy)
+            .unwrap();
+        assert_eq!(a.cardinality(), b.cardinality());
+        assert!(stats.intermediate_tuples > 0, "intermediates flow through the parallel path");
+    }
+
+    #[test]
     fn plan_and_execute_uses_the_optimizer() {
         let cat = catalog();
         let q = two_hop_query();
@@ -326,9 +462,7 @@ mod tests {
             .group_count(&["country"])
             .build();
         let engine = FreeJoinEngine::new(FreeJoinOptions::default());
-        let (out, _) = engine
-            .execute(&cat, &q, &BinaryPlan::left_deep(&[0, 1]))
-            .unwrap();
+        let (out, _) = engine.execute(&cat, &q, &BinaryPlan::left_deep(&[0, 1])).unwrap();
         match out.kind {
             fj_query::OutputKind::Groups(groups) => {
                 assert_eq!(groups.len(), 2);

@@ -22,13 +22,29 @@
 //! The hot path is allocation-free: every per-iteration buffer (probe keys,
 //! saved trie positions, vectorization batches) lives in a per-node
 //! [`NodeScratch`] allocated once per pipeline and reused across iterations.
+//!
+//! # Morsel-driven parallelism
+//!
+//! [`execute_pipeline_parallel`] splits the **first plan node's cover
+//! iteration** into morsels of root-level entries and fans them out over a
+//! pool of scoped worker threads, in the spirit of morsel-driven execution
+//! (Leis et al., SIGMOD 2014). Each worker owns its tuple buffer, trie
+//! positions, scratch space and a per-morsel [`Sink`], and claims morsels
+//! from a shared atomic cursor; inner plan nodes run the unmodified
+//! (optionally vectorized) serial code. Probes may lazily force shared trie
+//! nodes from several workers at once — the trie's `OnceLock`-based forcing
+//! (see [`crate::trie`]) makes that race-free. Per-morsel sinks are handed
+//! back in morsel order, so merging them is deterministic for a fixed root
+//! entry list. The serial path (`num_threads == 1`) is byte-for-byte the
+//! legacy single-threaded algorithm.
 
 use crate::compile::{CompiledNode, CompiledPlan, IterAction};
 use crate::options::FreeJoinOptions;
 use crate::sink::Sink;
-use crate::trie::{InputTrie, TrieNode};
+use crate::trie::{InputTrie, TrieNode, Tuple};
 use fj_storage::Value;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Counters collected during the join phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,15 +55,24 @@ pub struct ExecCounters {
     pub probe_hits: u64,
 }
 
+impl ExecCounters {
+    /// Accumulate another worker's counters.
+    pub fn merge(&mut self, other: ExecCounters) {
+        self.probes += other.probes;
+        self.probe_hits += other.probe_hits;
+    }
+}
+
 /// Reusable per-node scratch space. One instance exists per plan node and is
 /// reused by every invocation of that node, so the join loop performs no
-/// per-tuple heap allocation.
+/// per-tuple heap allocation. Under parallel execution every worker owns a
+/// private set.
 #[derive(Debug, Default)]
 struct NodeScratch {
     /// Probe-key buffer.
     probe_key: Vec<Value>,
     /// Saved trie positions to restore after a recursive call.
-    saved: Vec<(usize, Rc<TrieNode>)>,
+    saved: Vec<(usize, Arc<TrieNode>)>,
     /// Vectorized batch: values bound by the cover (stride = new slots).
     writes: Vec<Value>,
     /// Vectorized batch: accumulated weights.
@@ -56,7 +81,7 @@ struct NodeScratch {
     alive: Vec<bool>,
     /// Vectorized batch: child trie nodes per (entry, subatom) — flat, stride
     /// = number of subatoms in the node. Only non-final subatoms use a slot.
-    children: Vec<Option<Rc<TrieNode>>>,
+    children: Vec<Option<Arc<TrieNode>>>,
     /// Number of entries currently buffered.
     count: usize,
 }
@@ -72,17 +97,261 @@ pub fn execute_pipeline(
     debug_assert_eq!(tries.len(), plan.num_inputs);
     let mut counters = ExecCounters::default();
     let mut tuple = vec![Value::Null; plan.binding_order.len()];
-    let mut current: Vec<Rc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
+    let mut current: Vec<Arc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
     let mut scratch: Vec<NodeScratch> = plan.nodes.iter().map(|_| NodeScratch::default()).collect();
-    run_node(tries, plan, options, 0, &mut tuple, &mut current, 1, sink, &mut counters, &mut scratch);
+    run_node(
+        tries,
+        plan,
+        options,
+        0,
+        &mut tuple,
+        &mut current,
+        1,
+        sink,
+        &mut counters,
+        &mut scratch,
+    );
     counters
+}
+
+/// The root-level work list of a parallel pipeline: what the first node's
+/// cover iterates, materialized so it can be split into morsels. Entries
+/// borrow from the forced root map (stable for the lifetime of the tries),
+/// so building the list allocates only the index vector.
+enum RootItems<'a> {
+    /// The cover's root is an unforced last level: iterate the base table
+    /// directly, one item per row (the COLT fast path).
+    Rows(usize),
+    /// The cover's root is (now) a forced hash-map level: one item per
+    /// distinct key.
+    Entries(Vec<(&'a Tuple, &'a Arc<TrieNode>)>),
+}
+
+/// Execute a compiled pipeline with morsel-driven parallelism over the first
+/// node's cover.
+///
+/// `make_sink` creates one sink per morsel; the sinks come back **in morsel
+/// order** together with the summed probe counters, so the caller can merge
+/// them deterministically. Falls back to the serial algorithm (returning a
+/// single sink) when `num_threads <= 1`, when the factorized-output shortcut
+/// already applies at the first node, or when there is no root-level work to
+/// split.
+pub fn execute_pipeline_parallel<S, F>(
+    tries: &[InputTrie],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    num_threads: usize,
+    make_sink: F,
+) -> (Vec<S>, ExecCounters)
+where
+    S: Sink + Send,
+    F: Fn() -> S + Sync,
+{
+    debug_assert_eq!(tries.len(), plan.num_inputs);
+    let serial = |mut sink: S| {
+        let counters = execute_pipeline(tries, plan, options, &mut sink);
+        (vec![sink], counters)
+    };
+    if num_threads <= 1 || plan.nodes.is_empty() {
+        return serial(make_sink());
+    }
+    // If the whole plan collapses into the factorized-output shortcut, the
+    // work is O(#inputs); run it serially without forcing anything.
+    let node0 = &plan.nodes[0];
+    if options.factorize_output && node0.independent_tail {
+        let sink = make_sink();
+        if sink.accepts_factorized(node0.bound_before) {
+            return serial(sink);
+        }
+    }
+
+    // Materialize the first node's cover iteration as a splittable work list.
+    let roots: Vec<Arc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
+    let cover_idx = select_cover(tries, node0, &roots, options);
+    let cover = &node0.subatoms[cover_idx];
+    let cover_trie = &tries[cover.input];
+    let cover_root = roots[cover.input].clone();
+    let items = if !cover_root.is_map() && cover_trie.is_last_level(cover.level) {
+        RootItems::Rows(cover_trie.num_rows())
+    } else {
+        let map = cover_trie.force(&cover_root, cover.level, !cover_root.is_map());
+        RootItems::Entries(map.iter().collect())
+    };
+    let total = match &items {
+        RootItems::Rows(n) => *n,
+        RootItems::Entries(entries) => entries.len(),
+    };
+    if total == 0 {
+        return serial(make_sink());
+    }
+
+    // Morsel size: enough morsels for work stealing to balance skewed
+    // subtrees, capped so per-morsel sink overhead stays negligible.
+    let morsel_size = total.div_ceil(num_threads * 4).clamp(1, 4096);
+    let num_morsels = total.div_ceil(morsel_size);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<S>>> = Mutex::new((0..num_morsels).map(|_| None).collect());
+    let total_counters: Mutex<ExecCounters> = Mutex::new(ExecCounters::default());
+
+    // Mirror run_node's choice: batch the first node too when vectorization
+    // is on, so the parallel path keeps the paper's probe batching at the
+    // node that iterates the most entries.
+    let vectorize_root = options.vectorized() && node0.subatoms.len() > 1;
+
+    std::thread::scope(|scope| {
+        for _ in 0..num_threads.min(num_morsels) {
+            scope.spawn(|| {
+                let mut tuple = vec![Value::Null; plan.binding_order.len()];
+                let mut current: Vec<Arc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
+                let mut scratch: Vec<NodeScratch> =
+                    plan.nodes.iter().map(|_| NodeScratch::default()).collect();
+                let mut counters = ExecCounters::default();
+                let mut key_buf: Tuple = Vec::new();
+                loop {
+                    let m = cursor.fetch_add(1, Ordering::Relaxed);
+                    if m >= num_morsels {
+                        break;
+                    }
+                    let lo = m * morsel_size;
+                    let hi = (lo + morsel_size).min(total);
+                    let mut sink = make_sink();
+                    if vectorize_root {
+                        let (mine, rest) = scratch.split_at_mut(1);
+                        let mine = &mut mine[0];
+                        ensure_batch_buffers(mine, options.batch_size, node0);
+                        mine.count = 0;
+                        let flush = |mine: &mut NodeScratch,
+                                     tuple: &mut Vec<Value>,
+                                     current: &mut Vec<Arc<TrieNode>>,
+                                     sink: &mut S,
+                                     counters: &mut ExecCounters,
+                                     rest: &mut [NodeScratch]| {
+                            flush_batch(
+                                tries, plan, options, 0, cover_idx, mine, rest, tuple, current,
+                                sink, counters,
+                            );
+                        };
+                        match &items {
+                            RootItems::Entries(entries) => {
+                                for &(key, child) in &entries[lo..hi] {
+                                    buffer_cover_entry(
+                                        node0,
+                                        cover_idx,
+                                        cover_trie,
+                                        key,
+                                        Some(child),
+                                        &tuple,
+                                        1,
+                                        mine,
+                                    );
+                                    if mine.count >= options.batch_size {
+                                        flush(
+                                            mine,
+                                            &mut tuple,
+                                            &mut current,
+                                            &mut sink,
+                                            &mut counters,
+                                            rest,
+                                        );
+                                    }
+                                }
+                            }
+                            RootItems::Rows(_) => {
+                                for offset in lo..hi {
+                                    cover_trie.read_key_into(
+                                        cover.level,
+                                        offset as u32,
+                                        &mut key_buf,
+                                    );
+                                    buffer_cover_entry(
+                                        node0, cover_idx, cover_trie, &key_buf, None, &tuple, 1,
+                                        mine,
+                                    );
+                                    if mine.count >= options.batch_size {
+                                        flush(
+                                            mine,
+                                            &mut tuple,
+                                            &mut current,
+                                            &mut sink,
+                                            &mut counters,
+                                            rest,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        // Flush the morsel's remainder before handing the
+                        // sink back, so no entry leaks into the next morsel.
+                        flush(mine, &mut tuple, &mut current, &mut sink, &mut counters, rest);
+                    } else {
+                        match &items {
+                            RootItems::Entries(entries) => {
+                                for &(key, child) in &entries[lo..hi] {
+                                    process_cover_entry(
+                                        tries,
+                                        plan,
+                                        options,
+                                        0,
+                                        cover_idx,
+                                        key,
+                                        Some(child),
+                                        &mut tuple,
+                                        &mut current,
+                                        1,
+                                        &mut sink,
+                                        &mut counters,
+                                        &mut scratch,
+                                    );
+                                }
+                            }
+                            RootItems::Rows(_) => {
+                                for offset in lo..hi {
+                                    cover_trie.read_key_into(
+                                        cover.level,
+                                        offset as u32,
+                                        &mut key_buf,
+                                    );
+                                    process_cover_entry(
+                                        tries,
+                                        plan,
+                                        options,
+                                        0,
+                                        cover_idx,
+                                        &key_buf,
+                                        None,
+                                        &mut tuple,
+                                        &mut current,
+                                        1,
+                                        &mut sink,
+                                        &mut counters,
+                                        &mut scratch,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    results.lock().expect("no poisoned morsel results")[m] = Some(sink);
+                }
+                total_counters.lock().expect("no poisoned counters").merge(counters);
+            });
+        }
+    });
+
+    let sinks = results
+        .into_inner()
+        .expect("no poisoned morsel results")
+        .into_iter()
+        .map(|s| s.expect("every morsel was claimed and completed"))
+        .collect();
+    let counters = total_counters.into_inner().expect("no poisoned counters");
+    (sinks, counters)
 }
 
 /// Select which subatom of the node to iterate (the runtime cover).
 fn select_cover(
     tries: &[InputTrie],
     node: &CompiledNode,
-    current: &[Rc<TrieNode>],
+    current: &[Arc<TrieNode>],
     options: &FreeJoinOptions,
 ) -> usize {
     if options.dynamic_cover && node.cover_candidates.len() > 1 {
@@ -109,7 +378,7 @@ fn run_node(
     options: &FreeJoinOptions,
     node_idx: usize,
     tuple: &mut Vec<Value>,
-    current: &mut Vec<Rc<TrieNode>>,
+    current: &mut Vec<Arc<TrieNode>>,
     weight: u64,
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
@@ -139,11 +408,13 @@ fn run_node(
     let cover_idx = select_cover(tries, node, current, options);
     if options.vectorized() && node.subatoms.len() > 1 {
         run_node_vectorized(
-            tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters, scratch,
+            tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters,
+            scratch,
         );
     } else {
         run_node_scalar(
-            tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters, scratch,
+            tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters,
+            scratch,
         );
     }
 }
@@ -165,6 +436,96 @@ fn apply_iter_actions(actions: &[IterAction], key: &[Value], tuple: &mut [Value]
     true
 }
 
+/// Process one iterated cover entry of a node: bind the key, probe the other
+/// subatoms, and recurse into the next node for matches. This is the body of
+/// the scalar cover loop, shared between the serial path (driven by
+/// [`InputTrie::for_each`]) and the parallel path (driven by morsels of
+/// root-level entries).
+#[allow(clippy::too_many_arguments)]
+fn process_cover_entry(
+    tries: &[InputTrie],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    node_idx: usize,
+    cover_idx: usize,
+    key: &[Value],
+    child: Option<&Arc<TrieNode>>,
+    tuple: &mut Vec<Value>,
+    current: &mut Vec<Arc<TrieNode>>,
+    weight: u64,
+    sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
+    scratch: &mut [NodeScratch],
+) {
+    let node = &plan.nodes[node_idx];
+    let cover = &node.subatoms[cover_idx];
+    let cover_trie = &tries[cover.input];
+    if !apply_iter_actions(&cover.iter_actions, key, tuple) {
+        return;
+    }
+    let (mine, rest) = scratch.split_at_mut(1);
+    let mine = &mut mine[0];
+    let mut local_weight = weight;
+    mine.saved.clear();
+
+    // The cover's own continuation.
+    if cover.final_for_input {
+        if let Some(c) = child {
+            local_weight = local_weight.saturating_mul(cover_trie.tuple_count(c));
+        }
+    } else {
+        let c = child.expect("non-final cover level is forced into a map").clone();
+        mine.saved.push((cover.input, std::mem::replace(&mut current[cover.input], c)));
+    }
+
+    // Probe the other subatoms in plan order.
+    let mut all_matched = true;
+    for (j, sub) in node.subatoms.iter().enumerate() {
+        if j == cover_idx {
+            continue;
+        }
+        mine.probe_key.clear();
+        for &s in &sub.key_slots {
+            mine.probe_key.push(tuple[s]);
+        }
+        counters.probes += 1;
+        match tries[sub.input].get(&current[sub.input], sub.level, &mine.probe_key) {
+            Some(child_node) => {
+                counters.probe_hits += 1;
+                if sub.final_for_input {
+                    local_weight =
+                        local_weight.saturating_mul(tries[sub.input].tuple_count(&child_node));
+                } else {
+                    mine.saved
+                        .push((sub.input, std::mem::replace(&mut current[sub.input], child_node)));
+                }
+            }
+            None => {
+                all_matched = false;
+                break;
+            }
+        }
+    }
+
+    if all_matched && local_weight > 0 {
+        run_node(
+            tries,
+            plan,
+            options,
+            node_idx + 1,
+            tuple,
+            current,
+            local_weight,
+            sink,
+            counters,
+            rest,
+        );
+    }
+    for (input, old) in mine.saved.drain(..) {
+        current[input] = old;
+    }
+}
+
 /// Tuple-at-a-time execution of one node (no vectorization).
 #[allow(clippy::too_many_arguments)]
 fn run_node_scalar(
@@ -174,7 +535,7 @@ fn run_node_scalar(
     node_idx: usize,
     cover_idx: usize,
     tuple: &mut Vec<Value>,
-    current: &mut Vec<Rc<TrieNode>>,
+    current: &mut Vec<Arc<TrieNode>>,
     weight: u64,
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
@@ -184,63 +545,12 @@ fn run_node_scalar(
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
     let cover_node = current[cover.input].clone();
-    let (mine, rest) = scratch.split_at_mut(1);
-    let mine = &mut mine[0];
 
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
-        if !apply_iter_actions(&cover.iter_actions, key, tuple) {
-            return;
-        }
-        let mut local_weight = weight;
-        mine.saved.clear();
-
-        // The cover's own continuation.
-        if cover.final_for_input {
-            if let Some(c) = child {
-                local_weight = local_weight.saturating_mul(cover_trie.tuple_count(c));
-            }
-        } else {
-            let c = child.expect("non-final cover level is forced into a map").clone();
-            mine.saved.push((cover.input, std::mem::replace(&mut current[cover.input], c)));
-        }
-
-        // Probe the other subatoms in plan order.
-        let mut all_matched = true;
-        for (j, sub) in node.subatoms.iter().enumerate() {
-            if j == cover_idx {
-                continue;
-            }
-            mine.probe_key.clear();
-            for &s in &sub.key_slots {
-                mine.probe_key.push(tuple[s]);
-            }
-            counters.probes += 1;
-            match tries[sub.input].get(&current[sub.input], sub.level, &mine.probe_key) {
-                Some(child_node) => {
-                    counters.probe_hits += 1;
-                    if sub.final_for_input {
-                        local_weight =
-                            local_weight.saturating_mul(tries[sub.input].tuple_count(&child_node));
-                    } else {
-                        mine.saved
-                            .push((sub.input, std::mem::replace(&mut current[sub.input], child_node)));
-                    }
-                }
-                None => {
-                    all_matched = false;
-                    break;
-                }
-            }
-        }
-
-        if all_matched && local_weight > 0 {
-            run_node(
-                tries, plan, options, node_idx + 1, tuple, current, local_weight, sink, counters, rest,
-            );
-        }
-        for (input, old) in mine.saved.drain(..) {
-            current[input] = old;
-        }
+        process_cover_entry(
+            tries, plan, options, node_idx, cover_idx, key, child, tuple, current, weight, sink,
+            counters, scratch,
+        );
     });
 }
 
@@ -254,7 +564,7 @@ fn run_node_vectorized(
     node_idx: usize,
     cover_idx: usize,
     tuple: &mut Vec<Value>,
-    current: &mut Vec<Rc<TrieNode>>,
+    current: &mut Vec<Arc<TrieNode>>,
     weight: u64,
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
@@ -264,55 +574,83 @@ fn run_node_vectorized(
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
     let cover_node = current[cover.input].clone();
-    let new_slots = node.bound_after - node.bound_before;
-    let stride = node.subatoms.len();
     let batch_size = options.batch_size;
 
     let (mine, rest) = scratch.split_at_mut(1);
     let mine = &mut mine[0];
-    // Size the batch buffers once; they are reused across invocations.
+    ensure_batch_buffers(mine, batch_size, node);
+    mine.count = 0;
+
+    cover_trie.for_each(&cover_node, cover.level, |key, child| {
+        buffer_cover_entry(node, cover_idx, cover_trie, key, child, tuple, weight, mine);
+        if mine.count >= batch_size {
+            flush_batch(
+                tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink,
+                counters,
+            );
+        }
+    });
+    flush_batch(
+        tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters,
+    );
+}
+
+/// Size a node's vectorization buffers for the configured batch size; a
+/// no-op once sized (the buffers are reused across invocations).
+fn ensure_batch_buffers(mine: &mut NodeScratch, batch_size: usize, node: &CompiledNode) {
+    let new_slots = node.bound_after - node.bound_before;
+    let stride = node.subatoms.len();
     if mine.weights.len() < batch_size {
         mine.writes.resize(batch_size * new_slots.max(1), Value::Null);
         mine.weights.resize(batch_size, 0);
         mine.alive.resize(batch_size, false);
         mine.children.resize(batch_size * stride, None);
     }
-    mine.count = 0;
+}
 
-    cover_trie.for_each(&cover_node, cover.level, |key, child| {
-        // Evaluate checks; collect writes into the entry's slice of the batch
-        // buffer rather than the shared tuple.
-        let e = mine.count;
-        for action in &cover.iter_actions {
-            match *action {
-                IterAction::Write { key_pos, slot } => {
-                    mine.writes[e * new_slots + (slot - node.bound_before)] = key[key_pos];
-                }
-                IterAction::Check { key_pos, slot } => {
-                    if tuple[slot] != key[key_pos] {
-                        return;
-                    }
+/// Buffer one iterated cover entry into the vectorized batch (the gather
+/// half of Figure 13): evaluate checks, collect writes into the entry's
+/// slice of the batch buffer rather than the shared tuple, and record the
+/// cover's weight/child continuation. Entries failing a `Check` are skipped.
+/// Shared between the serial vectorized loop and the parallel morsel driver.
+#[allow(clippy::too_many_arguments)]
+fn buffer_cover_entry(
+    node: &CompiledNode,
+    cover_idx: usize,
+    cover_trie: &InputTrie,
+    key: &[Value],
+    child: Option<&Arc<TrieNode>>,
+    tuple: &[Value],
+    weight: u64,
+    mine: &mut NodeScratch,
+) {
+    let cover = &node.subatoms[cover_idx];
+    let new_slots = node.bound_after - node.bound_before;
+    let stride = node.subatoms.len();
+    let e = mine.count;
+    for action in &cover.iter_actions {
+        match *action {
+            IterAction::Write { key_pos, slot } => {
+                mine.writes[e * new_slots + (slot - node.bound_before)] = key[key_pos];
+            }
+            IterAction::Check { key_pos, slot } => {
+                if tuple[slot] != key[key_pos] {
+                    return;
                 }
             }
         }
-        mine.weights[e] = weight;
-        mine.alive[e] = true;
-        if cover.final_for_input {
-            if let Some(c) = child {
-                mine.weights[e] = mine.weights[e].saturating_mul(cover_trie.tuple_count(c));
-            }
-        } else {
-            let c = child.expect("non-final cover level is forced into a map").clone();
-            mine.children[e * stride + cover_idx] = Some(c);
+    }
+    mine.weights[e] = weight;
+    mine.alive[e] = true;
+    if cover.final_for_input {
+        if let Some(c) = child {
+            mine.weights[e] = mine.weights[e].saturating_mul(cover_trie.tuple_count(c));
         }
-        mine.count += 1;
-        if mine.count >= batch_size {
-            flush_batch(
-                tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters,
-            );
-        }
-    });
-    flush_batch(tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters);
+    } else {
+        let c = child.expect("non-final cover level is forced into a map").clone();
+        mine.children[e * stride + cover_idx] = Some(c);
+    }
+    mine.count += 1;
 }
 
 /// Probe every non-cover subatom across the buffered batch, then recurse for
@@ -327,7 +665,7 @@ fn flush_batch(
     mine: &mut NodeScratch,
     rest: &mut [NodeScratch],
     tuple: &mut Vec<Value>,
-    current: &mut Vec<Rc<TrieNode>>,
+    current: &mut Vec<Arc<TrieNode>>,
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
 ) {
@@ -393,7 +731,16 @@ fn flush_batch(
             }
         }
         run_node(
-            tries, plan, options, node_idx + 1, tuple, current, mine.weights[e], sink, counters, rest,
+            tries,
+            plan,
+            options,
+            node_idx + 1,
+            tuple,
+            current,
+            mine.weights[e],
+            sink,
+            counters,
+            rest,
         );
         for (input, old) in mine.saved.drain(..) {
             current[input] = old;
@@ -464,10 +811,40 @@ mod tests {
             .zip(&compiled.schemas)
             .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
             .collect();
-        let builder = OutputBuilder::new(&compiled.binding_order, aggregate, &compiled.binding_order);
+        let builder =
+            OutputBuilder::new(&compiled.binding_order, aggregate, &compiled.binding_order);
         let mut sink = OutputSink::new(builder);
         let counters = execute_pipeline(&tries, &compiled, options, &mut sink);
         (sink.finish().cardinality(), counters)
+    }
+
+    /// Like [`run`], but through the morsel-parallel driver with per-morsel
+    /// sinks merged in morsel order.
+    fn run_parallel(
+        inputs: &[BoundInput],
+        plan: &fj_plan::FreeJoinPlan,
+        options: &FreeJoinOptions,
+        aggregate: Aggregate,
+        num_threads: usize,
+    ) -> (u64, ExecCounters) {
+        let input_vars: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let compiled = compile(plan, &input_vars).unwrap();
+        let tries: Vec<InputTrie> = inputs
+            .iter()
+            .zip(&compiled.schemas)
+            .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+            .collect();
+        let builder =
+            OutputBuilder::new(&compiled.binding_order, aggregate, &compiled.binding_order);
+        let (sinks, counters) =
+            execute_pipeline_parallel(&tries, &compiled, options, num_threads, || {
+                OutputSink::new(builder.clone())
+            });
+        let mut merged = OutputSink::new(builder);
+        for sink in sinks {
+            merged.merge(sink);
+        }
+        (merged.finish().cardinality(), counters)
     }
 
     /// The clover instance has exactly one result: (x0, a0, b0, c0).
@@ -585,11 +962,20 @@ mod tests {
                 FreeJoinOptions::default().with_batch_size(1),
                 FreeJoinOptions::default().with_batch_size(7),
                 FreeJoinOptions::generic_join_baseline(),
-                FreeJoinOptions { trie: TrieStrategy::Slt, dynamic_cover: false, ..FreeJoinOptions::default() },
+                FreeJoinOptions {
+                    trie: TrieStrategy::Slt,
+                    dynamic_cover: false,
+                    ..FreeJoinOptions::default()
+                },
                 FreeJoinOptions::default().with_factorized_output(true),
             ] {
                 let (count, _) = run(&inputs, plan, &options, Aggregate::Count);
                 assert_eq!(count, expected, "plan {plan} options {options:?}");
+                // The morsel-parallel driver must agree at every thread count.
+                for threads in [2, 3, 8] {
+                    let (par, _) = run_parallel(&inputs, plan, &options, Aggregate::Count, threads);
+                    assert_eq!(par, expected, "threads {threads} plan {plan} options {options:?}");
+                }
             }
         }
     }
@@ -618,6 +1004,8 @@ mod tests {
         ] {
             let (count, _) = run(&inputs, &plan, &options, Aggregate::Count);
             assert_eq!(count, 6, "options {options:?}");
+            let (par, _) = run_parallel(&inputs, &plan, &options, Aggregate::Count, 4);
+            assert_eq!(par, 6, "parallel options {options:?}");
         }
     }
 
@@ -640,7 +1028,10 @@ mod tests {
         let rows = sink.into_rows();
         assert_eq!(rows.len(), 1);
         // Binding order is x, a, b, c.
-        assert_eq!(rows[0], vec![Value::Int(0), Value::Int(1000), Value::Int(3000), Value::Int(5000)]);
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(0), Value::Int(1000), Value::Int(3000), Value::Int(5000)]
+        );
     }
 
     #[test]
@@ -675,6 +1066,11 @@ mod tests {
         // The factorized run should do no more probing than the plain run
         // (it skips the expansion levels entirely).
         assert!(k2.probes <= k1.probes);
+        // Same counts through the parallel driver.
+        let (p1, _) = run_parallel(&inputs, &plan, &plain, Aggregate::Count, 4);
+        let (p2, _) = run_parallel(&inputs, &plan, &fact, Aggregate::Count, 4);
+        assert_eq!(p1, c1);
+        assert_eq!(p2, c1);
     }
 
     #[test]
@@ -691,6 +1087,9 @@ mod tests {
         let (count, counters) = run(&inputs, &plan, &FreeJoinOptions::default(), Aggregate::Count);
         assert_eq!(count, 0);
         assert_eq!(counters.probe_hits, 0);
+        let (par, _) =
+            run_parallel(&inputs, &plan, &FreeJoinOptions::default(), Aggregate::Count, 4);
+        assert_eq!(par, 0);
     }
 
     #[test]
@@ -715,8 +1114,10 @@ mod tests {
         let order: Vec<String> = vec!["x".to_string()];
         let plan = fj_plan_from_var_order(&order, &iv);
 
-        let dynamic = FreeJoinOptions { dynamic_cover: true, batch_size: 1, ..FreeJoinOptions::default() };
-        let fixed = FreeJoinOptions { dynamic_cover: false, batch_size: 1, ..FreeJoinOptions::default() };
+        let dynamic =
+            FreeJoinOptions { dynamic_cover: true, batch_size: 1, ..FreeJoinOptions::default() };
+        let fixed =
+            FreeJoinOptions { dynamic_cover: false, batch_size: 1, ..FreeJoinOptions::default() };
         let (c_dyn, k_dyn) = run(&inputs, &plan, &dynamic, Aggregate::Count);
         let (c_fix, k_fix) = run(&inputs, &plan, &fixed, Aggregate::Count);
         assert_eq!(c_dyn, 10);
@@ -725,6 +1126,11 @@ mod tests {
         // (1000 keys) and probing S does 1000.
         assert_eq!(k_dyn.probes, 10);
         assert_eq!(k_fix.probes, 1000);
+        // The parallel driver makes the same dynamic-cover choice and does
+        // the same probes in total, just spread over workers.
+        let (p_dyn, pk_dyn) = run_parallel(&inputs, &plan, &dynamic, Aggregate::Count, 4);
+        assert_eq!(p_dyn, 10);
+        assert_eq!(pk_dyn.probes, 10);
     }
 
     #[test]
@@ -760,5 +1166,20 @@ mod tests {
             expected += c * c;
         }
         assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn parallel_probe_counters_match_serial() {
+        let cat = clover_catalog(40);
+        let inputs = clover_inputs(&cat);
+        let iv: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
+        let mut plan = binary2fj(&iv);
+        factor(&mut plan);
+        let opts = FreeJoinOptions::default().with_batch_size(1);
+        let (serial_count, serial_counters) = run(&inputs, &plan, &opts, Aggregate::Count);
+        let (par_count, par_counters) = run_parallel(&inputs, &plan, &opts, Aggregate::Count, 4);
+        assert_eq!(serial_count, par_count);
+        // Every root entry does the same probes whichever worker runs it.
+        assert_eq!(serial_counters, par_counters);
     }
 }

@@ -20,6 +20,14 @@
 //! `fj_plan::optimize`), and it converts the plan to a Free Join plan,
 //! optimizes it by factorization, builds COLTs and runs the join.
 //!
+//! Execution is **morsel-driven parallel** by default
+//! ([`FreeJoinOptions::num_threads`] `= 0` uses the machine's available
+//! parallelism; `1` selects the exact legacy serial path): the trie layer is
+//! `Send + Sync` with race-free lazy forcing, and the top-level cover
+//! iteration is fanned out over scoped worker threads whose per-morsel sinks
+//! merge deterministically — see [`exec::execute_pipeline_parallel`] and the
+//! module docs of [`trie`].
+//!
 //! ```
 //! use fj_plan::{optimize, CatalogStats, OptimizerOptions};
 //! use fj_query::QueryBuilder;
@@ -60,6 +68,7 @@ pub mod trie;
 
 pub use engine::FreeJoinEngine;
 pub use error::{EngineError, EngineResult};
+pub use exec::{execute_pipeline, execute_pipeline_parallel, ExecCounters};
 pub use options::{FreeJoinOptions, TrieStrategy};
 pub use prep::{prepare_inputs, BoundInput};
 pub use sink::{MaterializeSink, OutputSink, Sink};

@@ -52,6 +52,12 @@ pub struct FreeJoinOptions {
     /// Apply factorization to a fixpoint instead of the paper's single pass.
     /// Off by default to match the paper; exposed for the ablation benches.
     pub factor_to_fixpoint: bool,
+    /// Number of worker threads for morsel-driven parallel execution.
+    /// `0` (the default) uses the machine's available parallelism; `1` runs
+    /// the exact legacy single-threaded algorithm. Any value > 1 splits the
+    /// first plan node's cover iteration into morsels executed by that many
+    /// scoped worker threads (see `exec::execute_pipeline_parallel`).
+    pub num_threads: usize,
 }
 
 impl Default for FreeJoinOptions {
@@ -63,6 +69,7 @@ impl Default for FreeJoinOptions {
             factorize_output: false,
             optimize_plan: true,
             factor_to_fixpoint: false,
+            num_threads: 0,
         }
     }
 }
@@ -79,6 +86,7 @@ impl FreeJoinOptions {
             factorize_output: false,
             optimize_plan: true,
             factor_to_fixpoint: true,
+            num_threads: 1,
         }
     }
 
@@ -106,9 +114,27 @@ impl FreeJoinOptions {
         self
     }
 
+    /// Builder-style setter for the worker thread count (`0` = available
+    /// parallelism, `1` = serial).
+    pub fn with_num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
     /// Is vectorization enabled?
     pub fn vectorized(&self) -> bool {
         self.batch_size > 1
+    }
+
+    /// The concrete number of worker threads this configuration runs with:
+    /// `num_threads` itself, or the machine's available parallelism when it
+    /// is `0` (auto).
+    pub fn effective_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        }
     }
 }
 
@@ -125,6 +151,20 @@ mod tests {
         assert!(o.optimize_plan);
         assert!(!o.factorize_output);
         assert!(o.vectorized());
+        assert_eq!(o.num_threads, 0, "default is auto (available parallelism)");
+        assert!(o.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        let auto = FreeJoinOptions::default();
+        assert!(auto.effective_threads() >= 1);
+        let serial = FreeJoinOptions::default().with_num_threads(1);
+        assert_eq!(serial.effective_threads(), 1);
+        let four = FreeJoinOptions::default().with_num_threads(4);
+        assert_eq!(four.effective_threads(), 4);
+        // The paper's Generic Join baseline is the legacy serial path.
+        assert_eq!(FreeJoinOptions::generic_join_baseline().effective_threads(), 1);
     }
 
     #[test]

@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn prepare_resolves_atoms_and_types() {
         let cat = catalog();
-        let q = QueryBuilder::new("q").atom("R", &["a", "b"]).atom_as("M", "m", &["b", "c", "d"]).build();
+        let q = QueryBuilder::new("q")
+            .atom("R", &["a", "b"])
+            .atom_as("M", "m", &["b", "c", "d"])
+            .build();
         let prepared = prepare_inputs(&cat, &q).unwrap();
         assert_eq!(prepared.atoms.len(), 2);
         assert_eq!(prepared.atoms[0].name, "R");
@@ -191,16 +194,19 @@ mod tests {
         let mut types = HashMap::new();
         types.insert("x".to_string(), DataType::Int64);
         types.insert("y".to_string(), DataType::Int64);
-        let rows = vec![
-            vec![Value::Int(1), Value::Int(2)],
-            vec![Value::Int(3), Value::Int(4)],
-        ];
+        let rows = vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(3), Value::Int(4)]];
         let input = materialize_intermediate("tmp0", &vars, &types, &rows).unwrap();
         assert_eq!(input.num_rows(), 2);
         assert_eq!(input.vars, vars);
         assert_eq!(input.read_var(1, "y"), Value::Int(4));
         // Unknown type defaults to Int64 without panicking.
-        let input2 = materialize_intermediate("tmp1", &["z".to_string()], &HashMap::new(), &[vec![Value::Int(9)]]).unwrap();
+        let input2 = materialize_intermediate(
+            "tmp1",
+            &["z".to_string()],
+            &HashMap::new(),
+            &[vec![Value::Int(9)]],
+        )
+        .unwrap();
         assert_eq!(input2.read_var(0, "z"), Value::Int(9));
     }
 }

@@ -42,6 +42,13 @@ impl OutputSink {
     pub fn finish(self) -> QueryOutput {
         self.builder.finish()
     }
+
+    /// Absorb another sink's partial results (see [`OutputBuilder::merge`]).
+    /// The parallel executor gives every morsel a clone of an empty sink and
+    /// merges them in morsel order.
+    pub fn merge(&mut self, other: OutputSink) {
+        self.builder.merge(other.builder);
+    }
 }
 
 impl Sink for OutputSink {
@@ -78,6 +85,12 @@ impl MaterializeSink {
     /// The materialized rows.
     pub fn into_rows(self) -> Vec<Row> {
         self.rows
+    }
+
+    /// Absorb another sink's rows (appended after this sink's). The parallel
+    /// executor merges per-morsel sinks in morsel order.
+    pub fn merge(&mut self, other: MaterializeSink) {
+        self.rows.extend(other.rows);
     }
 
     /// Number of rows materialized.
@@ -143,6 +156,28 @@ mod tests {
         let b = OutputBuilder::new(&binding(), Aggregate::Materialize, &binding());
         let sink = OutputSink::new(b);
         assert!(!sink.accepts_factorized(2));
+    }
+
+    #[test]
+    fn sinks_merge_partial_results() {
+        let b = OutputBuilder::new(&binding(), Aggregate::Count, &binding());
+        let mut a = OutputSink::new(b.clone());
+        let mut c = OutputSink::new(b);
+        a.push(&[Value::Int(1), Value::Int(2)], 2, 3);
+        c.push(&[Value::Int(1), Value::Int(2)], 2, 4);
+        a.merge(c);
+        assert_eq!(a.finish(), QueryOutput::count(7));
+
+        let mut m1 = MaterializeSink::new();
+        let mut m2 = MaterializeSink::new();
+        m1.push(&[Value::Int(1)], 1, 1);
+        m2.push(&[Value::Int(2)], 1, 2);
+        m1.merge(m2);
+        assert_eq!(m1.len(), 3);
+        assert_eq!(
+            m1.into_rows(),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]]
+        );
     }
 
     #[test]

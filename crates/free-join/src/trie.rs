@@ -15,25 +15,38 @@
 //! * [`TrieStrategy::Colt`] — nothing is built up front; the root iterates
 //!   the base relation directly, and every level is built on first probe.
 //!
-//! Laziness is implemented with interior mutability (`RefCell`): the join
-//! algorithm only ever holds shared references to tries, and a probe may
-//! force a vector node into a hash map in place. The engine is
-//! single-threaded (like the paper's), so `RefCell` is sufficient.
+//! # Threading model
+//!
+//! The trie is `Send + Sync` so that the morsel-driven parallel executor
+//! ([`crate::exec`]) can probe — and therefore lazily force — nodes from
+//! many worker threads at once. Every node carries its immutable *raw*
+//! payload (the row offsets it stands for) plus a [`OnceLock`] holding the
+//! forced hash-map level. Probe-time forcing goes through
+//! [`OnceLock::get_or_init`]: the first thread to touch an unforced node
+//! builds its map while any racing threads block, and afterwards reads are
+//! lock-free (a single atomic load). The trade-off versus the
+//! single-threaded `RefCell` design this replaced is that a *lazily* forced
+//! node keeps its raw offset vector alive alongside the map (shared readers
+//! may still hold it), costing at most one extra copy of each lazily forced
+//! level's offsets; eagerly built levels (the simple-trie strategy) own
+//! their rows during construction and carry no such copy.
 
 use crate::options::TrieStrategy;
 use crate::prep::BoundInput;
 use fj_storage::{Relation, Value};
-use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A key tuple (the values of one level's variables).
 pub type Tuple = Vec<Value>;
 
-/// The payload of a trie node.
+/// A forced hash-map level: key tuple to child node.
+pub type LevelMap = HashMap<Tuple, Arc<TrieNode>>;
+
+/// The raw (unforced) payload of a trie node: which base rows it stands for.
 #[derive(Debug)]
-pub enum NodeData {
+enum RawRows {
     /// Lazily represents *every* row of the relation without materializing
     /// offsets — the COLT root before any probe ("iterate directly over the
     /// base table").
@@ -41,29 +54,51 @@ pub enum NodeData {
     /// A vector of row offsets into the base relation (an unforced node, or a
     /// leaf).
     Offsets(Vec<u32>),
-    /// A forced hash-map level: key tuple to child node.
-    Map(HashMap<Tuple, Rc<TrieNode>>),
+}
+
+/// A read-only view of a node's current payload.
+#[derive(Debug)]
+pub enum NodeData<'a> {
+    /// Every row of the base relation (an unforced COLT root).
+    AllRows,
+    /// Row offsets into the base relation (an unforced node, or a leaf).
+    Offsets(&'a [u32]),
+    /// A forced hash-map level.
+    Map(&'a LevelMap),
 }
 
 /// One node of a GHT.
+///
+/// `Send + Sync`: the raw payload is immutable after construction and the
+/// forced map is built at most once through the `OnceLock`.
 #[derive(Debug)]
 pub struct TrieNode {
-    data: RefCell<NodeData>,
+    /// The rows below this node; fixed at construction.
+    raw: RawRows,
+    /// The forced hash-map level, built lazily at most once.
+    forced: OnceLock<LevelMap>,
 }
 
 impl TrieNode {
-    fn new(data: NodeData) -> Rc<Self> {
-        Rc::new(TrieNode { data: RefCell::new(data) })
+    fn new(raw: RawRows) -> Arc<Self> {
+        Arc::new(TrieNode { raw, forced: OnceLock::new() })
     }
 
     /// Is this node currently a hash map?
     pub fn is_map(&self) -> bool {
-        matches!(*self.data.borrow(), NodeData::Map(_))
+        self.forced.get().is_some()
     }
 
-    /// Borrow the node payload (read-only).
-    pub fn data(&self) -> Ref<'_, NodeData> {
-        self.data.borrow()
+    /// View the node payload (the forced map if one exists, the raw rows
+    /// otherwise).
+    pub fn data(&self) -> NodeData<'_> {
+        match self.forced.get() {
+            Some(map) => NodeData::Map(map),
+            None => match &self.raw {
+                RawRows::AllRows => NodeData::AllRows,
+                RawRows::Offsets(offsets) => NodeData::Offsets(offsets),
+            },
+        }
     }
 }
 
@@ -81,12 +116,20 @@ pub struct InputTrie {
     /// Column index (in `relation`) of each variable, per level.
     level_cols: Vec<Vec<usize>>,
     /// The root node.
-    root: Rc<TrieNode>,
+    root: Arc<TrieNode>,
     /// Number of hash-map levels built (eager + lazy).
-    maps_built: Cell<u64>,
+    maps_built: AtomicU64,
     /// Number of hash-map levels built lazily during the join phase.
-    lazy_built: Cell<u64>,
+    lazy_built: AtomicU64,
 }
+
+/// The executor moves `InputTrie` references across worker threads and
+/// forces nodes concurrently; keep that invariant checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<InputTrie>();
+    assert_send_sync::<TrieNode>();
+};
 
 impl InputTrie {
     /// Build the trie for a bound input according to the GHT schema computed
@@ -100,21 +143,21 @@ impl InputTrie {
             .map(|vars| {
                 vars.iter()
                     .map(|v| {
-                        input
-                            .col_of(v)
-                            .unwrap_or_else(|| panic!("schema variable {v} not bound by input {}", input.name))
+                        input.col_of(v).unwrap_or_else(|| {
+                            panic!("schema variable {v} not bound by input {}", input.name)
+                        })
                     })
                     .collect()
             })
             .collect();
-        let trie = InputTrie {
+        let mut trie = InputTrie {
             name: input.name.clone(),
             relation: Arc::clone(&input.relation),
             schema,
             level_cols,
-            root: TrieNode::new(NodeData::AllRows),
-            maps_built: Cell::new(0),
-            lazy_built: Cell::new(0),
+            root: TrieNode::new(RawRows::AllRows),
+            maps_built: AtomicU64::new(0),
+            lazy_built: AtomicU64::new(0),
         };
         match strategy {
             TrieStrategy::Colt => {}
@@ -124,8 +167,7 @@ impl InputTrie {
                 }
             }
             TrieStrategy::Simple => {
-                let root = trie.root.clone();
-                trie.force_recursive(&root, 0);
+                trie.root = trie.build_eager(RawRows::AllRows, 0);
             }
         }
         trie
@@ -137,8 +179,13 @@ impl InputTrie {
     }
 
     /// The root node.
-    pub fn root(&self) -> Rc<TrieNode> {
+    pub fn root(&self) -> Arc<TrieNode> {
         self.root.clone()
+    }
+
+    /// Number of rows in the underlying bound relation.
+    pub fn num_rows(&self) -> usize {
+        self.relation.num_rows()
     }
 
     /// Number of levels in the GHT schema.
@@ -158,19 +205,19 @@ impl InputTrie {
 
     /// Number of hash-map levels built so far (eager and lazy).
     pub fn maps_built(&self) -> u64 {
-        self.maps_built.get()
+        self.maps_built.load(Ordering::Relaxed)
     }
 
     /// Number of hash-map levels built lazily during the join phase.
     pub fn lazy_built(&self) -> u64 {
-        self.lazy_built.get()
+        self.lazy_built.load(Ordering::Relaxed)
     }
 
     /// An estimate of the number of keys at a node, used for dynamic cover
     /// selection: exact for forced nodes, the tuple count otherwise (the
     /// paper: "we use the length of the vector as an estimate").
     pub fn estimated_keys(&self, node: &TrieNode) -> usize {
-        match &*node.data.borrow() {
+        match node.data() {
             NodeData::AllRows => self.relation.num_rows(),
             NodeData::Offsets(v) => v.len(),
             NodeData::Map(m) => m.len(),
@@ -179,7 +226,7 @@ impl InputTrie {
 
     /// The number of base tuples represented below this node.
     pub fn tuple_count(&self, node: &TrieNode) -> u64 {
-        match &*node.data.borrow() {
+        match node.data() {
             NodeData::AllRows => self.relation.num_rows() as u64,
             NodeData::Offsets(v) => v.len() as u64,
             NodeData::Map(m) => m.values().map(|c| self.tuple_count(c)).sum(),
@@ -194,70 +241,86 @@ impl InputTrie {
             .collect()
     }
 
-    /// Force a node at `level` into a hash map (no-op if already forced).
-    /// `lazy` marks whether this happens during the join phase (for the
-    /// statistics that distinguish eager from lazy building).
-    pub fn force(&self, node: &TrieNode, level: usize, lazy: bool) {
-        let already_map = node.is_map();
-        if already_map {
-            return;
-        }
-        let mut groups: HashMap<Tuple, Vec<u32>> = HashMap::new();
-        {
-            let data = node.data.borrow();
-            match &*data {
-                NodeData::AllRows => {
-                    for offset in 0..self.relation.num_rows() as u32 {
-                        groups.entry(self.read_key(level, offset)).or_default().push(offset);
-                    }
-                }
-                NodeData::Offsets(offsets) => {
-                    for &offset in offsets {
-                        groups.entry(self.read_key(level, offset)).or_default().push(offset);
-                    }
-                }
-                NodeData::Map(_) => unreachable!("checked above"),
-            }
-        }
-        let map: HashMap<Tuple, Rc<TrieNode>> = groups
-            .into_iter()
-            .map(|(k, offsets)| (k, TrieNode::new(NodeData::Offsets(offsets))))
-            .collect();
-        *node.data.borrow_mut() = NodeData::Map(map);
-        self.maps_built.set(self.maps_built.get() + 1);
-        if lazy {
-            self.lazy_built.set(self.lazy_built.get() + 1);
+    /// Read the key tuple of `level` for a row offset into a reusable buffer
+    /// (used by the parallel executor when iterating the base table
+    /// directly).
+    pub(crate) fn read_key_into(&self, level: usize, offset: u32, key: &mut Tuple) {
+        key.clear();
+        for &c in &self.level_cols[level] {
+            key.push(self.relation.column(c).get(offset as usize));
         }
     }
 
-    /// Force every map level below `node` eagerly (used by the simple-trie
-    /// strategy). The last schema level is left as offset vectors — those are
-    /// the GHT leaves.
-    fn force_recursive(&self, node: &Rc<TrieNode>, level: usize) {
+    /// Group a node's rows by the key tuple of `level`.
+    fn group_rows(&self, rows: &RawRows, level: usize) -> HashMap<Tuple, Vec<u32>> {
+        let mut groups: HashMap<Tuple, Vec<u32>> = HashMap::new();
+        match rows {
+            RawRows::AllRows => {
+                for offset in 0..self.relation.num_rows() as u32 {
+                    groups.entry(self.read_key(level, offset)).or_default().push(offset);
+                }
+            }
+            RawRows::Offsets(offsets) => {
+                for &offset in offsets {
+                    groups.entry(self.read_key(level, offset)).or_default().push(offset);
+                }
+            }
+        }
+        groups
+    }
+
+    /// Group a node's rows by the key of `level` into a fresh map level.
+    fn build_level_map(&self, node: &TrieNode, level: usize) -> LevelMap {
+        self.group_rows(&node.raw, level)
+            .into_iter()
+            .map(|(k, offsets)| (k, TrieNode::new(RawRows::Offsets(offsets))))
+            .collect()
+    }
+
+    /// Build a fully-forced subtree for `rows` at `level` (the simple-trie
+    /// strategy). Unlike probe-time forcing, eager construction owns its
+    /// rows outright, so inner nodes are created as pure map nodes without
+    /// retaining an offset vector; only the leaves (the last schema level)
+    /// keep their offsets — those are the GHT leaves.
+    fn build_eager(&self, rows: RawRows, level: usize) -> Arc<TrieNode> {
         if self.is_last_level(level) {
-            return;
+            return TrieNode::new(rows);
         }
-        self.force(node, level, false);
-        let children: Vec<Rc<TrieNode>> = match &*node.data.borrow() {
-            NodeData::Map(m) => m.values().cloned().collect(),
-            _ => unreachable!("just forced"),
-        };
-        for child in children {
-            self.force_recursive(&child, level + 1);
+        let map: LevelMap = self
+            .group_rows(&rows, level)
+            .into_iter()
+            .map(|(k, offsets)| (k, self.build_eager(RawRows::Offsets(offsets), level + 1)))
+            .collect();
+        self.maps_built.fetch_add(1, Ordering::Relaxed);
+        Arc::new(TrieNode { raw: RawRows::Offsets(Vec::new()), forced: OnceLock::from(map) })
+    }
+
+    /// Force a node at `level` into a hash map, returning the map (no-op if
+    /// already forced). `lazy` marks whether this happens during the join
+    /// phase (for the statistics that distinguish eager from lazy building).
+    ///
+    /// Safe to call from many threads at once: the first caller builds the
+    /// map while the others block, and exactly one build is counted.
+    pub fn force<'n>(&self, node: &'n TrieNode, level: usize, lazy: bool) -> &'n LevelMap {
+        let mut built_here = false;
+        let map = node.forced.get_or_init(|| {
+            built_here = true;
+            self.build_level_map(node, level)
+        });
+        if built_here {
+            self.maps_built.fetch_add(1, Ordering::Relaxed);
+            if lazy {
+                self.lazy_built.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        map
     }
 
     /// Look up `key` at `node` (which sits at `level`), forcing the node into
     /// a map first if necessary. Returns the child node, or `None` if the key
     /// is absent. This is the `get` of the GHT interface (Figure 5).
-    pub fn get(&self, node: &TrieNode, level: usize, key: &[Value]) -> Option<Rc<TrieNode>> {
-        if !node.is_map() {
-            self.force(node, level, true);
-        }
-        match &*node.data.borrow() {
-            NodeData::Map(m) => m.get(key).cloned(),
-            _ => unreachable!("node was just forced"),
-        }
+    pub fn get(&self, node: &TrieNode, level: usize, key: &[Value]) -> Option<Arc<TrieNode>> {
+        self.force(node, level, true).get(key).cloned()
     }
 
     /// Iterate the entries of `node` at `level`, calling `f(key, child)`.
@@ -275,13 +338,16 @@ impl InputTrie {
     /// This is the `iter` of the GHT interface (Figure 5); the child is
     /// passed along so the caller does not need a separate `get` on the
     /// iterated trie (line 8 of Figure 7).
-    pub fn for_each(&self, node: &TrieNode, level: usize, mut f: impl FnMut(&[Value], Option<&Rc<TrieNode>>)) {
-        let forced_needed = !node.is_map() && !self.is_last_level(level);
-        if forced_needed {
+    pub fn for_each(
+        &self,
+        node: &TrieNode,
+        level: usize,
+        mut f: impl FnMut(&[Value], Option<&Arc<TrieNode>>),
+    ) {
+        if !node.is_map() && !self.is_last_level(level) {
             self.force(node, level, true);
         }
-        let data = node.data.borrow();
-        match &*data {
+        match node.data() {
             NodeData::Map(m) => {
                 for (key, child) in m {
                     f(key, Some(child));
@@ -290,20 +356,14 @@ impl InputTrie {
             NodeData::AllRows => {
                 let mut key = Vec::with_capacity(self.level_cols[level].len());
                 for offset in 0..self.relation.num_rows() as u32 {
-                    key.clear();
-                    for &c in &self.level_cols[level] {
-                        key.push(self.relation.column(c).get(offset as usize));
-                    }
+                    self.read_key_into(level, offset, &mut key);
                     f(&key, None);
                 }
             }
             NodeData::Offsets(offsets) => {
                 let mut key = Vec::with_capacity(self.level_cols[level].len());
                 for &offset in offsets {
-                    key.clear();
-                    for &c in &self.level_cols[level] {
-                        key.push(self.relation.column(c).get(offset as usize));
-                    }
+                    self.read_key_into(level, offset, &mut key);
                     f(&key, None);
                 }
             }
@@ -506,5 +566,42 @@ mod tests {
         assert_eq!(trie.level_vars(1), &["b".to_string()]);
         assert!(!trie.is_last_level(0));
         assert!(trie.is_last_level(1));
+    }
+
+    #[test]
+    fn concurrent_probes_force_each_level_exactly_once() {
+        use std::sync::Barrier;
+
+        let mut cat = Catalog::new();
+        let mut b = RelationBuilder::new("R", Schema::all_int(&["x", "y"]));
+        for i in 0..512i64 {
+            b.push_ints(&[i % 32, i]).unwrap();
+        }
+        cat.add(b.finish()).unwrap();
+        let q = QueryBuilder::new("q").atom("R", &["x", "y"]).build();
+        let input = prepare_inputs(&cat, &q).unwrap().atoms.remove(0);
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["y"]]), TrieStrategy::Colt);
+
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let trie = &trie;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let root = trie.root();
+                    for i in 0..32i64 {
+                        let x = trie.get(&root, 0, &[Value::Int((i + t as i64) % 32)]).unwrap();
+                        // Also race the second level.
+                        assert!(trie.get(&x, 1, &[Value::Int(-1)]).is_none());
+                    }
+                });
+            }
+        });
+        // 1 root level + 32 second-level branches, each counted exactly once
+        // despite 8 threads racing to force them.
+        assert_eq!(trie.maps_built(), 33);
+        assert_eq!(trie.lazy_built(), 33);
     }
 }

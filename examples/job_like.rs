@@ -32,7 +32,8 @@ fn main() {
         let (f_out, f_stats) = free.execute(&workload.catalog, &named.query, &plan).unwrap();
         assert_eq!(b_out.cardinality(), f_out.cardinality());
         assert_eq!(g_out.cardinality(), f_out.cardinality());
-        let speedup = b_stats.reported_time().as_secs_f64() / f_stats.reported_time().as_secs_f64().max(1e-9);
+        let speedup =
+            b_stats.reported_time().as_secs_f64() / f_stats.reported_time().as_secs_f64().max(1e-9);
         println!(
             "{:<14} {:>12?} {:>12?} {:>12?} {:>11.2}x {:>10}",
             named.name,

@@ -29,11 +29,10 @@ fn main() {
 
     // 2. Write the query: people a following people b who live in some city.
     //    The text syntax mirrors the paper's notation.
-    let query = parse_query(
-        "Reach(a, b, c, country) :- follows(a, b), person(b, c), city(c, country).",
-    )
-    .expect("query parses")
-    .with_aggregate(Aggregate::Count);
+    let query =
+        parse_query("Reach(a, b, c, country) :- follows(a, b), person(b, c), city(c, country).")
+            .expect("query parses")
+            .with_aggregate(Aggregate::Count);
 
     // 3. Ask the cost-based optimizer for a binary plan (the role DuckDB
     //    plays in the paper), then run it with Free Join.

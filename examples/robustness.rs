@@ -31,7 +31,12 @@ fn main() {
         let bad = optimize(&named.query, &stats, OptimizerOptions::bad_estimates());
 
         let cell = |good_t: std::time::Duration, bad_t: std::time::Duration| {
-            format!("{:.4}s->{:.4}s ({:.1}x)", good_t.as_secs_f64(), bad_t.as_secs_f64(), bad_t.as_secs_f64() / good_t.as_secs_f64().max(1e-9))
+            format!(
+                "{:.4}s->{:.4}s ({:.1}x)",
+                good_t.as_secs_f64(),
+                bad_t.as_secs_f64(),
+                bad_t.as_secs_f64() / good_t.as_secs_f64().max(1e-9)
+            )
         };
 
         let (b1, s1) = binary.execute(&workload.catalog, &named.query, &good).unwrap();

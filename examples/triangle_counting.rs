@@ -46,8 +46,9 @@ fn main() {
     report("binary join", &bj_out, &bj_stats, start.elapsed());
 
     let start = Instant::now();
-    let (gj_out, gj_stats) =
-        GenericJoinEngine::new().execute(&workload.catalog, &named.query, &plan).unwrap();
+    let (gj_out, gj_stats) = GenericJoinEngine::new()
+        .execute(&workload.catalog, &named.query, &plan)
+        .unwrap();
     report("generic join", &gj_out, &gj_stats, start.elapsed());
 
     let start = Instant::now();

@@ -10,9 +10,12 @@ use freejoin::workloads::{job, lsqb, micro, Workload};
 /// Run one query on every engine/option combination and assert the outputs
 /// agree (counts for Count queries, full row sets otherwise).
 fn assert_engines_agree(workload: &Workload, query_name: &str, mode: EstimatorMode) {
-    let named = workload.query(query_name).unwrap_or_else(|| panic!("query {query_name} missing"));
+    let named = workload
+        .query(query_name)
+        .unwrap_or_else(|| panic!("query {query_name} missing"));
     let stats = CatalogStats::collect(&workload.catalog);
-    let plan = optimize(&named.query, &stats, OptimizerOptions { mode, ..OptimizerOptions::default() });
+    let plan =
+        optimize(&named.query, &stats, OptimizerOptions { mode, ..OptimizerOptions::default() });
 
     let (reference, _) = BinaryJoinEngine::new()
         .execute(&workload.catalog, &named.query, &plan)
@@ -39,6 +42,14 @@ fn assert_engines_agree(workload: &Workload, query_name: &str, mode: EstimatorMo
         FreeJoinOptions::binary_equivalent(),
         FreeJoinOptions::generic_join_baseline(),
         FreeJoinOptions { factor_to_fixpoint: true, ..FreeJoinOptions::default() },
+        // Morsel-driven parallel execution, across every trie strategy.
+        FreeJoinOptions::default().with_num_threads(4),
+        FreeJoinOptions { trie: TrieStrategy::Simple, ..FreeJoinOptions::default() }
+            .with_num_threads(4),
+        FreeJoinOptions { trie: TrieStrategy::Slt, ..FreeJoinOptions::default() }
+            .with_num_threads(4),
+        FreeJoinOptions::default().with_batch_size(1).with_num_threads(3),
+        FreeJoinOptions::default().with_factorized_output(true).with_num_threads(4),
     ];
     for options in option_grid {
         let (fj, _) = FreeJoinEngine::new(options)
@@ -111,7 +122,9 @@ fn materialized_results_match_across_engines() {
 
     let (bj, _) = BinaryJoinEngine::new().execute(&w.catalog, &query, &plan).unwrap();
     let (gj, _) = GenericJoinEngine::new().execute(&w.catalog, &query, &plan).unwrap();
-    let (fj, _) = FreeJoinEngine::new(FreeJoinOptions::default()).execute(&w.catalog, &query, &plan).unwrap();
+    let (fj, _) = FreeJoinEngine::new(FreeJoinOptions::default())
+        .execute(&w.catalog, &query, &plan)
+        .unwrap();
     assert!(bj.result_eq(&gj));
     assert!(bj.result_eq(&fj));
     assert_eq!(bj.canonical_rows(), fj.canonical_rows());
@@ -126,7 +139,9 @@ fn group_count_results_match_across_engines() {
     let plan = optimize(&query, &stats, OptimizerOptions::default());
     let (bj, _) = BinaryJoinEngine::new().execute(&w.catalog, &query, &plan).unwrap();
     let (gj, _) = GenericJoinEngine::new().execute(&w.catalog, &query, &plan).unwrap();
-    let (fj, _) = FreeJoinEngine::new(FreeJoinOptions::default()).execute(&w.catalog, &query, &plan).unwrap();
+    let (fj, _) = FreeJoinEngine::new(FreeJoinOptions::default())
+        .execute(&w.catalog, &query, &plan)
+        .unwrap();
     assert!(bj.result_eq(&gj));
     assert!(bj.result_eq(&fj));
 }

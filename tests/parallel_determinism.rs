@@ -1,0 +1,136 @@
+//! Parallel determinism: for every micro/skew workload query, every trie
+//! strategy and every aggregate kind, executing with `num_threads = 1` (the
+//! exact legacy serial path) and with `num_threads = N > 1` (the
+//! morsel-driven parallel path) must produce identical `QueryOutput`s —
+//! identical counts, identical group maps, and identical row multisets
+//! (compared in canonical sorted order, since neither path promises a row
+//! order: hash-map iteration at trie levels is already unordered).
+
+use freejoin::plan::{optimize, CatalogStats, EstimatorMode, OptimizerOptions};
+use freejoin::prelude::*;
+use freejoin::query::OutputKind;
+use freejoin::workloads::{micro, Workload};
+
+const THREAD_COUNTS: &[usize] = &[2, 4];
+
+/// Compare two outputs for byte-identical content modulo row order.
+fn assert_identical(serial: &QueryOutput, parallel: &QueryOutput, context: &str) {
+    assert_eq!(serial.vars, parallel.vars, "output schema diverged: {context}");
+    match (&serial.kind, &parallel.kind) {
+        (OutputKind::Count(a), OutputKind::Count(b)) => {
+            assert_eq!(a, b, "counts diverged: {context}")
+        }
+        (OutputKind::Groups(a), OutputKind::Groups(b)) => {
+            assert_eq!(a, b, "group counts diverged: {context}")
+        }
+        (OutputKind::Rows(_), OutputKind::Rows(_)) => {
+            assert_eq!(
+                serial.canonical_rows(),
+                parallel.canonical_rows(),
+                "sorted rows diverged: {context}"
+            );
+        }
+        (a, b) => panic!("output kinds diverged ({a:?} vs {b:?}): {context}"),
+    }
+}
+
+/// Run every query of a workload serially and at several thread counts, for
+/// all three trie strategies, and demand identical outputs.
+fn check_workload(workload: &Workload) {
+    let stats = CatalogStats::collect(&workload.catalog);
+    for named in &workload.queries {
+        let plan = optimize(
+            &named.query,
+            &stats,
+            OptimizerOptions { mode: EstimatorMode::Accurate, ..OptimizerOptions::default() },
+        );
+        for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+            let base = FreeJoinOptions { trie, ..FreeJoinOptions::default() };
+            let serial_engine = FreeJoinEngine::new(base.with_num_threads(1));
+            let (serial, _) = serial_engine
+                .execute(&workload.catalog, &named.query, &plan)
+                .unwrap_or_else(|e| panic!("serial {} failed: {e}", named.name));
+            for &threads in THREAD_COUNTS {
+                let engine = FreeJoinEngine::new(base.with_num_threads(threads));
+                let (parallel, _) =
+                    engine.execute(&workload.catalog, &named.query, &plan).unwrap_or_else(|e| {
+                        panic!("{} with {threads} threads failed: {e}", named.name)
+                    });
+                let context = format!(
+                    "workload {} query {} trie {trie:?} threads {threads}",
+                    workload.name, named.name
+                );
+                assert_identical(&serial, &parallel, &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn clover_parallel_matches_serial() {
+    check_workload(&micro::clover(60));
+}
+
+#[test]
+fn skewed_triangle_parallel_matches_serial() {
+    check_workload(&micro::skewed_triangle(120, 4, 1.0, 11));
+}
+
+#[test]
+fn uniform_triangle_parallel_matches_serial() {
+    check_workload(&micro::skewed_triangle(100, 4, 0.0, 5));
+}
+
+#[test]
+fn chain_parallel_matches_serial() {
+    check_workload(&micro::chain(4, 300, 50, 3));
+}
+
+#[test]
+fn star_parallel_matches_serial() {
+    check_workload(&micro::star(3, 150, 30, 0.6, 19));
+}
+
+/// Materialized (row-producing) queries exercise the ordered per-morsel sink
+/// merge; counts alone would hide ordering bugs in the merge.
+#[test]
+fn materialized_rows_parallel_matches_serial() {
+    let clover = micro::clover(60);
+    let named = clover.query("clover").unwrap();
+    let materialize = named.query.clone().with_aggregate(Aggregate::Materialize);
+    let stats = CatalogStats::collect(&clover.catalog);
+    let plan = optimize(&materialize, &stats, OptimizerOptions::default());
+    for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+        let base = FreeJoinOptions { trie, ..FreeJoinOptions::default() };
+        let (serial, _) = FreeJoinEngine::new(base.with_num_threads(1))
+            .execute(&clover.catalog, &materialize, &plan)
+            .unwrap();
+        for &threads in THREAD_COUNTS {
+            let (parallel, _) = FreeJoinEngine::new(base.with_num_threads(threads))
+                .execute(&clover.catalog, &materialize, &plan)
+                .unwrap();
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("materialized clover {trie:?} x{threads}"),
+            );
+        }
+    }
+}
+
+/// The auto (0 = available parallelism) setting must agree with explicit
+/// serial execution too — this is the configuration most users run.
+#[test]
+fn auto_threads_matches_serial() {
+    let w = micro::skewed_triangle(100, 4, 0.8, 3);
+    let named = &w.queries[0];
+    let stats = CatalogStats::collect(&w.catalog);
+    let plan = optimize(&named.query, &stats, OptimizerOptions::default());
+    let (serial, _) = FreeJoinEngine::new(FreeJoinOptions::default().with_num_threads(1))
+        .execute(&w.catalog, &named.query, &plan)
+        .unwrap();
+    let (auto, _) = FreeJoinEngine::new(FreeJoinOptions::default())
+        .execute(&w.catalog, &named.query, &plan)
+        .unwrap();
+    assert_identical(&serial, &auto, "auto threads");
+}

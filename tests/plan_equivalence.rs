@@ -5,12 +5,14 @@
 //! factorization optimization preserves results while reducing probe work on
 //! the paper's adversarial clover instance.
 
-use freejoin::engine::exec::execute_pipeline;
 use freejoin::engine::compile::compile;
+use freejoin::engine::exec::execute_pipeline;
 use freejoin::engine::prepare_inputs;
 use freejoin::engine::sink::OutputSink;
 use freejoin::engine::InputTrie;
-use freejoin::plan::{binary2fj, factor, factor_until_fixpoint, fj_plan_from_var_order, variable_order, BinaryPlan};
+use freejoin::plan::{
+    binary2fj, factor, factor_until_fixpoint, fj_plan_from_var_order, variable_order, BinaryPlan,
+};
 use freejoin::prelude::*;
 use freejoin::query::OutputBuilder;
 use freejoin::workloads::micro;
@@ -73,7 +75,8 @@ fn factored_plan_and_gj_plan_agree_with_binary_plan() {
 
     let options = FreeJoinOptions::default();
     let (naive_count, naive_probes) = run_fj_plan(&w.catalog, &named.query, &naive, &options);
-    let (factored_count, factored_probes) = run_fj_plan(&w.catalog, &named.query, &factored, &options);
+    let (factored_count, factored_probes) =
+        run_fj_plan(&w.catalog, &named.query, &factored, &options);
     let (fix_count, _) = run_fj_plan(&w.catalog, &named.query, &fixpoint, &options);
     let (gj_count, _) = run_fj_plan(&w.catalog, &named.query, &gj_style, &options);
 

@@ -82,7 +82,11 @@ fn check_all_engines(catalog: &Catalog, query: &ConjunctiveQuery) {
         FreeJoinOptions::default().with_batch_size(1),
         FreeJoinOptions::default().with_batch_size(3),
         FreeJoinOptions { trie: TrieStrategy::Simple, ..FreeJoinOptions::default() },
-        FreeJoinOptions { trie: TrieStrategy::Slt, dynamic_cover: false, ..FreeJoinOptions::default() },
+        FreeJoinOptions {
+            trie: TrieStrategy::Slt,
+            dynamic_cover: false,
+            ..FreeJoinOptions::default()
+        },
         FreeJoinOptions::default().with_factorized_output(true),
         FreeJoinOptions::generic_join_baseline(),
     ] {

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! The build environment has no network access, so this crate implements the
+//! small slice of `rand` the workloads use — [`Rng::random_range`] over
+//! integer and float ranges, [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`] — on top of xoshiro256++. Streams are deterministic
+//! given a seed (which is all the workload generators require) but are NOT
+//! the same streams as the real `rand`, and none of this is cryptographic.
+
+use std::ops::Range;
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range, e.g. `rng.random_range(0..10)` or
+    /// `rng.random_range(0.0..1.0)`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Derive a full RNG state from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to sample a `T` from an RNG.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift reduction of a 64-bit draw onto the span;
+                // bias is < span / 2^64, irrelevant for workload generation.
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(i32, i64, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG: xoshiro256++ seeded through SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { state: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a: StdRng = SeedableRng::seed_from_u64(7);
+        let mut b: StdRng = SeedableRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_range(0u64..1_000_000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_range(0u64..1_000_000)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: i64 = rng.random_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let f: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.random_range(0usize..10)] += 1;
+        }
+        assert!(buckets.iter().all(|&c| (9_000..11_000).contains(&c)), "{buckets:?}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched from crates.io. The workspace only *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` — nothing serializes at run time —
+//! so this crate provides just enough surface for those annotations to
+//! compile: the two trait names and no-op derive macros. Swapping the real
+//! serde back in is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in a sandbox without network access, so the real
+//! serde cannot be fetched. Nothing in the workspace actually serializes —
+//! the derives exist so that types stay annotated for a future PR that swaps
+//! the real serde back in — so the derive macros here simply expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
