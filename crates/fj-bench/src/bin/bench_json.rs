@@ -1,5 +1,6 @@
 //! Machine-readable benchmark mode: runs the headline micro/skew workloads
-//! over a (strategy × threads) grid and writes a `BENCH_micro.json` file, so
+//! over a (strategy × threads) grid, plus cold-vs-warm serving measurements
+//! through the `fj-cache` subsystem, and writes a `BENCH_micro.json` file so
 //! that successive PRs accumulate a perf trajectory that scripts can diff.
 //!
 //! ```text
@@ -8,21 +9,29 @@
 //!
 //! Each record carries the query name, trie strategy, worker thread count
 //! and best-of-N wall milliseconds for the full plan-and-execute path
-//! (`threads = 1` is the exact legacy serial engine). The JSON is written by
-//! hand — the workspace's offline `serde` stand-in does not serialize — and
-//! the schema is deliberately flat:
+//! (`threads = 1` is the exact legacy serial engine). Serving records add a
+//! `cache` column: `"cold"` is the first execution through a fresh
+//! `Session` (planning + selection + trie build + join), `"warm"` is the
+//! best repeat over the now-populated caches, and `trie_hits`/`trie_misses`
+//! are the trie-cache deltas attributed to that run — the amortization win
+//! is `warm.wall_ms / cold.wall_ms`. Grid records carry `cache: "none"`.
+//! The JSON is written by hand — the workspace's offline `serde` stand-in
+//! does not serialize — and the schema is deliberately flat:
 //!
 //! ```json
-//! {"schema_version":1,"cores":8,"results":[
-//!   {"query":"clover","strategy":"colt","threads":1,"wall_ms":12.34,"output_tuples":1}
+//! {"schema_version":2,"cores":8,"note":"...","results":[
+//!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
+//!    "trie_hits":0,"trie_misses":0,"wall_ms":12.34,"output_tuples":1}
 //! ]}
 //! ```
 
 use fj_bench::{execute, plan_query, Engine};
 use fj_plan::EstimatorMode;
+use fj_workloads::job::{self, JobConfig};
 use fj_workloads::{micro, Workload};
-use free_join::{FreeJoinOptions, TrieStrategy};
+use free_join::{EngineCaches, FreeJoinOptions, Session, TrieStrategy};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Timing repetitions per configuration; the minimum is reported.
@@ -32,6 +41,12 @@ struct Record {
     query: String,
     strategy: &'static str,
     threads: usize,
+    /// `"none"` (uncached grid), `"cold"` or `"warm"`.
+    cache: &'static str,
+    /// Trie-cache hits attributed to this measurement.
+    trie_hits: u64,
+    /// Trie-cache misses (builds) attributed to this measurement.
+    trie_misses: u64,
     wall_ms: f64,
     output_tuples: u64,
 }
@@ -53,9 +68,60 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
         query: named.name.clone(),
         strategy: options.trie.name(),
         threads: options.effective_threads(),
+        cache: "none",
+        trie_hits: 0,
+        trie_misses: 0,
         wall_ms: best_ms,
         output_tuples,
     }
+}
+
+/// Serve one query repeatedly through a fresh `Session`: the first execution
+/// is the cold record (planning + selection + trie building all included),
+/// the best of the following repeats is the warm record. The hit/miss
+/// columns are per-record deltas of the shared trie cache.
+fn measure_serving(
+    label: &str,
+    workload: &Workload,
+    query_idx: usize,
+    options: FreeJoinOptions,
+) -> (Record, Record) {
+    let named = &workload.queries[query_idx];
+    let session = Session::new(Arc::new(EngineCaches::with_defaults())).with_options(options);
+
+    let before_cold = session.cache_stats().tries;
+    let cold_start = Instant::now();
+    let prepared = session.prepare(&workload.catalog, &named.query).expect("query prepares");
+    let (cold_out, _) = prepared.execute(&workload.catalog).expect("cold execution succeeds");
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let after_cold = session.cache_stats().tries;
+    let cold_delta = after_cold.delta(&before_cold);
+
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_out = cold_out.cardinality();
+    for _ in 0..REPS.max(3) {
+        let start = Instant::now();
+        let (output, _) = prepared.execute(&workload.catalog).expect("warm execution succeeds");
+        warm_ms = warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        warm_out = output.cardinality();
+    }
+    let warm_delta = session.cache_stats().tries.delta(&after_cold);
+    assert_eq!(cold_out.cardinality(), warm_out, "warm must equal cold for {label}");
+
+    let make = |cache, ms, hits, misses, tuples| Record {
+        query: label.to_string(),
+        strategy: options.trie.name(),
+        threads: options.effective_threads(),
+        cache,
+        trie_hits: hits,
+        trie_misses: misses,
+        wall_ms: ms,
+        output_tuples: tuples,
+    };
+    (
+        make("cold", cold_ms, cold_delta.hits, cold_delta.misses, cold_out.cardinality()),
+        make("warm", warm_ms, warm_delta.hits, warm_delta.misses, warm_out),
+    )
 }
 
 fn main() {
@@ -107,18 +173,43 @@ fn main() {
             let options = FreeJoinOptions::default().with_num_threads(threads);
             records.push(measure(workload, options));
         }
+        // Cold vs warm through the fj-cache serving path.
+        let (cold, warm) = measure_serving(label, workload, 0, FreeJoinOptions::default());
+        records.push(cold);
+        records.push(warm);
     }
 
+    // The headline repeated-query serving measurement: a JOB-like query with
+    // pushed-down selections, where cross-query trie reuse pays the most.
+    let job_workload =
+        job::workload(&if large { JobConfig::benchmark() } else { JobConfig::tiny() });
+    eprintln!("running job_like serving ({} input rows)...", job_workload.total_rows());
+    let (cold, warm) =
+        measure_serving("job_q1a_like", &job_workload, 0, FreeJoinOptions::default());
+    eprintln!(
+        "  job_q1a_like: cold {:.3} ms, warm {:.3} ms ({:.2}x)",
+        cold.wall_ms,
+        warm.wall_ms,
+        warm.wall_ms / cold.wall_ms
+    );
+    records.push(cold);
+    records.push(warm);
+
+    let note = "threads=2 > threads=1 is expected on this 1-core container (morsel overhead \
+                without real parallelism; rerun on >=2 cores); cache=cold/warm rows measure \
+                fj-cache serving: cold includes planning+selection+trie build, warm reuses \
+                cached plans and tries (trie_hits/trie_misses are per-run cache deltas)";
     let mut json = String::new();
-    let _ = write!(json, "{{\"schema_version\":1,\"cores\":{cores},\"results\":[");
+    let _ =
+        write!(json, "{{\"schema_version\":2,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"wall_ms\":{:.3},\"output_tuples\":{}}}",
-            r.query, r.strategy, r.threads, r.wall_ms, r.output_tuples
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"output_tuples\":{}}}",
+            r.query, r.strategy, r.threads, r.cache, r.trie_hits, r.trie_misses, r.wall_ms, r.output_tuples
         );
     }
     json.push_str("\n]}\n");

@@ -1,0 +1,128 @@
+//! Stable fingerprints for cache keys.
+//!
+//! Cache keys embed hashes of structured values (selection predicates,
+//! normalized query shapes). Rust's default `SipHash` is randomly seeded per
+//! process, which is fine for an in-memory cache but makes fingerprints
+//! useless in logs, test expectations, and any future persisted form — so
+//! keys use FNV-1a, which is stable, seedless, and plenty for the small,
+//! low-cardinality inputs fingerprinted here (collisions only cost a wrongly
+//! shared *key*, and every fingerprinted component also appears next to the
+//! discriminating fields of the key it is embedded in).
+
+use std::fmt::{Debug, Write as _};
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a hasher. Implements [`std::hash::Hasher`] so it can be
+/// plugged into `Hash` impls, and offers convenience `write_*` methods for
+/// building fingerprints by hand.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprinter(u64);
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter(FNV_OFFSET)
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh fingerprinter at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb a string, including its length as a separator so that
+    /// `("ab", "c")` and `("a", "bc")` fingerprint differently.
+    pub fn push_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+        self
+    }
+
+    /// Absorb an integer.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.write_u64(v);
+        self
+    }
+
+    /// Absorb a `Debug` rendering (see [`fingerprint_debug`]).
+    pub fn push_debug<T: Debug>(&mut self, value: &T) -> &mut Self {
+        let mut rendered = String::new();
+        let _ = write!(rendered, "{value:?}");
+        self.push_str(&rendered)
+    }
+
+    /// The fingerprint accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Hasher for Fingerprinter {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Fingerprint a value via its `Debug` rendering.
+///
+/// Derived `Debug` output is deterministic for a given value, which is all a
+/// process-local fingerprint needs; using it sidesteps requiring `Hash` on
+/// foreign types (e.g. predicates holding non-`Hash` leaves).
+pub fn fingerprint_debug<T: Debug>(value: &T) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.push_debug(value);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_across_calls() {
+        let a = fingerprint_debug(&("hello", 42));
+        let b = fingerprint_debug(&("hello", 42));
+        assert_eq!(a, b);
+        assert_ne!(a, fingerprint_debug(&("hello", 43)));
+    }
+
+    #[test]
+    fn string_boundaries_matter() {
+        let mut a = Fingerprinter::new();
+        a.push_str("ab").push_str("c");
+        let mut b = Fingerprinter::new();
+        b.push_str("a").push_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(Fingerprinter::new().finish(), 0xcbf2_9ce4_8422_2325);
+        // FNV-1a of "a" (a standard test vector).
+        let mut fp = Fingerprinter::new();
+        fp.write(b"a");
+        assert_eq!(Hasher::finish(&fp), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn hasher_trait_integration() {
+        use std::hash::Hash;
+        let mut fp = Fingerprinter::new();
+        ("key", 7u64).hash(&mut fp);
+        let first = Hasher::finish(&fp);
+        let mut fp2 = Fingerprinter::new();
+        ("key", 7u64).hash(&mut fp2);
+        assert_eq!(first, Hasher::finish(&fp2));
+    }
+}

@@ -1,0 +1,151 @@
+//! Cache observability: atomic counters and their public snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of a cache's counters and gauges — the public
+/// stats API consulted by sessions, benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a ready entry.
+    pub hits: u64,
+    /// Lookups that ran the builder (the entry was absent).
+    pub misses: u64,
+    /// Lookups that found another thread's build in flight and waited for it
+    /// instead of building a second copy (single-flight coalescing).
+    pub coalesced: u64,
+    /// Entries inserted after a successful build.
+    pub inserts: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Total bytes (as charged at insert time) of evicted entries.
+    pub bytes_evicted: u64,
+    /// Built values too large for a shard's budget: returned to the caller
+    /// but never retained, so the budget invariant holds.
+    pub uncacheable: u64,
+    /// Entries removed by explicit invalidation (`retain`/`purge`).
+    pub invalidated: u64,
+    /// Bytes currently charged against the budget (gauge).
+    pub resident_bytes: u64,
+    /// Entries currently resident (gauge).
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + coalesced + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.coalesced + self.misses
+    }
+
+    /// Fraction of lookups that did not build: `(hits + coalesced) /
+    /// lookups`, or 0.0 with no lookups. A warm serving workload should sit
+    /// near 1.0.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / lookups as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (gauges are taken
+    /// from `self`), for per-request attribution: `after.delta(&before)`.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            coalesced: self.coalesced - earlier.coalesced,
+            inserts: self.inserts - earlier.inserts,
+            evictions: self.evictions - earlier.evictions,
+            bytes_evicted: self.bytes_evicted - earlier.bytes_evicted,
+            uncacheable: self.uncacheable - earlier.uncacheable,
+            invalidated: self.invalidated - earlier.invalidated,
+            resident_bytes: self.resident_bytes,
+            entries: self.entries,
+        }
+    }
+}
+
+/// The live counters, shared across shards and updated lock-free. Gauges
+/// (resident bytes, entry count) live on the shards themselves and are
+/// folded in when a snapshot is taken.
+#[derive(Debug, Default)]
+pub(crate) struct LiveStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub inserts: AtomicU64,
+    pub evictions: AtomicU64,
+    pub bytes_evicted: AtomicU64,
+    pub uncacheable: AtomicU64,
+    pub invalidated: AtomicU64,
+}
+
+impl LiveStats {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters; the caller fills in the gauges.
+    pub fn snapshot(&self, resident_bytes: u64, entries: u64) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            resident_bytes,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_lookups() {
+        let s = CacheStats { hits: 6, coalesced: 2, misses: 2, ..CacheStats::default() };
+        assert_eq!(s.lookups(), 10);
+        assert!((s.hit_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let before = CacheStats { hits: 5, misses: 3, resident_bytes: 100, ..Default::default() };
+        let after = CacheStats {
+            hits: 9,
+            misses: 4,
+            resident_bytes: 250,
+            entries: 2,
+            ..Default::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.hits, 4);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.resident_bytes, 250, "gauges come from the later snapshot");
+        assert_eq!(d.entries, 2);
+    }
+
+    #[test]
+    fn live_stats_snapshot() {
+        let live = LiveStats::default();
+        LiveStats::bump(&live.hits);
+        LiveStats::bump(&live.hits);
+        LiveStats::add(&live.bytes_evicted, 64);
+        let s = live.snapshot(10, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.bytes_evicted, 64);
+        assert_eq!(s.resident_bytes, 10);
+        assert_eq!(s.entries, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! The shared trie cache: cross-query reuse of built hash tries.
+
+use crate::lru::ShardedLru;
+use crate::stats::CacheStats;
+use std::sync::Arc;
+
+/// Maximum shard count for trie caches: enough to keep a handful of serving
+/// threads off each other's locks without fragmenting the budget.
+const MAX_SHARDS: usize = 8;
+
+/// Minimum byte budget per shard. The LRU engine splits the budget evenly
+/// across shards and refuses to retain any single value larger than one
+/// shard's slice, so the shard count adapts to the budget: small budgets get
+/// one shard (the whole budget is usable per entry), large budgets get up to
+/// [`MAX_SHARDS`] while keeping each shard's slice — the largest cacheable
+/// trie — at least this big.
+const MIN_SHARD_BYTES: usize = 64 << 20;
+
+/// The identity of a built trie. Two pipeline inputs may share a cached trie
+/// exactly when every component matches:
+///
+/// * `relation` / `version` — which data snapshot the trie indexes. The
+///   version is the catalog's monotonic counter, so any mutation of the
+///   relation makes previously cached tries unreachable (invalidation by
+///   key, no broadcast needed).
+/// * `strategy` — the trie build strategy name (`"colt"`, `"slt"`,
+///   `"simple"`); a COLT and a fully-built simple trie are different
+///   structures even over identical data.
+/// * `key_order` — the *column indices* keyed at each trie level. Variable
+///   names are deliberately absent: two queries binding different variables
+///   to the same columns in the same order (e.g. the two sides of a
+///   self-join) share one trie.
+/// * `filter` — the canonical rendering of the selection pushed down onto
+///   the relation (empty for none), since the trie indexes the *filtered*
+///   rows. The rendering is exact (it is the key, not a hash of it), so two
+///   distinct predicates can never alias one trie.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TrieKey {
+    /// Base relation name in the catalog.
+    pub relation: String,
+    /// The relation's catalog version at build time.
+    pub version: u64,
+    /// Trie build strategy name.
+    pub strategy: &'static str,
+    /// Column indices keyed at each trie level.
+    pub key_order: Vec<Vec<u32>>,
+    /// Canonical rendering of the pushed-down selection predicate (empty =
+    /// unfiltered). Exact, so distinct predicates never collide.
+    pub filter: String,
+}
+
+/// A memory-budgeted, sharded LRU cache of built tries, generic over the
+/// trie type so the engine crate above supplies its own (`fj-cache` stays
+/// independent of execution). Values are handed out as `Arc` clones;
+/// concurrent queries racing on a cold key share a single build.
+#[derive(Debug)]
+pub struct TrieCache<T> {
+    inner: ShardedLru<TrieKey, T>,
+}
+
+impl<T> TrieCache<T> {
+    /// A trie cache with the given total byte budget and adaptive sharding:
+    /// enough shards for lock spreading, but never so many that a shard's
+    /// slice of the budget (which bounds the largest cacheable trie) drops
+    /// below [`MIN_SHARD_BYTES`] — small budgets collapse to one shard so
+    /// the whole budget is usable by a single entry.
+    pub fn new(budget_bytes: usize) -> Self {
+        let shards = (budget_bytes / MIN_SHARD_BYTES).clamp(1, MAX_SHARDS);
+        Self::with_shards(budget_bytes, shards)
+    }
+
+    /// A trie cache with an explicit shard count (tests use 1 shard for a
+    /// globally deterministic LRU order).
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        TrieCache { inner: ShardedLru::new(budget_bytes, shards) }
+    }
+
+    /// Fetch the trie for `key`, building (and charging `bytes`) on a miss.
+    /// See [`ShardedLru::try_get_or_build`] for the single-flight contract.
+    pub fn try_get_or_build<E>(
+        &self,
+        key: &TrieKey,
+        build: impl FnOnce() -> Result<(Arc<T>, usize), E>,
+    ) -> Result<Arc<T>, E> {
+        self.inner.try_get_or_build(key, build)
+    }
+
+    /// Infallible variant of [`TrieCache::try_get_or_build`].
+    pub fn get_or_build(&self, key: &TrieKey, build: impl FnOnce() -> (Arc<T>, usize)) -> Arc<T> {
+        self.inner.get_or_build(key, build)
+    }
+
+    /// Look up without counting stats or building.
+    pub fn peek(&self, key: &TrieKey) -> Option<Arc<T>> {
+        self.inner.peek(key)
+    }
+
+    /// Drop every cached trie of `relation` (all versions). Returns the
+    /// number of entries removed. Not needed for correctness — version-keyed
+    /// entries are already unreachable after a mutation — but reclaims their
+    /// budget immediately instead of waiting for LRU churn.
+    pub fn invalidate_relation(&self, relation: &str) -> u64 {
+        self.inner.retain(|k| k.relation != relation)
+    }
+
+    /// Drop cached tries of `relation` older than `current_version`.
+    pub fn purge_stale(&self, relation: &str, current_version: u64) -> u64 {
+        self.inner.retain(|k| k.relation != relation || k.version >= current_version)
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) -> u64 {
+        self.inner.clear()
+    }
+
+    /// Counter/gauge snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.resident_bytes()
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.inner.budget()
+    }
+
+    /// Number of cached tries.
+    pub fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(relation: &str, version: u64) -> TrieKey {
+        TrieKey {
+            relation: relation.to_string(),
+            version,
+            strategy: "colt",
+            key_order: vec![vec![0], vec![1]],
+            filter: String::new(),
+        }
+    }
+
+    #[test]
+    fn version_distinguishes_keys() {
+        let cache: TrieCache<&'static str> = TrieCache::new(1 << 16);
+        cache.get_or_build(&key("R", 1), || (Arc::new("v1"), 8));
+        // Same relation, newer version: a distinct entry.
+        let v2 = cache.get_or_build(&key("R", 2), || (Arc::new("v2"), 8));
+        assert_eq!(*v2, "v2");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn key_order_and_filter_distinguish_keys() {
+        let cache: TrieCache<u32> = TrieCache::new(1 << 16);
+        let base = key("R", 1);
+        let mut flipped = base.clone();
+        flipped.key_order = vec![vec![1], vec![0]];
+        let mut filtered = base.clone();
+        filtered.filter = "src > 99".to_string();
+        cache.get_or_build(&base, || (Arc::new(0), 8));
+        cache.get_or_build(&flipped, || (Arc::new(1), 8));
+        cache.get_or_build(&filtered, || (Arc::new(2), 8));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(*cache.peek(&base).unwrap(), 0);
+        assert_eq!(*cache.peek(&flipped).unwrap(), 1);
+        assert_eq!(*cache.peek(&filtered).unwrap(), 2);
+    }
+
+    #[test]
+    fn invalidate_and_purge_stale() {
+        let cache: TrieCache<u32> = TrieCache::new(1 << 16);
+        cache.get_or_build(&key("R", 1), || (Arc::new(1), 8));
+        cache.get_or_build(&key("R", 2), || (Arc::new(2), 8));
+        cache.get_or_build(&key("S", 1), || (Arc::new(3), 8));
+        assert_eq!(cache.purge_stale("R", 2), 1, "only R@1 is stale");
+        assert!(cache.peek(&key("R", 2)).is_some());
+        assert_eq!(cache.invalidate_relation("R"), 1);
+        assert!(cache.peek(&key("R", 2)).is_none());
+        assert!(cache.peek(&key("S", 1)).is_some(), "other relations untouched");
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+}

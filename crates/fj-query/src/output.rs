@@ -6,6 +6,7 @@
 //! benchmark harness can report the paper's measurements (join time excluding
 //! selection and aggregation, build time, intermediate sizes).
 
+use crate::query::QueryError;
 use fj_storage::{Row, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -146,32 +147,43 @@ impl OutputBuilder {
     ///
     /// # Panics
     /// Panics if a projected/grouped variable is missing from the binding
-    /// order; query validation guarantees head variables appear in the body,
-    /// and engines bind every body variable.
+    /// order; engines running user-supplied queries should use
+    /// [`OutputBuilder::try_new`] instead and surface the typed error.
     pub fn new(head: &[String], aggregate: Aggregate, binding_order: &[String]) -> Self {
+        Self::try_new(head, aggregate, binding_order).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns [`QueryError::UnboundOutputVar`] when a
+    /// projected or grouped variable is missing from the binding order,
+    /// instead of panicking. This is the entry point the execution engines
+    /// use, so a plan that fails to bind an output variable turns into an
+    /// `Err` on the query path rather than aborting the process.
+    pub fn try_new(
+        head: &[String],
+        aggregate: Aggregate,
+        binding_order: &[String],
+    ) -> Result<Self, QueryError> {
         let vars: Vec<String> = match &aggregate {
             Aggregate::GroupCount(gs) => gs.clone(),
             // COUNT(*) needs no output columns at all.
             Aggregate::Count => Vec::new(),
             Aggregate::Materialize => head.to_vec(),
         };
-        let positions = vars
-            .iter()
-            .map(|v| {
-                binding_order
-                    .iter()
-                    .position(|b| b == v)
-                    .unwrap_or_else(|| panic!("output variable {v} is not bound by the engine (binding order {binding_order:?})"))
-            })
-            .collect();
-        OutputBuilder {
+        let mut positions = Vec::with_capacity(vars.len());
+        for v in &vars {
+            match binding_order.iter().position(|b| b == v) {
+                Some(p) => positions.push(p),
+                None => return Err(QueryError::UnboundOutputVar(v.clone())),
+            }
+        }
+        Ok(OutputBuilder {
             aggregate,
             vars,
             positions,
             rows: Vec::new(),
             count: 0,
             groups: HashMap::new(),
-        }
+        })
     }
 
     /// Push one result tuple (in binding order) with multiplicity 1.
@@ -505,6 +517,22 @@ mod tests {
         let binding: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
         let head: Vec<String> = vec!["missing".to_string()];
         let _ = OutputBuilder::new(&head, Aggregate::Materialize, &binding);
+    }
+
+    #[test]
+    fn output_builder_try_new_returns_typed_error() {
+        let binding: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
+        let head: Vec<String> = vec!["missing".to_string()];
+        match OutputBuilder::try_new(&head, Aggregate::Materialize, &binding) {
+            Err(QueryError::UnboundOutputVar(v)) => assert_eq!(v, "missing"),
+            other => panic!("expected UnboundOutputVar, got {other:?}"),
+        }
+        // Group-by variables go through the same check.
+        match OutputBuilder::try_new(&binding, Aggregate::group_count(&["y"]), &binding) {
+            Err(QueryError::UnboundOutputVar(v)) => assert_eq!(v, "y"),
+            other => panic!("expected UnboundOutputVar, got {other:?}"),
+        }
+        assert!(OutputBuilder::try_new(&binding, Aggregate::Count, &binding).is_ok());
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub enum QueryError {
     UnknownFilterColumn { alias: String, column: String },
     /// A head variable does not appear in any atom.
     UnknownHeadVar(String),
+    /// An output (head or group-by) variable is not bound by the engine's
+    /// binding order — raised by [`crate::OutputBuilder::try_new`] when an
+    /// execution plan fails to bind a variable the output needs.
+    UnboundOutputVar(String),
     /// The join graph is disconnected (cross products are not supported by
     /// the execution engines).
     Disconnected,
@@ -51,6 +55,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::UnknownHeadVar(v) => {
                 write!(f, "head variable {v} does not appear in the body")
+            }
+            QueryError::UnboundOutputVar(v) => {
+                write!(f, "output variable {v} is not bound by the execution plan")
             }
             QueryError::Disconnected => {
                 write!(f, "query join graph is disconnected (cross product)")

@@ -5,16 +5,38 @@ use crate::error::{StorageError, StorageResult};
 use crate::relation::Relation;
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-global version source. All catalogs — including clones of one
+/// another — draw from a single counter, so a `(relation name, version)`
+/// pair can never denote two different data snapshots within a process:
+/// clones that diverge after a `Clone` still receive distinct versions, and
+/// caches shared across catalogs stay sound.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
 
 /// A collection of named relations.
 ///
 /// Relations are stored behind `Arc` so that execution engines can hold cheap
 /// references while the catalog stays usable (e.g. to register materialized
 /// intermediates for bushy plans).
+///
+/// # Versioning
+///
+/// Every relation carries a monotonic **version**: a catalog-wide counter
+/// assigned when the relation is (re)registered and bumped by every mutation
+/// ([`Catalog::add`], [`Catalog::add_or_replace`], [`Catalog::remove`],
+/// [`Catalog::touch`]). Caches key derived structures (tries, plans) by
+/// `(name, version)`, so a mutation makes every stale entry unreachable
+/// without any explicit invalidation broadcast.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     relations: BTreeMap<String, Arc<Relation>>,
+    /// Current version of each registered relation. Versions come from the
+    /// process-global counter, so they are unique across all catalogs and
+    /// their clones: a removed-then-re-added relation gets a fresh version,
+    /// never a recycled one.
+    versions: BTreeMap<String, u64>,
     dict: Dictionary,
 }
 
@@ -30,6 +52,7 @@ impl Catalog {
         if self.relations.contains_key(&name) {
             return Err(StorageError::DuplicateRelation(name));
         }
+        self.bump_version(&name);
         self.relations.insert(name, Arc::new(relation));
         Ok(())
     }
@@ -38,12 +61,37 @@ impl Catalog {
     /// name. Used for materialized intermediates in bushy plans, which are
     /// recomputed per query.
     pub fn add_or_replace(&mut self, relation: Relation) {
-        self.relations.insert(relation.name().to_string(), Arc::new(relation));
+        let name = relation.name().to_string();
+        self.bump_version(&name);
+        self.relations.insert(name, Arc::new(relation));
     }
 
     /// Remove a relation by name, returning it if present.
     pub fn remove(&mut self, name: &str) -> Option<Arc<Relation>> {
+        self.versions.remove(name);
         self.relations.remove(name)
+    }
+
+    /// The current version of a relation, or `0` if it is not registered.
+    /// Valid versions start at 1, so `0` doubles as an "absent" sentinel.
+    pub fn version_of(&self, name: &str) -> u64 {
+        self.versions.get(name).copied().unwrap_or(0)
+    }
+
+    /// Declare a relation's data mutated without replacing it, bumping its
+    /// version so that cached structures derived from it become stale. Useful
+    /// when a relation's backing store is updated out of band. No-op for
+    /// unregistered names.
+    pub fn touch(&mut self, name: &str) {
+        if self.relations.contains_key(name) {
+            self.bump_version(name);
+        }
+    }
+
+    /// Assign the next process-global version to `name`.
+    fn bump_version(&mut self, name: &str) {
+        let version = NEXT_VERSION.fetch_add(1, Ordering::Relaxed);
+        self.versions.insert(name.to_string(), version);
     }
 
     /// Fetch a relation by name.
@@ -146,6 +194,53 @@ mod tests {
         cat.add(rel("zeta", &[])).unwrap();
         cat.add(rel("alpha", &[])).unwrap();
         assert_eq!(cat.relation_names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn versions_are_monotonic_and_bumped_by_mutations() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.version_of("R"), 0, "unregistered relations have version 0");
+        cat.add(rel("R", &[[1, 2]])).unwrap();
+        let v1 = cat.version_of("R");
+        assert!(v1 > 0);
+        cat.add_or_replace(rel("R", &[[3, 4]]));
+        let v2 = cat.version_of("R");
+        assert!(v2 > v1, "replacement bumps the version");
+        cat.touch("R");
+        let v3 = cat.version_of("R");
+        assert!(v3 > v2, "touch bumps the version");
+        cat.touch("missing"); // no-op
+        assert_eq!(cat.version_of("missing"), 0);
+        cat.remove("R");
+        assert_eq!(cat.version_of("R"), 0);
+        cat.add(rel("R", &[[5, 6]])).unwrap();
+        assert!(cat.version_of("R") > v3, "versions are never recycled after remove/re-add");
+    }
+
+    #[test]
+    fn cloned_catalogs_never_share_versions() {
+        let mut a = Catalog::new();
+        a.add(rel("R", &[[1, 2]])).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.version_of("R"), b.version_of("R"), "a clone starts identical");
+        // Diverge both clones: the same relation name must get *distinct*
+        // versions, or a cache shared across the clones would conflate the
+        // two snapshots.
+        a.add_or_replace(rel("R", &[[3, 4]]));
+        b.add_or_replace(rel("R", &[[5, 6]]));
+        assert_ne!(a.version_of("R"), b.version_of("R"));
+    }
+
+    #[test]
+    fn versions_are_independent_per_relation() {
+        let mut cat = Catalog::new();
+        cat.add(rel("R", &[[1, 2]])).unwrap();
+        cat.add(rel("S", &[[1, 2]])).unwrap();
+        let (r, s) = (cat.version_of("R"), cat.version_of("S"));
+        assert_ne!(r, s, "each registration gets a distinct version");
+        cat.add_or_replace(rel("S", &[[9, 9]]));
+        assert_eq!(cat.version_of("R"), r, "mutating S leaves R's version alone");
+        assert!(cat.version_of("S") > s);
     }
 
     #[test]

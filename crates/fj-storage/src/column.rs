@@ -67,6 +67,20 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate heap footprint of the column in bytes (values plus the
+    /// validity mask if allocated). Used by caches for budget accounting, so
+    /// it only needs to be a stable estimate, not an exact measurement.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Column::Int64(v, mask) => {
+                v.len() * std::mem::size_of::<i64>() + mask.as_ref().map_or(0, Vec::len)
+            }
+            Column::Str(v, mask) => {
+                v.len() * std::mem::size_of::<u32>() + mask.as_ref().map_or(0, Vec::len)
+            }
+        }
+    }
+
     /// Get the value at `row`.
     ///
     /// # Panics

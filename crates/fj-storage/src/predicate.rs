@@ -153,11 +153,28 @@ impl Predicate {
         }
     }
 
+    /// Check that every column the predicate references exists in the
+    /// relation's schema, returning a typed error for the first one that does
+    /// not. [`crate::Relation::try_filter`] calls this before evaluating, so
+    /// user-supplied predicates fail with `Err` instead of a panic.
+    pub fn validate_for(&self, relation: &Relation) -> crate::error::StorageResult<()> {
+        for column in self.columns() {
+            if relation.schema().index_of(column).is_none() {
+                return Err(crate::error::StorageError::UnknownColumn {
+                    relation: relation.name().to_string(),
+                    column: column.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Evaluate the predicate on row `row` of `relation`.
     ///
     /// # Panics
     /// Panics if a referenced column is missing from the relation schema;
-    /// query validation (in `fj-query`) rejects such predicates up front.
+    /// call [`Predicate::validate_for`] (or go through
+    /// [`crate::Relation::try_filter`]) first on user-supplied predicates.
     pub fn eval(&self, relation: &Relation, row: usize) -> bool {
         match self {
             Predicate::True => true,
@@ -307,6 +324,22 @@ mod tests {
         for p in preds {
             let s = p.selectivity();
             assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range for {p:?}");
+        }
+    }
+
+    #[test]
+    fn validate_for_reports_unknown_columns() {
+        use crate::error::StorageError;
+        let rel = sample_relation();
+        assert!(Predicate::cmp_const("w", CmpOp::Gt, 0i64).validate_for(&rel).is_ok());
+        let bad = Predicate::cmp_cols("v", CmpOp::Eq, "nope")
+            .and(Predicate::IsNull { column: "u".into() });
+        match bad.validate_for(&rel) {
+            Err(StorageError::UnknownColumn { relation, column }) => {
+                assert_eq!(relation, "M");
+                assert_eq!(column, "nope");
+            }
+            other => panic!("expected UnknownColumn, got {other:?}"),
         }
     }
 

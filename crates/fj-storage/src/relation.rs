@@ -124,12 +124,31 @@ impl Relation {
     /// Apply a selection predicate, producing a new relation containing only
     /// the matching rows. Used to push selections down to base tables before
     /// the join phase.
+    ///
+    /// # Panics
+    /// Panics if the predicate references a column the schema does not have;
+    /// use [`Relation::try_filter`] on user-supplied predicates.
     pub fn filter(&self, predicate: &Predicate) -> Relation {
+        self.try_filter(predicate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Relation::filter`], but returns a typed error instead of
+    /// panicking when the predicate references an unknown column. This is the
+    /// entry point the query engines use, so that malformed user-supplied
+    /// filters surface as `Err` rather than aborting the process.
+    pub fn try_filter(&self, predicate: &Predicate) -> StorageResult<Relation> {
+        predicate.validate_for(self)?;
         if matches!(predicate, Predicate::True) {
-            return self.clone();
+            return Ok(self.clone());
         }
         let rows: Vec<usize> = (0..self.num_rows).filter(|&i| predicate.eval(self, i)).collect();
-        self.gather(&rows)
+        Ok(self.gather(&rows))
+    }
+
+    /// Approximate heap footprint of the relation's columns in bytes, used
+    /// by caches for budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
     }
 
     /// Build a new relation from a subset of rows (in the given order).
@@ -314,6 +333,24 @@ mod tests {
         );
         // True predicate is a no-op clone.
         assert_eq!(r.filter(&Predicate::True).num_rows(), 4);
+    }
+
+    #[test]
+    fn try_filter_rejects_unknown_predicate_columns() {
+        let r = edges();
+        let err = r.try_filter(&Predicate::eq_const("nope", 1i64)).unwrap_err();
+        assert!(matches!(err, StorageError::UnknownColumn { .. }));
+        // The happy path matches the panicking filter.
+        let ok = r.try_filter(&Predicate::cmp_const("src", CmpOp::Eq, 1i64)).unwrap();
+        assert_eq!(ok.num_rows(), 2);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_row_count() {
+        let r = edges();
+        // 4 rows × 2 Int64 columns × 8 bytes.
+        assert_eq!(r.approx_bytes(), 64);
+        assert_eq!(Relation::empty("E", Schema::all_int(&["a"])).approx_bytes(), 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   expansions, enabling the factorized-output shortcut (Section 4.4).
 
 use crate::error::{EngineError, EngineResult};
-use fj_plan::FreeJoinPlan;
+use crate::options::FreeJoinOptions;
+use fj_plan::{binary2fj, factor, factor_until_fixpoint, BinaryPlan, FreeJoinPlan, PipeInput};
+use fj_query::ConjunctiveQuery;
 use std::collections::HashMap;
 
 /// What to do with one position of an iterated cover key.
@@ -77,6 +79,68 @@ pub struct CompiledPlan {
     pub num_inputs: usize,
     /// The GHT schema of every input, as used to build its trie.
     pub schemas: Vec<Vec<Vec<String>>>,
+}
+
+/// One pipeline of a fully compiled query: where its inputs come from, the
+/// (possibly factored) Free Join plan, and the slot-addressed compiled form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPipeline {
+    /// The pipeline's inputs: query atoms or earlier pipelines'
+    /// intermediates, in input order.
+    pub inputs: Vec<PipeInput>,
+    /// The Free Join plan the pipeline runs (after optional factoring).
+    pub fj_plan: FreeJoinPlan,
+    /// The compiled, slot-addressed plan.
+    pub plan: CompiledPlan,
+}
+
+/// A whole query compiled against a binary plan: every pipeline of the
+/// decomposed plan, dependency-ordered (the last pipeline produces the query
+/// result). This is pure plan data — no relation contents are consulted — so
+/// it is what the cross-query plan cache stores: one `CompiledQuery` per
+/// normalized query shape, shared by every execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledQuery {
+    /// Compiled pipelines in dependency order; the last one is the root.
+    pub pipelines: Vec<CompiledPipeline>,
+}
+
+impl CompiledQuery {
+    /// Index of the final (result-producing) pipeline.
+    pub fn root_pipeline(&self) -> usize {
+        self.pipelines.len() - 1
+    }
+}
+
+/// Compile every pipeline of a binary plan for a query: decompose the plan,
+/// convert each pipeline to a Free Join plan (factoring it according to the
+/// engine options), and compile to the slot-addressed form. The caller is
+/// responsible for checking `plan.covers_query(query)` first.
+pub fn compile_query(
+    query: &ConjunctiveQuery,
+    plan: &BinaryPlan,
+    options: &FreeJoinOptions,
+) -> EngineResult<CompiledQuery> {
+    let decomposed = plan.decompose();
+    let mut pipelines = Vec::with_capacity(decomposed.len());
+    for p in 0..decomposed.len() {
+        let input_vars = decomposed.pipeline_input_vars(query, p);
+        let mut fj_plan = binary2fj(&input_vars);
+        if options.optimize_plan {
+            if options.factor_to_fixpoint {
+                factor_until_fixpoint(&mut fj_plan);
+            } else {
+                factor(&mut fj_plan);
+            }
+        }
+        let compiled = compile(&fj_plan, &input_vars)?;
+        pipelines.push(CompiledPipeline {
+            inputs: decomposed.pipelines[p].inputs.clone(),
+            fj_plan,
+            plan: compiled,
+        });
+    }
+    Ok(CompiledQuery { pipelines })
 }
 
 /// Compile a validated Free Join plan over the given input variable lists.

@@ -7,20 +7,29 @@
 //! and vectorized execution." Here the binary plan comes from
 //! `fj_plan::optimize` (or is built by hand), and the input relations live in
 //! an `fj_storage::Catalog`.
+//!
+//! Execution is layered so that the serving path ([`crate::session`]) can
+//! reuse every stage with cached artifacts swapped in:
+//!
+//! 1. [`crate::compile::compile_query`] turns (query, binary plan) into a
+//!    [`CompiledQuery`] — pure plan data, cacheable across executions;
+//! 2. [`build_tries`] builds one trie per pipeline input — the stage the
+//!    session replaces with `fj-cache` lookups;
+//! 3. [`join_pipeline`] runs one compiled pipeline over its tries and emits
+//!    the output (or a materialized intermediate for bushy plans).
 
-use crate::compile::{compile, CompiledPlan};
+use crate::compile::{compile, compile_query, CompiledPlan};
 use crate::error::{EngineError, EngineResult};
 use crate::exec::{execute_pipeline, execute_pipeline_parallel};
 use crate::options::FreeJoinOptions;
-use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput, PreparedQuery};
+use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput};
 use crate::sink::{MaterializeSink, OutputSink};
 use crate::trie::InputTrie;
-use fj_plan::{
-    binary2fj, factor, factor_until_fixpoint, optimize, BinaryPlan, CatalogStats, FreeJoinPlan,
-    OptimizerOptions, PipeInput,
-};
+use fj_plan::{optimize, BinaryPlan, CatalogStats, FreeJoinPlan, OptimizerOptions, PipeInput};
 use fj_query::{ConjunctiveQuery, ExecStats, OutputBuilder, QueryOutput};
-use fj_storage::Catalog;
+use fj_storage::{Catalog, DataType};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The Free Join execution engine.
@@ -68,15 +77,15 @@ impl FreeJoinEngine {
         if !plan.covers_query(query) {
             return Err(EngineError::PlanDoesNotCoverQuery);
         }
+        let compiled = compile_query(query, plan, &self.options)?;
         let prepared = prepare_inputs(catalog, query)?;
         let mut stats =
             ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
 
-        let decomposed = plan.decompose();
-        let mut intermediates: Vec<Option<BoundInput>> = vec![None; decomposed.len()];
+        let mut intermediates: Vec<Option<BoundInput>> = vec![None; compiled.pipelines.len()];
         let mut output = None;
 
-        for (p, pipeline) in decomposed.pipelines.iter().enumerate() {
+        for (p, pipeline) in compiled.pipelines.iter().enumerate() {
             let inputs: Vec<BoundInput> = pipeline
                 .inputs
                 .iter()
@@ -87,18 +96,27 @@ impl FreeJoinEngine {
                     }
                 })
                 .collect();
-            let input_vars: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
-            let fj_plan = self.make_fj_plan(&input_vars);
-            let compiled = compile(&fj_plan, &input_vars)?;
+            let tries = build_tries(&inputs, &pipeline.plan.schemas, &self.options, &mut stats);
 
-            let is_final = p == decomposed.root_pipeline();
-            let pipeline_result =
-                self.run_pipeline(&prepared, &inputs, &compiled, query, is_final, &mut stats)?;
+            let is_final = p == compiled.root_pipeline();
+            let pipeline_result = join_pipeline(
+                &tries,
+                &pipeline.plan,
+                &self.options,
+                query,
+                is_final,
+                &prepared.var_types,
+                &mut stats,
+            )?;
+            for trie in &tries {
+                stats.tries_built += trie.maps_built();
+                stats.lazy_expansions += trie.lazy_built();
+            }
             match pipeline_result {
                 PipelineResult::Output(out) => output = Some(out),
                 PipelineResult::Intermediate(bound) => {
                     stats.intermediate_tuples += bound.num_rows() as u64;
-                    intermediates[pipeline.id] = Some(bound);
+                    intermediates[p] = Some(bound);
                 }
             }
         }
@@ -122,8 +140,20 @@ impl FreeJoinEngine {
             ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
         let input_vars: Vec<Vec<String>> = prepared.atoms.iter().map(|i| i.vars.clone()).collect();
         let compiled = compile(fj_plan, &input_vars)?;
-        let result =
-            self.run_pipeline(&prepared, &prepared.atoms, &compiled, query, true, &mut stats)?;
+        let tries = build_tries(&prepared.atoms, &compiled.schemas, &self.options, &mut stats);
+        let result = join_pipeline(
+            &tries,
+            &compiled,
+            &self.options,
+            query,
+            true,
+            &prepared.var_types,
+            &mut stats,
+        )?;
+        for trie in &tries {
+            stats.tries_built += trie.maps_built();
+            stats.lazy_expansions += trie.lazy_built();
+        }
         match result {
             PipelineResult::Output(output) => {
                 stats.output_tuples = output.cardinality();
@@ -132,146 +162,128 @@ impl FreeJoinEngine {
             PipelineResult::Intermediate(_) => unreachable!("final pipeline yields output"),
         }
     }
+}
 
-    /// Convert a pipeline's inputs into a Free Join plan according to the
-    /// engine options (conversion plus optional factorization).
-    fn make_fj_plan(&self, input_vars: &[Vec<String>]) -> FreeJoinPlan {
-        let mut fj_plan = binary2fj(input_vars);
-        if self.options.optimize_plan {
-            if self.options.factor_to_fixpoint {
-                factor_until_fixpoint(&mut fj_plan);
-            } else {
-                factor(&mut fj_plan);
+/// Build one trie per pipeline input with the configured strategy, charging
+/// the elapsed time to `stats.build_time`. With multiple workers available,
+/// independent input tries build concurrently (this is where the eager
+/// Simple/Slt strategies spend their time); the worker pool is capped at the
+/// configured thread count.
+pub(crate) fn build_tries(
+    inputs: &[BoundInput],
+    schemas: &[Vec<Vec<String>>],
+    options: &FreeJoinOptions,
+    stats: &mut ExecStats,
+) -> Vec<Arc<InputTrie>> {
+    let threads = options.effective_threads();
+    let build_start = Instant::now();
+    let tries: Vec<Arc<InputTrie>> = if threads > 1 && inputs.len() > 1 {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Arc<InputTrie>>>> =
+            Mutex::new((0..inputs.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(inputs.len()) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let trie = InputTrie::build(&inputs[i], schemas[i].clone(), options.trie);
+                    slots.lock().expect("no poisoned build slots")[i] = Some(Arc::new(trie));
+                });
             }
-        }
-        fj_plan
-    }
+        });
+        slots
+            .into_inner()
+            .expect("no poisoned build slots")
+            .into_iter()
+            .map(|t| t.expect("every input trie was built"))
+            .collect()
+    } else {
+        inputs
+            .iter()
+            .zip(schemas)
+            .map(|(input, schema)| Arc::new(InputTrie::build(input, schema.clone(), options.trie)))
+            .collect()
+    };
+    stats.build_time += build_start.elapsed();
+    tries
+}
 
-    /// Build tries and run one pipeline.
-    fn run_pipeline(
-        &self,
-        prepared: &PreparedQuery,
-        inputs: &[BoundInput],
-        compiled: &CompiledPlan,
-        query: &ConjunctiveQuery,
-        is_final: bool,
-        stats: &mut ExecStats,
-    ) -> EngineResult<PipelineResult> {
-        let threads = self.options.effective_threads();
-
-        // Build phase. With multiple workers available, independent input
-        // tries build concurrently (this is where the eager Simple/Slt
-        // strategies spend their time); the worker pool is capped at the
-        // configured thread count.
-        let build_start = Instant::now();
-        let tries: Vec<InputTrie> = if threads > 1 && inputs.len() > 1 {
-            use std::sync::atomic::{AtomicUsize, Ordering};
-            use std::sync::Mutex;
-            let cursor = AtomicUsize::new(0);
-            let slots: Mutex<Vec<Option<InputTrie>>> =
-                Mutex::new((0..inputs.len()).map(|_| None).collect());
-            std::thread::scope(|scope| {
-                for _ in 0..threads.min(inputs.len()) {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= inputs.len() {
-                            break;
-                        }
-                        let trie = InputTrie::build(
-                            &inputs[i],
-                            compiled.schemas[i].clone(),
-                            self.options.trie,
-                        );
-                        slots.lock().expect("no poisoned build slots")[i] = Some(trie);
-                    });
-                }
-            });
-            slots
-                .into_inner()
-                .expect("no poisoned build slots")
-                .into_iter()
-                .map(|t| t.expect("every input trie was built"))
-                .collect()
+/// Run one compiled pipeline over its (possibly cache-shared) tries: serial
+/// when one thread is configured (the exact legacy path), morsel-driven over
+/// the first node's cover otherwise, with the per-morsel sinks merged in
+/// morsel order. Final pipelines produce the query output; non-final
+/// pipelines materialize an intermediate relation (bushy plans).
+///
+/// Trie-building counters (`tries_built`, `lazy_expansions`) are *not*
+/// recorded here: with cached tries shared across queries the attribution
+/// differs per caller, so each caller accounts for them itself.
+pub(crate) fn join_pipeline(
+    tries: &[Arc<InputTrie>],
+    compiled: &CompiledPlan,
+    options: &FreeJoinOptions,
+    query: &ConjunctiveQuery,
+    is_final: bool,
+    var_types: &HashMap<String, DataType>,
+    stats: &mut ExecStats,
+) -> EngineResult<PipelineResult> {
+    let threads = options.effective_threads();
+    let join_start = Instant::now();
+    let result = if is_final {
+        let builder =
+            OutputBuilder::try_new(&query.head, query.aggregate.clone(), &compiled.binding_order)
+                .map_err(EngineError::Query)?;
+        let output = if threads > 1 {
+            let (sinks, counters) =
+                execute_pipeline_parallel(tries, compiled, options, threads, || {
+                    OutputSink::new(builder.clone())
+                });
+            stats.probes += counters.probes;
+            stats.probe_hits += counters.probe_hits;
+            let mut merged = OutputSink::new(builder);
+            for sink in sinks {
+                merged.merge(sink);
+            }
+            merged.finish()
         } else {
-            inputs
-                .iter()
-                .zip(&compiled.schemas)
-                .map(|(input, schema)| InputTrie::build(input, schema.clone(), self.options.trie))
-                .collect()
+            let mut sink = OutputSink::new(builder);
+            let counters = execute_pipeline(tries, compiled, options, &mut sink);
+            stats.probes += counters.probes;
+            stats.probe_hits += counters.probe_hits;
+            sink.finish()
         };
-        stats.build_time += build_start.elapsed();
-
-        // Join phase: serial when one thread is configured (the exact legacy
-        // path), morsel-driven over the first node's cover otherwise, with
-        // the per-morsel sinks merged in morsel order.
-        let join_start = Instant::now();
-        let result = if is_final {
-            let builder =
-                OutputBuilder::new(&query.head, query.aggregate.clone(), &compiled.binding_order);
-            let output = if threads > 1 {
-                let (sinks, counters) =
-                    execute_pipeline_parallel(&tries, compiled, &self.options, threads, || {
-                        OutputSink::new(builder.clone())
-                    });
-                stats.probes += counters.probes;
-                stats.probe_hits += counters.probe_hits;
-                let mut merged = OutputSink::new(builder);
-                for sink in sinks {
-                    merged.merge(sink);
-                }
-                merged.finish()
-            } else {
-                let mut sink = OutputSink::new(builder);
-                let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
-                stats.probes += counters.probes;
-                stats.probe_hits += counters.probe_hits;
-                sink.finish()
-            };
-            PipelineResult::Output(output)
+        PipelineResult::Output(output)
+    } else {
+        let rows = if threads > 1 {
+            let (sinks, counters) =
+                execute_pipeline_parallel(tries, compiled, options, threads, MaterializeSink::new);
+            stats.probes += counters.probes;
+            stats.probe_hits += counters.probe_hits;
+            let mut merged = MaterializeSink::new();
+            for sink in sinks {
+                merged.merge(sink);
+            }
+            merged.into_rows()
         } else {
-            let rows = if threads > 1 {
-                let (sinks, counters) = execute_pipeline_parallel(
-                    &tries,
-                    compiled,
-                    &self.options,
-                    threads,
-                    MaterializeSink::new,
-                );
-                stats.probes += counters.probes;
-                stats.probe_hits += counters.probe_hits;
-                let mut merged = MaterializeSink::new();
-                for sink in sinks {
-                    merged.merge(sink);
-                }
-                merged.into_rows()
-            } else {
-                let mut sink = MaterializeSink::new();
-                let counters = execute_pipeline(&tries, compiled, &self.options, &mut sink);
-                stats.probes += counters.probes;
-                stats.probe_hits += counters.probe_hits;
-                sink.into_rows()
-            };
-            let name = format!("__fj_intermediate_{}", compiled.binding_order.join("_"));
-            let bound = materialize_intermediate(
-                &name,
-                &compiled.binding_order,
-                &prepared.var_types,
-                &rows,
-            )?;
-            PipelineResult::Intermediate(bound)
+            let mut sink = MaterializeSink::new();
+            let counters = execute_pipeline(tries, compiled, options, &mut sink);
+            stats.probes += counters.probes;
+            stats.probe_hits += counters.probe_hits;
+            sink.into_rows()
         };
-        stats.join_time += join_start.elapsed();
-
-        for trie in &tries {
-            stats.tries_built += trie.maps_built();
-            stats.lazy_expansions += trie.lazy_built();
-        }
-        Ok(result)
-    }
+        let name = format!("__fj_intermediate_{}", compiled.binding_order.join("_"));
+        let bound = materialize_intermediate(&name, &compiled.binding_order, var_types, &rows)?;
+        PipelineResult::Intermediate(bound)
+    };
+    stats.join_time += join_start.elapsed();
+    Ok(result)
 }
 
 /// What a pipeline produced.
-enum PipelineResult {
+pub(crate) enum PipelineResult {
     /// The query output (final pipeline).
     Output(QueryOutput),
     /// A materialized intermediate (non-final pipeline of a bushy plan).

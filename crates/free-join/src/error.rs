@@ -18,6 +18,8 @@ pub enum EngineError {
     PlanDoesNotCoverQuery,
     /// A pipeline input references a variable the engine cannot resolve.
     UnboundVariable(String),
+    /// A parameter targets an atom alias the prepared query does not have.
+    UnknownAtomAlias(String),
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +32,9 @@ impl fmt::Display for EngineError {
                 write!(f, "binary plan does not cover the query atoms exactly once")
             }
             EngineError::UnboundVariable(v) => write!(f, "variable {v} is never bound"),
+            EngineError::UnknownAtomAlias(a) => {
+                write!(f, "no atom with alias {a} in the prepared query")
+            }
         }
     }
 }
@@ -71,5 +76,6 @@ mod tests {
         assert!(e.to_string().contains("node 2"));
         assert!(EngineError::PlanDoesNotCoverQuery.to_string().contains("cover"));
         assert!(EngineError::UnboundVariable("x".into()).to_string().contains('x'));
+        assert!(EngineError::UnknownAtomAlias("f9".into()).to_string().contains("f9"));
     }
 }

@@ -89,7 +89,7 @@ struct NodeScratch {
 /// Execute a compiled pipeline over its input tries, sending results to the
 /// sink. Returns probe counters; trie-building counters live on the tries.
 pub fn execute_pipeline(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
     options: &FreeJoinOptions,
     sink: &mut dyn Sink,
@@ -97,7 +97,7 @@ pub fn execute_pipeline(
     debug_assert_eq!(tries.len(), plan.num_inputs);
     let mut counters = ExecCounters::default();
     let mut tuple = vec![Value::Null; plan.binding_order.len()];
-    let mut current: Vec<Arc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
+    let mut current: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
     let mut scratch: Vec<NodeScratch> = plan.nodes.iter().map(|_| NodeScratch::default()).collect();
     run_node(
         tries,
@@ -137,7 +137,7 @@ enum RootItems<'a> {
 /// already applies at the first node, or when there is no root-level work to
 /// split.
 pub fn execute_pipeline_parallel<S, F>(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
     options: &FreeJoinOptions,
     num_threads: usize,
@@ -166,7 +166,7 @@ where
     }
 
     // Materialize the first node's cover iteration as a splittable work list.
-    let roots: Vec<Arc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
+    let roots: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
     let cover_idx = select_cover(tries, node0, &roots, options);
     let cover = &node0.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
@@ -202,7 +202,7 @@ where
         for _ in 0..num_threads.min(num_morsels) {
             scope.spawn(|| {
                 let mut tuple = vec![Value::Null; plan.binding_order.len()];
-                let mut current: Vec<Arc<TrieNode>> = tries.iter().map(InputTrie::root).collect();
+                let mut current: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
                 let mut scratch: Vec<NodeScratch> =
                     plan.nodes.iter().map(|_| NodeScratch::default()).collect();
                 let mut counters = ExecCounters::default();
@@ -349,7 +349,7 @@ where
 
 /// Select which subatom of the node to iterate (the runtime cover).
 fn select_cover(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     node: &CompiledNode,
     current: &[Arc<TrieNode>],
     options: &FreeJoinOptions,
@@ -373,7 +373,7 @@ fn select_cover(
 /// (`scratch[0]` belongs to `node_idx`).
 #[allow(clippy::too_many_arguments)]
 fn run_node(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
     options: &FreeJoinOptions,
     node_idx: usize,
@@ -443,7 +443,7 @@ fn apply_iter_actions(actions: &[IterAction], key: &[Value], tuple: &mut [Value]
 /// root-level entries).
 #[allow(clippy::too_many_arguments)]
 fn process_cover_entry(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
     options: &FreeJoinOptions,
     node_idx: usize,
@@ -529,7 +529,7 @@ fn process_cover_entry(
 /// Tuple-at-a-time execution of one node (no vectorization).
 #[allow(clippy::too_many_arguments)]
 fn run_node_scalar(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
     options: &FreeJoinOptions,
     node_idx: usize,
@@ -558,7 +558,7 @@ fn run_node_scalar(
 /// run each probe across the whole batch, then recurse for the survivors.
 #[allow(clippy::too_many_arguments)]
 fn run_node_vectorized(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
     options: &FreeJoinOptions,
     node_idx: usize,
@@ -657,7 +657,7 @@ fn buffer_cover_entry(
 /// the surviving entries (the body of Figure 13).
 #[allow(clippy::too_many_arguments)]
 fn flush_batch(
-    tries: &[InputTrie],
+    tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
     options: &FreeJoinOptions,
     node_idx: usize,
@@ -806,10 +806,10 @@ mod tests {
     ) -> (u64, ExecCounters) {
         let input_vars: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
         let compiled = compile(plan, &input_vars).unwrap();
-        let tries: Vec<InputTrie> = inputs
+        let tries: Vec<Arc<InputTrie>> = inputs
             .iter()
             .zip(&compiled.schemas)
-            .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+            .map(|(input, schema)| Arc::new(InputTrie::build(input, schema.clone(), options.trie)))
             .collect();
         let builder =
             OutputBuilder::new(&compiled.binding_order, aggregate, &compiled.binding_order);
@@ -829,10 +829,10 @@ mod tests {
     ) -> (u64, ExecCounters) {
         let input_vars: Vec<Vec<String>> = inputs.iter().map(|i| i.vars.clone()).collect();
         let compiled = compile(plan, &input_vars).unwrap();
-        let tries: Vec<InputTrie> = inputs
+        let tries: Vec<Arc<InputTrie>> = inputs
             .iter()
             .zip(&compiled.schemas)
-            .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+            .map(|(input, schema)| Arc::new(InputTrie::build(input, schema.clone(), options.trie)))
             .collect();
         let builder =
             OutputBuilder::new(&compiled.binding_order, aggregate, &compiled.binding_order);
@@ -1018,10 +1018,10 @@ mod tests {
         factor(&mut plan);
         let compiled = compile(&plan, &iv).unwrap();
         let options = FreeJoinOptions::default();
-        let tries: Vec<InputTrie> = inputs
+        let tries: Vec<Arc<InputTrie>> = inputs
             .iter()
             .zip(&compiled.schemas)
-            .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+            .map(|(input, schema)| Arc::new(InputTrie::build(input, schema.clone(), options.trie)))
             .collect();
         let mut sink = MaterializeSink::new();
         execute_pipeline(&tries, &compiled, &options, &mut sink);

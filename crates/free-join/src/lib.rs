@@ -63,16 +63,21 @@ pub mod error;
 pub mod exec;
 pub mod options;
 pub mod prep;
+pub mod session;
 pub mod sink;
 pub mod trie;
 
+pub use compile::{compile_query, CompiledQuery};
 pub use engine::FreeJoinEngine;
 pub use error::{EngineError, EngineResult};
 pub use exec::{execute_pipeline, execute_pipeline_parallel, ExecCounters};
 pub use options::{FreeJoinOptions, TrieStrategy};
 pub use prep::{prepare_inputs, BoundInput};
+pub use session::{EngineCaches, Params, Prepared, Session, SessionCacheStats};
 pub use sink::{MaterializeSink, OutputSink, Sink};
 pub use trie::InputTrie;
 
-// Re-export the plan types most users need alongside the engine.
+// Re-export the plan types most users need alongside the engine, and the
+// cache stats type sessions report.
+pub use fj_cache::CacheStats;
 pub use fj_plan::{binary2fj, factor, BinaryPlan, FreeJoinPlan};

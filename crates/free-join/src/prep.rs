@@ -8,7 +8,7 @@
 //! than from scan or selection handling.
 
 use crate::error::{EngineError, EngineResult};
-use fj_query::ConjunctiveQuery;
+use fj_query::{Atom, ConjunctiveQuery};
 use fj_storage::{Catalog, DataType, Field, Relation, RelationBuilder, Row, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,6 +69,36 @@ pub struct PreparedQuery {
     pub var_types: HashMap<String, DataType>,
 }
 
+/// Resolve one atom against the catalog, applying its pushed-down selection.
+/// Uses `try_filter` (rather than the panicking `filter`) so that a
+/// predicate over a missing column — possible when callers skip validation —
+/// surfaces as a typed error on the library path. Shared by
+/// [`prepare_inputs`] and the serving path's cache-miss builder, so filter
+/// semantics cannot drift between the two.
+pub fn bind_atom(catalog: &Catalog, atom: &Atom) -> EngineResult<BoundInput> {
+    let base = catalog.get(&atom.relation)?;
+    let filtered = if atom.has_filter() { Arc::new(base.try_filter(&atom.filter)?) } else { base };
+    Ok(BoundInput {
+        name: atom.alias.clone(),
+        relation: filtered,
+        vars: atom.vars.clone(),
+        var_cols: (0..atom.vars.len()).collect(),
+    })
+}
+
+/// Record the data type of each of an atom's variables (first binding wins,
+/// matching the engine's slot assignment). Filtering never changes a schema,
+/// so base and filtered relations are interchangeable here.
+pub(crate) fn record_var_types(
+    vars: &[String],
+    schema: &Schema,
+    out: &mut HashMap<String, DataType>,
+) {
+    for (col, var) in vars.iter().enumerate() {
+        out.entry(var.clone()).or_insert(schema.field(col).data_type);
+    }
+}
+
 /// Resolve and filter every atom of a query against the catalog.
 pub fn prepare_inputs(catalog: &Catalog, query: &ConjunctiveQuery) -> EngineResult<PreparedQuery> {
     query.validate(catalog)?;
@@ -76,19 +106,9 @@ pub fn prepare_inputs(catalog: &Catalog, query: &ConjunctiveQuery) -> EngineResu
     let mut atoms = Vec::with_capacity(query.num_atoms());
     let mut var_types: HashMap<String, DataType> = HashMap::new();
     for atom in &query.atoms {
-        let base = catalog.get(&atom.relation)?;
-        let filtered = if atom.has_filter() { Arc::new(base.filter(&atom.filter)) } else { base };
-        let var_cols: Vec<usize> = (0..atom.vars.len()).collect();
-        for (var, &col) in atom.vars.iter().zip(&var_cols) {
-            let dt = filtered.schema().field(col).data_type;
-            var_types.entry(var.clone()).or_insert(dt);
-        }
-        atoms.push(BoundInput {
-            name: atom.alias.clone(),
-            relation: filtered,
-            vars: atom.vars.clone(),
-            var_cols,
-        });
+        let bound = bind_atom(catalog, atom)?;
+        record_var_types(&bound.vars, bound.relation.schema(), &mut var_types);
+        atoms.push(bound);
     }
     Ok(PreparedQuery { atoms, selection_time: start.elapsed(), var_types })
 }

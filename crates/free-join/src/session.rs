@@ -1,0 +1,794 @@
+//! Repeated-query serving: sessions, prepared queries, and the shared
+//! caches that amortize planning and trie construction across executions.
+//!
+//! The paper's COLT amortizes trie building *within* one query by forcing
+//! sub-tries lazily at probe time. A serving workload re-runs the same (or
+//! structurally identical) queries constantly, so this module amortizes the
+//! two remaining per-query costs *across* queries:
+//!
+//! * **Planning** — [`Session::prepare`] fingerprints the normalized query
+//!   (query names and atom aliases canonicalized away, relation versions
+//!   included; variable names are kept verbatim because the compiled
+//!   artifact addresses tries through them) and looks the compiled pipeline
+//!   bundle up in a [`fj_cache::PlanCache`]; only the first preparation of
+//!   a shape runs the optimizer and plan compiler. A cache hit re-checks
+//!   the full canonical form, so a fingerprint collision degrades to an
+//!   uncached compile instead of executing the wrong plan.
+//! * **Trie building** — [`Prepared::execute`] resolves each pipeline input
+//!   to a [`fj_cache::TrieKey`] `(relation, version, strategy, column
+//!   key-order, filter fingerprint)` and fetches the trie from a shared
+//!   [`fj_cache::TrieCache`]. PR 1 made tries `Arc`/`OnceLock`-based and
+//!   `Send + Sync`, so one cached trie serves any number of concurrent
+//!   queries — including both sides of a self-join, since keys use column
+//!   positions rather than variable names. Racing cold lookups coalesce
+//!   onto a single build (single-flight).
+//!
+//! **Invalidation** is by construction: `fj_storage::Catalog` bumps a
+//! monotonic version on every relation mutation, and the version is part of
+//! the trie key and the plan fingerprint, so stale entries are simply never
+//! looked up again and age out of the LRU. An execution therefore always
+//! reads current data, even on a `Prepared` created before the mutation.
+//!
+//! ```
+//! use fj_query::QueryBuilder;
+//! use fj_storage::{Catalog, RelationBuilder, Schema};
+//! use free_join::session::{EngineCaches, Session};
+//! use std::sync::Arc;
+//!
+//! let mut catalog = Catalog::new();
+//! let mut edges = RelationBuilder::new("edge", Schema::all_int(&["src", "dst"]));
+//! for i in 0..100i64 {
+//!     edges.push_ints(&[i % 10, (i + 1) % 10]).unwrap();
+//! }
+//! catalog.add(edges.finish()).unwrap();
+//!
+//! let caches = Arc::new(EngineCaches::with_defaults());
+//! let session = Session::new(caches);
+//! let query = QueryBuilder::new("two_hop")
+//!     .atom_as("edge", "e1", &["a", "b"])
+//!     .atom_as("edge", "e2", &["b", "c"])
+//!     .count()
+//!     .build();
+//! let prepared = session.prepare(&catalog, &query).unwrap();
+//! let (cold, _) = prepared.execute(&catalog).unwrap();
+//! let (warm, _) = prepared.execute(&catalog).unwrap(); // trie & plan cache hits
+//! assert_eq!(cold.cardinality(), warm.cardinality());
+//! assert!(session.cache_stats().tries.hits > 0);
+//! ```
+
+use crate::compile::{compile_query, CompiledQuery};
+use crate::engine::{join_pipeline, PipelineResult};
+use crate::error::{EngineError, EngineResult};
+use crate::options::{FreeJoinOptions, TrieStrategy};
+use crate::prep::{bind_atom, record_var_types, BoundInput};
+use crate::trie::InputTrie;
+use fj_cache::{CacheStats, Fingerprinter, PlanCache, TrieCache, TrieKey};
+use fj_plan::{optimize, CatalogStats, OptimizerOptions, PipeInput};
+use fj_query::{Aggregate, Atom, ConjunctiveQuery, ExecStats, QueryOutput};
+use fj_storage::{Catalog, DataType, Predicate};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default trie-cache byte budget: enough for the working set of a serving
+/// workload without letting tries crowd out the base data (tune per
+/// deployment via [`EngineCaches::new`]).
+pub const DEFAULT_TRIE_BUDGET_BYTES: usize = 256 << 20;
+
+/// Default number of distinct prepared-query shapes kept in the plan cache.
+pub const DEFAULT_PLAN_CAPACITY: usize = 512;
+
+/// A cached plan bundle: the compiled pipelines together with the full
+/// canonical form they were compiled from. The plan cache is keyed by a
+/// 64-bit fingerprint of the canonical form; storing the form itself lets
+/// [`Session::prepare`] verify every hit, so a fingerprint collision can
+/// never silently execute another query's plan.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The canonical rendering of the (query, versions, options) this plan
+    /// was compiled for — the preimage of the fingerprint.
+    canonical: String,
+    /// The compiled pipelines.
+    compiled: CompiledQuery,
+}
+
+impl CachedPlan {
+    /// The compiled pipelines.
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+}
+
+/// The shared cache pair consulted by every [`Session`]. Create one per
+/// process (or per tenant) and hand `Arc` clones to sessions on any number
+/// of threads.
+#[derive(Debug)]
+pub struct EngineCaches {
+    tries: TrieCache<InputTrie>,
+    plans: PlanCache<CachedPlan>,
+}
+
+/// Snapshot of both caches' statistics, as returned by
+/// [`Session::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCacheStats {
+    /// Trie cache counters/gauges.
+    pub tries: CacheStats,
+    /// Plan cache counters/gauges (`resident_bytes` counts entries).
+    pub plans: CacheStats,
+}
+
+impl EngineCaches {
+    /// Caches with an explicit trie byte budget and plan capacity.
+    pub fn new(trie_budget_bytes: usize, plan_capacity: usize) -> Self {
+        EngineCaches {
+            tries: TrieCache::new(trie_budget_bytes),
+            plans: PlanCache::new(plan_capacity),
+        }
+    }
+
+    /// Caches with the default budget ([`DEFAULT_TRIE_BUDGET_BYTES`],
+    /// [`DEFAULT_PLAN_CAPACITY`]).
+    pub fn with_defaults() -> Self {
+        Self::new(DEFAULT_TRIE_BUDGET_BYTES, DEFAULT_PLAN_CAPACITY)
+    }
+
+    /// The shared trie cache.
+    pub fn tries(&self) -> &TrieCache<InputTrie> {
+        &self.tries
+    }
+
+    /// The shared plan cache.
+    pub fn plans(&self) -> &PlanCache<CachedPlan> {
+        &self.plans
+    }
+
+    /// Eagerly reclaim every cached trie of `relation` (all versions) and
+    /// all cached plans. Never needed for correctness — mutations already
+    /// make stale entries unreachable by key — but frees their budget
+    /// immediately after a bulk reload.
+    pub fn invalidate_relation(&self, relation: &str) -> u64 {
+        // Plans embed relation versions in their fingerprints, so stale
+        // plans are unreachable too; dropping them all keeps this simple and
+        // correct (they rebuild in one prepare each).
+        self.plans.clear();
+        self.tries.invalidate_relation(relation)
+    }
+
+    /// Statistics for both caches.
+    pub fn stats(&self) -> SessionCacheStats {
+        SessionCacheStats { tries: self.tries.stats(), plans: self.plans.stats() }
+    }
+}
+
+impl Default for EngineCaches {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+/// A serving session: engine + optimizer options bound to a shared
+/// [`EngineCaches`]. Sessions are cheap to create (two `Arc` clones) and
+/// `Send + Sync`; give each worker thread its own, all backed by one cache
+/// pair.
+#[derive(Debug, Clone)]
+pub struct Session {
+    options: FreeJoinOptions,
+    optimizer: OptimizerOptions,
+    caches: Arc<EngineCaches>,
+}
+
+impl Session {
+    /// A session with default engine and optimizer options.
+    pub fn new(caches: Arc<EngineCaches>) -> Self {
+        Session {
+            options: FreeJoinOptions::default(),
+            optimizer: OptimizerOptions::default(),
+            caches,
+        }
+    }
+
+    /// Replace the engine options (builder style).
+    pub fn with_options(mut self, options: FreeJoinOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replace the optimizer options (builder style).
+    pub fn with_optimizer(mut self, optimizer: OptimizerOptions) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// The session's engine options.
+    pub fn options(&self) -> &FreeJoinOptions {
+        &self.options
+    }
+
+    /// The shared caches this session consults.
+    pub fn caches(&self) -> &Arc<EngineCaches> {
+        &self.caches
+    }
+
+    /// Current statistics of the shared caches.
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        self.caches.stats()
+    }
+
+    /// Prepare a query: validate it, then fetch (or compute and cache) its
+    /// optimized, compiled plan bundle. The returned [`Prepared`] is
+    /// self-contained and `Send + Sync` — clone-free repeated execution from
+    /// any thread.
+    pub fn prepare(&self, catalog: &Catalog, query: &ConjunctiveQuery) -> EngineResult<Prepared> {
+        query.validate(catalog).map_err(EngineError::Query)?;
+        let canonical = canonical_query(catalog, query, &self.optimizer, &self.options);
+        let fingerprint = {
+            let mut fp = Fingerprinter::new();
+            fp.push_str(&canonical);
+            fp.finish()
+        };
+        let build = || -> EngineResult<CachedPlan> {
+            let stats = CatalogStats::collect(catalog);
+            let plan = optimize(query, &stats, self.optimizer);
+            if !plan.covers_query(query) {
+                return Err(EngineError::PlanDoesNotCoverQuery);
+            }
+            Ok(CachedPlan {
+                canonical: canonical.clone(),
+                compiled: compile_query(query, &plan, &self.options)?,
+            })
+        };
+        let mut plan = self.caches.plans.try_get_or_build(fingerprint, || build().map(Arc::new))?;
+        if plan.canonical != canonical {
+            // Fingerprint collision between two distinct canonical forms:
+            // compile this query uncached rather than run the wrong plan.
+            plan = Arc::new(build()?);
+        }
+        Ok(Prepared {
+            query: query.clone(),
+            plan,
+            fingerprint,
+            options: self.options,
+            caches: Arc::clone(&self.caches),
+        })
+    }
+
+    /// Prepare and execute in one call (the unbatched serving path).
+    pub fn execute(
+        &self,
+        catalog: &Catalog,
+        query: &ConjunctiveQuery,
+    ) -> EngineResult<(QueryOutput, ExecStats)> {
+        self.prepare(catalog, query)?.execute(catalog)
+    }
+}
+
+/// Runtime parameters for one execution of a [`Prepared`] query: per-atom
+/// selection overrides, addressed by atom alias. The cached plan is reused
+/// as-is (plan shape does not depend on filter constants); tries are keyed
+/// by the substituted filter's fingerprint, so each parameter value gets —
+/// and thereafter shares — its own cached trie.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    filters: Vec<(String, Predicate)>,
+}
+
+impl Params {
+    /// No overrides (equivalent to [`Prepared::execute`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the filter of the atom with the given alias (builder style).
+    pub fn with_filter(mut self, alias: impl Into<String>, filter: Predicate) -> Self {
+        self.filters.push((alias.into(), filter));
+        self
+    }
+
+    /// True when no overrides are set.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+}
+
+/// A prepared query: the compiled plan bundle plus everything needed to
+/// execute it repeatedly against current data through the shared caches.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    query: ConjunctiveQuery,
+    plan: Arc<CachedPlan>,
+    fingerprint: u64,
+    options: FreeJoinOptions,
+    caches: Arc<EngineCaches>,
+}
+
+/// Sessions and prepared queries cross worker threads in serving setups;
+/// keep that checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<Prepared>();
+};
+
+impl Prepared {
+    /// The fingerprint of the normalized query (the plan-cache key).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The prepared query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Number of pipelines in the compiled plan.
+    pub fn num_pipelines(&self) -> usize {
+        self.plan.compiled.pipelines.len()
+    }
+
+    /// Execute against the current catalog contents. Tries are fetched from
+    /// the shared cache keyed by each relation's *current* version, so a
+    /// catalog mutation after `prepare` transparently forces a rebuild —
+    /// results always reflect current data.
+    pub fn execute(&self, catalog: &Catalog) -> EngineResult<(QueryOutput, ExecStats)> {
+        self.execute_with(catalog, &Params::new())
+    }
+
+    /// Execute with per-atom filter overrides (see [`Params`]).
+    pub fn execute_with(
+        &self,
+        catalog: &Catalog,
+        params: &Params,
+    ) -> EngineResult<(QueryOutput, ExecStats)> {
+        let query = self.query_with(params)?;
+        let query = query.as_ref();
+        // Re-validate against the *current* catalog: relations may have been
+        // replaced (even with a different schema) since prepare, and the
+        // serving path must surface that as a typed error, never a panic.
+        query.validate(catalog).map_err(EngineError::Query)?;
+        let compiled = &self.plan.compiled;
+        let mut stats = ExecStats::default();
+        let var_types = var_types(catalog, &query.atoms)?;
+
+        let mut intermediates: Vec<Option<BoundInput>> = vec![None; compiled.pipelines.len()];
+        let mut output = None;
+        for (p, pipeline) in compiled.pipelines.iter().enumerate() {
+            let mut tries: Vec<Arc<InputTrie>> = Vec::with_capacity(pipeline.inputs.len());
+            // (maps_built, lazy_built) at acquisition: zero for tries this
+            // execution built, current counters for cache hits, so per-query
+            // trie stats only count work done *by this query*.
+            let mut baselines: Vec<(u64, u64)> = Vec::with_capacity(pipeline.inputs.len());
+            for (&input, schema) in pipeline.inputs.iter().zip(&pipeline.plan.schemas) {
+                match input {
+                    PipeInput::Atom(i) => {
+                        let (trie, built_here) =
+                            self.cached_trie(catalog, &query.atoms[i], schema, &mut stats)?;
+                        baselines.push(if built_here {
+                            (0, 0)
+                        } else {
+                            (trie.maps_built(), trie.lazy_built())
+                        });
+                        tries.push(trie);
+                    }
+                    PipeInput::Intermediate(j) => {
+                        let bound =
+                            intermediates[j].clone().expect("pipelines are dependency-ordered");
+                        let build_start = Instant::now();
+                        let trie =
+                            Arc::new(InputTrie::build(&bound, schema.clone(), self.options.trie));
+                        stats.build_time += build_start.elapsed();
+                        baselines.push((0, 0));
+                        tries.push(trie);
+                    }
+                }
+            }
+
+            let is_final = p == compiled.root_pipeline();
+            let result = join_pipeline(
+                &tries,
+                &pipeline.plan,
+                &self.options,
+                query,
+                is_final,
+                &var_types,
+                &mut stats,
+            )?;
+            for (idx, (trie, (maps0, lazy0))) in tries.iter().zip(&baselines).enumerate() {
+                // A cached trie can serve several inputs of one pipeline
+                // (self-joins); count each underlying trie once.
+                if tries[..idx].iter().any(|t| Arc::ptr_eq(t, trie)) {
+                    continue;
+                }
+                stats.tries_built += trie.maps_built().saturating_sub(*maps0);
+                stats.lazy_expansions += trie.lazy_built().saturating_sub(*lazy0);
+            }
+            match result {
+                PipelineResult::Output(out) => output = Some(out),
+                PipelineResult::Intermediate(bound) => {
+                    stats.intermediate_tuples += bound.num_rows() as u64;
+                    intermediates[p] = Some(bound);
+                }
+            }
+        }
+
+        let output = output.expect("the final pipeline produces the output");
+        stats.output_tuples = output.cardinality();
+        Ok((output, stats))
+    }
+
+    /// The query with parameter overrides applied (validated against the
+    /// prepared atoms). Borrows the prepared query untouched when there are
+    /// no overrides, so the no-params serving path clones nothing.
+    fn query_with(&self, params: &Params) -> EngineResult<Cow<'_, ConjunctiveQuery>> {
+        if params.is_empty() {
+            return Ok(Cow::Borrowed(&self.query));
+        }
+        let mut query = self.query.clone();
+        for (alias, filter) in &params.filters {
+            match query.atoms.iter_mut().find(|a| &a.alias == alias) {
+                Some(atom) => atom.filter = filter.clone(),
+                None => return Err(EngineError::UnknownAtomAlias(alias.clone())),
+            }
+        }
+        Ok(Cow::Owned(query))
+    }
+
+    /// Fetch (or build, single-flight) the shared trie for one atom input.
+    /// Returns the trie and whether this call built it. Selection and build
+    /// time are charged to `stats` only on builds — cache hits skip both
+    /// phases entirely, which is the point of the subsystem.
+    fn cached_trie(
+        &self,
+        catalog: &Catalog,
+        atom: &Atom,
+        schema: &[Vec<String>],
+        stats: &mut ExecStats,
+    ) -> EngineResult<(Arc<InputTrie>, bool)> {
+        let version = catalog.version_of(&atom.relation);
+        let key = trie_key(atom, version, self.options.trie, schema)?;
+        let mut built_here = false;
+        let mut selection_time = Duration::ZERO;
+        let mut build_time = Duration::ZERO;
+        let trie = self.caches.tries.try_get_or_build(&key, || -> EngineResult<_> {
+            built_here = true;
+            let selection_start = Instant::now();
+            let bound = bind_atom(catalog, atom)?;
+            selection_time = selection_start.elapsed();
+            let build_start = Instant::now();
+            let trie = Arc::new(InputTrie::build(&bound, schema.to_vec(), self.options.trie));
+            build_time = build_start.elapsed();
+            let bytes = trie.estimated_bytes();
+            Ok((trie, bytes))
+        })?;
+        stats.selection_time += selection_time;
+        stats.build_time += build_time;
+        Ok((trie, built_here))
+    }
+}
+
+/// The cache key of one atom's trie: current relation version, strategy
+/// name, the *column* order keyed at each trie level (variable names
+/// normalized away, so self-join sides and same-shape queries share), and
+/// the filter fingerprint.
+fn trie_key(
+    atom: &Atom,
+    version: u64,
+    strategy: TrieStrategy,
+    schema: &[Vec<String>],
+) -> EngineResult<TrieKey> {
+    let mut key_order = Vec::with_capacity(schema.len());
+    for level in schema {
+        let mut cols = Vec::with_capacity(level.len());
+        for var in level {
+            let col = atom
+                .var_position(var)
+                .ok_or_else(|| EngineError::UnboundVariable(var.clone()))?;
+            cols.push(col as u32);
+        }
+        key_order.push(cols);
+    }
+    // The exact canonical rendering, not a hash: two distinct predicates can
+    // never alias one trie (cf. the plan cache's canonical-form re-check).
+    let filter = if atom.has_filter() { format!("{:?}", atom.filter) } else { String::new() };
+    Ok(TrieKey {
+        relation: atom.relation.clone(),
+        version,
+        strategy: strategy.name(),
+        key_order,
+        filter,
+    })
+}
+
+/// Data types of every query variable, derived from the (unfiltered) base
+/// relation schemas — filtering never changes a schema, so this avoids the
+/// selection work `prepare_inputs` would do.
+fn var_types(catalog: &Catalog, atoms: &[Atom]) -> EngineResult<HashMap<String, DataType>> {
+    let mut out = HashMap::new();
+    for atom in atoms {
+        let relation = catalog.get(&atom.relation).map_err(EngineError::Storage)?;
+        record_var_types(&atom.vars, relation.schema(), &mut out);
+    }
+    Ok(out)
+}
+
+/// The canonical rendering of a query for plan caching: atom structure with
+/// relation names, **versions**, variable names and filters, the
+/// head/aggregate shape, and every option that influences planning. Query
+/// names and atom aliases are normalized away (they never affect the plan);
+/// variable names are kept **verbatim**, because the compiled artifact
+/// addresses trie levels and output slots through them — two queries that
+/// differ only by variable renaming compile separate (identical-shaped)
+/// plans rather than sharing one unsoundly. Versions are included because
+/// the optimizer's choice depends on the data distribution — mutated data
+/// gets a fresh plan on next prepare.
+fn canonical_query(
+    catalog: &Catalog,
+    query: &ConjunctiveQuery,
+    optimizer: &OptimizerOptions,
+    options: &FreeJoinOptions,
+) -> String {
+    let mut out = String::new();
+    for atom in &query.atoms {
+        let _ = write!(
+            out,
+            "{}@{}({});[{:?}];",
+            atom.relation,
+            catalog.version_of(&atom.relation),
+            atom.vars.join(","),
+            atom.filter
+        );
+    }
+    let _ = write!(out, "head:{};", query.head.join(","));
+    match &query.aggregate {
+        Aggregate::Materialize => out.push_str("agg:materialize;"),
+        Aggregate::Count => out.push_str("agg:count;"),
+        Aggregate::GroupCount(vars) => {
+            let _ = write!(out, "agg:group_count:{};", vars.join(","));
+        }
+    }
+    let _ = write!(
+        out,
+        "opt:{:?};plan:{},{}",
+        optimizer, options.optimize_plan, options.factor_to_fixpoint
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_query::QueryBuilder;
+    use fj_storage::{CmpOp, RelationBuilder, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut edge = RelationBuilder::new("edge", Schema::all_int(&["src", "dst"]));
+        for i in 0..60i64 {
+            edge.push_ints(&[i % 12, (i + 1) % 12]).unwrap();
+            edge.push_ints(&[i % 12, (i + 5) % 12]).unwrap();
+        }
+        cat.add(edge.finish()).unwrap();
+        let mut person = RelationBuilder::new("person", Schema::all_int(&["id", "city"]));
+        for i in 0..12i64 {
+            person.push_ints(&[i, i % 3]).unwrap();
+        }
+        cat.add(person.finish()).unwrap();
+        cat
+    }
+
+    fn two_hop() -> ConjunctiveQuery {
+        QueryBuilder::new("two_hop")
+            .atom_as("edge", "e1", &["a", "b"])
+            .atom_as("edge", "e2", &["b", "c"])
+            .atom("person", &["c", "city"])
+            .count()
+            .build()
+    }
+
+    fn session() -> Session {
+        Session::new(Arc::new(EngineCaches::with_defaults()))
+    }
+
+    #[test]
+    fn warm_execution_matches_cold_and_hits_the_caches() {
+        let cat = catalog();
+        let s = session();
+        let prepared = s.prepare(&cat, &two_hop()).unwrap();
+        let (cold, cold_stats) = prepared.execute(&cat).unwrap();
+        let after_cold = s.cache_stats();
+        // Three atom inputs; the two self-join sides may share one trie key.
+        assert!(after_cold.tries.misses <= 3);
+        assert_eq!(after_cold.tries.lookups(), 3);
+        let (warm, warm_stats) = prepared.execute(&cat).unwrap();
+        let after_warm = s.cache_stats();
+        assert!(cold.result_eq(&warm));
+        assert_eq!(after_warm.tries.misses, after_cold.tries.misses, "warm run misses nothing");
+        assert_eq!(after_warm.tries.hits, after_cold.tries.hits + 3, "warm run is all hits");
+        assert_eq!(warm_stats.build_time, Duration::ZERO, "warm runs build nothing");
+        assert_eq!(warm_stats.tries_built, 0);
+        assert!(cold_stats.tries_built > 0 || cold_stats.lazy_expansions > 0);
+    }
+
+    #[test]
+    fn self_join_sides_share_one_cached_trie() {
+        let cat = catalog();
+        let s = session();
+        let q = QueryBuilder::new("mutual")
+            .atom_as("edge", "e1", &["a", "b"])
+            .atom_as("edge", "e2", &["b", "a"])
+            .count()
+            .build();
+        let (_, _) = s.execute(&cat, &q).unwrap();
+        let stats = s.cache_stats();
+        // Keys use column positions, not variable names, so the two sides of
+        // the self-join can share a trie when the plan keys them in the same
+        // column order; the cache never stores more than the distinct orders.
+        assert!(stats.tries.entries <= 2);
+        assert_eq!(stats.tries.misses, stats.tries.entries + stats.tries.uncacheable);
+    }
+
+    #[test]
+    fn prepare_caches_plans_by_normalized_shape() {
+        let cat = catalog();
+        let s = session();
+        let a = s.prepare(&cat, &two_hop()).unwrap();
+        // Query names and atom aliases are cosmetic: same fingerprint, hit.
+        let realiased = QueryBuilder::new("other_name")
+            .atom_as("edge", "x1", &["a", "b"])
+            .atom_as("edge", "x2", &["b", "c"])
+            .atom("person", &["c", "city"])
+            .count()
+            .build();
+        let b = s.prepare(&cat, &realiased).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let stats = s.cache_stats();
+        assert_eq!(stats.plans.misses, 1);
+        assert_eq!(stats.plans.hits, 1);
+        // Different aggregate → different shape.
+        let grouped = QueryBuilder::new("grouped")
+            .atom_as("edge", "e1", &["a", "b"])
+            .atom_as("edge", "e2", &["b", "c"])
+            .atom("person", &["c", "city"])
+            .group_count(&["city"])
+            .build();
+        let c = s.prepare(&cat, &grouped).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    /// Regression: a query that differs from a cached one only by variable
+    /// renaming must prepare its *own* plan — the compiled artifact
+    /// addresses tries and output slots through variable names, so sharing
+    /// across renames executed the wrong plan (UnboundVariable at best,
+    /// silently wrong columns at worst).
+    #[test]
+    fn variable_renamed_query_executes_correctly_after_cache_hit_shape() {
+        let cat = catalog();
+        let s = session();
+        let original = s.prepare(&cat, &two_hop()).unwrap();
+        let (expected, _) = original.execute(&cat).unwrap();
+        let misses_after_original = s.cache_stats().tries.misses;
+        let renamed = QueryBuilder::new("renamed")
+            .atom_as("edge", "x1", &["u", "v"])
+            .atom_as("edge", "x2", &["v", "w"])
+            .atom("person", &["w", "k"])
+            .count()
+            .build();
+        let prepared = s.prepare(&cat, &renamed).unwrap();
+        assert_ne!(original.fingerprint(), prepared.fingerprint());
+        let (out, _) = prepared.execute(&cat).unwrap();
+        assert!(out.result_eq(&expected), "renamed query must produce the same result");
+        // The tries, keyed by column positions, ARE shared across renames:
+        // the renamed query builds nothing new.
+        assert_eq!(
+            s.cache_stats().tries.misses,
+            misses_after_original,
+            "renamed query reused every cached trie"
+        );
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates_by_version() {
+        let mut cat = catalog();
+        let s = session();
+        let prepared = s.prepare(&cat, &two_hop()).unwrap();
+        let (before, _) = prepared.execute(&cat).unwrap();
+        let misses_before = s.cache_stats().tries.misses;
+
+        // Double every edge: the same Prepared must see the new data.
+        let mut edge = RelationBuilder::new("edge", Schema::all_int(&["src", "dst"]));
+        for i in 0..60i64 {
+            for _ in 0..2 {
+                edge.push_ints(&[i % 12, (i + 1) % 12]).unwrap();
+                edge.push_ints(&[i % 12, (i + 5) % 12]).unwrap();
+            }
+        }
+        cat.add_or_replace(edge.finish());
+
+        let (after, stats) = prepared.execute(&cat).unwrap();
+        assert!(after.cardinality() > before.cardinality(), "new data is visible");
+        assert!(s.cache_stats().tries.misses > misses_before, "version bump forces a trie rebuild");
+        assert!(stats.build_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn params_override_filters_and_cache_separately() {
+        let cat = catalog();
+        let s = session();
+        let q = QueryBuilder::new("filtered")
+            .atom_as("edge", "e", &["a", "b"])
+            .atom("person", &["b", "city"])
+            .count()
+            .build();
+        let prepared = s.prepare(&cat, &q).unwrap();
+        let (all, _) = prepared.execute(&cat).unwrap();
+        let params = Params::new().with_filter("e", Predicate::cmp_const("src", CmpOp::Lt, 3i64));
+        let (some, _) = prepared.execute_with(&cat, &params).unwrap();
+        assert!(some.cardinality() < all.cardinality());
+        assert!(some.cardinality() > 0);
+        // Same params again: served from cache.
+        let misses = s.cache_stats().tries.misses;
+        let (again, _) = prepared.execute_with(&cat, &params).unwrap();
+        assert_eq!(again.cardinality(), some.cardinality());
+        assert_eq!(s.cache_stats().tries.misses, misses);
+        // Unknown alias is a typed error.
+        let bad = Params::new().with_filter("zz", Predicate::True);
+        assert!(matches!(
+            prepared.execute_with(&cat, &bad),
+            Err(EngineError::UnknownAtomAlias(a)) if a == "zz"
+        ));
+    }
+
+    #[test]
+    fn session_matches_uncached_engine_across_strategies_and_threads() {
+        let cat = catalog();
+        let q = two_hop();
+        let engine = crate::engine::FreeJoinEngine::new(FreeJoinOptions::default());
+        let (reference, _) =
+            engine.plan_and_execute(&cat, &q, OptimizerOptions::default()).unwrap();
+        for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+            for threads in [1usize, 4] {
+                let opts = FreeJoinOptions { trie, ..FreeJoinOptions::default() }
+                    .with_num_threads(threads);
+                let s = session().with_options(opts);
+                let prepared = s.prepare(&cat, &q).unwrap();
+                for _ in 0..2 {
+                    let (out, _) = prepared.execute(&cat).unwrap();
+                    assert!(
+                        out.result_eq(&reference),
+                        "session diverged for {trie:?} × {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Regression: replacing a relation with a different-schema one between
+    /// prepare and execute must yield a typed error, not an out-of-bounds
+    /// panic in var-type derivation.
+    #[test]
+    fn schema_change_after_prepare_is_a_typed_error() {
+        let mut cat = catalog();
+        let s = session();
+        let prepared = s.prepare(&cat, &two_hop()).unwrap();
+        prepared.execute(&cat).unwrap();
+        // 'edge' shrinks from two columns to one.
+        cat.add_or_replace(RelationBuilder::new("edge", Schema::all_int(&["src"])).finish());
+        match prepared.execute(&cat) {
+            Err(EngineError::Query(e)) => {
+                assert!(e.to_string().contains("columns"), "unexpected error: {e}")
+            }
+            other => panic!("expected a typed arity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_invalid_queries() {
+        let cat = catalog();
+        let s = session();
+        let q = QueryBuilder::new("bad").atom("nope", &["x"]).build();
+        assert!(matches!(s.prepare(&cat, &q), Err(EngineError::Query(_))));
+        assert_eq!(s.cache_stats().plans.lookups(), 0, "invalid queries never reach the cache");
+    }
+}

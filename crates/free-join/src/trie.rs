@@ -213,6 +213,21 @@ impl InputTrie {
         self.lazy_built.load(Ordering::Relaxed)
     }
 
+    /// A pessimistic estimate of the trie's eventual heap footprint in
+    /// bytes, for cache budget accounting: the bound relation's columns plus
+    /// an allowance per row and level for the hash-map nodes lazy forcing
+    /// may eventually build (offset vectors, key tuples, table overhead).
+    /// Charged once at cache-insert time, so it deliberately bounds the
+    /// *fully forced* trie rather than tracking lazy growth.
+    pub fn estimated_bytes(&self) -> usize {
+        /// Rough per-(row, level) cost of a forced level: a copied `u32`
+        /// offset, a share of the key `Vec<Value>` (16-byte values plus Vec
+        /// header), and `HashMap` bucket overhead.
+        const ROW_LEVEL_BYTES: usize = 48;
+        self.relation.approx_bytes()
+            + self.relation.num_rows() * self.schema.len().max(1) * ROW_LEVEL_BYTES
+    }
+
     /// An estimate of the number of keys at a node, used for dynamic cover
     /// selection: exact for forced nodes, the tuple count otherwise (the
     /// paper: "we use the length of the vector as an estimate").
@@ -566,6 +581,15 @@ mod tests {
         assert_eq!(trie.level_vars(1), &["b".to_string()]);
         assert!(!trie.is_last_level(0));
         assert!(trie.is_last_level(1));
+    }
+
+    #[test]
+    fn estimated_bytes_scales_with_rows_and_levels() {
+        let input = clover_s_input();
+        let one = InputTrie::build(&input, schema(&[&["x", "b"]]), TrieStrategy::Colt);
+        let two = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Colt);
+        assert!(one.estimated_bytes() >= input.relation.approx_bytes());
+        assert!(two.estimated_bytes() > one.estimated_bytes(), "more levels cost more");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Repeated-query serving through the `fj-cache` subsystem: a pool of
+//! worker threads hammers a small set of prepared queries against one
+//! shared cache pair, the way a serving deployment would.
+//!
+//! ```text
+//! cargo run --release --example serve_repeated
+//! ```
+//!
+//! The example runs a **cold pass** (every worker's first execution pays for
+//! planning, selection and trie building at most once per distinct cache
+//! key — racing workers coalesce onto single builds) and then a **warm
+//! pass**, and exits nonzero unless the warm pass ran entirely out of the
+//! caches (nonzero hit rate, zero trie builds) with results identical to
+//! the cold pass. CI runs it and asserts on the exit status.
+
+use freejoin::prelude::*;
+use freejoin::workloads::job::{self, JobConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker threads sharing the caches.
+const WORKERS: usize = 4;
+/// Executions per worker per pass.
+const ITERATIONS: usize = 25;
+
+/// Run one pass: every worker prepares the query set and executes it
+/// `ITERATIONS` times. Returns per-query result cardinalities (which must be
+/// identical across workers) and the pass's wall time.
+fn run_pass(
+    catalog: &Arc<Catalog>,
+    queries: &[ConjunctiveQuery],
+    caches: &Arc<EngineCaches>,
+) -> (Vec<u64>, f64) {
+    let start = Instant::now();
+    let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let catalog = Arc::clone(catalog);
+                let caches = Arc::clone(caches);
+                scope.spawn(move || {
+                    let session = Session::new(caches);
+                    let prepared: Vec<Prepared> = queries
+                        .iter()
+                        .map(|q| session.prepare(&catalog, q).expect("query prepares"))
+                        .collect();
+                    let mut counts = vec![0u64; prepared.len()];
+                    for _ in 0..ITERATIONS {
+                        for (i, p) in prepared.iter().enumerate() {
+                            let (out, _) = p.execute(&catalog).expect("execution succeeds");
+                            counts[i] = out.cardinality();
+                        }
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
+    });
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    for w in &results[1..] {
+        assert_eq!(w, &results[0], "workers disagree on query results");
+    }
+    (results[0].clone(), wall)
+}
+
+fn main() {
+    // A JOB-like workload: filtered scans over a shared catalog, the shape
+    // cross-query trie reuse pays off on.
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let queries: Vec<ConjunctiveQuery> =
+        workload.queries.iter().take(4).map(|n| n.query.clone()).collect();
+    println!(
+        "serving {} queries x {WORKERS} workers x {ITERATIONS} iterations over {} rows",
+        queries.len(),
+        catalog.total_rows(),
+    );
+
+    let caches = Arc::new(EngineCaches::with_defaults());
+
+    let (cold_counts, cold_ms) = run_pass(&catalog, &queries, &caches);
+    let after_cold = caches.stats();
+    println!(
+        "cold pass: {cold_ms:.1} ms | trie cache: {} builds, {} hits, {} coalesced, {} bytes resident",
+        after_cold.tries.misses,
+        after_cold.tries.hits,
+        after_cold.tries.coalesced,
+        after_cold.tries.resident_bytes,
+    );
+
+    let (warm_counts, warm_ms) = run_pass(&catalog, &queries, &caches);
+    let after_warm = caches.stats();
+    let warm_delta = after_warm.tries.delta(&after_cold.tries);
+    let warm_plan_delta = after_warm.plans.delta(&after_cold.plans);
+    println!(
+        "warm pass: {warm_ms:.1} ms | trie cache: {} builds, {} hits (hit rate {:.3}), plans: {} builds",
+        warm_delta.misses,
+        warm_delta.hits,
+        warm_delta.hit_rate(),
+        warm_plan_delta.misses,
+    );
+
+    // The assertions the CI exit status stands for.
+    let mut failures = Vec::new();
+    if warm_counts != cold_counts {
+        failures.push(format!("warm results diverged: {warm_counts:?} vs {cold_counts:?}"));
+    }
+    if warm_delta.hit_rate() <= 0.0 {
+        failures.push("warm pass reported a zero cache hit rate".to_string());
+    }
+    if warm_delta.misses != 0 {
+        failures.push(format!("warm pass rebuilt {} tries", warm_delta.misses));
+    }
+    if warm_plan_delta.misses != 0 {
+        failures.push(format!("warm pass recompiled {} plans", warm_plan_delta.misses));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "ok: warm pass served {} executions entirely from cache ({:.2}x cold wall time)",
+        WORKERS * ITERATIONS * queries.len(),
+        warm_ms / cold_ms,
+    );
+}

@@ -7,10 +7,13 @@
 //! crate:
 //!
 //! * [`storage`] — column-oriented in-memory relations and catalogs.
+//! * [`cache`] — the shared trie & plan cache subsystem for repeated-query
+//!   serving (sharded memory-budgeted LRU, single-flight builds).
 //! * [`query`] — conjunctive queries, hypergraphs, the datalog-style parser.
 //! * [`plan`] — binary plans, Generic Join plans, Free Join plans, the
 //!   plan converter/factorizer and the cost-based optimizer.
-//! * [`engine`] — the Free Join engine (COLT + vectorized execution).
+//! * [`engine`] — the Free Join engine (COLT + vectorized execution), plus
+//!   the `Session`/`Prepared` serving API over the caches.
 //! * [`baselines`] — the binary hash join and Generic Join baselines.
 //! * [`workloads`] — synthetic JOB-like, LSQB-like and micro workloads.
 //!
@@ -27,6 +30,7 @@
 //! ```
 
 pub use fj_baselines as baselines;
+pub use fj_cache as cache;
 pub use fj_plan as plan;
 pub use fj_query as query;
 pub use fj_storage as storage;
@@ -36,13 +40,17 @@ pub use free_join as engine;
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use fj_baselines::{BinaryJoinEngine, GenericJoinEngine};
+    pub use fj_cache::CacheStats;
     pub use fj_plan::{
         binary2fj, factor, optimize, BinaryPlan, CatalogStats, EstimatorMode, FreeJoinPlan,
         OptimizerOptions,
     };
     pub use fj_query::{parse_query, Aggregate, ConjunctiveQuery, QueryBuilder, QueryOutput};
     pub use fj_storage::{Catalog, Predicate, Relation, RelationBuilder, Schema, Value};
-    pub use free_join::{FreeJoinEngine, FreeJoinOptions, TrieStrategy};
+    pub use free_join::{
+        EngineCaches, FreeJoinEngine, FreeJoinOptions, Params, Prepared, Session,
+        SessionCacheStats, TrieStrategy,
+    };
 }
 
 #[cfg(test)]

@@ -28,11 +28,13 @@ fn run_fj_plan(
     let prepared = prepare_inputs(catalog, query).unwrap();
     let input_vars: Vec<Vec<String>> = prepared.atoms.iter().map(|a| a.vars.clone()).collect();
     let compiled = compile(plan, &input_vars).unwrap();
-    let tries: Vec<InputTrie> = prepared
+    let tries: Vec<std::sync::Arc<InputTrie>> = prepared
         .atoms
         .iter()
         .zip(&compiled.schemas)
-        .map(|(input, schema)| InputTrie::build(input, schema.clone(), options.trie))
+        .map(|(input, schema)| {
+            std::sync::Arc::new(InputTrie::build(input, schema.clone(), options.trie))
+        })
         .collect();
     let builder = OutputBuilder::new(&query.head, Aggregate::Count, &compiled.binding_order);
     let mut sink = OutputSink::new(builder);
