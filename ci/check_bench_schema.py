@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Gate benchmark-schema drift in CI.
+
+Compares a freshly generated BENCH_micro.json against the committed one and
+fails when the *shape* diverges: schema_version, result row count, the
+per-row field set, or the (query, strategy, threads, cache) grid itself.
+Timings are expected to differ run to run and are deliberately not compared.
+
+Usage: check_bench_schema.py COMMITTED_JSON FRESH_JSON
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    assert isinstance(doc.get("results"), list) and doc["results"], f"{path}: no results"
+    return doc
+
+
+def grid(doc):
+    return [(r["query"], r["strategy"], r["threads"], r["cache"]) for r in doc["results"]]
+
+
+def main():
+    committed, fresh = sys.argv[1], sys.argv[2]
+    a, b = load(committed), load(fresh)
+    errors = []
+    if a["schema_version"] != b["schema_version"]:
+        errors.append(
+            f"schema_version drifted: committed {a['schema_version']} vs fresh "
+            f"{b['schema_version']} — regenerate the committed BENCH_micro.json"
+        )
+    if len(a["results"]) != len(b["results"]):
+        errors.append(
+            f"result row count drifted: committed {len(a['results'])} vs fresh "
+            f"{len(b['results'])}"
+        )
+    fields_a = {frozenset(r) for r in a["results"]}
+    fields_b = {frozenset(r) for r in b["results"]}
+    if fields_a != fields_b or len(fields_b) != 1:
+        errors.append(f"per-row field sets drifted: committed {fields_a} vs fresh {fields_b}")
+    if grid(a) != grid(b):
+        drift = [(x, y) for x, y in zip(grid(a), grid(b)) if x != y]
+        errors.append(f"measurement grid drifted (first diffs): {drift[:5]}")
+    if errors:
+        for e in errors:
+            print(f"BENCH SCHEMA DRIFT: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"bench schema OK: version {a['schema_version']}, {len(a['results'])} rows, "
+        f"fields {sorted(next(iter(fields_a)))}"
+    )
+
+
+if __name__ == "__main__":
+    main()

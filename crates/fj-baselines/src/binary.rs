@@ -146,7 +146,9 @@ impl BinaryJoinEngine {
             let left_slots: Vec<usize> = left.vars.iter().map(slot_of).collect();
             let mut tuple = vec![Value::Null; binding_order.len()];
 
-            // Recursive pipelined probing.
+            // Recursive pipelined probing. Probe keys of arity ≤ 2 — the
+            // common case — live in stack arrays (no allocation, mirroring
+            // the Free Join executor); only wider keys collect a buffer.
             fn probe_level(
                 levels: &[ProbeLevel],
                 depth: usize,
@@ -160,9 +162,17 @@ impl BinaryJoinEngine {
                     return;
                 }
                 let level = &levels[depth];
-                let key: Vec<Value> = level.key_slots.iter().map(|&s| tuple[s]).collect();
                 stats.probes += 1;
-                let Some(matches) = level.table.probe(&key) else {
+                let matches = match *level.key_slots.as_slice() {
+                    [] => level.table.probe(&[]),
+                    [a] => level.table.probe(&[tuple[a]]),
+                    [a, b] => level.table.probe(&[tuple[a], tuple[b]]),
+                    ref slots => {
+                        let key: Vec<Value> = slots.iter().map(|&s| tuple[s]).collect();
+                        level.table.probe(&key)
+                    }
+                };
+                let Some(matches) = matches else {
                     return;
                 };
                 stats.probe_hits += 1;

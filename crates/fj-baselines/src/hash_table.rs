@@ -1,6 +1,6 @@
 //! Join hash tables for the binary hash join baseline.
 
-use fj_storage::Value;
+use fj_storage::{FastBuildHasher, LevelKey, Value};
 use free_join::BoundInput;
 use std::collections::HashMap;
 
@@ -10,19 +10,25 @@ use std::collections::HashMap;
 /// This is the classic build-side structure of a hash join: "build a hash
 /// table for S keyed on y, where each y maps to a vector of (y, z) tuples"
 /// (Example 2.2) — except that, like the rest of this workspace, it stores
-/// row offsets into the columnar relation instead of tuple copies.
+/// row offsets into the columnar relation instead of tuple copies. Keys are
+/// inline-packed [`LevelKey`]s under the same [`FastBuildHasher`] the Free
+/// Join tries use, so engine comparisons measure join algorithms rather
+/// than hash functions or allocator behaviour.
 #[derive(Debug)]
 pub struct JoinHashTable {
     /// The key variables, in the order key tuples are laid out.
     key_vars: Vec<String>,
-    /// Key tuple → offsets of matching rows.
-    buckets: HashMap<Vec<Value>, Vec<u32>>,
+    /// Packed key → offsets of matching rows.
+    buckets: HashMap<LevelKey, Vec<u32>, FastBuildHasher>,
     /// Total number of rows indexed.
     rows: usize,
 }
 
 impl JoinHashTable {
-    /// Build a hash table over `input`, keyed on `key_vars`.
+    /// Build a hash table over `input`, keyed on `key_vars`. Arity ≤ 2 keys
+    /// (the common case) are read straight off the column vectors into
+    /// inline keys — no per-row allocation; wider keys allocate once per
+    /// distinct key.
     ///
     /// # Panics
     /// Panics if a key variable is not bound by the input.
@@ -35,13 +41,44 @@ impl JoinHashTable {
                     .unwrap_or_else(|| panic!("key variable {v} not bound by {}", input.name))
             })
             .collect();
-        let mut buckets: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        let mut buckets: HashMap<LevelKey, Vec<u32>, FastBuildHasher> = HashMap::default();
         let relation = &input.relation;
-        for row in 0..relation.num_rows() {
-            let key: Vec<Value> = cols.iter().map(|&c| relation.column(c).get(row)).collect();
-            buckets.entry(key).or_default().push(row as u32);
+        let num_rows = relation.num_rows();
+        match *cols.as_slice() {
+            [] => {
+                if num_rows > 0 {
+                    buckets.insert(LevelKey::empty(), (0..num_rows as u32).collect());
+                }
+            }
+            [c] => {
+                let col = relation.column(c);
+                for row in 0..num_rows {
+                    let key = LevelKey::single(col.get(row));
+                    buckets.entry(key).or_default().push(row as u32);
+                }
+            }
+            [c0, c1] => {
+                let (a, b) = (relation.column(c0), relation.column(c1));
+                for row in 0..num_rows {
+                    let key = LevelKey::pair(a.get(row), b.get(row));
+                    buckets.entry(key).or_default().push(row as u32);
+                }
+            }
+            ref wide => {
+                let mut buf: Vec<Value> = Vec::with_capacity(wide.len());
+                for row in 0..num_rows {
+                    buf.clear();
+                    buf.extend(wide.iter().map(|&c| relation.column(c).get(row)));
+                    match buckets.get_mut(buf.as_slice()) {
+                        Some(bucket) => bucket.push(row as u32),
+                        None => {
+                            buckets.insert(LevelKey::from_values(&buf), vec![row as u32]);
+                        }
+                    }
+                }
+            }
         }
-        JoinHashTable { key_vars: key_vars.to_vec(), buckets, rows: relation.num_rows() }
+        JoinHashTable { key_vars: key_vars.to_vec(), buckets, rows: num_rows }
     }
 
     /// The key variables.
@@ -49,7 +86,9 @@ impl JoinHashTable {
         &self.key_vars
     }
 
-    /// Probe with a key, returning the matching row offsets.
+    /// Probe with a borrowed key slice (a stack array or reused buffer),
+    /// returning the matching row offsets. Allocation-free at any arity via
+    /// `LevelKey: Borrow<[Value]>`.
     pub fn probe(&self, key: &[Value]) -> Option<&[u32]> {
         self.buckets.get(key).map(Vec::as_slice)
     }

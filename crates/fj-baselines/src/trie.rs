@@ -7,17 +7,19 @@
 //! the build phase — which is precisely the cost the paper identifies as
 //! Generic Join's main source of inefficiency.
 
-use fj_storage::Value;
+use fj_storage::{FastBuildHasher, Value};
 use free_join::BoundInput;
 use std::collections::HashMap;
 
 /// One level of a hash trie: either a map keyed on a single variable's
 /// values, or a leaf holding the multiplicity of the tuple spelled out by the
-/// path from the root.
+/// path from the root. Levels hash with the workspace's [`FastBuildHasher`],
+/// the same hasher the Free Join GHT uses, so the baseline comparison
+/// isolates the trie *building strategy* rather than the hash function.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrieLevel {
     /// An internal level.
-    Map(HashMap<Value, TrieLevel>),
+    Map(HashMap<Value, TrieLevel, FastBuildHasher>),
     /// A leaf: the number of base tuples matching the root-to-leaf path.
     Leaf(u64),
 }
@@ -75,7 +77,7 @@ impl HashTrie {
         let cols: Vec<usize> =
             vars.iter().map(|v| input.col_of(v).expect("filtered above")).collect();
         let mut root =
-            if cols.is_empty() { TrieLevel::Leaf(0) } else { TrieLevel::Map(HashMap::new()) };
+            if cols.is_empty() { TrieLevel::Leaf(0) } else { TrieLevel::Map(HashMap::default()) };
         for row in 0..input.relation.num_rows() {
             let mut node = &mut root;
             for (i, &col) in cols.iter().enumerate() {
@@ -87,7 +89,7 @@ impl HashTrie {
                             if last {
                                 TrieLevel::Leaf(0)
                             } else {
-                                TrieLevel::Map(HashMap::new())
+                                TrieLevel::Map(HashMap::default())
                             }
                         });
                     }

@@ -8,8 +8,13 @@
 //! ```
 //!
 //! Each record carries the query name, trie strategy, worker thread count
-//! and best-of-N wall milliseconds for the full plan-and-execute path
-//! (`threads = 1` is the exact legacy serial engine). Serving records add a
+//! and best-of-N wall milliseconds for engine execution over a
+//! pre-optimized plan (planning sits outside the timed loop for grid rows;
+//! only the serving `cold` row times it; `threads = 1` is the exact legacy
+//! serial engine), plus — since
+//! schema_version 3 — the `build_ms` / `probe_ms` split of that run's trie
+//! build and join (probe) phases, so trie-representation wins are visible
+//! separately from planning and aggregation overhead. Serving records add a
 //! `cache` column: `"cold"` is the first execution through a fresh
 //! `Session` (planning + selection + trie build + join), `"warm"` is the
 //! best repeat over the now-populated caches, and `trie_hits`/`trie_misses`
@@ -19,14 +24,16 @@
 //! does not serialize — and the schema is deliberately flat:
 //!
 //! ```json
-//! {"schema_version":2,"cores":8,"note":"...","results":[
+//! {"schema_version":3,"cores":8,"note":"...","results":[
 //!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
-//!    "trie_hits":0,"trie_misses":0,"wall_ms":12.34,"output_tuples":1}
+//!    "trie_hits":0,"trie_misses":0,"wall_ms":12.34,"build_ms":1.20,
+//!    "probe_ms":10.80,"output_tuples":1}
 //! ]}
 //! ```
 
 use fj_bench::{execute, plan_query, Engine};
 use fj_plan::EstimatorMode;
+use fj_query::ExecStats;
 use fj_workloads::job::{self, JobConfig};
 use fj_workloads::{micro, Workload};
 use free_join::{EngineCaches, FreeJoinOptions, Session, TrieStrategy};
@@ -48,7 +55,16 @@ struct Record {
     /// Trie-cache misses (builds) attributed to this measurement.
     trie_misses: u64,
     wall_ms: f64,
+    /// Trie build phase of the best run (the engine's `build_time`).
+    build_ms: f64,
+    /// Join/probe phase of the best run (the engine's `join_time`).
+    probe_ms: f64,
     output_tuples: u64,
+}
+
+/// Milliseconds of a `Duration`.
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
@@ -56,12 +72,16 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
     let (plan, _) = plan_query(&workload.catalog, &named.query, EstimatorMode::Accurate);
     let engine = Engine::FreeJoin(options);
     let mut best_ms = f64::INFINITY;
+    let mut best_stats = ExecStats::default();
     let mut output_tuples = 0;
     for _ in 0..REPS {
         let start = Instant::now();
-        let (output, _) = execute(&workload.catalog, &named.query, &plan, &engine);
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        best_ms = best_ms.min(ms);
+        let (output, stats) = execute(&workload.catalog, &named.query, &plan, &engine);
+        let elapsed = ms(start.elapsed());
+        if elapsed < best_ms {
+            best_ms = elapsed;
+            best_stats = stats;
+        }
         output_tuples = output.cardinality();
     }
     Record {
@@ -72,6 +92,8 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
         trie_hits: 0,
         trie_misses: 0,
         wall_ms: best_ms,
+        build_ms: ms(best_stats.build_time),
+        probe_ms: ms(best_stats.join_time),
         output_tuples,
     }
 }
@@ -92,35 +114,50 @@ fn measure_serving(
     let before_cold = session.cache_stats().tries;
     let cold_start = Instant::now();
     let prepared = session.prepare(&workload.catalog, &named.query).expect("query prepares");
-    let (cold_out, _) = prepared.execute(&workload.catalog).expect("cold execution succeeds");
-    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let (cold_out, cold_stats) =
+        prepared.execute(&workload.catalog).expect("cold execution succeeds");
+    let cold_ms = ms(cold_start.elapsed());
     let after_cold = session.cache_stats().tries;
     let cold_delta = after_cold.delta(&before_cold);
 
     let mut warm_ms = f64::INFINITY;
+    let mut warm_stats = ExecStats::default();
     let mut warm_out = cold_out.cardinality();
     for _ in 0..REPS.max(3) {
         let start = Instant::now();
-        let (output, _) = prepared.execute(&workload.catalog).expect("warm execution succeeds");
-        warm_ms = warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let (output, stats) = prepared.execute(&workload.catalog).expect("warm execution succeeds");
+        let elapsed = ms(start.elapsed());
+        if elapsed < warm_ms {
+            warm_ms = elapsed;
+            warm_stats = stats;
+        }
         warm_out = output.cardinality();
     }
     let warm_delta = session.cache_stats().tries.delta(&after_cold);
     assert_eq!(cold_out.cardinality(), warm_out, "warm must equal cold for {label}");
 
-    let make = |cache, ms, hits, misses, tuples| Record {
+    let make = |cache, wall_ms, stats: &ExecStats, hits, misses, tuples| Record {
         query: label.to_string(),
         strategy: options.trie.name(),
         threads: options.effective_threads(),
         cache,
         trie_hits: hits,
         trie_misses: misses,
-        wall_ms: ms,
+        wall_ms,
+        build_ms: ms(stats.build_time),
+        probe_ms: ms(stats.join_time),
         output_tuples: tuples,
     };
     (
-        make("cold", cold_ms, cold_delta.hits, cold_delta.misses, cold_out.cardinality()),
-        make("warm", warm_ms, warm_delta.hits, warm_delta.misses, warm_out),
+        make(
+            "cold",
+            cold_ms,
+            &cold_stats,
+            cold_delta.hits,
+            cold_delta.misses,
+            cold_out.cardinality(),
+        ),
+        make("warm", warm_ms, &warm_stats, warm_delta.hits, warm_delta.misses, warm_out),
     )
 }
 
@@ -149,15 +186,14 @@ fn main() {
         ]
     };
 
-    // Thread grid: serial, plus powers of two up to the machine (and at
-    // least 2, so the parallel path is always recorded for trajectory
-    // comparison even on single-core CI boxes).
-    let mut thread_grid = vec![1usize, 2];
-    let mut t = 4;
-    while t <= cores {
-        thread_grid.push(t);
-        t *= 2;
-    }
+    // Thread grid: serial, 2 and 4 workers — deliberately fixed rather than
+    // derived from `available_parallelism()`, so the emitted measurement
+    // grid is identical on every machine and CI's schema-drift gate
+    // (ci/check_bench_schema.py) can compare it exactly across runners with
+    // different core counts. On boxes with fewer cores the >1 rows measure
+    // morsel overhead only (the header note says so); the `cores` field
+    // records what the numbers mean.
+    let thread_grid = [1usize, 2, 4];
 
     let mut records = Vec::new();
     for (label, workload) in &workloads {
@@ -173,8 +209,12 @@ fn main() {
             let options = FreeJoinOptions::default().with_num_threads(threads);
             records.push(measure(workload, options));
         }
-        // Cold vs warm through the fj-cache serving path.
-        let (cold, warm) = measure_serving(label, workload, 0, FreeJoinOptions::default());
+        // Cold vs warm through the fj-cache serving path. Threads pinned to
+        // 1 for the same reason as the grid above: `default()` resolves to
+        // the machine's core count, which would put a machine-dependent
+        // `threads` value in the emitted rows and trip the CI drift gate.
+        let (cold, warm) =
+            measure_serving(label, workload, 0, FreeJoinOptions::default().with_num_threads(1));
         records.push(cold);
         records.push(warm);
     }
@@ -184,8 +224,12 @@ fn main() {
     let job_workload =
         job::workload(&if large { JobConfig::benchmark() } else { JobConfig::tiny() });
     eprintln!("running job_like serving ({} input rows)...", job_workload.total_rows());
-    let (cold, warm) =
-        measure_serving("job_q1a_like", &job_workload, 0, FreeJoinOptions::default());
+    let (cold, warm) = measure_serving(
+        "job_q1a_like",
+        &job_workload,
+        0,
+        FreeJoinOptions::default().with_num_threads(1),
+    );
     eprintln!(
         "  job_q1a_like: cold {:.3} ms, warm {:.3} ms ({:.2}x)",
         cold.wall_ms,
@@ -198,18 +242,22 @@ fn main() {
     let note = "threads=2 > threads=1 is expected on this 1-core container (morsel overhead \
                 without real parallelism; rerun on >=2 cores); cache=cold/warm rows measure \
                 fj-cache serving: cold includes planning+selection+trie build, warm reuses \
-                cached plans and tries (trie_hits/trie_misses are per-run cache deltas)";
+                cached plans and tries (trie_hits/trie_misses are per-run cache deltas); \
+                build_ms/probe_ms split the best run's trie-build and join phases (wall_ms \
+                additionally includes selection and aggregation; planning is inside wall_ms \
+                only for cache=cold rows — grid rows plan outside the timed loop)";
     let mut json = String::new();
     let _ =
-        write!(json, "{{\"schema_version\":2,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
+        write!(json, "{{\"schema_version\":3,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"output_tuples\":{}}}",
-            r.query, r.strategy, r.threads, r.cache, r.trie_hits, r.trie_misses, r.wall_ms, r.output_tuples
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{}}}",
+            r.query, r.strategy, r.threads, r.cache, r.trie_hits, r.trie_misses, r.wall_ms,
+            r.build_ms, r.probe_ms, r.output_tuples
         );
     }
     json.push_str("\n]}\n");

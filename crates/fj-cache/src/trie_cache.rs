@@ -53,6 +53,13 @@ pub struct TrieKey {
 /// trie type so the engine crate above supplies its own (`fj-cache` stays
 /// independent of execution). Values are handed out as `Arc` clones;
 /// concurrent queries racing on a cold key share a single build.
+///
+/// Each entry is charged the byte size its builder reports at insert time —
+/// for the engine's tries, a pessimistic bound *derived from the actual key
+/// layout* (`InputTrie::estimated_bytes` computes it from
+/// `size_of::<LevelKey>()` and friends), so the budget invariant stays
+/// honest across key-representation changes rather than relying on a
+/// hand-tuned constant.
 #[derive(Debug)]
 pub struct TrieCache<T> {
     inner: ShardedLru<TrieKey, T>,
@@ -62,7 +69,7 @@ impl<T> TrieCache<T> {
     /// A trie cache with the given total byte budget and adaptive sharding:
     /// enough shards for lock spreading, but never so many that a shard's
     /// slice of the budget (which bounds the largest cacheable trie) drops
-    /// below [`MIN_SHARD_BYTES`] — small budgets collapse to one shard so
+    /// below `MIN_SHARD_BYTES` (64 MiB) — small budgets collapse to one shard so
     /// the whole budget is usable by a single entry.
     pub fn new(budget_bytes: usize) -> Self {
         let shards = (budget_bytes / MIN_SHARD_BYTES).clamp(1, MAX_SHARDS);

@@ -1,6 +1,6 @@
 //! Factorization of Free Join plans (Figure 10 of the paper).
 //!
-//! Starting from the plan produced by [`crate::binary2fj`], factorization
+//! Starting from the plan produced by [`crate::binary2fj()`], factorization
 //! moves probe subatoms to earlier nodes whenever their variables are already
 //! available there, filtering out redundant tuples early. The paper's clover
 //! example turns

@@ -12,9 +12,9 @@
 //! * [`FreeJoinPlan`] — Free Join plans: a list of nodes, each a list of
 //!   [`Subatom`]s, with validity checking and cover computation
 //!   (Definition 3.5/3.7).
-//! * [`binary2fj`] — the conversion from a left-deep binary plan to an
+//! * [`binary2fj()`] — the conversion from a left-deep binary plan to an
 //!   equivalent Free Join plan (Figure 9).
-//! * [`factor`] — the factorization optimization that moves probes up the
+//! * [`factor()`] — the factorization optimization that moves probes up the
 //!   plan, bringing it closer to Generic Join (Figure 10).
 //! * [`stats`] / [`optimizer`] — catalog statistics, cardinality estimation
 //!   and a cost-based join-order optimizer standing in for DuckDB's

@@ -6,13 +6,19 @@
 //! equality of strings, which is the only operation joins require, and makes
 //! [`crate::Value`] a 16-byte `Copy` type.
 
+use crate::key::FastBuildHasher;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An append-only string interner.
+///
+/// Each distinct string is stored in **one** allocation (an `Arc<str>`)
+/// shared between the id-ordered vector and the reverse-lookup map, and the
+/// map hashes with the workspace's [`FastBuildHasher`].
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    strings: Vec<String>,
-    ids: HashMap<String, u32>,
+    strings: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32, FastBuildHasher>,
 }
 
 impl Dictionary {
@@ -29,8 +35,9 @@ impl Dictionary {
         }
         let id = u32::try_from(self.strings.len())
             .expect("dictionary overflow: more than u32::MAX distinct strings");
-        self.strings.push(s.to_string());
-        self.ids.insert(s.to_string(), id);
+        let shared: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
         id
     }
 
@@ -41,7 +48,7 @@ impl Dictionary {
 
     /// Resolve an id back to its string.
     pub fn resolve(&self, id: u32) -> Option<&str> {
-        self.strings.get(id as usize).map(String::as_str)
+        self.strings.get(id as usize).map(|s| &**s)
     }
 
     /// Number of distinct strings interned so far.

@@ -8,6 +8,9 @@
 //!
 //! * [`Value`] — the atomic data values stored in relations (64-bit integers,
 //!   dictionary-encoded strings, and nulls).
+//! * [`LevelKey`] / [`FastBuildHasher`] — inline-packed join keys (heap-free
+//!   up to arity 2) and the FxHash-style hasher every hash level in the
+//!   workspace shares (see [`key`]).
 //! * [`Column`] — a typed vector of values.
 //! * [`Relation`] — a named, schema'd collection of equal-length columns.
 //! * [`Catalog`] — a mutable namespace of relations plus the shared string
@@ -24,6 +27,7 @@ pub mod column;
 pub mod csv;
 pub mod dict;
 pub mod error;
+pub mod key;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
@@ -33,6 +37,7 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use dict::Dictionary;
 pub use error::{StorageError, StorageResult};
+pub use key::{FastBuildHasher, FxHasher, InlineKey, LevelKey, MAX_INLINE_KEY_ARITY};
 pub use predicate::{CmpOp, Predicate};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Field, Schema};

@@ -39,9 +39,12 @@ impl fmt::Display for DataType {
 
 /// An atomic value stored in a relation.
 ///
-/// `Null` compares equal to itself (so it can live in hash keys) but never
-/// joins: the execution engines skip null join keys, matching SQL semantics
-/// for equi-joins.
+/// `Null` compares equal to itself so it can live in hash keys. Note that
+/// the engines currently give NULL *natural-join-on-equality* semantics —
+/// a NULL join key matches another NULL, uniformly across every engine and
+/// the brute-force oracle — rather than SQL's NULL-never-joins rule;
+/// closing that gap is a ROADMAP open item and must land in all engines at
+/// once to keep cross-engine equivalence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// A 64-bit integer.

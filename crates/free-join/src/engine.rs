@@ -12,10 +12,10 @@
 //! reuse every stage with cached artifacts swapped in:
 //!
 //! 1. [`crate::compile::compile_query`] turns (query, binary plan) into a
-//!    [`CompiledQuery`] — pure plan data, cacheable across executions;
-//! 2. [`build_tries`] builds one trie per pipeline input — the stage the
+//!    [`crate::CompiledQuery`] — pure plan data, cacheable across executions;
+//! 2. `build_tries` builds one trie per pipeline input — the stage the
 //!    session replaces with `fj-cache` lookups;
-//! 3. [`join_pipeline`] runs one compiled pipeline over its tries and emits
+//! 3. `join_pipeline` runs one compiled pipeline over its tries and emits
 //!    the output (or a materialized intermediate for bushy plans).
 
 use crate::compile::{compile, compile_query, CompiledPlan};

@@ -19,9 +19,13 @@
 //! subatom is probed (rather than iterated), the probe result stands for all
 //! matching base tuples and multiplies the weight by their number.
 //!
-//! The hot path is allocation-free: every per-iteration buffer (probe keys,
-//! saved trie positions, vectorization batches) lives in a per-node
-//! [`NodeScratch`] allocated once per pipeline and reused across iterations.
+//! The hot path is allocation-free: probe keys of arity ≤ 2 are built as
+//! inline [`LevelKey`]s (or stack arrays) in place, and every remaining
+//! per-iteration buffer (wide-key spill, saved trie positions, vectorization
+//! batches) lives in a per-node `NodeScratch` allocated once per pipeline
+//! and reused across iterations. Trie levels hash with the workspace's
+//! FxHash-style `FastBuildHasher` (see `fj_storage::key` and
+//! [`crate::trie`]).
 //!
 //! # Morsel-driven parallelism
 //!
@@ -41,8 +45,8 @@
 use crate::compile::{CompiledNode, CompiledPlan, IterAction};
 use crate::options::FreeJoinOptions;
 use crate::sink::Sink;
-use crate::trie::{InputTrie, TrieNode, Tuple};
-use fj_storage::Value;
+use crate::trie::{InputTrie, TrieNode};
+use fj_storage::{LevelKey, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -69,8 +73,9 @@ impl ExecCounters {
 /// private set.
 #[derive(Debug, Default)]
 struct NodeScratch {
-    /// Probe-key buffer.
-    probe_key: Vec<Value>,
+    /// Spill buffer for probe keys wider than the inline arity (arity ≤ 2
+    /// probes build `Copy` [`LevelKey`]s in place and never touch this).
+    spill_key: Vec<Value>,
     /// Saved trie positions to restore after a recursive call.
     saved: Vec<(usize, Arc<TrieNode>)>,
     /// Vectorized batch: values bound by the cover (stride = new slots).
@@ -124,7 +129,33 @@ enum RootItems<'a> {
     Rows(usize),
     /// The cover's root is (now) a forced hash-map level: one item per
     /// distinct key.
-    Entries(Vec<(&'a Tuple, &'a Arc<TrieNode>)>),
+    Entries(Vec<(&'a LevelKey, &'a Arc<TrieNode>)>),
+}
+
+/// Probe one subatom's trie level, reading the key values through
+/// `read(slot)`. Arity ≤ 2 keys — the common case — are built as inline
+/// (`Copy`) [`LevelKey`]s in place; wider keys fill the node's reusable
+/// spill buffer and are looked up as a borrowed slice. Either way the probe
+/// allocates nothing.
+#[inline]
+fn probe_subatom(
+    trie: &InputTrie,
+    node: &TrieNode,
+    level: usize,
+    key_slots: &[usize],
+    spill: &mut Vec<Value>,
+    read: impl Fn(usize) -> Value,
+) -> Option<Arc<TrieNode>> {
+    match *key_slots {
+        [] => trie.get_key(node, level, &LevelKey::empty()),
+        [a] => trie.get_key(node, level, &LevelKey::single(read(a))),
+        [a, b] => trie.get_key(node, level, &LevelKey::pair(read(a), read(b))),
+        ref slots => {
+            spill.clear();
+            spill.extend(slots.iter().map(|&s| read(s)));
+            trie.get(node, level, spill)
+        }
+    }
 }
 
 /// Execute a compiled pipeline with morsel-driven parallelism over the first
@@ -206,7 +237,7 @@ where
                 let mut scratch: Vec<NodeScratch> =
                     plan.nodes.iter().map(|_| NodeScratch::default()).collect();
                 let mut counters = ExecCounters::default();
-                let mut key_buf: Tuple = Vec::new();
+                let mut key_buf: Vec<Value> = Vec::new();
                 loop {
                     let m = cursor.fetch_add(1, Ordering::Relaxed);
                     if m >= num_morsels {
@@ -238,7 +269,7 @@ where
                                         node0,
                                         cover_idx,
                                         cover_trie,
-                                        key,
+                                        key.values(),
                                         Some(child),
                                         &tuple,
                                         1,
@@ -293,7 +324,7 @@ where
                                         options,
                                         0,
                                         cover_idx,
-                                        key,
+                                        key.values(),
                                         Some(child),
                                         &mut tuple,
                                         &mut current,
@@ -478,18 +509,22 @@ fn process_cover_entry(
         mine.saved.push((cover.input, std::mem::replace(&mut current[cover.input], c)));
     }
 
-    // Probe the other subatoms in plan order.
+    // Probe the other subatoms in plan order, building each key in place
+    // from the tuple slots.
     let mut all_matched = true;
     for (j, sub) in node.subatoms.iter().enumerate() {
         if j == cover_idx {
             continue;
         }
-        mine.probe_key.clear();
-        for &s in &sub.key_slots {
-            mine.probe_key.push(tuple[s]);
-        }
         counters.probes += 1;
-        match tries[sub.input].get(&current[sub.input], sub.level, &mine.probe_key) {
+        match probe_subatom(
+            &tries[sub.input],
+            &current[sub.input],
+            sub.level,
+            &sub.key_slots,
+            &mut mine.spill_key,
+            |s| tuple[s],
+        ) {
             Some(child_node) => {
                 counters.probe_hits += 1;
                 if sub.final_for_input {
@@ -677,37 +712,40 @@ fn flush_batch(
     let stride = node.subatoms.len();
 
     // Probe phase: one pass over the batch per probed relation, giving the
-    // temporal locality the paper's vectorization targets.
-    for (j, sub) in node.subatoms.iter().enumerate() {
-        if j == cover_idx {
-            continue;
-        }
-        let trie = &tries[sub.input];
-        let base = current[sub.input].clone();
-        for e in 0..mine.count {
-            if !mine.alive[e] {
+    // temporal locality the paper's vectorization targets. Each entry's key
+    // is built in place from the already-bound tuple slots and the batch's
+    // write buffer.
+    {
+        let NodeScratch { spill_key, writes, weights, alive, children, count, .. } = &mut *mine;
+        for (j, sub) in node.subatoms.iter().enumerate() {
+            if j == cover_idx {
                 continue;
             }
-            mine.probe_key.clear();
-            for &s in &sub.key_slots {
-                let v = if s < node.bound_before {
-                    tuple[s]
-                } else {
-                    mine.writes[e * new_slots + (s - node.bound_before)]
-                };
-                mine.probe_key.push(v);
-            }
-            counters.probes += 1;
-            match trie.get(&base, sub.level, &mine.probe_key) {
-                Some(child) => {
-                    counters.probe_hits += 1;
-                    if sub.final_for_input {
-                        mine.weights[e] = mine.weights[e].saturating_mul(trie.tuple_count(&child));
-                    } else {
-                        mine.children[e * stride + j] = Some(child);
-                    }
+            let trie = &tries[sub.input];
+            let base = current[sub.input].clone();
+            for e in 0..*count {
+                if !alive[e] {
+                    continue;
                 }
-                None => mine.alive[e] = false,
+                let read = |s: usize| {
+                    if s < node.bound_before {
+                        tuple[s]
+                    } else {
+                        writes[e * new_slots + (s - node.bound_before)]
+                    }
+                };
+                counters.probes += 1;
+                match probe_subatom(trie, &base, sub.level, &sub.key_slots, spill_key, read) {
+                    Some(child) => {
+                        counters.probe_hits += 1;
+                        if sub.final_for_input {
+                            weights[e] = weights[e].saturating_mul(trie.tuple_count(&child));
+                        } else {
+                            children[e * stride + j] = Some(child);
+                        }
+                    }
+                    None => alive[e] = false,
+                }
             }
         }
     }

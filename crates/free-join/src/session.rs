@@ -357,8 +357,14 @@ impl Prepared {
         for (p, pipeline) in compiled.pipelines.iter().enumerate() {
             let mut tries: Vec<Arc<InputTrie>> = Vec::with_capacity(pipeline.inputs.len());
             // (maps_built, lazy_built) at acquisition: zero for tries this
-            // execution built, current counters for cache hits, so per-query
-            // trie stats only count work done *by this query*.
+            // execution built, current counters for cache hits, so the
+            // post-join delta approximates the trie work done by this
+            // query. Best-effort on shared tries: a concurrent query
+            // forcing levels of the same cached trie between our capture
+            // and readout gets its work counted here too (and a trie built
+            // here may have levels forced by others before we read). The
+            // totals across queries remain exact; only the per-query split
+            // can skew under concurrency.
             let mut baselines: Vec<(u64, u64)> = Vec::with_capacity(pipeline.inputs.len());
             for (&input, schema) in pipeline.inputs.iter().zip(&pipeline.plan.schemas) {
                 match input {

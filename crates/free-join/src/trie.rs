@@ -15,6 +15,32 @@
 //! * [`TrieStrategy::Colt`] — nothing is built up front; the root iterates
 //!   the base relation directly, and every level is built on first probe.
 //!
+//! # Key representation and hashing
+//!
+//! Every hash-map level is a `HashMap<LevelKey, Arc<TrieNode>,
+//! FastBuildHasher>` ([`LevelMap`]). A [`LevelKey`] packs the level's key
+//! values **inline** for arity ≤ 2 (a fixed-width `Copy` struct — the
+//! overwhelmingly common case in JOB/LSQB-shaped plans) and spills wider
+//! keys to a `Box<[Value]>` allocated once per *distinct* key; the hasher is
+//! the workspace's FxHash-style multiply-xor [`FastBuildHasher`] (see
+//! `fj_storage::key`). Two consequences shape the hot paths here:
+//!
+//! * **Building** a level reads keys directly from the column vectors —
+//!   arity-1 and arity-2 levels hoist their column references and construct
+//!   inline keys per row, so eager builds and lazy forcing perform no
+//!   per-row heap allocation (wide levels fill a reused buffer and allocate
+//!   only per distinct key).
+//! * **Probing** never constructs an owned key: `LevelKey` implements
+//!   `Borrow<[Value]>` with slice-delegated `Hash`/`Eq`, so [`InputTrie::get`]
+//!   accepts a borrowed `&[Value]` (e.g. a stack array), and
+//!   [`InputTrie::get_key`] accepts an inline key built in place.
+//!
+//! `Null` is an ordinary key value (`Null == Null`), so NULL groups occupy
+//! trie branches like any other — a trie must represent every row. The
+//! refactor preserves the engines' existing NULL policy bit-for-bit: NULL
+//! keys match NULL keys in every engine (see `fj_storage::Value` on the
+//! SQL-semantics gap tracked in the ROADMAP).
+//!
 //! # Threading model
 //!
 //! The trie is `Send + Sync` so that the morsel-driven parallel executor
@@ -33,16 +59,13 @@
 
 use crate::options::TrieStrategy;
 use crate::prep::BoundInput;
-use fj_storage::{Relation, Value};
+use fj_storage::{FastBuildHasher, LevelKey, Relation, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-/// A key tuple (the values of one level's variables).
-pub type Tuple = Vec<Value>;
-
-/// A forced hash-map level: key tuple to child node.
-pub type LevelMap = HashMap<Tuple, Arc<TrieNode>>;
+/// A forced hash-map level: packed key to child node, under the fast hasher.
+pub type LevelMap = HashMap<LevelKey, Arc<TrieNode>, FastBuildHasher>;
 
 /// The raw (unforced) payload of a trie node: which base rows it stands for.
 #[derive(Debug)]
@@ -220,12 +243,26 @@ impl InputTrie {
     /// Charged once at cache-insert time, so it deliberately bounds the
     /// *fully forced* trie rather than tracking lazy growth.
     pub fn estimated_bytes(&self) -> usize {
-        /// Rough per-(row, level) cost of a forced level: a copied `u32`
-        /// offset, a share of the key `Vec<Value>` (16-byte values plus Vec
-        /// header), and `HashMap` bucket overhead.
-        const ROW_LEVEL_BYTES: usize = 48;
-        self.relation.approx_bytes()
-            + self.relation.num_rows() * self.schema.len().max(1) * ROW_LEVEL_BYTES
+        // Per-(row, level) cost of a forced level, computed from the actual
+        // layout so cache budget accounting stays honest if the key
+        // representation changes again: a copied `u32` offset in a child's
+        // offset vector, plus — pessimistically assuming every row is a
+        // distinct key — one map entry (inline `LevelKey` + child `Arc`
+        // pointer) and a word of hash-table control/bucket overhead. Keys
+        // wider than `MAX_INLINE_KEY_ARITY` spill per distinct key; the
+        // all-distinct assumption already over-counts enough to absorb that.
+        // Fixed per-trie overhead, charged even for a trie over zero rows:
+        // the `InputTrie` struct, its name/schema strings, the root node,
+        // and a share of the cache's own key/bookkeeping for this entry.
+        // Without a floor, a serving workload probing many distinct filters
+        // that each match nothing would insert zero-cost entries the budget
+        // never sees, growing the cache without bound.
+        const BASE_BYTES: usize = 256;
+        let map_entry = std::mem::size_of::<LevelKey>() + std::mem::size_of::<Arc<TrieNode>>();
+        let row_level = std::mem::size_of::<u32>() + map_entry + std::mem::size_of::<u64>();
+        BASE_BYTES
+            + self.relation.approx_bytes()
+            + self.relation.num_rows() * self.schema.len().max(1) * row_level
     }
 
     /// An estimate of the number of keys at a node, used for dynamic cover
@@ -248,36 +285,72 @@ impl InputTrie {
         }
     }
 
-    /// Read the key tuple of `level` for a row offset.
-    fn read_key(&self, level: usize, offset: u32) -> Tuple {
-        self.level_cols[level]
-            .iter()
-            .map(|&c| self.relation.column(c).get(offset as usize))
-            .collect()
-    }
-
-    /// Read the key tuple of `level` for a row offset into a reusable buffer
-    /// (used by the parallel executor when iterating the base table
-    /// directly).
-    pub(crate) fn read_key_into(&self, level: usize, offset: u32, key: &mut Tuple) {
+    /// Read the key values of `level` for a row offset into a reusable
+    /// buffer (used by the parallel executor when iterating the base table
+    /// directly, and by wide-key paths here; arity ≤ 2 paths build inline
+    /// [`LevelKey`]s instead).
+    pub(crate) fn read_key_into(&self, level: usize, offset: u32, key: &mut Vec<Value>) {
         key.clear();
         for &c in &self.level_cols[level] {
             key.push(self.relation.column(c).get(offset as usize));
         }
     }
 
-    /// Group a node's rows by the key tuple of `level`.
-    fn group_rows(&self, rows: &RawRows, level: usize) -> HashMap<Tuple, Vec<u32>> {
-        let mut groups: HashMap<Tuple, Vec<u32>> = HashMap::new();
+    /// Group a node's rows by the key of `level`.
+    fn group_rows(
+        &self,
+        rows: &RawRows,
+        level: usize,
+    ) -> HashMap<LevelKey, Vec<u32>, FastBuildHasher> {
         match rows {
-            RawRows::AllRows => {
-                for offset in 0..self.relation.num_rows() as u32 {
-                    groups.entry(self.read_key(level, offset)).or_default().push(offset);
+            RawRows::AllRows => self.group_row_iter(level, 0..self.relation.num_rows() as u32),
+            RawRows::Offsets(offsets) => self.group_row_iter(level, offsets.iter().copied()),
+        }
+    }
+
+    /// Group row offsets by the key of `level`, reading keys directly from
+    /// the column vectors. Arity-1 and arity-2 levels hoist their column
+    /// references and build inline (`Copy`, heap-free) keys per row; wider
+    /// levels fill a reused buffer and allocate one boxed key per *distinct*
+    /// key (via the `Borrow<[Value]>` lookup), never per row.
+    fn group_row_iter(
+        &self,
+        level: usize,
+        rows: impl Iterator<Item = u32>,
+    ) -> HashMap<LevelKey, Vec<u32>, FastBuildHasher> {
+        let mut groups: HashMap<LevelKey, Vec<u32>, FastBuildHasher> = HashMap::default();
+        match *self.level_cols[level].as_slice() {
+            [] => {
+                let offsets: Vec<u32> = rows.collect();
+                if !offsets.is_empty() {
+                    groups.insert(LevelKey::empty(), offsets);
                 }
             }
-            RawRows::Offsets(offsets) => {
-                for &offset in offsets {
-                    groups.entry(self.read_key(level, offset)).or_default().push(offset);
+            [c] => {
+                let col = self.relation.column(c);
+                for offset in rows {
+                    let key = LevelKey::single(col.get(offset as usize));
+                    groups.entry(key).or_default().push(offset);
+                }
+            }
+            [c0, c1] => {
+                let (a, b) = (self.relation.column(c0), self.relation.column(c1));
+                for offset in rows {
+                    let key = LevelKey::pair(a.get(offset as usize), b.get(offset as usize));
+                    groups.entry(key).or_default().push(offset);
+                }
+            }
+            ref cols => {
+                let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
+                for offset in rows {
+                    buf.clear();
+                    buf.extend(cols.iter().map(|&c| self.relation.column(c).get(offset as usize)));
+                    match groups.get_mut(buf.as_slice()) {
+                        Some(group) => group.push(offset),
+                        None => {
+                            groups.insert(LevelKey::from_values(&buf), vec![offset]);
+                        }
+                    }
                 }
             }
         }
@@ -334,7 +407,17 @@ impl InputTrie {
     /// Look up `key` at `node` (which sits at `level`), forcing the node into
     /// a map first if necessary. Returns the child node, or `None` if the key
     /// is absent. This is the `get` of the GHT interface (Figure 5).
+    ///
+    /// The key is a borrowed value slice — a stack array or reused buffer —
+    /// looked up through `LevelKey: Borrow<[Value]>`, so probing allocates
+    /// nothing at any arity.
     pub fn get(&self, node: &TrieNode, level: usize, key: &[Value]) -> Option<Arc<TrieNode>> {
+        self.force(node, level, true).get(key).cloned()
+    }
+
+    /// [`InputTrie::get`] for a [`LevelKey`] built in place (the arity ≤ 2
+    /// probe fast path: the key is `Copy` and lives in registers).
+    pub fn get_key(&self, node: &TrieNode, level: usize, key: &LevelKey) -> Option<Arc<TrieNode>> {
         self.force(node, level, true).get(key).cloned()
     }
 
@@ -365,21 +448,52 @@ impl InputTrie {
         match node.data() {
             NodeData::Map(m) => {
                 for (key, child) in m {
-                    f(key, Some(child));
+                    f(key.values(), Some(child));
                 }
             }
             NodeData::AllRows => {
-                let mut key = Vec::with_capacity(self.level_cols[level].len());
-                for offset in 0..self.relation.num_rows() as u32 {
-                    self.read_key_into(level, offset, &mut key);
-                    f(&key, None);
-                }
+                self.for_each_row_key(level, 0..self.relation.num_rows() as u32, &mut f);
             }
             NodeData::Offsets(offsets) => {
-                let mut key = Vec::with_capacity(self.level_cols[level].len());
-                for &offset in offsets {
-                    self.read_key_into(level, offset, &mut key);
-                    f(&key, None);
+                self.for_each_row_key(level, offsets.iter().copied(), &mut f);
+            }
+        }
+    }
+
+    /// Tuple-wise iteration of the [`InputTrie::for_each`] fast path: call
+    /// `f` with the key values of every row offset, reading directly from
+    /// the column vectors. Arity ≤ 2 keys are assembled in stack arrays;
+    /// wider keys go through one reused buffer. No per-row allocation either
+    /// way.
+    fn for_each_row_key(
+        &self,
+        level: usize,
+        rows: impl Iterator<Item = u32>,
+        f: &mut impl FnMut(&[Value], Option<&Arc<TrieNode>>),
+    ) {
+        match *self.level_cols[level].as_slice() {
+            [] => {
+                for _ in rows {
+                    f(&[], None);
+                }
+            }
+            [c] => {
+                let col = self.relation.column(c);
+                for offset in rows {
+                    f(&[col.get(offset as usize)], None);
+                }
+            }
+            [c0, c1] => {
+                let (a, b) = (self.relation.column(c0), self.relation.column(c1));
+                for offset in rows {
+                    f(&[a.get(offset as usize), b.get(offset as usize)], None);
+                }
+            }
+            ref cols => {
+                let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
+                for offset in rows {
+                    self.read_key_into(level, offset, &mut buf);
+                    f(&buf, None);
                 }
             }
         }
@@ -570,6 +684,9 @@ mod tests {
         trie.for_each(&root, 0, |_, _| n += 1);
         assert_eq!(n, 0);
         assert!(trie.get(&root, 0, &[Value::Int(1)]).is_none());
+        // Even a zero-row trie charges its fixed overhead, so caching many
+        // distinct empty-result tries stays bounded by the byte budget.
+        assert!(trie.estimated_bytes() > 0, "empty tries must not be budget-free");
     }
 
     #[test]
@@ -581,6 +698,31 @@ mod tests {
         assert_eq!(trie.level_vars(1), &["b".to_string()]);
         assert!(!trie.is_last_level(0));
         assert!(trie.is_last_level(1));
+    }
+
+    /// The acceptance bar of the key refactor: every key on the arity ≤ 2
+    /// trie path is stored and probed inline — `Copy`, no `Vec<Value>`, no
+    /// heap allocation per build row or probe.
+    #[test]
+    fn arity_le_2_level_keys_are_inline_and_copy() {
+        fn assert_copy<T: Copy>() {}
+        // The inline representation is Copy by construction…
+        assert_copy::<fj_storage::InlineKey>();
+        // …and arity-1 / arity-2 levels actually use it: force both levels
+        // of the clover trie and inspect every stored key.
+        let input = clover_s_input();
+        let trie = InputTrie::build(&input, schema(&[&["x"], &["x", "b"]]), TrieStrategy::Colt);
+        let root = trie.root();
+        for (key, child) in trie.force(&root, 0, true) {
+            assert!(key.is_inline(), "arity-1 key spilled: {key:?}");
+            for key2 in trie.force(child, 1, true).keys() {
+                assert!(key2.is_inline(), "arity-2 key spilled: {key2:?}");
+            }
+        }
+        const { assert!(fj_storage::MAX_INLINE_KEY_ARITY >= 2) };
+        // Keys wider than the inline arity spill (and still round-trip).
+        let wide = LevelKey::from_values(&[Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert!(!wide.is_inline());
     }
 
     #[test]

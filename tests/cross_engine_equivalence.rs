@@ -42,6 +42,14 @@ fn assert_engines_agree(workload: &Workload, query_name: &str, mode: EstimatorMo
         FreeJoinOptions::binary_equivalent(),
         FreeJoinOptions::generic_join_baseline(),
         FreeJoinOptions { factor_to_fixpoint: true, ..FreeJoinOptions::default() },
+        // Explicit single-thread (exact legacy serial) runs per trie
+        // strategy: with the inline-packed `LevelKey` levels, every strategy
+        // must agree serially as well as in parallel.
+        FreeJoinOptions::default().with_num_threads(1),
+        FreeJoinOptions { trie: TrieStrategy::Simple, ..FreeJoinOptions::default() }
+            .with_num_threads(1),
+        FreeJoinOptions { trie: TrieStrategy::Slt, ..FreeJoinOptions::default() }
+            .with_num_threads(1),
         // Morsel-driven parallel execution, across every trie strategy.
         FreeJoinOptions::default().with_num_threads(4),
         FreeJoinOptions { trie: TrieStrategy::Simple, ..FreeJoinOptions::default() }

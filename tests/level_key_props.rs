@@ -1,0 +1,114 @@
+//! Property tests for the packed key representation: a [`LevelKey`] must be
+//! semantically indistinguishable from the `Vec<Value>` keys it replaced —
+//! same equality, same hashes (via the `Borrow<[Value]>` contract), same
+//! `Null == Null` behaviour — across the arity 1 / 2 / spill boundary. A
+//! final property runs the same query through every `TrieStrategy` × thread
+//! count and checks the engines still agree, pinning the end-to-end
+//! semantics of the key refactor.
+
+use freejoin::prelude::*;
+use freejoin::storage::{FastBuildHasher, LevelKey};
+use proptest::prelude::*;
+use std::hash::BuildHasher;
+
+/// Decode a generated integer into a `Value`, covering all three variants
+/// (including `Null`, which must stay joinable-in-key: `Null == Null`).
+fn value(code: i64) -> Value {
+    match code.rem_euclid(3) {
+        0 => Value::Null,
+        1 => Value::Int(code),
+        _ => Value::Str(code.rem_euclid(1 << 20) as u32),
+    }
+}
+
+fn values(codes: &[i64]) -> Vec<Value> {
+    codes.iter().map(|&c| value(c)).collect()
+}
+
+fn fx_hash<T: std::hash::Hash + ?Sized>(t: &T) -> u64 {
+    FastBuildHasher.hash_one(t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    // Pack/unpack round-trips at every arity, and the representation is
+    // inline exactly up to the documented boundary.
+    #[test]
+    fn pack_unpack_round_trips(codes in prop::collection::vec(-50i64..50, 0..6)) {
+        let vals = values(&codes);
+        let key = LevelKey::from_values(&vals);
+        prop_assert_eq!(key.values(), vals.as_slice());
+        prop_assert_eq!(key.arity(), vals.len());
+        prop_assert_eq!(key.is_inline(), vals.len() <= freejoin::storage::MAX_INLINE_KEY_ARITY);
+        // The dedicated arity-1/2 constructors agree with the general one.
+        match vals.as_slice() {
+            [a] => prop_assert_eq!(LevelKey::single(*a), key),
+            [a, b] => prop_assert_eq!(LevelKey::pair(*a, *b), key),
+            _ => {}
+        }
+    }
+
+    // `LevelKey` equality and hashing coincide with `Vec<Value>` (slice)
+    // semantics — including `Null == Null` — and the `Borrow<[Value]>`
+    // probe contract holds: a key hashes identically to its borrowed
+    // slice, so borrowed probes can never miss a stored key.
+    #[test]
+    fn eq_and_hash_match_vec_semantics(
+        a in prop::collection::vec(-5i64..5, 0..5),
+        b in prop::collection::vec(-5i64..5, 0..5),
+    ) {
+        let (va, vb) = (values(&a), values(&b));
+        let (ka, kb) = (LevelKey::from_values(&va), LevelKey::from_values(&vb));
+        prop_assert_eq!(ka == kb, va == vb);
+        prop_assert_eq!(fx_hash(&ka), fx_hash(va.as_slice()));
+        if va == vb {
+            prop_assert_eq!(fx_hash(&ka), fx_hash(&kb));
+        }
+    }
+}
+
+// Cross-engine equivalence with the new keys: every `TrieStrategy`, under
+// 1 (exact legacy serial) and 4 worker threads, against the binary-join
+// reference — over random data whose small value domain forces real joins.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn strategies_and_threads_agree_on_random_joins(
+        r in prop::collection::vec(prop::collection::vec(0i64..5, 2), 1..20),
+        s in prop::collection::vec(prop::collection::vec(0i64..5, 2), 1..20),
+    ) {
+        let mut catalog = Catalog::new();
+        for (name, rows) in [("R", &r), ("S", &s)] {
+            let mut b = RelationBuilder::new(name, Schema::all_int(&["a", "b"]));
+            for row in rows {
+                b.push_ints(row).unwrap();
+            }
+            catalog.add(b.finish()).unwrap();
+        }
+        let query = QueryBuilder::new("two_hop")
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .count()
+            .build();
+        let stats = CatalogStats::collect(&catalog);
+        let plan = optimize(&query, &stats, OptimizerOptions::default());
+        let (reference, _) = BinaryJoinEngine::new().execute(&catalog, &query, &plan).unwrap();
+        for strategy in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+            for threads in [1usize, 4] {
+                let options = FreeJoinOptions { trie: strategy, ..FreeJoinOptions::default() }
+                    .with_num_threads(threads);
+                let (out, _) =
+                    FreeJoinEngine::new(options).execute(&catalog, &query, &plan).unwrap();
+                prop_assert_eq!(
+                    out.cardinality(),
+                    reference.cardinality(),
+                    "{:?} x {} threads diverged",
+                    strategy,
+                    threads
+                );
+            }
+        }
+    }
+}
