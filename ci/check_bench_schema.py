@@ -24,6 +24,33 @@ def grid(doc):
     return [(r["query"], r["strategy"], r["threads"], r["cache"]) for r in doc["results"]]
 
 
+def check_serving_columns(doc, path, errors):
+    """schema_version 4: every row carries serve_p50_us/serve_p99_us; the
+    cache="serve" rows (real loopback TCP) must report sane nonzero
+    quantiles, all other rows must carry zeros."""
+    serve_rows = 0
+    for i, r in enumerate(doc["results"]):
+        missing = {"serve_p50_us", "serve_p99_us"} - set(r)
+        if missing:
+            errors.append(f"{path}: row {i} is missing serving columns {sorted(missing)}")
+            continue
+        p50, p99 = r["serve_p50_us"], r["serve_p99_us"]
+        if r["cache"] == "serve":
+            serve_rows += 1
+            if not (0 < p50 <= p99):
+                errors.append(
+                    f"{path}: serve row {i} ({r['query']}) has implausible quantiles "
+                    f"p50={p50} p99={p99} (need 0 < p50 <= p99)"
+                )
+        elif (p50, p99) != (0, 0):
+            errors.append(
+                f"{path}: non-serve row {i} ({r['query']}/{r['cache']}) carries nonzero "
+                f"serving quantiles p50={p50} p99={p99}"
+            )
+    if serve_rows == 0:
+        errors.append(f"{path}: no cache=\"serve\" rows — the TCP serving measurement is gone")
+
+
 def main():
     committed, fresh = sys.argv[1], sys.argv[2]
     a, b = load(committed), load(fresh)
@@ -33,6 +60,14 @@ def main():
             f"schema_version drifted: committed {a['schema_version']} vs fresh "
             f"{b['schema_version']} — regenerate the committed BENCH_micro.json"
         )
+    if a["schema_version"] < 4:
+        errors.append(
+            f"schema_version {a['schema_version']} < 4: the serving latency columns "
+            f"(serve_p50_us/serve_p99_us) are required"
+        )
+    else:
+        check_serving_columns(a, committed, errors)
+        check_serving_columns(b, fresh, errors)
     if len(a["results"]) != len(b["results"]):
         errors.append(
             f"result row count drifted: committed {len(a['results'])} vs fresh "

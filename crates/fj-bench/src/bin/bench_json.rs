@@ -20,20 +20,28 @@
 //! best repeat over the now-populated caches, and `trie_hits`/`trie_misses`
 //! are the trie-cache deltas attributed to that run — the amortization win
 //! is `warm.wall_ms / cold.wall_ms`. Grid records carry `cache: "none"`.
-//! The JSON is written by hand — the workspace's offline `serde` stand-in
-//! does not serialize — and the schema is deliberately flat:
+//!
+//! Since schema_version 4 every row also carries `serve_p50_us` /
+//! `serve_p99_us`, populated (nonzero) only on the `cache: "serve"` row:
+//! a real fj-serve TCP server on loopback, hammered warm by concurrent
+//! wire clients, reporting its latency histogram's quantiles — the
+//! end-to-end serving cost (framing + parse + cache hits + join) that the
+//! in-process warm row excludes. The JSON is written by hand — the
+//! workspace's offline `serde` stand-in does not serialize — and the
+//! schema is deliberately flat:
 //!
 //! ```json
-//! {"schema_version":3,"cores":8,"note":"...","results":[
+//! {"schema_version":4,"cores":8,"note":"...","results":[
 //!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
 //!    "trie_hits":0,"trie_misses":0,"wall_ms":12.34,"build_ms":1.20,
-//!    "probe_ms":10.80,"output_tuples":1}
+//!    "probe_ms":10.80,"output_tuples":1,"serve_p50_us":0,"serve_p99_us":0}
 //! ]}
 //! ```
 
 use fj_bench::{execute, plan_query, Engine};
 use fj_plan::EstimatorMode;
 use fj_query::ExecStats;
+use fj_serve::{Client, Server, ServerConfig};
 use fj_workloads::job::{self, JobConfig};
 use fj_workloads::{micro, Workload};
 use free_join::{EngineCaches, FreeJoinOptions, Session, TrieStrategy};
@@ -48,7 +56,7 @@ struct Record {
     query: String,
     strategy: &'static str,
     threads: usize,
-    /// `"none"` (uncached grid), `"cold"` or `"warm"`.
+    /// `"none"` (uncached grid), `"cold"`, `"warm"`, or `"serve"` (TCP).
     cache: &'static str,
     /// Trie-cache hits attributed to this measurement.
     trie_hits: u64,
@@ -60,6 +68,10 @@ struct Record {
     /// Join/probe phase of the best run (the engine's `join_time`).
     probe_ms: f64,
     output_tuples: u64,
+    /// Warm TCP serving latency quantiles from the server's histogram;
+    /// nonzero only on `cache: "serve"` rows.
+    serve_p50_us: u64,
+    serve_p99_us: u64,
 }
 
 /// Milliseconds of a `Duration`.
@@ -95,6 +107,8 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
         build_ms: ms(best_stats.build_time),
         probe_ms: ms(best_stats.join_time),
         output_tuples,
+        serve_p50_us: 0,
+        serve_p99_us: 0,
     }
 }
 
@@ -147,6 +161,8 @@ fn measure_serving(
         build_ms: ms(stats.build_time),
         probe_ms: ms(stats.join_time),
         output_tuples: tuples,
+        serve_p50_us: 0,
+        serve_p99_us: 0,
     };
     (
         make(
@@ -159,6 +175,83 @@ fn measure_serving(
         ),
         make("warm", warm_ms, &warm_stats, warm_delta.hits, warm_delta.misses, warm_out),
     )
+}
+
+/// Concurrent clients hammering the TCP serving measurement (the server
+/// runs exactly this many workers, so each client owns a worker).
+const SERVE_CLIENTS: usize = 2;
+/// Warm executions per client (the caches are pre-warmed in process).
+const SERVE_REQUESTS: usize = 50;
+
+/// The end-to-end serving measurement behind the `cache: "serve"` row: an
+/// fj-serve server on loopback (engine pinned to 1 thread like every other
+/// serving row) whose caches are pre-warmed **in process** — the warm-up
+/// never touches the server's latency histogram and never occupies one of
+/// its thread-per-connection workers — then hammered with `SERVE_CLIENTS`
+/// truly concurrent wire clients × `SERVE_REQUESTS` executions. `wall_ms`
+/// is the warm window's wall time; the p50/p99 columns are the
+/// *server-side* service quantiles from its fixed-bucket histogram, whose
+/// only observations are this window's warm requests (each client's
+/// plan-cache-hit prepare plus its executes), so they include framing and
+/// parsing but neither client scheduling nor any cold build.
+fn measure_serving_tcp(label: &str, workload: &Workload, query_idx: usize) -> Record {
+    let named = &workload.queries[query_idx];
+    let options = FreeJoinOptions::default().with_num_threads(1);
+    let session = Session::new(Arc::new(EngineCaches::with_defaults())).with_options(options);
+    let catalog = Arc::new(workload.catalog.clone());
+
+    // Warm the shared caches before the server sees any traffic: the
+    // session handed to the server shares the same `EngineCaches`.
+    let warm_prepared = session.prepare(&catalog, &named.query).expect("warm-up prepares");
+    let cardinality = warm_prepared.execute(&catalog).expect("warm-up executes").0.cardinality();
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&catalog),
+        session.clone(),
+        ServerConfig { workers: SERVE_CLIENTS, ..ServerConfig::default() },
+    )
+    .expect("bench server binds a loopback port");
+    let addr = server.local_addr();
+    let query_text = named.query.to_string();
+    let aggregate = named.query.aggregate.clone();
+
+    let before = server.stats();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..SERVE_CLIENTS {
+            let (query_text, aggregate) = (&query_text, &aggregate);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connects");
+                let handle =
+                    client.prepare(query_text.clone(), aggregate.clone()).expect("prepares");
+                for _ in 0..SERVE_REQUESTS {
+                    let answer = client.execute(handle).expect("executes");
+                    assert_eq!(answer.cardinality, cardinality, "serve answers must agree");
+                }
+            });
+        }
+    });
+    let wall_ms = ms(start.elapsed());
+    let after = server.stats();
+    let delta = after.delta(&before);
+    server.shutdown();
+    server.join();
+
+    Record {
+        query: label.to_string(),
+        strategy: options.trie.name(),
+        threads: options.effective_threads(),
+        cache: "serve",
+        trie_hits: delta.cache.tries.hits,
+        trie_misses: delta.cache.tries.misses,
+        wall_ms,
+        build_ms: 0.0,
+        probe_ms: 0.0,
+        output_tuples: cardinality,
+        serve_p50_us: after.p50_us,
+        serve_p99_us: after.p99_us,
+    }
 }
 
 fn main() {
@@ -239,25 +332,41 @@ fn main() {
     records.push(cold);
     records.push(warm);
 
+    // The same query through the full fj-serve TCP stack: warm loopback
+    // serving latency quantiles (schema_version 4).
+    eprintln!("running job_like TCP serving ({SERVE_CLIENTS} clients x {SERVE_REQUESTS} reqs)...");
+    let serve = measure_serving_tcp("job_q1a_like", &job_workload, 0);
+    eprintln!(
+        "  job_q1a_like over TCP: p50 {} us, p99 {} us ({} warm executions)",
+        serve.serve_p50_us,
+        serve.serve_p99_us,
+        SERVE_CLIENTS * SERVE_REQUESTS,
+    );
+    records.push(serve);
+
     let note = "threads=2 > threads=1 is expected on this 1-core container (morsel overhead \
                 without real parallelism; rerun on >=2 cores); cache=cold/warm rows measure \
                 fj-cache serving: cold includes planning+selection+trie build, warm reuses \
                 cached plans and tries (trie_hits/trie_misses are per-run cache deltas); \
                 build_ms/probe_ms split the best run's trie-build and join phases (wall_ms \
                 additionally includes selection and aggregation; planning is inside wall_ms \
-                only for cache=cold rows — grid rows plan outside the timed loop)";
+                only for cache=cold rows — grid rows plan outside the timed loop); the \
+                cache=serve row runs the same query warm through the fj-serve loopback TCP \
+                stack and reports the server-side service-time histogram's p50/p99 in \
+                serve_p50_us/serve_p99_us (zero on all other rows; quantiles are log-linear \
+                bucket upper bounds, <=25% relative error)";
     let mut json = String::new();
     let _ =
-        write!(json, "{{\"schema_version\":3,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
+        write!(json, "{{\"schema_version\":4,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{}}}",
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"serve_p50_us\":{},\"serve_p99_us\":{}}}",
             r.query, r.strategy, r.threads, r.cache, r.trie_hits, r.trie_misses, r.wall_ms,
-            r.build_ms, r.probe_ms, r.output_tuples
+            r.build_ms, r.probe_ms, r.output_tuples, r.serve_p50_us, r.serve_p99_us
         );
     }
     json.push_str("\n]}\n");

@@ -11,9 +11,14 @@
 //! execution that keys, stores, evicts and invalidates those shared
 //! structures:
 //!
-//! * [`ShardedLru`] — the generic engine: a sharded, memory-budgeted LRU
-//!   map with **single-flight** builds (racing misses block on the first
-//!   builder instead of building twice) and atomic [`CacheStats`].
+//! * [`ShardedLru`] — the generic engine: a sharded, memory-budgeted map
+//!   with **single-flight** builds (racing misses block on the first
+//!   builder instead of building twice), **budget-aware eviction** (each
+//!   build is timed; among the least-recently-used candidates the victim
+//!   with the lowest `build_cost × (1 + hits)` score is evicted, so cheap
+//!   tries yield budget to expensive ones), and atomic [`CacheStats`].
+//!   [`StatsSnapshot`] pairs the trie- and plan-cache snapshots into the
+//!   plain wire-encodable struct served by `fj-serve`'s stats frame.
 //! * [`TrieCache`] — `ShardedLru` keyed by [`TrieKey`] `(relation name,
 //!   relation version, trie strategy, column key-order, filter
 //!   fingerprint)`, handing out `Arc` clones of built tries so concurrent
@@ -41,5 +46,5 @@ pub mod trie_cache;
 pub use fingerprint::{fingerprint_debug, Fingerprinter};
 pub use lru::ShardedLru;
 pub use plan_cache::PlanCache;
-pub use stats::CacheStats;
+pub use stats::{take_u64, CacheStats, StatsSnapshot};
 pub use trie_cache::{TrieCache, TrieKey};

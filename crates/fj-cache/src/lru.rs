@@ -21,16 +21,33 @@
 //!
 //! # Eviction
 //!
-//! Entries are evicted least-recently-used until the shard is back under
-//! budget *before* a new entry is linked in; a value larger than a whole
-//! shard's budget is returned to the caller but never retained. Both paths
-//! keep the budget invariant unconditional: at no instant does the cache's
-//! charged size exceed its budget.
+//! Entries are evicted until the shard is back under budget *before* a new
+//! entry is linked in; a value larger than a whole shard's budget is
+//! returned to the caller but never retained. Both paths keep the budget
+//! invariant unconditional: at no instant does the cache's charged size
+//! exceed its budget.
+//!
+//! Victim selection is **budget-aware**, not pure LRU: the cache times each
+//! build closure and charges the entry its build cost in microseconds, and
+//! each hit bumps the entry's hit counter. When space is needed, the
+//! [`EVICT_WINDOW`] least-recently-used entries are candidates and the one
+//! with the lowest `build_cost × (1 + hits)` score is evicted — a trie that
+//! is cheap to rebuild yields budget to an expensive one of similar
+//! recency, while anything outside the LRU window is never touched, so hot
+//! entries keep the protection plain LRU gave them. Ties (e.g. all-zero
+//! scores from instant builders) fall back to least-recently-used.
 
 use crate::stats::{CacheStats, LiveStats};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// How many least-recently-used entries compete for eviction. Within the
+/// window the cheapest-to-rebuild (lowest `build_cost × (1 + hits)`) entry
+/// loses; entries more recent than the window are never considered, which
+/// bounds how far cost-awareness can deviate from LRU.
+pub const EVICT_WINDOW: usize = 8;
 
 /// A ready cache entry.
 #[derive(Debug)]
@@ -40,6 +57,11 @@ struct Entry<V> {
     bytes: usize,
     /// Recency tick; also this entry's key in the shard's LRU index.
     last_used: u64,
+    /// Wall-clock microseconds the build closure took (fixed at insert) —
+    /// the replacement cost this entry's survival saves.
+    cost_micros: u64,
+    /// Lookups served by this entry since insert.
+    hits: u64,
 }
 
 /// One cell of the in-flight (single-flight) table.
@@ -198,10 +220,13 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
                     // Clears the in-flight cell on failure *or unwind*, so a
                     // panicking builder never wedges waiters.
                     let mut guard = BuildGuard { cache: self, key, flight: &flight, armed: true };
+                    let build_start = Instant::now();
                     let (value, bytes) = build()?;
+                    let cost_micros =
+                        build_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
                     let mut shard = Self::lock(shard_mutex);
                     shard.building.remove(key);
-                    self.insert_ready(&mut shard, key.clone(), value.clone(), bytes);
+                    self.insert_ready(&mut shard, key.clone(), value.clone(), bytes, cost_micros);
                     drop(shard);
                     flight.resolve(FlightState::Done(value.clone()));
                     guard.armed = false;
@@ -268,22 +293,30 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
         self.stats.snapshot(bytes, entries)
     }
 
-    /// Look up `key` in a locked shard and bump its recency.
+    /// Look up `key` in a locked shard and bump its recency and hit count.
     fn touch_entry(shard: &mut Shard<K, V>, key: &K) -> Option<Arc<V>> {
         shard.tick += 1;
         let tick = shard.tick;
         let entry = shard.ready.get_mut(key)?;
         let old = std::mem::replace(&mut entry.last_used, tick);
+        entry.hits += 1;
         let value = entry.value.clone();
         let key = shard.lru.remove(&old).expect("ready entries are LRU-indexed");
         shard.lru.insert(tick, key);
         Some(value)
     }
 
-    /// Link a freshly built entry into a locked shard, evicting LRU entries
+    /// Link a freshly built entry into a locked shard, evicting entries
     /// first so the shard never exceeds its budget. Oversized values are not
     /// retained at all.
-    fn insert_ready(&self, shard: &mut Shard<K, V>, key: K, value: Arc<V>, bytes: usize) {
+    fn insert_ready(
+        &self,
+        shard: &mut Shard<K, V>,
+        key: K,
+        value: Arc<V>,
+        bytes: usize,
+        cost_micros: u64,
+    ) {
         if bytes > self.shard_budget {
             LiveStats::bump(&self.stats.uncacheable);
             return;
@@ -295,7 +328,8 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
             shard.bytes -= old.bytes;
         }
         while shard.bytes + bytes > self.shard_budget {
-            let (_, victim) = shard.lru.pop_first().expect("nonempty shard over budget");
+            let victim_tick = Self::pick_victim(shard);
+            let victim = shard.lru.remove(&victim_tick).expect("victim came from the LRU index");
             let evicted = shard.ready.remove(&victim).expect("LRU index matches ready map");
             shard.bytes -= evicted.bytes;
             LiveStats::bump(&self.stats.evictions);
@@ -304,9 +338,27 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
         shard.tick += 1;
         let tick = shard.tick;
         shard.lru.insert(tick, key.clone());
-        shard.ready.insert(key, Entry { value, bytes, last_used: tick });
+        shard
+            .ready
+            .insert(key, Entry { value, bytes, last_used: tick, cost_micros, hits: 0 });
         shard.bytes += bytes;
         LiveStats::bump(&self.stats.inserts);
+    }
+
+    /// The recency tick of the entry to evict: among the [`EVICT_WINDOW`]
+    /// least-recently-used entries, the one with the lowest
+    /// `build_cost × (1 + hits)` score — strict `<` keeps the least recent
+    /// on ties, so instant builders degrade to exact LRU.
+    fn pick_victim(shard: &Shard<K, V>) -> u64 {
+        let mut best: Option<(u64, u128)> = None;
+        for (&tick, key) in shard.lru.iter().take(EVICT_WINDOW) {
+            let entry = shard.ready.get(key).expect("LRU index matches ready map");
+            let score = (entry.cost_micros as u128) * (1 + entry.hits as u128);
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((tick, score));
+            }
+        }
+        best.expect("nonempty shard over budget").0
     }
 }
 
@@ -377,6 +429,53 @@ mod tests {
         assert_eq!(s.evictions, 1);
         assert_eq!(s.bytes_evicted, 8);
         assert!(s.resident_bytes <= 16);
+    }
+
+    /// Budget-aware admission: a cheap-to-rebuild entry yields budget to an
+    /// expensive one even when the expensive one is *less* recently used —
+    /// exactly where pure LRU would get it wrong.
+    #[test]
+    fn cheap_to_rebuild_entry_yields_budget_to_expensive_one() {
+        // One shard, room for two 8-byte entries.
+        let cache: ShardedLru<u32, u64> = ShardedLru::new(16, 1);
+        // The expensive entry is inserted FIRST, so it is the LRU victim a
+        // cost-blind policy would pick.
+        cache.get_or_build(&1, || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            val(1)
+        });
+        cache.get_or_build(&2, || val(2)); // instant build: cost ~0 us
+        cache.get_or_build(&3, || val(3)); // forces one eviction
+        assert!(
+            cache.peek(&1).is_some(),
+            "expensive-to-rebuild entry must survive despite being least recent"
+        );
+        assert!(cache.peek(&2).is_none(), "cheap entry yielded its budget");
+        assert!(cache.peek(&3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    /// Hits weigh into the eviction score: of two equally expensive entries,
+    /// the unused one loses to the frequently hit one regardless of recency.
+    #[test]
+    fn eviction_score_weighs_recent_hits() {
+        let cache: ShardedLru<u32, u64> = ShardedLru::new(16, 1);
+        let slow = || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            val(0)
+        };
+        cache.get_or_build(&1, slow);
+        cache.get_or_build(&2, slow);
+        // Hit 1 three times; 2 stays unused but becomes the most recent via
+        // one final touchless insert order — then hit 2 once so it is MORE
+        // recent than 1 yet has fewer hits.
+        for _ in 0..3 {
+            cache.get_or_build(&1, || unreachable!());
+        }
+        cache.get_or_build(&2, || unreachable!());
+        cache.get_or_build(&3, slow); // forces one eviction
+        assert!(cache.peek(&1).is_some(), "heavily hit entry survives");
+        assert!(cache.peek(&2).is_none(), "similar cost, fewer hits: evicted");
     }
 
     #[test]

@@ -1,6 +1,26 @@
-//! Cache observability: atomic counters and their public snapshot.
+//! Cache observability: atomic counters and their public snapshots.
+//!
+//! [`CacheStats`] is one cache's point-in-time snapshot; [`StatsSnapshot`]
+//! pairs the trie and plan caches' snapshots into the plain, wire-encodable
+//! struct that serving front-ends ship in `/metrics`-style stats frames.
+//! Both are plain `Copy` data — no atomics, no locks — so they can be held
+//! across passes, diffed with `delta`, and encoded with the hand-rolled
+//! fixed-order binary codec (the workspace's offline `serde` stand-in does
+//! not serialize, so the codec is explicit: every field is one
+//! little-endian `u64`, in declaration order).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Take one little-endian `u64` off the front of `bytes`, advancing the
+/// slice; `None` when fewer than 8 bytes remain. The single wire-decode
+/// primitive shared by every fixed-order codec in the workspace
+/// ([`CacheStats::decode`], `fj-serve`'s stats frame) so the layout can
+/// never desynchronize between copies.
+pub fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = bytes.split_first_chunk::<8>()?;
+    *bytes = rest;
+    Some(u64::from_le_bytes(*head))
+}
 
 /// A point-in-time snapshot of a cache's counters and gauges — the public
 /// stats API consulted by sessions, benchmarks and tests.
@@ -63,6 +83,97 @@ impl CacheStats {
             resident_bytes: self.resident_bytes,
             entries: self.entries,
         }
+    }
+
+    /// Field (name, value) pairs in codec order — the single source of truth
+    /// for the binary layout and for metrics-text rendering.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("coalesced", self.coalesced),
+            ("inserts", self.inserts),
+            ("evictions", self.evictions),
+            ("bytes_evicted", self.bytes_evicted),
+            ("uncacheable", self.uncacheable),
+            ("invalidated", self.invalidated),
+            ("resident_bytes", self.resident_bytes),
+            ("entries", self.entries),
+        ]
+    }
+
+    /// Append the fixed-order binary encoding (10 little-endian `u64`s).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for (_, v) in self.fields() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decode a snapshot from the front of `bytes`, advancing the slice.
+    /// Returns `None` when fewer than 80 bytes remain.
+    pub fn decode(bytes: &mut &[u8]) -> Option<CacheStats> {
+        let mut take = || take_u64(bytes);
+        Some(CacheStats {
+            hits: take()?,
+            misses: take()?,
+            coalesced: take()?,
+            inserts: take()?,
+            evictions: take()?,
+            bytes_evicted: take()?,
+            uncacheable: take()?,
+            invalidated: take()?,
+            resident_bytes: take()?,
+            entries: take()?,
+        })
+    }
+}
+
+/// The combined snapshot of a serving process's cache pair — the trie cache
+/// and the plan cache — as one plain, copyable, wire-encodable struct. This
+/// is what `free-join`'s `Session::cache_stats` returns and what `fj-serve`
+/// embeds in its stats frame, so in-process assertions (e.g.
+/// `examples/serve_repeated.rs`) and remote `/metrics` consumers read the
+/// exact same shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Trie cache counters/gauges.
+    pub tries: CacheStats,
+    /// Plan cache counters/gauges (`resident_bytes` counts entries).
+    pub plans: CacheStats,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference against an earlier snapshot (gauges from
+    /// `self`): `after.delta(&before)`.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            tries: self.tries.delta(&earlier.tries),
+            plans: self.plans.delta(&earlier.plans),
+        }
+    }
+
+    /// Append the fixed-order binary encoding (tries then plans, 160 bytes).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.tries.encode(out);
+        self.plans.encode(out);
+    }
+
+    /// Decode from the front of `bytes`, advancing the slice.
+    pub fn decode(bytes: &mut &[u8]) -> Option<StatsSnapshot> {
+        Some(StatsSnapshot { tries: CacheStats::decode(bytes)?, plans: CacheStats::decode(bytes)? })
+    }
+
+    /// Render as `/metrics`-style text, one `fj_cache_<cache>_<field> <value>`
+    /// line per counter/gauge.
+    pub fn render_metrics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (cache, stats) in [("trie", &self.tries), ("plan", &self.plans)] {
+            for (name, value) in stats.fields() {
+                let _ = writeln!(out, "fj_cache_{cache}_{name} {value}");
+            }
+        }
+        out
     }
 }
 
@@ -134,6 +245,54 @@ mod tests {
         assert_eq!(d.misses, 1);
         assert_eq!(d.resident_bytes, 250, "gauges come from the later snapshot");
         assert_eq!(d.entries, 2);
+    }
+
+    #[test]
+    fn snapshot_binary_codec_round_trips() {
+        let snap = StatsSnapshot {
+            tries: CacheStats {
+                hits: 1,
+                misses: 2,
+                coalesced: 3,
+                inserts: 4,
+                evictions: 5,
+                bytes_evicted: 6,
+                uncacheable: 7,
+                invalidated: 8,
+                resident_bytes: 9,
+                entries: 10,
+            },
+            plans: CacheStats { hits: u64::MAX, misses: 11, ..Default::default() },
+        };
+        let mut buf = Vec::new();
+        snap.encode(&mut buf);
+        assert_eq!(buf.len(), 160, "2 caches x 10 fixed u64 fields");
+        let mut slice = buf.as_slice();
+        let decoded = StatsSnapshot::decode(&mut slice).unwrap();
+        assert_eq!(decoded, snap);
+        assert!(slice.is_empty(), "decode consumes exactly the encoding");
+        // Truncated input is a decode failure, not a panic.
+        assert!(StatsSnapshot::decode(&mut &buf[..159]).is_none());
+    }
+
+    #[test]
+    fn snapshot_delta_and_metrics_text() {
+        let before = StatsSnapshot {
+            tries: CacheStats { hits: 5, misses: 2, ..Default::default() },
+            plans: CacheStats { hits: 1, ..Default::default() },
+        };
+        let after = StatsSnapshot {
+            tries: CacheStats { hits: 9, misses: 2, resident_bytes: 64, ..Default::default() },
+            plans: CacheStats { hits: 4, ..Default::default() },
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.tries.hits, 4);
+        assert_eq!(d.plans.hits, 3);
+        assert_eq!(d.tries.resident_bytes, 64, "gauges come from the later snapshot");
+        let text = after.render_metrics();
+        assert!(text.contains("fj_cache_trie_hits 9\n"));
+        assert!(text.contains("fj_cache_plan_hits 4\n"));
+        assert_eq!(text.lines().count(), 20);
     }
 
     #[test]

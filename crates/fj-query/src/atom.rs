@@ -86,12 +86,27 @@ impl Atom {
 }
 
 impl fmt::Display for Atom {
+    /// Renders in the parser's grammar, including the `where` clause when
+    /// the filter is expressible in it (conjunctions of column/constant
+    /// comparisons — see `Predicate::to_query_text`), so query text built
+    /// with `to_string` round-trips through `parse_query` filters and all.
+    /// Filters outside the grammar render as `where <unprintable>`, which
+    /// deliberately fails to re-parse rather than silently dropping the
+    /// selection (pre-PR-4 behavior, which made the text claim rows the
+    /// filtered query never produced).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.alias == self.relation {
-            write!(f, "{}({})", self.relation, self.vars.join(", "))
+            write!(f, "{}({})", self.relation, self.vars.join(", "))?;
         } else {
-            write!(f, "{} as {}({})", self.relation, self.alias, self.vars.join(", "))
+            write!(f, "{} as {}({})", self.relation, self.alias, self.vars.join(", "))?;
         }
+        if self.has_filter() {
+            match self.filter.to_query_text() {
+                Some(text) => write!(f, " where {text}")?,
+                None => write!(f, " where <unprintable>")?,
+            }
+        }
+        Ok(())
     }
 }
 

@@ -29,5 +29,5 @@ pub use atom::Atom;
 pub use builder::QueryBuilder;
 pub use hypergraph::Hypergraph;
 pub use output::{Aggregate, ExecStats, OutputBuilder, OutputKind, QueryOutput};
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_filter, parse_query, ParseError};
 pub use query::{ConjunctiveQuery, QueryError};

@@ -233,6 +233,25 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
     Parser::new(input).query()
 }
 
+/// Parse a standalone filter expression (the `where` clause grammar:
+/// conditions joined by `and`), as shipped over the wire by serving
+/// front-ends for per-execution parameter overrides. The inverse of
+/// `fj_storage::Predicate::to_query_text`; an empty (or all-whitespace)
+/// input is the trivial `Predicate::True`.
+pub fn parse_filter(input: &str) -> Result<Predicate, ParseError> {
+    let mut parser = Parser::new(input);
+    parser.skip_ws();
+    if parser.rest().is_empty() {
+        return Ok(Predicate::True);
+    }
+    let filter = parser.filter()?;
+    parser.skip_ws();
+    if !parser.rest().is_empty() {
+        return parser.error("trailing input after filter");
+    }
+    Ok(filter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +326,37 @@ mod tests {
         let q = parse_query(text).unwrap();
         let reparsed = parse_query(&q.to_string()).unwrap();
         assert_eq!(q, reparsed);
+    }
+
+    /// Display must round-trip *filters* too — the serving wire protocol
+    /// ships queries as text, so a Display that dropped `where` clauses
+    /// would silently serve the unfiltered query.
+    #[test]
+    fn round_trip_with_display_preserves_filters() {
+        let text = "Q(x, u) :- M as s(u, v) where w > 30 and v != 7, R(x, u) where x >= -2.";
+        let q = parse_query(text).unwrap();
+        let rendered = q.to_string();
+        assert!(rendered.contains("where w > 30 and v != 7"), "got: {rendered}");
+        let reparsed = parse_query(&rendered).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn parse_filter_round_trips_standalone_predicates() {
+        let f = parse_filter("w > 30 and v != w").unwrap();
+        assert_eq!(
+            f,
+            Predicate::cmp_const("w", CmpOp::Gt, 30i64).and(Predicate::cmp_cols(
+                "v",
+                CmpOp::Ne,
+                "w"
+            ))
+        );
+        assert_eq!(parse_filter(&f.to_query_text().unwrap()).unwrap(), f);
+        assert_eq!(parse_filter("").unwrap(), Predicate::True);
+        assert_eq!(parse_filter("   ").unwrap(), Predicate::True);
+        assert!(parse_filter("w > 30 garbage").is_err());
+        assert!(parse_filter("w >").is_err());
     }
 
     #[test]

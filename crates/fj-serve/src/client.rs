@@ -1,0 +1,156 @@
+//! A minimal blocking client for the fj-serve wire protocol, used by the
+//! integration tests, `examples/serve_tcp.rs`, and `bench_json`'s serving
+//! mode. One request in flight per connection (the protocol is strict
+//! request/response); open more clients for concurrency, exactly like the
+//! server's thread-per-connection workers expect.
+
+use crate::metrics::ServerStats;
+use crate::protocol::{
+    read_frame, write_frame, BusyReason, Request, Response, WireError, MAX_FRAME_BYTES,
+};
+use fj_query::Aggregate;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A typed client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing mid-exchange).
+    Io(io::Error),
+    /// The server's bytes did not decode.
+    Wire(WireError),
+    /// The server shed this request ([`Response::Busy`]); it was NOT run.
+    Busy(BusyReason),
+    /// The server answered with a typed error message.
+    Server(String),
+    /// The server closed the connection instead of answering (e.g. it shut
+    /// down, or this connection was shed at the acceptor after the Busy
+    /// frame was lost).
+    Disconnected,
+    /// Decoded fine but was not the response this request expects.
+    UnexpectedResponse(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Busy(reason) => write!(f, "server busy: {reason}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::UnexpectedResponse(expected) => {
+                write!(f, "unexpected response (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A prepared query's server-side identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedHandle {
+    /// Registry key to pass to [`Client::execute`].
+    pub handle: u64,
+    /// The plan-cache fingerprint (equal across clients preparing the same
+    /// normalized shape — observable proof of cross-connection plan reuse).
+    pub fingerprint: u64,
+}
+
+/// One execution's result summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Answer {
+    /// Output cardinality (rows, count value, or group count).
+    pub cardinality: u64,
+    /// Tries this execution built; 0 on a fully cache-served path.
+    pub tries_built: u64,
+    /// Server-side service time for this request, microseconds.
+    pub service_us: u64,
+}
+
+/// A blocking connection to an fj-serve server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect. The server may still shed this connection at admission; the
+    /// first request then fails with [`ClientError::Busy`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload =
+            read_frame(&mut self.stream, MAX_FRAME_BYTES)?.ok_or(ClientError::Disconnected)?;
+        let response = Response::decode(&payload).map_err(ClientError::Wire)?;
+        match response {
+            Response::Busy(reason) => Err(ClientError::Busy(reason)),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Prepare a query (datalog text + aggregate) on the server.
+    pub fn prepare(
+        &mut self,
+        query: impl Into<String>,
+        aggregate: Aggregate,
+    ) -> Result<PreparedHandle, ClientError> {
+        match self.round_trip(&Request::Prepare { query: query.into(), aggregate })? {
+            Response::Prepared { handle, fingerprint } => {
+                Ok(PreparedHandle { handle, fingerprint })
+            }
+            _ => Err(ClientError::UnexpectedResponse("Prepared")),
+        }
+    }
+
+    /// Execute a prepared handle with no parameter overrides.
+    pub fn execute(&mut self, handle: PreparedHandle) -> Result<Answer, ClientError> {
+        self.execute_with(handle, &[])
+    }
+
+    /// Execute with `(alias, filter text)` parameter overrides.
+    pub fn execute_with(
+        &mut self,
+        handle: PreparedHandle,
+        params: &[(&str, &str)],
+    ) -> Result<Answer, ClientError> {
+        let params = params.iter().map(|(a, f)| (a.to_string(), f.to_string())).collect::<Vec<_>>();
+        match self.round_trip(&Request::Execute { handle: handle.handle, params })? {
+            Response::Answer { cardinality, tries_built, service_us } => {
+                Ok(Answer { cardinality, tries_built, service_us })
+            }
+            _ => Err(ClientError::UnexpectedResponse("Answer")),
+        }
+    }
+
+    /// Fetch the `/metrics`-style stats snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ClientError::UnexpectedResponse("Stats")),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (acknowledged before the
+    /// drain begins).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("Ok")),
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Server observability: lock-free counters and a fixed-bucket latency
+//! histogram with p50/p99 quantiles.
+//!
+//! The histogram is log-linear (4 sub-buckets per power of two, like a
+//! 2-significant-bit HDR histogram): recording is one relaxed atomic
+//! increment, memory is a fixed ~1.2 KiB regardless of traffic, and any
+//! quantile is reproducible from the buckets with ≤ 25% relative error —
+//! plenty for serving dashboards, and safely mergeable across threads
+//! because nothing is sampled or windowed.
+
+use fj_cache::{take_u64, StatsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below `LINEAR_MAX` get one bucket each; above it, each power of
+/// two is split into [`SUBBUCKETS`] linear sub-buckets.
+const LINEAR_MAX: u64 = 4;
+const SUBBUCKETS: usize = 4;
+/// Highest octave tracked: the top bucket's upper bound is ~2^40 us
+/// (≈ 12.7 days), far beyond any service time; slower observations
+/// saturate into it.
+const OCTAVES: usize = 38;
+const NUM_BUCKETS: usize = LINEAR_MAX as usize + OCTAVES * SUBBUCKETS;
+
+/// Bucket index for a microsecond value (saturating at the top bucket).
+fn bucket_of(us: u64) -> usize {
+    if us < LINEAR_MAX {
+        return us as usize;
+    }
+    let octave = us.ilog2() as usize; // >= 2 because us >= LINEAR_MAX = 4
+    let sub = ((us >> (octave - 2)) & 0b11) as usize;
+    (LINEAR_MAX as usize + (octave - 2) * SUBBUCKETS + sub).min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket, reported as the quantile estimate.
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket < LINEAR_MAX as usize {
+        return bucket as u64;
+    }
+    let rest = bucket - LINEAR_MAX as usize;
+    let octave = rest / SUBBUCKETS + 2;
+    let sub = (rest % SUBBUCKETS) as u64;
+    ((SUBBUCKETS as u64 + sub + 1) << (octave - 2)) - 1
+}
+
+/// A fixed-bucket, lock-free latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation (relaxed atomics; safe from any thread).
+    pub fn record(&self, us: u64) {
+        self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the rank-`ceil(q·n)` observation; 0 with no observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.observations();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            cumulative += count.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+}
+
+/// The server's live counters, updated lock-free by the acceptor and the
+/// worker threads.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted and admitted to the pending queue.
+    pub accepted: AtomicU64,
+    /// Connections shed at the acceptor because the queue was full.
+    pub rejected_queue: AtomicU64,
+    /// Requests shed because the in-flight byte budget was exhausted.
+    pub rejected_bytes: AtomicU64,
+    /// Requests served to completion (success or typed error response).
+    pub served: AtomicU64,
+    /// Requests answered with [`crate::protocol::Response::Error`].
+    pub errors: AtomicU64,
+    /// Service time (read-to-response) per served request, microseconds.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Point-in-time snapshot, folding in the cache pair's snapshot.
+    pub fn snapshot(&self, cache: StatsSnapshot) -> ServerStats {
+        ServerStats {
+            cache,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_queue: self.rejected_queue.load(Ordering::Relaxed),
+            rejected_bytes: self.rejected_bytes.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            observations: self.latency.observations(),
+            p50_us: self.latency.quantile(0.50),
+            p99_us: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// The `/metrics`-style snapshot shipped in the stats frame: the cache
+/// pair's [`StatsSnapshot`] plus the server's own counters and latency
+/// quantiles. Plain `Copy` data with the same fixed-order little-endian
+/// `u64` codec as the cache snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Trie + plan cache snapshot.
+    pub cache: StatsSnapshot,
+    /// Connections accepted and admitted.
+    pub accepted: u64,
+    /// Connections shed at the acceptor (queue full).
+    pub rejected_queue: u64,
+    /// Requests shed by the in-flight byte budget.
+    pub rejected_bytes: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Latency observations behind the quantiles.
+    pub observations: u64,
+    /// Median service time, microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile service time, microseconds (bucket upper bound).
+    pub p99_us: u64,
+}
+
+impl ServerStats {
+    /// Total requests shed (both admission axes).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue + self.rejected_bytes
+    }
+
+    /// Counter-wise difference against an earlier snapshot (quantiles and
+    /// gauges are taken from `self` — quantiles are cumulative-histogram
+    /// readouts, not windowed).
+    pub fn delta(&self, earlier: &ServerStats) -> ServerStats {
+        ServerStats {
+            cache: self.cache.delta(&earlier.cache),
+            accepted: self.accepted - earlier.accepted,
+            rejected_queue: self.rejected_queue - earlier.rejected_queue,
+            rejected_bytes: self.rejected_bytes - earlier.rejected_bytes,
+            served: self.served - earlier.served,
+            errors: self.errors - earlier.errors,
+            observations: self.observations - earlier.observations,
+            p50_us: self.p50_us,
+            p99_us: self.p99_us,
+        }
+    }
+
+    /// Append the fixed-order binary encoding (cache snapshot + 8 u64s).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.cache.encode(out);
+        for v in [
+            self.accepted,
+            self.rejected_queue,
+            self.rejected_bytes,
+            self.served,
+            self.errors,
+            self.observations,
+            self.p50_us,
+            self.p99_us,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decode from the front of `bytes`, advancing the slice; `None` on
+    /// truncation.
+    pub fn decode(bytes: &mut &[u8]) -> Option<ServerStats> {
+        let cache = StatsSnapshot::decode(bytes)?;
+        let mut take = || take_u64(bytes);
+        Some(ServerStats {
+            cache,
+            accepted: take()?,
+            rejected_queue: take()?,
+            rejected_bytes: take()?,
+            served: take()?,
+            errors: take()?,
+            observations: take()?,
+            p50_us: take()?,
+            p99_us: take()?,
+        })
+    }
+
+    /// Render as `/metrics`-style text: the cache lines plus
+    /// `fj_serve_<counter> <value>` lines.
+    pub fn render_metrics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.cache.render_metrics();
+        for (name, value) in [
+            ("accepted_connections", self.accepted),
+            ("rejected_queue_full", self.rejected_queue),
+            ("rejected_byte_budget", self.rejected_bytes),
+            ("requests_served", self.served),
+            ("request_errors", self.errors),
+            ("latency_observations", self.observations),
+            ("latency_p50_us", self.p50_us),
+            ("latency_p99_us", self.p99_us),
+        ] {
+            let _ = writeln!(out, "fj_serve_{name} {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_the_range() {
+        let mut last = 0;
+        for us in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 1000, 12345, 1 << 20, u64::MAX] {
+            let b = bucket_of(us);
+            assert!(b >= last || us < LINEAR_MAX, "bucket index regressed at {us}");
+            assert!(b < NUM_BUCKETS);
+            assert!(
+                bucket_upper_bound(b) >= us.min(bucket_upper_bound(NUM_BUCKETS - 1)),
+                "value {us} above its bucket's upper bound"
+            );
+            last = b;
+        }
+        // Upper bounds strictly increase bucket to bucket.
+        for b in 1..NUM_BUCKETS {
+            assert!(bucket_upper_bound(b) > bucket_upper_bound(b - 1));
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distributions_within_bucket_error() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        assert_eq!(h.observations(), 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Log-linear buckets with 4 sub-buckets guarantee <= 25% error.
+        assert!((375..=625).contains(&p50), "p50 {p50} outside [375, 625]");
+        assert!((742..=1237).contains(&p99), "p99 {p99} outside [742, 1237]");
+        assert!(p99 >= p50);
+        assert!(h.quantile(1.0) >= p99);
+    }
+
+    #[test]
+    fn extreme_values_saturate_into_the_top_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.observations(), 2);
+        assert_eq!(h.quantile(0.5), bucket_upper_bound(NUM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn server_stats_codec_and_delta() {
+        let metrics = ServerMetrics::default();
+        metrics.accepted.store(5, Ordering::Relaxed);
+        metrics.served.store(17, Ordering::Relaxed);
+        for us in [10u64, 20, 30, 40_000] {
+            metrics.latency.record(us);
+        }
+        let snap = metrics.snapshot(StatsSnapshot::default());
+        assert_eq!(snap.accepted, 5);
+        assert_eq!(snap.observations, 4);
+        assert!(snap.p99_us >= snap.p50_us);
+
+        let mut buf = Vec::new();
+        snap.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(ServerStats::decode(&mut slice), Some(snap));
+        assert!(slice.is_empty());
+        assert!(ServerStats::decode(&mut &buf[..buf.len() - 1]).is_none());
+
+        let later = ServerStats { served: 20, accepted: 9, ..snap };
+        let d = later.delta(&snap);
+        assert_eq!(d.served, 3);
+        assert_eq!(d.accepted, 4);
+
+        let text = snap.render_metrics();
+        assert!(text.contains("fj_serve_requests_served 17\n"));
+        assert!(text.contains("fj_cache_trie_hits 0\n"));
+    }
+}

@@ -1,0 +1,490 @@
+//! The wire protocol: length-prefixed frames with a hand-rolled binary
+//! codec.
+//!
+//! Every message is one **frame**: a 4-byte big-endian payload length
+//! followed by the payload, whose first byte is an opcode. Queries travel
+//! as text in the workspace's datalog grammar (`fj_query::parse_query`) and
+//! per-execution parameter filters as standalone filter expressions
+//! (`fj_query::parse_filter` / `Predicate::to_query_text`), so the protocol
+//! needs no structural serialization of plans or predicates — the offline
+//! `serde` stand-ins don't serialize, and text is also what a human pokes
+//! at the port with. Numbers (handles, counters, stats) are fixed-order
+//! little-endian `u64`s.
+//!
+//! Request opcodes: [`Request::Prepare`] (query text + aggregate) →
+//! [`Response::Prepared`] (handle + plan fingerprint); [`Request::Execute`]
+//! (handle + parameter overrides) → [`Response::Answer`];
+//! [`Request::Stats`] → [`Response::Stats`] ([`ServerStats`]);
+//! [`Request::Shutdown`] → [`Response::Ok`] and a graceful drain.
+//! [`Response::Busy`] is the typed load-shedding reply (queue full or
+//! in-flight byte budget exhausted) and [`Response::Error`] carries any
+//! engine/parse error as text. Unknown opcodes and truncated payloads
+//! surface as [`WireError`], never panics — the peer is untrusted input.
+
+use crate::metrics::ServerStats;
+use fj_query::Aggregate;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap a server or client will ever read for one frame, regardless of
+/// configuration — a 4-byte length prefix could otherwise demand a 4 GiB
+/// allocation from a one-line client.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Why a request was shed rather than served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The pending-connection queue was at capacity when the connection
+    /// arrived; retry against a drained server.
+    QueueFull,
+    /// Admitting this request would exceed the server's in-flight byte
+    /// budget; retry later or send smaller frames.
+    ByteBudget,
+}
+
+impl fmt::Display for BusyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusyReason::QueueFull => write!(f, "pending-connection queue full"),
+            BusyReason::ByteBudget => write!(f, "in-flight byte budget exceeded"),
+        }
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Parse, validate, plan and cache a query; returns a handle for
+    /// repeated execution. The text is the datalog grammar; the aggregate
+    /// rides alongside because the grammar does not express it.
+    Prepare { query: String, aggregate: Aggregate },
+    /// Execute a prepared handle, optionally overriding per-atom filters
+    /// with `(alias, filter text)` pairs (`fj_query::parse_filter` syntax).
+    Execute { handle: u64, params: Vec<(String, String)> },
+    /// Snapshot cache + server counters and latency quantiles.
+    Stats,
+    /// Begin graceful shutdown: drain in-flight work, refuse new arrivals.
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A prepared handle and the plan-cache fingerprint behind it.
+    Prepared { handle: u64, fingerprint: u64 },
+    /// One execution's result summary: output cardinality, tries this
+    /// execution built (0 on a fully warm path), and server-side service
+    /// time in microseconds.
+    Answer { cardinality: u64, tries_built: u64, service_us: u64 },
+    /// The `/metrics`-style snapshot.
+    Stats(ServerStats),
+    /// Acknowledgement (shutdown).
+    Ok,
+    /// Load shed: the request was NOT executed.
+    Busy(BusyReason),
+    /// Parse/validation/execution failure, as text.
+    Error { message: String },
+}
+
+/// A malformed frame (unknown opcode, truncated payload, bad UTF-8). The
+/// peer is untrusted; all of these are typed errors rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err<T>(message: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError { message: message.into() })
+}
+
+// Request opcodes.
+const OP_PREPARE: u8 = 0x01;
+const OP_EXECUTE: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+// Response opcodes (high bit set).
+const OP_PREPARED: u8 = 0x81;
+const OP_ANSWER: u8 = 0x82;
+const OP_STATS_REPLY: u8 = 0x83;
+const OP_OK: u8 = 0x84;
+const OP_BUSY: u8 = 0x85;
+const OP_ERROR: u8 = 0x86;
+
+// Aggregate tags inside Prepare.
+const AGG_MATERIALIZE: u8 = 0;
+const AGG_COUNT: u8 = 1;
+const AGG_GROUP_COUNT: u8 = 2;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over an untrusted payload; every read is bounds-checked.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        match self.bytes.split_first() {
+            Some((&b, rest)) => {
+                self.bytes = rest;
+                Ok(b)
+            }
+            None => wire_err("truncated payload (u8)"),
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        match fj_cache::take_u64(&mut self.bytes) {
+            Some(v) => Ok(v),
+            None => wire_err("truncated payload (u64)"),
+        }
+    }
+
+    /// Bytes left to decode — bounds element-count preallocation.
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u64()? as usize;
+        if len > self.bytes.len() {
+            return wire_err(format!("string length {len} exceeds remaining payload"));
+        }
+        let (head, rest) = self.bytes.split_at(len);
+        self.bytes = rest;
+        match std::str::from_utf8(head) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => wire_err("string is not valid UTF-8"),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            wire_err(format!("{} trailing bytes after message", self.bytes.len()))
+        }
+    }
+}
+
+impl Request {
+    /// Encode into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Prepare { query, aggregate } => {
+                out.push(OP_PREPARE);
+                match aggregate {
+                    Aggregate::Materialize => out.push(AGG_MATERIALIZE),
+                    Aggregate::Count => out.push(AGG_COUNT),
+                    Aggregate::GroupCount(vars) => {
+                        out.push(AGG_GROUP_COUNT);
+                        put_u64(&mut out, vars.len() as u64);
+                        for v in vars {
+                            put_str(&mut out, v);
+                        }
+                    }
+                }
+                put_str(&mut out, query);
+            }
+            Request::Execute { handle, params } => {
+                out.push(OP_EXECUTE);
+                put_u64(&mut out, *handle);
+                put_u64(&mut out, params.len() as u64);
+                for (alias, filter) in params {
+                    put_str(&mut out, alias);
+                    put_str(&mut out, filter);
+                }
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let request = match r.u8()? {
+            OP_PREPARE => {
+                let aggregate = match r.u8()? {
+                    AGG_MATERIALIZE => Aggregate::Materialize,
+                    AGG_COUNT => Aggregate::Count,
+                    AGG_GROUP_COUNT => {
+                        let n = r.u64()? as usize;
+                        // Every encoded string costs >= 8 bytes (its length
+                        // prefix), so a count beyond remaining/8 is provably
+                        // malformed — reject it before Vec::with_capacity
+                        // can allocate orders of magnitude more than the
+                        // frame the admission budget was charged for.
+                        if n > r.remaining() / 8 {
+                            return wire_err("group-count variable count exceeds payload");
+                        }
+                        let mut vars = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            vars.push(r.str()?);
+                        }
+                        Aggregate::GroupCount(vars)
+                    }
+                    tag => return wire_err(format!("unknown aggregate tag {tag:#x}")),
+                };
+                Request::Prepare { query: r.str()?, aggregate }
+            }
+            OP_EXECUTE => {
+                let handle = r.u64()?;
+                let n = r.u64()? as usize;
+                // Each (alias, filter) pair costs >= 16 bytes of length
+                // prefixes; see the group-count guard above.
+                if n > r.remaining() / 16 {
+                    return wire_err("parameter count exceeds payload");
+                }
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let alias = r.str()?;
+                    let filter = r.str()?;
+                    params.push((alias, filter));
+                }
+                Request::Execute { handle, params }
+            }
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return wire_err(format!("unknown request opcode {op:#x}")),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Prepared { handle, fingerprint } => {
+                out.push(OP_PREPARED);
+                put_u64(&mut out, *handle);
+                put_u64(&mut out, *fingerprint);
+            }
+            Response::Answer { cardinality, tries_built, service_us } => {
+                out.push(OP_ANSWER);
+                put_u64(&mut out, *cardinality);
+                put_u64(&mut out, *tries_built);
+                put_u64(&mut out, *service_us);
+            }
+            Response::Stats(stats) => {
+                out.push(OP_STATS_REPLY);
+                stats.encode(&mut out);
+            }
+            Response::Ok => out.push(OP_OK),
+            Response::Busy(reason) => {
+                out.push(OP_BUSY);
+                out.push(match reason {
+                    BusyReason::QueueFull => 0,
+                    BusyReason::ByteBudget => 1,
+                });
+            }
+            Response::Error { message } => {
+                out.push(OP_ERROR);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let response = match r.u8()? {
+            OP_PREPARED => Response::Prepared { handle: r.u64()?, fingerprint: r.u64()? },
+            OP_ANSWER => Response::Answer {
+                cardinality: r.u64()?,
+                tries_built: r.u64()?,
+                service_us: r.u64()?,
+            },
+            OP_STATS_REPLY => match ServerStats::decode(&mut r.bytes) {
+                Some(stats) => Response::Stats(stats),
+                None => return wire_err("truncated stats payload"),
+            },
+            OP_OK => Response::Ok,
+            OP_BUSY => Response::Busy(match r.u8()? {
+                0 => BusyReason::QueueFull,
+                1 => BusyReason::ByteBudget,
+                tag => return wire_err(format!("unknown busy reason {tag:#x}")),
+            }),
+            OP_ERROR => Response::Error { message: r.str()? },
+            op => return wire_err(format!("unknown response opcode {op:#x}")),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` is a clean EOF at a frame boundary
+/// (the peer hung up between requests); a frame longer than `max_bytes` is
+/// an `InvalidData` error — the stream cannot be resynchronized after an
+/// oversized announcement, so the caller must close the connection.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_bytes.min(MAX_FRAME_BYTES) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_bytes}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ServerStats;
+    use fj_cache::{CacheStats, StatsSnapshot};
+
+    fn round_trip_request(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Prepare {
+            query: "Q(x) :- R(x, y) where y > 3.".into(),
+            aggregate: Aggregate::Materialize,
+        });
+        round_trip_request(Request::Prepare {
+            query: "Q() :- R(x, y), S(y, z).".into(),
+            aggregate: Aggregate::Count,
+        });
+        round_trip_request(Request::Prepare {
+            query: "Q() :- R(x, city).".into(),
+            aggregate: Aggregate::GroupCount(vec!["city".into(), "x".into()]),
+        });
+        round_trip_request(Request::Execute { handle: 7, params: vec![] });
+        round_trip_request(Request::Execute {
+            handle: u64::MAX,
+            params: vec![("e".into(), "src < 3".into()), ("p".into(), String::new())],
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Prepared { handle: 1, fingerprint: 0xdead_beef });
+        round_trip_response(Response::Answer { cardinality: 42, tries_built: 3, service_us: 950 });
+        round_trip_response(Response::Ok);
+        round_trip_response(Response::Busy(BusyReason::QueueFull));
+        round_trip_response(Response::Busy(BusyReason::ByteBudget));
+        round_trip_response(Response::Error { message: "unknown handle 9".into() });
+        let stats = ServerStats {
+            cache: StatsSnapshot {
+                tries: CacheStats { hits: 10, misses: 2, ..Default::default() },
+                plans: CacheStats { hits: 4, ..Default::default() },
+            },
+            accepted: 12,
+            rejected_queue: 1,
+            rejected_bytes: 2,
+            served: 40,
+            errors: 3,
+            observations: 40,
+            p50_us: 120,
+            p99_us: 2400,
+        };
+        round_trip_response(Response::Stats(stats));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(Request::decode(&[]).is_err(), "empty payload");
+        assert!(Request::decode(&[0x7f]).is_err(), "unknown opcode");
+        assert!(Request::decode(&[OP_PREPARE, 9]).is_err(), "unknown aggregate tag");
+        // A string whose announced length exceeds the payload.
+        let mut bad = vec![OP_PREPARE, AGG_COUNT];
+        put_u64(&mut bad, 1 << 40);
+        assert!(Request::decode(&bad).is_err());
+        // An element count larger than the remaining bytes could possibly
+        // encode (each element costs >= 16 bytes of length prefixes) is
+        // rejected up front, before any count-sized preallocation.
+        let mut inflated = vec![OP_EXECUTE];
+        put_u64(&mut inflated, 1); // handle
+        put_u64(&mut inflated, 100); // claims 100 params...
+        inflated.extend_from_slice(&[0u8; 200]); // ...in 200 bytes
+        assert!(Request::decode(&inflated).is_err());
+        // Trailing garbage after a valid message.
+        let mut trailing = Request::Stats.encode();
+        trailing.push(0);
+        assert!(Request::decode(&trailing).is_err());
+        // Invalid UTF-8 in a string.
+        let mut bad_utf8 = vec![OP_ERROR];
+        put_u64(&mut bad_utf8, 2);
+        bad_utf8.extend_from_slice(&[0xff, 0xfe]);
+        assert!(Response::decode(&bad_utf8).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor, 1024).unwrap().is_none(), "clean EOF is None");
+
+        // An oversized announcement is an error, not an allocation.
+        let mut oversized = Vec::new();
+        write_frame(&mut oversized, &[0u8; 64]).unwrap();
+        let mut cursor = io::Cursor::new(oversized);
+        let err = read_frame(&mut cursor, 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A truncated frame body (EOF mid-frame) is an error, not None.
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&8u32.to_be_bytes());
+        truncated.extend_from_slice(&[1, 2, 3]);
+        let mut cursor = io::Cursor::new(truncated);
+        assert!(read_frame(&mut cursor, 1024).is_err());
+    }
+}

@@ -1,0 +1,539 @@
+//! The serving loop: accept thread, bounded pending queue, worker pool,
+//! admission control, and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! One **acceptor** thread owns the listener. Each accepted connection is
+//! pushed onto a bounded [`std::sync::mpsc::sync_channel`]; when the queue
+//! is full the acceptor writes a typed [`Response::Busy`] frame and closes
+//! the socket immediately — load is shed at the door, before any worker
+//! time is spent. **Workers** (thread-per-core by default) pop connections
+//! and run each one's request/response loop to completion, so a connection
+//! is always served by exactly one thread and the engine below needs no
+//! per-request locking: all workers share one [`Session`] (and one handle
+//! registry) behind an `Arc` — `prepare`/`execute` take `&self`, so
+//! concurrent executions never serialize on the server.
+//!
+//! # Admission control
+//!
+//! Two axes, both returning typed `Busy` responses rather than stalling:
+//!
+//! * **Queue depth** — the bounded pending queue above; capacity
+//!   [`ServerConfig::queue_capacity`].
+//! * **In-flight bytes** — each admitted request reserves its frame size
+//!   against [`ServerConfig::inflight_byte_budget`] until its response is
+//!   written; a request that would exceed the budget is answered
+//!   `Busy(ByteBudget)` and dropped *without* executing (the connection
+//!   stays usable). Individual frames are additionally capped at
+//!   [`ServerConfig::max_frame_bytes`] — an oversized announcement is a
+//!   protocol violation that closes the connection, since the stream can't
+//!   be resynchronized.
+//!
+//! # Graceful shutdown
+//!
+//! [`Server::shutdown`] (or a client's `Shutdown` frame) flips a flag and
+//! nudges the acceptor awake; the listener closes, queued connections are
+//! drained by the workers, in-flight requests complete and get their
+//! responses, and idle connections are closed at the next frame boundary
+//! (workers poll the flag with a short `peek` timeout, so `join` never
+//! hangs on a silent client). New connection attempts are refused by the
+//! closed listener.
+
+use crate::metrics::{ServerMetrics, ServerStats};
+use crate::protocol::{read_frame, write_frame, BusyReason, Request, Response};
+use fj_query::{parse_filter, parse_query, Aggregate, ConjunctiveQuery};
+use fj_storage::Catalog;
+use free_join::{Params, Prepared, Session};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving connections. `0` = available parallelism
+    /// (thread-per-core).
+    pub workers: usize,
+    /// Bounded pending-connection queue depth; arrivals beyond it are shed
+    /// with `Busy(QueueFull)`.
+    pub queue_capacity: usize,
+    /// Total bytes of admitted request frames allowed in flight at once;
+    /// requests beyond it are shed with `Busy(ByteBudget)`.
+    pub inflight_byte_budget: usize,
+    /// Per-frame size cap; larger frames are a protocol violation.
+    pub max_frame_bytes: usize,
+    /// Maximum prepared handles retained server-wide. Re-preparing an
+    /// identical query reuses its existing handle; beyond the cap the
+    /// oldest handle is dropped (executing it afterwards is a typed
+    /// "unknown handle" error), so an untrusted client looping `Prepare`
+    /// cannot grow server memory without bound.
+    pub max_prepared: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+            inflight_byte_budget: 8 << 20,
+            max_frame_bytes: 1 << 20,
+            max_prepared: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The concrete worker count (`workers`, or available parallelism).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+struct Shared {
+    session: Session,
+    catalog: Arc<Catalog>,
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    /// Bytes of admitted request frames currently being processed.
+    inflight_bytes: AtomicUsize,
+    /// Prepared-handle registry, server-global so any connection may
+    /// execute a handle prepared by another (read-mostly: one write per
+    /// distinct prepare, reads on every execute).
+    prepared: RwLock<PreparedRegistry>,
+    next_handle: AtomicU64,
+}
+
+/// The bounded prepared-handle registry: identical re-prepares reuse the
+/// existing handle, and beyond [`ServerConfig::max_prepared`] entries the
+/// oldest handle is dropped FIFO — untrusted `Prepare` loops cannot grow
+/// server memory without bound.
+#[derive(Debug, Default)]
+struct PreparedRegistry {
+    by_handle: HashMap<u64, Arc<Prepared>>,
+    /// Insertion order, oldest first (the eviction order).
+    order: VecDeque<u64>,
+}
+
+impl PreparedRegistry {
+    fn get(&self, handle: u64) -> Option<Arc<Prepared>> {
+        self.by_handle.get(&handle).cloned()
+    }
+
+    /// The handle of an already-registered identical query, if any. The
+    /// scan is O(registry) on fingerprint equality (a u64 compare) and
+    /// only runs at prepare time, which is already a planner round-trip.
+    fn find_identical(&self, prepared: &Prepared) -> Option<u64> {
+        self.by_handle
+            .iter()
+            .find(|(_, existing)| {
+                existing.fingerprint() == prepared.fingerprint()
+                    && existing.query() == prepared.query()
+            })
+            .map(|(&handle, _)| handle)
+    }
+
+    /// Register under `handle`, evicting oldest entries beyond `cap`.
+    fn insert(&mut self, handle: u64, prepared: Arc<Prepared>, cap: usize) {
+        self.by_handle.insert(handle, prepared);
+        self.order.push_back(handle);
+        while self.by_handle.len() > cap.max(1) {
+            let oldest = self.order.pop_front().expect("order tracks by_handle");
+            self.by_handle.remove(&oldest);
+        }
+    }
+}
+
+impl Shared {
+    /// Flip the shutdown flag and nudge the blocking `accept` awake with a
+    /// throwaway loopback connection so the listener closes promptly.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Try to reserve `bytes` against the in-flight budget.
+    fn reserve_inflight(&self, bytes: usize) -> bool {
+        let mut current = self.inflight_bytes.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(bytes) else { return false };
+            if next > self.config.inflight_byte_budget {
+                return false;
+            }
+            match self.inflight_bytes.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    fn release_inflight(&self, bytes: usize) {
+        self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A running serving front-end. Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] then [`Server::join`] (or let a client
+/// send the `Shutdown` frame).
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the acceptor and worker threads. The server executes every query
+    /// through `session` against `catalog`; hand it a session whose
+    /// `EngineCaches` you keep a clone of if you want out-of-band stats.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        catalog: Arc<Catalog>,
+        session: Session,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            session,
+            catalog,
+            config,
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            addr: local_addr,
+            inflight_bytes: AtomicUsize::new(0),
+            prepared: RwLock::new(PreparedRegistry::default()),
+            next_handle: AtomicU64::new(1),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.effective_workers().max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("fj-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fj-serve-acceptor".into())
+                .spawn(move || accept_loop(&shared, listener, tx))
+                .expect("spawning the acceptor thread succeeds")
+        };
+
+        Ok(Server { shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A point-in-time stats snapshot, same data as the stats frame.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.metrics.snapshot(self.shared.session.cache_stats())
+    }
+
+    /// Begin graceful shutdown: refuse new connections, drain queued and
+    /// in-flight work. Returns immediately; use [`Server::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the acceptor and every worker to finish. Call after
+    /// [`Server::shutdown`] (or after a client sent the shutdown frame).
+    pub fn join(mut self) -> ServerStats {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+/// Accept connections until shutdown, shedding with a typed `Busy` frame
+/// when the bounded queue is full. The `tx` end drops with this function,
+/// which is what lets drained workers observe channel closure and exit.
+fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {
+                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                shared.metrics.rejected_queue.fetch_add(1, Ordering::Relaxed);
+                let mut stream = stream;
+                let _ = write_frame(&mut stream, &Response::Busy(BusyReason::QueueFull).encode());
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Pop connections and serve them until the channel closes (acceptor gone)
+/// and the queue is drained.
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let rx = rx.lock().expect("connection queue lock not poisoned");
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => serve_connection(shared, stream),
+            Err(_) => return, // channel closed and drained: shutdown complete
+        }
+    }
+}
+
+/// How long a worker waits for the *next frame header* before re-checking
+/// the shutdown flag. Bounds `Server::join` latency on idle connections.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Wait until at least one byte of the next frame is available (`peek`, so
+/// nothing is consumed), polling the shutdown flag between timeouts.
+/// Returns `false` when the connection should close (EOF, error, or
+/// shutdown while idle).
+fn await_frame(shared: &Shared, stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return false, // EOF
+            Ok(_) => return true,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Serve one connection's request/response loop to completion.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    loop {
+        if !await_frame(shared, &stream) {
+            return;
+        }
+        // A frame is arriving: switch to a generous timeout for its bytes
+        // (a peer that stalls mid-frame is broken, not idle).
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let payload = match read_frame(&mut stream, shared.config.max_frame_bytes) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(_) => return, // oversized or truncated frame: unrecoverable
+        };
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+
+        // Admission axis 2: the in-flight byte budget.
+        if !shared.reserve_inflight(payload.len()) {
+            shared.metrics.rejected_bytes.fetch_add(1, Ordering::Relaxed);
+            let busy = Response::Busy(BusyReason::ByteBudget).encode();
+            if write_frame(&mut stream, &busy).is_err() {
+                return;
+            }
+            continue;
+        }
+
+        let start = Instant::now();
+        let (mut response, shutdown_after) = handle_request(shared, &payload);
+        shared.release_inflight(payload.len());
+
+        let service_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        if let Response::Answer { service_us: slot, .. } = &mut response {
+            *slot = service_us;
+        }
+        // Count BEFORE writing the response: a client must never observe
+        // its answer while the counters still miss it.
+        shared.metrics.latency.record(service_us);
+        shared.metrics.served.fetch_add(1, Ordering::Relaxed);
+        if matches!(response, Response::Error { .. }) {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let write_ok = write_frame(&mut stream, &response.encode()).is_ok();
+        if shutdown_after {
+            shared.begin_shutdown();
+            return;
+        }
+        if !write_ok {
+            return;
+        }
+    }
+}
+
+/// Decode and dispatch one request. Returns the response and whether the
+/// server should begin shutdown after sending it. Engine and parse errors
+/// become typed `Error` responses; nothing on this path panics on peer
+/// input.
+fn handle_request(shared: &Shared, payload: &[u8]) -> (Response, bool) {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(e) => return (Response::Error { message: e.to_string() }, false),
+    };
+    match request {
+        Request::Prepare { query, aggregate } => (prepare(shared, &query, aggregate), false),
+        Request::Execute { handle, params } => (execute(shared, handle, &params), false),
+        Request::Stats => {
+            (Response::Stats(shared.metrics.snapshot(shared.session.cache_stats())), false)
+        }
+        Request::Shutdown => (Response::Ok, true),
+    }
+}
+
+fn prepare(shared: &Shared, query_text: &str, aggregate: Aggregate) -> Response {
+    let query: ConjunctiveQuery = match parse_query(query_text) {
+        Ok(query) => query.with_aggregate(aggregate),
+        Err(e) => return Response::Error { message: e.to_string() },
+    };
+    let prepared = match shared.session.prepare(&shared.catalog, &query) {
+        Ok(prepared) => prepared,
+        Err(e) => return Response::Error { message: e.to_string() },
+    };
+    let fingerprint = prepared.fingerprint();
+    let mut registry = shared.prepared.write().expect("prepared registry lock not poisoned");
+    let handle = match registry.find_identical(&prepared) {
+        Some(existing) => existing,
+        None => {
+            let handle = shared.next_handle.fetch_add(1, Ordering::Relaxed);
+            registry.insert(handle, Arc::new(prepared), shared.config.max_prepared);
+            handle
+        }
+    };
+    Response::Prepared { handle, fingerprint }
+}
+
+fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Response {
+    let prepared = {
+        let registry = shared.prepared.read().expect("prepared registry lock not poisoned");
+        match registry.get(handle) {
+            Some(prepared) => prepared,
+            None => {
+                return Response::Error { message: format!("unknown prepared handle {handle}") }
+            }
+        }
+    };
+    let mut overrides = Params::new();
+    for (alias, filter_text) in params {
+        match parse_filter(filter_text) {
+            Ok(filter) => overrides = overrides.with_filter(alias.clone(), filter),
+            Err(e) => {
+                return Response::Error { message: format!("parameter filter for {alias}: {e}") }
+            }
+        }
+    }
+    match prepared.execute_with(&shared.catalog, &overrides) {
+        Ok((output, stats)) => Response::Answer {
+            cardinality: output.cardinality(),
+            tries_built: stats.tries_built,
+            service_us: 0, // stamped by the connection loop, which owns the clock
+        },
+        Err(e) => Response::Error { message: e.to_string() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_worker_resolution() {
+        let config = ServerConfig::default();
+        assert!(config.effective_workers() >= 1);
+        assert_eq!(ServerConfig { workers: 3, ..config }.effective_workers(), 3);
+        assert!(config.queue_capacity > 0);
+        assert!(config.max_frame_bytes <= crate::protocol::MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn prepared_registry_dedupes_identical_and_evicts_fifo_beyond_cap() {
+        use fj_query::QueryBuilder;
+        use fj_storage::{CmpOp, Predicate, RelationBuilder, Schema};
+        use free_join::EngineCaches;
+
+        let mut catalog = Catalog::new();
+        let mut r = RelationBuilder::new("r", Schema::all_int(&["a", "b"]));
+        for i in 0..10i64 {
+            r.push_ints(&[i, i + 1]).unwrap();
+        }
+        catalog.add(r.finish()).unwrap();
+        let session = Session::new(Arc::new(EngineCaches::with_defaults()));
+        let prepare = |cutoff: i64| {
+            let q = QueryBuilder::new("q")
+                .atom("r", &["x", "y"])
+                .filter_last(Predicate::cmp_const("a", CmpOp::Lt, cutoff))
+                .count()
+                .build();
+            Arc::new(session.prepare(&catalog, &q).unwrap())
+        };
+
+        let mut registry = PreparedRegistry::default();
+        let first = prepare(1);
+        registry.insert(1, Arc::clone(&first), 3);
+        // An identical query is found; a different-filter one is not.
+        assert_eq!(registry.find_identical(&first), Some(1));
+        assert_eq!(registry.find_identical(&prepare(99)), None);
+
+        // Cap 3: inserting handles 2..=4 evicts handle 1, oldest first.
+        for (handle, cutoff) in [(2, 2), (3, 3), (4, 4)] {
+            registry.insert(handle, prepare(cutoff), 3);
+        }
+        assert!(registry.get(1).is_none(), "oldest handle evicted at cap");
+        assert!(registry.get(2).is_some() && registry.get(4).is_some());
+        assert_eq!(registry.by_handle.len(), 3);
+        assert_eq!(registry.find_identical(&first), None, "evicted entries are gone");
+    }
+
+    #[test]
+    fn inflight_budget_reserve_and_release() {
+        let shared = Shared {
+            session: Session::new(Arc::new(free_join::EngineCaches::with_defaults())),
+            catalog: Arc::new(Catalog::new()),
+            config: ServerConfig { inflight_byte_budget: 100, ..ServerConfig::default() },
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            inflight_bytes: AtomicUsize::new(0),
+            prepared: RwLock::new(PreparedRegistry::default()),
+            next_handle: AtomicU64::new(1),
+        };
+        assert!(shared.reserve_inflight(60));
+        assert!(!shared.reserve_inflight(50), "60 + 50 > 100");
+        assert!(shared.reserve_inflight(40));
+        shared.release_inflight(60);
+        assert!(shared.reserve_inflight(50), "release frees budget");
+        assert!(!shared.reserve_inflight(usize::MAX), "overflow is a rejection, not a wrap");
+    }
+}

@@ -207,6 +207,38 @@ impl Predicate {
         }
     }
 
+    /// Render the predicate in the datalog grammar's filter syntax
+    /// (`cond and cond and ...`), the form `fj_query::parse_filter` parses
+    /// back — the textual encoding serving front-ends ship over the wire.
+    /// Returns `None` for predicates the grammar cannot express (`Or`,
+    /// `Not`, `IS [NOT] NULL`, non-integer constants); `True` renders as
+    /// the empty string (no filter).
+    pub fn to_query_text(&self) -> Option<String> {
+        fn push_conditions(pred: &Predicate, out: &mut Vec<String>) -> Option<()> {
+            match pred {
+                Predicate::True => Some(()),
+                Predicate::ColCmpConst { column, op, value: Value::Int(v) } => {
+                    out.push(format!("{column} {op} {v}"));
+                    Some(())
+                }
+                Predicate::ColCmpCol { left, op, right } => {
+                    out.push(format!("{left} {op} {right}"));
+                    Some(())
+                }
+                Predicate::And(ps) => {
+                    for p in ps {
+                        push_conditions(p, out)?;
+                    }
+                    Some(())
+                }
+                _ => None,
+            }
+        }
+        let mut conditions = Vec::new();
+        push_conditions(self, &mut conditions)?;
+        Some(conditions.join(" and "))
+    }
+
     /// Estimated fraction of rows that satisfy the predicate, used by the
     /// optimizer. This is a crude textbook heuristic, which is exactly what
     /// the paper needs from its (good) cardinality estimator.
@@ -341,6 +373,35 @@ mod tests {
             }
             other => panic!("expected UnknownColumn, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn to_query_text_renders_the_grammar_subset() {
+        assert_eq!(Predicate::True.to_query_text().as_deref(), Some(""));
+        assert_eq!(
+            Predicate::cmp_const("w", CmpOp::Gt, 30i64).to_query_text().as_deref(),
+            Some("w > 30")
+        );
+        let conj = Predicate::cmp_const("w", CmpOp::Gt, -30i64).and(Predicate::cmp_cols(
+            "v",
+            CmpOp::Ne,
+            "w",
+        ));
+        assert_eq!(conj.to_query_text().as_deref(), Some("w > -30 and v != w"));
+        // Shapes outside the grammar are not expressible.
+        assert_eq!(Predicate::IsNull { column: "u".into() }.to_query_text(), None);
+        assert_eq!(
+            Predicate::Or(vec![Predicate::eq_const("u", 1i64)]).to_query_text(),
+            None,
+            "Or is not in the filter grammar"
+        );
+        assert_eq!(
+            Predicate::eq_const("u", 1i64)
+                .and(Predicate::Not(Box::new(Predicate::eq_const("u", 2i64))))
+                .to_query_text(),
+            None,
+            "one inexpressible conjunct poisons the whole rendering"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::options::{FreeJoinOptions, TrieStrategy};
 use crate::prep::{bind_atom, record_var_types, BoundInput};
 use crate::trie::InputTrie;
-use fj_cache::{CacheStats, Fingerprinter, PlanCache, TrieCache, TrieKey};
+use fj_cache::{Fingerprinter, PlanCache, StatsSnapshot, TrieCache, TrieKey};
 use fj_plan::{optimize, CatalogStats, OptimizerOptions, PipeInput};
 use fj_query::{Aggregate, Atom, ConjunctiveQuery, ExecStats, QueryOutput};
 use fj_storage::{Catalog, DataType, Predicate};
@@ -111,14 +111,10 @@ pub struct EngineCaches {
 }
 
 /// Snapshot of both caches' statistics, as returned by
-/// [`Session::cache_stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SessionCacheStats {
-    /// Trie cache counters/gauges.
-    pub tries: CacheStats,
-    /// Plan cache counters/gauges (`resident_bytes` counts entries).
-    pub plans: CacheStats,
-}
+/// [`Session::cache_stats`]. An alias of [`fj_cache::StatsSnapshot`] — the
+/// same plain, wire-encodable struct `fj-serve` ships in its stats frame —
+/// so in-process assertions and remote `/metrics` consumers read one shape.
+pub type SessionCacheStats = StatsSnapshot;
 
 impl EngineCaches {
     /// Caches with an explicit trie byte budget and plan capacity.
@@ -787,6 +783,42 @@ mod tests {
             }
             other => panic!("expected a typed arity error, got {other:?}"),
         }
+    }
+
+    /// Server workers share one `Session` (and its `Prepared`s) by
+    /// reference without any external lock: `prepare` and `execute` take
+    /// `&self` end to end, and all mutable state lives inside the caches'
+    /// own shards. Pin that with an 8-thread hammer on ONE session and ONE
+    /// prepared query — a regression to `&mut self` anywhere on the path
+    /// stops this compiling, and hidden shared scratch state would corrupt
+    /// results under the race.
+    #[test]
+    fn one_shared_session_executes_concurrently_without_locks() {
+        let cat = catalog();
+        let s = session();
+        let prepared = s.prepare(&cat, &two_hop()).unwrap();
+        let (expected, _) = prepared.execute(&cat).unwrap();
+        let expected_card = expected.cardinality();
+        let misses_after_cold = s.cache_stats().tries.misses;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (s, prepared, cat) = (&s, &prepared, &cat);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        // Fresh prepare exercises the shared plan cache...
+                        let p = s.prepare(cat, &two_hop()).unwrap();
+                        let (out, _) = p.execute(cat).unwrap();
+                        assert_eq!(out.cardinality(), expected_card);
+                        // ...and the shared Prepared exercises trie reuse.
+                        let (out, _) = prepared.execute(cat).unwrap();
+                        assert_eq!(out.cardinality(), expected_card);
+                    }
+                });
+            }
+        });
+        let stats = s.cache_stats();
+        assert_eq!(stats.plans.misses, 1, "one compile served every thread");
+        assert_eq!(stats.tries.misses, misses_after_cold, "no thread rebuilt a trie");
     }
 
     #[test]

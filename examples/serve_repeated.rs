@@ -1,52 +1,46 @@
-//! Repeated-query serving through the `fj-cache` subsystem: a pool of
-//! worker threads hammers a small set of prepared queries against one
-//! shared cache pair, the way a serving deployment would.
+//! Repeated-query serving through the `fj-cache` subsystem, **in
+//! process**: a pool of worker threads hammers a small set of prepared
+//! queries against one shared `Session`, isolating the cache layer's
+//! behavior from networking. (The end-to-end serving entry point — real
+//! loopback TCP, admission control, metrics — is `examples/serve_tcp.rs`
+//! and the `fj-serve` crate.)
 //!
 //! ```text
 //! cargo run --release --example serve_repeated
 //! ```
 //!
-//! The example runs a **cold pass** (every worker's first execution pays for
-//! planning, selection and trie building at most once per distinct cache
-//! key — racing workers coalesce onto single builds) and then a **warm
-//! pass**, and exits nonzero unless the warm pass ran entirely out of the
-//! caches (nonzero hit rate, zero trie builds) with results identical to
-//! the cold pass. CI runs it and asserts on the exit status.
+//! All workers share ONE `Session` and ONE set of `Prepared` queries by
+//! reference — `prepare`/`execute` take `&self`, exactly how `fj-serve`'s
+//! worker threads drive the engine — so the example also pins that nothing
+//! on the serving path needs a per-worker clone or an external lock. It
+//! runs a **cold pass** (trie and plan builds race and coalesce) and a
+//! **warm pass**, and exits nonzero unless the warm pass ran entirely out
+//! of the caches (nonzero hit rate, zero trie builds) with results
+//! identical to the cold pass. CI runs it and asserts on the exit status.
 
 use freejoin::prelude::*;
 use freejoin::workloads::job::{self, JobConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Worker threads sharing the caches.
+/// Worker threads sharing the session.
 const WORKERS: usize = 4;
 /// Executions per worker per pass.
 const ITERATIONS: usize = 25;
 
-/// Run one pass: every worker prepares the query set and executes it
-/// `ITERATIONS` times. Returns per-query result cardinalities (which must be
-/// identical across workers) and the pass's wall time.
-fn run_pass(
-    catalog: &Arc<Catalog>,
-    queries: &[ConjunctiveQuery],
-    caches: &Arc<EngineCaches>,
-) -> (Vec<u64>, f64) {
+/// Run one pass: every worker executes the shared prepared queries
+/// `ITERATIONS` times. Returns per-query result cardinalities (which must
+/// be identical across workers) and the pass's wall time.
+fn run_pass(catalog: &Catalog, prepared: &[Prepared]) -> (Vec<u64>, f64) {
     let start = Instant::now();
     let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..WORKERS)
             .map(|_| {
-                let catalog = Arc::clone(catalog);
-                let caches = Arc::clone(caches);
                 scope.spawn(move || {
-                    let session = Session::new(caches);
-                    let prepared: Vec<Prepared> = queries
-                        .iter()
-                        .map(|q| session.prepare(&catalog, q).expect("query prepares"))
-                        .collect();
                     let mut counts = vec![0u64; prepared.len()];
                     for _ in 0..ITERATIONS {
                         for (i, p) in prepared.iter().enumerate() {
-                            let (out, _) = p.execute(&catalog).expect("execution succeeds");
+                            let (out, _) = p.execute(catalog).expect("execution succeeds");
                             counts[i] = out.cardinality();
                         }
                     }
@@ -67,7 +61,7 @@ fn main() {
     // A JOB-like workload: filtered scans over a shared catalog, the shape
     // cross-query trie reuse pays off on.
     let workload = job::workload(&JobConfig::tiny());
-    let catalog = Arc::new(workload.catalog);
+    let catalog = workload.catalog;
     let queries: Vec<ConjunctiveQuery> =
         workload.queries.iter().take(4).map(|n| n.query.clone()).collect();
     println!(
@@ -77,8 +71,16 @@ fn main() {
     );
 
     let caches = Arc::new(EngineCaches::with_defaults());
+    let session = Session::new(Arc::clone(&caches));
+    // One prepare per query, shared by every worker (the plan cache would
+    // dedupe re-prepares anyway; sharing the Prepared skips even the
+    // fingerprint check).
+    let prepared: Vec<Prepared> = queries
+        .iter()
+        .map(|q| session.prepare(&catalog, q).expect("query prepares"))
+        .collect();
 
-    let (cold_counts, cold_ms) = run_pass(&catalog, &queries, &caches);
+    let (cold_counts, cold_ms) = run_pass(&catalog, &prepared);
     let after_cold = caches.stats();
     println!(
         "cold pass: {cold_ms:.1} ms | trie cache: {} builds, {} hits, {} coalesced, {} bytes resident",
@@ -88,16 +90,15 @@ fn main() {
         after_cold.tries.resident_bytes,
     );
 
-    let (warm_counts, warm_ms) = run_pass(&catalog, &queries, &caches);
+    let (warm_counts, warm_ms) = run_pass(&catalog, &prepared);
     let after_warm = caches.stats();
-    let warm_delta = after_warm.tries.delta(&after_cold.tries);
-    let warm_plan_delta = after_warm.plans.delta(&after_cold.plans);
+    let warm_delta = after_warm.delta(&after_cold);
     println!(
         "warm pass: {warm_ms:.1} ms | trie cache: {} builds, {} hits (hit rate {:.3}), plans: {} builds",
-        warm_delta.misses,
-        warm_delta.hits,
-        warm_delta.hit_rate(),
-        warm_plan_delta.misses,
+        warm_delta.tries.misses,
+        warm_delta.tries.hits,
+        warm_delta.tries.hit_rate(),
+        warm_delta.plans.misses,
     );
 
     // The assertions the CI exit status stands for.
@@ -105,14 +106,14 @@ fn main() {
     if warm_counts != cold_counts {
         failures.push(format!("warm results diverged: {warm_counts:?} vs {cold_counts:?}"));
     }
-    if warm_delta.hit_rate() <= 0.0 {
+    if warm_delta.tries.hit_rate() <= 0.0 {
         failures.push("warm pass reported a zero cache hit rate".to_string());
     }
-    if warm_delta.misses != 0 {
-        failures.push(format!("warm pass rebuilt {} tries", warm_delta.misses));
+    if warm_delta.tries.misses != 0 {
+        failures.push(format!("warm pass rebuilt {} tries", warm_delta.tries.misses));
     }
-    if warm_plan_delta.misses != 0 {
-        failures.push(format!("warm pass recompiled {} plans", warm_plan_delta.misses));
+    if warm_delta.plans.misses != 0 {
+        failures.push(format!("warm pass recompiled {} plans", warm_delta.plans.misses));
     }
     if !failures.is_empty() {
         for f in &failures {

@@ -1,0 +1,185 @@
+//! The serving subsystem end to end: a real fj-serve TCP server on
+//! loopback, hammered by concurrent wire-protocol clients.
+//!
+//! ```text
+//! cargo run --release --example serve_tcp
+//! ```
+//!
+//! Where `serve_repeated.rs` exercises the cache layer *in process*, this
+//! example goes through the whole serving stack — length-prefixed frames,
+//! the bounded admission queue, worker threads, the shared
+//! `Session`/`Prepared` registry, and the `/metrics` stats frame. It runs
+//! a **cold pass** (4 clients × 4 queries × 25 executions over fresh
+//! caches) and a **warm pass**, then exits nonzero unless:
+//!
+//! * every answer equals the single-threaded in-process reference,
+//! * the warm pass is 100% cache-served (zero trie builds, zero plan
+//!   compiles),
+//! * zero requests were shed below the admission limits, and
+//! * the latency histogram actually observed the traffic.
+//!
+//! CI runs it and asserts on the exit status.
+
+use freejoin::prelude::*;
+use freejoin::serve::ServerStats;
+use freejoin::workloads::job::{self, JobConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrent wire clients (each its own TCP connection and thread).
+const CLIENTS: usize = 4;
+/// Executions per client per query per pass.
+const ITERATIONS: usize = 25;
+
+/// Run one pass: every client connects, prepares the query set, and
+/// executes it `ITERATIONS` times. Returns per-query cardinalities (which
+/// must agree across clients) and the pass's wall time in milliseconds.
+fn run_pass(addr: std::net::SocketAddr, queries: &[(String, Aggregate)]) -> (Vec<u64>, f64) {
+    let start = Instant::now();
+    let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let prepared: Vec<_> = queries
+                        .iter()
+                        .map(|(text, aggregate)| {
+                            client.prepare(text.clone(), aggregate.clone()).expect("prepare")
+                        })
+                        .collect();
+                    let mut counts = vec![0u64; prepared.len()];
+                    for _ in 0..ITERATIONS {
+                        for (i, handle) in prepared.iter().enumerate() {
+                            counts[i] = client.execute(*handle).expect("execute").cardinality;
+                        }
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client does not panic")).collect()
+    });
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    for worker in &results[1..] {
+        assert_eq!(worker, &results[0], "clients disagree on query results");
+    }
+    (results[0].clone(), wall)
+}
+
+fn print_pass(label: &str, wall_ms: f64, delta: &ServerStats) {
+    println!(
+        "{label} pass: {wall_ms:.1} ms | trie cache: {} builds, {} hits | plans: {} compiles | \
+         p50 {} us, p99 {} us",
+        delta.cache.tries.misses,
+        delta.cache.tries.hits,
+        delta.cache.plans.misses,
+        delta.p50_us,
+        delta.p99_us,
+    );
+}
+
+fn main() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let named: Vec<_> = workload.queries.iter().take(4).collect();
+
+    // The reference a correct server must reproduce on every execution:
+    // a plain single-threaded in-process session.
+    let session = Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(1));
+    let reference: Vec<u64> = named
+        .iter()
+        .map(|n| {
+            let prepared = session.prepare(&catalog, &n.query).expect("reference prepares");
+            prepared.execute(&catalog).expect("reference executes").0.cardinality()
+        })
+        .collect();
+
+    // Queries cross the wire as text: Display renders the datalog grammar
+    // (filters included), the server parses it back.
+    let queries: Vec<(String, Aggregate)> =
+        named.iter().map(|n| (n.query.to_string(), n.query.aggregate.clone())).collect();
+
+    let serving_session = Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(1));
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&catalog),
+        serving_session,
+        ServerConfig { workers: CLIENTS, queue_capacity: 2 * CLIENTS, ..ServerConfig::default() },
+    )
+    .expect("server binds a loopback port");
+    let addr = server.local_addr();
+    println!(
+        "serving {} queries to {CLIENTS} clients x {ITERATIONS} iterations at {addr} \
+         over {} rows",
+        queries.len(),
+        catalog.total_rows(),
+    );
+
+    let before = server.stats();
+    let (cold_counts, cold_ms) = run_pass(addr, &queries);
+    let after_cold = server.stats();
+    print_pass("cold", cold_ms, &after_cold.delta(&before));
+
+    let (warm_counts, warm_ms) = run_pass(addr, &queries);
+    let after_warm = server.stats();
+    let warm_delta = after_warm.delta(&after_cold);
+    print_pass("warm", warm_ms, &warm_delta);
+
+    // The assertions the CI exit status stands for.
+    let mut failures = Vec::new();
+    if cold_counts != reference {
+        failures.push(format!("cold answers diverged: {cold_counts:?} vs {reference:?}"));
+    }
+    if warm_counts != reference {
+        failures.push(format!("warm answers diverged: {warm_counts:?} vs {reference:?}"));
+    }
+    if warm_delta.cache.tries.misses != 0 {
+        failures.push(format!("warm pass rebuilt {} tries", warm_delta.cache.tries.misses));
+    }
+    if warm_delta.cache.plans.misses != 0 {
+        failures.push(format!("warm pass recompiled {} plans", warm_delta.cache.plans.misses));
+    }
+    if warm_delta.cache.tries.hit_rate() <= 0.0 {
+        failures.push("warm pass reported a zero trie-cache hit rate".to_string());
+    }
+    if after_warm.rejected() != 0 {
+        failures.push(format!(
+            "{} requests were shed below the admission limits",
+            after_warm.rejected()
+        ));
+    }
+    if after_warm.errors != 0 {
+        failures.push(format!("{} requests failed", after_warm.errors));
+    }
+    let expected_served = (2 * CLIENTS * (queries.len() * (ITERATIONS + 1))) as u64;
+    if after_warm.served < expected_served {
+        failures.push(format!(
+            "served {} requests, expected at least {expected_served}",
+            after_warm.served
+        ));
+    }
+    if after_warm.observations != after_warm.served {
+        failures.push("latency histogram missed requests".to_string());
+    }
+
+    // Shut down gracefully through the protocol itself.
+    let mut client = Client::connect(addr).expect("shutdown client connects");
+    println!("\n/metrics\n{}", client.stats().expect("stats frame").render_metrics());
+    client.shutdown_server().expect("shutdown acknowledged");
+    server.join();
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "ok: warm pass served {} executions entirely from cache over TCP \
+         ({:.2}x cold wall time)",
+        CLIENTS * ITERATIONS * queries.len(),
+        warm_ms / cold_ms,
+    );
+}

@@ -14,6 +14,8 @@
 //!   plan converter/factorizer and the cost-based optimizer.
 //! * [`engine`] — the Free Join engine (COLT + vectorized execution), plus
 //!   the `Session`/`Prepared` serving API over the caches.
+//! * [`serve`] — the networked serving front-end: length-prefixed TCP
+//!   protocol, thread-per-core workers, admission control, `/metrics`.
 //! * [`baselines`] — the binary hash join and Generic Join baselines.
 //! * [`workloads`] — synthetic JOB-like, LSQB-like and micro workloads.
 //!
@@ -33,6 +35,7 @@ pub use fj_baselines as baselines;
 pub use fj_cache as cache;
 pub use fj_plan as plan;
 pub use fj_query as query;
+pub use fj_serve as serve;
 pub use fj_storage as storage;
 pub use fj_workloads as workloads;
 pub use free_join as engine;
@@ -45,7 +48,10 @@ pub mod prelude {
         binary2fj, factor, optimize, BinaryPlan, CatalogStats, EstimatorMode, FreeJoinPlan,
         OptimizerOptions,
     };
-    pub use fj_query::{parse_query, Aggregate, ConjunctiveQuery, QueryBuilder, QueryOutput};
+    pub use fj_query::{
+        parse_filter, parse_query, Aggregate, ConjunctiveQuery, QueryBuilder, QueryOutput,
+    };
+    pub use fj_serve::{Client, Server, ServerConfig, ServerStats};
     pub use fj_storage::{Catalog, Predicate, Relation, RelationBuilder, Schema, Value};
     pub use free_join::{
         EngineCaches, FreeJoinEngine, FreeJoinOptions, Params, Prepared, Session,

@@ -1,0 +1,312 @@
+//! Integration tests for the fj-serve networked serving path: loopback
+//! TCP, concurrent clients, admission control, and graceful shutdown.
+
+use freejoin::prelude::*;
+use freejoin::serve::{BusyReason, Client, ClientError, ServerConfig};
+use freejoin::workloads::job::{self, JobConfig};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serving_session() -> Session {
+    // One worker thread per request execution; determinism and no
+    // oversubscription against the server's own worker pool.
+    Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(1))
+}
+
+fn start_server(catalog: Arc<Catalog>, config: ServerConfig) -> freejoin::serve::Server {
+    freejoin::serve::Server::start("127.0.0.1:0", catalog, serving_session(), config)
+        .expect("server binds an ephemeral loopback port")
+}
+
+/// 8 concurrent clients over real loopback sockets must see exactly the
+/// answers a single-threaded in-process `Session` computes, on every
+/// iteration, for every query — and the warm traffic must build nothing.
+#[test]
+fn concurrent_loopback_clients_match_single_threaded_session() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let queries: Vec<_> = workload.queries.iter().take(4).collect();
+
+    // Reference answers from a plain single-threaded session.
+    let reference_session = serving_session();
+    let reference: Vec<u64> = queries
+        .iter()
+        .map(|named| {
+            let prepared = reference_session.prepare(&catalog, &named.query).unwrap();
+            prepared.execute(&catalog).unwrap().0.cardinality()
+        })
+        .collect();
+
+    let server = start_server(
+        Arc::clone(&catalog),
+        ServerConfig { workers: 8, queue_capacity: 16, ..ServerConfig::default() },
+    );
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 8;
+    const ITERATIONS: usize = 10;
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let (queries, reference) = (&queries, &reference);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let handles: Vec<_> = queries
+                    .iter()
+                    .map(|named| {
+                        client
+                            .prepare(named.query.to_string(), named.query.aggregate.clone())
+                            .expect("query text round-trips through the wire and parser")
+                    })
+                    .collect();
+                for _ in 0..ITERATIONS {
+                    for (handle, &expected) in handles.iter().zip(reference) {
+                        let answer = client.execute(*handle).expect("execution succeeds");
+                        assert_eq!(
+                            answer.cardinality, expected,
+                            "served answer diverged from the in-process session"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rejected(), 0, "nothing was shed below the admission limits");
+    assert_eq!(stats.errors, 0);
+    assert!(stats.served >= (CLIENTS * ITERATIONS * queries.len()) as u64);
+    assert!(stats.cache.tries.hits > 0, "warm traffic was cache-served");
+    assert!(stats.p99_us >= stats.p50_us);
+    // All 8 clients prepared the same 4 shapes: 4 compiles, the rest hits.
+    assert_eq!(stats.cache.plans.misses as usize, queries.len());
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// A queue-capacity-1 server sheds the connection that overflows the
+/// pending queue with a typed `Busy(QueueFull)` — and serves new arrivals
+/// again once the queue drains.
+#[test]
+fn queue_capacity_one_sheds_bursts_and_recovers_after_drain() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server = start_server(
+        Arc::clone(&catalog),
+        ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() },
+    );
+    let addr = server.local_addr();
+
+    // A occupies the single worker (a served round-trip proves the worker,
+    // not the queue, owns this connection).
+    let mut client_a = Client::connect(addr).unwrap();
+    let handle = client_a
+        .prepare(named.query.to_string(), named.query.aggregate.clone())
+        .unwrap();
+    let expected = client_a.execute(handle).unwrap().cardinality;
+
+    // B fills the queue slot (the acceptor admits it in arrival order)...
+    let client_b = TcpStream::connect(addr).unwrap();
+    // ...so C overflows: the acceptor answers Busy(QueueFull) and closes.
+    let mut client_c = Client::connect(addr).unwrap();
+    match client_c.stats() {
+        Err(ClientError::Busy(BusyReason::QueueFull)) => {}
+        other => panic!("expected Busy(QueueFull), got {other:?}"),
+    }
+
+    // Drain: A and B hang up, freeing the worker and the queue slot.
+    drop(client_a);
+    drop(client_b);
+
+    // Recovery: a fresh client gets served end to end. The worker needs a
+    // moment to notice A's EOF and pop B; retry briefly rather than sleep.
+    let mut recovered = None;
+    for _ in 0..100 {
+        let mut client = Client::connect(addr).unwrap();
+        match client.prepare(named.query.to_string(), named.query.aggregate.clone()) {
+            Ok(handle) => {
+                recovered = Some((client, handle));
+                break;
+            }
+            Err(ClientError::Busy(_))
+            | Err(ClientError::Disconnected)
+            | Err(ClientError::Io(_)) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected error while recovering: {other}"),
+        }
+    }
+    let (mut client, handle) = recovered.expect("server recovered after the queue drained");
+    assert_eq!(client.execute(handle).unwrap().cardinality, expected);
+    let stats = client.stats().unwrap();
+    assert!(stats.rejected_queue >= 1, "the burst connection was counted as shed");
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The in-flight byte budget sheds oversized requests with
+/// `Busy(ByteBudget)` while keeping the connection usable, and small
+/// requests keep flowing.
+#[test]
+fn byte_budget_sheds_oversized_requests_without_killing_the_connection() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server = start_server(
+        Arc::clone(&catalog),
+        ServerConfig {
+            workers: 2,
+            inflight_byte_budget: 512,
+            max_frame_bytes: 1 << 16,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    let expected = client.execute(handle).unwrap().cardinality;
+
+    // A parameter filter large enough to blow the 512-byte budget on its
+    // own (the frame is rejected before the filter text is even parsed).
+    let huge_filter = "company < 1 and ".repeat(200) + "company < 1";
+    match client.execute_with(handle, &[("title", &huge_filter)]) {
+        Err(ClientError::Busy(BusyReason::ByteBudget)) => {}
+        other => panic!("expected Busy(ByteBudget), got {other:?}"),
+    }
+
+    // The same connection still serves normal requests afterwards.
+    assert_eq!(client.execute(handle).unwrap().cardinality, expected);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rejected_bytes, 1);
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Parameterized execution over the wire: filters override per execution,
+/// match the in-process `Params` path, and bad input comes back as typed
+/// server errors rather than hangs or closed sockets.
+#[test]
+fn wire_params_and_typed_errors() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let alias = named.query.atoms[0].alias.clone();
+    let relation = catalog.get(&named.query.atoms[0].relation).unwrap();
+    let column = relation.schema().names().first().map(|s| s.to_string()).unwrap();
+
+    // In-process reference with the same override.
+    let session = serving_session();
+    let prepared = session.prepare(&catalog, &named.query).unwrap();
+    let filter_text = format!("{column} >= 0");
+    let params = Params::new()
+        .with_filter(alias.clone(), freejoin::query::parse_filter(&filter_text).unwrap());
+    let expected = prepared.execute_with(&catalog, &params).unwrap().0.cardinality();
+
+    let server = start_server(Arc::clone(&catalog), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    let plain = client.execute(handle).unwrap().cardinality;
+    // The override *replaces* the atom's original filter, so the
+    // parameterized answer legitimately differs from the plain one.
+    let answer = client.execute_with(handle, &[(&alias, &filter_text)]).unwrap();
+    assert_eq!(answer.cardinality, expected);
+
+    // Typed errors: unknown alias, bad filter syntax, unknown handle,
+    // malformed query text — each a Server error, connection intact.
+    for (params, what) in [
+        (vec![("no_such_alias", "a > 0")], "unknown alias"),
+        (vec![(alias.as_str(), "><")], "unparseable filter"),
+    ] {
+        match client.execute_with(handle, &params) {
+            Err(ClientError::Server(_)) => {}
+            other => panic!("expected typed server error for {what}, got {other:?}"),
+        }
+    }
+    let bogus = freejoin::serve::PreparedHandle { handle: 999_999, fingerprint: 0 };
+    assert!(matches!(client.execute(bogus), Err(ClientError::Server(m)) if m.contains("handle")));
+    assert!(matches!(
+        client.prepare("this is not datalog", Aggregate::Count),
+        Err(ClientError::Server(_))
+    ));
+
+    // The connection survived all of the above; no-params executions are
+    // back on the original (filtered) query.
+    assert_eq!(client.execute(handle).unwrap().cardinality, plain);
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The prepared-handle registry is bounded: identical re-prepares reuse
+/// one handle (a `Prepare` loop cannot grow server memory), and beyond
+/// `max_prepared` distinct shapes the oldest handle is dropped with a
+/// typed error on later use.
+#[test]
+fn prepare_loops_reuse_handles_and_the_registry_is_capped() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server = start_server(
+        Arc::clone(&catalog),
+        ServerConfig { workers: 1, max_prepared: 4, ..ServerConfig::default() },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // An untrusted Prepare loop: every round trip returns the SAME handle.
+    let text = named.query.to_string();
+    let first = client.prepare(text.clone(), named.query.aggregate.clone()).unwrap();
+    for _ in 0..50 {
+        let again = client.prepare(text.clone(), named.query.aggregate.clone()).unwrap();
+        assert_eq!(again, first, "identical prepares must reuse one handle");
+    }
+    assert_eq!(
+        client.execute(first).unwrap().cardinality,
+        client.execute(first).unwrap().cardinality
+    );
+
+    // 4 more *distinct* shapes (cap is 4) push the first handle out FIFO.
+    for i in 0..4i64 {
+        let q = format!("q{i}(id) :- company_name(id, cc) where country_code < {i}.");
+        client.prepare(q, Aggregate::Count).unwrap();
+    }
+    match client.execute(first) {
+        Err(ClientError::Server(m)) => assert!(m.contains("unknown prepared handle")),
+        other => panic!("expected the evicted handle to be a typed error, got {other:?}"),
+    }
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Graceful shutdown: the shutdown frame is acknowledged, in-flight work
+/// completes, `join` returns, and new connections are refused.
+#[test]
+fn shutdown_drains_and_refuses_new_connections() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server =
+        start_server(Arc::clone(&catalog), ServerConfig { workers: 2, ..ServerConfig::default() });
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    client.execute(handle).unwrap();
+    client.shutdown_server().expect("shutdown is acknowledged before the drain");
+
+    let stats = server.join();
+    assert!(stats.served >= 3, "prepare + execute + shutdown were all served");
+
+    // The listener is gone: connecting now fails outright, or the probe
+    // request on a raced-in connection is never answered.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            assert!(late.stats().is_err(), "a post-shutdown connection must not be served")
+        }
+    }
+}
