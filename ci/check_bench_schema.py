@@ -24,6 +24,28 @@ def grid(doc):
     return [(r["query"], r["strategy"], r["threads"], r["cache"]) for r in doc["results"]]
 
 
+def check_throughput_column(doc, path, errors):
+    """schema_version 5: every row carries tuples_per_sec, the probe-phase
+    result throughput — > 0 exactly when the row has output and a nonzero
+    probe split, 0 otherwise."""
+    for i, r in enumerate(doc["results"]):
+        if "tuples_per_sec" not in r:
+            errors.append(f"{path}: row {i} is missing the tuples_per_sec column")
+            continue
+        tps = r["tuples_per_sec"]
+        has_throughput = r["output_tuples"] > 0 and r["probe_ms"] > 0
+        if has_throughput and not tps > 0:
+            errors.append(
+                f"{path}: row {i} ({r['query']}/{r['cache']}) has output and a probe "
+                f"phase but tuples_per_sec={tps}"
+            )
+        elif not has_throughput and tps != 0:
+            errors.append(
+                f"{path}: row {i} ({r['query']}/{r['cache']}) has no measured probe "
+                f"output but claims tuples_per_sec={tps}"
+            )
+
+
 def check_serving_columns(doc, path, errors):
     """schema_version 4: every row carries serve_p50_us/serve_p99_us; the
     cache="serve" rows (real loopback TCP) must report sane nonzero
@@ -60,14 +82,17 @@ def main():
             f"schema_version drifted: committed {a['schema_version']} vs fresh "
             f"{b['schema_version']} — regenerate the committed BENCH_micro.json"
         )
-    if a["schema_version"] < 4:
+    if a["schema_version"] < 5:
         errors.append(
-            f"schema_version {a['schema_version']} < 4: the serving latency columns "
-            f"(serve_p50_us/serve_p99_us) are required"
+            f"schema_version {a['schema_version']} < 5: the serving latency columns "
+            f"(serve_p50_us/serve_p99_us) and the tuples_per_sec throughput column "
+            f"are required"
         )
     else:
         check_serving_columns(a, committed, errors)
         check_serving_columns(b, fresh, errors)
+        check_throughput_column(a, committed, errors)
+        check_throughput_column(b, fresh, errors)
     if len(a["results"]) != len(b["results"]):
         errors.append(
             f"result row count drifted: committed {len(a['results'])} vs fresh "

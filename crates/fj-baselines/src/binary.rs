@@ -11,10 +11,11 @@
 
 use crate::hash_table::JoinHashTable;
 use fj_plan::{BinaryPlan, PipeInput};
+use fj_query::ResultChunk;
 use fj_query::{ConjunctiveQuery, ExecStats, OutputBuilder, QueryOutput};
 use fj_storage::{Catalog, Value};
 use free_join::prep::{materialize_intermediate, prepare_inputs, BoundInput, PreparedQuery};
-use free_join::sink::{MaterializeSink, OutputSink, Sink};
+use free_join::sink::{ChunkBuffer, MaterializeSink, OutputSink, Sink};
 use free_join::{EngineError, EngineResult};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -145,20 +146,27 @@ impl BinaryJoinEngine {
             let left = &inputs[0];
             let left_slots: Vec<usize> = left.vars.iter().map(slot_of).collect();
             let mut tuple = vec![Value::Null; binding_order.len()];
+            // Results leave through the same chunked pipeline as Free Join:
+            // the inner loop appends into a columnar buffer and the sink is
+            // crossed once per chunk, keeping cross-engine comparisons
+            // apples-to-apples on the output side.
+            let mut out = ChunkBuffer::for_sink(&sink, binding_order.len());
 
             // Recursive pipelined probing. Probe keys of arity ≤ 2 — the
             // common case — live in stack arrays (no allocation, mirroring
             // the Free Join executor); only wider keys collect a buffer.
+            #[allow(clippy::too_many_arguments)]
             fn probe_level(
                 levels: &[ProbeLevel],
                 depth: usize,
                 inputs: &[BoundInput],
                 tuple: &mut Vec<Value>,
                 sink: &mut dyn Sink,
+                out: &mut ChunkBuffer,
                 stats: &mut ExecStats,
             ) {
                 if depth == levels.len() {
-                    sink.push(tuple, tuple.len(), 1);
+                    out.push(sink, tuple, 1);
                     return;
                 }
                 let level = &levels[depth];
@@ -181,7 +189,7 @@ impl BinaryJoinEngine {
                     for (&col, &slot) in level.new_cols.iter().zip(&level.new_slots) {
                         tuple[slot] = relation.column(col).get(row as usize);
                     }
-                    probe_level(levels, depth + 1, inputs, tuple, sink, stats);
+                    probe_level(levels, depth + 1, inputs, tuple, sink, out, stats);
                 }
             }
 
@@ -189,8 +197,10 @@ impl BinaryJoinEngine {
                 for (pos, &slot) in left_slots.iter().enumerate() {
                     tuple[slot] = left.relation.column(left.var_cols[pos]).get(row);
                 }
-                probe_level(&levels, 0, inputs, &mut tuple, &mut sink, stats);
+                probe_level(&levels, 0, inputs, &mut tuple, &mut sink, &mut out, stats);
             }
+            out.flush(&mut sink);
+            stats.result_chunks += out.flushed();
         }
         stats.join_time += join_start.elapsed();
 
@@ -216,10 +226,24 @@ pub(crate) enum PipelineSink {
 }
 
 impl Sink for PipelineSink {
+    fn push_chunk(&mut self, chunk: &ResultChunk) {
+        match self {
+            PipelineSink::Output(s) => s.push_chunk(chunk),
+            PipelineSink::Materialize(s) => s.push_chunk(chunk),
+        }
+    }
+
     fn push(&mut self, tuple: &[Value], bound_prefix: usize, weight: u64) {
         match self {
             PipelineSink::Output(s) => s.push(tuple, bound_prefix, weight),
             PipelineSink::Materialize(s) => s.push(tuple, bound_prefix, weight),
+        }
+    }
+
+    fn projected_slots(&self) -> Option<Vec<usize>> {
+        match self {
+            PipelineSink::Output(s) => s.projected_slots(),
+            PipelineSink::Materialize(s) => s.projected_slots(),
         }
     }
 

@@ -18,7 +18,7 @@ use fj_plan::{binary2fj, factor_until_fixpoint, variable_order, BinaryPlan, GjPl
 use fj_query::{ConjunctiveQuery, ExecStats, OutputBuilder, QueryOutput};
 use fj_storage::{Catalog, Value};
 use free_join::prep::{materialize_intermediate, prepare_inputs, BoundInput, PreparedQuery};
-use free_join::sink::{MaterializeSink, OutputSink, Sink};
+use free_join::sink::{ChunkBuffer, MaterializeSink, OutputSink, Sink};
 use free_join::{EngineError, EngineResult};
 use std::time::Instant;
 
@@ -134,7 +134,12 @@ impl GenericJoinEngine {
         {
             let mut tuple = vec![Value::Null; order.len()];
             let mut current: Vec<&TrieLevel> = tries.iter().map(HashTrie::root).collect();
-            gj_recurse(&participants, 0, &mut tuple, &mut current, &mut sink, stats);
+            // Same chunked result pipeline as the other engines: results
+            // accumulate column-wise and cross the sink once per chunk.
+            let mut out = ChunkBuffer::for_sink(&sink, order.len());
+            gj_recurse(&participants, 0, &mut tuple, &mut current, &mut sink, &mut out, stats);
+            out.flush(&mut sink);
+            stats.result_chunks += out.flushed();
         }
         stats.join_time += join_start.elapsed();
 
@@ -151,18 +156,20 @@ impl GenericJoinEngine {
 }
 
 /// The nested-loop recursion of Generic Join: one level per variable.
+#[allow(clippy::too_many_arguments)]
 fn gj_recurse(
     participants: &[Vec<usize>],
     level: usize,
     tuple: &mut Vec<Value>,
     current: &mut Vec<&TrieLevel>,
     sink: &mut dyn Sink,
+    out: &mut ChunkBuffer,
     stats: &mut ExecStats,
 ) {
     if level == participants.len() {
         // Every input has reached a leaf; multiply multiplicities.
         let weight: u64 = current.iter().map(|node| node.leaf_count().unwrap_or(1)).product();
-        sink.push(tuple, tuple.len(), weight);
+        out.push(sink, tuple, weight);
         return;
     }
     let active = &participants[level];
@@ -200,7 +207,7 @@ fn gj_recurse(
                 }
             }
         }
-        gj_recurse(participants, level + 1, tuple, current, sink, stats);
+        gj_recurse(participants, level + 1, tuple, current, sink, out, stats);
         for (&i, &node) in active.iter().zip(&saved) {
             current[i] = node;
         }

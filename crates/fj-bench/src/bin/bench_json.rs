@@ -26,15 +26,22 @@
 //! a real fj-serve TCP server on loopback, hammered warm by concurrent
 //! wire clients, reporting its latency histogram's quantiles — the
 //! end-to-end serving cost (framing + parse + cache hits + join) that the
-//! in-process warm row excludes. The JSON is written by hand — the
-//! workspace's offline `serde` stand-in does not serialize — and the
-//! schema is deliberately flat:
+//! in-process warm row excludes.
+//!
+//! Since schema_version 5 every row carries `tuples_per_sec` — output
+//! tuples divided by the probe phase (`output_tuples / probe_ms`, scaled
+//! to seconds) — the result-pipeline throughput the columnar/chunked sink
+//! work targets; `0` whenever the row has no output or no measured probe
+//! phase (e.g. the TCP serving row, whose engine phases are not split
+//! out). The JSON is written by hand — the workspace's offline `serde`
+//! stand-in does not serialize — and the schema is deliberately flat:
 //!
 //! ```json
-//! {"schema_version":4,"cores":8,"note":"...","results":[
+//! {"schema_version":5,"cores":8,"note":"...","results":[
 //!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
 //!    "trie_hits":0,"trie_misses":0,"wall_ms":12.34,"build_ms":1.20,
-//!    "probe_ms":10.80,"output_tuples":1,"serve_p50_us":0,"serve_p99_us":0}
+//!    "probe_ms":10.80,"output_tuples":1,"tuples_per_sec":92,
+//!    "serve_p50_us":0,"serve_p99_us":0}
 //! ]}
 //! ```
 
@@ -72,6 +79,22 @@ struct Record {
     /// nonzero only on `cache: "serve"` rows.
     serve_p50_us: u64,
     serve_p99_us: u64,
+}
+
+impl Record {
+    /// Result-pipeline throughput: output tuples per second of probe
+    /// phase. Zero when the row produced no output or carries no probe
+    /// split (the TCP serving row). Computed from `probe_ms` **as emitted**
+    /// (3 decimals), so the column is always consistent with the row it
+    /// sits in — a probe phase that rounds to 0.000 reports 0 throughput.
+    fn tuples_per_sec(&self) -> u64 {
+        let probe_ms = (self.probe_ms * 1e3).round() / 1e3;
+        if self.output_tuples == 0 || probe_ms <= 0.0 {
+            0
+        } else {
+            (self.output_tuples as f64 / (probe_ms / 1e3)) as u64
+        }
+    }
 }
 
 /// Milliseconds of a `Duration`.
@@ -354,19 +377,22 @@ fn main() {
                 cache=serve row runs the same query warm through the fj-serve loopback TCP \
                 stack and reports the server-side service-time histogram's p50/p99 in \
                 serve_p50_us/serve_p99_us (zero on all other rows; quantiles are log-linear \
-                bucket upper bounds, <=25% relative error)";
+                bucket upper bounds, <=25% relative error); tuples_per_sec is the chunked \
+                result pipeline's probe-phase throughput, output_tuples / probe_ms scaled \
+                to seconds (0 on rows with no output or no probe split)";
     let mut json = String::new();
     let _ =
-        write!(json, "{{\"schema_version\":4,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
+        write!(json, "{{\"schema_version\":5,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"serve_p50_us\":{},\"serve_p99_us\":{}}}",
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{}}}",
             r.query, r.strategy, r.threads, r.cache, r.trie_hits, r.trie_misses, r.wall_ms,
-            r.build_ms, r.probe_ms, r.output_tuples, r.serve_p50_us, r.serve_p99_us
+            r.build_ms, r.probe_ms, r.output_tuples, r.tuples_per_sec(), r.serve_p50_us,
+            r.serve_p99_us
         );
     }
     json.push_str("\n]}\n");

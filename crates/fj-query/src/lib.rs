@@ -28,6 +28,8 @@ pub mod query;
 pub use atom::Atom;
 pub use builder::QueryBuilder;
 pub use hypergraph::Hypergraph;
-pub use output::{Aggregate, ExecStats, OutputBuilder, OutputKind, QueryOutput};
+pub use output::{
+    Aggregate, ExecStats, OutputBuilder, OutputKind, QueryOutput, ResultChunk, CHUNK_CAPACITY,
+};
 pub use parser::{parse_filter, parse_query, ParseError};
 pub use query::{ConjunctiveQuery, QueryError};

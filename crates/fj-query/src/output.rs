@@ -117,23 +117,167 @@ impl QueryOutput {
     }
 }
 
+/// Capacity of one [`ResultChunk`]: how many result tuples an engine buffers
+/// before handing them downstream in a single call.
+pub const CHUNK_CAPACITY: usize = 1024;
+
+/// A column-major batch of result tuples: one `Vec<Value>` per output column
+/// plus a parallel weights column, capped at [`CHUNK_CAPACITY`] entries.
+///
+/// Chunks are the unit of the workspace's result pipeline: the join's inner
+/// loop appends bindings into a chunk and flushes it downstream in one call,
+/// so the per-tuple costs of the old row-at-a-time boundary (a virtual sink
+/// call, a bounds-checked slice copy, a heap `Vec<Value>` row) are paid once
+/// per ~1024 tuples instead. The weights column carries bag-semantics
+/// multiplicities *and* factorized partial-tuple weights: an entry with
+/// weight `w` stands for `w` full result tuples without enumerating them,
+/// and consumers that materialize expand the shared values lazily (see
+/// [`OutputBuilder::finish`]).
+///
+/// A chunk's columns are already **projected**: they hold exactly the
+/// columns its consumer asked for (a counting consumer has zero columns and
+/// pays only for weights), in the consumer's declared order — not the full
+/// binding-order tuple.
+#[derive(Debug, Clone)]
+pub struct ResultChunk {
+    /// Column-major values: `columns[c]` holds one value per entry.
+    columns: Vec<Vec<Value>>,
+    /// Multiplicity per entry; never zero.
+    weights: Vec<u64>,
+}
+
+impl ResultChunk {
+    /// An empty chunk with `num_columns` columns, each sized for
+    /// [`CHUNK_CAPACITY`] entries.
+    pub fn new(num_columns: usize) -> Self {
+        ResultChunk {
+            columns: (0..num_columns).map(|_| Vec::with_capacity(CHUNK_CAPACITY)).collect(),
+            weights: Vec::with_capacity(CHUNK_CAPACITY),
+        }
+    }
+
+    /// Number of columns per entry.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of entries (distinct stored tuples, *not* multiplied by
+    /// weight).
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// True when the chunk reached [`CHUNK_CAPACITY`] and must be flushed.
+    pub fn is_full(&self) -> bool {
+        self.weights.len() >= CHUNK_CAPACITY
+    }
+
+    /// Remove every entry, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        for column in &mut self.columns {
+            column.clear();
+        }
+        self.weights.clear();
+    }
+
+    /// Append one entry whose values are exactly the chunk's columns, in
+    /// order. Weight-0 entries are dropped (they stand for no tuples).
+    #[inline]
+    pub fn push(&mut self, values: &[Value], weight: u64) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        if weight == 0 {
+            return;
+        }
+        for (column, &v) in self.columns.iter_mut().zip(values) {
+            column.push(v);
+        }
+        self.weights.push(weight);
+    }
+
+    /// Append one entry by projecting `slots` out of a full binding-order
+    /// tuple (the executor's zero-copy append: values go straight from the
+    /// binding buffer into the columns, no staging row).
+    #[inline]
+    pub fn push_projected(&mut self, tuple: &[Value], slots: &[usize], weight: u64) {
+        debug_assert_eq!(slots.len(), self.columns.len());
+        if weight == 0 {
+            return;
+        }
+        for (column, &slot) in self.columns.iter_mut().zip(slots) {
+            column.push(tuple[slot]);
+        }
+        self.weights.push(weight);
+    }
+
+    /// Total result tuples the chunk stands for (the sum of its weights) —
+    /// the count metadata consumers read without expanding rows.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// One column's values.
+    pub fn column(&self, c: usize) -> &[Value] {
+        &self.columns[c]
+    }
+
+    /// The weights column.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Collect entry `i`'s values into a row (test/expansion helper).
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|column| column[i]).collect()
+    }
+
+    /// Expand this chunk's entries into `rows`, honouring weights: a
+    /// weight-`w` entry becomes `w` copies of its row, in entry order. The
+    /// single place chunk storage turns into row vectors — every public
+    /// row boundary (`OutputBuilder::finish`, `MaterializeSink::into_rows`)
+    /// goes through it.
+    pub fn expand_into(&self, rows: &mut Vec<Row>) {
+        for i in 0..self.len() {
+            let row = self.row(i);
+            for _ in 1..self.weights[i] {
+                rows.push(row.clone());
+            }
+            rows.push(row);
+        }
+    }
+}
+
 /// Accumulates join result tuples into a [`QueryOutput`] according to an
 /// [`Aggregate`] specification.
 ///
-/// Every execution engine pushes full result tuples (all bound variables, in
-/// a fixed *binding order* it declares up front); the builder projects onto
-/// the query head, counts, or groups as requested. Pushing with a weight
-/// supports bag-semantics multiplicities and factorized counting, where an
-/// engine knows that a partial binding expands into `weight` result tuples
-/// without enumerating them.
+/// Engines feed the builder either whole [`ResultChunk`]s (the hot path —
+/// chunks arrive already projected onto [`OutputBuilder::positions`], see
+/// [`OutputBuilder::push_chunk`]) or single full binding-order tuples (the
+/// per-tuple adapter, [`OutputBuilder::push_weighted`], kept for tests and
+/// simple callers). Pushing with a weight supports bag-semantics
+/// multiplicities and factorized counting, where an engine knows that a
+/// partial binding expands into `weight` result tuples without enumerating
+/// them. Materialized results are stored as chunks — one shared copy of a
+/// weighted tuple's values — and only expanded into rows at
+/// [`OutputBuilder::finish`].
 #[derive(Debug, Clone)]
 pub struct OutputBuilder {
     aggregate: Aggregate,
     vars: Vec<String>,
     /// Positions (in the binding order) of the variables to project onto.
     positions: Vec<usize>,
-    rows: Vec<Row>,
-    count: u64,
+    /// Materialized output: projected chunks in emission order (the lazy row
+    /// store; rows are expanded at `finish`).
+    chunks: Vec<ResultChunk>,
+    /// Running total of result tuples (with multiplicity) — chunk metadata,
+    /// so counts are readable without expanding any rows.
+    total: u64,
+    /// Chunks received through `push_chunk` (observability).
+    chunks_received: u64,
     groups: HashMap<Row, u64>,
 }
 
@@ -180,10 +324,19 @@ impl OutputBuilder {
             aggregate,
             vars,
             positions,
-            rows: Vec::new(),
-            count: 0,
+            chunks: Vec::new(),
+            total: 0,
+            chunks_received: 0,
             groups: HashMap::new(),
         })
+    }
+
+    /// Positions (in the engine's binding order) of the variables this
+    /// builder consumes — the projection chunks fed to
+    /// [`OutputBuilder::push_chunk`] must carry, in this order. Empty for
+    /// `COUNT(*)`: a counting builder needs no columns at all.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
     }
 
     /// Push one result tuple (in binding order) with multiplicity 1.
@@ -191,19 +344,24 @@ impl OutputBuilder {
         self.push_weighted(tuple, 1);
     }
 
-    /// Push one result tuple with the given multiplicity.
+    /// Push one full binding-order result tuple with the given multiplicity
+    /// (the per-tuple adapter; the engines' hot path uses
+    /// [`OutputBuilder::push_chunk`]).
     pub fn push_weighted(&mut self, tuple: &[Value], weight: u64) {
         if weight == 0 {
             return;
         }
+        self.total += weight;
         match &self.aggregate {
-            Aggregate::Count => self.count += weight,
+            Aggregate::Count => {}
             Aggregate::Materialize => {
-                let row: Row = self.positions.iter().map(|&p| tuple[p]).collect();
-                for _ in 0..weight.saturating_sub(1) {
-                    self.rows.push(row.clone());
+                // Store the projected values once, whatever the weight; rows
+                // are expanded lazily at `finish`.
+                if self.chunks.last().is_none_or(|c| c.is_full()) {
+                    self.chunks.push(ResultChunk::new(self.positions.len()));
                 }
-                self.rows.push(row);
+                let chunk = self.chunks.last_mut().expect("a chunk was just ensured");
+                chunk.push_projected(tuple, &self.positions, weight);
             }
             Aggregate::GroupCount(_) => {
                 let key: Row = self.positions.iter().map(|&p| tuple[p]).collect();
@@ -212,13 +370,40 @@ impl OutputBuilder {
         }
     }
 
-    /// Total tuples accumulated so far (with multiplicity).
-    pub fn tuples(&self) -> u64 {
-        match &self.aggregate {
-            Aggregate::Count => self.count,
-            Aggregate::Materialize => self.rows.len() as u64,
-            Aggregate::GroupCount(_) => self.groups.values().sum(),
+    /// Consume one chunk of results. The chunk's columns must already be
+    /// projected onto [`OutputBuilder::positions`], in that order — this is
+    /// what the executor's chunk buffer produces — so no per-tuple
+    /// projection or copy happens here: counting reads only the weights
+    /// column, grouping reads the key columns, and materialization stores
+    /// the chunk wholesale (a handful of bulk column clones per ~1024
+    /// tuples).
+    pub fn push_chunk(&mut self, chunk: &ResultChunk) {
+        if chunk.is_empty() {
+            return;
         }
+        debug_assert_eq!(chunk.num_columns(), self.positions.len());
+        self.chunks_received += 1;
+        self.total += chunk.total_weight();
+        match &self.aggregate {
+            Aggregate::Count => {}
+            Aggregate::Materialize => self.chunks.push(chunk.clone()),
+            Aggregate::GroupCount(_) => {
+                for i in 0..chunk.len() {
+                    *self.groups.entry(chunk.row(i)).or_insert(0) += chunk.weights()[i];
+                }
+            }
+        }
+    }
+
+    /// Total tuples accumulated so far (with multiplicity) — maintained as
+    /// running chunk metadata, never by expanding rows.
+    pub fn tuples(&self) -> u64 {
+        self.total
+    }
+
+    /// Chunks received through [`OutputBuilder::push_chunk`] so far.
+    pub fn chunks_received(&self) -> u64 {
+        self.chunks_received
     }
 
     /// The aggregate being computed.
@@ -241,7 +426,9 @@ impl OutputBuilder {
 
     /// Absorb another builder's accumulated results. Parallel engines give
     /// each worker (or morsel) a clone of an empty builder and merge the
-    /// partial results in a deterministic order at the end.
+    /// partial results in a deterministic order at the end. Materialized
+    /// results merge **chunk-wise** — whole column vectors change hands, no
+    /// row is copied or expanded.
     ///
     /// # Panics
     /// Panics if the two builders compute different aggregates (they must be
@@ -251,9 +438,11 @@ impl OutputBuilder {
             self.aggregate, other.aggregate,
             "merged builders must compute the same aggregate"
         );
+        self.total += other.total;
+        self.chunks_received += other.chunks_received;
         match &self.aggregate {
-            Aggregate::Count => self.count += other.count,
-            Aggregate::Materialize => self.rows.extend(other.rows),
+            Aggregate::Count => {}
+            Aggregate::Materialize => self.chunks.extend(other.chunks),
             Aggregate::GroupCount(_) => {
                 for (key, count) in other.groups {
                     *self.groups.entry(key).or_insert(0) += count;
@@ -262,14 +451,29 @@ impl OutputBuilder {
         }
     }
 
-    /// Finish and produce the output.
+    /// Finish and produce the output. This is the boundary where
+    /// materialized chunks expand into rows: each stored entry becomes
+    /// `weight` copies of its row, in chunk order.
     pub fn finish(self) -> QueryOutput {
         match self.aggregate {
-            Aggregate::Count => QueryOutput::count(self.count),
-            Aggregate::Materialize => QueryOutput::rows(self.vars, self.rows),
+            Aggregate::Count => QueryOutput::count(self.total),
+            Aggregate::Materialize => {
+                QueryOutput::rows(self.vars, expand_chunks(&self.chunks, self.total))
+            }
             Aggregate::GroupCount(_) => QueryOutput::groups(self.vars, self.groups),
         }
     }
+}
+
+/// Expand stored chunks into rows, honouring weights: the shared values of a
+/// weight-`w` entry are cloned into `w` rows only here, at the public row
+/// boundary.
+fn expand_chunks(chunks: &[ResultChunk], total: u64) -> Vec<Row> {
+    let mut rows = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+    for chunk in chunks {
+        chunk.expand_into(&mut rows);
+    }
+    rows
 }
 
 /// Timings and counters collected while executing a query.
@@ -290,6 +494,10 @@ pub struct ExecStats {
     pub aggregate_time: Duration,
     /// Number of output tuples produced (with multiplicity).
     pub output_tuples: u64,
+    /// Number of result chunks that crossed the sink boundary (the batched
+    /// result pipeline's flush count; counts and quantile reporting read
+    /// off this chunk metadata rather than materialized rows).
+    pub result_chunks: u64,
     /// Number of tuples materialized for intermediate results (bushy plans).
     pub intermediate_tuples: u64,
     /// Number of probe operations performed.
@@ -322,6 +530,7 @@ impl ExecStats {
         self.join_time += other.join_time;
         self.aggregate_time += other.aggregate_time;
         self.output_tuples += other.output_tuples;
+        self.result_chunks += other.result_chunks;
         self.intermediate_tuples += other.intermediate_tuples;
         self.probes += other.probes;
         self.probe_hits += other.probe_hits;
@@ -334,10 +543,11 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "build {:?}, join {:?}, out {}, intermediates {}, probes {} ({} hits), tries {}, lazy {}",
+            "build {:?}, join {:?}, out {} ({} chunks), intermediates {}, probes {} ({} hits), tries {}, lazy {}",
             self.build_time,
             self.join_time,
             self.output_tuples,
+            self.result_chunks,
             self.intermediate_tuples,
             self.probes,
             self.probe_hits,
@@ -533,6 +743,90 @@ mod tests {
             other => panic!("expected UnboundOutputVar, got {other:?}"),
         }
         assert!(OutputBuilder::try_new(&binding, Aggregate::Count, &binding).is_ok());
+    }
+
+    #[test]
+    fn result_chunk_push_and_metadata() {
+        let mut chunk = ResultChunk::new(2);
+        assert!(chunk.is_empty());
+        assert_eq!(chunk.num_columns(), 2);
+        chunk.push(&[Value::Int(1), Value::Int(2)], 1);
+        chunk.push_projected(&[Value::Int(9), Value::Int(3), Value::Int(4)], &[1, 2], 5);
+        chunk.push(&[Value::Int(7), Value::Int(8)], 0); // weight 0 is dropped
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.total_weight(), 6);
+        assert_eq!(chunk.column(0), &[Value::Int(1), Value::Int(3)]);
+        assert_eq!(chunk.row(1), row(&[3, 4]));
+        chunk.clear();
+        assert!(chunk.is_empty());
+        assert_eq!(chunk.total_weight(), 0);
+    }
+
+    #[test]
+    fn result_chunk_fills_at_capacity() {
+        let mut chunk = ResultChunk::new(1);
+        for i in 0..CHUNK_CAPACITY {
+            assert!(!chunk.is_full(), "full before capacity at {i}");
+            chunk.push(&[Value::Int(i as i64)], 1);
+        }
+        assert!(chunk.is_full());
+        assert_eq!(chunk.len(), CHUNK_CAPACITY);
+    }
+
+    #[test]
+    fn push_chunk_matches_per_tuple_pushes_for_every_aggregate() {
+        let binding: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        for aggregate in [Aggregate::Count, Aggregate::Materialize, Aggregate::group_count(&["y"])]
+        {
+            let mut chunked = OutputBuilder::new(&binding, aggregate.clone(), &binding);
+            let mut tuple_wise = chunked.clone();
+
+            // The chunk arrives projected onto the builder's positions.
+            let positions = chunked.positions().to_vec();
+            let mut chunk = ResultChunk::new(positions.len());
+            for (x, y, w) in [(1i64, 7i64, 1u64), (2, 7, 3), (3, 8, 2)] {
+                let full = [Value::Int(x), Value::Int(y)];
+                tuple_wise.push_weighted(&full, w);
+                chunk.push_projected(&full, &positions, w);
+            }
+            chunked.push_chunk(&chunk);
+            chunked.push_chunk(&ResultChunk::new(chunked.positions().len())); // empty: no-op
+
+            assert_eq!(chunked.tuples(), 6, "{aggregate:?}");
+            assert_eq!(chunked.tuples(), tuple_wise.tuples());
+            assert_eq!(chunked.chunks_received(), 1, "empty chunks are ignored");
+            let (a, b) = (chunked.finish(), tuple_wise.finish());
+            assert_eq!(a, b, "{aggregate:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_materialize_stores_one_entry_and_expands_at_finish() {
+        let binding: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
+        let mut b = OutputBuilder::new(&binding, Aggregate::Materialize, &binding);
+        b.push_weighted(&[Value::Int(5)], 1000);
+        // One stored entry stands for 1000 rows until finish expands them.
+        assert_eq!(b.tuples(), 1000);
+        let out = b.finish();
+        assert_eq!(out.cardinality(), 1000);
+        assert!(out.canonical_rows().iter().all(|r| r == &row(&[5])));
+    }
+
+    #[test]
+    fn merged_chunks_preserve_emission_order() {
+        let binding: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
+        let mut a = OutputBuilder::new(&binding, Aggregate::Materialize, &binding);
+        let mut b = a.clone();
+        a.push(&[Value::Int(1)]);
+        b.push(&[Value::Int(2)]);
+        b.push_weighted(&[Value::Int(3)], 2);
+        a.merge(b);
+        match a.finish().kind {
+            OutputKind::Rows(rows) => {
+                assert_eq!(rows, vec![row(&[1]), row(&[2]), row(&[3]), row(&[3])]);
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,7 +21,15 @@ pub enum ClientError {
     /// The server's bytes did not decode.
     Wire(WireError),
     /// The server shed this request ([`Response::Busy`]); it was NOT run.
-    Busy(BusyReason),
+    /// `retry_after_ms` is the server's backoff hint (queue depth × recent
+    /// p50 service time; never zero) — wait at least that long before
+    /// retrying.
+    Busy {
+        /// Which admission axis shed the request.
+        reason: BusyReason,
+        /// Suggested backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
     /// The server answered with a typed error message.
     Server(String),
     /// The server closed the connection instead of answering (e.g. it shut
@@ -37,7 +45,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Wire(e) => write!(f, "{e}"),
-            ClientError::Busy(reason) => write!(f, "server busy: {reason}"),
+            ClientError::Busy { reason, retry_after_ms } => {
+                write!(f, "server busy: {reason} (retry after ~{retry_after_ms} ms)")
+            }
             ClientError::Server(message) => write!(f, "server error: {message}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::UnexpectedResponse(expected) => {
@@ -97,7 +107,9 @@ impl Client {
             read_frame(&mut self.stream, MAX_FRAME_BYTES)?.ok_or(ClientError::Disconnected)?;
         let response = Response::decode(&payload).map_err(ClientError::Wire)?;
         match response {
-            Response::Busy(reason) => Err(ClientError::Busy(reason)),
+            Response::Busy { reason, retry_after_ms } => {
+                Err(ClientError::Busy { reason, retry_after_ms })
+            }
             Response::Error { message } => Err(ClientError::Server(message)),
             other => Ok(other),
         }

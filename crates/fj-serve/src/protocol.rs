@@ -17,8 +17,9 @@
 //! [`Request::Stats`] → [`Response::Stats`] ([`ServerStats`]);
 //! [`Request::Shutdown`] → [`Response::Ok`] and a graceful drain.
 //! [`Response::Busy`] is the typed load-shedding reply (queue full or
-//! in-flight byte budget exhausted) and [`Response::Error`] carries any
-//! engine/parse error as text. Unknown opcodes and truncated payloads
+//! in-flight byte budget exhausted), carrying a `retry_after_ms` backoff
+//! hint derived from the current queue depth and the recent p50 service
+//! time; [`Response::Error`] carries any engine/parse error as text. Unknown opcodes and truncated payloads
 //! surface as [`WireError`], never panics — the peer is untrusted input.
 
 use crate::metrics::ServerStats;
@@ -80,8 +81,11 @@ pub enum Response {
     Stats(ServerStats),
     /// Acknowledgement (shutdown).
     Ok,
-    /// Load shed: the request was NOT executed.
-    Busy(BusyReason),
+    /// Load shed: the request was NOT executed. `retry_after_ms` is the
+    /// server's backoff hint — current queue depth × recent p50 service
+    /// time, in milliseconds, never zero — so clients can pace retries to
+    /// the server's actual drain rate instead of guessing.
+    Busy { reason: BusyReason, retry_after_ms: u64 },
     /// Parse/validation/execution failure, as text.
     Error { message: String },
 }
@@ -296,12 +300,13 @@ impl Response {
                 stats.encode(&mut out);
             }
             Response::Ok => out.push(OP_OK),
-            Response::Busy(reason) => {
+            Response::Busy { reason, retry_after_ms } => {
                 out.push(OP_BUSY);
                 out.push(match reason {
                     BusyReason::QueueFull => 0,
                     BusyReason::ByteBudget => 1,
                 });
+                put_u64(&mut out, *retry_after_ms);
             }
             Response::Error { message } => {
                 out.push(OP_ERROR);
@@ -326,11 +331,14 @@ impl Response {
                 None => return wire_err("truncated stats payload"),
             },
             OP_OK => Response::Ok,
-            OP_BUSY => Response::Busy(match r.u8()? {
-                0 => BusyReason::QueueFull,
-                1 => BusyReason::ByteBudget,
-                tag => return wire_err(format!("unknown busy reason {tag:#x}")),
-            }),
+            OP_BUSY => {
+                let reason = match r.u8()? {
+                    0 => BusyReason::QueueFull,
+                    1 => BusyReason::ByteBudget,
+                    tag => return wire_err(format!("unknown busy reason {tag:#x}")),
+                };
+                Response::Busy { reason, retry_after_ms: r.u64()? }
+            }
             OP_ERROR => Response::Error { message: r.str()? },
             op => return wire_err(format!("unknown response opcode {op:#x}")),
         };
@@ -415,8 +423,8 @@ mod tests {
         round_trip_response(Response::Prepared { handle: 1, fingerprint: 0xdead_beef });
         round_trip_response(Response::Answer { cardinality: 42, tries_built: 3, service_us: 950 });
         round_trip_response(Response::Ok);
-        round_trip_response(Response::Busy(BusyReason::QueueFull));
-        round_trip_response(Response::Busy(BusyReason::ByteBudget));
+        round_trip_response(Response::Busy { reason: BusyReason::QueueFull, retry_after_ms: 250 });
+        round_trip_response(Response::Busy { reason: BusyReason::ByteBudget, retry_after_ms: 1 });
         round_trip_response(Response::Error { message: "unknown handle 9".into() });
         let stats = ServerStats {
             cache: StatsSnapshot {

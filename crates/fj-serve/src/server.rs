@@ -108,6 +108,10 @@ struct Shared {
     addr: SocketAddr,
     /// Bytes of admitted request frames currently being processed.
     inflight_bytes: AtomicUsize,
+    /// Connections currently sitting in the pending queue (admitted by the
+    /// acceptor, not yet popped by a worker) — the depth behind the
+    /// retry-after hint on `Busy` responses.
+    queued: AtomicUsize,
     /// Prepared-handle registry, server-global so any connection may
     /// execute a handle prepared by another (read-mostly: one write per
     /// distinct prepare, reads on every execute).
@@ -187,6 +191,17 @@ impl Shared {
     fn release_inflight(&self, bytes: usize) {
         self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
     }
+
+    /// The backoff hint attached to every `Busy` response: current queue
+    /// depth × recent p50 service time, in milliseconds. With an empty
+    /// histogram (a cold server) the p50 is floored at 1 ms so the hint is
+    /// never zero — a zero would read as "retry immediately", the one thing
+    /// a shedding server doesn't want.
+    fn retry_after_ms(&self) -> u64 {
+        let depth = self.queued.load(Ordering::Relaxed) as u64;
+        let p50_us = self.metrics.latency.quantile(0.5).max(1_000);
+        (depth + 1).saturating_mul(p50_us).div_ceil(1_000)
+    }
 }
 
 /// A running serving front-end. Dropping the handle does **not** stop the
@@ -219,6 +234,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr: local_addr,
             inflight_bytes: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
             prepared: RwLock::new(PreparedRegistry::default()),
             next_handle: AtomicU64::new(1),
         });
@@ -286,14 +302,24 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Count the connection as queued BEFORE it becomes visible to the
+        // workers: a worker popping it immediately decrements, and the
+        // counter must never race below zero (a transiently high depth only
+        // inflates the retry hint; an underflow would wrap it to the moon).
+        shared.queued.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(stream) {
             Ok(()) => {
                 shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
             }
             Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                shared.queued.fetch_sub(1, Ordering::Relaxed);
                 shared.metrics.rejected_queue.fetch_add(1, Ordering::Relaxed);
                 let mut stream = stream;
-                let _ = write_frame(&mut stream, &Response::Busy(BusyReason::QueueFull).encode());
+                let busy = Response::Busy {
+                    reason: BusyReason::QueueFull,
+                    retry_after_ms: shared.retry_after_ms(),
+                };
+                let _ = write_frame(&mut stream, &busy.encode());
                 let _ = stream.shutdown(Shutdown::Both);
             }
         }
@@ -309,7 +335,10 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
             rx.recv()
         };
         match stream {
-            Ok(stream) => serve_connection(shared, stream),
+            Ok(stream) => {
+                shared.queued.fetch_sub(1, Ordering::Relaxed);
+                serve_connection(shared, stream);
+            }
             Err(_) => return, // channel closed and drained: shutdown complete
         }
     }
@@ -361,7 +390,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         // Admission axis 2: the in-flight byte budget.
         if !shared.reserve_inflight(payload.len()) {
             shared.metrics.rejected_bytes.fetch_add(1, Ordering::Relaxed);
-            let busy = Response::Busy(BusyReason::ByteBudget).encode();
+            let busy = Response::Busy {
+                reason: BusyReason::ByteBudget,
+                retry_after_ms: shared.retry_after_ms(),
+            }
+            .encode();
             if write_frame(&mut stream, &busy).is_err() {
                 return;
             }
@@ -526,6 +559,7 @@ mod tests {
             shutdown: AtomicBool::new(false),
             addr: "127.0.0.1:0".parse().unwrap(),
             inflight_bytes: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
             prepared: RwLock::new(PreparedRegistry::default()),
             next_handle: AtomicU64::new(1),
         };
@@ -535,5 +569,17 @@ mod tests {
         shared.release_inflight(60);
         assert!(shared.reserve_inflight(50), "release frees budget");
         assert!(!shared.reserve_inflight(usize::MAX), "overflow is a rejection, not a wrap");
+
+        // The retry-after hint: 1 ms floor on a cold server, and it scales
+        // with queue depth × the recent p50 service time.
+        assert_eq!(shared.retry_after_ms(), 1, "cold server floors the hint at 1 ms");
+        for _ in 0..100 {
+            shared.metrics.latency.record(10_000); // p50 ≈ 10 ms
+        }
+        let idle = shared.retry_after_ms();
+        assert!(idle >= 10, "idle hint covers one p50 service time, got {idle}");
+        shared.queued.store(5, Ordering::Relaxed);
+        let queued = shared.retry_after_ms();
+        assert!(queued >= 6 * idle / 2, "depth multiplies the hint: {idle} -> {queued}");
     }
 }

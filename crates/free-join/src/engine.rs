@@ -247,12 +247,14 @@ pub(crate) fn join_pipeline(
             for sink in sinks {
                 merged.merge(sink);
             }
+            stats.result_chunks += merged.chunks_received();
             merged.finish()
         } else {
             let mut sink = OutputSink::new(builder);
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
             stats.probes += counters.probes;
             stats.probe_hits += counters.probe_hits;
+            stats.result_chunks += sink.chunks_received();
             sink.finish()
         };
         PipelineResult::Output(output)
@@ -266,12 +268,14 @@ pub(crate) fn join_pipeline(
             for sink in sinks {
                 merged.merge(sink);
             }
+            stats.result_chunks += merged.chunks_received();
             merged.into_rows()
         } else {
             let mut sink = MaterializeSink::new();
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
             stats.probes += counters.probes;
             stats.probe_hits += counters.probe_hits;
+            stats.result_chunks += sink.chunks_received();
             sink.into_rows()
         };
         let name = format!("__fj_intermediate_{}", compiled.binding_order.join("_"));

@@ -27,6 +27,22 @@
 //! FxHash-style `FastBuildHasher` (see `fj_storage::key` and
 //! [`crate::trie`]).
 //!
+//! # Chunked result emission
+//!
+//! The result side is **columnar and batched**, matching the vectorized trie
+//! side: instead of a virtual `Sink` call per result tuple, every worker
+//! appends bindings into a [`ChunkBuffer`] — a column-major
+//! [`fj_query::ResultChunk`] already projected onto the sink's output slots
+//! (a counting sink's chunks carry only weights) — and crosses the sink
+//! boundary once per chunk. When the remaining plan is an *independent tail*
+//! (every following node a single final expansion, the factorized-output
+//! plan shape of Section 4.4) but the sink needs enumeration, the executor
+//! gathers each inner expansion's `(values, weight)` list once and emits the
+//! Cartesian product straight into the chunk columns, rather than re-walking
+//! each suffix trie for every outer combination. Emission order is identical
+//! to the recursive walk's, so results are bit-for-bit those of the
+//! tuple-at-a-time executor this replaces.
+//!
 //! # Morsel-driven parallelism
 //!
 //! [`execute_pipeline_parallel`] splits the **first plan node's cover
@@ -37,14 +53,16 @@
 //! from a shared atomic cursor; inner plan nodes run the unmodified
 //! (optionally vectorized) serial code. Probes may lazily force shared trie
 //! nodes from several workers at once — the trie's `OnceLock`-based forcing
-//! (see [`crate::trie`]) makes that race-free. Per-morsel sinks are handed
-//! back in morsel order, so merging them is deterministic for a fixed root
-//! entry list. The serial path (`num_threads == 1`) is byte-for-byte the
-//! legacy single-threaded algorithm.
+//! (see [`crate::trie`]) makes that race-free. Every worker flushes its
+//! chunk buffer into its morsel's own sink before handing the sink back,
+//! and per-morsel sinks come back in morsel order, so merging them is
+//! deterministic for a fixed root entry list. The serial path
+//! (`num_threads == 1`) runs the identical single-threaded algorithm with
+//! one sink and one chunk buffer.
 
 use crate::compile::{CompiledNode, CompiledPlan, IterAction};
 use crate::options::FreeJoinOptions;
-use crate::sink::Sink;
+use crate::sink::{ChunkBuffer, Sink};
 use crate::trie::{InputTrie, TrieNode};
 use fj_storage::{LevelKey, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,6 +122,7 @@ pub fn execute_pipeline(
     let mut tuple = vec![Value::Null; plan.binding_order.len()];
     let mut current: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
     let mut scratch: Vec<NodeScratch> = plan.nodes.iter().map(|_| NodeScratch::default()).collect();
+    let mut out = ChunkBuffer::for_sink(sink, plan.binding_order.len());
     run_node(
         tries,
         plan,
@@ -115,7 +134,9 @@ pub fn execute_pipeline(
         sink,
         &mut counters,
         &mut scratch,
+        &mut out,
     );
+    out.flush(sink);
     counters
 }
 
@@ -246,6 +267,7 @@ where
                     let lo = m * morsel_size;
                     let hi = (lo + morsel_size).min(total);
                     let mut sink = make_sink();
+                    let mut out = ChunkBuffer::for_sink(&sink, plan.binding_order.len());
                     if vectorize_root {
                         let (mine, rest) = scratch.split_at_mut(1);
                         let mine = &mut mine[0];
@@ -256,10 +278,11 @@ where
                                      current: &mut Vec<Arc<TrieNode>>,
                                      sink: &mut S,
                                      counters: &mut ExecCounters,
-                                     rest: &mut [NodeScratch]| {
+                                     rest: &mut [NodeScratch],
+                                     out: &mut ChunkBuffer| {
                             flush_batch(
                                 tries, plan, options, 0, cover_idx, mine, rest, tuple, current,
-                                sink, counters,
+                                sink, counters, out,
                             );
                         };
                         match &items {
@@ -283,6 +306,7 @@ where
                                             &mut sink,
                                             &mut counters,
                                             rest,
+                                            &mut out,
                                         );
                                     }
                                 }
@@ -306,6 +330,7 @@ where
                                             &mut sink,
                                             &mut counters,
                                             rest,
+                                            &mut out,
                                         );
                                     }
                                 }
@@ -313,7 +338,15 @@ where
                         }
                         // Flush the morsel's remainder before handing the
                         // sink back, so no entry leaks into the next morsel.
-                        flush(mine, &mut tuple, &mut current, &mut sink, &mut counters, rest);
+                        flush(
+                            mine,
+                            &mut tuple,
+                            &mut current,
+                            &mut sink,
+                            &mut counters,
+                            rest,
+                            &mut out,
+                        );
                     } else {
                         match &items {
                             RootItems::Entries(entries) => {
@@ -332,6 +365,7 @@ where
                                         &mut sink,
                                         &mut counters,
                                         &mut scratch,
+                                        &mut out,
                                     );
                                 }
                             }
@@ -356,11 +390,16 @@ where
                                         &mut sink,
                                         &mut counters,
                                         &mut scratch,
+                                        &mut out,
                                     );
                                 }
                             }
                         }
                     }
+                    // The buffer drains into this morsel's own sink before
+                    // the sink is handed back: per-morsel results stay
+                    // complete and the morsel-order merge deterministic.
+                    out.flush(&mut sink);
                     results.lock().expect("no poisoned morsel results")[m] = Some(sink);
                 }
                 total_counters.lock().expect("no poisoned counters").merge(counters);
@@ -401,7 +440,8 @@ fn select_cover(
 
 /// The recursive join (Figure 7), one invocation per plan node. `scratch`
 /// holds the scratch space of this node and every following node
-/// (`scratch[0]` belongs to `node_idx`).
+/// (`scratch[0]` belongs to `node_idx`); `out` is the worker's chunk buffer,
+/// where every result emission of this invocation lands.
 #[allow(clippy::too_many_arguments)]
 fn run_node(
     tries: &[Arc<InputTrie>],
@@ -414,9 +454,10 @@ fn run_node(
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
+    out: &mut ChunkBuffer,
 ) {
     if node_idx == plan.nodes.len() {
-        sink.push(tuple, tuple.len(), weight);
+        out.push(sink, tuple, weight);
         return;
     }
     let node = &plan.nodes[node_idx];
@@ -432,7 +473,18 @@ fn run_node(
             let sub = &tail.subatoms[0];
             total = total.saturating_mul(tries[sub.input].tuple_count(&current[sub.input]));
         }
-        sink.push(tuple, node.bound_before, total);
+        // A partial tuple: every slot the sink projects is within
+        // `bound_before` (that is what `accepts_factorized` checked), so the
+        // chunk buffer reads only bound slots.
+        out.push(sink, tuple, total);
+        return;
+    }
+
+    // The sink needs enumeration, but the remaining plan is still a
+    // Cartesian product of independent expansions: emit it straight into the
+    // chunk columns instead of recursing per combination.
+    if node.independent_tail {
+        expand_independent_tail(tries, plan, node_idx, tuple, current, weight, sink, scratch, out);
         return;
     }
 
@@ -440,13 +492,114 @@ fn run_node(
     if options.vectorized() && node.subatoms.len() > 1 {
         run_node_vectorized(
             tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters,
-            scratch,
+            scratch, out,
         );
     } else {
         run_node_scalar(
             tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters,
-            scratch,
+            scratch, out,
         );
+    }
+}
+
+/// Enumerate an independent tail (every remaining node a single, final,
+/// write-only expansion of a distinct input — the plan shape behind the
+/// factorized-output shortcut) without re-walking suffix tries: the lists of
+/// every tail node after the first are gathered once into their nodes'
+/// scratch as flat `(values, weight)` columns, the first node's cover is
+/// streamed, and the Cartesian product is emitted by nested loops over the
+/// gathered columns straight into the chunk buffer. Emission order is
+/// exactly the recursive walk's, and tail nodes perform no probes in either
+/// form, so results and counters are unchanged — only the per-combination
+/// trie iteration and recursion are gone.
+#[allow(clippy::too_many_arguments)]
+fn expand_independent_tail(
+    tries: &[Arc<InputTrie>],
+    plan: &CompiledPlan,
+    node_idx: usize,
+    tuple: &mut Vec<Value>,
+    current: &[Arc<TrieNode>],
+    weight: u64,
+    sink: &mut dyn Sink,
+    scratch: &mut [NodeScratch],
+    out: &mut ChunkBuffer,
+) {
+    // Gather phase: one trie walk per inner tail node, reusing the node's
+    // (otherwise unused — single-subatom nodes never batch) scratch vectors.
+    let inner = &plan.nodes[node_idx + 1..];
+    for (j, node) in inner.iter().enumerate() {
+        let sub = &node.subatoms[0];
+        let trie = &tries[sub.input];
+        let node_cur = current[sub.input].clone();
+        let stride = node.bound_after - node.bound_before;
+        let s = &mut scratch[1 + j];
+        s.writes.clear();
+        s.weights.clear();
+        trie.for_each(&node_cur, sub.level, |key, child| {
+            let base = s.writes.len();
+            s.writes.resize(base + stride, Value::Null);
+            for action in &sub.iter_actions {
+                let IterAction::Write { key_pos, slot } = *action else {
+                    unreachable!("independent-tail covers bind only new variables");
+                };
+                s.writes[base + (slot - node.bound_before)] = key[key_pos];
+            }
+            s.weights.push(child.map_or(1, |c| trie.tuple_count(c)));
+        });
+        if s.weights.is_empty() {
+            return; // an empty factor annihilates the whole product
+        }
+    }
+
+    // Stream the first tail node's cover; per entry, emit the product of the
+    // gathered inner columns.
+    let node = &plan.nodes[node_idx];
+    let sub = &node.subatoms[0];
+    let trie = &tries[sub.input];
+    let node_cur = current[sub.input].clone();
+    let gathered = &scratch[1..1 + inner.len()];
+    trie.for_each(&node_cur, sub.level, |key, child| {
+        for action in &sub.iter_actions {
+            let IterAction::Write { key_pos, slot } = *action else {
+                unreachable!("independent-tail covers bind only new variables");
+            };
+            tuple[slot] = key[key_pos];
+        }
+        let w = child.map_or(weight, |c| weight.saturating_mul(trie.tuple_count(c)));
+        if inner.is_empty() {
+            out.push(sink, tuple, w);
+        } else {
+            emit_product(inner, gathered, 0, tuple, w, sink, out);
+        }
+    });
+}
+
+/// Emit the Cartesian product of gathered tail lists, depth-first in list
+/// order (the recursion order of the plan walk this replaces). Each level
+/// copies its entry's values into the tuple's slots and multiplies its
+/// weight; the innermost level appends to the chunk buffer.
+fn emit_product(
+    nodes: &[CompiledNode],
+    lists: &[NodeScratch],
+    depth: usize,
+    tuple: &mut Vec<Value>,
+    weight: u64,
+    sink: &mut dyn Sink,
+    out: &mut ChunkBuffer,
+) {
+    let node = &nodes[depth];
+    let list = &lists[depth];
+    let stride = node.bound_after - node.bound_before;
+    let last = depth + 1 == nodes.len();
+    for (i, &entry_weight) in list.weights.iter().enumerate() {
+        tuple[node.bound_before..node.bound_after]
+            .copy_from_slice(&list.writes[i * stride..(i + 1) * stride]);
+        let w = weight.saturating_mul(entry_weight);
+        if last {
+            out.push(sink, tuple, w);
+        } else {
+            emit_product(nodes, lists, depth + 1, tuple, w, sink, out);
+        }
     }
 }
 
@@ -487,6 +640,7 @@ fn process_cover_entry(
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
+    out: &mut ChunkBuffer,
 ) {
     let node = &plan.nodes[node_idx];
     let cover = &node.subatoms[cover_idx];
@@ -554,6 +708,7 @@ fn process_cover_entry(
             sink,
             counters,
             rest,
+            out,
         );
     }
     for (input, old) in mine.saved.drain(..) {
@@ -575,6 +730,7 @@ fn run_node_scalar(
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
+    out: &mut ChunkBuffer,
 ) {
     let node = &plan.nodes[node_idx];
     let cover = &node.subatoms[cover_idx];
@@ -584,7 +740,7 @@ fn run_node_scalar(
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
         process_cover_entry(
             tries, plan, options, node_idx, cover_idx, key, child, tuple, current, weight, sink,
-            counters, scratch,
+            counters, scratch, out,
         );
     });
 }
@@ -604,6 +760,7 @@ fn run_node_vectorized(
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
+    out: &mut ChunkBuffer,
 ) {
     let node = &plan.nodes[node_idx];
     let cover = &node.subatoms[cover_idx];
@@ -621,12 +778,12 @@ fn run_node_vectorized(
         if mine.count >= batch_size {
             flush_batch(
                 tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink,
-                counters,
+                counters, out,
             );
         }
     });
     flush_batch(
-        tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters,
+        tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters, out,
     );
 }
 
@@ -703,6 +860,7 @@ fn flush_batch(
     current: &mut Vec<Arc<TrieNode>>,
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
+    out: &mut ChunkBuffer,
 ) {
     if mine.count == 0 {
         return;
@@ -779,6 +937,7 @@ fn flush_batch(
             sink,
             counters,
             rest,
+            out,
         );
         for (input, old) in mine.saved.drain(..) {
             current[input] = old;

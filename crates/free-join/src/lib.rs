@@ -13,7 +13,10 @@
 //!   strategies — fully-eager simple tries, simple lazy tries (SLT, after
 //!   Freitag et al.), and the paper's **COLT** (Column-Oriented Lazy Trie);
 //! * the **Free Join algorithm** ([`exec`]) executes a plan over the tries,
-//!   with optional vectorized execution and dynamic cover selection.
+//!   with optional vectorized execution, dynamic cover selection, and a
+//!   columnar batched result pipeline (bindings accumulate in
+//!   [`fj_query::ResultChunk`]s and cross the [`sink`] boundary one chunk —
+//!   not one tuple — at a time).
 //!
 //! The main entry point is [`FreeJoinEngine`]: give it a catalog, a
 //! conjunctive query and an optimized binary plan (e.g. from
@@ -74,7 +77,7 @@ pub use exec::{execute_pipeline, execute_pipeline_parallel, ExecCounters};
 pub use options::{FreeJoinOptions, TrieStrategy};
 pub use prep::{prepare_inputs, BoundInput};
 pub use session::{EngineCaches, Params, Prepared, Session, SessionCacheStats};
-pub use sink::{MaterializeSink, OutputSink, Sink};
+pub use sink::{ChunkBuffer, MaterializeSink, OutputSink, Sink};
 pub use trie::InputTrie;
 
 // Re-export the plan types most users need alongside the engine, and the

@@ -1,0 +1,312 @@
+//! The chunked result pipeline must be invisible in the results: for every
+//! strategy, thread count and aggregate, executing a pipeline into the
+//! chunked sinks produces exactly the rows, counts and weights that the
+//! per-tuple adapter produces — and in the same emission order. Also pins
+//! the chunk-capacity boundary cases and the weighted-materialize
+//! allocation behavior (a weighted tuple stores its shared values once).
+
+use freejoin::engine::compile::compile;
+use freejoin::engine::exec::{execute_pipeline, execute_pipeline_parallel};
+use freejoin::engine::prepare_inputs;
+use freejoin::engine::sink::{MaterializeSink, OutputSink, Sink};
+use freejoin::engine::InputTrie;
+use freejoin::plan::{binary2fj, factor};
+use freejoin::prelude::*;
+use freejoin::query::{OutputBuilder, OutputKind, ResultChunk, CHUNK_CAPACITY};
+use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A counting wrapper around the system allocator, used to pin the
+/// weighted-materialize dedup (one stored entry per weighted tuple, however
+/// large the weight).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The per-tuple reference sink: takes full-width chunks (no projection) and
+/// replays them entry by entry through `OutputBuilder::push_weighted` — the
+/// thin per-tuple adapter the chunked path must be equivalent to.
+struct PerTupleSink {
+    builder: OutputBuilder,
+}
+
+impl PerTupleSink {
+    fn new(builder: OutputBuilder) -> Self {
+        PerTupleSink { builder }
+    }
+
+    fn merge(&mut self, other: PerTupleSink) {
+        self.builder.merge(other.builder);
+    }
+
+    fn finish(self) -> QueryOutput {
+        self.builder.finish()
+    }
+}
+
+impl Sink for PerTupleSink {
+    fn push_chunk(&mut self, chunk: &ResultChunk) {
+        for i in 0..chunk.len() {
+            let row = chunk.row(i);
+            self.builder.push_weighted(&row, chunk.weights()[i]);
+        }
+    }
+
+    fn push(&mut self, tuple: &[Value], _bound_prefix: usize, weight: u64) {
+        self.builder.push_weighted(tuple, weight);
+    }
+
+    fn projected_slots(&self) -> Option<Vec<usize>> {
+        None // full binding-order tuples, projected per entry by the builder
+    }
+
+    fn accepts_factorized(&self, bound_prefix: usize) -> bool {
+        self.builder.is_counting() && self.builder.vars_bound_within(bound_prefix)
+    }
+
+    fn tuples(&self) -> u64 {
+        self.builder.tuples()
+    }
+}
+
+/// Execute one (query, plan) under `options`/`threads` twice — through the
+/// chunked `OutputSink` and through the per-tuple adapter — and return both
+/// outputs.
+fn run_both(
+    catalog: &Catalog,
+    query: &ConjunctiveQuery,
+    options: &FreeJoinOptions,
+    threads: usize,
+) -> (QueryOutput, QueryOutput) {
+    let prepared = prepare_inputs(catalog, query).unwrap();
+    let input_vars: Vec<Vec<String>> = prepared.atoms.iter().map(|a| a.vars.clone()).collect();
+    let mut plan = binary2fj(&input_vars);
+    factor(&mut plan);
+    let compiled = compile(&plan, &input_vars).unwrap();
+    let tries: Vec<Arc<InputTrie>> = prepared
+        .atoms
+        .iter()
+        .zip(&compiled.schemas)
+        .map(|(input, schema)| Arc::new(InputTrie::build(input, schema.clone(), options.trie)))
+        .collect();
+    let builder =
+        OutputBuilder::try_new(&query.head, query.aggregate.clone(), &compiled.binding_order)
+            .unwrap();
+
+    let chunked = if threads <= 1 {
+        let mut sink = OutputSink::new(builder.clone());
+        execute_pipeline(&tries, &compiled, options, &mut sink);
+        sink.finish()
+    } else {
+        let (sinks, _) = execute_pipeline_parallel(&tries, &compiled, options, threads, || {
+            OutputSink::new(builder.clone())
+        });
+        let mut merged = OutputSink::new(builder.clone());
+        for sink in sinks {
+            merged.merge(sink);
+        }
+        merged.finish()
+    };
+
+    let tuple_wise = if threads <= 1 {
+        let mut sink = PerTupleSink::new(builder.clone());
+        execute_pipeline(&tries, &compiled, options, &mut sink);
+        sink.finish()
+    } else {
+        let (sinks, _) = execute_pipeline_parallel(&tries, &compiled, options, threads, || {
+            PerTupleSink::new(builder.clone())
+        });
+        let mut merged = PerTupleSink::new(builder);
+        for sink in sinks {
+            merged.merge(sink);
+        }
+        merged.finish()
+    };
+
+    (chunked, tuple_wise)
+}
+
+/// Both outputs must agree exactly: same counts/weights, same group maps,
+/// and for rows the same multiset in the same emission order (the morsel
+/// merge and trie iteration are deterministic for fixed inputs, so even the
+/// unsorted order must match).
+fn assert_equivalent(chunked: &QueryOutput, tuple_wise: &QueryOutput, context: &str) {
+    assert_eq!(chunked.vars, tuple_wise.vars, "schema diverged: {context}");
+    match (&chunked.kind, &tuple_wise.kind) {
+        (OutputKind::Count(a), OutputKind::Count(b)) => {
+            assert_eq!(a, b, "counts diverged: {context}")
+        }
+        (OutputKind::Groups(a), OutputKind::Groups(b)) => {
+            assert_eq!(a, b, "group weights diverged: {context}")
+        }
+        (OutputKind::Rows(a), OutputKind::Rows(b)) => {
+            assert_eq!(a, b, "rows (in emission order) diverged: {context}");
+            assert_eq!(
+                chunked.canonical_rows(),
+                tuple_wise.canonical_rows(),
+                "sorted rows diverged: {context}"
+            );
+        }
+        (a, b) => panic!("output kinds diverged ({a:?} vs {b:?}): {context}"),
+    }
+}
+
+fn relation(name: &str, cols: &[&str], rows: &[Vec<i64>]) -> Relation {
+    let mut b = RelationBuilder::new(name, Schema::all_int(cols));
+    for row in rows {
+        b.push_ints(row).unwrap();
+    }
+    b.finish()
+}
+
+/// The aggregate grid: enumeration, counting (exercises empty projections
+/// and the factorized shortcut), and grouping.
+fn aggregates() -> [Aggregate; 3] {
+    [Aggregate::Materialize, Aggregate::Count, Aggregate::group_count(&["x"])]
+}
+
+fn check_query(catalog: &Catalog, base: &ConjunctiveQuery) {
+    for aggregate in aggregates() {
+        let query = base.clone().with_aggregate(aggregate.clone());
+        for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+            for threads in [1usize, 4] {
+                for options in [
+                    FreeJoinOptions { trie, ..FreeJoinOptions::default() },
+                    FreeJoinOptions { trie, batch_size: 1, ..FreeJoinOptions::default() },
+                    FreeJoinOptions { trie, factorize_output: true, ..FreeJoinOptions::default() },
+                ] {
+                    let (chunked, tuple_wise) = run_both(catalog, &query, &options, threads);
+                    assert_equivalent(
+                        &chunked,
+                        &tuple_wise,
+                        &format!("{} {aggregate:?} {trie:?} x{threads} {options:?}", base.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn star_query() -> ConjunctiveQuery {
+    QueryBuilder::new("star")
+        .head(&["x", "a", "b", "c"])
+        .atom("R", &["x", "a"])
+        .atom("S", &["x", "b"])
+        .atom("T", &["x", "c"])
+        .build()
+}
+
+fn triangle_query() -> ConjunctiveQuery {
+    QueryBuilder::new("tri")
+        .head(&["x", "y", "z"])
+        .atom("R", &["x", "y"])
+        .atom("S", &["y", "z"])
+        .atom("T", &["z", "x"])
+        .build()
+}
+
+/// Strategy: a small binary relation over a tiny domain (so joins match).
+fn rows(max_rows: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0i64..5, 2), 0..max_rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    // The star shape exercises the independent-tail product expansion (the
+    // non-recursive enumeration path) across every aggregate, strategy and
+    // thread count.
+    #[test]
+    fn chunked_star_equals_per_tuple_adapter(r in rows(12), s in rows(12), t in rows(12)) {
+        let mut catalog = Catalog::new();
+        catalog.add(relation("R", &["x", "a"], &r)).unwrap();
+        catalog.add(relation("S", &["x", "b"], &s)).unwrap();
+        catalog.add(relation("T", &["x", "c"], &t)).unwrap();
+        check_query(&catalog, &star_query());
+    }
+
+    // The triangle shape keeps a probing final node, so results flow
+    // through the per-entry (non-expansion) chunk path.
+    #[test]
+    fn chunked_triangle_equals_per_tuple_adapter(r in rows(14), s in rows(14), t in rows(14)) {
+        let mut catalog = Catalog::new();
+        catalog.add(relation("R", &["a", "b"], &r)).unwrap();
+        catalog.add(relation("S", &["a", "b"], &s)).unwrap();
+        catalog.add(relation("T", &["a", "b"], &t)).unwrap();
+        check_query(&catalog, &triangle_query());
+    }
+}
+
+/// Results of exactly CHUNK_CAPACITY (and ±1) tuples cross the flush
+/// boundary cleanly: no tuple is lost, duplicated, or reordered, and an
+/// empty result flushes nothing.
+#[test]
+fn chunk_capacity_boundary_is_exact() {
+    for total in [0usize, 1, CHUNK_CAPACITY - 1, CHUNK_CAPACITY, CHUNK_CAPACITY + 1] {
+        let mut catalog = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..total as i64).map(|i| vec![i % 7, i]).collect();
+        catalog.add(relation("R", &["x", "a"], &rows)).unwrap();
+        let s_rows: Vec<Vec<i64>> = (0..7i64).map(|x| vec![x, x]).collect();
+        catalog.add(relation("S", &["x", "b"], &s_rows)).unwrap();
+        let query = QueryBuilder::new("boundary")
+            .head(&["x", "a", "b"])
+            .atom("R", &["x", "a"])
+            .atom("S", &["x", "b"])
+            .build();
+        for threads in [1usize, 4] {
+            let (chunked, tuple_wise) =
+                run_both(&catalog, &query, &FreeJoinOptions::default(), threads);
+            assert_eq!(chunked.cardinality(), total as u64, "total {total} x{threads}");
+            assert_equivalent(&chunked, &tuple_wise, &format!("boundary total {total} x{threads}"));
+        }
+    }
+}
+
+/// The weighted-materialize dedup, pinned by allocation counting: pushing a
+/// weight-10000 tuple into a `MaterializeSink` stores its values once (a
+/// handful of allocations), while expanding to rows at `into_rows` — the
+/// public boundary — pays exactly the per-row cost. Before the chunked
+/// refactor the push itself cloned one heap row per unit of weight.
+#[test]
+fn weighted_materialize_push_allocates_shared_prefix_once() {
+    const WEIGHT: u64 = 10_000;
+    let mut sink = MaterializeSink::new();
+    // Warm up: the first push sizes the chunk's column vectors.
+    sink.push(&[Value::Int(0), Value::Int(0)], 2, 1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    sink.push(&[Value::Int(1), Value::Int(2)], 2, WEIGHT);
+    let during_push = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(
+        during_push <= 8,
+        "a weighted push must store its values once, not per duplicate \
+         ({during_push} allocations for weight {WEIGHT})"
+    );
+
+    assert_eq!(sink.tuples(), WEIGHT + 1);
+    let rows = sink.into_rows();
+    assert_eq!(rows.len() as u64, WEIGHT + 1);
+    assert_eq!(rows[1], vec![Value::Int(1), Value::Int(2)]);
+    assert_eq!(rows[rows.len() - 1], vec![Value::Int(1), Value::Int(2)]);
+}

@@ -110,10 +110,14 @@ fn queue_capacity_one_sheds_bursts_and_recovers_after_drain() {
 
     // B fills the queue slot (the acceptor admits it in arrival order)...
     let client_b = TcpStream::connect(addr).unwrap();
-    // ...so C overflows: the acceptor answers Busy(QueueFull) and closes.
+    // ...so C overflows: the acceptor answers Busy(QueueFull) — with a
+    // nonzero retry-after hint derived from the queue depth and recent p50
+    // service time — and closes.
     let mut client_c = Client::connect(addr).unwrap();
     match client_c.stats() {
-        Err(ClientError::Busy(BusyReason::QueueFull)) => {}
+        Err(ClientError::Busy { reason: BusyReason::QueueFull, retry_after_ms }) => {
+            assert!(retry_after_ms > 0, "the retry-after hint is never zero");
+        }
         other => panic!("expected Busy(QueueFull), got {other:?}"),
     }
 
@@ -131,7 +135,7 @@ fn queue_capacity_one_sheds_bursts_and_recovers_after_drain() {
                 recovered = Some((client, handle));
                 break;
             }
-            Err(ClientError::Busy(_))
+            Err(ClientError::Busy { .. })
             | Err(ClientError::Disconnected)
             | Err(ClientError::Io(_)) => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -173,7 +177,9 @@ fn byte_budget_sheds_oversized_requests_without_killing_the_connection() {
     // own (the frame is rejected before the filter text is even parsed).
     let huge_filter = "company < 1 and ".repeat(200) + "company < 1";
     match client.execute_with(handle, &[("title", &huge_filter)]) {
-        Err(ClientError::Busy(BusyReason::ByteBudget)) => {}
+        Err(ClientError::Busy { reason: BusyReason::ByteBudget, retry_after_ms }) => {
+            assert!(retry_after_ms > 0, "byte-budget sheds carry the retry hint too");
+        }
         other => panic!("expected Busy(ByteBudget), got {other:?}"),
     }
 
