@@ -46,6 +46,25 @@ def check_throughput_column(doc, path, errors):
             )
 
 
+def check_skew_column(doc, path, errors):
+    """schema_version 6: every row carries a numeric skew column (the
+    workload's skew knob; 0.0 on uniform workloads), and at least one row
+    is genuinely skewed — the work-stealing scheduler's target shape must
+    stay in the grid."""
+    any_skewed = False
+    for i, r in enumerate(doc["results"]):
+        if "skew" not in r:
+            errors.append(f"{path}: row {i} is missing the skew column")
+            continue
+        skew = r["skew"]
+        if not isinstance(skew, (int, float)) or isinstance(skew, bool) or not 0 <= skew <= 1:
+            errors.append(f"{path}: row {i} ({r['query']}) has implausible skew={skew!r}")
+        elif skew > 0:
+            any_skewed = True
+    if not any_skewed:
+        errors.append(f"{path}: no row with skew > 0 — the skewed workloads are gone")
+
+
 def check_serving_columns(doc, path, errors):
     """schema_version 4: every row carries serve_p50_us/serve_p99_us; the
     cache="serve" rows (real loopback TCP) must report sane nonzero
@@ -82,17 +101,19 @@ def main():
             f"schema_version drifted: committed {a['schema_version']} vs fresh "
             f"{b['schema_version']} — regenerate the committed BENCH_micro.json"
         )
-    if a["schema_version"] < 5:
+    if a["schema_version"] < 6:
         errors.append(
-            f"schema_version {a['schema_version']} < 5: the serving latency columns "
-            f"(serve_p50_us/serve_p99_us) and the tuples_per_sec throughput column "
-            f"are required"
+            f"schema_version {a['schema_version']} < 6: the serving latency columns "
+            f"(serve_p50_us/serve_p99_us), the tuples_per_sec throughput column and "
+            f"the skew column are required"
         )
     else:
         check_serving_columns(a, committed, errors)
         check_serving_columns(b, fresh, errors)
         check_throughput_column(a, committed, errors)
         check_throughput_column(b, fresh, errors)
+        check_skew_column(a, committed, errors)
+        check_skew_column(b, fresh, errors)
     if len(a["results"]) != len(b["results"]):
         errors.append(
             f"result row count drifted: committed {len(a['results'])} vs fresh "

@@ -33,15 +33,24 @@
 //! to seconds) — the result-pipeline throughput the columnar/chunked sink
 //! work targets; `0` whenever the row has no output or no measured probe
 //! phase (e.g. the TCP serving row, whose engine phases are not split
-//! out). The JSON is written by hand — the workspace's offline `serde`
-//! stand-in does not serialize — and the schema is deliberately flat:
+//! out).
+//!
+//! Since schema_version 6 every row carries `skew` — the workload's skew
+//! knob (Zipf theta for the skewed generators, hot-key share for
+//! `skewed_star`, `0.0` for uniform workloads) — and the grid includes the
+//! `star_hotkey` workload, where one key owns ~90% of the output: the
+//! shape the recursive-split work-stealing scheduler exists for, so its
+//! thread-scaling rows track that scheduler's win over root-only
+//! parallelism. The JSON is written by hand — the workspace's offline
+//! `serde` stand-in does not serialize — and the schema is deliberately
+//! flat:
 //!
 //! ```json
-//! {"schema_version":5,"cores":8,"note":"...","results":[
+//! {"schema_version":6,"cores":8,"note":"...","results":[
 //!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
 //!    "trie_hits":0,"trie_misses":0,"wall_ms":12.34,"build_ms":1.20,
 //!    "probe_ms":10.80,"output_tuples":1,"tuples_per_sec":92,
-//!    "serve_p50_us":0,"serve_p99_us":0}
+//!    "serve_p50_us":0,"serve_p99_us":0,"skew":0.00}
 //! ]}
 //! ```
 
@@ -79,6 +88,9 @@ struct Record {
     /// nonzero only on `cache: "serve"` rows.
     serve_p50_us: u64,
     serve_p99_us: u64,
+    /// The workload's skew knob: Zipf theta for the skewed generators,
+    /// hot-key share for `skewed_star`, `0.0` for uniform workloads.
+    skew: f64,
 }
 
 impl Record {
@@ -132,6 +144,7 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
         output_tuples,
         serve_p50_us: 0,
         serve_p99_us: 0,
+        skew: 0.0,
     }
 }
 
@@ -186,6 +199,7 @@ fn measure_serving(
         output_tuples: tuples,
         serve_p50_us: 0,
         serve_p99_us: 0,
+        skew: 0.0,
     };
     (
         make(
@@ -274,6 +288,7 @@ fn measure_serving_tcp(label: &str, workload: &Workload, query_idx: usize) -> Re
         output_tuples: cardinality,
         serve_p50_us: after.p50_us,
         serve_p99_us: after.p99_us,
+        skew: 0.0,
     }
 }
 
@@ -287,18 +302,23 @@ fn main() {
     // The `--large` flag selects the paper-scale instances; the default
     // sizes keep a full grid under a couple of minutes on one core so the
     // emitter can run in CI.
+    // Each entry carries its skew knob for the `skew` column: Zipf theta
+    // for the skewed generators, the hot-key share for `star_hotkey`, 0.0
+    // for uniform shapes.
     let large = std::env::args().any(|a| a == "--large");
     let workloads = if large {
         vec![
-            ("clover_n2000", micro::clover(2_000)),
-            ("triangle_skew", micro::skewed_triangle(1_000, 10, 1.0, 17)),
-            ("star_skew", micro::star(3, 1_500, 200, 1.0, 23)),
+            ("clover_n2000", micro::clover(2_000), 0.0),
+            ("triangle_skew", micro::skewed_triangle(1_000, 10, 1.0, 17), 1.0),
+            ("star_skew", micro::star(3, 1_500, 200, 1.0, 23), 1.0),
+            ("star_hotkey", micro::skewed_star(2, 800, 0.9, 29), 0.9),
         ]
     } else {
         vec![
-            ("clover_n600", micro::clover(600)),
-            ("triangle_skew", micro::skewed_triangle(300, 6, 0.8, 17)),
-            ("star_skew", micro::star(3, 400, 100, 0.6, 23)),
+            ("clover_n600", micro::clover(600), 0.0),
+            ("triangle_skew", micro::skewed_triangle(300, 6, 0.8, 17), 0.8),
+            ("star_skew", micro::star(3, 400, 100, 0.6, 23), 0.6),
+            ("star_hotkey", micro::skewed_star(2, 150, 0.9, 29), 0.9),
         ]
     };
 
@@ -312,18 +332,20 @@ fn main() {
     let thread_grid = [1usize, 2, 4];
 
     let mut records = Vec::new();
-    for (label, workload) in &workloads {
+    for (label, workload, skew) in &workloads {
         eprintln!("running {label} ({} input rows)...", workload.total_rows());
         // Strategy ablation on the serial path.
         for strategy in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
             let options = FreeJoinOptions { trie: strategy, ..FreeJoinOptions::default() }
                 .with_num_threads(1);
-            records.push(measure(workload, options));
+            records.push(Record { skew: *skew, ..measure(workload, options) });
         }
-        // Thread scaling on the default (COLT) configuration.
+        // Thread scaling on the default (COLT) configuration — stealing on
+        // by default, so the star_hotkey rows measure the recursive-split
+        // scheduler on the shape it was built for.
         for &threads in &thread_grid[1..] {
             let options = FreeJoinOptions::default().with_num_threads(threads);
-            records.push(measure(workload, options));
+            records.push(Record { skew: *skew, ..measure(workload, options) });
         }
         // Cold vs warm through the fj-cache serving path. Threads pinned to
         // 1 for the same reason as the grid above: `default()` resolves to
@@ -331,8 +353,8 @@ fn main() {
         // `threads` value in the emitted rows and trip the CI drift gate.
         let (cold, warm) =
             measure_serving(label, workload, 0, FreeJoinOptions::default().with_num_threads(1));
-        records.push(cold);
-        records.push(warm);
+        records.push(Record { skew: *skew, ..cold });
+        records.push(Record { skew: *skew, ..warm });
     }
 
     // The headline repeated-query serving measurement: a JOB-like query with
@@ -379,20 +401,22 @@ fn main() {
                 serve_p50_us/serve_p99_us (zero on all other rows; quantiles are log-linear \
                 bucket upper bounds, <=25% relative error); tuples_per_sec is the chunked \
                 result pipeline's probe-phase throughput, output_tuples / probe_ms scaled \
-                to seconds (0 on rows with no output or no probe split)";
+                to seconds (0 on rows with no output or no probe split); skew is the \
+                workload's skew knob (Zipf theta, or the hot-key share for star_hotkey, \
+                whose >1-thread rows exercise the recursive-split work-stealing scheduler)";
     let mut json = String::new();
     let _ =
-        write!(json, "{{\"schema_version\":5,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
+        write!(json, "{{\"schema_version\":6,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{}}}",
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{},\"skew\":{:.2}}}",
             r.query, r.strategy, r.threads, r.cache, r.trie_hits, r.trie_misses, r.wall_ms,
             r.build_ms, r.probe_ms, r.output_tuples, r.tuples_per_sec(), r.serve_p50_us,
-            r.serve_p99_us
+            r.serve_p99_us, r.skew
         );
     }
     json.push_str("\n]}\n");

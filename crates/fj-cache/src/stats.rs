@@ -128,18 +128,59 @@ impl CacheStats {
     }
 }
 
+/// Work-stealing scheduler counters accumulated across a session's query
+/// executions: how many tasks the parallel executor spawned, and how many
+/// were stolen by a worker other than their spawner. Wire-encoded as two
+/// little-endian `u64`s in declaration order, like [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Scheduler tasks spawned (root range tasks plus split sub-ranges).
+    pub tasks_spawned: u64,
+    /// Tasks executed by a worker other than the one that spawned them.
+    pub tasks_stolen: u64,
+}
+
+impl SchedStats {
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn delta(&self, earlier: &SchedStats) -> SchedStats {
+        SchedStats {
+            tasks_spawned: self.tasks_spawned - earlier.tasks_spawned,
+            tasks_stolen: self.tasks_stolen - earlier.tasks_stolen,
+        }
+    }
+
+    /// Field (name, value) pairs in codec order.
+    pub fn fields(&self) -> [(&'static str, u64); 2] {
+        [("tasks_spawned", self.tasks_spawned), ("tasks_stolen", self.tasks_stolen)]
+    }
+
+    /// Append the fixed-order binary encoding (2 little-endian `u64`s).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for (_, v) in self.fields() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decode from the front of `bytes`, advancing the slice.
+    pub fn decode(bytes: &mut &[u8]) -> Option<SchedStats> {
+        Some(SchedStats { tasks_spawned: take_u64(bytes)?, tasks_stolen: take_u64(bytes)? })
+    }
+}
+
 /// The combined snapshot of a serving process's cache pair — the trie cache
-/// and the plan cache — as one plain, copyable, wire-encodable struct. This
-/// is what `free-join`'s `Session::cache_stats` returns and what `fj-serve`
-/// embeds in its stats frame, so in-process assertions (e.g.
-/// `examples/serve_repeated.rs`) and remote `/metrics` consumers read the
-/// exact same shape.
+/// and the plan cache — plus the session's scheduler counters, as one plain,
+/// copyable, wire-encodable struct. This is what `free-join`'s
+/// `Session::cache_stats` returns and what `fj-serve` embeds in its stats
+/// frame, so in-process assertions (e.g. `examples/serve_repeated.rs`) and
+/// remote `/metrics` consumers read the exact same shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Trie cache counters/gauges.
     pub tries: CacheStats,
     /// Plan cache counters/gauges (`resident_bytes` counts entries).
     pub plans: CacheStats,
+    /// Work-stealing scheduler counters (spawned / stolen tasks).
+    pub sched: SchedStats,
 }
 
 impl StatsSnapshot {
@@ -149,22 +190,30 @@ impl StatsSnapshot {
         StatsSnapshot {
             tries: self.tries.delta(&earlier.tries),
             plans: self.plans.delta(&earlier.plans),
+            sched: self.sched.delta(&earlier.sched),
         }
     }
 
-    /// Append the fixed-order binary encoding (tries then plans, 160 bytes).
+    /// Append the fixed-order binary encoding (tries, plans, sched — 176
+    /// bytes).
     pub fn encode(&self, out: &mut Vec<u8>) {
         self.tries.encode(out);
         self.plans.encode(out);
+        self.sched.encode(out);
     }
 
     /// Decode from the front of `bytes`, advancing the slice.
     pub fn decode(bytes: &mut &[u8]) -> Option<StatsSnapshot> {
-        Some(StatsSnapshot { tries: CacheStats::decode(bytes)?, plans: CacheStats::decode(bytes)? })
+        Some(StatsSnapshot {
+            tries: CacheStats::decode(bytes)?,
+            plans: CacheStats::decode(bytes)?,
+            sched: SchedStats::decode(bytes)?,
+        })
     }
 
     /// Render as `/metrics`-style text, one `fj_cache_<cache>_<field> <value>`
-    /// line per counter/gauge.
+    /// line per counter/gauge plus one `fj_sched_<field> <value>` line per
+    /// scheduler counter.
     pub fn render_metrics(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -172,6 +221,9 @@ impl StatsSnapshot {
             for (name, value) in stats.fields() {
                 let _ = writeln!(out, "fj_cache_{cache}_{name} {value}");
             }
+        }
+        for (name, value) in self.sched.fields() {
+            let _ = writeln!(out, "fj_sched_{name} {value}");
         }
         out
     }
@@ -263,16 +315,17 @@ mod tests {
                 entries: 10,
             },
             plans: CacheStats { hits: u64::MAX, misses: 11, ..Default::default() },
+            sched: SchedStats { tasks_spawned: 12, tasks_stolen: 13 },
         };
         let mut buf = Vec::new();
         snap.encode(&mut buf);
-        assert_eq!(buf.len(), 160, "2 caches x 10 fixed u64 fields");
+        assert_eq!(buf.len(), 176, "2 caches x 10 fields + 2 sched fields, u64 each");
         let mut slice = buf.as_slice();
         let decoded = StatsSnapshot::decode(&mut slice).unwrap();
         assert_eq!(decoded, snap);
         assert!(slice.is_empty(), "decode consumes exactly the encoding");
         // Truncated input is a decode failure, not a panic.
-        assert!(StatsSnapshot::decode(&mut &buf[..159]).is_none());
+        assert!(StatsSnapshot::decode(&mut &buf[..175]).is_none());
     }
 
     #[test]
@@ -280,19 +333,24 @@ mod tests {
         let before = StatsSnapshot {
             tries: CacheStats { hits: 5, misses: 2, ..Default::default() },
             plans: CacheStats { hits: 1, ..Default::default() },
+            sched: SchedStats { tasks_spawned: 10, tasks_stolen: 2 },
         };
         let after = StatsSnapshot {
             tries: CacheStats { hits: 9, misses: 2, resident_bytes: 64, ..Default::default() },
             plans: CacheStats { hits: 4, ..Default::default() },
+            sched: SchedStats { tasks_spawned: 40, tasks_stolen: 5 },
         };
         let d = after.delta(&before);
         assert_eq!(d.tries.hits, 4);
         assert_eq!(d.plans.hits, 3);
         assert_eq!(d.tries.resident_bytes, 64, "gauges come from the later snapshot");
+        assert_eq!(d.sched, SchedStats { tasks_spawned: 30, tasks_stolen: 3 });
         let text = after.render_metrics();
         assert!(text.contains("fj_cache_trie_hits 9\n"));
         assert!(text.contains("fj_cache_plan_hits 4\n"));
-        assert_eq!(text.lines().count(), 20);
+        assert!(text.contains("fj_sched_tasks_spawned 40\n"));
+        assert!(text.contains("fj_sched_tasks_stolen 5\n"));
+        assert_eq!(text.lines().count(), 22);
     }
 
     #[test]

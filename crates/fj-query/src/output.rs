@@ -425,7 +425,7 @@ impl OutputBuilder {
     }
 
     /// Absorb another builder's accumulated results. Parallel engines give
-    /// each worker (or morsel) a clone of an empty builder and merge the
+    /// each worker (or task) a clone of an empty builder and merge the
     /// partial results in a deterministic order at the end. Materialized
     /// results merge **chunk-wise** — whole column vectors change hands, no
     /// row is copied or expanded.
@@ -508,6 +508,15 @@ pub struct ExecStats {
     pub tries_built: u64,
     /// Number of trie nodes expanded lazily at run time (COLT forcing).
     pub lazy_expansions: u64,
+    /// Scheduler tasks spawned by the work-stealing executor (root range
+    /// tasks plus every split sub-range task). Zero on serial execution.
+    pub tasks_spawned: u64,
+    /// Scheduler tasks executed by a worker other than the one that spawned
+    /// them (root tasks from the shared injector never count).
+    pub tasks_stolen: u64,
+    /// Expansions processed per worker, indexed by worker id — the load
+    /// balance record behind the skew benchmarks. Empty on serial execution.
+    pub worker_expansions: Vec<u64>,
 }
 
 impl ExecStats {
@@ -536,6 +545,26 @@ impl ExecStats {
         self.probe_hits += other.probe_hits;
         self.tries_built += other.tries_built;
         self.lazy_expansions += other.lazy_expansions;
+        self.tasks_spawned += other.tasks_spawned;
+        self.tasks_stolen += other.tasks_stolen;
+        if self.worker_expansions.len() < other.worker_expansions.len() {
+            self.worker_expansions.resize(other.worker_expansions.len(), 0);
+        }
+        for (mine, theirs) in self.worker_expansions.iter_mut().zip(&other.worker_expansions) {
+            *mine += theirs;
+        }
+    }
+
+    /// The largest share of expansions any single worker processed, in
+    /// `[0, 1]` — the skew-balance figure the parallel benchmarks report.
+    /// `None` when no per-worker counts were recorded (serial execution).
+    pub fn max_worker_share(&self) -> Option<f64> {
+        let total: u64 = self.worker_expansions.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let max = *self.worker_expansions.iter().max().expect("nonzero total implies nonempty");
+        Some(max as f64 / total as f64)
     }
 }
 
@@ -543,7 +572,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "build {:?}, join {:?}, out {} ({} chunks), intermediates {}, probes {} ({} hits), tries {}, lazy {}",
+            "build {:?}, join {:?}, out {} ({} chunks), intermediates {}, probes {} ({} hits), tries {}, lazy {}, tasks {} ({} stolen)",
             self.build_time,
             self.join_time,
             self.output_tuples,
@@ -552,7 +581,9 @@ impl fmt::Display for ExecStats {
             self.probes,
             self.probe_hits,
             self.tries_built,
-            self.lazy_expansions
+            self.lazy_expansions,
+            self.tasks_spawned,
+            self.tasks_stolen
         )
     }
 }
@@ -609,6 +640,8 @@ mod tests {
             join_time: Duration::from_millis(20),
             output_tuples: 5,
             probes: 7,
+            tasks_spawned: 4,
+            worker_expansions: vec![3, 1],
             ..ExecStats::default()
         };
         let b = ExecStats {
@@ -618,15 +651,31 @@ mod tests {
             output_tuples: 1,
             probes: 3,
             probe_hits: 2,
+            tasks_spawned: 2,
+            tasks_stolen: 1,
+            worker_expansions: vec![0, 2, 2],
             ..ExecStats::default()
         };
         a.merge(&b);
         assert_eq!(a.output_tuples, 6);
         assert_eq!(a.probes, 10);
         assert_eq!(a.probe_hits, 2);
+        assert_eq!(a.tasks_spawned, 6);
+        assert_eq!(a.tasks_stolen, 1);
+        assert_eq!(a.worker_expansions, vec![3, 3, 2], "element-wise with resize");
         assert_eq!(a.reported_time(), Duration::from_millis(33));
         assert_eq!(a.total_time(), Duration::from_millis(37));
         assert!(a.to_string().contains("out 6"));
+        assert!(a.to_string().contains("tasks 6 (1 stolen)"));
+    }
+
+    #[test]
+    fn max_worker_share() {
+        assert_eq!(ExecStats::default().max_worker_share(), None);
+        let balanced = ExecStats { worker_expansions: vec![5, 5, 5, 5], ..ExecStats::default() };
+        assert_eq!(balanced.max_worker_share(), Some(0.25));
+        let skewed = ExecStats { worker_expansions: vec![9, 1, 0, 0], ..ExecStats::default() };
+        assert_eq!(skewed.max_worker_share(), Some(0.9));
     }
 
     #[test]

@@ -152,7 +152,7 @@ impl Client {
     /// Fetch the `/metrics`-style stats snapshot.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
+            Response::Stats(stats) => Ok(*stats),
             _ => Err(ClientError::UnexpectedResponse("Stats")),
         }
     }

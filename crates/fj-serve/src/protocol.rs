@@ -77,8 +77,9 @@ pub enum Response {
     /// execution built (0 on a fully warm path), and server-side service
     /// time in microseconds.
     Answer { cardinality: u64, tries_built: u64, service_us: u64 },
-    /// The `/metrics`-style snapshot.
-    Stats(ServerStats),
+    /// The `/metrics`-style snapshot (boxed: much larger than the other
+    /// variants, and only ever built once per stats request).
+    Stats(Box<ServerStats>),
     /// Acknowledgement (shutdown).
     Ok,
     /// Load shed: the request was NOT executed. `retry_after_ms` is the
@@ -327,7 +328,7 @@ impl Response {
                 service_us: r.u64()?,
             },
             OP_STATS_REPLY => match ServerStats::decode(&mut r.bytes) {
-                Some(stats) => Response::Stats(stats),
+                Some(stats) => Response::Stats(Box::new(stats)),
                 None => return wire_err("truncated stats payload"),
             },
             OP_OK => Response::Ok,
@@ -383,7 +384,7 @@ pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<
 mod tests {
     use super::*;
     use crate::metrics::ServerStats;
-    use fj_cache::{CacheStats, StatsSnapshot};
+    use fj_cache::{CacheStats, SchedStats, StatsSnapshot};
 
     fn round_trip_request(req: Request) {
         let payload = req.encode();
@@ -430,6 +431,7 @@ mod tests {
             cache: StatsSnapshot {
                 tries: CacheStats { hits: 10, misses: 2, ..Default::default() },
                 plans: CacheStats { hits: 4, ..Default::default() },
+                sched: SchedStats { tasks_spawned: 17, tasks_stolen: 5 },
             },
             accepted: 12,
             rejected_queue: 1,
@@ -440,7 +442,7 @@ mod tests {
             p50_us: 120,
             p99_us: 2400,
         };
-        round_trip_response(Response::Stats(stats));
+        round_trip_response(Response::Stats(Box::new(stats)));
     }
 
     #[test]

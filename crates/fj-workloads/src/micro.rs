@@ -162,6 +162,59 @@ pub fn star(spokes: usize, rows: usize, hub_domain: usize, theta: f64, seed: u64
     )
 }
 
+/// A star query whose join key is deliberately hot: key `0` appears in
+/// `hot_share` of every relation's rows (90% by default in the benches), so
+/// a single root binding owns essentially all of the output — the adversary
+/// for root-only parallelism, where whichever worker draws key `0` does the
+/// whole join alone unless the scheduler re-splits the expansions under it.
+/// The remaining rows spread uniformly over a small cold domain so the cold
+/// keys still join. Deterministic for a given seed.
+pub fn skewed_star(spokes: usize, rows: usize, hot_share: f64, seed: u64) -> Workload {
+    assert!(spokes >= 1, "skewed_star needs at least one spoke");
+    assert!((0.0..=1.0).contains(&hot_share), "hot_share is a fraction");
+    let hot_rows = ((rows as f64) * hot_share) as usize;
+    // A cold domain of ~rows/8 keys keeps cold keys joining a handful of
+    // rows each, so the cold tail is real but negligible next to key 0.
+    let cold_domain = (rows / 8).max(1) as i64;
+    let mut catalog = Catalog::new();
+    let mut atoms = Vec::new();
+
+    let mut hub_rng = seeded_rng("skewed-star-hub", seed);
+    let mut hub = RelationBuilder::new("hub", Schema::all_int(&["x", "h"]));
+    for i in 0..rows {
+        let key = if i < hot_rows { 0 } else { hub_rng.random_range(1..cold_domain + 1) };
+        hub.push_ints(&[key, i as i64]).unwrap();
+    }
+    catalog.add(hub.finish()).unwrap();
+    atoms.push(Atom::new("hub", vec!["x", "h"]));
+
+    for s in 0..spokes {
+        let mut rng = seeded_rng(&format!("skewed-star-spoke-{s}"), seed);
+        let name = format!("spoke{s}");
+        let col = format!("s{s}");
+        let mut b = RelationBuilder::new(&name, Schema::all_int(&["x", col.as_str()]));
+        for i in 0..rows {
+            let key = if i < hot_rows { 0 } else { rng.random_range(1..cold_domain + 1) };
+            b.push_ints(&[key, (1000 * (s + 1) + i) as i64]).unwrap();
+        }
+        catalog.add(b.finish()).unwrap();
+        atoms.push(Atom {
+            alias: name.clone(),
+            relation: name,
+            vars: vec!["x".to_string(), col],
+            filter: fj_storage::Predicate::True,
+        });
+    }
+
+    let query =
+        ConjunctiveQuery::new("skewed_star", vec![], atoms).with_aggregate(Aggregate::Count);
+    Workload::new(
+        format!("skewed_star spokes={spokes} rows={rows} hot={hot_share}"),
+        catalog,
+        vec![NamedQuery::new("skewed_star", query)],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +255,24 @@ mod tests {
         s.validate().unwrap();
         assert!(!s.queries[0].cyclic);
         assert_eq!(s.queries[0].query.num_atoms(), 5);
+    }
+
+    #[test]
+    fn skewed_star_is_hot_and_deterministic() {
+        let w = skewed_star(2, 100, 0.9, 7);
+        w.validate().unwrap();
+        assert_eq!(w.queries[0].query.num_atoms(), 3);
+        // Key 0 owns ~90% of every relation.
+        for rel in ["hub", "spoke0", "spoke1"] {
+            let rows = w.catalog.get(rel).unwrap().canonical_rows();
+            let hot = rows.iter().filter(|r| r[0] == fj_storage::Value::Int(0)).count();
+            assert_eq!(hot, 90, "{rel} hot-key share");
+        }
+        let w2 = skewed_star(2, 100, 0.9, 7);
+        assert_eq!(
+            w.catalog.get("hub").unwrap().canonical_rows(),
+            w2.catalog.get("hub").unwrap().canonical_rows()
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::compile::{compile, compile_query, CompiledPlan};
 use crate::error::{EngineError, EngineResult};
-use crate::exec::{execute_pipeline, execute_pipeline_parallel};
+use crate::exec::{execute_pipeline, execute_pipeline_parallel, ExecCounters};
 use crate::options::FreeJoinOptions;
 use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput};
 use crate::sink::{MaterializeSink, OutputSink};
@@ -213,10 +213,12 @@ pub(crate) fn build_tries(
 }
 
 /// Run one compiled pipeline over its (possibly cache-shared) tries: serial
-/// when one thread is configured (the exact legacy path), morsel-driven over
-/// the first node's cover otherwise, with the per-morsel sinks merged in
-/// morsel order. Final pipelines produce the query output; non-final
-/// pipelines materialize an intermediate relation (bushy plans).
+/// when one thread is configured (the exact legacy path), under the
+/// work-stealing scheduler otherwise — root cover ranges seed the task
+/// injector, oversized expansions anywhere in the plan re-split, and the
+/// per-task sinks merge in deterministic path-key order. Final pipelines
+/// produce the query output; non-final pipelines materialize an
+/// intermediate relation (bushy plans).
 ///
 /// Trie-building counters (`tries_built`, `lazy_expansions`) are *not*
 /// recorded here: with cached tries shared across queries the attribution
@@ -241,8 +243,7 @@ pub(crate) fn join_pipeline(
                 execute_pipeline_parallel(tries, compiled, options, threads, || {
                     OutputSink::new(builder.clone())
                 });
-            stats.probes += counters.probes;
-            stats.probe_hits += counters.probe_hits;
+            absorb_counters(stats, counters);
             let mut merged = OutputSink::new(builder);
             for sink in sinks {
                 merged.merge(sink);
@@ -252,8 +253,7 @@ pub(crate) fn join_pipeline(
         } else {
             let mut sink = OutputSink::new(builder);
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
-            stats.probes += counters.probes;
-            stats.probe_hits += counters.probe_hits;
+            absorb_counters(stats, counters);
             stats.result_chunks += sink.chunks_received();
             sink.finish()
         };
@@ -262,8 +262,7 @@ pub(crate) fn join_pipeline(
         let rows = if threads > 1 {
             let (sinks, counters) =
                 execute_pipeline_parallel(tries, compiled, options, threads, MaterializeSink::new);
-            stats.probes += counters.probes;
-            stats.probe_hits += counters.probe_hits;
+            absorb_counters(stats, counters);
             let mut merged = MaterializeSink::new();
             for sink in sinks {
                 merged.merge(sink);
@@ -273,8 +272,7 @@ pub(crate) fn join_pipeline(
         } else {
             let mut sink = MaterializeSink::new();
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
-            stats.probes += counters.probes;
-            stats.probe_hits += counters.probe_hits;
+            absorb_counters(stats, counters);
             stats.result_chunks += sink.chunks_received();
             sink.into_rows()
         };
@@ -284,6 +282,22 @@ pub(crate) fn join_pipeline(
     };
     stats.join_time += join_start.elapsed();
     Ok(result)
+}
+
+/// Fold one pipeline's execution counters into the query's stats record,
+/// including the scheduler counters (spawned / stolen / per-worker shares;
+/// all zero or empty on serial execution).
+fn absorb_counters(stats: &mut ExecStats, counters: ExecCounters) {
+    stats.probes += counters.probes;
+    stats.probe_hits += counters.probe_hits;
+    stats.tasks_spawned += counters.tasks_spawned;
+    stats.tasks_stolen += counters.tasks_stolen;
+    if stats.worker_expansions.len() < counters.worker_expansions.len() {
+        stats.worker_expansions.resize(counters.worker_expansions.len(), 0);
+    }
+    for (mine, theirs) in stats.worker_expansions.iter_mut().zip(&counters.worker_expansions) {
+        *mine += theirs;
+    }
 }
 
 /// What a pipeline produced.

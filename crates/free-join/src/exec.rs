@@ -43,38 +43,63 @@
 //! to the recursive walk's, so results are bit-for-bit those of the
 //! tuple-at-a-time executor this replaces.
 //!
-//! # Morsel-driven parallelism
+//! # Work-stealing parallelism
 //!
-//! [`execute_pipeline_parallel`] splits the **first plan node's cover
-//! iteration** into morsels of root-level entries and fans them out over a
-//! pool of scoped worker threads, in the spirit of morsel-driven execution
-//! (Leis et al., SIGMOD 2014). Each worker owns its tuple buffer, trie
-//! positions, scratch space and a per-morsel [`Sink`], and claims morsels
-//! from a shared atomic cursor; inner plan nodes run the unmodified
-//! (optionally vectorized) serial code. Probes may lazily force shared trie
-//! nodes from several workers at once — the trie's `OnceLock`-based forcing
-//! (see [`crate::trie`]) makes that race-free. Every worker flushes its
-//! chunk buffer into its morsel's own sink before handing the sink back,
-//! and per-morsel sinks come back in morsel order, so merging them is
-//! deterministic for a fixed root entry list. The serial path
-//! (`num_threads == 1`) runs the identical single-threaded algorithm with
-//! one sink and one chunk buffer.
+//! [`execute_pipeline_parallel`] runs the plan under a shared work-stealing
+//! scheduler in the spirit of morsel-driven execution (Leis et al., SIGMOD
+//! 2014), but with **recursive splitting across the whole plan** rather than
+//! at the root only. The first node's cover iteration seeds a global
+//! injector with range tasks; each scoped worker owns a deque, pops its own
+//! tasks LIFO, and steals FIFO from the injector or a peer when idle. A
+//! worker that *begins* an expansion — at any plan node, or an
+//! independent-tail Cartesian product — whose size (read in O(1) from the
+//! trie level-map via `estimated_keys`) reaches
+//! `FreeJoinOptions::split_threshold` does not walk it alone: it pushes
+//! sub-range `Task`s onto its deque for idle workers to steal and moves
+//! on. Each task carries its binding prefix, trie positions and running
+//! weight, so `process_cover_entry`/`flush_batch` resume mid-plan exactly
+//! where the split happened.
+//!
+//! **Determinism.** Every task carries a dense *path key*: root tasks are
+//! keyed `[0] .. [k-1]` in root-range order, and a task's spawned children
+//! extend its own key with a per-task counter assigned in expansion order.
+//! Split decisions depend only on trie sizes and the configured threshold —
+//! never on the thread count or which worker ran what — so the task tree,
+//! and therefore the lexicographic path-key order in which per-task sinks
+//! are merged, is identical at any thread count and any steal schedule.
+//! Probes may lazily force shared trie nodes from several workers at once —
+//! the trie's `OnceLock`-based forcing (see [`crate::trie`]) makes that
+//! race-free. The serial path (`num_threads == 1`) runs the identical
+//! single-threaded algorithm with one sink and one chunk buffer.
 
 use crate::compile::{CompiledNode, CompiledPlan, IterAction};
 use crate::options::FreeJoinOptions;
 use crate::sink::{ChunkBuffer, Sink};
 use crate::trie::{InputTrie, TrieNode};
 use fj_storage::{LevelKey, Value};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Counters collected during the join phase.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecCounters {
     /// Number of probe operations.
     pub probes: u64,
     /// Number of probes that found a match.
     pub probe_hits: u64,
+    /// Expansion work processed: cover entries iterated at join nodes plus
+    /// product rows emitted at independent-tail nodes. Identical between the
+    /// serial and parallel paths (splitting moves work, it never adds any).
+    pub expansions: u64,
+    /// Tasks created by the scheduler (root ranges plus split sub-ranges).
+    /// Zero on the serial path.
+    pub tasks_spawned: u64,
+    /// Tasks executed by a worker other than the one that spawned them.
+    /// Schedule-dependent; zero on the serial path.
+    pub tasks_stolen: u64,
+    /// `expansions` broken down by worker id. Empty on the serial path.
+    pub worker_expansions: Vec<u64>,
 }
 
 impl ExecCounters {
@@ -82,6 +107,21 @@ impl ExecCounters {
     pub fn merge(&mut self, other: ExecCounters) {
         self.probes += other.probes;
         self.probe_hits += other.probe_hits;
+        self.expansions += other.expansions;
+        self.tasks_spawned += other.tasks_spawned;
+        self.tasks_stolen += other.tasks_stolen;
+        if self.worker_expansions.len() < other.worker_expansions.len() {
+            self.worker_expansions.resize(other.worker_expansions.len(), 0);
+        }
+        for (mine, theirs) in self.worker_expansions.iter_mut().zip(&other.worker_expansions) {
+            *mine += theirs;
+        }
+    }
+
+    /// The schedule-independent subset (probe and expansion totals), used by
+    /// tests to check that parallel execution does exactly the serial work.
+    pub fn work(&self) -> (u64, u64, u64) {
+        (self.probes, self.probe_hits, self.expansions)
     }
 }
 
@@ -135,22 +175,283 @@ pub fn execute_pipeline(
         &mut counters,
         &mut scratch,
         &mut out,
+        &mut NoSplit,
     );
     out.flush(sink);
     counters
 }
 
-/// The root-level work list of a parallel pipeline: what the first node's
-/// cover iterates, materialized so it can be split into morsels. Entries
-/// borrow from the forced root map (stable for the lifetime of the tries),
-/// so building the list allocates only the index vector.
-enum RootItems<'a> {
-    /// The cover's root is an unforced last level: iterate the base table
-    /// directly, one item per row (the COLT fast path).
-    Rows(usize),
-    /// The cover's root is (now) a forced hash-map level: one item per
-    /// distinct key.
-    Entries(Vec<(&'a LevelKey, &'a Arc<TrieNode>)>),
+/// A materialized cover-entry list shared across the sibling sub-ranges of
+/// one split.
+type EntryList = Arc<Vec<(LevelKey, Arc<TrieNode>)>>;
+
+/// What one scheduler task iterates. Entry lists are materialized as owned
+/// clones (`LevelKey` is `Copy`-cheap at the inline arities) shared across
+/// the sibling sub-ranges of one split via `Arc`, so tasks have no lifetime
+/// ties to the worker that spawned them.
+enum TaskItems {
+    /// A range of a node's (forced) cover-map entries.
+    Entries { cover_idx: usize, entries: EntryList, lo: usize, hi: usize },
+    /// A range of base-table rows — the root cover is an unforced last level
+    /// (the COLT fast path), iterated directly without forcing.
+    Rows { cover_idx: usize, lo: usize, hi: usize },
+    /// A range of an independent tail's first expansion list (flat
+    /// `(values, weight)` columns); the task re-gathers the inner lists and
+    /// emits its slice of the Cartesian product.
+    Tail { writes: Arc<Vec<Value>>, weights: Arc<Vec<u64>>, lo: usize, hi: usize },
+}
+
+/// One unit of stealable work: resume the plan at `node_idx` with the given
+/// binding prefix, trie positions and running weight, and iterate `items`.
+/// `path` is the task's dense key in the task tree; sorting per-task sinks
+/// by it reproduces the same merge order at any thread count and any steal
+/// schedule (see the module docs).
+struct Task {
+    path: Vec<u32>,
+    node_idx: usize,
+    items: TaskItems,
+    tuple: Vec<Value>,
+    positions: Vec<Arc<TrieNode>>,
+    weight: u64,
+    /// Worker that pushed the task (`usize::MAX` for root tasks, which live
+    /// in the injector and are claimed, not stolen).
+    spawner: usize,
+}
+
+/// Shared scheduler state: a global injector seeded with the root ranges and
+/// one deque per worker. Workers pop their own deque LIFO (depth-first, keeps
+/// caches warm) and steal FIFO (breadth-first, takes the largest-granularity
+/// work) from the injector or a peer. Plain mutexed deques: contention is
+/// bounded by the split threshold, which keeps tasks coarse.
+struct Scheduler {
+    injector: Mutex<VecDeque<Task>>,
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks pushed but not yet completed; workers exit when it hits zero.
+    /// Incremented *before* a task becomes visible, decremented only after
+    /// it ran to completion, so it never reads zero while work remains.
+    pending: AtomicUsize,
+    spawned: AtomicU64,
+    steal: bool,
+    split_threshold: usize,
+}
+
+impl Scheduler {
+    fn new(num_workers: usize, options: &FreeJoinOptions) -> Self {
+        Scheduler {
+            injector: Mutex::new(VecDeque::new()),
+            queues: (0..num_workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            spawned: AtomicU64::new(0),
+            steal: options.steal,
+            // A 0/1 threshold would split single-entry expansions into
+            // themselves forever; the options setter clamps, this guards
+            // struct-literal construction.
+            split_threshold: options.split_threshold.max(2),
+        }
+    }
+
+    fn push_tasks(&self, worker: usize, tasks: Vec<Task>) {
+        self.pending.fetch_add(tasks.len(), Ordering::AcqRel);
+        self.spawned.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        let mut queue = self.queues[worker].lock().expect("no poisoned worker deque");
+        queue.extend(tasks);
+    }
+
+    /// Own deque first (LIFO), then the injector, then peers (FIFO steal).
+    fn find_task(&self, worker: usize) -> Option<Task> {
+        if let Some(t) = self.queues[worker].lock().expect("no poisoned worker deque").pop_back() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().expect("no poisoned injector").pop_front() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            let peer = (worker + k) % n;
+            if let Some(t) = self.queues[peer].lock().expect("no poisoned worker deque").pop_front()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// The split hook threaded through the recursive join. The serial path uses
+/// [`NoSplit`]; each parallel worker uses a [`WorkerSplitter`] scoped to the
+/// task it is running.
+trait Splitter {
+    /// Should a node expansion of `size` cover entries be cut into sub-range
+    /// tasks instead of walked by the current worker?
+    fn should_split(&self, size: usize) -> bool;
+    /// Should an independent-tail product (`first_len` first-list entries ×
+    /// `inner_count` inner combinations each) be cut into sub-range tasks?
+    fn should_split_tail(&self, first_len: usize, inner_count: u64) -> bool;
+    /// Spawn sub-range tasks over a node's materialized cover entries.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_entries(
+        &mut self,
+        node_idx: usize,
+        cover_idx: usize,
+        entries: Vec<(LevelKey, Arc<TrieNode>)>,
+        tuple: &[Value],
+        positions: &[Arc<TrieNode>],
+        weight: u64,
+    );
+    /// Spawn sub-range tasks over an independent tail's first expansion list.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_tail(
+        &mut self,
+        node_idx: usize,
+        writes: Vec<Value>,
+        weights: Vec<u64>,
+        inner_count: u64,
+        tuple: &[Value],
+        positions: &[Arc<TrieNode>],
+        weight: u64,
+    );
+}
+
+/// Serial execution: never split.
+struct NoSplit;
+
+impl Splitter for NoSplit {
+    fn should_split(&self, _size: usize) -> bool {
+        false
+    }
+    fn should_split_tail(&self, _first_len: usize, _inner_count: u64) -> bool {
+        false
+    }
+    fn spawn_entries(
+        &mut self,
+        _node_idx: usize,
+        _cover_idx: usize,
+        _entries: Vec<(LevelKey, Arc<TrieNode>)>,
+        _tuple: &[Value],
+        _positions: &[Arc<TrieNode>],
+        _weight: u64,
+    ) {
+        unreachable!("NoSplit never asks to split")
+    }
+    fn spawn_tail(
+        &mut self,
+        _node_idx: usize,
+        _writes: Vec<Value>,
+        _weights: Vec<u64>,
+        _inner_count: u64,
+        _tuple: &[Value],
+        _positions: &[Arc<TrieNode>],
+        _weight: u64,
+    ) {
+        unreachable!("NoSplit never asks to split")
+    }
+}
+
+/// Per-task split context of one parallel worker. Child tasks extend the
+/// running task's path key with a counter assigned in expansion order, which
+/// is what makes the task tree — and the merge order — schedule-independent.
+struct WorkerSplitter<'a> {
+    sched: &'a Scheduler,
+    worker: usize,
+    path: &'a [u32],
+    next_child: u32,
+}
+
+impl WorkerSplitter<'_> {
+    fn child_path(&mut self) -> Vec<u32> {
+        let mut path = Vec::with_capacity(self.path.len() + 1);
+        path.extend_from_slice(self.path);
+        path.push(self.next_child);
+        self.next_child += 1;
+        path
+    }
+
+    fn spawn_ranges(
+        &mut self,
+        total: usize,
+        chunk: usize,
+        mut make: impl FnMut(&mut Self, usize, usize) -> Task,
+    ) {
+        let chunk = chunk.max(1);
+        let mut tasks = Vec::with_capacity(total.div_ceil(chunk));
+        let mut lo = 0;
+        while lo < total {
+            let hi = (lo + chunk).min(total);
+            let task = make(self, lo, hi);
+            tasks.push(task);
+            lo = hi;
+        }
+        self.sched.push_tasks(self.worker, tasks);
+    }
+}
+
+impl Splitter for WorkerSplitter<'_> {
+    fn should_split(&self, size: usize) -> bool {
+        self.sched.steal && size >= self.sched.split_threshold
+    }
+
+    fn should_split_tail(&self, first_len: usize, inner_count: u64) -> bool {
+        self.sched.steal
+            && first_len >= 2
+            && (first_len as u64).saturating_mul(inner_count.max(1))
+                >= self.sched.split_threshold as u64
+    }
+
+    fn spawn_entries(
+        &mut self,
+        node_idx: usize,
+        cover_idx: usize,
+        entries: Vec<(LevelKey, Arc<TrieNode>)>,
+        tuple: &[Value],
+        positions: &[Arc<TrieNode>],
+        weight: u64,
+    ) {
+        let total = entries.len();
+        // Balanced chunks of at most `split_threshold` entries: sub-tasks
+        // stay below the threshold themselves, and the chunking depends only
+        // on the expansion size, never on the thread count.
+        let chunks = total.div_ceil(self.sched.split_threshold);
+        let chunk = total.div_ceil(chunks.max(1));
+        let entries = Arc::new(entries);
+        self.spawn_ranges(total, chunk, |this, lo, hi| Task {
+            path: this.child_path(),
+            node_idx,
+            items: TaskItems::Entries { cover_idx, entries: entries.clone(), lo, hi },
+            tuple: tuple.to_vec(),
+            positions: positions.to_vec(),
+            weight,
+            spawner: this.worker,
+        });
+    }
+
+    fn spawn_tail(
+        &mut self,
+        node_idx: usize,
+        writes: Vec<Value>,
+        weights: Vec<u64>,
+        inner_count: u64,
+        tuple: &[Value],
+        positions: &[Arc<TrieNode>],
+        weight: u64,
+    ) {
+        let total = weights.len();
+        // Chunk so each sub-task emits about `split_threshold` product rows:
+        // a single hot first-list entry over a huge inner product gets a task
+        // of its own, while cheap entries batch up.
+        let per_entry = inner_count.max(1);
+        let chunk = ((self.sched.split_threshold as u64 / per_entry) as usize).max(1);
+        let writes = Arc::new(writes);
+        let weights = Arc::new(weights);
+        self.spawn_ranges(total, chunk, |this, lo, hi| Task {
+            path: this.child_path(),
+            node_idx,
+            items: TaskItems::Tail { writes: writes.clone(), weights: weights.clone(), lo, hi },
+            tuple: tuple.to_vec(),
+            positions: positions.to_vec(),
+            weight,
+            spawner: this.worker,
+        });
+    }
 }
 
 /// Probe one subatom's trie level, reading the key values through
@@ -179,15 +480,18 @@ fn probe_subatom(
     }
 }
 
-/// Execute a compiled pipeline with morsel-driven parallelism over the first
-/// node's cover.
+/// Execute a compiled pipeline under the work-stealing scheduler (see the
+/// module docs): the first node's cover seeds the injector with range tasks,
+/// and workers re-split any sufficiently large expansion deeper in the plan
+/// into stealable sub-range tasks.
 ///
-/// `make_sink` creates one sink per morsel; the sinks come back **in morsel
-/// order** together with the summed probe counters, so the caller can merge
-/// them deterministically. Falls back to the serial algorithm (returning a
-/// single sink) when `num_threads <= 1`, when the factorized-output shortcut
-/// already applies at the first node, or when there is no root-level work to
-/// split.
+/// `make_sink` creates one sink per task; the sinks come back in **task-tree
+/// order** (per-task dense path keys sorted lexicographically) together with
+/// the summed counters, so the caller's merge is deterministic — identical
+/// at any thread count and any steal schedule. Falls back to the serial
+/// algorithm (returning a single sink) when `num_threads <= 1`, when the
+/// factorized-output shortcut already applies at the first node, or when
+/// there is no root-level work to split.
 pub fn execute_pipeline_parallel<S, F>(
     tries: &[Arc<InputTrie>],
     plan: &CompiledPlan,
@@ -223,198 +527,291 @@ where
     let cover = &node0.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
     let cover_root = roots[cover.input].clone();
-    let items = if !cover_root.is_map() && cover_trie.is_last_level(cover.level) {
-        RootItems::Rows(cover_trie.num_rows())
-    } else {
-        let map = cover_trie.force(&cover_root, cover.level, !cover_root.is_map());
-        RootItems::Entries(map.iter().collect())
-    };
-    let total = match &items {
-        RootItems::Rows(n) => *n,
-        RootItems::Entries(entries) => entries.len(),
+    let root_entries: Option<EntryList> =
+        if !cover_root.is_map() && cover_trie.is_last_level(cover.level) {
+            None // unforced last level: iterate base rows directly
+        } else {
+            let map = cover_trie.force(&cover_root, cover.level, !cover_root.is_map());
+            Some(Arc::new(map.iter().map(|(k, c)| (k.clone(), c.clone())).collect()))
+        };
+    let total = match &root_entries {
+        None => cover_trie.num_rows(),
+        Some(entries) => entries.len(),
     };
     if total == 0 {
         return serial(make_sink());
     }
 
-    // Morsel size: enough morsels for work stealing to balance skewed
-    // subtrees, capped so per-morsel sink overhead stays negligible.
-    let morsel_size = total.div_ceil(num_threads * 4).clamp(1, 4096);
-    let num_morsels = total.div_ceil(morsel_size);
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<S>>> = Mutex::new((0..num_morsels).map(|_| None).collect());
+    // Root task granularity: a fixed fan-out independent of the thread count
+    // (so the task tree, and with it the merge order, is the same at any
+    // thread count), capped so per-task sink overhead stays negligible.
+    // Skew below the root is the scheduler's job, not the root chunking's:
+    // any root range hiding a hot subtree re-splits when it reaches the
+    // oversized expansion.
+    const ROOT_FAN: usize = 32;
+    let root_chunk = total.div_ceil(ROOT_FAN).clamp(1, 4096);
+    let num_root = total.div_ceil(root_chunk);
+
+    let sched = Scheduler::new(num_threads, options);
+    {
+        let mut injector = sched.injector.lock().expect("no poisoned injector");
+        for m in 0..num_root {
+            let lo = m * root_chunk;
+            let hi = (lo + root_chunk).min(total);
+            let items = match &root_entries {
+                Some(entries) => TaskItems::Entries { cover_idx, entries: entries.clone(), lo, hi },
+                None => TaskItems::Rows { cover_idx, lo, hi },
+            };
+            injector.push_back(Task {
+                path: vec![m as u32],
+                node_idx: 0,
+                items,
+                tuple: vec![Value::Null; plan.binding_order.len()],
+                positions: roots.clone(),
+                weight: 1,
+                spawner: usize::MAX,
+            });
+        }
+    }
+    sched.pending.store(num_root, Ordering::Release);
+    sched.spawned.store(num_root as u64, Ordering::Relaxed);
+
+    let segments: Mutex<Vec<(Vec<u32>, S)>> = Mutex::new(Vec::new());
     let total_counters: Mutex<ExecCounters> = Mutex::new(ExecCounters::default());
 
-    // Mirror run_node's choice: batch the first node too when vectorization
-    // is on, so the parallel path keeps the paper's probe batching at the
-    // node that iterates the most entries.
-    let vectorize_root = options.vectorized() && node0.subatoms.len() > 1;
-
     std::thread::scope(|scope| {
-        for _ in 0..num_threads.min(num_morsels) {
-            scope.spawn(|| {
+        for id in 0..num_threads {
+            let sched = &sched;
+            let segments = &segments;
+            let total_counters = &total_counters;
+            let make_sink = &make_sink;
+            let roots = &roots;
+            scope.spawn(move || {
                 let mut tuple = vec![Value::Null; plan.binding_order.len()];
-                let mut current: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
+                let mut current: Vec<Arc<TrieNode>> = roots.clone();
                 let mut scratch: Vec<NodeScratch> =
                     plan.nodes.iter().map(|_| NodeScratch::default()).collect();
                 let mut counters = ExecCounters::default();
                 let mut key_buf: Vec<Value> = Vec::new();
                 loop {
-                    let m = cursor.fetch_add(1, Ordering::Relaxed);
-                    if m >= num_morsels {
-                        break;
+                    let Some(task) = sched.find_task(id) else {
+                        if sched.pending.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    if task.spawner != usize::MAX && task.spawner != id {
+                        counters.tasks_stolen += 1;
                     }
-                    let lo = m * morsel_size;
-                    let hi = (lo + morsel_size).min(total);
                     let mut sink = make_sink();
                     let mut out = ChunkBuffer::for_sink(&sink, plan.binding_order.len());
-                    if vectorize_root {
-                        let (mine, rest) = scratch.split_at_mut(1);
-                        let mine = &mut mine[0];
-                        ensure_batch_buffers(mine, options.batch_size, node0);
-                        mine.count = 0;
-                        let flush = |mine: &mut NodeScratch,
-                                     tuple: &mut Vec<Value>,
-                                     current: &mut Vec<Arc<TrieNode>>,
-                                     sink: &mut S,
-                                     counters: &mut ExecCounters,
-                                     rest: &mut [NodeScratch],
-                                     out: &mut ChunkBuffer| {
-                            flush_batch(
-                                tries, plan, options, 0, cover_idx, mine, rest, tuple, current,
-                                sink, counters, out,
-                            );
-                        };
-                        match &items {
-                            RootItems::Entries(entries) => {
-                                for &(key, child) in &entries[lo..hi] {
-                                    buffer_cover_entry(
-                                        node0,
-                                        cover_idx,
-                                        cover_trie,
-                                        key.values(),
-                                        Some(child),
-                                        &tuple,
-                                        1,
-                                        mine,
-                                    );
-                                    if mine.count >= options.batch_size {
-                                        flush(
-                                            mine,
-                                            &mut tuple,
-                                            &mut current,
-                                            &mut sink,
-                                            &mut counters,
-                                            rest,
-                                            &mut out,
-                                        );
-                                    }
-                                }
-                            }
-                            RootItems::Rows(_) => {
-                                for offset in lo..hi {
-                                    cover_trie.read_key_into(
-                                        cover.level,
-                                        offset as u32,
-                                        &mut key_buf,
-                                    );
-                                    buffer_cover_entry(
-                                        node0, cover_idx, cover_trie, &key_buf, None, &tuple, 1,
-                                        mine,
-                                    );
-                                    if mine.count >= options.batch_size {
-                                        flush(
-                                            mine,
-                                            &mut tuple,
-                                            &mut current,
-                                            &mut sink,
-                                            &mut counters,
-                                            rest,
-                                            &mut out,
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                        // Flush the morsel's remainder before handing the
-                        // sink back, so no entry leaks into the next morsel.
-                        flush(
-                            mine,
+                    {
+                        let mut splitter =
+                            WorkerSplitter { sched, worker: id, path: &task.path, next_child: 0 };
+                        run_task(
+                            tries,
+                            plan,
+                            options,
+                            &task,
                             &mut tuple,
                             &mut current,
+                            &mut scratch,
+                            &mut key_buf,
                             &mut sink,
                             &mut counters,
-                            rest,
                             &mut out,
+                            &mut splitter,
                         );
-                    } else {
-                        match &items {
-                            RootItems::Entries(entries) => {
-                                for &(key, child) in &entries[lo..hi] {
-                                    process_cover_entry(
-                                        tries,
-                                        plan,
-                                        options,
-                                        0,
-                                        cover_idx,
-                                        key.values(),
-                                        Some(child),
-                                        &mut tuple,
-                                        &mut current,
-                                        1,
-                                        &mut sink,
-                                        &mut counters,
-                                        &mut scratch,
-                                        &mut out,
-                                    );
-                                }
-                            }
-                            RootItems::Rows(_) => {
-                                for offset in lo..hi {
-                                    cover_trie.read_key_into(
-                                        cover.level,
-                                        offset as u32,
-                                        &mut key_buf,
-                                    );
-                                    process_cover_entry(
-                                        tries,
-                                        plan,
-                                        options,
-                                        0,
-                                        cover_idx,
-                                        &key_buf,
-                                        None,
-                                        &mut tuple,
-                                        &mut current,
-                                        1,
-                                        &mut sink,
-                                        &mut counters,
-                                        &mut scratch,
-                                        &mut out,
-                                    );
-                                }
-                            }
-                        }
                     }
-                    // The buffer drains into this morsel's own sink before
-                    // the sink is handed back: per-morsel results stay
-                    // complete and the morsel-order merge deterministic.
                     out.flush(&mut sink);
-                    results.lock().expect("no poisoned morsel results")[m] = Some(sink);
+                    // Empty sinks contribute nothing to the merge; skip them
+                    // (split-heavy schedules produce many empty tasks).
+                    if sink.tuples() > 0 {
+                        segments
+                            .lock()
+                            .expect("no poisoned segments")
+                            .push((task.path.clone(), sink));
+                    }
+                    sched.pending.fetch_sub(1, Ordering::AcqRel);
                 }
-                total_counters.lock().expect("no poisoned counters").merge(counters);
+                let mut all = total_counters.lock().expect("no poisoned counters");
+                all.probes += counters.probes;
+                all.probe_hits += counters.probe_hits;
+                all.tasks_stolen += counters.tasks_stolen;
+                all.expansions += counters.expansions;
+                if all.worker_expansions.len() < num_threads {
+                    all.worker_expansions.resize(num_threads, 0);
+                }
+                all.worker_expansions[id] += counters.expansions;
             });
         }
     });
 
-    let sinks = results
-        .into_inner()
-        .expect("no poisoned morsel results")
-        .into_iter()
-        .map(|s| s.expect("every morsel was claimed and completed"))
-        .collect();
-    let counters = total_counters.into_inner().expect("no poisoned counters");
-    (sinks, counters)
+    let mut counters = total_counters.into_inner().expect("no poisoned counters");
+    counters.tasks_spawned = sched.spawned.load(Ordering::Relaxed);
+    let mut segments = segments.into_inner().expect("no poisoned segments");
+    // The deterministic merge: lexicographic path-key order reproduces the
+    // task-tree (depth-first, expansion-order) traversal regardless of which
+    // worker ran which task.
+    segments.sort_by(|a, b| a.0.cmp(&b.0));
+    (segments.into_iter().map(|(_, sink)| sink).collect(), counters)
+}
+
+/// Execute one scheduler task: restore its binding prefix, trie positions
+/// and weight, then walk its item range — cover entries through
+/// `process_cover_entry`/`flush_batch` (which recurse into the rest of the
+/// plan and may split again, deeper), or an independent-tail slice through
+/// [`run_tail_range`].
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    tries: &[Arc<InputTrie>],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    task: &Task,
+    tuple: &mut Vec<Value>,
+    current: &mut Vec<Arc<TrieNode>>,
+    scratch: &mut [NodeScratch],
+    key_buf: &mut Vec<Value>,
+    sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
+    out: &mut ChunkBuffer,
+    splitter: &mut dyn Splitter,
+) {
+    tuple.clear();
+    tuple.extend_from_slice(&task.tuple);
+    current.clear();
+    current.extend_from_slice(&task.positions);
+    let node_idx = task.node_idx;
+    let weight = task.weight;
+
+    if let TaskItems::Tail { writes, weights, lo, hi } = &task.items {
+        run_tail_range(
+            tries,
+            plan,
+            node_idx,
+            tuple,
+            current,
+            weight,
+            writes,
+            weights,
+            *lo,
+            *hi,
+            sink,
+            counters,
+            &mut scratch[node_idx..],
+            out,
+        );
+        return;
+    }
+
+    let node = &plan.nodes[node_idx];
+    let (cover_idx, lo, hi) = match &task.items {
+        TaskItems::Entries { cover_idx, lo, hi, .. } => (*cover_idx, *lo, *hi),
+        TaskItems::Rows { cover_idx, lo, hi } => (*cover_idx, *lo, *hi),
+        TaskItems::Tail { .. } => unreachable!("handled above"),
+    };
+    let cover = &node.subatoms[cover_idx];
+    let cover_trie = &tries[cover.input];
+
+    if options.vectorized() && node.subatoms.len() > 1 {
+        // Mirror run_node's choice: batch this node's probes too.
+        let scratch = &mut scratch[node_idx..];
+        let (mine, rest) = scratch.split_at_mut(1);
+        let mine = &mut mine[0];
+        ensure_batch_buffers(mine, options.batch_size, node);
+        mine.count = 0;
+        match &task.items {
+            TaskItems::Entries { entries, .. } => {
+                for (key, child) in &entries[lo..hi] {
+                    counters.expansions += 1;
+                    buffer_cover_entry(
+                        node,
+                        cover_idx,
+                        cover_trie,
+                        key.values(),
+                        Some(child),
+                        tuple,
+                        weight,
+                        mine,
+                    );
+                    if mine.count >= options.batch_size {
+                        flush_batch(
+                            tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current,
+                            sink, counters, out, splitter,
+                        );
+                    }
+                }
+            }
+            TaskItems::Rows { .. } => {
+                for offset in lo..hi {
+                    cover_trie.read_key_into(cover.level, offset as u32, key_buf);
+                    counters.expansions += 1;
+                    buffer_cover_entry(
+                        node, cover_idx, cover_trie, key_buf, None, tuple, weight, mine,
+                    );
+                    if mine.count >= options.batch_size {
+                        flush_batch(
+                            tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current,
+                            sink, counters, out, splitter,
+                        );
+                    }
+                }
+            }
+            TaskItems::Tail { .. } => unreachable!("handled above"),
+        }
+        flush_batch(
+            tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters,
+            out, splitter,
+        );
+    } else {
+        match &task.items {
+            TaskItems::Entries { entries, .. } => {
+                for (key, child) in &entries[lo..hi] {
+                    process_cover_entry(
+                        tries,
+                        plan,
+                        options,
+                        node_idx,
+                        cover_idx,
+                        key.values(),
+                        Some(child),
+                        tuple,
+                        current,
+                        weight,
+                        sink,
+                        counters,
+                        &mut scratch[node_idx..],
+                        out,
+                        splitter,
+                    );
+                }
+            }
+            TaskItems::Rows { .. } => {
+                for offset in lo..hi {
+                    cover_trie.read_key_into(cover.level, offset as u32, key_buf);
+                    process_cover_entry(
+                        tries,
+                        plan,
+                        options,
+                        node_idx,
+                        cover_idx,
+                        key_buf,
+                        None,
+                        tuple,
+                        current,
+                        weight,
+                        sink,
+                        counters,
+                        &mut scratch[node_idx..],
+                        out,
+                        splitter,
+                    );
+                }
+            }
+            TaskItems::Tail { .. } => unreachable!("handled above"),
+        }
+    }
 }
 
 /// Select which subatom of the node to iterate (the runtime cover).
@@ -455,6 +852,7 @@ fn run_node(
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
     out: &mut ChunkBuffer,
+    splitter: &mut dyn Splitter,
 ) {
     if node_idx == plan.nodes.len() {
         out.push(sink, tuple, weight);
@@ -484,20 +882,40 @@ fn run_node(
     // Cartesian product of independent expansions: emit it straight into the
     // chunk columns instead of recursing per combination.
     if node.independent_tail {
-        expand_independent_tail(tries, plan, node_idx, tuple, current, weight, sink, scratch, out);
+        expand_independent_tail(
+            tries, plan, node_idx, tuple, current, weight, sink, counters, scratch, out, splitter,
+        );
         return;
     }
 
     let cover_idx = select_cover(tries, node, current, options);
+    let cover = &node.subatoms[cover_idx];
+
+    // The split point: an expansion at least `split_threshold` wide (the
+    // level-map size, read in O(1)) is handed to the scheduler as sub-range
+    // tasks instead of being walked by this worker — this is what lets one
+    // hot key's subtree fan out over every idle worker. The decision depends
+    // only on trie sizes and options, keeping the task tree (and the merge
+    // order) schedule-independent.
+    if splitter.should_split(tries[cover.input].estimated_keys(&current[cover.input])) {
+        let cover_trie = &tries[cover.input];
+        let cover_node = current[cover.input].clone();
+        let map = cover_trie.force(&cover_node, cover.level, !cover_node.is_map());
+        let entries: Vec<(LevelKey, Arc<TrieNode>)> =
+            map.iter().map(|(k, c)| (k.clone(), c.clone())).collect();
+        splitter.spawn_entries(node_idx, cover_idx, entries, tuple, current, weight);
+        return;
+    }
+
     if options.vectorized() && node.subatoms.len() > 1 {
         run_node_vectorized(
             tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters,
-            scratch, out,
+            scratch, out, splitter,
         );
     } else {
         run_node_scalar(
             tries, plan, options, node_idx, cover_idx, tuple, current, weight, sink, counters,
-            scratch, out,
+            scratch, out, splitter,
         );
     }
 }
@@ -521,12 +939,82 @@ fn expand_independent_tail(
     current: &[Arc<TrieNode>],
     weight: u64,
     sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
     out: &mut ChunkBuffer,
+    splitter: &mut dyn Splitter,
 ) {
     // Gather phase: one trie walk per inner tail node, reusing the node's
     // (otherwise unused — single-subatom nodes never batch) scratch vectors.
     let inner = &plan.nodes[node_idx + 1..];
+    if !gather_tail_lists(tries, inner, current, scratch) {
+        return; // an empty factor annihilates the whole product
+    }
+
+    let node = &plan.nodes[node_idx];
+    let sub = &node.subatoms[0];
+    let trie = &tries[sub.input];
+    let node_cur = current[sub.input].clone();
+    let gathered = &scratch[1..1 + inner.len()];
+    // Product rows per first-list entry; `expansions` counts emitted rows so
+    // skew inside the product (not just wide first lists) is visible to the
+    // per-worker balance stats.
+    let inner_count: u64 =
+        gathered.iter().fold(1u64, |acc, s| acc.saturating_mul(s.weights.len() as u64));
+
+    // The tail split point: the product's size — first-list length (O(1)
+    // from the level map) × inner combinations (known from the gather) —
+    // decides, so a single hot join key whose output is one giant Cartesian
+    // product fans out across workers by first-list sub-ranges.
+    let first_len = trie.estimated_keys(&node_cur);
+    if splitter.should_split_tail(first_len, inner_count) {
+        let stride = node.bound_after - node.bound_before;
+        let mut writes: Vec<Value> = Vec::with_capacity(first_len * stride);
+        let mut weights: Vec<u64> = Vec::with_capacity(first_len);
+        trie.for_each(&node_cur, sub.level, |key, child| {
+            let base = writes.len();
+            writes.resize(base + stride, Value::Null);
+            for action in &sub.iter_actions {
+                let IterAction::Write { key_pos, slot } = *action else {
+                    unreachable!("independent-tail covers bind only new variables");
+                };
+                writes[base + (slot - node.bound_before)] = key[key_pos];
+            }
+            weights.push(child.map_or(1, |c| trie.tuple_count(c)));
+        });
+        splitter.spawn_tail(node_idx, writes, weights, inner_count, tuple, current, weight);
+        return;
+    }
+
+    // Stream the first tail node's cover; per entry, emit the product of the
+    // gathered inner columns.
+    trie.for_each(&node_cur, sub.level, |key, child| {
+        counters.expansions += inner_count.max(1);
+        for action in &sub.iter_actions {
+            let IterAction::Write { key_pos, slot } = *action else {
+                unreachable!("independent-tail covers bind only new variables");
+            };
+            tuple[slot] = key[key_pos];
+        }
+        let w = child.map_or(weight, |c| weight.saturating_mul(trie.tuple_count(c)));
+        if inner.is_empty() {
+            out.push(sink, tuple, w);
+        } else {
+            emit_product(inner, gathered, 0, tuple, w, sink, out);
+        }
+    });
+}
+
+/// Gather every inner tail node's expansion list into its scratch slot
+/// (`scratch[0]` belongs to the tail's first node) as flat `(values, weight)`
+/// columns. Returns `false` when some factor is empty — the whole product is
+/// then empty and the caller must emit nothing.
+fn gather_tail_lists(
+    tries: &[Arc<InputTrie>],
+    inner: &[CompiledNode],
+    current: &[Arc<TrieNode>],
+    scratch: &mut [NodeScratch],
+) -> bool {
     for (j, node) in inner.iter().enumerate() {
         let sub = &node.subatoms[0];
         let trie = &tries[sub.input];
@@ -547,31 +1035,54 @@ fn expand_independent_tail(
             s.weights.push(child.map_or(1, |c| trie.tuple_count(c)));
         });
         if s.weights.is_empty() {
-            return; // an empty factor annihilates the whole product
+            return false;
         }
     }
+    true
+}
 
-    // Stream the first tail node's cover; per entry, emit the product of the
-    // gathered inner columns.
+/// Execute one tail sub-range task: re-gather the inner lists (cheap — one
+/// trie walk per inner node, against a product-sized emission) and emit this
+/// task's slice of the first expansion list against the full inner product.
+/// Emission order within the slice matches the unsplit stream, so
+/// path-key-ordered sinks concatenate to the unsplit emission order.
+#[allow(clippy::too_many_arguments)]
+fn run_tail_range(
+    tries: &[Arc<InputTrie>],
+    plan: &CompiledPlan,
+    node_idx: usize,
+    tuple: &mut Vec<Value>,
+    current: &[Arc<TrieNode>],
+    weight: u64,
+    writes: &[Value],
+    weights: &[u64],
+    lo: usize,
+    hi: usize,
+    sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
+    scratch: &mut [NodeScratch],
+    out: &mut ChunkBuffer,
+) {
+    let inner = &plan.nodes[node_idx + 1..];
+    if !gather_tail_lists(tries, inner, current, scratch) {
+        return;
+    }
     let node = &plan.nodes[node_idx];
-    let sub = &node.subatoms[0];
-    let trie = &tries[sub.input];
-    let node_cur = current[sub.input].clone();
+    let stride = node.bound_after - node.bound_before;
     let gathered = &scratch[1..1 + inner.len()];
-    trie.for_each(&node_cur, sub.level, |key, child| {
-        for action in &sub.iter_actions {
-            let IterAction::Write { key_pos, slot } = *action else {
-                unreachable!("independent-tail covers bind only new variables");
-            };
-            tuple[slot] = key[key_pos];
-        }
-        let w = child.map_or(weight, |c| weight.saturating_mul(trie.tuple_count(c)));
+    let inner_count: u64 =
+        gathered.iter().fold(1u64, |acc, s| acc.saturating_mul(s.weights.len() as u64));
+    for i in lo..hi {
+        counters.expansions += inner_count.max(1);
+        tuple[node.bound_before..node.bound_after]
+            .copy_from_slice(&writes[i * stride..(i + 1) * stride]);
+        let w = weight.saturating_mul(weights[i]);
         if inner.is_empty() {
             out.push(sink, tuple, w);
         } else {
             emit_product(inner, gathered, 0, tuple, w, sink, out);
         }
-    });
+    }
 }
 
 /// Emit the Cartesian product of gathered tail lists, depth-first in list
@@ -623,8 +1134,8 @@ fn apply_iter_actions(actions: &[IterAction], key: &[Value], tuple: &mut [Value]
 /// Process one iterated cover entry of a node: bind the key, probe the other
 /// subatoms, and recurse into the next node for matches. This is the body of
 /// the scalar cover loop, shared between the serial path (driven by
-/// [`InputTrie::for_each`]) and the parallel path (driven by morsels of
-/// root-level entries).
+/// [`InputTrie::for_each`]) and the parallel path (driven by the range items
+/// of scheduler tasks).
 #[allow(clippy::too_many_arguments)]
 fn process_cover_entry(
     tries: &[Arc<InputTrie>],
@@ -641,10 +1152,12 @@ fn process_cover_entry(
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
     out: &mut ChunkBuffer,
+    splitter: &mut dyn Splitter,
 ) {
     let node = &plan.nodes[node_idx];
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
+    counters.expansions += 1;
     if !apply_iter_actions(&cover.iter_actions, key, tuple) {
         return;
     }
@@ -709,6 +1222,7 @@ fn process_cover_entry(
             counters,
             rest,
             out,
+            splitter,
         );
     }
     for (input, old) in mine.saved.drain(..) {
@@ -731,6 +1245,7 @@ fn run_node_scalar(
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
     out: &mut ChunkBuffer,
+    splitter: &mut dyn Splitter,
 ) {
     let node = &plan.nodes[node_idx];
     let cover = &node.subatoms[cover_idx];
@@ -740,7 +1255,7 @@ fn run_node_scalar(
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
         process_cover_entry(
             tries, plan, options, node_idx, cover_idx, key, child, tuple, current, weight, sink,
-            counters, scratch, out,
+            counters, scratch, out, splitter,
         );
     });
 }
@@ -761,6 +1276,7 @@ fn run_node_vectorized(
     counters: &mut ExecCounters,
     scratch: &mut [NodeScratch],
     out: &mut ChunkBuffer,
+    splitter: &mut dyn Splitter,
 ) {
     let node = &plan.nodes[node_idx];
     let cover = &node.subatoms[cover_idx];
@@ -774,16 +1290,18 @@ fn run_node_vectorized(
     mine.count = 0;
 
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
+        counters.expansions += 1;
         buffer_cover_entry(node, cover_idx, cover_trie, key, child, tuple, weight, mine);
         if mine.count >= batch_size {
             flush_batch(
                 tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink,
-                counters, out,
+                counters, out, splitter,
             );
         }
     });
     flush_batch(
         tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters, out,
+        splitter,
     );
 }
 
@@ -804,7 +1322,7 @@ fn ensure_batch_buffers(mine: &mut NodeScratch, batch_size: usize, node: &Compil
 /// half of Figure 13): evaluate checks, collect writes into the entry's
 /// slice of the batch buffer rather than the shared tuple, and record the
 /// cover's weight/child continuation. Entries failing a `Check` are skipped.
-/// Shared between the serial vectorized loop and the parallel morsel driver.
+/// Shared between the serial vectorized loop and the parallel task driver.
 #[allow(clippy::too_many_arguments)]
 fn buffer_cover_entry(
     node: &CompiledNode,
@@ -861,6 +1379,7 @@ fn flush_batch(
     sink: &mut dyn Sink,
     counters: &mut ExecCounters,
     out: &mut ChunkBuffer,
+    splitter: &mut dyn Splitter,
 ) {
     if mine.count == 0 {
         return;
@@ -938,6 +1457,7 @@ fn flush_batch(
             counters,
             rest,
             out,
+            splitter,
         );
         for (input, old) in mine.saved.drain(..) {
             current[input] = old;
@@ -1015,8 +1535,8 @@ mod tests {
         (sink.finish().cardinality(), counters)
     }
 
-    /// Like [`run`], but through the morsel-parallel driver with per-morsel
-    /// sinks merged in morsel order.
+    /// Like [`run`], but through the work-stealing parallel driver with
+    /// per-task sinks merged in path-key order.
     fn run_parallel(
         inputs: &[BoundInput],
         plan: &fj_plan::FreeJoinPlan,
@@ -1168,7 +1688,7 @@ mod tests {
             ] {
                 let (count, _) = run(&inputs, plan, &options, Aggregate::Count);
                 assert_eq!(count, expected, "plan {plan} options {options:?}");
-                // The morsel-parallel driver must agree at every thread count.
+                // The work-stealing driver must agree at every thread count.
                 for threads in [2, 3, 8] {
                     let (par, _) = run_parallel(&inputs, plan, &options, Aggregate::Count, threads);
                     assert_eq!(par, expected, "threads {threads} plan {plan} options {options:?}");
@@ -1376,7 +1896,9 @@ mod tests {
         let (serial_count, serial_counters) = run(&inputs, &plan, &opts, Aggregate::Count);
         let (par_count, par_counters) = run_parallel(&inputs, &plan, &opts, Aggregate::Count, 4);
         assert_eq!(serial_count, par_count);
-        // Every root entry does the same probes whichever worker runs it.
-        assert_eq!(serial_counters, par_counters);
+        // Every root entry does the same probes and expansions whichever
+        // worker runs it; only the scheduling counters (spawned / stolen /
+        // per-worker shares) depend on the schedule.
+        assert_eq!(serial_counters.work(), par_counters.work());
     }
 }

@@ -23,13 +23,14 @@
 //! `fj_plan::optimize`), and it converts the plan to a Free Join plan,
 //! optimizes it by factorization, builds COLTs and runs the join.
 //!
-//! Execution is **morsel-driven parallel** by default
+//! Execution is **work-stealing parallel** by default
 //! ([`FreeJoinOptions::num_threads`] `= 0` uses the machine's available
 //! parallelism; `1` selects the exact legacy serial path): the trie layer is
-//! `Send + Sync` with race-free lazy forcing, and the top-level cover
-//! iteration is fanned out over scoped worker threads whose per-morsel sinks
-//! merge deterministically — see [`exec::execute_pipeline_parallel`] and the
-//! module docs of [`trie`].
+//! `Send + Sync` with race-free lazy forcing, the root cover iteration seeds
+//! a shared task injector, oversized expansions anywhere in the plan re-split
+//! into stealable sub-tasks, and per-task sinks merge deterministically in
+//! path-key order — see [`exec::execute_pipeline_parallel`] and the module
+//! docs of [`trie`].
 //!
 //! ```
 //! use fj_plan::{optimize, CatalogStats, OptimizerOptions};

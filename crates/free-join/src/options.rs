@@ -54,10 +54,24 @@ pub struct FreeJoinOptions {
     pub factor_to_fixpoint: bool,
     /// Number of worker threads for morsel-driven parallel execution.
     /// `0` (the default) uses the machine's available parallelism; `1` runs
-    /// the exact legacy single-threaded algorithm. Any value > 1 splits the
-    /// first plan node's cover iteration into morsels executed by that many
-    /// scoped worker threads (see `exec::execute_pipeline_parallel`).
+    /// the exact legacy single-threaded algorithm. Any value > 1 runs the
+    /// work-stealing scheduler: the first plan node's cover iteration seeds
+    /// a shared injector, and expansions anywhere in the plan that exceed
+    /// `split_threshold` are re-split into stealable sub-range tasks (see
+    /// `exec::execute_pipeline_parallel`).
     pub num_threads: usize,
+    /// Allow workers to re-split large expansions *inside* the plan into
+    /// sub-range tasks that idle workers steal. Off, parallelism stops at
+    /// the root work list (the pre-stealing behaviour) — an escape hatch,
+    /// since stealing changes neither results nor their merged order.
+    pub steal: bool,
+    /// An expansion (or independent-tail product) with at least this many
+    /// entries is split into stealable sub-range tasks when `steal` is on.
+    /// The size is read in O(1) from the trie level-map (`estimated_keys`).
+    /// Minimum 2 (a single entry cannot be split); the default of 1024
+    /// keeps task overhead negligible on uniform workloads while still
+    /// breaking up skewed subtrees.
+    pub split_threshold: usize,
 }
 
 impl Default for FreeJoinOptions {
@@ -70,6 +84,8 @@ impl Default for FreeJoinOptions {
             optimize_plan: true,
             factor_to_fixpoint: false,
             num_threads: 0,
+            steal: true,
+            split_threshold: 1024,
         }
     }
 }
@@ -87,6 +103,8 @@ impl FreeJoinOptions {
             optimize_plan: true,
             factor_to_fixpoint: true,
             num_threads: 1,
+            steal: true,
+            split_threshold: 1024,
         }
     }
 
@@ -118,6 +136,20 @@ impl FreeJoinOptions {
     /// parallelism, `1` = serial).
     pub fn with_num_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
+        self
+    }
+
+    /// Builder-style setter for work stealing (splitting large expansions
+    /// inside the plan into stealable sub-range tasks).
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Builder-style setter for the split threshold (clamped to at least 2 —
+    /// a single-entry expansion cannot be split).
+    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
+        self.split_threshold = threshold.max(2);
         self
     }
 
@@ -153,6 +185,8 @@ mod tests {
         assert!(o.vectorized());
         assert_eq!(o.num_threads, 0, "default is auto (available parallelism)");
         assert!(o.effective_threads() >= 1);
+        assert!(o.steal, "work stealing is on by default");
+        assert_eq!(o.split_threshold, 1024);
     }
 
     #[test]
@@ -184,6 +218,9 @@ mod tests {
         assert_eq!(o.trie, TrieStrategy::Slt);
         assert_eq!(o.batch_size, 1, "batch size is clamped to at least 1");
         assert!(o.factorize_output);
+        let o = FreeJoinOptions::default().with_steal(false).with_split_threshold(0);
+        assert!(!o.steal);
+        assert_eq!(o.split_threshold, 2, "split threshold is clamped to at least 2");
     }
 
     #[test]

@@ -69,6 +69,7 @@ use fj_storage::{Catalog, DataType, Predicate};
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -108,6 +109,11 @@ impl CachedPlan {
 pub struct EngineCaches {
     tries: TrieCache<InputTrie>,
     plans: PlanCache<CachedPlan>,
+    /// Work-stealing scheduler counters, accumulated across every execution
+    /// that runs against this cache pair (the natural per-process scope —
+    /// the same scope the cache counters already have).
+    sched_spawned: AtomicU64,
+    sched_stolen: AtomicU64,
 }
 
 /// Snapshot of both caches' statistics, as returned by
@@ -122,6 +128,8 @@ impl EngineCaches {
         EngineCaches {
             tries: TrieCache::new(trie_budget_bytes),
             plans: PlanCache::new(plan_capacity),
+            sched_spawned: AtomicU64::new(0),
+            sched_stolen: AtomicU64::new(0),
         }
     }
 
@@ -153,9 +161,27 @@ impl EngineCaches {
         self.tries.invalidate_relation(relation)
     }
 
-    /// Statistics for both caches.
+    /// Fold one execution's scheduler counters into the process totals
+    /// (called by [`Prepared::execute_with`] after every execution).
+    pub fn record_sched(&self, tasks_spawned: u64, tasks_stolen: u64) {
+        if tasks_spawned > 0 {
+            self.sched_spawned.fetch_add(tasks_spawned, Ordering::Relaxed);
+        }
+        if tasks_stolen > 0 {
+            self.sched_stolen.fetch_add(tasks_stolen, Ordering::Relaxed);
+        }
+    }
+
+    /// Statistics for both caches plus the accumulated scheduler counters.
     pub fn stats(&self) -> SessionCacheStats {
-        SessionCacheStats { tries: self.tries.stats(), plans: self.plans.stats() }
+        SessionCacheStats {
+            tries: self.tries.stats(),
+            plans: self.plans.stats(),
+            sched: fj_cache::SchedStats {
+                tasks_spawned: self.sched_spawned.load(Ordering::Relaxed),
+                tasks_stolen: self.sched_stolen.load(Ordering::Relaxed),
+            },
+        }
     }
 }
 
@@ -417,6 +443,7 @@ impl Prepared {
 
         let output = output.expect("the final pipeline produces the output");
         stats.output_tuples = output.cardinality();
+        self.caches.record_sched(stats.tasks_spawned, stats.tasks_stolen);
         Ok((output, stats))
     }
 

@@ -57,9 +57,9 @@ pub trait Sink {
 /// tuple (projected onto the sink's slots — zero copies for a counting
 /// sink) and flushes to [`Sink::push_chunk`] on capacity.
 ///
-/// One buffer exists per worker; the morsel-parallel executor flushes it at
-/// every morsel boundary so each per-morsel sink holds exactly its morsel's
-/// results and the deterministic morsel-order merge is preserved.
+/// One buffer exists per worker; the work-stealing executor flushes it at
+/// every task boundary so each per-task sink holds exactly its task's
+/// results and the deterministic path-key-order merge is preserved.
 ///
 /// Factorized partial pushes go through the same [`ChunkBuffer::push`]: the
 /// engine only emits them after [`Sink::accepts_factorized`] approved the
@@ -97,7 +97,7 @@ impl ChunkBuffer {
     }
 
     /// Hand any buffered entries to the sink. Call at the end of a pipeline
-    /// (or morsel) so no result stays behind in the buffer.
+    /// (or task) so no result stays behind in the buffer.
     pub fn flush(&mut self, sink: &mut dyn Sink) {
         if !self.chunk.is_empty() {
             sink.push_chunk(&self.chunk);
@@ -130,8 +130,8 @@ impl OutputSink {
     }
 
     /// Absorb another sink's partial results (see [`OutputBuilder::merge`]).
-    /// The parallel executor gives every morsel a clone of an empty sink and
-    /// merges them in morsel order; materialized results merge chunk-wise.
+    /// The parallel executor gives every task a clone of an empty sink and
+    /// merges them in path-key order; materialized results merge chunk-wise.
     pub fn merge(&mut self, other: OutputSink) {
         self.builder.merge(other.builder);
     }
@@ -200,7 +200,7 @@ impl MaterializeSink {
     }
 
     /// Absorb another sink's chunks (appended after this sink's). The
-    /// parallel executor merges per-morsel sinks in morsel order.
+    /// parallel executor merges per-task sinks in path-key order.
     pub fn merge(&mut self, other: MaterializeSink) {
         self.chunks.extend(other.chunks);
         self.total += other.total;

@@ -43,7 +43,7 @@
 //!
 //! # Threading model
 //!
-//! The trie is `Send + Sync` so that the morsel-driven parallel executor
+//! The trie is `Send + Sync` so that the work-stealing parallel executor
 //! ([`crate::exec`]) can probe — and therefore lazily force — nodes from
 //! many worker threads at once. Every node carries its immutable *raw*
 //! payload (the row offsets it stands for) plus a [`OnceLock`] holding the

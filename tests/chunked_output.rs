@@ -148,7 +148,7 @@ fn run_both(
 }
 
 /// Both outputs must agree exactly: same counts/weights, same group maps,
-/// and for rows the same multiset in the same emission order (the morsel
+/// and for rows the same multiset in the same emission order (the task-sink
 /// merge and trie iteration are deterministic for fixed inputs, so even the
 /// unsorted order must match).
 fn assert_equivalent(chunked: &QueryOutput, tuple_wise: &QueryOutput, context: &str) {

@@ -50,7 +50,7 @@ fn assert_engines_agree(workload: &Workload, query_name: &str, mode: EstimatorMo
             .with_num_threads(1),
         FreeJoinOptions { trie: TrieStrategy::Slt, ..FreeJoinOptions::default() }
             .with_num_threads(1),
-        // Morsel-driven parallel execution, across every trie strategy.
+        // Work-stealing parallel execution, across every trie strategy.
         FreeJoinOptions::default().with_num_threads(4),
         FreeJoinOptions { trie: TrieStrategy::Simple, ..FreeJoinOptions::default() }
             .with_num_threads(4),

@@ -1,7 +1,7 @@
 //! Parallel determinism: for every micro/skew workload query, every trie
 //! strategy and every aggregate kind, executing with `num_threads = 1` (the
 //! exact legacy serial path) and with `num_threads = N > 1` (the
-//! morsel-driven parallel path) must produce identical `QueryOutput`s —
+//! work-stealing parallel path) must produce identical `QueryOutput`s —
 //! identical counts, identical group maps, and identical row multisets
 //! (compared in canonical sorted order, since neither path promises a row
 //! order: hash-map iteration at trie levels is already unordered).
@@ -12,6 +12,21 @@ use freejoin::query::OutputKind;
 use freejoin::workloads::{micro, Workload};
 
 const THREAD_COUNTS: &[usize] = &[2, 4];
+
+/// The thread counts to test: the fixed grid plus `FJ_TEST_THREADS` when the
+/// environment sets one (the CI race-hunting job runs the suite at 8).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = THREAD_COUNTS.to_vec();
+    if let Some(n) = std::env::var("FJ_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if n > 1 && !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
 
 /// Compare two outputs for byte-identical content modulo row order.
 fn assert_identical(serial: &QueryOutput, parallel: &QueryOutput, context: &str) {
@@ -34,9 +49,14 @@ fn assert_identical(serial: &QueryOutput, parallel: &QueryOutput, context: &str)
     }
 }
 
-/// Run every query of a workload serially and at several thread counts, for
-/// all three trie strategies, and demand identical outputs.
-fn check_workload(workload: &Workload) {
+/// Run every query of a workload serially and at the given thread counts,
+/// for all three trie strategies, and demand identical outputs. `configure`
+/// customizes the shared options (steal / split-threshold variations).
+fn check_workload_configured(
+    workload: &Workload,
+    threads_to_test: &[usize],
+    configure: impl Fn(FreeJoinOptions) -> FreeJoinOptions,
+) {
     let stats = CatalogStats::collect(&workload.catalog);
     for named in &workload.queries {
         let plan = optimize(
@@ -45,25 +65,30 @@ fn check_workload(workload: &Workload) {
             OptimizerOptions { mode: EstimatorMode::Accurate, ..OptimizerOptions::default() },
         );
         for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
-            let base = FreeJoinOptions { trie, ..FreeJoinOptions::default() };
+            let base = configure(FreeJoinOptions { trie, ..FreeJoinOptions::default() });
             let serial_engine = FreeJoinEngine::new(base.with_num_threads(1));
             let (serial, _) = serial_engine
                 .execute(&workload.catalog, &named.query, &plan)
                 .unwrap_or_else(|e| panic!("serial {} failed: {e}", named.name));
-            for &threads in THREAD_COUNTS {
+            for &threads in threads_to_test {
                 let engine = FreeJoinEngine::new(base.with_num_threads(threads));
                 let (parallel, _) =
                     engine.execute(&workload.catalog, &named.query, &plan).unwrap_or_else(|e| {
                         panic!("{} with {threads} threads failed: {e}", named.name)
                     });
                 let context = format!(
-                    "workload {} query {} trie {trie:?} threads {threads}",
-                    workload.name, named.name
+                    "workload {} query {} trie {trie:?} threads {threads} steal {} split {}",
+                    workload.name, named.name, base.steal, base.split_threshold
                 );
                 assert_identical(&serial, &parallel, &context);
             }
         }
     }
+}
+
+/// Default-options matrix over the environment's thread counts.
+fn check_workload(workload: &Workload) {
+    check_workload_configured(workload, &thread_counts(), |o| o);
 }
 
 #[test]
@@ -91,7 +116,7 @@ fn star_parallel_matches_serial() {
     check_workload(&micro::star(3, 150, 30, 0.6, 19));
 }
 
-/// Materialized (row-producing) queries exercise the ordered per-morsel sink
+/// Materialized (row-producing) queries exercise the ordered per-task sink
 /// merge; counts alone would hide ordering bugs in the merge.
 #[test]
 fn materialized_rows_parallel_matches_serial() {
@@ -116,6 +141,78 @@ fn materialized_rows_parallel_matches_serial() {
             );
         }
     }
+}
+
+/// The skewed-star shape — one key owning ~90% of the output — across
+/// {simple, slt, colt} × {2, 4, 8} threads × steal on/off, with a split
+/// threshold small enough that the hot key's expansions actually re-split:
+/// the scenario the work-stealing scheduler exists for, checked at thread
+/// counts where steal schedules genuinely differ run to run.
+#[test]
+fn skewed_star_parallel_matches_serial() {
+    let w = micro::skewed_star(2, 60, 0.9, 23);
+    for steal in [true, false] {
+        check_workload_configured(&w, &[2, 4, 8], |o| o.with_steal(steal).with_split_threshold(32));
+    }
+}
+
+/// Stress: the smallest legal split threshold turns nearly every expansion
+/// into spawned sub-tasks, maximizing steal interleavings. Ignored by
+/// default (it multiplies scheduling overhead on purpose); the CI
+/// race-hunting step runs it explicitly via `--ignored`.
+#[test]
+#[ignore = "forced-split stress; run explicitly (CI does, with --ignored)"]
+fn forced_split_stress_matches_serial() {
+    let threads = thread_counts();
+    let tiny = |o: FreeJoinOptions| o.with_split_threshold(2);
+    check_workload_configured(&micro::skewed_star(2, 40, 0.9, 31), &threads, tiny);
+    check_workload_configured(&micro::clover(40), &threads, tiny);
+    check_workload_configured(&micro::skewed_triangle(80, 4, 1.0, 17), &threads, tiny);
+    // Materialized rows under forced splitting exercise the task-tree sink
+    // merge hardest: every split changes which sink holds which rows.
+    let clover = micro::clover(40);
+    let named = clover.query("clover").unwrap();
+    let materialize = named.query.clone().with_aggregate(Aggregate::Materialize);
+    let w = Workload::new(
+        "clover materialized".to_string(),
+        clover.catalog,
+        vec![freejoin::workloads::NamedQuery::new("clover_rows", materialize)],
+    );
+    check_workload_configured(&w, &threads, tiny);
+}
+
+/// The load-balance acceptance check: with 4 workers and stealing on, the
+/// hot key of the skewed star must not serialize on one worker — the
+/// maximum per-worker share of processed expansions stays under 55%
+/// (root-only parallelism scores ~100% here), while the output still
+/// matches serial execution exactly.
+#[test]
+fn skewed_star_steal_balances_workers() {
+    let w = micro::skewed_star(2, 120, 0.9, 29);
+    let named = &w.queries[0];
+    let stats = CatalogStats::collect(&w.catalog);
+    let plan = optimize(
+        &named.query,
+        &stats,
+        OptimizerOptions { mode: EstimatorMode::Accurate, ..OptimizerOptions::default() },
+    );
+    let base = FreeJoinOptions::default().with_steal(true).with_split_threshold(64);
+    let (serial, _) = FreeJoinEngine::new(base.with_num_threads(1))
+        .execute(&w.catalog, &named.query, &plan)
+        .unwrap();
+    let (parallel, exec_stats) = FreeJoinEngine::new(base.with_num_threads(4))
+        .execute(&w.catalog, &named.query, &plan)
+        .unwrap();
+    assert_identical(&serial, &parallel, "skewed star, 4 workers, steal on");
+    assert!(exec_stats.tasks_spawned > 4, "splitting spawned tasks: {exec_stats}");
+    let share = exec_stats
+        .max_worker_share()
+        .expect("parallel execution records per-worker expansion counts");
+    assert!(
+        share < 0.55,
+        "hot-key work must spread across workers: max share {share:.3} ({:?})",
+        exec_stats.worker_expansions
+    );
 }
 
 /// The auto (0 = available parallelism) setting must agree with explicit

@@ -288,6 +288,53 @@ fn prepare_loops_reuse_handles_and_the_registry_is_capped() {
     server.join();
 }
 
+/// The work-stealing scheduler's counters flow end to end — executor →
+/// `ExecStats` → `EngineCaches` → `StatsSnapshot` → the wire stats frame.
+/// Against the skewed-star workload with a parallel session and a small
+/// split threshold, served executions must report spawned tasks, and steals
+/// must show up within a few runs (steal schedules are nondeterministic, so
+/// the test loops executions rather than demanding a steal on the first).
+#[test]
+fn stats_frame_reports_scheduler_counters() {
+    let workload = freejoin::workloads::micro::skewed_star(2, 80, 0.9, 37);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let session = Session::new(Arc::new(EngineCaches::with_defaults())).with_options(
+        FreeJoinOptions::default()
+            .with_num_threads(4)
+            .with_steal(true)
+            .with_split_threshold(8),
+    );
+    let server = freejoin::serve::Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&catalog),
+        session,
+        // pin_workers exercises the core-pinning knob (a no-op off Linux
+        // and under restricted cpusets — never a correctness concern).
+        ServerConfig { workers: 2, pin_workers: true, ..ServerConfig::default() },
+    )
+    .expect("server binds an ephemeral loopback port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    let expected = client.execute(handle).unwrap().cardinality;
+
+    let mut stats = client.stats().unwrap();
+    for _ in 0..50 {
+        if stats.cache.sched.tasks_stolen > 0 {
+            break;
+        }
+        assert_eq!(client.execute(handle).unwrap().cardinality, expected);
+        stats = client.stats().unwrap();
+    }
+    assert!(stats.cache.sched.tasks_spawned > 0, "parallel executions spawned tasks");
+    assert!(
+        stats.cache.sched.tasks_stolen > 0,
+        "a skewed workload with a tiny split threshold steals within a few executions"
+    );
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
 /// Graceful shutdown: the shutdown frame is acknowledged, in-flight work
 /// completes, `join` returns, and new connections are refused.
 #[test]
