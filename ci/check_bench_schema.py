@@ -65,6 +65,43 @@ def check_skew_column(doc, path, errors):
         errors.append(f"{path}: no row with skew > 0 — the skewed workloads are gone")
 
 
+def check_profile_overhead_column(doc, path, errors):
+    """schema_version 7: every row carries profile_overhead_pct — the warm
+    wall-time cost of per-node profiling. Exactly the designated rows
+    (clover / colt / serial / uncached) measure it and must stay under 5%;
+    every other row carries 0.0. A breach means the profiler's accumulator
+    path got expensive — fix the regression, don't raise the bound."""
+    measured = 0
+    for i, r in enumerate(doc["results"]):
+        if "profile_overhead_pct" not in r:
+            errors.append(f"{path}: row {i} is missing the profile_overhead_pct column")
+            continue
+        pct = r["profile_overhead_pct"]
+        if not isinstance(pct, (int, float)) or isinstance(pct, bool) or pct < 0:
+            errors.append(f"{path}: row {i} has implausible profile_overhead_pct={pct!r}")
+            continue
+        designated = (
+            r["query"].startswith("clover")
+            and r["strategy"] == "colt"
+            and r["threads"] == 1
+            and r["cache"] == "none"
+        )
+        if designated:
+            measured += 1
+            if pct >= 5.0:
+                errors.append(
+                    f"{path}: row {i} ({r['query']}) profiling overhead {pct}% >= 5% — "
+                    f"the per-node profiler must stay cheap when on"
+                )
+        elif pct != 0:
+            errors.append(
+                f"{path}: row {i} ({r['query']}/{r['strategy']}/{r['cache']}) is not the "
+                f"designated overhead row but carries profile_overhead_pct={pct}"
+            )
+    if measured == 0:
+        errors.append(f"{path}: no designated profile-overhead row (clover/colt/1/none)")
+
+
 def check_serving_columns(doc, path, errors):
     """schema_version 4: every row carries serve_p50_us/serve_p99_us; the
     cache="serve" rows (real loopback TCP) must report sane nonzero
@@ -101,11 +138,11 @@ def main():
             f"schema_version drifted: committed {a['schema_version']} vs fresh "
             f"{b['schema_version']} — regenerate the committed BENCH_micro.json"
         )
-    if a["schema_version"] < 6:
+    if a["schema_version"] < 7:
         errors.append(
-            f"schema_version {a['schema_version']} < 6: the serving latency columns "
-            f"(serve_p50_us/serve_p99_us), the tuples_per_sec throughput column and "
-            f"the skew column are required"
+            f"schema_version {a['schema_version']} < 7: the serving latency columns "
+            f"(serve_p50_us/serve_p99_us), the tuples_per_sec throughput column, the "
+            f"skew column and the profile_overhead_pct column are required"
         )
     else:
         check_serving_columns(a, committed, errors)
@@ -114,6 +151,8 @@ def main():
         check_throughput_column(b, fresh, errors)
         check_skew_column(a, committed, errors)
         check_skew_column(b, fresh, errors)
+        check_profile_overhead_column(a, committed, errors)
+        check_profile_overhead_column(b, fresh, errors)
     if len(a["results"]) != len(b["results"]):
         errors.append(
             f"result row count drifted: committed {len(a['results'])} vs fresh "

@@ -41,16 +41,25 @@
 //! `star_hotkey` workload, where one key owns ~90% of the output: the
 //! shape the recursive-split work-stealing scheduler exists for, so its
 //! thread-scaling rows track that scheduler's win over root-only
-//! parallelism. The JSON is written by hand — the workspace's offline
-//! `serde` stand-in does not serialize — and the schema is deliberately
-//! flat:
+//! parallelism.
+//!
+//! Since schema_version 7 every row carries `profile_overhead_pct` — the
+//! warm wall-time cost of running with the per-node query profiler on
+//! (`FreeJoinOptions::profile`), measured batch-against-batch on the
+//! clover COLT serial row and `0.0` everywhere else. CI's schema gate
+//! fails if the measured overhead reaches 5%, pinning the profiler's
+//! cheap-when-on contract (its off-cost is pinned separately, by the
+//! counting-allocator test). The JSON is written by hand — the workspace's
+//! offline `serde` stand-in does not serialize — and the schema is
+//! deliberately flat:
 //!
 //! ```json
-//! {"schema_version":6,"cores":8,"note":"...","results":[
+//! {"schema_version":7,"cores":8,"note":"...","results":[
 //!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
 //!    "trie_hits":0,"trie_misses":0,"wall_ms":12.34,"build_ms":1.20,
 //!    "probe_ms":10.80,"output_tuples":1,"tuples_per_sec":92,
-//!    "serve_p50_us":0,"serve_p99_us":0,"skew":0.00}
+//!    "serve_p50_us":0,"serve_p99_us":0,"skew":0.00,
+//!    "profile_overhead_pct":1.40}
 //! ]}
 //! ```
 
@@ -60,7 +69,7 @@ use fj_query::ExecStats;
 use fj_serve::{Client, Server, ServerConfig};
 use fj_workloads::job::{self, JobConfig};
 use fj_workloads::{micro, Workload};
-use free_join::{EngineCaches, FreeJoinOptions, Session, TrieStrategy};
+use free_join::{EngineCaches, FreeJoinOptions, Params, Session, TrieStrategy};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -91,6 +100,9 @@ struct Record {
     /// The workload's skew knob: Zipf theta for the skewed generators,
     /// hot-key share for `skewed_star`, `0.0` for uniform workloads.
     skew: f64,
+    /// Warm wall-time overhead of per-node profiling, percent; measured on
+    /// the clover COLT serial row only, `0.0` everywhere else.
+    profile_overhead_pct: f64,
 }
 
 impl Record {
@@ -145,6 +157,7 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
         serve_p50_us: 0,
         serve_p99_us: 0,
         skew: 0.0,
+        profile_overhead_pct: 0.0,
     }
 }
 
@@ -200,6 +213,7 @@ fn measure_serving(
         serve_p50_us: 0,
         serve_p99_us: 0,
         skew: 0.0,
+        profile_overhead_pct: 0.0,
     };
     (
         make(
@@ -212,6 +226,49 @@ fn measure_serving(
         ),
         make("warm", warm_ms, &warm_stats, warm_delta.hits, warm_delta.misses, warm_out),
     )
+}
+
+/// Warm profiled-vs-unprofiled overhead (schema_version 7): the same
+/// prepared query executed in batches over warm caches, profile off vs on,
+/// best batch of each. Batching amortizes timer resolution on a
+/// sub-millisecond query; best-of keeps scheduler noise out. Floored at 0
+/// (noise can make the profiled batch win).
+fn profile_overhead_pct(workload: &Workload) -> f64 {
+    const BATCH: usize = 200;
+    const ROUNDS: usize = 14;
+    let session = Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(1));
+    let named = &workload.queries[0];
+    let prepared = session.prepare(&workload.catalog, &named.query).expect("overhead prepares");
+    for _ in 0..5 {
+        prepared.execute(&workload.catalog).expect("overhead warm-up executes");
+        prepared
+            .execute_profiled(&workload.catalog, &Params::new())
+            .expect("overhead warm-up executes profiled");
+    }
+    let batch_ms = |profiled: bool| {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            if profiled {
+                prepared
+                    .execute_profiled(&workload.catalog, &Params::new())
+                    .expect("profiled execution succeeds");
+            } else {
+                prepared.execute(&workload.catalog).expect("plain execution succeeds");
+            }
+        }
+        ms(start.elapsed())
+    };
+    // Interleave the two kinds round by round so frequency scaling or a
+    // background burst hits both sides instead of biasing one; the minima
+    // are the noise-free estimates.
+    let mut plain = f64::INFINITY;
+    let mut profiled = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        plain = plain.min(batch_ms(false));
+        profiled = profiled.min(batch_ms(true));
+    }
+    (100.0 * (profiled - plain) / plain).max(0.0)
 }
 
 /// Concurrent clients hammering the TCP serving measurement (the server
@@ -289,6 +346,7 @@ fn measure_serving_tcp(label: &str, workload: &Workload, query_idx: usize) -> Re
         serve_p50_us: after.p50_us,
         serve_p99_us: after.p99_us,
         skew: 0.0,
+        profile_overhead_pct: 0.0,
     }
 }
 
@@ -334,11 +392,18 @@ fn main() {
     let mut records = Vec::new();
     for (label, workload, skew) in &workloads {
         eprintln!("running {label} ({} input rows)...", workload.total_rows());
-        // Strategy ablation on the serial path.
+        // Strategy ablation on the serial path. The clover COLT row also
+        // carries the profiler's warm on-vs-off overhead (one row measures
+        // it; the CI schema gate requires every other row to carry 0).
         for strategy in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
             let options = FreeJoinOptions { trie: strategy, ..FreeJoinOptions::default() }
                 .with_num_threads(1);
-            records.push(Record { skew: *skew, ..measure(workload, options) });
+            let mut record = Record { skew: *skew, ..measure(workload, options) };
+            if label.starts_with("clover") && matches!(strategy, TrieStrategy::Colt) {
+                record.profile_overhead_pct = profile_overhead_pct(workload);
+                eprintln!("  profiled execution overhead: {:.2}%", record.profile_overhead_pct);
+            }
+            records.push(record);
         }
         // Thread scaling on the default (COLT) configuration — stealing on
         // by default, so the star_hotkey rows measure the recursive-split
@@ -403,20 +468,23 @@ fn main() {
                 result pipeline's probe-phase throughput, output_tuples / probe_ms scaled \
                 to seconds (0 on rows with no output or no probe split); skew is the \
                 workload's skew knob (Zipf theta, or the hot-key share for star_hotkey, \
-                whose >1-thread rows exercise the recursive-split work-stealing scheduler)";
+                whose >1-thread rows exercise the recursive-split work-stealing scheduler); \
+                profile_overhead_pct is the warm wall-time cost of per-node profiling \
+                (FreeJoinOptions::profile), batch-measured on the clover colt serial row \
+                and 0.0 elsewhere — CI fails the build at >= 5%";
     let mut json = String::new();
     let _ =
-        write!(json, "{{\"schema_version\":6,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
+        write!(json, "{{\"schema_version\":7,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{},\"skew\":{:.2}}}",
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{},\"skew\":{:.2},\"profile_overhead_pct\":{:.2}}}",
             r.query, r.strategy, r.threads, r.cache, r.trie_hits, r.trie_misses, r.wall_ms,
             r.build_ms, r.probe_ms, r.output_tuples, r.tuples_per_sec(), r.serve_p50_us,
-            r.serve_p99_us, r.skew
+            r.serve_p99_us, r.skew, r.profile_overhead_pct
         );
     }
     json.push_str("\n]}\n");

@@ -211,21 +211,31 @@ impl StatsSnapshot {
         })
     }
 
-    /// Render as `/metrics`-style text, one `fj_cache_<cache>_<field> <value>`
-    /// line per counter/gauge plus one `fj_sched_<field> <value>` line per
-    /// scheduler counter.
-    pub fn render_metrics(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
+    /// Publish every counter and gauge into `registry` under the
+    /// workspace-wide `fj_<subsystem>_<metric>` naming scheme
+    /// (`fj_cache_<cache>_<field>`, `fj_sched_<field>`). Serving front-ends
+    /// call this to merge the cache snapshot into their process registry so
+    /// one exposition carries every subsystem.
+    pub fn register_into(&self, registry: &fj_obs::MetricsRegistry) {
         for (cache, stats) in [("trie", &self.tries), ("plan", &self.plans)] {
             for (name, value) in stats.fields() {
-                let _ = writeln!(out, "fj_cache_{cache}_{name} {value}");
+                registry.set_gauge(&format!("fj_cache_{cache}_{name}"), value);
             }
         }
         for (name, value) in self.sched.fields() {
-            let _ = writeln!(out, "fj_sched_{name} {value}");
+            registry.set_gauge(&format!("fj_sched_{name}"), value);
         }
-        out
+    }
+
+    /// Render as `/metrics`-style text, one `fj_cache_<cache>_<field> <value>`
+    /// line per counter/gauge plus one `fj_sched_<field> <value>` line per
+    /// scheduler counter — a transient [`fj_obs::MetricsRegistry`] exposition
+    /// of [`StatsSnapshot::register_into`], so the names and line grammar are
+    /// exactly what the registry guarantees.
+    pub fn render_metrics(&self) -> String {
+        let registry = fj_obs::MetricsRegistry::new();
+        self.register_into(&registry);
+        registry.render()
     }
 }
 

@@ -1,0 +1,22 @@
+//! Observability substrate for the Free Join workspace.
+//!
+//! Two independent pieces live here, both dependency-free so every other
+//! crate (including the otherwise dependency-less `fj-cache`) can use them:
+//!
+//! * [`MetricsRegistry`] — a registry of named counters, gauges and
+//!   histograms with Prometheus-style text exposition. Registration and
+//!   rendering take a lock; every metric *update* is a single atomic
+//!   operation on a shared cell, so the hot path is lock-free.
+//! * [`ProfileSheet`] / [`QueryProfile`] — the per-plan-node query profiler's
+//!   data model. A `ProfileSheet` is the flat accumulator array each executor
+//!   worker bumps while running (one cache line per node, indexed by node
+//!   id); a `QueryProfile` is the merged, per-pipeline result annotated with
+//!   the optimizer's estimated cardinalities, rendered by
+//!   `Session::explain_analyze` and carried by the serve layer's slow-query
+//!   log.
+
+mod metrics;
+mod profile;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profile::{NodeAcc, NodeProfile, PipelineProfile, ProfileSheet, QueryProfile};

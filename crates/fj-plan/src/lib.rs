@@ -35,4 +35,4 @@ pub use factor::{factor, factor_until_fixpoint};
 pub use fj_plan::{FjNode, FreeJoinPlan, PlanValidityError, Subatom};
 pub use gj_plan::{fj_plan_from_var_order, variable_order, GjPlan};
 pub use optimizer::{optimize, EstimatorMode, OptimizerOptions};
-pub use stats::{CardinalityEstimator, CatalogStats, ColumnStats, TableStats};
+pub use stats::{CardinalityEstimator, CatalogStats, ColumnStats, SubPlanInfo, TableStats};

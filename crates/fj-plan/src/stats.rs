@@ -13,10 +13,12 @@
 //! experiment (Section 5.4), which "hijacks DuckDB's optimizer ... by
 //! modifying its cardinality estimator to always return 1".
 
+use crate::binary_plan::PipeInput;
+use crate::fj_plan::FreeJoinPlan;
 use fj_query::{Atom, ConjunctiveQuery};
 use fj_storage::Catalog;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Statistics for one column of a relation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -211,6 +213,76 @@ impl<'a> CardinalityEstimator<'a> {
         }
         SubPlanInfo { cardinality, distinct }
     }
+
+    /// Per-node cardinality estimates for one Free Join pipeline — the
+    /// `est` column of `EXPLAIN ANALYZE`.
+    ///
+    /// Walks the plan nodes in order, joining each input's [`SubPlanInfo`]
+    /// into a running estimate the first time one of its subatoms appears.
+    /// The estimate for node `k` is the running join cardinality capped by
+    /// the product of distinct counts of the variables bound through node
+    /// `k` — the join of the *whole* inputs can't produce more distinct
+    /// prefix bindings than that product allows. The last node's estimate
+    /// is therefore the full join estimate, matching what the optimizer
+    /// costed the pipeline at.
+    ///
+    /// `intermediates[j]` carries the previously computed final
+    /// [`SubPlanInfo`] of pipeline `j`, for [`PipeInput::Intermediate`]
+    /// inputs; pipelines are estimated in dependency order so these are
+    /// always available. Returns the per-node estimates plus the pipeline's
+    /// own final info, to feed later pipelines.
+    pub fn pipeline_node_estimates(
+        &self,
+        query: &ConjunctiveQuery,
+        inputs: &[PipeInput],
+        plan: &FreeJoinPlan,
+        intermediates: &[Option<SubPlanInfo>],
+    ) -> (Vec<f64>, SubPlanInfo) {
+        let unit = || SubPlanInfo { cardinality: 1.0, distinct: HashMap::new() };
+        let input_info = |input: usize| match inputs.get(input) {
+            Some(PipeInput::Atom(a)) => self.atom_info(query, *a),
+            Some(PipeInput::Intermediate(j)) => {
+                intermediates.get(*j).and_then(|i| i.clone()).unwrap_or_else(unit)
+            }
+            None => unit(),
+        };
+        let mut joined = vec![false; inputs.len()];
+        let mut acc: Option<SubPlanInfo> = None;
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        let mut estimates = Vec::with_capacity(plan.nodes.len());
+        for node in &plan.nodes {
+            for sub in &node.subatoms {
+                if sub.input < joined.len() && !joined[sub.input] {
+                    joined[sub.input] = true;
+                    let info = input_info(sub.input);
+                    acc = Some(match acc.take() {
+                        None => info,
+                        Some(left) => {
+                            let shared: Vec<String> = info
+                                .distinct
+                                .keys()
+                                .filter(|v| left.distinct.contains_key(*v))
+                                .cloned()
+                                .collect();
+                            self.join(&left, &info, &shared)
+                        }
+                    });
+                }
+            }
+            bound.extend(node.vars());
+            let info = acc.clone().unwrap_or_else(unit);
+            let mut cap = 1.0f64;
+            for v in &bound {
+                cap *= info.distinct.get(v).copied().unwrap_or(info.cardinality).max(1.0);
+                if cap >= info.cardinality {
+                    cap = info.cardinality;
+                    break;
+                }
+            }
+            estimates.push(info.cardinality.min(cap).max(1.0));
+        }
+        (estimates, acc.unwrap_or_else(unit))
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +380,69 @@ mod tests {
         // Variable "a" is bound to column x (10 distinct values), "b" to y.
         assert!((info.distinct["a"] - 10.0).abs() < 1e-9);
         assert!((info.distinct["b"] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_node_estimates_walk_the_plan() {
+        use crate::fj_plan::{FjNode, FreeJoinPlan, Subatom};
+        let stats = CatalogStats::collect(&catalog());
+        let est = CardinalityEstimator::new(&stats, EstimatorMode::Accurate);
+        let q = ConjunctiveQuery::new(
+            "q",
+            vec![],
+            vec![Atom::new("R", vec!["x", "y"]), Atom::new("S", vec!["y", "z"])],
+        );
+        let inputs = [PipeInput::Atom(0), PipeInput::Atom(1)];
+        // [[#0(x,y) #1(y)], [#1(z)]] — the factored R ⋈ S plan.
+        let plan = FreeJoinPlan::new(vec![
+            FjNode::new(vec![
+                Subatom::new(0, vec!["x".into(), "y".into()]),
+                Subatom::new(1, vec!["y".into()]),
+            ]),
+            FjNode::new(vec![Subatom::new(1, vec!["z".into()])]),
+        ]);
+        let (ests, info) = est.pipeline_node_estimates(&q, &inputs, &plan, &[]);
+        assert_eq!(ests.len(), 2);
+        // Both inputs join at node 0: |R ⋈ S| = 100·50 / max(100, 50) = 50,
+        // already below the x,y distinct-product cap.
+        assert!((ests[0] - 50.0).abs() < 1e-9, "{ests:?}");
+        // The last node binds every variable, so its estimate is the full
+        // join estimate — and matches the returned final info.
+        assert!((ests[1] - 50.0).abs() < 1e-9, "{ests:?}");
+        assert!((info.cardinality - 50.0).abs() < 1e-9);
+
+        // The cap bites when a node binds only a low-distinct prefix:
+        // [[#0(x)], [#0(y) #1(y)], [#1(z)]] — node 0 binds only x (10
+        // distinct values), far below |R| = 100.
+        let plan = FreeJoinPlan::new(vec![
+            FjNode::new(vec![Subatom::new(0, vec!["x".into()])]),
+            FjNode::new(vec![Subatom::new(0, vec!["y".into()]), Subatom::new(1, vec!["y".into()])]),
+            FjNode::new(vec![Subatom::new(1, vec!["z".into()])]),
+        ]);
+        let (ests, _) = est.pipeline_node_estimates(&q, &inputs, &plan, &[]);
+        assert!((ests[0] - 10.0).abs() < 1e-9, "{ests:?}");
+        assert!((ests[2] - 50.0).abs() < 1e-9, "{ests:?}");
+
+        // Intermediate inputs read from the supplied infos.
+        let inter = [PipeInput::Intermediate(0)];
+        let plan = FreeJoinPlan::new(vec![FjNode::new(vec![Subatom::new(0, vec!["y".into()])])]);
+        let prior =
+            SubPlanInfo { cardinality: 7.0, distinct: HashMap::from([("y".to_string(), 7.0)]) };
+        let (ests, _) = est.pipeline_node_estimates(&q, &inter, &plan, &[Some(prior)]);
+        assert!((ests[0] - 7.0).abs() < 1e-9, "{ests:?}");
+
+        // AlwaysOne mode estimates 1 everywhere (the Section 5.4 signal an
+        // EXPLAIN ANALYZE user would see as est=1 vs. large actuals).
+        let bad = CardinalityEstimator::new(&stats, EstimatorMode::AlwaysOne);
+        let plan = FreeJoinPlan::new(vec![
+            FjNode::new(vec![
+                Subatom::new(0, vec!["x".into(), "y".into()]),
+                Subatom::new(1, vec!["y".into()]),
+            ]),
+            FjNode::new(vec![Subatom::new(1, vec!["z".into()])]),
+        ]);
+        let (ests, _) = bad.pipeline_node_estimates(&q, &inputs, &plan, &[]);
+        assert!(ests.iter().all(|&e| e == 1.0), "{ests:?}");
     }
 
     #[test]

@@ -157,6 +157,15 @@ impl Client {
         }
     }
 
+    /// Fetch the Prometheus-style metrics text: every registry series,
+    /// the full latency histogram, and the slow-query log as comments.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            _ => Err(ClientError::UnexpectedResponse("Metrics")),
+        }
+    }
+
     /// Ask the server to shut down gracefully (acknowledged before the
     /// drain begins).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {

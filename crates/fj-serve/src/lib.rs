@@ -17,10 +17,17 @@
 //!   queries and parameter filters as datalog-grammar text.
 //! * [`server`] — accept loop, bounded pending queue, worker pool, the two
 //!   admission axes, graceful shutdown (drain in-flight, refuse new).
-//! * [`metrics`] — lock-free counters plus a fixed-bucket log-linear
-//!   latency histogram (p50/p99 in microseconds).
+//! * [`metrics`] — registry-backed lock-free counters plus a fixed-bucket
+//!   log-linear latency histogram: quantiles for the binary stats frame,
+//!   the full bucket dump for the Prometheus-style `Metrics` text frame.
 //! * [`client`] — the blocking client used by tests, examples and
 //!   `bench_json`'s serving mode.
+//!
+//! The `Metrics` request returns the server's whole `fj_obs`
+//! metrics registry as Prometheus text (server counters, cache and
+//! scheduler gauges, latency histogram buckets) followed by a bounded
+//! slow-query log whose entries carry per-node `EXPLAIN ANALYZE` profiles —
+//! see [`server::ServerConfig::slow_query_us`].
 //!
 //! ```no_run
 //! use fj_serve::{Client, Server, ServerConfig};

@@ -1,14 +1,26 @@
-//! Server observability: lock-free counters and a fixed-bucket latency
-//! histogram with p50/p99 quantiles.
+//! Server observability: registry-backed lock-free counters and a
+//! fixed-bucket latency histogram.
 //!
 //! The histogram is log-linear (4 sub-buckets per power of two, like a
 //! 2-significant-bit HDR histogram): recording is one relaxed atomic
-//! increment, memory is a fixed ~1.2 KiB regardless of traffic, and any
-//! quantile is reproducible from the buckets with ≤ 25% relative error —
-//! plenty for serving dashboards, and safely mergeable across threads
-//! because nothing is sampled or windowed.
+//! increment and memory is a fixed ~1.2 KiB regardless of traffic. The
+//! binary stats frame ships the derived p50/p99 quantiles for quick
+//! dashboards, and the metrics wire frame additionally exposes the **full
+//! bucket distribution** in Prometheus text form
+//! (`fj_serve_latency_us_bucket{le="..."}` cumulative counts plus `_sum`
+//! and `_count`), so any quantile — not just the two shipped ones — is
+//! reproducible downstream with ≤ 25% relative error. Histograms merge
+//! bucket-wise ([`LatencyHistogram::merge`]) because nothing is sampled or
+//! windowed.
+//!
+//! The server's counters are handles into an [`fj_obs::MetricsRegistry`]
+//! (see [`ServerMetrics::registered`]), so the same names the registry
+//! renders — `fj_serve_<metric>`, matching the workspace-wide
+//! `fj_<subsystem>_<metric>` scheme — are what both the binary stats frame
+//! and the metrics text frame report.
 
 use fj_cache::{take_u64, StatsSnapshot};
+use fj_obs::{Counter, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Values below `LINEAR_MAX` get one bucket each; above it, each power of
@@ -47,6 +59,7 @@ fn bucket_upper_bound(bucket: usize) -> u64 {
 pub struct LatencyHistogram {
     counts: Vec<AtomicU64>,
     total: AtomicU64,
+    sum: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -54,6 +67,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
         }
     }
 }
@@ -63,11 +77,63 @@ impl LatencyHistogram {
     pub fn record(&self, us: u64) {
         self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Number of observations recorded.
     pub fn observations(&self) -> u64 {
         self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values, microseconds (saturating in the
+    /// pathological case of > 2^64 total microseconds).
+    pub fn sum_us(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Fold another histogram into this one, bucket-wise. Exact: buckets
+    /// are cumulative counts over a shared fixed layout, so merging worker-
+    /// or process-local histograms loses nothing (no sampling, no windows).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// increasing bound order — the full distribution behind the quantiles.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then(|| (bucket_upper_bound(i), count))
+            })
+            .collect()
+    }
+
+    /// Render the full distribution as Prometheus histogram text:
+    /// cumulative `<name>_bucket{le="<bound>"}` lines for every non-empty
+    /// bucket, the mandatory `le="+Inf"` bucket, then `<name>_sum` and
+    /// `<name>_count`.
+    pub fn render_prometheus(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut cumulative = 0u64;
+        for (bound, count) in self.buckets() {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.observations());
+        let _ = writeln!(out, "{name}_sum {}", self.sum_us());
+        let _ = writeln!(out, "{name}_count {}", self.observations());
+        out
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
@@ -90,37 +156,72 @@ impl LatencyHistogram {
 }
 
 /// The server's live counters, updated lock-free by the acceptor and the
-/// worker threads.
-#[derive(Debug, Default)]
+/// worker threads. Each counter is a handle into the server's
+/// [`MetricsRegistry`] ([`ServerMetrics::registered`]), so the registry's
+/// text exposition and the binary stats frame read the same atomics.
+#[derive(Debug)]
 pub struct ServerMetrics {
-    /// Connections accepted and admitted to the pending queue.
-    pub accepted: AtomicU64,
-    /// Connections shed at the acceptor because the queue was full.
-    pub rejected_queue: AtomicU64,
-    /// Requests shed because the in-flight byte budget was exhausted.
-    pub rejected_bytes: AtomicU64,
-    /// Requests served to completion (success or typed error response).
-    pub served: AtomicU64,
-    /// Requests answered with [`crate::protocol::Response::Error`].
-    pub errors: AtomicU64,
+    /// Connections accepted and admitted to the pending queue
+    /// (`fj_serve_accepted_connections`).
+    pub accepted: Counter,
+    /// Connections shed at the acceptor because the queue was full
+    /// (`fj_serve_rejected_queue_full`).
+    pub rejected_queue: Counter,
+    /// Requests shed because the in-flight byte budget was exhausted
+    /// (`fj_serve_rejected_byte_budget`).
+    pub rejected_bytes: Counter,
+    /// Requests served to completion, success or typed error response
+    /// (`fj_serve_requests_served`).
+    pub served: Counter,
+    /// Requests answered with [`crate::protocol::Response::Error`]
+    /// (`fj_serve_request_errors`).
+    pub errors: Counter,
+    /// Queries whose execution exceeded the slow-query threshold
+    /// (`fj_serve_slow_queries`).
+    pub slow_queries: Counter,
     /// Service time (read-to-response) per served request, microseconds.
+    /// Exposed as `fj_serve_latency_us` histogram series in the metrics
+    /// frame.
     pub latency: LatencyHistogram,
 }
 
 impl ServerMetrics {
+    /// Counters registered into `registry` under the `fj_serve_*` names, so
+    /// the registry's exposition carries them automatically.
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        ServerMetrics {
+            accepted: registry.counter("fj_serve_accepted_connections"),
+            rejected_queue: registry.counter("fj_serve_rejected_queue_full"),
+            rejected_bytes: registry.counter("fj_serve_rejected_byte_budget"),
+            served: registry.counter("fj_serve_requests_served"),
+            errors: registry.counter("fj_serve_request_errors"),
+            slow_queries: registry.counter("fj_serve_slow_queries"),
+            latency: LatencyHistogram::default(),
+        }
+    }
+
     /// Point-in-time snapshot, folding in the cache pair's snapshot.
     pub fn snapshot(&self, cache: StatsSnapshot) -> ServerStats {
         ServerStats {
             cache,
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected_queue: self.rejected_queue.load(Ordering::Relaxed),
-            rejected_bytes: self.rejected_bytes.load(Ordering::Relaxed),
-            served: self.served.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            rejected_queue: self.rejected_queue.get(),
+            rejected_bytes: self.rejected_bytes.get(),
+            served: self.served.get(),
+            errors: self.errors.get(),
             observations: self.latency.observations(),
             p50_us: self.latency.quantile(0.50),
             p99_us: self.latency.quantile(0.99),
         }
+    }
+}
+
+impl Default for ServerMetrics {
+    /// Counters backed by a throwaway registry (the `Arc`ed atomics outlive
+    /// it) — for tests and standalone use; servers use
+    /// [`ServerMetrics::registered`].
+    fn default() -> Self {
+        Self::registered(&MetricsRegistry::new())
     }
 }
 
@@ -279,10 +380,57 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_and_bucket_dump() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        for us in [1u64, 1, 10, 100] {
+            a.record(us);
+        }
+        for us in [10u64, 5000] {
+            b.record(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.observations(), 6);
+        assert_eq!(a.sum_us(), 1 + 1 + 10 + 10 + 100 + 5000);
+        let buckets = a.buckets();
+        // Non-empty buckets only, bounds strictly increasing, counts sum to
+        // the total.
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 6);
+        assert_eq!(buckets[0], (1, 2), "the two 1us observations share the 1us bucket");
+
+        let text = a.render_prometheus("fj_serve_latency_us");
+        assert!(text.contains("fj_serve_latency_us_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("fj_serve_latency_us_bucket{le=\"+Inf\"} 6\n"), "{text}");
+        assert!(text.contains("fj_serve_latency_us_sum 5122\n"), "{text}");
+        assert!(text.ends_with("fj_serve_latency_us_count 6\n"), "{text}");
+        // Cumulative counts never decrease line to line.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{text}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn registered_counters_feed_the_registry() {
+        let registry = MetricsRegistry::new();
+        let metrics = ServerMetrics::registered(&registry);
+        metrics.accepted.inc();
+        metrics.served.add(3);
+        metrics.slow_queries.inc();
+        let text = registry.render();
+        assert!(text.contains("fj_serve_accepted_connections 1\n"), "{text}");
+        assert!(text.contains("fj_serve_requests_served 3\n"), "{text}");
+        assert!(text.contains("fj_serve_slow_queries 1\n"), "{text}");
+    }
+
+    #[test]
     fn server_stats_codec_and_delta() {
         let metrics = ServerMetrics::default();
-        metrics.accepted.store(5, Ordering::Relaxed);
-        metrics.served.store(17, Ordering::Relaxed);
+        metrics.accepted.add(5);
+        metrics.served.add(17);
         for us in [10u64, 20, 30, 40_000] {
             metrics.latency.record(us);
         }

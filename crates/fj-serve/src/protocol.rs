@@ -66,6 +66,13 @@ pub enum Request {
     Stats,
     /// Begin graceful shutdown: drain in-flight work, refuse new arrivals.
     Shutdown,
+    /// The Prometheus-style text exposition of the server's metrics
+    /// registry: every `fj_*` series (server counters, cache/scheduler
+    /// gauges, the full latency histogram) plus the slow-query log as
+    /// comment lines. Unlike [`Request::Stats`], the reply is text — the
+    /// thing a scrape endpoint or a human wants — and carries series the
+    /// fixed binary snapshot can't (histogram buckets, new counters).
+    Metrics,
 }
 
 /// A server → client message.
@@ -89,6 +96,12 @@ pub enum Response {
     Busy { reason: BusyReason, retry_after_ms: u64 },
     /// Parse/validation/execution failure, as text.
     Error { message: String },
+    /// The metrics-registry text exposition (reply to [`Request::Metrics`]).
+    Metrics {
+        /// Prometheus-style text: `name value` / `name{le="..."} value`
+        /// lines plus `#`-prefixed slow-query comment lines.
+        text: String,
+    },
 }
 
 /// A malformed frame (unknown opcode, truncated payload, bad UTF-8). The
@@ -116,6 +129,7 @@ const OP_PREPARE: u8 = 0x01;
 const OP_EXECUTE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_METRICS: u8 = 0x05;
 // Response opcodes (high bit set).
 const OP_PREPARED: u8 = 0x81;
 const OP_ANSWER: u8 = 0x82;
@@ -123,6 +137,7 @@ const OP_STATS_REPLY: u8 = 0x83;
 const OP_OK: u8 = 0x84;
 const OP_BUSY: u8 = 0x85;
 const OP_ERROR: u8 = 0x86;
+const OP_METRICS_REPLY: u8 = 0x87;
 
 // Aggregate tags inside Prepare.
 const AGG_MATERIALIZE: u8 = 0;
@@ -223,6 +238,7 @@ impl Request {
             }
             Request::Stats => out.push(OP_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::Metrics => out.push(OP_METRICS),
         }
         out
     }
@@ -273,6 +289,7 @@ impl Request {
             }
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_METRICS => Request::Metrics,
             op => return wire_err(format!("unknown request opcode {op:#x}")),
         };
         r.finish()?;
@@ -313,6 +330,10 @@ impl Response {
                 out.push(OP_ERROR);
                 put_str(&mut out, message);
             }
+            Response::Metrics { text } => {
+                out.push(OP_METRICS_REPLY);
+                put_str(&mut out, text);
+            }
         }
         out
     }
@@ -341,6 +362,7 @@ impl Response {
                 Response::Busy { reason, retry_after_ms: r.u64()? }
             }
             OP_ERROR => Response::Error { message: r.str()? },
+            OP_METRICS_REPLY => Response::Metrics { text: r.str()? },
             op => return wire_err(format!("unknown response opcode {op:#x}")),
         };
         r.finish()?;
@@ -417,6 +439,7 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Metrics);
     }
 
     #[test]
@@ -427,6 +450,10 @@ mod tests {
         round_trip_response(Response::Busy { reason: BusyReason::QueueFull, retry_after_ms: 250 });
         round_trip_response(Response::Busy { reason: BusyReason::ByteBudget, retry_after_ms: 1 });
         round_trip_response(Response::Error { message: "unknown handle 9".into() });
+        round_trip_response(Response::Metrics { text: String::new() });
+        round_trip_response(Response::Metrics {
+            text: "fj_serve_requests_served 3\nfj_serve_latency_us_bucket{le=\"+Inf\"} 3\n".into(),
+        });
         let stats = ServerStats {
             cache: StatsSnapshot {
                 tries: CacheStats { hits: 10, misses: 2, ..Default::default() },
@@ -462,6 +489,11 @@ mod tests {
         put_u64(&mut inflated, 100); // claims 100 params...
         inflated.extend_from_slice(&[0u8; 200]); // ...in 200 bytes
         assert!(Request::decode(&inflated).is_err());
+        // A metrics reply whose text is not valid UTF-8.
+        let mut bad_metrics = vec![OP_METRICS_REPLY];
+        put_u64(&mut bad_metrics, 2);
+        bad_metrics.extend_from_slice(&[0xff, 0xfe]);
+        assert!(Response::decode(&bad_metrics).is_err());
         // Trailing garbage after a valid message.
         let mut trailing = Request::Stats.encode();
         trailing.push(0);

@@ -38,9 +38,21 @@
 //! (workers poll the flag with a short `peek` timeout, so `join` never
 //! hangs on a silent client). New connection attempts are refused by the
 //! closed listener.
+//!
+//! # Observability
+//!
+//! Server counters live in a process-local [`fj_obs::MetricsRegistry`]; the
+//! `Metrics` frame (and [`Server::metrics_text`]) renders the full registry
+//! as Prometheus-style text — server counters, cache/scheduler gauges
+//! re-registered at scrape time, the complete latency histogram — plus a
+//! bounded **slow-query log**: executions at or above
+//! [`ServerConfig::slow_query_us`] land in a ring of the last
+//! [`ServerConfig::slow_query_log`] entries, each carrying its per-node
+//! [`fj_obs::QueryProfile`], rendered as `#`-prefixed comment lines.
 
 use crate::metrics::{ServerMetrics, ServerStats};
 use crate::protocol::{read_frame, write_frame, BusyReason, Request, Response};
+use fj_obs::{MetricsRegistry, QueryProfile};
 use fj_query::{parse_filter, parse_query, Aggregate, ConjunctiveQuery};
 use fj_storage::Catalog;
 use free_join::{Params, Prepared, Session};
@@ -78,6 +90,12 @@ pub struct ServerConfig {
     /// dedicated serving box (stable caches for the work-stealing executor's
     /// per-worker deques) but hurts a shared one.
     pub pin_workers: bool,
+    /// Executions whose engine time reaches this many microseconds are
+    /// recorded in the slow-query log with their per-node profile.
+    pub slow_query_us: u64,
+    /// Slow-query ring capacity (most recent entries win). `0` disables
+    /// both the log and the per-execution profiling that feeds it.
+    pub slow_query_log: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +107,8 @@ impl Default for ServerConfig {
             max_frame_bytes: 1 << 20,
             max_prepared: 1024,
             pin_workers: false,
+            slow_query_us: 10_000,
+            slow_query_log: 8,
         }
     }
 }
@@ -132,6 +152,11 @@ struct Shared {
     catalog: Arc<Catalog>,
     config: ServerConfig,
     metrics: ServerMetrics,
+    /// The unified registry behind the `Metrics` text exposition; the
+    /// [`ServerMetrics`] counters are registered into it at startup.
+    registry: MetricsRegistry,
+    /// Ring of the most recent slow executions, newest at the back.
+    slow_queries: Mutex<VecDeque<SlowQuery>>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     /// Bytes of admitted request frames currently being processed.
@@ -187,6 +212,18 @@ impl PreparedRegistry {
     }
 }
 
+/// One slow execution, as retained by the slow-query ring.
+struct SlowQuery {
+    /// Prepared handle that was executed.
+    handle: u64,
+    /// Engine-side execution time, microseconds.
+    service_us: u64,
+    /// Output cardinality of the execution.
+    cardinality: u64,
+    /// The per-node profile captured alongside the execution.
+    profile: QueryProfile,
+}
+
 impl Shared {
     /// Flip the shutdown flag and nudge the blocking `accept` awake with a
     /// throwaway loopback connection so the listener closes promptly.
@@ -230,6 +267,48 @@ impl Shared {
         let p50_us = self.metrics.latency.quantile(0.5).max(1_000);
         (depth + 1).saturating_mul(p50_us).div_ceil(1_000)
     }
+
+    /// The full Prometheus-style text exposition: the registry (server
+    /// counters plus cache/scheduler gauges refreshed at scrape time), the
+    /// complete latency histogram, then the slow-query log as comments.
+    fn metrics_text(&self) -> String {
+        self.session.cache_stats().register_into(&self.registry);
+        let mut text = self.registry.render();
+        text.push_str(&self.metrics.latency.render_prometheus("fj_serve_latency_us"));
+        let log = self.slow_queries.lock().expect("slow-query log lock not poisoned");
+        for entry in log.iter() {
+            text.push_str(&format!(
+                "# slow_query handle={} service_us={} cardinality={}\n",
+                entry.handle, entry.service_us, entry.cardinality
+            ));
+            for line in entry.profile.render().lines() {
+                text.push_str("# ");
+                text.push_str(line);
+                text.push('\n');
+            }
+        }
+        text
+    }
+
+    /// Record one execution in the slow-query ring if it crossed the
+    /// threshold (and the log is enabled at all).
+    fn note_slow_query(
+        &self,
+        handle: u64,
+        service_us: u64,
+        cardinality: u64,
+        profile: QueryProfile,
+    ) {
+        if self.config.slow_query_log == 0 || service_us < self.config.slow_query_us {
+            return;
+        }
+        self.metrics.slow_queries.inc();
+        let mut log = self.slow_queries.lock().expect("slow-query log lock not poisoned");
+        log.push_back(SlowQuery { handle, service_us, cardinality, profile });
+        while log.len() > self.config.slow_query_log {
+            log.pop_front();
+        }
+    }
 }
 
 /// A running serving front-end. Dropping the handle does **not** stop the
@@ -254,11 +333,14 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let registry = MetricsRegistry::new();
         let shared = Arc::new(Shared {
             session,
             catalog,
             config,
-            metrics: ServerMetrics::default(),
+            metrics: ServerMetrics::registered(&registry),
+            registry,
+            slow_queries: Mutex::new(VecDeque::new()),
             shutdown: AtomicBool::new(false),
             addr: local_addr,
             inflight_bytes: AtomicUsize::new(0),
@@ -309,6 +391,11 @@ impl Server {
         self.shared.metrics.snapshot(self.shared.session.cache_stats())
     }
 
+    /// The Prometheus-style metrics text, same data as the `Metrics` frame.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
     /// Begin graceful shutdown: refuse new connections, drain queued and
     /// in-flight work. Returns immediately; use [`Server::join`] to wait.
     pub fn shutdown(&self) {
@@ -344,11 +431,11 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
         shared.queued.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(stream) {
             Ok(()) => {
-                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accepted.inc();
             }
             Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
                 shared.queued.fetch_sub(1, Ordering::Relaxed);
-                shared.metrics.rejected_queue.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rejected_queue.inc();
                 let mut stream = stream;
                 let busy = Response::Busy {
                     reason: BusyReason::QueueFull,
@@ -424,7 +511,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 
         // Admission axis 2: the in-flight byte budget.
         if !shared.reserve_inflight(payload.len()) {
-            shared.metrics.rejected_bytes.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected_bytes.inc();
             let busy = Response::Busy {
                 reason: BusyReason::ByteBudget,
                 retry_after_ms: shared.retry_after_ms(),
@@ -447,9 +534,9 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         // Count BEFORE writing the response: a client must never observe
         // its answer while the counters still miss it.
         shared.metrics.latency.record(service_us);
-        shared.metrics.served.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.served.inc();
         if matches!(response, Response::Error { .. }) {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.errors.inc();
         }
         let write_ok = write_frame(&mut stream, &response.encode()).is_ok();
         if shutdown_after {
@@ -474,10 +561,12 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> (Response, bool) {
     match request {
         Request::Prepare { query, aggregate } => (prepare(shared, &query, aggregate), false),
         Request::Execute { handle, params } => (execute(shared, handle, &params), false),
-        Request::Stats => {
-            (Response::Stats(Box::new(shared.metrics.snapshot(shared.session.cache_stats()))), false)
-        }
+        Request::Stats => (
+            Response::Stats(Box::new(shared.metrics.snapshot(shared.session.cache_stats()))),
+            false,
+        ),
         Request::Shutdown => (Response::Ok, true),
+        Request::Metrics => (Response::Metrics { text: shared.metrics_text() }, false),
     }
 }
 
@@ -522,19 +611,59 @@ fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Respons
             }
         }
     }
-    match prepared.execute_with(&shared.catalog, &overrides) {
-        Ok((output, stats)) => Response::Answer {
-            cardinality: output.cardinality(),
-            tries_built: stats.tries_built,
-            service_us: 0, // stamped by the connection loop, which owns the clock
-        },
-        Err(e) => Response::Error { message: e.to_string() },
+    // With the slow-query log enabled (the default) every execution runs
+    // profiled — the profile must already exist by the time the execution
+    // turns out to have been slow. The accumulators are flat per-node
+    // arrays, so the overhead is a few percent (pinned by `bench_json`'s
+    // `profile_overhead_pct` column and its CI gate).
+    if shared.config.slow_query_log > 0 {
+        let start = Instant::now();
+        match prepared.execute_profiled(&shared.catalog, &overrides) {
+            Ok((output, stats, profile)) => {
+                let engine_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                let cardinality = output.cardinality();
+                shared.note_slow_query(handle, engine_us, cardinality, profile);
+                Response::Answer {
+                    cardinality,
+                    tries_built: stats.tries_built,
+                    service_us: 0, // stamped by the connection loop, which owns the clock
+                }
+            }
+            Err(e) => Response::Error { message: e.to_string() },
+        }
+    } else {
+        match prepared.execute_with(&shared.catalog, &overrides) {
+            Ok((output, stats)) => Response::Answer {
+                cardinality: output.cardinality(),
+                tries_built: stats.tries_built,
+                service_us: 0, // stamped by the connection loop, which owns the clock
+            },
+            Err(e) => Response::Error { message: e.to_string() },
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_shared(catalog: Catalog, config: ServerConfig) -> Shared {
+        let registry = MetricsRegistry::new();
+        Shared {
+            session: Session::new(Arc::new(free_join::EngineCaches::with_defaults())),
+            catalog: Arc::new(catalog),
+            config,
+            metrics: ServerMetrics::registered(&registry),
+            registry,
+            slow_queries: Mutex::new(VecDeque::new()),
+            shutdown: AtomicBool::new(false),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            inflight_bytes: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            prepared: RwLock::new(PreparedRegistry::default()),
+            next_handle: AtomicU64::new(1),
+        }
+    }
 
     #[test]
     fn config_defaults_and_worker_resolution() {
@@ -543,6 +672,8 @@ mod tests {
         assert_eq!(ServerConfig { workers: 3, ..config }.effective_workers(), 3);
         assert!(config.queue_capacity > 0);
         assert!(config.max_frame_bytes <= crate::protocol::MAX_FRAME_BYTES);
+        assert!(config.slow_query_log > 0, "slow-query log on by default");
+        assert!(config.slow_query_us > 0);
     }
 
     #[test]
@@ -586,18 +717,10 @@ mod tests {
 
     #[test]
     fn inflight_budget_reserve_and_release() {
-        let shared = Shared {
-            session: Session::new(Arc::new(free_join::EngineCaches::with_defaults())),
-            catalog: Arc::new(Catalog::new()),
-            config: ServerConfig { inflight_byte_budget: 100, ..ServerConfig::default() },
-            metrics: ServerMetrics::default(),
-            shutdown: AtomicBool::new(false),
-            addr: "127.0.0.1:0".parse().unwrap(),
-            inflight_bytes: AtomicUsize::new(0),
-            queued: AtomicUsize::new(0),
-            prepared: RwLock::new(PreparedRegistry::default()),
-            next_handle: AtomicU64::new(1),
-        };
+        let shared = test_shared(
+            Catalog::new(),
+            ServerConfig { inflight_byte_budget: 100, ..ServerConfig::default() },
+        );
         assert!(shared.reserve_inflight(60));
         assert!(!shared.reserve_inflight(50), "60 + 50 > 100");
         assert!(shared.reserve_inflight(40));
@@ -616,5 +739,53 @@ mod tests {
         shared.queued.store(5, Ordering::Relaxed);
         let queued = shared.retry_after_ms();
         assert!(queued >= 6 * idle / 2, "depth multiplies the hint: {idle} -> {queued}");
+    }
+
+    #[test]
+    fn slow_query_ring_is_bounded_and_feeds_the_metrics_text() {
+        use fj_query::QueryBuilder;
+        use fj_storage::{RelationBuilder, Schema};
+
+        let mut catalog = Catalog::new();
+        let mut r = RelationBuilder::new("r", Schema::all_int(&["a", "b"]));
+        for i in 0..16i64 {
+            r.push_ints(&[i % 4, (i + 1) % 4]).unwrap();
+        }
+        catalog.add(r.finish()).unwrap();
+        // Threshold 0 µs: every execution is "slow". Ring capacity 2.
+        let config = ServerConfig { slow_query_us: 0, slow_query_log: 2, ..Default::default() };
+        let shared = test_shared(catalog, config);
+        let query = QueryBuilder::new("q")
+            .atom_as("r", "r1", &["x", "y"])
+            .atom_as("r", "r2", &["y", "z"])
+            .count()
+            .build();
+        let prepared = shared.session.prepare(&shared.catalog, &query).unwrap();
+        shared.prepared.write().unwrap().insert(7, Arc::new(prepared), 8);
+
+        for _ in 0..3 {
+            let response = execute(&shared, 7, &[]);
+            assert!(matches!(response, Response::Answer { cardinality: 64, .. }), "{response:?}");
+        }
+        assert_eq!(shared.metrics.slow_queries.get(), 3);
+        let log = shared.slow_queries.lock().unwrap();
+        assert_eq!(log.len(), 2, "ring keeps only the most recent entries");
+        assert!(log.iter().all(|e| e.cardinality == 64 && e.profile.total_probes() > 0));
+        drop(log);
+
+        let text = shared.metrics_text();
+        assert!(text.contains("fj_serve_slow_queries 3"), "{text}");
+        assert!(text.contains("fj_serve_requests_served 0"), "registry renders all counters");
+        assert!(text.contains("fj_cache_plan_"), "cache gauges re-registered at scrape time");
+        assert!(text.contains("fj_sched_"), "scheduler gauges present");
+        assert!(text.contains("# slow_query handle=7"), "{text}");
+        assert!(text.contains("# pipeline"), "profile rendered as comment lines");
+
+        // A disabled log records nothing and skips the profiled path.
+        let off =
+            test_shared(Catalog::new(), ServerConfig { slow_query_log: 0, ..Default::default() });
+        off.note_slow_query(1, u64::MAX, 0, QueryProfile::default());
+        assert_eq!(off.metrics.slow_queries.get(), 0);
+        assert!(off.slow_queries.lock().unwrap().is_empty());
     }
 }

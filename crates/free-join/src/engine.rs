@@ -25,6 +25,7 @@ use crate::options::FreeJoinOptions;
 use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput};
 use crate::sink::{MaterializeSink, OutputSink};
 use crate::trie::InputTrie;
+use fj_obs::ProfileSheet;
 use fj_plan::{optimize, BinaryPlan, CatalogStats, FreeJoinPlan, OptimizerOptions, PipeInput};
 use fj_query::{ConjunctiveQuery, ExecStats, OutputBuilder, QueryOutput};
 use fj_storage::{Catalog, DataType};
@@ -107,6 +108,7 @@ impl FreeJoinEngine {
                 is_final,
                 &prepared.var_types,
                 &mut stats,
+                &mut ProfileSheet::disabled(),
             )?;
             for trie in &tries {
                 stats.tries_built += trie.maps_built();
@@ -149,6 +151,7 @@ impl FreeJoinEngine {
             true,
             &prepared.var_types,
             &mut stats,
+            &mut ProfileSheet::disabled(),
         )?;
         for trie in &tries {
             stats.tries_built += trie.maps_built();
@@ -223,6 +226,11 @@ pub(crate) fn build_tries(
 /// Trie-building counters (`tries_built`, `lazy_expansions`) are *not*
 /// recorded here: with cached tries shared across queries the attribution
 /// differs per caller, so each caller accounts for them itself.
+///
+/// When `options.profile` is set, the merged per-node accumulators land in
+/// `profile` (otherwise it is left untouched — a disabled sheet stays
+/// disabled).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn join_pipeline(
     tries: &[Arc<InputTrie>],
     compiled: &CompiledPlan,
@@ -231,6 +239,7 @@ pub(crate) fn join_pipeline(
     is_final: bool,
     var_types: &HashMap<String, DataType>,
     stats: &mut ExecStats,
+    profile: &mut ProfileSheet,
 ) -> EngineResult<PipelineResult> {
     let threads = options.effective_threads();
     let join_start = Instant::now();
@@ -243,7 +252,7 @@ pub(crate) fn join_pipeline(
                 execute_pipeline_parallel(tries, compiled, options, threads, || {
                     OutputSink::new(builder.clone())
                 });
-            absorb_counters(stats, counters);
+            absorb_counters(stats, counters, profile);
             let mut merged = OutputSink::new(builder);
             for sink in sinks {
                 merged.merge(sink);
@@ -253,7 +262,7 @@ pub(crate) fn join_pipeline(
         } else {
             let mut sink = OutputSink::new(builder);
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
-            absorb_counters(stats, counters);
+            absorb_counters(stats, counters, profile);
             stats.result_chunks += sink.chunks_received();
             sink.finish()
         };
@@ -262,7 +271,7 @@ pub(crate) fn join_pipeline(
         let rows = if threads > 1 {
             let (sinks, counters) =
                 execute_pipeline_parallel(tries, compiled, options, threads, MaterializeSink::new);
-            absorb_counters(stats, counters);
+            absorb_counters(stats, counters, profile);
             let mut merged = MaterializeSink::new();
             for sink in sinks {
                 merged.merge(sink);
@@ -272,7 +281,7 @@ pub(crate) fn join_pipeline(
         } else {
             let mut sink = MaterializeSink::new();
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
-            absorb_counters(stats, counters);
+            absorb_counters(stats, counters, profile);
             stats.result_chunks += sink.chunks_received();
             sink.into_rows()
         };
@@ -286,8 +295,10 @@ pub(crate) fn join_pipeline(
 
 /// Fold one pipeline's execution counters into the query's stats record,
 /// including the scheduler counters (spawned / stolen / per-worker shares;
-/// all zero or empty on serial execution).
-fn absorb_counters(stats: &mut ExecStats, counters: ExecCounters) {
+/// all zero or empty on serial execution). The per-node profile (enabled
+/// only under `options.profile`) is merged into `profile`.
+fn absorb_counters(stats: &mut ExecStats, counters: ExecCounters, profile: &mut ProfileSheet) {
+    profile.merge(&counters.profile);
     stats.probes += counters.probes;
     stats.probe_hits += counters.probe_hits;
     stats.tasks_spawned += counters.tasks_spawned;

@@ -76,10 +76,12 @@ use crate::compile::{CompiledNode, CompiledPlan, IterAction};
 use crate::options::FreeJoinOptions;
 use crate::sink::{ChunkBuffer, Sink};
 use crate::trie::{InputTrie, TrieNode};
+use fj_obs::ProfileSheet;
 use fj_storage::{LevelKey, Value};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Counters collected during the join phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -100,6 +102,9 @@ pub struct ExecCounters {
     pub tasks_stolen: u64,
     /// `expansions` broken down by worker id. Empty on the serial path.
     pub worker_expansions: Vec<u64>,
+    /// Per-plan-node profile accumulators; disabled (empty, no allocation)
+    /// unless `FreeJoinOptions::profile` is set.
+    pub profile: ProfileSheet,
 }
 
 impl ExecCounters {
@@ -110,6 +115,7 @@ impl ExecCounters {
         self.expansions += other.expansions;
         self.tasks_spawned += other.tasks_spawned;
         self.tasks_stolen += other.tasks_stolen;
+        self.profile.merge(&other.profile);
         if self.worker_expansions.len() < other.worker_expansions.len() {
             self.worker_expansions.resize(other.worker_expansions.len(), 0);
         }
@@ -159,6 +165,9 @@ pub fn execute_pipeline(
 ) -> ExecCounters {
     debug_assert_eq!(tries.len(), plan.num_inputs);
     let mut counters = ExecCounters::default();
+    if options.profile {
+        counters.profile = ProfileSheet::enabled(plan.nodes.len());
+    }
     let mut tuple = vec![Value::Null; plan.binding_order.len()];
     let mut current: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
     let mut scratch: Vec<NodeScratch> = plan.nodes.iter().map(|_| NodeScratch::default()).collect();
@@ -592,6 +601,9 @@ where
                 let mut scratch: Vec<NodeScratch> =
                     plan.nodes.iter().map(|_| NodeScratch::default()).collect();
                 let mut counters = ExecCounters::default();
+                if options.profile {
+                    counters.profile = ProfileSheet::enabled(plan.nodes.len());
+                }
                 let mut key_buf: Vec<Value> = Vec::new();
                 loop {
                     let Some(task) = sched.find_task(id) else {
@@ -640,6 +652,7 @@ where
                 all.probe_hits += counters.probe_hits;
                 all.tasks_stolen += counters.tasks_stolen;
                 all.expansions += counters.expansions;
+                all.profile.merge(&counters.profile);
                 if all.worker_expansions.len() < num_threads {
                     all.worker_expansions.resize(num_threads, 0);
                 }
@@ -713,6 +726,7 @@ fn run_task(
     };
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
+    let t0 = counters.profile.is_enabled().then(Instant::now);
 
     if options.vectorized() && node.subatoms.len() > 1 {
         // Mirror run_node's choice: batch this node's probes too.
@@ -725,6 +739,7 @@ fn run_task(
             TaskItems::Entries { entries, .. } => {
                 for (key, child) in &entries[lo..hi] {
                     counters.expansions += 1;
+                    counters.profile.add_expansions(node_idx, 1);
                     buffer_cover_entry(
                         node,
                         cover_idx,
@@ -747,6 +762,7 @@ fn run_task(
                 for offset in lo..hi {
                     cover_trie.read_key_into(cover.level, offset as u32, key_buf);
                     counters.expansions += 1;
+                    counters.profile.add_expansions(node_idx, 1);
                     buffer_cover_entry(
                         node, cover_idx, cover_trie, key_buf, None, tuple, weight, mine,
                     );
@@ -812,6 +828,9 @@ fn run_task(
             TaskItems::Tail { .. } => unreachable!("handled above"),
         }
     }
+    if let Some(t0) = t0 {
+        counters.profile.add_wall(node_idx, t0.elapsed());
+    }
 }
 
 /// Select which subatom of the node to iterate (the runtime cover).
@@ -867,9 +886,13 @@ fn run_node(
         && sink.accepts_factorized(node.bound_before)
     {
         let mut total = weight;
-        for tail in &plan.nodes[node_idx..] {
+        for (d, tail) in plan.nodes[node_idx..].iter().enumerate() {
             let sub = &tail.subatoms[0];
             total = total.saturating_mul(tries[sub.input].tuple_count(&current[sub.input]));
+            // The running product is exactly the rows the skipped node would
+            // have produced; record it so the profile's actuals match the
+            // enumerating paths.
+            counters.profile.add_output_rows(node_idx + d, total);
         }
         // A partial tuple: every slot the sink projects is within
         // `bound_before` (that is what `accepts_factorized` checked), so the
@@ -955,6 +978,7 @@ fn expand_independent_tail(
     let sub = &node.subatoms[0];
     let trie = &tries[sub.input];
     let node_cur = current[sub.input].clone();
+    let t0 = counters.profile.is_enabled().then(Instant::now);
     let gathered = &scratch[1..1 + inner.len()];
     // Product rows per first-list entry; `expansions` counts emitted rows so
     // skew inside the product (not just wide first lists) is visible to the
@@ -988,8 +1012,10 @@ fn expand_independent_tail(
 
     // Stream the first tail node's cover; per entry, emit the product of the
     // gathered inner columns.
+    let mut first_sum: u64 = 0;
     trie.for_each(&node_cur, sub.level, |key, child| {
         counters.expansions += inner_count.max(1);
+        counters.profile.add_expansions(node_idx, inner_count.max(1));
         for action in &sub.iter_actions {
             let IterAction::Write { key_pos, slot } = *action else {
                 unreachable!("independent-tail covers bind only new variables");
@@ -997,12 +1023,41 @@ fn expand_independent_tail(
             tuple[slot] = key[key_pos];
         }
         let w = child.map_or(weight, |c| weight.saturating_mul(trie.tuple_count(c)));
+        first_sum = first_sum.saturating_add(w);
         if inner.is_empty() {
             out.push(sink, tuple, w);
         } else {
             emit_product(inner, gathered, 0, tuple, w, sink, out);
         }
     });
+    profile_tail_rows(&mut counters.profile, node_idx, first_sum, gathered);
+    if let Some(t0) = t0 {
+        counters.profile.add_wall(node_idx, t0.elapsed());
+    }
+}
+
+/// Attribute an independent tail's output rows to its nodes arithmetically:
+/// the first tail node produced `first_sum` weighted rows, and each inner
+/// node multiplies that by its gathered list's weight total — the same
+/// cumulative products the enumeration emits, without touching the per-row
+/// hot loop. A slice of the first list contributes its slice sum, so
+/// partitioned tail tasks add up to exactly the serial attribution.
+fn profile_tail_rows(
+    profile: &mut ProfileSheet,
+    node_idx: usize,
+    first_sum: u64,
+    gathered: &[NodeScratch],
+) {
+    if !profile.is_enabled() {
+        return;
+    }
+    profile.add_output_rows(node_idx, first_sum);
+    let mut running = first_sum;
+    for (d, list) in gathered.iter().enumerate() {
+        let list_sum = list.weights.iter().fold(0u64, |acc, &w| acc.saturating_add(w));
+        running = running.saturating_mul(list_sum);
+        profile.add_output_rows(node_idx + 1 + d, running);
+    }
 }
 
 /// Gather every inner tail node's expansion list into its scratch slot
@@ -1069,19 +1124,27 @@ fn run_tail_range(
     }
     let node = &plan.nodes[node_idx];
     let stride = node.bound_after - node.bound_before;
+    let t0 = counters.profile.is_enabled().then(Instant::now);
     let gathered = &scratch[1..1 + inner.len()];
     let inner_count: u64 =
         gathered.iter().fold(1u64, |acc, s| acc.saturating_mul(s.weights.len() as u64));
+    let mut first_sum: u64 = 0;
     for i in lo..hi {
         counters.expansions += inner_count.max(1);
+        counters.profile.add_expansions(node_idx, inner_count.max(1));
         tuple[node.bound_before..node.bound_after]
             .copy_from_slice(&writes[i * stride..(i + 1) * stride]);
         let w = weight.saturating_mul(weights[i]);
+        first_sum = first_sum.saturating_add(w);
         if inner.is_empty() {
             out.push(sink, tuple, w);
         } else {
             emit_product(inner, gathered, 0, tuple, w, sink, out);
         }
+    }
+    profile_tail_rows(&mut counters.profile, node_idx, first_sum, gathered);
+    if let Some(t0) = t0 {
+        counters.profile.add_wall(node_idx, t0.elapsed());
     }
 }
 
@@ -1158,6 +1221,7 @@ fn process_cover_entry(
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
     counters.expansions += 1;
+    counters.profile.add_expansions(node_idx, 1);
     if !apply_iter_actions(&cover.iter_actions, key, tuple) {
         return;
     }
@@ -1194,6 +1258,7 @@ fn process_cover_entry(
         ) {
             Some(child_node) => {
                 counters.probe_hits += 1;
+                counters.profile.add_probe(node_idx, true);
                 if sub.final_for_input {
                     local_weight =
                         local_weight.saturating_mul(tries[sub.input].tuple_count(&child_node));
@@ -1203,6 +1268,7 @@ fn process_cover_entry(
                 }
             }
             None => {
+                counters.profile.add_probe(node_idx, false);
                 all_matched = false;
                 break;
             }
@@ -1210,6 +1276,7 @@ fn process_cover_entry(
     }
 
     if all_matched && local_weight > 0 {
+        counters.profile.add_output_rows(node_idx, local_weight);
         run_node(
             tries,
             plan,
@@ -1251,6 +1318,7 @@ fn run_node_scalar(
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
     let cover_node = current[cover.input].clone();
+    let t0 = counters.profile.is_enabled().then(Instant::now);
 
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
         process_cover_entry(
@@ -1258,6 +1326,9 @@ fn run_node_scalar(
             counters, scratch, out, splitter,
         );
     });
+    if let Some(t0) = t0 {
+        counters.profile.add_wall(node_idx, t0.elapsed());
+    }
 }
 
 /// Vectorized execution of one node (Figure 13): batch the cover iteration,
@@ -1283,6 +1354,7 @@ fn run_node_vectorized(
     let cover_trie = &tries[cover.input];
     let cover_node = current[cover.input].clone();
     let batch_size = options.batch_size;
+    let t0 = counters.profile.is_enabled().then(Instant::now);
 
     let (mine, rest) = scratch.split_at_mut(1);
     let mine = &mut mine[0];
@@ -1291,6 +1363,7 @@ fn run_node_vectorized(
 
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
         counters.expansions += 1;
+        counters.profile.add_expansions(node_idx, 1);
         buffer_cover_entry(node, cover_idx, cover_trie, key, child, tuple, weight, mine);
         if mine.count >= batch_size {
             flush_batch(
@@ -1303,6 +1376,9 @@ fn run_node_vectorized(
         tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters, out,
         splitter,
     );
+    if let Some(t0) = t0 {
+        counters.profile.add_wall(node_idx, t0.elapsed());
+    }
 }
 
 /// Size a node's vectorization buffers for the configured batch size; a
@@ -1415,13 +1491,17 @@ fn flush_batch(
                 match probe_subatom(trie, &base, sub.level, &sub.key_slots, spill_key, read) {
                     Some(child) => {
                         counters.probe_hits += 1;
+                        counters.profile.add_probe(node_idx, true);
                         if sub.final_for_input {
                             weights[e] = weights[e].saturating_mul(trie.tuple_count(&child));
                         } else {
                             children[e * stride + j] = Some(child);
                         }
                     }
-                    None => alive[e] = false,
+                    None => {
+                        counters.profile.add_probe(node_idx, false);
+                        alive[e] = false;
+                    }
                 }
             }
         }
@@ -1445,6 +1525,7 @@ fn flush_batch(
                 mine.saved.push((sub.input, std::mem::replace(&mut current[sub.input], child)));
             }
         }
+        counters.profile.add_output_rows(node_idx, mine.weights[e]);
         run_node(
             tries,
             plan,

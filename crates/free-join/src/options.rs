@@ -72,6 +72,12 @@ pub struct FreeJoinOptions {
     /// keeps task overhead negligible on uniform workloads while still
     /// breaking up skewed subtrees.
     pub split_threshold: usize,
+    /// Collect a per-plan-node profile (expansions, probes, output rows,
+    /// coarse wall time) during execution. Off by default: the disabled
+    /// state allocates nothing and adds only a branch per bump site to the
+    /// hot path. Enabled runs stay within a few percent of unprofiled wall
+    /// time (the bench suite's `profile_overhead_pct` column pins this).
+    pub profile: bool,
 }
 
 impl Default for FreeJoinOptions {
@@ -86,6 +92,7 @@ impl Default for FreeJoinOptions {
             num_threads: 0,
             steal: true,
             split_threshold: 1024,
+            profile: false,
         }
     }
 }
@@ -105,6 +112,7 @@ impl FreeJoinOptions {
             num_threads: 1,
             steal: true,
             split_threshold: 1024,
+            profile: false,
         }
     }
 
@@ -153,6 +161,12 @@ impl FreeJoinOptions {
         self
     }
 
+    /// Builder-style setter for per-plan-node profiling.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Is vectorization enabled?
     pub fn vectorized(&self) -> bool {
         self.batch_size > 1
@@ -187,6 +201,7 @@ mod tests {
         assert!(o.effective_threads() >= 1);
         assert!(o.steal, "work stealing is on by default");
         assert_eq!(o.split_threshold, 1024);
+        assert!(!o.profile, "profiling is opt-in");
     }
 
     #[test]

@@ -63,7 +63,10 @@ use crate::options::{FreeJoinOptions, TrieStrategy};
 use crate::prep::{bind_atom, record_var_types, BoundInput};
 use crate::trie::InputTrie;
 use fj_cache::{Fingerprinter, PlanCache, StatsSnapshot, TrieCache, TrieKey};
-use fj_plan::{optimize, CatalogStats, OptimizerOptions, PipeInput};
+use fj_obs::{NodeProfile, PipelineProfile, ProfileSheet, QueryProfile};
+use fj_plan::{
+    optimize, CardinalityEstimator, CatalogStats, OptimizerOptions, PipeInput, SubPlanInfo,
+};
 use fj_query::{Aggregate, Atom, ConjunctiveQuery, ExecStats, QueryOutput};
 use fj_storage::{Catalog, DataType, Predicate};
 use std::borrow::Cow;
@@ -93,6 +96,14 @@ pub struct CachedPlan {
     canonical: String,
     /// The compiled pipelines.
     compiled: CompiledQuery,
+    /// The optimizer's estimated cardinality after each plan node, indexed
+    /// `[pipeline][node]` in step with `compiled.pipelines` — computed once
+    /// at prepare time from the same statistics the optimizer planned with,
+    /// and paired with the executor's actuals by `EXPLAIN ANALYZE`.
+    node_estimates: Vec<Vec<f64>>,
+    /// Rendered node labels, same indexing — plan-static, so formatting
+    /// them here keeps profiled executions from paying string building.
+    node_labels: Vec<Vec<String>>,
 }
 
 impl CachedPlan {
@@ -100,6 +111,30 @@ impl CachedPlan {
     pub fn compiled(&self) -> &CompiledQuery {
         &self.compiled
     }
+
+    /// Per-node cardinality estimates, indexed `[pipeline][node]`.
+    pub fn node_estimates(&self) -> &[Vec<f64>] {
+        &self.node_estimates
+    }
+}
+
+/// A node label naming each subatom by its input — atom aliases for base
+/// relations, `pipe<j>` for intermediates — e.g. `[e1(a,b) e2(b)]`.
+fn node_label(query: &ConjunctiveQuery, inputs: &[PipeInput], node: &fj_plan::FjNode) -> String {
+    let mut label = String::from("[");
+    for (j, sub) in node.subatoms.iter().enumerate() {
+        if j > 0 {
+            label.push(' ');
+        }
+        let name: Cow<'_, str> = match inputs.get(sub.input) {
+            Some(PipeInput::Atom(a)) => Cow::Borrowed(query.atoms[*a].alias.as_str()),
+            Some(PipeInput::Intermediate(i)) => Cow::Owned(format!("pipe{i}")),
+            None => Cow::Owned(format!("#{}", sub.input)),
+        };
+        let _ = write!(label, "{}({})", name, sub.vars.join(","));
+    }
+    label.push(']');
+    label
 }
 
 /// The shared cache pair consulted by every [`Session`]. Create one per
@@ -257,10 +292,34 @@ impl Session {
             if !plan.covers_query(query) {
                 return Err(EngineError::PlanDoesNotCoverQuery);
             }
-            Ok(CachedPlan {
-                canonical: canonical.clone(),
-                compiled: compile_query(query, &plan, &self.options)?,
-            })
+            let compiled = compile_query(query, &plan, &self.options)?;
+            // Estimate each pipeline's per-node cardinalities with the same
+            // statistics (and estimator mode) the optimizer just planned
+            // with; pipelines are dependency-ordered, so every Intermediate
+            // input's info is available when its consumer is estimated.
+            let estimator = CardinalityEstimator::new(&stats, self.optimizer.mode);
+            let mut infos: Vec<Option<SubPlanInfo>> = vec![None; compiled.pipelines.len()];
+            let mut node_estimates = Vec::with_capacity(compiled.pipelines.len());
+            let mut node_labels = Vec::with_capacity(compiled.pipelines.len());
+            for (p, pipeline) in compiled.pipelines.iter().enumerate() {
+                let (ests, info) = estimator.pipeline_node_estimates(
+                    query,
+                    &pipeline.inputs,
+                    &pipeline.fj_plan,
+                    &infos,
+                );
+                node_estimates.push(ests);
+                infos[p] = Some(info);
+                node_labels.push(
+                    pipeline
+                        .fj_plan
+                        .nodes
+                        .iter()
+                        .map(|node| node_label(query, &pipeline.inputs, node))
+                        .collect(),
+                );
+            }
+            Ok(CachedPlan { canonical: canonical.clone(), compiled, node_estimates, node_labels })
         };
         let mut plan = self.caches.plans.try_get_or_build(fingerprint, || build().map(Arc::new))?;
         if plan.canonical != canonical {
@@ -284,6 +343,33 @@ impl Session {
         query: &ConjunctiveQuery,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
         self.prepare(catalog, query)?.execute(catalog)
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the query with profiling on and render the
+    /// plan tree annotated with the optimizer's estimated rows next to the
+    /// actuals the executor measured, plus per-node probe hit rates and
+    /// coarse times. Returns the rendered report; use
+    /// [`Prepared::execute_profiled`] for the structured [`QueryProfile`].
+    pub fn explain_analyze(
+        &self,
+        catalog: &Catalog,
+        query: &ConjunctiveQuery,
+    ) -> EngineResult<String> {
+        let prepared = self.prepare(catalog, query)?;
+        let (output, stats, profile) = prepared.execute_profiled(catalog, &Params::new())?;
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN ANALYZE {}", query.name);
+        out.push_str(&profile.render());
+        let _ = writeln!(
+            out,
+            "totals: output_rows={} probes={} probe_hits={} tries_built={} lazy_expansions={}",
+            output.cardinality(),
+            stats.probes,
+            stats.probe_hits,
+            stats.tries_built,
+            stats.lazy_expansions,
+        );
+        Ok(out)
     }
 }
 
@@ -364,6 +450,37 @@ impl Prepared {
         catalog: &Catalog,
         params: &Params,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
+        self.execute_inner(catalog, params, &self.options, None)
+    }
+
+    /// Execute with profiling forced on, returning the per-node
+    /// [`QueryProfile`] (actuals paired with the optimizer's prepare-time
+    /// estimates) alongside the usual output and stats. This is the engine
+    /// half of `EXPLAIN ANALYZE` and of the server's slow-query log.
+    pub fn execute_profiled(
+        &self,
+        catalog: &Catalog,
+        params: &Params,
+    ) -> EngineResult<(QueryOutput, ExecStats, QueryProfile)> {
+        let options = self.options.with_profile(true);
+        let mut sheets = Vec::with_capacity(self.plan.compiled.pipelines.len());
+        let (output, stats) = self.execute_inner(catalog, params, &options, Some(&mut sheets))?;
+        let profile = self.assemble_profile(&sheets);
+        Ok((output, stats, profile))
+    }
+
+    /// The shared execution path. When `sheets` is `Some`, one merged
+    /// [`ProfileSheet`] per pipeline is pushed into it (in pipeline order);
+    /// when `None`, a disabled sheet is threaded through instead, which
+    /// allocates nothing — the `profile: false` serving path pays only a
+    /// branch per instrumentation site.
+    fn execute_inner(
+        &self,
+        catalog: &Catalog,
+        params: &Params,
+        options: &FreeJoinOptions,
+        mut sheets: Option<&mut Vec<ProfileSheet>>,
+    ) -> EngineResult<(QueryOutput, ExecStats)> {
         let query = self.query_with(params)?;
         let query = query.as_ref();
         // Re-validate against the *current* catalog: relations may have been
@@ -414,15 +531,20 @@ impl Prepared {
             }
 
             let is_final = p == compiled.root_pipeline();
+            let mut sheet = ProfileSheet::disabled();
             let result = join_pipeline(
                 &tries,
                 &pipeline.plan,
-                &self.options,
+                options,
                 query,
                 is_final,
                 &var_types,
                 &mut stats,
+                &mut sheet,
             )?;
+            if let Some(sheets) = sheets.as_deref_mut() {
+                sheets.push(sheet);
+            }
             for (idx, (trie, (maps0, lazy0))) in tries.iter().zip(&baselines).enumerate() {
                 // A cached trie can serve several inputs of one pipeline
                 // (self-joins); count each underlying trie once.
@@ -445,6 +567,33 @@ impl Prepared {
         stats.output_tuples = output.cardinality();
         self.caches.record_sched(stats.tasks_spawned, stats.tasks_stolen);
         Ok((output, stats))
+    }
+
+    /// Pair each pipeline's merged [`ProfileSheet`] with the prepare-time
+    /// node estimates and human-readable labels into a [`QueryProfile`].
+    fn assemble_profile(&self, sheets: &[ProfileSheet]) -> QueryProfile {
+        let compiled = &self.plan.compiled;
+        let mut pipelines = Vec::with_capacity(sheets.len());
+        for (p, (pipeline, sheet)) in compiled.pipelines.iter().zip(sheets).enumerate() {
+            let ests = self.plan.node_estimates.get(p);
+            let labels = self.plan.node_labels.get(p);
+            let mut nodes = Vec::with_capacity(pipeline.fj_plan.nodes.len());
+            for k in 0..pipeline.fj_plan.nodes.len() {
+                let acc = sheet.nodes().get(k).copied().unwrap_or_default();
+                nodes.push(NodeProfile {
+                    label: labels.and_then(|l| l.get(k)).cloned().unwrap_or_default(),
+                    estimated_rows: ests.and_then(|e| e.get(k)).copied().unwrap_or(1.0),
+                    output_rows: acc.output_rows,
+                    expansions: acc.expansions,
+                    probes: acc.probes,
+                    probe_hits: acc.probe_hits,
+                    wall_nanos: acc.wall_nanos,
+                });
+            }
+            let role = if p == compiled.root_pipeline() { "final" } else { "intermediate" };
+            pipelines.push(PipelineProfile { label: format!("pipeline {p} ({role})"), nodes });
+        }
+        QueryProfile { pipelines }
     }
 
     /// The query with parameter overrides applied (validated against the
@@ -846,6 +995,51 @@ mod tests {
         let stats = s.cache_stats();
         assert_eq!(stats.plans.misses, 1, "one compile served every thread");
         assert_eq!(stats.tries.misses, misses_after_cold, "no thread rebuilt a trie");
+    }
+
+    #[test]
+    fn execute_profiled_reconciles_with_exec_stats() {
+        let cat = catalog();
+        let s = session();
+        let prepared = s.prepare(&cat, &two_hop()).unwrap();
+        let (out, stats, profile) = prepared.execute_profiled(&cat, &Params::new()).unwrap();
+        // Per-node probe counts sum to the ExecStats totals, and the last
+        // node's actual rows are the query's output cardinality.
+        assert_eq!(profile.total_probes(), stats.probes);
+        assert_eq!(profile.total_probe_hits(), stats.probe_hits);
+        assert_eq!(profile.output_rows(), out.cardinality());
+        // Every node carries a prepare-time estimate and saw real work.
+        for pipeline in &profile.pipelines {
+            assert!(!pipeline.nodes.is_empty());
+            for node in &pipeline.nodes {
+                assert!(node.estimated_rows >= 1.0, "{node:?}");
+                // Inner independent-tail nodes attribute their enumeration
+                // to the node that started the product, but every node
+                // reports its actual output rows.
+                assert!(node.output_rows > 0, "{node:?}");
+                assert!(!node.label.is_empty());
+            }
+        }
+        // The unprofiled path still returns identical results and counters.
+        let (plain, plain_stats) = prepared.execute(&cat).unwrap();
+        assert!(plain.result_eq(&out));
+        assert_eq!(plain_stats.probes, stats.probes);
+    }
+
+    #[test]
+    fn explain_analyze_renders_estimates_and_actuals() {
+        let cat = catalog();
+        let s = session();
+        let report = s.explain_analyze(&cat, &two_hop()).unwrap();
+        assert!(report.starts_with("EXPLAIN ANALYZE two_hop"), "{report}");
+        assert!(report.contains("pipeline 0 (final)"), "{report}");
+        assert!(report.contains("est="), "{report}");
+        assert!(report.contains("actual="), "{report}");
+        assert!(report.contains("hit_rate="), "{report}");
+        // Node labels name atoms by alias.
+        assert!(report.contains("e1("), "{report}");
+        let (out, _) = s.execute(&cat, &two_hop()).unwrap();
+        assert!(report.contains(&format!("output_rows={}", out.cardinality())), "{report}");
     }
 
     #[test]

@@ -164,9 +164,18 @@ fn main() {
         failures.push("latency histogram missed requests".to_string());
     }
 
-    // Shut down gracefully through the protocol itself.
+    // Shut down gracefully through the protocol itself — but first scrape
+    // both expositions over the wire: the binary stats frame's gauge lines
+    // and the full Prometheus-style Metrics frame (registry counters, cache
+    // and scheduler gauges, latency histogram buckets, slow-query log).
+    // The marker lines delimit the block ci/check_metrics_format.py
+    // validates against the Prometheus line grammar.
     let mut client = Client::connect(addr).expect("shutdown client connects");
     println!("\n/metrics\n{}", client.stats().expect("stats frame").render_metrics());
+    let metrics_text = client.metrics().expect("metrics frame");
+    println!("=== METRICS BEGIN ===");
+    print!("{metrics_text}");
+    println!("=== METRICS END ===");
     client.shutdown_server().expect("shutdown acknowledged");
     server.join();
 

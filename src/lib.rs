@@ -9,6 +9,9 @@
 //! * [`storage`] — column-oriented in-memory relations and catalogs.
 //! * [`cache`] — the shared trie & plan cache subsystem for repeated-query
 //!   serving (sharded memory-budgeted LRU, single-flight builds).
+//! * [`obs`] — observability primitives: the process-wide metrics registry
+//!   with Prometheus-style text exposition and the per-plan-node query
+//!   profiler behind `EXPLAIN ANALYZE`.
 //! * [`query`] — conjunctive queries, hypergraphs, the datalog-style parser.
 //! * [`plan`] — binary plans, Generic Join plans, Free Join plans, the
 //!   plan converter/factorizer and the cost-based optimizer.
@@ -33,6 +36,7 @@
 
 pub use fj_baselines as baselines;
 pub use fj_cache as cache;
+pub use fj_obs as obs;
 pub use fj_plan as plan;
 pub use fj_query as query;
 pub use fj_serve as serve;
@@ -44,6 +48,7 @@ pub use free_join as engine;
 pub mod prelude {
     pub use fj_baselines::{BinaryJoinEngine, GenericJoinEngine};
     pub use fj_cache::CacheStats;
+    pub use fj_obs::{MetricsRegistry, QueryProfile};
     pub use fj_plan::{
         binary2fj, factor, optimize, BinaryPlan, CatalogStats, EstimatorMode, FreeJoinPlan,
         OptimizerOptions,

@@ -335,6 +335,59 @@ fn stats_frame_reports_scheduler_counters() {
     server.join();
 }
 
+/// The `Metrics` frame round-trips through the client: Prometheus-style
+/// text carrying the registry's server counters, cache/scheduler gauges
+/// re-registered at scrape time, the full latency histogram dump, and the
+/// slow-query log as comment lines with per-node profiles.
+#[test]
+fn metrics_frame_round_trips_with_histogram_and_slow_queries() {
+    let workload = job::workload(&JobConfig::tiny());
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server = start_server(
+        Arc::clone(&catalog),
+        // Threshold 0 µs so every execution lands in the slow-query ring.
+        ServerConfig { workers: 2, slow_query_us: 0, slow_query_log: 4, ..ServerConfig::default() },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    let expected = client.execute(handle).unwrap().cardinality;
+    for _ in 0..3 {
+        assert_eq!(client.execute(handle).unwrap().cardinality, expected);
+    }
+
+    let text = client.metrics().unwrap();
+    // The in-process accessor serves the same exposition (it can't be
+    // byte-equal: the metrics request itself moved the counters).
+    let in_process = server.metrics_text();
+    assert!(in_process.contains("fj_serve_slow_queries 4"), "{in_process}");
+    assert!(in_process.contains("# slow_query handle="), "{in_process}");
+    // Registry counters, refreshed gauges, and the histogram dump.
+    assert!(text.contains("fj_serve_accepted_connections 1"), "{text}");
+    assert!(text.contains("fj_serve_requests_served"), "{text}");
+    assert!(text.contains("fj_serve_slow_queries 4"), "{text}");
+    assert!(text.lines().any(|l| l.starts_with("fj_cache_plan_")), "{text}");
+    assert!(text.lines().any(|l| l.starts_with("fj_sched_")), "{text}");
+    assert!(text.contains("fj_serve_latency_us_bucket{le=\"+Inf\"}"), "{text}");
+    assert!(text.contains("fj_serve_latency_us_count"), "{text}");
+    // The slow-query log rides along as comments with per-node profiles.
+    assert!(text.contains("# slow_query handle="), "{text}");
+    assert!(text.contains("est="), "profile lines carry optimizer estimates: {text}");
+
+    // Every non-comment line is `series value` with a numeric value, an
+    // fj_-prefixed name, and no series repeated.
+    let mut seen = std::collections::HashSet::new();
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (series, value) = line.rsplit_once(' ').expect("metric lines are `series value`");
+        assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        assert!(series.starts_with("fj_"), "all series carry the fj_ prefix: {line:?}");
+        assert!(seen.insert(series.to_string()), "duplicate series {series}");
+    }
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
 /// Graceful shutdown: the shutdown frame is acknowledged, in-flight work
 /// completes, `join` returns, and new connections are refused.
 #[test]
