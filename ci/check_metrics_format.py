@@ -41,6 +41,8 @@ REQUIRED_SERIES = [
     "fj_cache_trie_hits",
     "fj_cache_plan_misses",
     "fj_sched_tasks_spawned",
+    "fj_exec_reorders",
+    "fj_exec_estimate_busts",
     "fj_serve_latency_us_sum",
     "fj_serve_latency_us_count",
 ]

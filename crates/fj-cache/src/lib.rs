@@ -46,5 +46,5 @@ pub mod trie_cache;
 pub use fingerprint::{fingerprint_debug, Fingerprinter};
 pub use lru::ShardedLru;
 pub use plan_cache::PlanCache;
-pub use stats::{take_u64, CacheStats, SchedStats, StatsSnapshot};
+pub use stats::{take_u64, CacheStats, ExecTotals, SchedStats, StatsSnapshot};
 pub use trie_cache::{TrieCache, TrieKey};

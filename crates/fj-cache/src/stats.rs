@@ -167,6 +167,48 @@ impl SchedStats {
     }
 }
 
+/// Adaptive-execution counters accumulated across a session's query
+/// executions: per-binding probe reorders performed by the adaptive
+/// executor, and plan nodes whose profiled actuals bust their prepare-time
+/// estimate (see `fj_obs::ESTIMATE_BUST_FACTOR`). Wire-encoded as two
+/// little-endian `u64`s in declaration order, like [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecTotals {
+    /// Bindings/batches whose adaptive probe order differed from the static
+    /// plan order (zero unless adaptive execution is enabled).
+    pub reorders: u64,
+    /// Plan nodes whose profiled actual rows exceeded the bust factor times
+    /// their cached estimate (bumped by profiled executions).
+    pub estimate_busts: u64,
+}
+
+impl ExecTotals {
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn delta(&self, earlier: &ExecTotals) -> ExecTotals {
+        ExecTotals {
+            reorders: self.reorders - earlier.reorders,
+            estimate_busts: self.estimate_busts - earlier.estimate_busts,
+        }
+    }
+
+    /// Field (name, value) pairs in codec order.
+    pub fn fields(&self) -> [(&'static str, u64); 2] {
+        [("reorders", self.reorders), ("estimate_busts", self.estimate_busts)]
+    }
+
+    /// Append the fixed-order binary encoding (2 little-endian `u64`s).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for (_, v) in self.fields() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decode from the front of `bytes`, advancing the slice.
+    pub fn decode(bytes: &mut &[u8]) -> Option<ExecTotals> {
+        Some(ExecTotals { reorders: take_u64(bytes)?, estimate_busts: take_u64(bytes)? })
+    }
+}
+
 /// The combined snapshot of a serving process's cache pair — the trie cache
 /// and the plan cache — plus the session's scheduler counters, as one plain,
 /// copyable, wire-encodable struct. This is what `free-join`'s
@@ -181,6 +223,8 @@ pub struct StatsSnapshot {
     pub plans: CacheStats,
     /// Work-stealing scheduler counters (spawned / stolen tasks).
     pub sched: SchedStats,
+    /// Adaptive-execution counters (probe reorders / estimate busts).
+    pub exec: ExecTotals,
 }
 
 impl StatsSnapshot {
@@ -191,15 +235,17 @@ impl StatsSnapshot {
             tries: self.tries.delta(&earlier.tries),
             plans: self.plans.delta(&earlier.plans),
             sched: self.sched.delta(&earlier.sched),
+            exec: self.exec.delta(&earlier.exec),
         }
     }
 
-    /// Append the fixed-order binary encoding (tries, plans, sched — 176
-    /// bytes).
+    /// Append the fixed-order binary encoding (tries, plans, sched, exec —
+    /// 192 bytes).
     pub fn encode(&self, out: &mut Vec<u8>) {
         self.tries.encode(out);
         self.plans.encode(out);
         self.sched.encode(out);
+        self.exec.encode(out);
     }
 
     /// Decode from the front of `bytes`, advancing the slice.
@@ -208,6 +254,7 @@ impl StatsSnapshot {
             tries: CacheStats::decode(bytes)?,
             plans: CacheStats::decode(bytes)?,
             sched: SchedStats::decode(bytes)?,
+            exec: ExecTotals::decode(bytes)?,
         })
     }
 
@@ -224,6 +271,9 @@ impl StatsSnapshot {
         }
         for (name, value) in self.sched.fields() {
             registry.set_gauge(&format!("fj_sched_{name}"), value);
+        }
+        for (name, value) in self.exec.fields() {
+            registry.set_gauge(&format!("fj_exec_{name}"), value);
         }
     }
 
@@ -326,16 +376,17 @@ mod tests {
             },
             plans: CacheStats { hits: u64::MAX, misses: 11, ..Default::default() },
             sched: SchedStats { tasks_spawned: 12, tasks_stolen: 13 },
+            exec: ExecTotals { reorders: 14, estimate_busts: 15 },
         };
         let mut buf = Vec::new();
         snap.encode(&mut buf);
-        assert_eq!(buf.len(), 176, "2 caches x 10 fields + 2 sched fields, u64 each");
+        assert_eq!(buf.len(), 192, "2 caches x 10 fields + 2 sched + 2 exec fields, u64 each");
         let mut slice = buf.as_slice();
         let decoded = StatsSnapshot::decode(&mut slice).unwrap();
         assert_eq!(decoded, snap);
         assert!(slice.is_empty(), "decode consumes exactly the encoding");
         // Truncated input is a decode failure, not a panic.
-        assert!(StatsSnapshot::decode(&mut &buf[..175]).is_none());
+        assert!(StatsSnapshot::decode(&mut &buf[..191]).is_none());
     }
 
     #[test]
@@ -344,23 +395,28 @@ mod tests {
             tries: CacheStats { hits: 5, misses: 2, ..Default::default() },
             plans: CacheStats { hits: 1, ..Default::default() },
             sched: SchedStats { tasks_spawned: 10, tasks_stolen: 2 },
+            exec: ExecTotals { reorders: 3, estimate_busts: 1 },
         };
         let after = StatsSnapshot {
             tries: CacheStats { hits: 9, misses: 2, resident_bytes: 64, ..Default::default() },
             plans: CacheStats { hits: 4, ..Default::default() },
             sched: SchedStats { tasks_spawned: 40, tasks_stolen: 5 },
+            exec: ExecTotals { reorders: 9, estimate_busts: 2 },
         };
         let d = after.delta(&before);
         assert_eq!(d.tries.hits, 4);
         assert_eq!(d.plans.hits, 3);
         assert_eq!(d.tries.resident_bytes, 64, "gauges come from the later snapshot");
         assert_eq!(d.sched, SchedStats { tasks_spawned: 30, tasks_stolen: 3 });
+        assert_eq!(d.exec, ExecTotals { reorders: 6, estimate_busts: 1 });
         let text = after.render_metrics();
         assert!(text.contains("fj_cache_trie_hits 9\n"));
         assert!(text.contains("fj_cache_plan_hits 4\n"));
         assert!(text.contains("fj_sched_tasks_spawned 40\n"));
         assert!(text.contains("fj_sched_tasks_stolen 5\n"));
-        assert_eq!(text.lines().count(), 22);
+        assert!(text.contains("fj_exec_reorders 9\n"));
+        assert!(text.contains("fj_exec_estimate_busts 2\n"));
+        assert_eq!(text.lines().count(), 24);
     }
 
     #[test]

@@ -19,4 +19,6 @@ mod metrics;
 mod profile;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use profile::{NodeAcc, NodeProfile, PipelineProfile, ProfileSheet, QueryProfile};
+pub use profile::{
+    NodeAcc, NodeProfile, PipelineProfile, ProfileSheet, QueryProfile, ESTIMATE_BUST_FACTOR,
+};

@@ -12,6 +12,15 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+/// A plan node's estimate is *bust* when its actual output rows exceed this
+/// factor times the optimizer's prepare-time estimate. One shared constant
+/// so the `EXPLAIN ANALYZE` `!` markers, the `fj_exec_estimate_busts`
+/// counter, and tests all agree on what counts as a bust. The factor is
+/// deliberately loose: cardinality estimates from independence assumptions
+/// are routinely off by 2–3×; a 4× overshoot is the static order having
+/// planned against the wrong distribution.
+pub const ESTIMATE_BUST_FACTOR: f64 = 4.0;
+
 /// One plan node's accumulators. `#[repr(align(64))]` keeps each node's
 /// counters on their own cache line so concurrent workers bumping adjacent
 /// nodes in their private sheets never false-share after a sheet is handed
@@ -155,6 +164,14 @@ impl NodeProfile {
             self.probe_hits as f64 / self.probes as f64
         }
     }
+
+    /// Did this node bust its estimate — actual output rows more than
+    /// [`ESTIMATE_BUST_FACTOR`]× the optimizer's prepare-time estimate?
+    /// Estimates are floored at one row so an "estimated empty" node that
+    /// produced a handful of rows does not flag.
+    pub fn bust(&self) -> bool {
+        self.output_rows as f64 > ESTIMATE_BUST_FACTOR * self.estimated_rows.max(1.0)
+    }
 }
 
 /// One pipeline's per-node profile.
@@ -196,6 +213,14 @@ impl QueryProfile {
             .unwrap_or(0)
     }
 
+    /// Number of nodes whose actuals bust their estimate (see
+    /// [`NodeProfile::bust`]) — what the session folds into the
+    /// `fj_exec_estimate_busts` counter, so the metric reconciles with the
+    /// rendered `!` markers by construction.
+    pub fn estimate_busts(&self) -> u64 {
+        self.pipelines.iter().flat_map(|p| &p.nodes).filter(|n| n.bust()).count() as u64
+    }
+
     /// Render the profile as an indented plan tree annotated with est/actual
     /// rows, probe hit rates and coarse per-node times — the body of
     /// `Session::explain_analyze` output.
@@ -205,9 +230,14 @@ impl QueryProfile {
             writeln!(out, "{}", pipeline.label).expect("write to string");
             for (k, node) in pipeline.nodes.iter().enumerate() {
                 let time_ms = node.wall_nanos as f64 / 1e6;
+                // `!` flags a bust node: the actuals ran away from the
+                // estimate by more than ESTIMATE_BUST_FACTOR — the signal
+                // that the static order planned against the wrong
+                // distribution.
+                let bust = if node.bust() { " !" } else { "" };
                 writeln!(
                     out,
-                    "  node {k}: {}  est={:.1} actual={} expansions={} probes={} \
+                    "  node {k}: {}  est={:.1} actual={}{bust} expansions={} probes={} \
                      hit_rate={:.3} time={time_ms:.3}ms",
                     node.label,
                     node.estimated_rows,
@@ -271,6 +301,28 @@ mod tests {
         let before = total.clone();
         total.merge(&ProfileSheet::disabled());
         assert_eq!(total, before);
+    }
+
+    #[test]
+    fn bust_detection_counts_and_marks() {
+        let bust = NodeProfile { estimated_rows: 10.0, output_rows: 41, ..Default::default() };
+        assert!(bust.bust(), "41 > 4 × 10");
+        let fine = NodeProfile { estimated_rows: 10.0, output_rows: 40, ..Default::default() };
+        assert!(!fine.bust(), "exactly at the factor is not a bust");
+        // The estimate floor: an "estimated empty" node producing a few rows
+        // is not a bust.
+        let floored = NodeProfile { estimated_rows: 0.0, output_rows: 4, ..Default::default() };
+        assert!(!floored.bust());
+        let profile = QueryProfile {
+            pipelines: vec![PipelineProfile {
+                label: "pipeline 0 (final)".into(),
+                nodes: vec![bust, fine, floored],
+            }],
+        };
+        assert_eq!(profile.estimate_busts(), 1);
+        let text = profile.render();
+        assert!(text.contains("actual=41 !"), "{text}");
+        assert!(!text.contains("actual=40 !"), "{text}");
     }
 
     #[test]

@@ -514,6 +514,10 @@ pub struct ExecStats {
     /// Scheduler tasks executed by a worker other than the one that spawned
     /// them (root tasks from the shared injector never count).
     pub tasks_stolen: u64,
+    /// Bindings (or vectorized batches) whose adaptive probe order differed
+    /// from the static plan order. Zero unless the engine runs with adaptive
+    /// cardinality-guided execution enabled.
+    pub reorders: u64,
     /// Expansions processed per worker, indexed by worker id — the load
     /// balance record behind the skew benchmarks. Empty on serial execution.
     pub worker_expansions: Vec<u64>,
@@ -547,6 +551,7 @@ impl ExecStats {
         self.lazy_expansions += other.lazy_expansions;
         self.tasks_spawned += other.tasks_spawned;
         self.tasks_stolen += other.tasks_stolen;
+        self.reorders += other.reorders;
         if self.worker_expansions.len() < other.worker_expansions.len() {
             self.worker_expansions.resize(other.worker_expansions.len(), 0);
         }
@@ -572,7 +577,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "build {:?}, join {:?}, out {} ({} chunks), intermediates {}, probes {} ({} hits), tries {}, lazy {}, tasks {} ({} stolen)",
+            "build {:?}, join {:?}, out {} ({} chunks), intermediates {}, probes {} ({} hits), tries {}, lazy {}, tasks {} ({} stolen), reorders {}",
             self.build_time,
             self.join_time,
             self.output_tuples,
@@ -583,7 +588,8 @@ impl fmt::Display for ExecStats {
             self.tries_built,
             self.lazy_expansions,
             self.tasks_spawned,
-            self.tasks_stolen
+            self.tasks_stolen,
+            self.reorders
         )
     }
 }

@@ -406,7 +406,7 @@ pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<
 mod tests {
     use super::*;
     use crate::metrics::ServerStats;
-    use fj_cache::{CacheStats, SchedStats, StatsSnapshot};
+    use fj_cache::{CacheStats, ExecTotals, SchedStats, StatsSnapshot};
 
     fn round_trip_request(req: Request) {
         let payload = req.encode();
@@ -459,6 +459,7 @@ mod tests {
                 tries: CacheStats { hits: 10, misses: 2, ..Default::default() },
                 plans: CacheStats { hits: 4, ..Default::default() },
                 sched: SchedStats { tasks_spawned: 17, tasks_stolen: 5 },
+                exec: ExecTotals { reorders: 6, estimate_busts: 2 },
             },
             accepted: 12,
             rejected_queue: 1,

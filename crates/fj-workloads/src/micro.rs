@@ -215,6 +215,115 @@ pub fn skewed_star(spokes: usize, rows: usize, hot_share: f64, seed: u64) -> Wor
     )
 }
 
+/// The estimate-bust adversary for adaptive execution: a chain-star query
+///
+/// ```text
+/// Q(x,y,w) :- hub(x,y), anchor(x), mid(y), mid2(y), mid3(y), sel(y,w)
+/// ```
+///
+/// whose per-binding cardinalities are anti-correlated with the static
+/// statistics. The cost-based optimizer orders the probes `anchor, mid,
+/// mid2, mid3, sel` — each `mid*` is duplicate-free with more distinct
+/// `y` values than the accumulated left side, so its estimated join
+/// multiplier is below `sel`'s (whose few hot `y` keys each carry
+/// `sel_fanout` rows). At run time the correlation flips: every `mid*`
+/// matches every binding (each probe is a lookup into a huge hash map
+/// that pays a cache miss per binding) while `sel` rejects everything
+/// except `PLANTED` planted keys from a tiny, cache-resident map. A
+/// static executor probes all three huge `mid*` maps once per binding;
+/// adaptive execution sees `sel`'s smaller construction bound
+/// (`|sel| < |mid| < |mid2| < |mid3|`), probes it first, and skips every
+/// `mid*` lookup for every rejected binding.
+///
+/// `bindings` is the hub row count (rounded up to a multiple of the hub's
+/// x-domain); the `seed` permutes insertion order only, so the instance —
+/// and the query's 16-tuple output — is the same for every seed.
+pub fn skew_flip(bindings: usize, seed: u64) -> Workload {
+    // Hub x-domain: small enough that the anchor map stays cache-resident.
+    let x_domain = (bindings / 32).max(8);
+    let b = bindings.div_ceil(x_domain) * x_domain;
+    // 90% of the x-domain passes the anchor probe.
+    let anchor_rows = (x_domain * 9).div_ceil(10);
+    // Each mid* covers every hub y (plus a dead tail) so its probe always
+    // hits; sel spreads over few hot keys, so |sel| < |mid*| while its
+    // estimated multiplier (rows / few distincts) is the largest of all.
+    // Three always-matching maps triple the probe work a static order
+    // wastes per rejected binding.
+    let mids =
+        [("mid", b + b.div_ceil(20)), ("mid2", b + b.div_ceil(12)), ("mid3", b + b.div_ceil(8))];
+    let sel_fanout = 64;
+    let sel_hot_keys = (b / 64).max(4); // ~1.0 * b rows, all decoys
+    let planted: [usize; PLANTED] = [1, x_domain + 1, 2 * x_domain + 1, 3 * x_domain + 1];
+
+    let mut rng = seeded_rng("skew-flip", seed);
+    let mut catalog = Catalog::new();
+
+    // hub(x, y): y unique per row, x uniform over the domain. A seeded
+    // rotation permutes which x each y lands on without changing the
+    // multiset of (x, y) degrees.
+    let rotation = rng.random_range(0..x_domain as i64);
+    let mut hub = RelationBuilder::new("hub", Schema::all_int(&["x", "y"]));
+    for y in 0..b {
+        let x = if planted.contains(&y) {
+            1 // planted bindings must pass the anchor probe
+        } else {
+            (y as i64 + rotation) % x_domain as i64
+        };
+        hub.push_ints(&[x, y as i64]).unwrap();
+    }
+    catalog.add(hub.finish()).unwrap();
+
+    let mut anchor = RelationBuilder::new("anchor", Schema::all_int(&["x"]));
+    for x in 0..anchor_rows {
+        anchor.push_ints(&[x as i64]).unwrap();
+    }
+    catalog.add(anchor.finish()).unwrap();
+
+    for (name, rows) in mids {
+        let mut mid = RelationBuilder::new(name, Schema::all_int(&["y"]));
+        for y in 0..rows {
+            mid.push_ints(&[y as i64]).unwrap();
+        }
+        catalog.add(mid.finish()).unwrap();
+    }
+
+    // sel(y, w): decoy keys live in a range disjoint from every hub y, so
+    // only the planted keys ever match; 4 w's per planted key -> 16 output
+    // tuples at any scale.
+    let mut sel = RelationBuilder::new("sel", Schema::all_int(&["y", "w"]));
+    for k in 0..sel_hot_keys {
+        let y = (2 * b + k) as i64;
+        for w in 0..sel_fanout {
+            sel.push_ints(&[y, w as i64]).unwrap();
+        }
+    }
+    for (i, &y) in planted.iter().enumerate() {
+        for w in 0..PLANTED {
+            sel.push_ints(&[y as i64, (sel_fanout * (i + 1) + w) as i64]).unwrap();
+        }
+    }
+    catalog.add(sel.finish()).unwrap();
+
+    let query = QueryBuilder::new("skew_flip")
+        .atom("hub", &["x", "y"])
+        .atom("anchor", &["x"])
+        .atom("mid", &["y"])
+        .atom("mid2", &["y"])
+        .atom("mid3", &["y"])
+        .atom("sel", &["y", "w"])
+        .count()
+        .build();
+    Workload::new(
+        format!("skew_flip bindings={b}"),
+        catalog,
+        vec![NamedQuery::new("skew_flip", query)],
+    )
+}
+
+/// Number of planted matches in [`skew_flip`] (each with the same number
+/// of `w` values, so the query returns `PLANTED * PLANTED` tuples).
+pub const PLANTED: usize = 4;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +382,44 @@ mod tests {
             w.catalog.get("hub").unwrap().canonical_rows(),
             w2.catalog.get("hub").unwrap().canonical_rows()
         );
+    }
+
+    #[test]
+    fn skew_flip_shape_and_determinism() {
+        let w = skew_flip(2048, 7);
+        w.validate().unwrap();
+        assert!(!w.queries[0].cyclic, "skew_flip is an acyclic chain-star");
+        assert_eq!(w.queries[0].query.num_atoms(), 6);
+        let b = w.catalog.get("hub").unwrap().num_rows();
+        assert!(b >= 2048, "hub rows round up to a multiple of the x-domain");
+        // The static statistics order the mid* maps before sel (estimated
+        // multiplier), while the construction bounds order sel before every
+        // mid* (row count): |anchor| < b <= |sel| < |mid| < |mid2| < |mid3|.
+        let anchor = w.catalog.get("anchor").unwrap().num_rows();
+        let mid = w.catalog.get("mid").unwrap().num_rows();
+        let mid2 = w.catalog.get("mid2").unwrap().num_rows();
+        let mid3 = w.catalog.get("mid3").unwrap().num_rows();
+        let sel = w.catalog.get("sel").unwrap().num_rows();
+        assert!(anchor < b / 8, "anchor stays tiny: {anchor}");
+        assert!(
+            b <= sel && sel < mid && mid < mid2 && mid2 < mid3,
+            "bound flip requires b <= |sel| < |mid| < |mid2| < |mid3|"
+        );
+        // Planted keys appear in sel with PLANTED w's each.
+        let sel_rows = w.catalog.get("sel").unwrap().canonical_rows();
+        for y in [1, 2048 / 32 + 1] {
+            let hits = sel_rows.iter().filter(|r| r[0] == fj_storage::Value::Int(y as i64)).count();
+            assert_eq!(hits, PLANTED, "planted key {y} carries {PLANTED} w's");
+        }
+        // Same seed, same instance.
+        let w2 = skew_flip(2048, 7);
+        for rel in ["hub", "anchor", "mid", "mid2", "mid3", "sel"] {
+            assert_eq!(
+                w.catalog.get(rel).unwrap().canonical_rows(),
+                w2.catalog.get(rel).unwrap().canonical_rows(),
+                "{rel} must be deterministic for a fixed seed"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct CompiledNode {
     /// variables — the remaining plan is then a Cartesian product of
     /// independent expansions whose size can be computed without enumeration.
     pub independent_tail: bool,
+    /// Prepare-time mask for adaptive execution: does this node offer a real
+    /// per-binding ordering choice (at least two probes, or at least two
+    /// cover candidates)? See [`FreeJoinPlan::reorderable`]. The executor's
+    /// per-binding decision is a branch on this precomputed flag, never a
+    /// replan.
+    pub reorderable: bool,
 }
 
 /// A fully compiled pipeline plan.
@@ -205,6 +211,7 @@ pub fn compile(plan: &FreeJoinPlan, input_vars: &[Vec<String>]) -> EngineResult<
 
         // Cover candidates: subatoms that bind every new variable of the node.
         let cover_candidates = plan.covers(k);
+        let reorderable = plan.reorderable(k);
 
         nodes.push(CompiledNode {
             subatoms,
@@ -212,6 +219,7 @@ pub fn compile(plan: &FreeJoinPlan, input_vars: &[Vec<String>]) -> EngineResult<
             bound_before,
             bound_after,
             independent_tail: false, // filled below
+            reorderable,
         });
     }
 
@@ -313,6 +321,9 @@ mod tests {
         assert_eq!(compiled.binding_order, vec!["x", "y", "z"]);
         // Node 0 joins R(x) and T(x); both are cover candidates.
         assert_eq!(compiled.nodes[0].cover_candidates.len(), 2);
+        // Two cover candidates (and later two probes alongside a cover) give
+        // adaptive execution a real choice at every node of this plan.
+        assert!(compiled.nodes.iter().all(|n| n.reorderable));
         // R's subatoms sit at levels 0 (x) and 1 (y); the y-subatom is final.
         let r_levels: Vec<(usize, bool)> = compiled
             .nodes

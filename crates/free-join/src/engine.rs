@@ -303,6 +303,7 @@ fn absorb_counters(stats: &mut ExecStats, counters: ExecCounters, profile: &mut 
     stats.probe_hits += counters.probe_hits;
     stats.tasks_spawned += counters.tasks_spawned;
     stats.tasks_stolen += counters.tasks_stolen;
+    stats.reorders += counters.reorders;
     if stats.worker_expansions.len() < counters.worker_expansions.len() {
         stats.worker_expansions.resize(counters.worker_expansions.len(), 0);
     }

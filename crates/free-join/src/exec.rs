@@ -14,6 +14,17 @@
 //! * **Factorized output** (Section 4.4): when the remaining nodes are
 //!   independent expansions and the sink only needs counts, multiply subtree
 //!   sizes instead of enumerating the Cartesian product.
+//! * **Adaptive cardinality-guided execution** (`FreeJoinOptions::adaptive`,
+//!   off by default): the compiled plan no longer has the last word on the
+//!   probe order. At every node marked reorderable at prepare time, each
+//!   binding re-ranks the cover candidates and the remaining probes by the
+//!   O(1) construction-fixed bound of each subatom's *current* trie position
+//!   ([`TrieNode::key_bound`]) — smallest first, plan order as the
+//!   tie-break — so a miss on a tiny per-binding sub-trie skips (and never
+//!   lazily forces) a huge one. Bounds are fixed when tries are built, so
+//!   the decisions, results and counters are identical at any thread count
+//!   and steal schedule. When off, the static path runs exactly the legacy
+//!   loop behind one precomputed per-node mask check.
 //!
 //! Bag semantics are handled with a running weight: when an input's final
 //! subatom is probed (rather than iterated), the probe result stands for all
@@ -72,7 +83,7 @@
 //! race-free. The serial path (`num_threads == 1`) runs the identical
 //! single-threaded algorithm with one sink and one chunk buffer.
 
-use crate::compile::{CompiledNode, CompiledPlan, IterAction};
+use crate::compile::{CompiledNode, CompiledPlan, CompiledSubatom, IterAction};
 use crate::options::FreeJoinOptions;
 use crate::sink::{ChunkBuffer, Sink};
 use crate::trie::{InputTrie, TrieNode};
@@ -102,6 +113,13 @@ pub struct ExecCounters {
     pub tasks_stolen: u64,
     /// `expansions` broken down by worker id. Empty on the serial path.
     pub worker_expansions: Vec<u64>,
+    /// Cover-entry bindings whose adaptive probe order differed from the
+    /// static plan order (the vectorized path ranks once per flush and
+    /// charges the whole batch). Zero unless `FreeJoinOptions::adaptive` is
+    /// set; deterministic — each binding is processed exactly once and the
+    /// ranking depends only on construction-fixed trie bounds, so the count
+    /// is identical at any thread count or steal schedule.
+    pub reorders: u64,
     /// Per-plan-node profile accumulators; disabled (empty, no allocation)
     /// unless `FreeJoinOptions::profile` is set.
     pub profile: ProfileSheet,
@@ -115,6 +133,7 @@ impl ExecCounters {
         self.expansions += other.expansions;
         self.tasks_spawned += other.tasks_spawned;
         self.tasks_stolen += other.tasks_stolen;
+        self.reorders += other.reorders;
         self.profile.merge(&other.profile);
         if self.worker_expansions.len() < other.worker_expansions.len() {
             self.worker_expansions.resize(other.worker_expansions.len(), 0);
@@ -153,6 +172,11 @@ struct NodeScratch {
     children: Vec<Option<Arc<TrieNode>>>,
     /// Number of entries currently buffered.
     count: usize,
+    /// Probe order for this node's non-cover subatoms (subatom indices).
+    /// The vectorized path fills it every flush (plan order unless adaptive
+    /// reordering kicks in); the scalar path touches it only under adaptive
+    /// execution.
+    probe_order: Vec<usize>,
 }
 
 /// Execute a compiled pipeline over its input tries, sending results to the
@@ -652,6 +676,7 @@ where
                 all.probe_hits += counters.probe_hits;
                 all.tasks_stolen += counters.tasks_stolen;
                 all.expansions += counters.expansions;
+                all.reorders += counters.reorders;
                 all.profile.merge(&counters.profile);
                 if all.worker_expansions.len() < num_threads {
                     all.worker_expansions.resize(num_threads, 0);
@@ -840,6 +865,19 @@ fn select_cover(
     current: &[Arc<TrieNode>],
     options: &FreeJoinOptions,
 ) -> usize {
+    // Adaptive execution ranks candidates by the construction-fixed bound of
+    // their current trie position — unlike `estimated_keys` this never
+    // depends on which levels other workers have already forced, so the
+    // choice (and everything downstream of it) is schedule-independent.
+    // Stable min: the static plan order breaks ties.
+    if options.adaptive && node.reorderable && node.cover_candidates.len() > 1 {
+        return node
+            .cover_candidates
+            .iter()
+            .copied()
+            .min_by_key(|&i| current[node.subatoms[i].input].key_bound())
+            .expect("valid plans have at least one cover");
+    }
     if options.dynamic_cover && node.cover_candidates.len() > 1 {
         node.cover_candidates
             .iter()
@@ -1177,6 +1215,70 @@ fn emit_product(
     }
 }
 
+/// Fill `order` with the node's non-cover subatom indices ranked for
+/// adaptive probing: ascending by the construction-fixed key bound of each
+/// subatom's current trie position, stable so the plan order breaks ties.
+/// Returns whether the result differs from plan order (the caller charges
+/// `reorders` per binding it applies the order to). O(1) per candidate —
+/// `key_bound` is fixed at trie construction, which is also what makes the
+/// ranking identical at any thread count or steal schedule.
+fn order_probes(
+    node: &CompiledNode,
+    cover_idx: usize,
+    current: &[Arc<TrieNode>],
+    order: &mut Vec<usize>,
+) -> bool {
+    order.clear();
+    order.extend((0..node.subatoms.len()).filter(|&j| j != cover_idx));
+    order.sort_by_key(|&j| current[node.subatoms[j].input].key_bound());
+    order.windows(2).any(|w| w[0] > w[1])
+}
+
+/// Probe one non-cover subatom for the current binding: build the key from
+/// the bound tuple slots, look it up, and either fold the weight (final
+/// level) or descend `current` (saving the old position in `mine.saved`).
+/// Returns `false` on a miss. Shared by the static and adaptive scalar
+/// probe loops of [`process_cover_entry`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn probe_one_subatom(
+    tries: &[Arc<InputTrie>],
+    node_idx: usize,
+    sub: &CompiledSubatom,
+    tuple: &[Value],
+    current: &mut [Arc<TrieNode>],
+    mine: &mut NodeScratch,
+    local_weight: &mut u64,
+    counters: &mut ExecCounters,
+) -> bool {
+    counters.probes += 1;
+    match probe_subatom(
+        &tries[sub.input],
+        &current[sub.input],
+        sub.level,
+        &sub.key_slots,
+        &mut mine.spill_key,
+        |s| tuple[s],
+    ) {
+        Some(child_node) => {
+            counters.probe_hits += 1;
+            counters.profile.add_probe(node_idx, true);
+            if sub.final_for_input {
+                *local_weight =
+                    local_weight.saturating_mul(tries[sub.input].tuple_count(&child_node));
+            } else {
+                mine.saved
+                    .push((sub.input, std::mem::replace(&mut current[sub.input], child_node)));
+            }
+            true
+        }
+        None => {
+            counters.profile.add_probe(node_idx, false);
+            false
+        }
+    }
+}
+
 /// Apply the cover's iteration actions to the tuple buffer. Returns `false`
 /// when a `Check` action fails (the iterated key re-binds an already-bound
 /// variable to a different value).
@@ -1240,35 +1342,46 @@ fn process_cover_entry(
         mine.saved.push((cover.input, std::mem::replace(&mut current[cover.input], c)));
     }
 
-    // Probe the other subatoms in plan order, building each key in place
-    // from the tuple slots.
+    // Probe the other subatoms, building each key in place from the tuple
+    // slots — in plan order on the static path, smallest current bound first
+    // under adaptive execution (one mask check decides; with two subatoms
+    // there is a single probe and nothing to reorder).
     let mut all_matched = true;
-    for (j, sub) in node.subatoms.iter().enumerate() {
-        if j == cover_idx {
-            continue;
+    if options.adaptive && node.reorderable && node.subatoms.len() > 2 {
+        if order_probes(node, cover_idx, current, &mut mine.probe_order) {
+            counters.reorders += 1;
         }
-        counters.probes += 1;
-        match probe_subatom(
-            &tries[sub.input],
-            &current[sub.input],
-            sub.level,
-            &sub.key_slots,
-            &mut mine.spill_key,
-            |s| tuple[s],
-        ) {
-            Some(child_node) => {
-                counters.probe_hits += 1;
-                counters.profile.add_probe(node_idx, true);
-                if sub.final_for_input {
-                    local_weight =
-                        local_weight.saturating_mul(tries[sub.input].tuple_count(&child_node));
-                } else {
-                    mine.saved
-                        .push((sub.input, std::mem::replace(&mut current[sub.input], child_node)));
-                }
+        for t in 0..node.subatoms.len() - 1 {
+            let j = mine.probe_order[t];
+            if !probe_one_subatom(
+                tries,
+                node_idx,
+                &node.subatoms[j],
+                tuple,
+                current,
+                mine,
+                &mut local_weight,
+                counters,
+            ) {
+                all_matched = false;
+                break;
             }
-            None => {
-                counters.profile.add_probe(node_idx, false);
+        }
+    } else {
+        for (j, sub) in node.subatoms.iter().enumerate() {
+            if j == cover_idx {
+                continue;
+            }
+            if !probe_one_subatom(
+                tries,
+                node_idx,
+                sub,
+                tuple,
+                current,
+                mine,
+                &mut local_weight,
+                counters,
+            ) {
                 all_matched = false;
                 break;
             }
@@ -1467,13 +1580,24 @@ fn flush_batch(
     // Probe phase: one pass over the batch per probed relation, giving the
     // temporal locality the paper's vectorization targets. Each entry's key
     // is built in place from the already-bound tuple slots and the batch's
-    // write buffer.
+    // write buffer. The probed inputs' trie positions are fixed across the
+    // batch (only the cover varies per entry), so under adaptive execution
+    // the passes run smallest current bound first — one O(#subatoms) ranking
+    // per flush, amortized over up to `batch_size` probes, and every entry
+    // sees the same per-binding order the scalar path would use.
     {
-        let NodeScratch { spill_key, writes, weights, alive, children, count, .. } = &mut *mine;
-        for (j, sub) in node.subatoms.iter().enumerate() {
-            if j == cover_idx {
-                continue;
+        let NodeScratch { spill_key, writes, weights, alive, children, count, probe_order, .. } =
+            &mut *mine;
+        if options.adaptive && node.reorderable && node.subatoms.len() > 2 {
+            if order_probes(node, cover_idx, current, probe_order) {
+                counters.reorders += *count as u64;
             }
+        } else {
+            probe_order.clear();
+            probe_order.extend((0..node.subatoms.len()).filter(|&j| j != cover_idx));
+        }
+        for &j in probe_order.iter() {
+            let sub = &node.subatoms[j];
             let trie = &tries[sub.input];
             let base = current[sub.input].clone();
             for e in 0..*count {

@@ -78,6 +78,19 @@ pub struct FreeJoinOptions {
     /// hot path. Enabled runs stay within a few percent of unprofiled wall
     /// time (the bench suite's `profile_overhead_pct` column pins this).
     pub profile: bool,
+    /// Adaptive cardinality-guided execution: at every plan node with at
+    /// least two remaining subatoms, pick the next subatom to expand by its
+    /// O(1) construction-fixed trie bound ([`crate::trie::TrieNode::key_bound`])
+    /// instead of trusting the static plan order — the cover with the
+    /// smallest bound is iterated, and the remaining probes run
+    /// smallest-bound-first so a miss on a tiny subatom skips (and never
+    /// lazily forces) a huge one. The static order is the tie-break and the
+    /// fallback for non-reorderable nodes. Decisions depend only on trie
+    /// sizes fixed at construction, so results are identical to the static
+    /// order at any thread count or steal schedule. Off by default: the
+    /// static path stays exact-legacy, guarded by one precomputed per-node
+    /// mask check.
+    pub adaptive: bool,
 }
 
 impl Default for FreeJoinOptions {
@@ -93,6 +106,7 @@ impl Default for FreeJoinOptions {
             steal: true,
             split_threshold: 1024,
             profile: false,
+            adaptive: false,
         }
     }
 }
@@ -113,6 +127,7 @@ impl FreeJoinOptions {
             steal: true,
             split_threshold: 1024,
             profile: false,
+            adaptive: false,
         }
     }
 
@@ -167,6 +182,13 @@ impl FreeJoinOptions {
         self
     }
 
+    /// Builder-style setter for adaptive cardinality-guided execution
+    /// (per-binding subatom reordering by deterministic trie bounds).
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
     /// Is vectorization enabled?
     pub fn vectorized(&self) -> bool {
         self.batch_size > 1
@@ -202,6 +224,8 @@ mod tests {
         assert!(o.steal, "work stealing is on by default");
         assert_eq!(o.split_threshold, 1024);
         assert!(!o.profile, "profiling is opt-in");
+        assert!(!o.adaptive, "adaptive execution is opt-in");
+        assert!(o.with_adaptive(true).adaptive);
     }
 
     #[test]

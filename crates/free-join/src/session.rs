@@ -149,6 +149,12 @@ pub struct EngineCaches {
     /// the same scope the cache counters already have).
     sched_spawned: AtomicU64,
     sched_stolen: AtomicU64,
+    /// Adaptive-execution counters, same scope: probe reorders performed by
+    /// the adaptive executor (every execution), and plan nodes whose
+    /// profiled actuals bust their prepare-time estimate (profiled
+    /// executions — actuals exist only when a profile is collected).
+    exec_reorders: AtomicU64,
+    exec_estimate_busts: AtomicU64,
 }
 
 /// Snapshot of both caches' statistics, as returned by
@@ -165,6 +171,8 @@ impl EngineCaches {
             plans: PlanCache::new(plan_capacity),
             sched_spawned: AtomicU64::new(0),
             sched_stolen: AtomicU64::new(0),
+            exec_reorders: AtomicU64::new(0),
+            exec_estimate_busts: AtomicU64::new(0),
         }
     }
 
@@ -207,7 +215,20 @@ impl EngineCaches {
         }
     }
 
-    /// Statistics for both caches plus the accumulated scheduler counters.
+    /// Fold one execution's adaptive-execution counters into the process
+    /// totals: probe reorders after every execution, estimate busts after
+    /// profiled executions (the only runs with per-node actuals to compare).
+    pub fn record_exec(&self, reorders: u64, estimate_busts: u64) {
+        if reorders > 0 {
+            self.exec_reorders.fetch_add(reorders, Ordering::Relaxed);
+        }
+        if estimate_busts > 0 {
+            self.exec_estimate_busts.fetch_add(estimate_busts, Ordering::Relaxed);
+        }
+    }
+
+    /// Statistics for both caches plus the accumulated scheduler and
+    /// adaptive-execution counters.
     pub fn stats(&self) -> SessionCacheStats {
         SessionCacheStats {
             tries: self.tries.stats(),
@@ -215,6 +236,10 @@ impl EngineCaches {
             sched: fj_cache::SchedStats {
                 tasks_spawned: self.sched_spawned.load(Ordering::Relaxed),
                 tasks_stolen: self.sched_stolen.load(Ordering::Relaxed),
+            },
+            exec: fj_cache::ExecTotals {
+                reorders: self.exec_reorders.load(Ordering::Relaxed),
+                estimate_busts: self.exec_estimate_busts.load(Ordering::Relaxed),
             },
         }
     }
@@ -362,12 +387,15 @@ impl Session {
         out.push_str(&profile.render());
         let _ = writeln!(
             out,
-            "totals: output_rows={} probes={} probe_hits={} tries_built={} lazy_expansions={}",
+            "totals: output_rows={} probes={} probe_hits={} tries_built={} lazy_expansions={} \
+             reorders={} estimate_busts={}",
             output.cardinality(),
             stats.probes,
             stats.probe_hits,
             stats.tries_built,
             stats.lazy_expansions,
+            stats.reorders,
+            profile.estimate_busts(),
         );
         Ok(out)
     }
@@ -466,6 +494,10 @@ impl Prepared {
         let mut sheets = Vec::with_capacity(self.plan.compiled.pipelines.len());
         let (output, stats) = self.execute_inner(catalog, params, &options, Some(&mut sheets))?;
         let profile = self.assemble_profile(&sheets);
+        // This run has per-node actuals: count the nodes that bust their
+        // prepare-time estimate (the same predicate behind the rendered `!`
+        // markers, so the counter reconciles with EXPLAIN ANALYZE output).
+        self.caches.record_exec(0, profile.estimate_busts());
         Ok((output, stats, profile))
     }
 
@@ -566,6 +598,7 @@ impl Prepared {
         let output = output.expect("the final pipeline produces the output");
         stats.output_tuples = output.cardinality();
         self.caches.record_sched(stats.tasks_spawned, stats.tasks_stolen);
+        self.caches.record_exec(stats.reorders, 0);
         Ok((output, stats))
     }
 

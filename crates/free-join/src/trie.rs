@@ -100,16 +100,32 @@ pub struct TrieNode {
     raw: RawRows,
     /// The forced hash-map level, built lazily at most once.
     forced: OnceLock<LevelMap>,
+    /// Deterministic O(1) cardinality bound, fixed at construction: the
+    /// number of rows below this node (or the distinct-key count for
+    /// eagerly built map nodes, which own no offsets). Unlike
+    /// [`InputTrie::estimated_keys`], this never changes when the node is
+    /// lazily forced, so decisions keyed on it are identical at any thread
+    /// count or steal schedule — the property adaptive subatom reordering
+    /// relies on.
+    bound: usize,
 }
 
 impl TrieNode {
-    fn new(raw: RawRows) -> Arc<Self> {
-        Arc::new(TrieNode { raw, forced: OnceLock::new() })
+    fn new(raw: RawRows, bound: usize) -> Arc<Self> {
+        Arc::new(TrieNode { raw, forced: OnceLock::new(), bound })
     }
 
     /// Is this node currently a hash map?
     pub fn is_map(&self) -> bool {
         self.forced.get().is_some()
+    }
+
+    /// The construction-fixed cardinality bound: an O(1) upper bound on the
+    /// distinct keys below this node (row count for unforced nodes, map size
+    /// for eagerly built levels). Deterministic — independent of whether or
+    /// when the node was lazily forced.
+    pub fn key_bound(&self) -> usize {
+        self.bound
     }
 
     /// View the node payload (the forced map if one exists, the raw rows
@@ -178,7 +194,7 @@ impl InputTrie {
             relation: Arc::clone(&input.relation),
             schema,
             level_cols,
-            root: TrieNode::new(RawRows::AllRows),
+            root: TrieNode::new(RawRows::AllRows, input.relation.num_rows()),
             maps_built: AtomicU64::new(0),
             lazy_built: AtomicU64::new(0),
         };
@@ -266,8 +282,12 @@ impl InputTrie {
     }
 
     /// An estimate of the number of keys at a node, used for dynamic cover
-    /// selection: exact for forced nodes, the tuple count otherwise (the
-    /// paper: "we use the length of the vector as an estimate").
+    /// selection and split-threshold checks: exact for forced nodes, the
+    /// tuple count otherwise (the paper: "we use the length of the vector as
+    /// an estimate"). O(1) for every strategy, but the answer *changes* when
+    /// a lazy node is forced — schedule-dependent under parallel execution.
+    /// Adaptive reordering therefore uses [`TrieNode::key_bound`] instead,
+    /// which is fixed at construction.
     pub fn estimated_keys(&self, node: &TrieNode) -> usize {
         match node.data() {
             NodeData::AllRows => self.relation.num_rows(),
@@ -361,7 +381,10 @@ impl InputTrie {
     fn build_level_map(&self, node: &TrieNode, level: usize) -> LevelMap {
         self.group_rows(&node.raw, level)
             .into_iter()
-            .map(|(k, offsets)| (k, TrieNode::new(RawRows::Offsets(offsets))))
+            .map(|(k, offsets)| {
+                let bound = offsets.len();
+                (k, TrieNode::new(RawRows::Offsets(offsets), bound))
+            })
             .collect()
     }
 
@@ -372,7 +395,11 @@ impl InputTrie {
     /// keep their offsets — those are the GHT leaves.
     fn build_eager(&self, rows: RawRows, level: usize) -> Arc<TrieNode> {
         if self.is_last_level(level) {
-            return TrieNode::new(rows);
+            let bound = match &rows {
+                RawRows::AllRows => self.relation.num_rows(),
+                RawRows::Offsets(v) => v.len(),
+            };
+            return TrieNode::new(rows, bound);
         }
         let map: LevelMap = self
             .group_rows(&rows, level)
@@ -380,7 +407,8 @@ impl InputTrie {
             .map(|(k, offsets)| (k, self.build_eager(RawRows::Offsets(offsets), level + 1)))
             .collect();
         self.maps_built.fetch_add(1, Ordering::Relaxed);
-        Arc::new(TrieNode { raw: RawRows::Offsets(Vec::new()), forced: OnceLock::from(map) })
+        let bound = map.len();
+        Arc::new(TrieNode { raw: RawRows::Offsets(Vec::new()), forced: OnceLock::from(map), bound })
     }
 
     /// Force a node at `level` into a hash map, returning the map (no-op if
@@ -723,6 +751,38 @@ mod tests {
         // Keys wider than the inline arity spill (and still round-trip).
         let wide = LevelKey::from_values(&[Value::Int(1), Value::Int(2), Value::Int(3)]);
         assert!(!wide.is_inline());
+    }
+
+    #[test]
+    fn key_bound_is_fixed_at_construction_across_strategies() {
+        let input = clover_s_input();
+        // COLT: the bound is the row count everywhere and — unlike
+        // `estimated_keys` — does not shrink when a node is lazily forced.
+        let colt = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Colt);
+        let root = colt.root();
+        assert_eq!(root.key_bound(), 7);
+        assert_eq!(colt.estimated_keys(&root), 7);
+        let x2 = colt.get(&root, 0, &[Value::Int(2)]).unwrap();
+        assert_eq!(x2.key_bound(), 3);
+        colt.force(&x2, 1, true);
+        assert_eq!(x2.key_bound(), 3, "forcing must not change the bound");
+        assert_eq!(colt.estimated_keys(&x2), 3);
+        // Root after forcing: estimated_keys becomes the distinct count (3)
+        // while the bound stays at the construction-time row count (7).
+        assert_eq!(colt.estimated_keys(&root), 3);
+        assert_eq!(root.key_bound(), 7);
+
+        // SLT: the pre-forced root still reports its construction bound.
+        let slt = InputTrie::build(&input, schema(&[&["x"], &["b"]]), TrieStrategy::Slt);
+        assert_eq!(slt.root().key_bound(), 7);
+
+        // Simple: eagerly built map nodes report their distinct-key count,
+        // leaves their row count.
+        let simple = InputTrie::build(&input, schema(&[&["x"], &["b"], &[]]), TrieStrategy::Simple);
+        let root = simple.root();
+        assert_eq!(root.key_bound(), 3, "eager root bound is the distinct x count");
+        let x3 = simple.get(&root, 0, &[Value::Int(3)]).unwrap();
+        assert_eq!(x3.key_bound(), 3, "eager inner bound is its distinct b count");
     }
 
     #[test]

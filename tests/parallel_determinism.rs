@@ -116,6 +116,22 @@ fn star_parallel_matches_serial() {
     check_workload(&micro::star(3, 150, 30, 0.6, 19));
 }
 
+/// Adaptive execution decides probe order from construction-fixed bounds,
+/// so serial and parallel runs must stay identical with it on — including
+/// on skew_flip, the workload where adaptive decisions actually differ
+/// from the static order, across {simple, slt, colt} × {2, 4, 8} threads
+/// and steal on/off.
+#[test]
+fn adaptive_parallel_matches_serial() {
+    for w in [micro::skew_flip(4096, 13), micro::clover(60), micro::skewed_star(2, 60, 0.9, 23)] {
+        for steal in [true, false] {
+            check_workload_configured(&w, &[2, 4, 8], |o| {
+                o.with_adaptive(true).with_steal(steal).with_split_threshold(32)
+            });
+        }
+    }
+}
+
 /// Materialized (row-producing) queries exercise the ordered per-task sink
 /// merge; counts alone would hide ordering bugs in the merge.
 #[test]
@@ -168,6 +184,11 @@ fn forced_split_stress_matches_serial() {
     check_workload_configured(&micro::skewed_star(2, 40, 0.9, 31), &threads, tiny);
     check_workload_configured(&micro::clover(40), &threads, tiny);
     check_workload_configured(&micro::skewed_triangle(80, 4, 1.0, 17), &threads, tiny);
+    // Adaptive probe reordering under maximal steal interleavings: the
+    // bound-driven decisions must survive any task split schedule.
+    let tiny_adaptive = |o: FreeJoinOptions| o.with_split_threshold(2).with_adaptive(true);
+    check_workload_configured(&micro::skew_flip(2048, 17), &threads, tiny_adaptive);
+    check_workload_configured(&micro::skewed_star(2, 40, 0.9, 31), &threads, tiny_adaptive);
     // Materialized rows under forced splitting exercise the task-tree sink
     // merge hardest: every split changes which sink holds which rows.
     let clover = micro::clover(40);
