@@ -166,6 +166,47 @@ def check_profile_overhead_column(doc, path, errors):
         errors.append(f"{path}: no designated profile-overhead row (clover/colt/1/none)")
 
 
+def check_trace_overhead_column(doc, path, errors):
+    """schema_version 9: every row carries trace_overhead_pct — the warm
+    wall-time cost of span tracing (FreeJoinOptions::trace via
+    Prepared::execute_traced), measured with the same burst-robust paired
+    estimator as profile_overhead_pct. Exactly the designated rows
+    (clover / colt / serial / uncached) measure it and must stay under 5%;
+    every other row carries 0.0. A breach means the tracer's per-event push
+    path got expensive — fix the regression, don't raise the bound. (The
+    trace-off path is pinned separately: the counting-allocator test in
+    tests/trace_invariants.rs requires it to allocate nothing at all.)"""
+    measured = 0
+    for i, r in enumerate(doc["results"]):
+        if "trace_overhead_pct" not in r:
+            errors.append(f"{path}: row {i} is missing the trace_overhead_pct column")
+            continue
+        pct = r["trace_overhead_pct"]
+        if not isinstance(pct, (int, float)) or isinstance(pct, bool) or pct < 0:
+            errors.append(f"{path}: row {i} has implausible trace_overhead_pct={pct!r}")
+            continue
+        designated = (
+            r["query"].startswith("clover")
+            and r["strategy"] == "colt"
+            and r["threads"] == 1
+            and r["cache"] == "none"
+        )
+        if designated:
+            measured += 1
+            if pct >= 5.0:
+                errors.append(
+                    f"{path}: row {i} ({r['query']}) tracing overhead {pct}% >= 5% — "
+                    f"span tracing must stay cheap when on"
+                )
+        elif pct != 0:
+            errors.append(
+                f"{path}: row {i} ({r['query']}/{r['strategy']}/{r['cache']}) is not the "
+                f"designated overhead row but carries trace_overhead_pct={pct}"
+            )
+    if measured == 0:
+        errors.append(f"{path}: no designated trace-overhead row (clover/colt/1/none)")
+
+
 def check_serving_columns(doc, path, errors):
     """schema_version 4: every row carries serve_p50_us/serve_p99_us; the
     cache="serve" rows (real loopback TCP) must report sane nonzero
@@ -202,12 +243,12 @@ def main():
             f"schema_version drifted: committed {a['schema_version']} vs fresh "
             f"{b['schema_version']} — regenerate the committed BENCH_micro.json"
         )
-    if a["schema_version"] < 8:
+    if a["schema_version"] < 9:
         errors.append(
-            f"schema_version {a['schema_version']} < 8: the serving latency columns "
+            f"schema_version {a['schema_version']} < 9: the serving latency columns "
             f"(serve_p50_us/serve_p99_us), the tuples_per_sec throughput column, the "
-            f"skew column, the profile_overhead_pct column and the exec column are "
-            f"required"
+            f"skew column, the profile_overhead_pct and trace_overhead_pct columns "
+            f"and the exec column are required"
         )
     else:
         check_serving_columns(a, committed, errors)
@@ -218,6 +259,8 @@ def main():
         check_skew_column(b, fresh, errors)
         check_profile_overhead_column(a, committed, errors)
         check_profile_overhead_column(b, fresh, errors)
+        check_trace_overhead_column(a, committed, errors)
+        check_trace_overhead_column(b, fresh, errors)
         check_exec_column(a, committed, errors)
         check_exec_column(b, fresh, errors)
     if len(a["results"]) != len(b["results"]):

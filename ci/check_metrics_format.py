@@ -37,7 +37,10 @@ LINE = re.compile(
 REQUIRED_SERIES = [
     "fj_serve_requests_served",
     "fj_serve_accepted_connections",
-    "fj_serve_slow_queries",
+    "fj_serve_slow_queries_total",
+    "fj_serve_uptime_seconds",
+    "fj_obs_trace_events_dropped_total",
+    "fj_build_info",
     "fj_cache_trie_hits",
     "fj_cache_plan_misses",
     "fj_sched_tasks_spawned",
@@ -100,7 +103,11 @@ def main() -> int:
             counts[name[: -len("_count")]] = value
 
     for required in REQUIRED_SERIES:
-        if required not in seen:
+        # Labeled series (e.g. fj_build_info{version="..."}) match on the
+        # bare metric name; unlabeled ones match the series key exactly.
+        if required not in seen and not any(
+            s.startswith(required + "{") for s in seen
+        ):
             errors.append(f"missing required series: {required}")
 
     if not buckets:

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON export from `QueryTrace::to_chrome_json`.
+
+Usage: check_trace_format.py <file.json>
+
+<file.json> is what `examples/trace_query.rs` writes (skewed star, 4
+workers, stealing on). Checks, each a hard failure:
+
+  * the file parses as JSON: one object with a `traceEvents` array;
+  * every event carries `name`, `cat`, `ph` in {B, E, i}, a numeric `ts`,
+    and integer `pid`/`tid`;
+  * per tid, timestamps are monotonically non-decreasing in array order
+    (each ring records one thread's events in push order);
+  * per tid, B/E events balance and nest properly: every E closes the
+    most recent open B of the same category, and nothing stays open;
+  * the required categories are all present — `query`, `pipeline`,
+    `trie_fetch`, `node`, `task` — with exactly one query B/E pair;
+  * at least one `steal` instant is present (the example loops executions
+    until steals land on >= 2 distinct workers, so a steal-free file
+    means the emission sites rotted), and steal events are instants.
+"""
+
+import json
+import sys
+
+REQUIRED_CATS = ["query", "pipeline", "trie_fetch", "node", "task", "steal"]
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <trace.json>")
+    errors = []
+    with open(sys.argv[1], encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"FAIL: not parseable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        sys.exit("FAIL: top level is not an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        sys.exit("FAIL: traceEvents is not a non-empty array")
+
+    last_ts = {}  # tid -> last timestamp seen
+    stacks = {}  # tid -> open-span category stack
+    cats = set()
+    steal_tids = set()
+    query_begins = 0
+
+    for i, ev in enumerate(events):
+        missing = [k for k in ("name", "cat", "ph", "ts", "pid", "tid") if k not in ev]
+        if missing:
+            errors.append(f"event {i}: missing fields {missing}: {ev}")
+            continue
+        cat, ph, ts, tid = ev["cat"], ev["ph"], ev["ts"], ev["tid"]
+        if ph not in ("B", "E", "i"):
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if not isinstance(tid, int) or not isinstance(ev["pid"], int):
+            errors.append(f"event {i}: non-integer pid/tid: {ev}")
+            continue
+        cats.add(cat)
+        if tid in last_ts and ts < last_ts[tid]:
+            errors.append(
+                f"event {i}: ts regressed on tid {tid}: {ts} < {last_ts[tid]}"
+            )
+        last_ts[tid] = ts
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(cat)
+            if cat == "query":
+                query_begins += 1
+        elif ph == "E":
+            if not stack:
+                errors.append(f"event {i}: E with no open span on tid {tid}: {ev}")
+            elif stack[-1] != cat:
+                errors.append(
+                    f"event {i}: E closes {cat!r} but {stack[-1]!r} is open on tid {tid}"
+                )
+            else:
+                stack.pop()
+        elif cat == "steal":
+            steal_tids.add(tid)
+
+    for tid, stack in stacks.items():
+        if stack:
+            errors.append(f"tid {tid}: unclosed spans at end of trace: {stack}")
+
+    for cat in REQUIRED_CATS:
+        if cat not in cats:
+            errors.append(f"missing required category: {cat}")
+    if query_begins != 1:
+        errors.append(f"expected exactly one query span, found {query_begins}")
+    if "steal" in cats and not steal_tids:
+        errors.append("steal events present but none are instants")
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {len(events)} events, {len(last_ts)} threads, "
+        f"{len(cats)} categories, steals on workers {sorted(steal_tids)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,16 +58,26 @@
 //! (the adversary whose per-binding cardinalities are anti-correlated with
 //! the static stats), `star_hotkey`, and clover; CI's schema gate requires
 //! adaptive ≥ 20% faster than static on `skew_flip` and < 5% slower on
-//! clover. The JSON is written by hand — the workspace's offline `serde`
-//! stand-in does not serialize — and the schema is deliberately flat:
+//! clover.
+//!
+//! Since schema_version 9 every row carries `trace_overhead_pct` — the
+//! warm wall-time cost of running with span tracing on
+//! (`FreeJoinOptions::trace`, via `Prepared::execute_traced`), measured
+//! with the same burst-robust paired estimator as `profile_overhead_pct`
+//! on the clover COLT serial row and `0.0` everywhere else. CI's schema
+//! gate fails at ≥ 5%, pinning the tracer's cheap-when-on contract (its
+//! off-cost is pinned separately, by the counting-allocator test in
+//! `tests/trace_invariants.rs`). The JSON is written by hand — the
+//! workspace's offline `serde` stand-in does not serialize — and the
+//! schema is deliberately flat:
 //!
 //! ```json
-//! {"schema_version":8,"cores":8,"note":"...","results":[
+//! {"schema_version":9,"cores":8,"note":"...","results":[
 //!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
 //!    "exec":"static","trie_hits":0,"trie_misses":0,"wall_ms":12.34,
 //!    "build_ms":1.20,"probe_ms":10.80,"output_tuples":1,
 //!    "tuples_per_sec":92,"serve_p50_us":0,"serve_p99_us":0,"skew":0.00,
-//!    "profile_overhead_pct":1.40}
+//!    "profile_overhead_pct":1.40,"trace_overhead_pct":1.10}
 //! ]}
 //! ```
 
@@ -113,6 +123,9 @@ struct Record {
     /// Warm wall-time overhead of per-node profiling, percent; measured on
     /// the clover COLT serial row only, `0.0` everywhere else.
     profile_overhead_pct: f64,
+    /// Warm wall-time overhead of span tracing, percent; measured on the
+    /// clover COLT serial row only, `0.0` everywhere else.
+    trace_overhead_pct: f64,
 }
 
 impl Record {
@@ -169,6 +182,7 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
         serve_p99_us: 0,
         skew: 0.0,
         profile_overhead_pct: 0.0,
+        trace_overhead_pct: 0.0,
     }
 }
 
@@ -226,6 +240,7 @@ fn measure_serving(
         serve_p99_us: 0,
         skew: 0.0,
         profile_overhead_pct: 0.0,
+        trace_overhead_pct: 0.0,
     };
     (
         make(
@@ -286,6 +301,51 @@ fn profile_overhead_pct(workload: &Workload) -> f64 {
     overhead.max(0.0)
 }
 
+/// Warm traced-vs-untraced overhead (schema_version 9): the same
+/// burst-robust paired estimator as [`profile_overhead_pct`], with the
+/// span-tracing path (`Prepared::execute_traced`) on the measured side.
+/// This prices tracing when it is *on* — every task/steal/split and trie
+/// fetch pushing a POD event into a bounded per-worker ring — while the
+/// off-cost (exactly zero allocations) is pinned by the counting-allocator
+/// test in `tests/trace_invariants.rs`.
+fn trace_overhead_pct(workload: &Workload) -> f64 {
+    const BATCH: usize = 200;
+    const ROUNDS: usize = 14;
+    let session = Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(1));
+    let named = &workload.queries[0];
+    let prepared = session.prepare(&workload.catalog, &named.query).expect("overhead prepares");
+    for _ in 0..5 {
+        prepared.execute(&workload.catalog).expect("overhead warm-up executes");
+        prepared
+            .execute_traced(&workload.catalog, &Params::new())
+            .expect("overhead warm-up executes traced");
+    }
+    let batch_ms = |traced: bool| {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            if traced {
+                prepared
+                    .execute_traced(&workload.catalog, &Params::new())
+                    .expect("traced execution succeeds");
+            } else {
+                prepared.execute(&workload.catalog).expect("plain execution succeeds");
+            }
+        }
+        ms(start.elapsed())
+    };
+    // Same rationale as profile_overhead_pct: pair the two kinds within
+    // each round and take the minimum per-round overhead, so background
+    // bursts cancel instead of being billed to the tracer.
+    let mut overhead = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let plain = batch_ms(false);
+        let traced = batch_ms(true);
+        overhead = overhead.min(100.0 * (traced - plain) / plain);
+    }
+    overhead.max(0.0)
+}
+
 /// One static-vs-adaptive COLT serial pair (schema_version 8): the same
 /// pre-optimized plan executed with `FreeJoinOptions::adaptive` off and on,
 /// interleaved round by round so frequency scaling or a background burst
@@ -329,6 +389,7 @@ fn measure_exec_pair(label: &str, workload: &Workload, skew: f64, reps: usize) -
         serve_p99_us: 0,
         skew,
         profile_overhead_pct: 0.0,
+        trace_overhead_pct: 0.0,
     };
     (make(0, "static"), make(1, "adaptive"))
 }
@@ -410,6 +471,7 @@ fn measure_serving_tcp(label: &str, workload: &Workload, query_idx: usize) -> Re
         serve_p99_us: after.p99_us,
         skew: 0.0,
         profile_overhead_pct: 0.0,
+        trace_overhead_pct: 0.0,
     }
 }
 
@@ -465,6 +527,8 @@ fn main() {
             if label.starts_with("clover") && matches!(strategy, TrieStrategy::Colt) {
                 record.profile_overhead_pct = profile_overhead_pct(workload);
                 eprintln!("  profiled execution overhead: {:.2}%", record.profile_overhead_pct);
+                record.trace_overhead_pct = trace_overhead_pct(workload);
+                eprintln!("  traced execution overhead: {:.2}%", record.trace_overhead_pct);
             }
             records.push(record);
         }
@@ -567,7 +631,12 @@ fn main() {
                 whose >1-thread rows exercise the recursive-split work-stealing scheduler); \
                 profile_overhead_pct is the warm wall-time cost of per-node profiling \
                 (FreeJoinOptions::profile), batch-measured on the clover colt serial row \
-                and 0.0 elsewhere — CI fails the build at >= 5%; exec marks the executor \
+                and 0.0 elsewhere — CI fails the build at >= 5%; trace_overhead_pct is \
+                the warm wall-time cost of span tracing (FreeJoinOptions::trace via \
+                Prepared::execute_traced), measured with the same paired estimator on \
+                the same clover colt serial row and 0.0 elsewhere — CI fails the build \
+                at >= 5%, and the trace-off path is separately pinned to zero \
+                allocations by tests/trace_invariants.rs; exec marks the executor \
                 mode: static is the optimized plan order, adaptive is per-binding probe \
                 reordering from construction-fixed trie bounds (FreeJoinOptions::adaptive), \
                 measured as interleaved best-of pairs on skew_flip (the anti-correlated \
@@ -576,17 +645,18 @@ fn main() {
                 control; CI requires adaptive < 5% slower)";
     let mut json = String::new();
     let _ =
-        write!(json, "{{\"schema_version\":8,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
+        write!(json, "{{\"schema_version\":9,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"exec\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{},\"skew\":{:.2},\"profile_overhead_pct\":{:.2}}}",
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"exec\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{},\"skew\":{:.2},\"profile_overhead_pct\":{:.2},\"trace_overhead_pct\":{:.2}}}",
             r.query, r.strategy, r.threads, r.cache, r.exec, r.trie_hits, r.trie_misses,
             r.wall_ms, r.build_ms, r.probe_ms, r.output_tuples, r.tuples_per_sec(),
-            r.serve_p50_us, r.serve_p99_us, r.skew, r.profile_overhead_pct
+            r.serve_p50_us, r.serve_p99_us, r.skew, r.profile_overhead_pct,
+            r.trace_overhead_pct
         );
     }
     json.push_str("\n]}\n");

@@ -1,6 +1,6 @@
 //! Observability substrate for the Free Join workspace.
 //!
-//! Two independent pieces live here, both dependency-free so every other
+//! Three independent pieces live here, all dependency-free so every other
 //! crate (including the otherwise dependency-less `fj-cache`) can use them:
 //!
 //! * [`MetricsRegistry`] — a registry of named counters, gauges and
@@ -14,11 +14,22 @@
 //!   the optimizer's estimated cardinalities, rendered by
 //!   `Session::explain_analyze` and carried by the serve layer's slow-query
 //!   log.
+//! * [`TraceBuf`] / [`QueryTrace`] — span tracing. Where metrics and
+//!   profiles aggregate, a trace keeps the event timeline itself: bounded
+//!   per-worker rings of POD span/instant events (scheduler tasks, steals,
+//!   splits, trie fetches, adaptive reorders), assembled into a
+//!   [`QueryTrace`] with a schedule-independent structural span tree and a
+//!   Chrome trace-event JSON export for Perfetto.
 
 mod metrics;
 mod profile;
+mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{
     NodeAcc, NodeProfile, PipelineProfile, ProfileSheet, QueryProfile, ESTIMATE_BUST_FACTOR,
+};
+pub use trace::{
+    trace_now_nanos, QueryTrace, TraceBuf, TraceCat, TraceEvent, TraceKind, DEFAULT_TRACE_CAPACITY,
+    SESSION_WORKER, TRACE_PATH_CAP,
 };

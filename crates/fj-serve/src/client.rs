@@ -86,6 +86,22 @@ pub struct Answer {
     pub service_us: u64,
 }
 
+/// One traced execution's (or fetched trace's) rendered views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAnswer {
+    /// Server-minted trace id — quote it to [`Client::fetch_trace`], and
+    /// correlate it with `# slow_query ... trace_id=` metrics lines.
+    pub trace_id: u64,
+    /// Output cardinality of the traced execution (0 for fetches).
+    pub cardinality: u64,
+    /// Server-side service time, microseconds (0 for fetches).
+    pub service_us: u64,
+    /// The canonical, schedule-independent span tree.
+    pub span_tree: String,
+    /// Chrome trace-event JSON; write it to a file and load it in Perfetto.
+    pub chrome_json: String,
+}
+
 /// A blocking connection to an fj-serve server.
 #[derive(Debug)]
 pub struct Client {
@@ -146,6 +162,34 @@ impl Client {
                 Ok(Answer { cardinality, tries_built, service_us })
             }
             _ => Err(ClientError::UnexpectedResponse("Answer")),
+        }
+    }
+
+    /// Execute a prepared handle with span tracing forced on for this
+    /// request, returning the rendered trace alongside the result summary.
+    pub fn trace(
+        &mut self,
+        handle: PreparedHandle,
+        params: &[(&str, &str)],
+    ) -> Result<TraceAnswer, ClientError> {
+        let params = params.iter().map(|(a, f)| (a.to_string(), f.to_string())).collect::<Vec<_>>();
+        match self.round_trip(&Request::TraceExecute { handle: handle.handle, params })? {
+            Response::Trace { trace_id, cardinality, service_us, span_tree, chrome_json } => {
+                Ok(TraceAnswer { trace_id, cardinality, service_us, span_tree, chrome_json })
+            }
+            _ => Err(ClientError::UnexpectedResponse("Trace")),
+        }
+    }
+
+    /// Fetch a stored trace by id (recorded by `trace_sample_n` sampling or
+    /// an earlier [`Client::trace`] call, while it remains in the server's
+    /// bounded trace ring).
+    pub fn fetch_trace(&mut self, trace_id: u64) -> Result<TraceAnswer, ClientError> {
+        match self.round_trip(&Request::TraceFetch { trace_id })? {
+            Response::Trace { trace_id, cardinality, service_us, span_tree, chrome_json } => {
+                Ok(TraceAnswer { trace_id, cardinality, service_us, span_tree, chrome_json })
+            }
+            _ => Err(ClientError::UnexpectedResponse("Trace")),
         }
     }
 

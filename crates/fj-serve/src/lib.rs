@@ -25,9 +25,18 @@
 //!
 //! The `Metrics` request returns the server's whole `fj_obs`
 //! metrics registry as Prometheus text (server counters, cache and
-//! scheduler gauges, latency histogram buckets) followed by a bounded
-//! slow-query log whose entries carry per-node `EXPLAIN ANALYZE` profiles —
-//! see [`server::ServerConfig::slow_query_us`].
+//! scheduler gauges, an uptime gauge and `fj_build_info` series, latency
+//! histogram buckets) followed by a bounded slow-query log whose entries
+//! carry per-node `EXPLAIN ANALYZE` profiles plus the query fingerprint
+//! and — when the execution was traced — its trace id; see
+//! [`server::ServerConfig::slow_query_us`].
+//!
+//! Span tracing rides the same wire: a `TraceExecute` frame runs one
+//! request with tracing forced on and returns the rendered span tree and
+//! Chrome trace JSON ([`client::TraceAnswer`]), while
+//! [`server::ServerConfig::trace_sample_n`] traces every Nth plain
+//! `Execute` transparently, retaining the result in a bounded ring
+//! fetchable by id with a `TraceFetch` frame ([`Client::fetch_trace`]).
 //!
 //! ```no_run
 //! use fj_serve::{Client, Server, ServerConfig};
@@ -54,7 +63,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Answer, Client, ClientError, PreparedHandle};
+pub use client::{Answer, Client, ClientError, PreparedHandle, TraceAnswer};
 pub use metrics::{LatencyHistogram, ServerMetrics, ServerStats};
 pub use protocol::{BusyReason, Request, Response, WireError};
 pub use server::{Server, ServerConfig};

@@ -177,7 +177,7 @@ pub struct ServerMetrics {
     /// (`fj_serve_request_errors`).
     pub errors: Counter,
     /// Queries whose execution exceeded the slow-query threshold
-    /// (`fj_serve_slow_queries`).
+    /// (`fj_serve_slow_queries_total`).
     pub slow_queries: Counter,
     /// Service time (read-to-response) per served request, microseconds.
     /// Exposed as `fj_serve_latency_us` histogram series in the metrics
@@ -195,7 +195,7 @@ impl ServerMetrics {
             rejected_bytes: registry.counter("fj_serve_rejected_byte_budget"),
             served: registry.counter("fj_serve_requests_served"),
             errors: registry.counter("fj_serve_request_errors"),
-            slow_queries: registry.counter("fj_serve_slow_queries"),
+            slow_queries: registry.counter("fj_serve_slow_queries_total"),
             latency: LatencyHistogram::default(),
         }
     }
@@ -423,7 +423,7 @@ mod tests {
         let text = registry.render();
         assert!(text.contains("fj_serve_accepted_connections 1\n"), "{text}");
         assert!(text.contains("fj_serve_requests_served 3\n"), "{text}");
-        assert!(text.contains("fj_serve_slow_queries 1\n"), "{text}");
+        assert!(text.contains("fj_serve_slow_queries_total 1\n"), "{text}");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! [`Response::Prepared`] (handle + plan fingerprint); [`Request::Execute`]
 //! (handle + parameter overrides) → [`Response::Answer`];
 //! [`Request::Stats`] → [`Response::Stats`] ([`ServerStats`]);
+//! [`Request::TraceExecute`] (execute with span tracing on) and
+//! [`Request::TraceFetch`] (re-fetch a sampled trace by id) →
+//! [`Response::Trace`] (trace id + rendered span tree + Chrome JSON);
 //! [`Request::Shutdown`] → [`Response::Ok`] and a graceful drain.
 //! [`Response::Busy`] is the typed load-shedding reply (queue full or
 //! in-flight byte budget exhausted), carrying a `retry_after_ms` backoff
@@ -73,6 +76,13 @@ pub enum Request {
     /// thing a scrape endpoint or a human wants — and carries series the
     /// fixed binary snapshot can't (histogram buckets, new counters).
     Metrics,
+    /// Execute a prepared handle with span tracing forced on for this
+    /// request (per-request opt-in, independent of the server's
+    /// `trace_sample_n` sampling). Replies with [`Response::Trace`].
+    TraceExecute { handle: u64, params: Vec<(String, String)> },
+    /// Fetch a previously recorded trace by its server-minted id (sampled
+    /// traces land in a bounded ring; slow-query lines carry the ids).
+    TraceFetch { trace_id: u64 },
 }
 
 /// A server → client message.
@@ -102,6 +112,24 @@ pub enum Response {
         /// lines plus `#`-prefixed slow-query comment lines.
         text: String,
     },
+    /// One traced execution (or a fetched stored trace). The trace travels
+    /// pre-rendered — the canonical span tree and the Chrome trace-event
+    /// JSON — rather than as raw events: strings are what both consumers
+    /// (humans and `chrome://tracing`) want, and they keep the codec free
+    /// of a per-event binary format.
+    Trace {
+        /// Server-minted trace id (fetchable later while it stays in the
+        /// trace ring; also stamped on the slow-query entry, if any).
+        trace_id: u64,
+        /// Output cardinality of the traced execution (0 for fetches).
+        cardinality: u64,
+        /// Server-side service time in microseconds (0 for fetches).
+        service_us: u64,
+        /// The canonical, schedule-independent span tree.
+        span_tree: String,
+        /// Chrome trace-event JSON (Perfetto-loadable).
+        chrome_json: String,
+    },
 }
 
 /// A malformed frame (unknown opcode, truncated payload, bad UTF-8). The
@@ -130,6 +158,7 @@ const OP_EXECUTE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
 const OP_METRICS: u8 = 0x05;
+const OP_TRACE: u8 = 0x06;
 // Response opcodes (high bit set).
 const OP_PREPARED: u8 = 0x81;
 const OP_ANSWER: u8 = 0x82;
@@ -138,6 +167,11 @@ const OP_OK: u8 = 0x84;
 const OP_BUSY: u8 = 0x85;
 const OP_ERROR: u8 = 0x86;
 const OP_METRICS_REPLY: u8 = 0x87;
+const OP_TRACE_REPLY: u8 = 0x88;
+
+// Mode byte inside OP_TRACE.
+const TRACE_EXECUTE: u8 = 0;
+const TRACE_FETCH: u8 = 1;
 
 // Aggregate tags inside Prepare.
 const AGG_MATERIALIZE: u8 = 0;
@@ -239,6 +273,21 @@ impl Request {
             Request::Stats => out.push(OP_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
             Request::Metrics => out.push(OP_METRICS),
+            Request::TraceExecute { handle, params } => {
+                out.push(OP_TRACE);
+                out.push(TRACE_EXECUTE);
+                put_u64(&mut out, *handle);
+                put_u64(&mut out, params.len() as u64);
+                for (alias, filter) in params {
+                    put_str(&mut out, alias);
+                    put_str(&mut out, filter);
+                }
+            }
+            Request::TraceFetch { trace_id } => {
+                out.push(OP_TRACE);
+                out.push(TRACE_FETCH);
+                put_u64(&mut out, *trace_id);
+            }
         }
         out
     }
@@ -290,6 +339,24 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
             OP_METRICS => Request::Metrics,
+            OP_TRACE => match r.u8()? {
+                TRACE_EXECUTE => {
+                    let handle = r.u64()?;
+                    let n = r.u64()? as usize;
+                    if n > r.remaining() / 16 {
+                        return wire_err("parameter count exceeds payload");
+                    }
+                    let mut params = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let alias = r.str()?;
+                        let filter = r.str()?;
+                        params.push((alias, filter));
+                    }
+                    Request::TraceExecute { handle, params }
+                }
+                TRACE_FETCH => Request::TraceFetch { trace_id: r.u64()? },
+                mode => return wire_err(format!("unknown trace mode {mode:#x}")),
+            },
             op => return wire_err(format!("unknown request opcode {op:#x}")),
         };
         r.finish()?;
@@ -334,6 +401,14 @@ impl Response {
                 out.push(OP_METRICS_REPLY);
                 put_str(&mut out, text);
             }
+            Response::Trace { trace_id, cardinality, service_us, span_tree, chrome_json } => {
+                out.push(OP_TRACE_REPLY);
+                put_u64(&mut out, *trace_id);
+                put_u64(&mut out, *cardinality);
+                put_u64(&mut out, *service_us);
+                put_str(&mut out, span_tree);
+                put_str(&mut out, chrome_json);
+            }
         }
         out
     }
@@ -363,6 +438,13 @@ impl Response {
             }
             OP_ERROR => Response::Error { message: r.str()? },
             OP_METRICS_REPLY => Response::Metrics { text: r.str()? },
+            OP_TRACE_REPLY => Response::Trace {
+                trace_id: r.u64()?,
+                cardinality: r.u64()?,
+                service_us: r.u64()?,
+                span_tree: r.str()?,
+                chrome_json: r.str()?,
+            },
             op => return wire_err(format!("unknown response opcode {op:#x}")),
         };
         r.finish()?;
@@ -440,6 +522,12 @@ mod tests {
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::Metrics);
+        round_trip_request(Request::TraceExecute { handle: 3, params: vec![] });
+        round_trip_request(Request::TraceExecute {
+            handle: 9,
+            params: vec![("e".into(), "src < 3".into())],
+        });
+        round_trip_request(Request::TraceFetch { trace_id: 17 });
     }
 
     #[test]
@@ -453,6 +541,13 @@ mod tests {
         round_trip_response(Response::Metrics { text: String::new() });
         round_trip_response(Response::Metrics {
             text: "fj_serve_requests_served 3\nfj_serve_latency_us_bucket{le=\"+Inf\"} 3\n".into(),
+        });
+        round_trip_response(Response::Trace {
+            trace_id: 5,
+            cardinality: 99,
+            service_us: 1200,
+            span_tree: "query\n  pipeline 0\n    node 0\n".into(),
+            chrome_json: "{\"traceEvents\":[]}".into(),
         });
         let stats = ServerStats {
             cache: StatsSnapshot {
@@ -495,6 +590,8 @@ mod tests {
         put_u64(&mut bad_metrics, 2);
         bad_metrics.extend_from_slice(&[0xff, 0xfe]);
         assert!(Response::decode(&bad_metrics).is_err());
+        // An unknown trace mode byte is rejected.
+        assert!(Request::decode(&[OP_TRACE, 9]).is_err(), "unknown trace mode");
         // Trailing garbage after a valid message.
         let mut trailing = Request::Stats.encode();
         trailing.push(0);

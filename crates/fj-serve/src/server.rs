@@ -52,7 +52,7 @@
 
 use crate::metrics::{ServerMetrics, ServerStats};
 use crate::protocol::{read_frame, write_frame, BusyReason, Request, Response};
-use fj_obs::{MetricsRegistry, QueryProfile};
+use fj_obs::{Counter, MetricsRegistry, QueryProfile, TraceBuf, TraceCat, SESSION_WORKER};
 use fj_query::{parse_filter, parse_query, Aggregate, ConjunctiveQuery};
 use fj_storage::Catalog;
 use free_join::{Params, Prepared, Session};
@@ -96,6 +96,16 @@ pub struct ServerConfig {
     /// Slow-query ring capacity (most recent entries win). `0` disables
     /// both the log and the per-execution profiling that feeds it.
     pub slow_query_log: usize,
+    /// Trace every Nth `Execute` request (the first, then every Nth after)
+    /// with span tracing forced on; the rendered trace lands in the trace
+    /// ring, fetchable by id via the `TraceFetch` frame, and its id is
+    /// attached to any slow-query entry the execution produces. `0`
+    /// disables sampling — explicit `TraceExecute` requests still trace.
+    pub trace_sample_n: usize,
+    /// Capacity of the ring retaining the most recent rendered traces
+    /// (both explicit `TraceExecute` requests and sampled executions).
+    /// `0` disables retention; `TraceFetch` then always misses.
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +119,8 @@ impl Default for ServerConfig {
             pin_workers: false,
             slow_query_us: 10_000,
             slow_query_log: 8,
+            trace_sample_n: 0,
+            trace_ring: 8,
         }
     }
 }
@@ -170,6 +182,31 @@ struct Shared {
     /// distinct prepare, reads on every execute).
     prepared: RwLock<PreparedRegistry>,
     next_handle: AtomicU64,
+    /// Server start time, behind the `fj_serve_uptime_seconds` gauge
+    /// (refreshed at scrape time, like the cache gauges).
+    started: Instant,
+    /// Ring of the most recent rendered traces, newest at the back,
+    /// fetchable by id via `TraceFetch` while they last.
+    traces: Mutex<VecDeque<StoredTrace>>,
+    /// Monotone `Execute` sequence behind `trace_sample_n` sampling.
+    execute_seq: AtomicU64,
+    /// Trace-id mint; ids are never reused while the server lives, so a
+    /// stale id fetches nothing rather than someone else's trace.
+    next_trace_id: AtomicU64,
+    /// Events the bounded trace rings dropped across all traced
+    /// executions (`fj_obs_trace_events_dropped_total`).
+    trace_events_dropped: Counter,
+}
+
+/// One retained trace, rendered at execution time (the ring stores the
+/// rendered strings, not the event buffers — fetches are lock-and-clone).
+#[derive(Clone)]
+struct StoredTrace {
+    trace_id: u64,
+    cardinality: u64,
+    service_us: u64,
+    span_tree: String,
+    chrome_json: String,
 }
 
 /// The bounded prepared-handle registry: identical re-prepares reuse the
@@ -216,12 +253,18 @@ impl PreparedRegistry {
 struct SlowQuery {
     /// Prepared handle that was executed.
     handle: u64,
+    /// The plan-cache fingerprint of the prepared query — stable across
+    /// handle churn, so slow entries group by query shape downstream.
+    fingerprint: u64,
     /// Engine-side execution time, microseconds.
     service_us: u64,
     /// Output cardinality of the execution.
     cardinality: u64,
     /// The per-node profile captured alongside the execution.
     profile: QueryProfile,
+    /// Trace id when the execution was traced (explicitly or by
+    /// sampling) — quote it to `TraceFetch` while the ring retains it.
+    trace_id: Option<u64>,
 }
 
 impl Shared {
@@ -272,14 +315,21 @@ impl Shared {
     /// counters plus cache/scheduler gauges refreshed at scrape time), the
     /// complete latency histogram, then the slow-query log as comments.
     fn metrics_text(&self) -> String {
+        self.registry
+            .set_gauge("fj_serve_uptime_seconds", self.started.elapsed().as_secs());
         self.session.cache_stats().register_into(&self.registry);
         let mut text = self.registry.render();
+        // The registry rejects labeled names by design, so the build-info
+        // series (constant 1, the version as a label — the Prometheus
+        // "info metric" idiom) is rendered directly.
+        text.push_str(&format!("fj_build_info{{version=\"{}\"}} 1\n", env!("CARGO_PKG_VERSION")));
         text.push_str(&self.metrics.latency.render_prometheus("fj_serve_latency_us"));
         let log = self.slow_queries.lock().expect("slow-query log lock not poisoned");
         for entry in log.iter() {
+            let trace_id = entry.trace_id.map_or_else(|| "-".to_string(), |id| id.to_string());
             text.push_str(&format!(
-                "# slow_query handle={} service_us={} cardinality={}\n",
-                entry.handle, entry.service_us, entry.cardinality
+                "# slow_query handle={} fingerprint={:016x} service_us={} cardinality={} trace_id={}\n",
+                entry.handle, entry.fingerprint, entry.service_us, entry.cardinality, trace_id
             ));
             for line in entry.profile.render().lines() {
                 text.push_str("# ");
@@ -295,19 +345,46 @@ impl Shared {
     fn note_slow_query(
         &self,
         handle: u64,
+        fingerprint: u64,
         service_us: u64,
         cardinality: u64,
         profile: QueryProfile,
+        trace_id: Option<u64>,
     ) {
         if self.config.slow_query_log == 0 || service_us < self.config.slow_query_us {
             return;
         }
         self.metrics.slow_queries.inc();
         let mut log = self.slow_queries.lock().expect("slow-query log lock not poisoned");
-        log.push_back(SlowQuery { handle, service_us, cardinality, profile });
+        log.push_back(SlowQuery {
+            handle,
+            fingerprint,
+            service_us,
+            cardinality,
+            profile,
+            trace_id,
+        });
         while log.len() > self.config.slow_query_log {
             log.pop_front();
         }
+    }
+
+    /// Retain a rendered trace in the bounded ring (newest wins).
+    fn store_trace(&self, stored: StoredTrace) {
+        if self.config.trace_ring == 0 {
+            return;
+        }
+        let mut ring = self.traces.lock().expect("trace ring lock not poisoned");
+        ring.push_back(stored);
+        while ring.len() > self.config.trace_ring {
+            ring.pop_front();
+        }
+    }
+
+    /// Look a retained trace up by id (`None` once evicted or never stored).
+    fn find_trace(&self, trace_id: u64) -> Option<StoredTrace> {
+        let ring = self.traces.lock().expect("trace ring lock not poisoned");
+        ring.iter().rev().find(|t| t.trace_id == trace_id).cloned()
     }
 }
 
@@ -334,6 +411,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let registry = MetricsRegistry::new();
+        let trace_events_dropped = registry.counter("fj_obs_trace_events_dropped_total");
         let shared = Arc::new(Shared {
             session,
             catalog,
@@ -347,6 +425,11 @@ impl Server {
             queued: AtomicUsize::new(0),
             prepared: RwLock::new(PreparedRegistry::default()),
             next_handle: AtomicU64::new(1),
+            started: Instant::now(),
+            traces: Mutex::new(VecDeque::new()),
+            execute_seq: AtomicU64::new(0),
+            next_trace_id: AtomicU64::new(1),
+            trace_events_dropped,
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
@@ -561,6 +644,8 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> (Response, bool) {
     match request {
         Request::Prepare { query, aggregate } => (prepare(shared, &query, aggregate), false),
         Request::Execute { handle, params } => (execute(shared, handle, &params), false),
+        Request::TraceExecute { handle, params } => (trace_execute(shared, handle, &params), false),
+        Request::TraceFetch { trace_id } => (fetch_trace(shared, trace_id), false),
         Request::Stats => (
             Response::Stats(Box::new(shared.metrics.snapshot(shared.session.cache_stats()))),
             false,
@@ -592,13 +677,21 @@ fn prepare(shared: &Shared, query_text: &str, aggregate: Aggregate) -> Response 
     Response::Prepared { handle, fingerprint }
 }
 
-fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Response {
+/// Resolve a handle and parse its parameter overrides, or produce the
+/// typed `Error` response both execute paths return on failure.
+fn resolve(
+    shared: &Shared,
+    handle: u64,
+    params: &[(String, String)],
+) -> Result<(Arc<Prepared>, Params), Response> {
     let prepared = {
         let registry = shared.prepared.read().expect("prepared registry lock not poisoned");
         match registry.get(handle) {
             Some(prepared) => prepared,
             None => {
-                return Response::Error { message: format!("unknown prepared handle {handle}") }
+                return Err(Response::Error {
+                    message: format!("unknown prepared handle {handle}"),
+                })
             }
         }
     };
@@ -607,9 +700,33 @@ fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Respons
         match parse_filter(filter_text) {
             Ok(filter) => overrides = overrides.with_filter(alias.clone(), filter),
             Err(e) => {
-                return Response::Error { message: format!("parameter filter for {alias}: {e}") }
+                return Err(Response::Error {
+                    message: format!("parameter filter for {alias}: {e}"),
+                })
             }
         }
+    }
+    Ok((prepared, overrides))
+}
+
+fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Response {
+    let (prepared, overrides) = match resolve(shared, handle, params) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    // `trace_sample_n` sampling: every Nth execute runs traced; the client
+    // still gets a plain `Answer`, the rendered trace lands in the ring.
+    let seq = shared.execute_seq.fetch_add(1, Ordering::Relaxed);
+    let n = shared.config.trace_sample_n as u64;
+    if n > 0 && seq.is_multiple_of(n) {
+        return match run_traced(shared, handle, &prepared, &overrides, params.len() as u64) {
+            Ok((stored, tries_built)) => Response::Answer {
+                cardinality: stored.cardinality,
+                tries_built,
+                service_us: 0, // stamped by the connection loop, which owns the clock
+            },
+            Err(message) => Response::Error { message },
+        };
     }
     // With the slow-query log enabled (the default) every execution runs
     // profiled — the profile must already exist by the time the execution
@@ -622,7 +739,8 @@ fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Respons
             Ok((output, stats, profile)) => {
                 let engine_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 let cardinality = output.cardinality();
-                shared.note_slow_query(handle, engine_us, cardinality, profile);
+                let fingerprint = prepared.fingerprint();
+                shared.note_slow_query(handle, fingerprint, engine_us, cardinality, profile, None);
                 Response::Answer {
                     cardinality,
                     tries_built: stats.tries_built,
@@ -643,12 +761,96 @@ fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Respons
     }
 }
 
+/// Run one traced execution: tracing forced on for this request, the
+/// engine trace wrapped in a serve-layer lifecycle ring
+/// (request/decode/execute/respond spans), both views rendered, the result
+/// retained in the trace ring and noted in the slow-query log. Returns the
+/// stored trace plus the execution's `tries_built`.
+fn run_traced(
+    shared: &Shared,
+    handle: u64,
+    prepared: &Prepared,
+    overrides: &Params,
+    n_params: u64,
+) -> Result<(StoredTrace, u64), String> {
+    // The serve-layer lifecycle ring is built around the execution so its
+    // timestamps stay monotone and the execute span has real extent. It is
+    // appended AFTER the engine's session ring, so the canonical span tree
+    // still renders from the query span; these spans only appear in the
+    // Chrome timeline.
+    let mut tb = TraceBuf::with_capacity(8, SESSION_WORKER);
+    tb.begin(TraceCat::Request, 0, handle, &[]);
+    tb.instant(TraceCat::Decode, 0, n_params, &[]);
+    tb.begin(TraceCat::Execute, 0, 0, &[]);
+    let start = Instant::now();
+    let (output, stats, mut trace) =
+        prepared.execute_traced(&shared.catalog, overrides).map_err(|e| e.to_string())?;
+    let service_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let cardinality = output.cardinality();
+    let trace_id = shared.next_trace_id.fetch_add(1, Ordering::Relaxed);
+    trace.trace_id = trace_id;
+    shared.trace_events_dropped.add(trace.dropped_events());
+    tb.end(TraceCat::Execute, 0, cardinality);
+    tb.instant(TraceCat::Respond, 0, service_us, &[]);
+    tb.end(TraceCat::Request, 0, cardinality);
+    trace.attach(tb);
+
+    let stored = StoredTrace {
+        trace_id,
+        cardinality,
+        service_us,
+        span_tree: trace.span_tree(),
+        chrome_json: trace.to_chrome_json(),
+    };
+    shared.store_trace(stored.clone());
+    shared.note_slow_query(
+        handle,
+        prepared.fingerprint(),
+        service_us,
+        cardinality,
+        QueryProfile::default(),
+        Some(trace_id),
+    );
+    Ok((stored, stats.tries_built))
+}
+
+fn trace_execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Response {
+    let (prepared, overrides) = match resolve(shared, handle, params) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    match run_traced(shared, handle, &prepared, &overrides, params.len() as u64) {
+        Ok((stored, _tries_built)) => Response::Trace {
+            trace_id: stored.trace_id,
+            cardinality: stored.cardinality,
+            service_us: stored.service_us,
+            span_tree: stored.span_tree,
+            chrome_json: stored.chrome_json,
+        },
+        Err(message) => Response::Error { message },
+    }
+}
+
+fn fetch_trace(shared: &Shared, trace_id: u64) -> Response {
+    match shared.find_trace(trace_id) {
+        Some(stored) => Response::Trace {
+            trace_id: stored.trace_id,
+            cardinality: stored.cardinality,
+            service_us: stored.service_us,
+            span_tree: stored.span_tree,
+            chrome_json: stored.chrome_json,
+        },
+        None => Response::Error { message: format!("unknown or evicted trace id {trace_id}") },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn test_shared(catalog: Catalog, config: ServerConfig) -> Shared {
         let registry = MetricsRegistry::new();
+        let trace_events_dropped = registry.counter("fj_obs_trace_events_dropped_total");
         Shared {
             session: Session::new(Arc::new(free_join::EngineCaches::with_defaults())),
             catalog: Arc::new(catalog),
@@ -662,6 +864,11 @@ mod tests {
             queued: AtomicUsize::new(0),
             prepared: RwLock::new(PreparedRegistry::default()),
             next_handle: AtomicU64::new(1),
+            started: Instant::now(),
+            traces: Mutex::new(VecDeque::new()),
+            execute_seq: AtomicU64::new(0),
+            next_trace_id: AtomicU64::new(1),
+            trace_events_dropped,
         }
     }
 
@@ -774,7 +981,13 @@ mod tests {
         drop(log);
 
         let text = shared.metrics_text();
-        assert!(text.contains("fj_serve_slow_queries 3"), "{text}");
+        assert!(text.contains("fj_serve_slow_queries_total 3"), "{text}");
+        assert!(text.contains("fj_serve_uptime_seconds "), "{text}");
+        assert!(text.contains("fj_obs_trace_events_dropped_total 0"), "{text}");
+        assert!(
+            text.contains(&format!("fj_build_info{{version=\"{}\"}} 1", env!("CARGO_PKG_VERSION"))),
+            "{text}"
+        );
         assert!(text.contains("fj_serve_requests_served 0"), "registry renders all counters");
         assert!(text.contains("fj_cache_plan_"), "cache gauges re-registered at scrape time");
         assert!(text.contains("fj_sched_"), "scheduler gauges present");
@@ -784,7 +997,7 @@ mod tests {
         // A disabled log records nothing and skips the profiled path.
         let off =
             test_shared(Catalog::new(), ServerConfig { slow_query_log: 0, ..Default::default() });
-        off.note_slow_query(1, u64::MAX, 0, QueryProfile::default());
+        off.note_slow_query(1, 0, u64::MAX, 0, QueryProfile::default(), None);
         assert_eq!(off.metrics.slow_queries.get(), 0);
         assert!(off.slow_queries.lock().unwrap().is_empty());
     }

@@ -25,7 +25,7 @@ use crate::options::FreeJoinOptions;
 use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput};
 use crate::sink::{MaterializeSink, OutputSink};
 use crate::trie::InputTrie;
-use fj_obs::ProfileSheet;
+use fj_obs::{ProfileSheet, TraceBuf};
 use fj_plan::{optimize, BinaryPlan, CatalogStats, FreeJoinPlan, OptimizerOptions, PipeInput};
 use fj_query::{ConjunctiveQuery, ExecStats, OutputBuilder, QueryOutput};
 use fj_storage::{Catalog, DataType};
@@ -109,6 +109,7 @@ impl FreeJoinEngine {
                 &prepared.var_types,
                 &mut stats,
                 &mut ProfileSheet::disabled(),
+                &mut Vec::new(),
             )?;
             for trie in &tries {
                 stats.tries_built += trie.maps_built();
@@ -152,6 +153,7 @@ impl FreeJoinEngine {
             &prepared.var_types,
             &mut stats,
             &mut ProfileSheet::disabled(),
+            &mut Vec::new(),
         )?;
         for trie in &tries {
             stats.tries_built += trie.maps_built();
@@ -229,7 +231,8 @@ pub(crate) fn build_tries(
 ///
 /// When `options.profile` is set, the merged per-node accumulators land in
 /// `profile` (otherwise it is left untouched — a disabled sheet stays
-/// disabled).
+/// disabled). When `options.trace` is set, the per-worker trace rings land
+/// in `traces`, sorted by worker id (otherwise nothing is appended).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn join_pipeline(
     tries: &[Arc<InputTrie>],
@@ -240,6 +243,7 @@ pub(crate) fn join_pipeline(
     var_types: &HashMap<String, DataType>,
     stats: &mut ExecStats,
     profile: &mut ProfileSheet,
+    traces: &mut Vec<TraceBuf>,
 ) -> EngineResult<PipelineResult> {
     let threads = options.effective_threads();
     let join_start = Instant::now();
@@ -252,7 +256,7 @@ pub(crate) fn join_pipeline(
                 execute_pipeline_parallel(tries, compiled, options, threads, || {
                     OutputSink::new(builder.clone())
                 });
-            absorb_counters(stats, counters, profile);
+            absorb_counters(stats, counters, profile, traces);
             let mut merged = OutputSink::new(builder);
             for sink in sinks {
                 merged.merge(sink);
@@ -262,7 +266,7 @@ pub(crate) fn join_pipeline(
         } else {
             let mut sink = OutputSink::new(builder);
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
-            absorb_counters(stats, counters, profile);
+            absorb_counters(stats, counters, profile, traces);
             stats.result_chunks += sink.chunks_received();
             sink.finish()
         };
@@ -271,7 +275,7 @@ pub(crate) fn join_pipeline(
         let rows = if threads > 1 {
             let (sinks, counters) =
                 execute_pipeline_parallel(tries, compiled, options, threads, MaterializeSink::new);
-            absorb_counters(stats, counters, profile);
+            absorb_counters(stats, counters, profile, traces);
             let mut merged = MaterializeSink::new();
             for sink in sinks {
                 merged.merge(sink);
@@ -281,7 +285,7 @@ pub(crate) fn join_pipeline(
         } else {
             let mut sink = MaterializeSink::new();
             let counters = execute_pipeline(tries, compiled, options, &mut sink);
-            absorb_counters(stats, counters, profile);
+            absorb_counters(stats, counters, profile, traces);
             stats.result_chunks += sink.chunks_received();
             sink.into_rows()
         };
@@ -297,8 +301,15 @@ pub(crate) fn join_pipeline(
 /// including the scheduler counters (spawned / stolen / per-worker shares;
 /// all zero or empty on serial execution). The per-node profile (enabled
 /// only under `options.profile`) is merged into `profile`.
-fn absorb_counters(stats: &mut ExecStats, counters: ExecCounters, profile: &mut ProfileSheet) {
+fn absorb_counters(
+    stats: &mut ExecStats,
+    mut counters: ExecCounters,
+    profile: &mut ProfileSheet,
+    traces: &mut Vec<TraceBuf>,
+) {
     profile.merge(&counters.profile);
+    counters.traces.sort_by_key(|tb| tb.worker());
+    traces.append(&mut counters.traces);
     stats.probes += counters.probes;
     stats.probe_hits += counters.probe_hits;
     stats.tasks_spawned += counters.tasks_spawned;

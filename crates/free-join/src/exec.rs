@@ -87,7 +87,7 @@ use crate::compile::{CompiledNode, CompiledPlan, CompiledSubatom, IterAction};
 use crate::options::FreeJoinOptions;
 use crate::sink::{ChunkBuffer, Sink};
 use crate::trie::{InputTrie, TrieNode};
-use fj_obs::ProfileSheet;
+use fj_obs::{ProfileSheet, TraceBuf, TraceCat, DEFAULT_TRACE_CAPACITY};
 use fj_storage::{LevelKey, Value};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -123,11 +123,16 @@ pub struct ExecCounters {
     /// Per-plan-node profile accumulators; disabled (empty, no allocation)
     /// unless `FreeJoinOptions::profile` is set.
     pub profile: ProfileSheet,
+    /// Per-worker trace event rings (node/task spans, steal/split/reorder
+    /// instants); empty — no allocation, emission sites reduce to a length
+    /// check — unless `FreeJoinOptions::trace` is set. One ring per worker
+    /// that executed part of this pipeline.
+    pub traces: Vec<TraceBuf>,
 }
 
 impl ExecCounters {
     /// Accumulate another worker's counters.
-    pub fn merge(&mut self, other: ExecCounters) {
+    pub fn merge(&mut self, mut other: ExecCounters) {
         self.probes += other.probes;
         self.probe_hits += other.probe_hits;
         self.expansions += other.expansions;
@@ -135,6 +140,7 @@ impl ExecCounters {
         self.tasks_stolen += other.tasks_stolen;
         self.reorders += other.reorders;
         self.profile.merge(&other.profile);
+        self.traces.append(&mut other.traces);
         if self.worker_expansions.len() < other.worker_expansions.len() {
             self.worker_expansions.resize(other.worker_expansions.len(), 0);
         }
@@ -191,6 +197,9 @@ pub fn execute_pipeline(
     let mut counters = ExecCounters::default();
     if options.profile {
         counters.profile = ProfileSheet::enabled(plan.nodes.len());
+    }
+    if options.trace {
+        counters.traces.push(TraceBuf::with_capacity(DEFAULT_TRACE_CAPACITY, 0));
     }
     let mut tuple = vec![Value::Null; plan.binding_order.len()];
     let mut current: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
@@ -628,6 +637,11 @@ where
                 if options.profile {
                     counters.profile = ProfileSheet::enabled(plan.nodes.len());
                 }
+                if options.trace {
+                    counters
+                        .traces
+                        .push(TraceBuf::with_capacity(DEFAULT_TRACE_CAPACITY, id as u32));
+                }
                 let mut key_buf: Vec<Value> = Vec::new();
                 loop {
                     let Some(task) = sched.find_task(id) else {
@@ -639,6 +653,17 @@ where
                     };
                     if task.spawner != usize::MAX && task.spawner != id {
                         counters.tasks_stolen += 1;
+                        if let Some(tb) = counters.traces.last_mut() {
+                            tb.instant(
+                                TraceCat::Steal,
+                                task.node_idx as u32,
+                                task.spawner as u64,
+                                &task.path,
+                            );
+                        }
+                    }
+                    if let Some(tb) = counters.traces.last_mut() {
+                        tb.begin(TraceCat::Task, task.node_idx as u32, task.weight, &task.path);
                     }
                     let mut sink = make_sink();
                     let mut out = ChunkBuffer::for_sink(&sink, plan.binding_order.len());
@@ -661,6 +686,9 @@ where
                         );
                     }
                     out.flush(&mut sink);
+                    if let Some(tb) = counters.traces.last_mut() {
+                        tb.end(TraceCat::Task, task.node_idx as u32, sink.tuples());
+                    }
                     // Empty sinks contribute nothing to the merge; skip them
                     // (split-heavy schedules produce many empty tasks).
                     if sink.tuples() > 0 {
@@ -678,6 +706,7 @@ where
                 all.expansions += counters.expansions;
                 all.reorders += counters.reorders;
                 all.profile.merge(&counters.profile);
+                all.traces.append(&mut counters.traces);
                 if all.worker_expansions.len() < num_threads {
                     all.worker_expansions.resize(num_threads, 0);
                 }
@@ -752,6 +781,9 @@ fn run_task(
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
     let t0 = counters.profile.is_enabled().then(Instant::now);
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.begin(TraceCat::Node, node_idx as u32, (hi - lo) as u64, &task.path);
+    }
 
     if options.vectorized() && node.subatoms.len() > 1 {
         // Mirror run_node's choice: batch this node's probes too.
@@ -852,6 +884,9 @@ fn run_task(
             }
             TaskItems::Tail { .. } => unreachable!("handled above"),
         }
+    }
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.end(TraceCat::Node, node_idx as u32, counters.expansions);
     }
     if let Some(t0) = t0 {
         counters.profile.add_wall(node_idx, t0.elapsed());
@@ -964,6 +999,9 @@ fn run_node(
         let map = cover_trie.force(&cover_node, cover.level, !cover_node.is_map());
         let entries: Vec<(LevelKey, Arc<TrieNode>)> =
             map.iter().map(|(k, c)| (k.clone(), c.clone())).collect();
+        if let Some(tb) = counters.traces.last_mut() {
+            tb.instant(TraceCat::Split, node_idx as u32, entries.len() as u64, &[]);
+        }
         splitter.spawn_entries(node_idx, cover_idx, entries, tuple, current, weight);
         return;
     }
@@ -1044,12 +1082,18 @@ fn expand_independent_tail(
             }
             weights.push(child.map_or(1, |c| trie.tuple_count(c)));
         });
+        if let Some(tb) = counters.traces.last_mut() {
+            tb.instant(TraceCat::Split, node_idx as u32, weights.len() as u64, &[]);
+        }
         splitter.spawn_tail(node_idx, writes, weights, inner_count, tuple, current, weight);
         return;
     }
 
     // Stream the first tail node's cover; per entry, emit the product of the
     // gathered inner columns.
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.begin(TraceCat::Node, node_idx as u32, inner_count, &[]);
+    }
     let mut first_sum: u64 = 0;
     trie.for_each(&node_cur, sub.level, |key, child| {
         counters.expansions += inner_count.max(1);
@@ -1069,6 +1113,9 @@ fn expand_independent_tail(
         }
     });
     profile_tail_rows(&mut counters.profile, node_idx, first_sum, gathered);
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.end(TraceCat::Node, node_idx as u32, first_sum);
+    }
     if let Some(t0) = t0 {
         counters.profile.add_wall(node_idx, t0.elapsed());
     }
@@ -1166,6 +1213,9 @@ fn run_tail_range(
     let gathered = &scratch[1..1 + inner.len()];
     let inner_count: u64 =
         gathered.iter().fold(1u64, |acc, s| acc.saturating_mul(s.weights.len() as u64));
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.begin(TraceCat::Node, node_idx as u32, inner_count, &[]);
+    }
     let mut first_sum: u64 = 0;
     for i in lo..hi {
         counters.expansions += inner_count.max(1);
@@ -1181,6 +1231,9 @@ fn run_tail_range(
         }
     }
     profile_tail_rows(&mut counters.profile, node_idx, first_sum, gathered);
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.end(TraceCat::Node, node_idx as u32, first_sum);
+    }
     if let Some(t0) = t0 {
         counters.profile.add_wall(node_idx, t0.elapsed());
     }
@@ -1350,6 +1403,9 @@ fn process_cover_entry(
     if options.adaptive && node.reorderable && node.subatoms.len() > 2 {
         if order_probes(node, cover_idx, current, &mut mine.probe_order) {
             counters.reorders += 1;
+            if let Some(tb) = counters.traces.last_mut() {
+                tb.instant(TraceCat::Reorder, node_idx as u32, 1, &[]);
+            }
         }
         for t in 0..node.subatoms.len() - 1 {
             let j = mine.probe_order[t];
@@ -1432,6 +1488,9 @@ fn run_node_scalar(
     let cover_trie = &tries[cover.input];
     let cover_node = current[cover.input].clone();
     let t0 = counters.profile.is_enabled().then(Instant::now);
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.begin(TraceCat::Node, node_idx as u32, 0, &[]);
+    }
 
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
         process_cover_entry(
@@ -1439,6 +1498,9 @@ fn run_node_scalar(
             counters, scratch, out, splitter,
         );
     });
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.end(TraceCat::Node, node_idx as u32, 0);
+    }
     if let Some(t0) = t0 {
         counters.profile.add_wall(node_idx, t0.elapsed());
     }
@@ -1468,6 +1530,9 @@ fn run_node_vectorized(
     let cover_node = current[cover.input].clone();
     let batch_size = options.batch_size;
     let t0 = counters.profile.is_enabled().then(Instant::now);
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.begin(TraceCat::Node, node_idx as u32, 0, &[]);
+    }
 
     let (mine, rest) = scratch.split_at_mut(1);
     let mine = &mut mine[0];
@@ -1489,6 +1554,9 @@ fn run_node_vectorized(
         tries, plan, options, node_idx, cover_idx, mine, rest, tuple, current, sink, counters, out,
         splitter,
     );
+    if let Some(tb) = counters.traces.last_mut() {
+        tb.end(TraceCat::Node, node_idx as u32, 0);
+    }
     if let Some(t0) = t0 {
         counters.profile.add_wall(node_idx, t0.elapsed());
     }
@@ -1591,6 +1659,9 @@ fn flush_batch(
         if options.adaptive && node.reorderable && node.subatoms.len() > 2 {
             if order_probes(node, cover_idx, current, probe_order) {
                 counters.reorders += *count as u64;
+                if let Some(tb) = counters.traces.last_mut() {
+                    tb.instant(TraceCat::Reorder, node_idx as u32, *count as u64, &[]);
+                }
             }
         } else {
             probe_order.clear();

@@ -75,7 +75,10 @@ pub use compile::{compile_query, CompiledQuery};
 pub use engine::FreeJoinEngine;
 pub use error::{EngineError, EngineResult};
 pub use exec::{execute_pipeline, execute_pipeline_parallel, ExecCounters};
-pub use fj_obs::{NodeProfile, PipelineProfile, ProfileSheet, QueryProfile};
+pub use fj_obs::{
+    NodeProfile, PipelineProfile, ProfileSheet, QueryProfile, QueryTrace, TraceBuf, TraceCat,
+    TraceEvent, TraceKind,
+};
 pub use options::{FreeJoinOptions, TrieStrategy};
 pub use prep::{prepare_inputs, BoundInput};
 pub use session::{EngineCaches, Params, Prepared, Session, SessionCacheStats};

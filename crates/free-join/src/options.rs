@@ -91,6 +91,13 @@ pub struct FreeJoinOptions {
     /// static path stays exact-legacy, guarded by one precomputed per-node
     /// mask check.
     pub adaptive: bool,
+    /// Span tracing: record per-worker event rings (task/node spans, steal
+    /// and split instants, trie fetch/build spans) for assembly into a
+    /// `QueryTrace` with Chrome trace-event export. Off by default; the
+    /// disabled state allocates nothing and adds only a branch per emission
+    /// site, mirroring the `profile` gating discipline (the bench suite's
+    /// `trace_overhead_pct` column pins the off cost).
+    pub trace: bool,
 }
 
 impl Default for FreeJoinOptions {
@@ -107,6 +114,7 @@ impl Default for FreeJoinOptions {
             split_threshold: 1024,
             profile: false,
             adaptive: false,
+            trace: false,
         }
     }
 }
@@ -128,6 +136,7 @@ impl FreeJoinOptions {
             split_threshold: 1024,
             profile: false,
             adaptive: false,
+            trace: false,
         }
     }
 
@@ -189,6 +198,13 @@ impl FreeJoinOptions {
         self
     }
 
+    /// Builder-style setter for span tracing (per-worker event rings
+    /// assembled into a `QueryTrace`).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Is vectorization enabled?
     pub fn vectorized(&self) -> bool {
         self.batch_size > 1
@@ -226,6 +242,8 @@ mod tests {
         assert!(!o.profile, "profiling is opt-in");
         assert!(!o.adaptive, "adaptive execution is opt-in");
         assert!(o.with_adaptive(true).adaptive);
+        assert!(!o.trace, "tracing is opt-in");
+        assert!(o.with_trace(true).trace);
     }
 
     #[test]

@@ -63,7 +63,10 @@ use crate::options::{FreeJoinOptions, TrieStrategy};
 use crate::prep::{bind_atom, record_var_types, BoundInput};
 use crate::trie::InputTrie;
 use fj_cache::{Fingerprinter, PlanCache, StatsSnapshot, TrieCache, TrieKey};
-use fj_obs::{NodeProfile, PipelineProfile, ProfileSheet, QueryProfile};
+use fj_obs::{
+    trace_now_nanos, NodeProfile, PipelineProfile, ProfileSheet, QueryProfile, QueryTrace,
+    TraceBuf, TraceCat, DEFAULT_TRACE_CAPACITY, SESSION_WORKER,
+};
 use fj_plan::{
     optimize, CardinalityEstimator, CatalogStats, OptimizerOptions, PipeInput, SubPlanInfo,
 };
@@ -399,6 +402,32 @@ impl Session {
         );
         Ok(out)
     }
+
+    /// Prepare and execute with span tracing on, returning the assembled
+    /// [`QueryTrace`]. On top of [`Prepared::execute_traced`], the trace
+    /// carries a plan-cache hit/miss instant for the prepare step (read from
+    /// the shared cache's counter delta — best-effort under concurrent
+    /// sessions, exact when this session is the only preparer).
+    pub fn trace_query(
+        &self,
+        catalog: &Catalog,
+        query: &ConjunctiveQuery,
+    ) -> EngineResult<(QueryOutput, ExecStats, QueryTrace)> {
+        let t_prep = trace_now_nanos();
+        let misses0 = self.caches.plans.stats().misses;
+        let prepared = self.prepare(catalog, query)?;
+        let missed = self.caches.plans.stats().misses > misses0;
+        let (output, stats, mut trace) = prepared.execute_traced(catalog, &Params::new())?;
+        // Attached after the executor's session ring so the span tree still
+        // starts from the query span (`span_tree` reads the first
+        // session-worker ring).
+        let mut prep = TraceBuf::with_capacity(4, SESSION_WORKER);
+        let cat = if missed { TraceCat::PlanMiss } else { TraceCat::PlanHit };
+        prep.begin_at(t_prep, cat, 0, prepared.fingerprint(), &[]);
+        prep.end(cat, 0, 0);
+        trace.attach(prep);
+        Ok((output, stats, trace))
+    }
 }
 
 /// Runtime parameters for one execution of a [`Prepared`] query: per-atom
@@ -478,7 +507,7 @@ impl Prepared {
         catalog: &Catalog,
         params: &Params,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
-        self.execute_inner(catalog, params, &self.options, None)
+        self.execute_inner(catalog, params, &self.options, None, None)
     }
 
     /// Execute with profiling forced on, returning the per-node
@@ -492,7 +521,8 @@ impl Prepared {
     ) -> EngineResult<(QueryOutput, ExecStats, QueryProfile)> {
         let options = self.options.with_profile(true);
         let mut sheets = Vec::with_capacity(self.plan.compiled.pipelines.len());
-        let (output, stats) = self.execute_inner(catalog, params, &options, Some(&mut sheets))?;
+        let (output, stats) =
+            self.execute_inner(catalog, params, &options, Some(&mut sheets), None)?;
         let profile = self.assemble_profile(&sheets);
         // This run has per-node actuals: count the nodes that bust their
         // prepare-time estimate (the same predicate behind the rendered `!`
@@ -501,17 +531,39 @@ impl Prepared {
         Ok((output, stats, profile))
     }
 
+    /// Execute with span tracing forced on, returning the assembled
+    /// [`QueryTrace`] — the session's structural ring (query → pipelines →
+    /// trie fetch/build) plus one executor ring per worker, each tagged with
+    /// its pipeline — alongside the usual output and stats. Render with
+    /// [`QueryTrace::span_tree`] (canonical, schedule-independent) or
+    /// [`QueryTrace::to_chrome_json`] (full timeline for Perfetto).
+    pub fn execute_traced(
+        &self,
+        catalog: &Catalog,
+        params: &Params,
+    ) -> EngineResult<(QueryOutput, ExecStats, QueryTrace)> {
+        let options = self.options.with_trace(true);
+        let mut trace = QueryTrace::new();
+        let (output, stats) =
+            self.execute_inner(catalog, params, &options, None, Some(&mut trace))?;
+        Ok((output, stats, trace))
+    }
+
     /// The shared execution path. When `sheets` is `Some`, one merged
     /// [`ProfileSheet`] per pipeline is pushed into it (in pipeline order);
     /// when `None`, a disabled sheet is threaded through instead, which
     /// allocates nothing — the `profile: false` serving path pays only a
-    /// branch per instrumentation site.
+    /// branch per instrumentation site. `trace` follows the same discipline:
+    /// `None` (with `options.trace` unset) costs one branch per emission
+    /// site and never allocates; `Some` collects the session ring and every
+    /// per-worker executor ring into the given [`QueryTrace`].
     fn execute_inner(
         &self,
         catalog: &Catalog,
         params: &Params,
         options: &FreeJoinOptions,
         mut sheets: Option<&mut Vec<ProfileSheet>>,
+        mut trace: Option<&mut QueryTrace>,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
         let query = self.query_with(params)?;
         let query = query.as_ref();
@@ -522,6 +574,17 @@ impl Prepared {
         let compiled = &self.plan.compiled;
         let mut stats = ExecStats::default();
         let var_types = var_types(catalog, &query.atoms)?;
+
+        // The session's structural ring: query/pipeline spans and trie
+        // fetch/build events — the schedule-independent skeleton the
+        // canonical span tree renders. Only exists when tracing.
+        let mut session_buf = trace
+            .is_some()
+            .then(|| TraceBuf::with_capacity(DEFAULT_TRACE_CAPACITY, SESSION_WORKER));
+        let evictions0 = trace.is_some().then(|| self.caches.tries.stats().evictions);
+        if let Some(tb) = session_buf.as_mut() {
+            tb.begin(TraceCat::Query, 0, 0, &[]);
+        }
 
         let mut intermediates: Vec<Option<BoundInput>> = vec![None; compiled.pipelines.len()];
         let mut output = None;
@@ -537,11 +600,27 @@ impl Prepared {
             // totals across queries remain exact; only the per-query split
             // can skew under concurrency.
             let mut baselines: Vec<(u64, u64)> = Vec::with_capacity(pipeline.inputs.len());
-            for (&input, schema) in pipeline.inputs.iter().zip(&pipeline.plan.schemas) {
+            if let Some(tb) = session_buf.as_mut() {
+                tb.begin(TraceCat::Pipeline, p as u32, 0, &[]);
+            }
+            for (k, (&input, schema)) in
+                pipeline.inputs.iter().zip(&pipeline.plan.schemas).enumerate()
+            {
+                // Captured before the fetch so the span covers it; nothing
+                // is pushed into the ring in between, and the hit/built
+                // outcome is only known afterwards (hence `begin_at`).
+                let t_fetch = session_buf.is_some().then(trace_now_nanos);
                 match input {
                     PipeInput::Atom(i) => {
                         let (trie, built_here) =
                             self.cached_trie(catalog, &query.atoms[i], schema, &mut stats)?;
+                        if let (Some(tb), Some(t0)) = (session_buf.as_mut(), t_fetch) {
+                            tb.begin_at(t0, TraceCat::TrieFetch, k as u32, built_here as u64, &[]);
+                            let cat =
+                                if built_here { TraceCat::TrieMiss } else { TraceCat::TrieHit };
+                            tb.instant(cat, k as u32, 0, &[]);
+                            tb.end(TraceCat::TrieFetch, k as u32, 0);
+                        }
                         baselines.push(if built_here {
                             (0, 0)
                         } else {
@@ -556,6 +635,10 @@ impl Prepared {
                         let trie =
                             Arc::new(InputTrie::build(&bound, schema.clone(), self.options.trie));
                         stats.build_time += build_start.elapsed();
+                        if let (Some(tb), Some(t0)) = (session_buf.as_mut(), t_fetch) {
+                            tb.begin_at(t0, TraceCat::TrieBuild, k as u32, 0, &[]);
+                            tb.end(TraceCat::TrieBuild, k as u32, 0);
+                        }
                         baselines.push((0, 0));
                         tries.push(trie);
                     }
@@ -564,6 +647,7 @@ impl Prepared {
 
             let is_final = p == compiled.root_pipeline();
             let mut sheet = ProfileSheet::disabled();
+            let mut pipe_traces: Vec<TraceBuf> = Vec::new();
             let result = join_pipeline(
                 &tries,
                 &pipeline.plan,
@@ -573,9 +657,19 @@ impl Prepared {
                 &var_types,
                 &mut stats,
                 &mut sheet,
+                &mut pipe_traces,
             )?;
             if let Some(sheets) = sheets.as_deref_mut() {
                 sheets.push(sheet);
+            }
+            if let Some(qt) = trace.as_deref_mut() {
+                for mut tb in pipe_traces {
+                    tb.set_pipeline(p as u32);
+                    qt.attach(tb);
+                }
+            }
+            if let Some(tb) = session_buf.as_mut() {
+                tb.end(TraceCat::Pipeline, p as u32, 0);
             }
             for (idx, (trie, (maps0, lazy0))) in tries.iter().zip(&baselines).enumerate() {
                 // A cached trie can serve several inputs of one pipeline
@@ -597,6 +691,16 @@ impl Prepared {
 
         let output = output.expect("the final pipeline produces the output");
         stats.output_tuples = output.cardinality();
+        if let (Some(tb), Some(e0)) = (session_buf.as_mut(), evictions0) {
+            let evicted = self.caches.tries.stats().evictions.saturating_sub(e0);
+            if evicted > 0 {
+                tb.instant(TraceCat::Evict, 0, evicted, &[]);
+            }
+            tb.end(TraceCat::Query, 0, output.cardinality());
+        }
+        if let (Some(qt), Some(tb)) = (trace, session_buf) {
+            qt.attach(tb);
+        }
         self.caches.record_sched(stats.tasks_spawned, stats.tasks_stolen);
         self.caches.record_exec(stats.reorders, 0);
         Ok((output, stats))

@@ -48,7 +48,7 @@ pub use free_join as engine;
 pub mod prelude {
     pub use fj_baselines::{BinaryJoinEngine, GenericJoinEngine};
     pub use fj_cache::CacheStats;
-    pub use fj_obs::{MetricsRegistry, QueryProfile};
+    pub use fj_obs::{MetricsRegistry, QueryProfile, QueryTrace};
     pub use fj_plan::{
         binary2fj, factor, optimize, BinaryPlan, CatalogStats, EstimatorMode, FreeJoinPlan,
         OptimizerOptions,

@@ -360,12 +360,15 @@ fn metrics_frame_round_trips_with_histogram_and_slow_queries() {
     // The in-process accessor serves the same exposition (it can't be
     // byte-equal: the metrics request itself moved the counters).
     let in_process = server.metrics_text();
-    assert!(in_process.contains("fj_serve_slow_queries 4"), "{in_process}");
+    assert!(in_process.contains("fj_serve_slow_queries_total 4"), "{in_process}");
     assert!(in_process.contains("# slow_query handle="), "{in_process}");
     // Registry counters, refreshed gauges, and the histogram dump.
     assert!(text.contains("fj_serve_accepted_connections 1"), "{text}");
     assert!(text.contains("fj_serve_requests_served"), "{text}");
-    assert!(text.contains("fj_serve_slow_queries 4"), "{text}");
+    assert!(text.contains("fj_serve_slow_queries_total 4"), "{text}");
+    assert!(text.contains("fj_serve_uptime_seconds"), "{text}");
+    assert!(text.contains("fj_build_info{version="), "{text}");
+    assert!(text.contains("fj_obs_trace_events_dropped_total"), "{text}");
     assert!(text.lines().any(|l| l.starts_with("fj_cache_plan_")), "{text}");
     assert!(text.lines().any(|l| l.starts_with("fj_sched_")), "{text}");
     assert!(text.contains("fj_serve_latency_us_bucket{le=\"+Inf\"}"), "{text}");
@@ -383,6 +386,90 @@ fn metrics_frame_round_trips_with_histogram_and_slow_queries() {
         assert!(series.starts_with("fj_"), "all series carry the fj_ prefix: {line:?}");
         assert!(seen.insert(series.to_string()), "duplicate series {series}");
     }
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The trace wire frames end to end over loopback: an explicit `TraceExecute`
+/// returns the rendered span tree and Chrome JSON, the trace is retained in
+/// the ring and fetchable by id, `trace_sample_n` traces every Nth plain
+/// `Execute` transparently, and slow-query entries carry fingerprints and
+/// the sampled trace ids.
+#[test]
+fn trace_frame_round_trips_and_sampling_fills_the_ring() {
+    let workload = freejoin::workloads::micro::skewed_star(2, 60, 0.9, 23);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let session = Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(2).with_split_threshold(32));
+    let server = freejoin::serve::Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&catalog),
+        session,
+        ServerConfig {
+            workers: 2,
+            trace_sample_n: 2,
+            trace_ring: 8,
+            slow_query_us: 0,
+            slow_query_log: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds an ephemeral loopback port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    // Execute sequence 0 is sampled (0 % 2 == 0): a plain Answer for the
+    // client, trace id 1 minted into the ring behind its back.
+    let expected = client.execute(handle).unwrap().cardinality;
+
+    // Explicit OP_TRACE round-trip: full rendered views come back.
+    let traced = client.trace(handle, &[]).unwrap();
+    assert_eq!(traced.cardinality, expected);
+    assert_eq!(traced.trace_id, 2, "the sampled first execute minted id 1");
+    assert!(traced.span_tree.starts_with("query\n"), "{}", traced.span_tree);
+    assert!(traced.span_tree.contains("pipeline"), "{}", traced.span_tree);
+    assert!(traced.span_tree.contains("trie_fetch"), "{}", traced.span_tree);
+    assert!(traced.chrome_json.contains("\"traceEvents\""), "{}", traced.chrome_json);
+    assert!(
+        traced.chrome_json.contains("\"cat\":\"request\""),
+        "serve-layer lifecycle spans ride the timeline: {}",
+        traced.chrome_json
+    );
+
+    // The trace is retained: fetching by id returns the identical views.
+    let fetched = client.fetch_trace(traced.trace_id).unwrap();
+    assert_eq!(fetched.trace_id, traced.trace_id);
+    assert_eq!(fetched.span_tree, traced.span_tree);
+    assert_eq!(fetched.chrome_json, traced.chrome_json);
+    assert_eq!(fetched.cardinality, traced.cardinality);
+
+    // Sampling: every other plain Execute is traced transparently.
+    for _ in 0..4 {
+        assert_eq!(client.execute(handle).unwrap().cardinality, expected);
+    }
+    let sampled = client.fetch_trace(1).unwrap();
+    assert_eq!(sampled.cardinality, expected);
+    assert!(sampled.span_tree.starts_with("query\n"));
+    // Sampled and explicit traces of the same warm query render the same
+    // canonical tree except for the cold run's built-vs-hit fetch lines.
+    assert_eq!(client.fetch_trace(3).unwrap().span_tree, traced.span_tree);
+
+    // An unknown id is a typed error; the connection stays usable.
+    match client.fetch_trace(999_999) {
+        Err(ClientError::Server(m)) => assert!(m.contains("trace"), "{m}"),
+        other => panic!("expected a typed error for an unknown trace id, got {other:?}"),
+    }
+    assert_eq!(client.execute(handle).unwrap().cardinality, expected);
+
+    // Slow-query entries (threshold 0: all of them) carry the fingerprint,
+    // and the sampled/traced ones carry their trace id.
+    let text = server.metrics_text();
+    assert!(text.contains("# slow_query handle="), "{text}");
+    assert!(text.contains("fingerprint="), "{text}");
+    assert!(text.contains("trace_id=-"), "untraced executions show no id: {text}");
+    assert!(text.contains("trace_id=1"), "sampled executions carry their id: {text}");
+    assert!(text.contains("fj_obs_trace_events_dropped_total 0"), "{text}");
 
     client.shutdown_server().unwrap();
     server.join();
