@@ -207,6 +207,47 @@ def check_trace_overhead_column(doc, path, errors):
         errors.append(f"{path}: no designated trace-overhead row (clover/colt/1/none)")
 
 
+def check_cancel_overhead_column(doc, path, errors):
+    """schema_version 10: every row carries cancel_check_overhead_pct — the
+    warm wall-time cost of executing under a live (armed, far-future
+    deadline) CancelToken versus the plain path whose disabled token
+    short-circuits every cooperative check, measured with the same paired
+    estimator as profile_overhead_pct. Exactly the designated rows
+    (clover / colt / serial / uncached) measure it and must stay under 2%;
+    every other row carries 0.0. A breach means the executor's cooperative
+    cancellation checks got expensive — fix the regression, don't raise the
+    bound."""
+    measured = 0
+    for i, r in enumerate(doc["results"]):
+        if "cancel_check_overhead_pct" not in r:
+            errors.append(f"{path}: row {i} is missing the cancel_check_overhead_pct column")
+            continue
+        pct = r["cancel_check_overhead_pct"]
+        if not isinstance(pct, (int, float)) or isinstance(pct, bool) or pct < 0:
+            errors.append(f"{path}: row {i} has implausible cancel_check_overhead_pct={pct!r}")
+            continue
+        designated = (
+            r["query"].startswith("clover")
+            and r["strategy"] == "colt"
+            and r["threads"] == 1
+            and r["cache"] == "none"
+        )
+        if designated:
+            measured += 1
+            if pct >= 2.0:
+                errors.append(
+                    f"{path}: row {i} ({r['query']}) cancellation-check overhead {pct}% >= 2% — "
+                    f"arming a cancel token must stay effectively free"
+                )
+        elif pct != 0:
+            errors.append(
+                f"{path}: row {i} ({r['query']}/{r['strategy']}/{r['cache']}) is not the "
+                f"designated overhead row but carries cancel_check_overhead_pct={pct}"
+            )
+    if measured == 0:
+        errors.append(f"{path}: no designated cancel-overhead row (clover/colt/1/none)")
+
+
 def check_serving_columns(doc, path, errors):
     """schema_version 4: every row carries serve_p50_us/serve_p99_us; the
     cache="serve" rows (real loopback TCP) must report sane nonzero
@@ -243,12 +284,12 @@ def main():
             f"schema_version drifted: committed {a['schema_version']} vs fresh "
             f"{b['schema_version']} — regenerate the committed BENCH_micro.json"
         )
-    if a["schema_version"] < 9:
+    if a["schema_version"] < 10:
         errors.append(
-            f"schema_version {a['schema_version']} < 9: the serving latency columns "
+            f"schema_version {a['schema_version']} < 10: the serving latency columns "
             f"(serve_p50_us/serve_p99_us), the tuples_per_sec throughput column, the "
-            f"skew column, the profile_overhead_pct and trace_overhead_pct columns "
-            f"and the exec column are required"
+            f"skew column, the profile_overhead_pct, trace_overhead_pct and "
+            f"cancel_check_overhead_pct columns and the exec column are required"
         )
     else:
         check_serving_columns(a, committed, errors)
@@ -263,6 +304,8 @@ def main():
         check_trace_overhead_column(b, fresh, errors)
         check_exec_column(a, committed, errors)
         check_exec_column(b, fresh, errors)
+        check_cancel_overhead_column(a, committed, errors)
+        check_cancel_overhead_column(b, fresh, errors)
     if len(a["results"]) != len(b["results"]):
         errors.append(
             f"result row count drifted: committed {len(a['results'])} vs fresh "

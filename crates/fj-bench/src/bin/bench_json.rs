@@ -67,17 +67,26 @@
 //! on the clover COLT serial row and `0.0` everywhere else. CI's schema
 //! gate fails at ≥ 5%, pinning the tracer's cheap-when-on contract (its
 //! off-cost is pinned separately, by the counting-allocator test in
-//! `tests/trace_invariants.rs`). The JSON is written by hand — the
-//! workspace's offline `serde` stand-in does not serialize — and the
-//! schema is deliberately flat:
+//! `tests/trace_invariants.rs`).
+//!
+//! Since schema_version 10 every row carries `cancel_check_overhead_pct` —
+//! the warm wall-time cost of executing under a live (armed, far-future
+//! deadline) `CancelToken` versus the plain path whose disabled token
+//! short-circuits every cooperative check, measured with the same paired
+//! estimator on the clover COLT serial row and `0.0` everywhere else. CI's
+//! schema gate fails at ≥ 2%: the serving path arms a token on every
+//! deadline-carrying request, so the checks must stay effectively free.
+//! The JSON is written by hand — the workspace's offline `serde` stand-in
+//! does not serialize — and the schema is deliberately flat:
 //!
 //! ```json
-//! {"schema_version":9,"cores":8,"note":"...","results":[
+//! {"schema_version":10,"cores":8,"note":"...","results":[
 //!   {"query":"clover","strategy":"colt","threads":1,"cache":"none",
 //!    "exec":"static","trie_hits":0,"trie_misses":0,"wall_ms":12.34,
 //!    "build_ms":1.20,"probe_ms":10.80,"output_tuples":1,
 //!    "tuples_per_sec":92,"serve_p50_us":0,"serve_p99_us":0,"skew":0.00,
-//!    "profile_overhead_pct":1.40,"trace_overhead_pct":1.10}
+//!    "profile_overhead_pct":1.40,"trace_overhead_pct":1.10,
+//!    "cancel_check_overhead_pct":0.30}
 //! ]}
 //! ```
 
@@ -87,10 +96,10 @@ use fj_query::ExecStats;
 use fj_serve::{Client, Server, ServerConfig};
 use fj_workloads::job::{self, JobConfig};
 use fj_workloads::{micro, Workload};
-use free_join::{EngineCaches, FreeJoinOptions, Params, Session, TrieStrategy};
+use free_join::{CancelToken, EngineCaches, FreeJoinOptions, Params, Session, TrieStrategy};
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Timing repetitions per configuration; the minimum is reported.
 const REPS: usize = 2;
@@ -126,6 +135,10 @@ struct Record {
     /// Warm wall-time overhead of span tracing, percent; measured on the
     /// clover COLT serial row only, `0.0` everywhere else.
     trace_overhead_pct: f64,
+    /// Warm wall-time overhead of executing under a live (armed) cancel
+    /// token versus the disabled-token plain path, percent; measured on the
+    /// clover COLT serial row only, `0.0` everywhere else.
+    cancel_check_overhead_pct: f64,
 }
 
 impl Record {
@@ -183,6 +196,7 @@ fn measure(workload: &Workload, options: FreeJoinOptions) -> Record {
         skew: 0.0,
         profile_overhead_pct: 0.0,
         trace_overhead_pct: 0.0,
+        cancel_check_overhead_pct: 0.0,
     }
 }
 
@@ -241,6 +255,7 @@ fn measure_serving(
         skew: 0.0,
         profile_overhead_pct: 0.0,
         trace_overhead_pct: 0.0,
+        cancel_check_overhead_pct: 0.0,
     };
     (
         make(
@@ -346,6 +361,54 @@ fn trace_overhead_pct(workload: &Workload) -> f64 {
     overhead.max(0.0)
 }
 
+/// Warm live-token-vs-plain overhead (schema_version 10): the same
+/// burst-robust paired estimator as [`profile_overhead_pct`], with
+/// `Prepared::execute_cancellable` under a live far-future-deadline token on
+/// the measured side. The plain side's disabled token short-circuits every
+/// cooperative check to one branch; the live side actually polls the shared
+/// atomics (and the clock, at deadline checks) at task/morsel/flush
+/// boundaries. CI gates the result < 2%: the serving path arms a token on
+/// every deadline-carrying request, so the checks must stay effectively
+/// free.
+fn cancel_check_overhead_pct(workload: &Workload) -> f64 {
+    const BATCH: usize = 200;
+    const ROUNDS: usize = 14;
+    let session = Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(1));
+    let named = &workload.queries[0];
+    let prepared = session.prepare(&workload.catalog, &named.query).expect("overhead prepares");
+    let token = CancelToken::with_deadline(Duration::from_secs(3600));
+    for _ in 0..5 {
+        prepared.execute(&workload.catalog).expect("overhead warm-up executes");
+        prepared
+            .execute_cancellable(&workload.catalog, &Params::new(), &token)
+            .expect("overhead warm-up executes cancellable");
+    }
+    let batch_ms = |cancellable: bool| {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            if cancellable {
+                prepared
+                    .execute_cancellable(&workload.catalog, &Params::new(), &token)
+                    .expect("cancellable execution succeeds");
+            } else {
+                prepared.execute(&workload.catalog).expect("plain execution succeeds");
+            }
+        }
+        ms(start.elapsed())
+    };
+    // Same rationale as profile_overhead_pct: pair the two kinds within
+    // each round and take the minimum per-round overhead, so background
+    // bursts cancel instead of being billed to the cancellation checks.
+    let mut overhead = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let plain = batch_ms(false);
+        let cancellable = batch_ms(true);
+        overhead = overhead.min(100.0 * (cancellable - plain) / plain);
+    }
+    overhead.max(0.0)
+}
+
 /// One static-vs-adaptive COLT serial pair (schema_version 8): the same
 /// pre-optimized plan executed with `FreeJoinOptions::adaptive` off and on,
 /// interleaved round by round so frequency scaling or a background burst
@@ -390,6 +453,7 @@ fn measure_exec_pair(label: &str, workload: &Workload, skew: f64, reps: usize) -
         skew,
         profile_overhead_pct: 0.0,
         trace_overhead_pct: 0.0,
+        cancel_check_overhead_pct: 0.0,
     };
     (make(0, "static"), make(1, "adaptive"))
 }
@@ -472,6 +536,7 @@ fn measure_serving_tcp(label: &str, workload: &Workload, query_idx: usize) -> Re
         skew: 0.0,
         profile_overhead_pct: 0.0,
         trace_overhead_pct: 0.0,
+        cancel_check_overhead_pct: 0.0,
     }
 }
 
@@ -529,6 +594,11 @@ fn main() {
                 eprintln!("  profiled execution overhead: {:.2}%", record.profile_overhead_pct);
                 record.trace_overhead_pct = trace_overhead_pct(workload);
                 eprintln!("  traced execution overhead: {:.2}%", record.trace_overhead_pct);
+                record.cancel_check_overhead_pct = cancel_check_overhead_pct(workload);
+                eprintln!(
+                    "  cancellation-check overhead: {:.2}%",
+                    record.cancel_check_overhead_pct
+                );
             }
             records.push(record);
         }
@@ -642,21 +712,26 @@ fn main() {
                 measured as interleaved best-of pairs on skew_flip (the anti-correlated \
                 adversary, skew=1.0 meaning the per-binding ranking is fully inverted; CI \
                 requires adaptive >= 20% faster), star_hotkey, and clover (the uniform \
-                control; CI requires adaptive < 5% slower)";
+                control; CI requires adaptive < 5% slower); cancel_check_overhead_pct is \
+                the warm wall-time cost of executing under a live far-future-deadline \
+                CancelToken (Prepared::execute_cancellable) versus the plain path whose \
+                disabled token short-circuits every cooperative check, measured with the \
+                same paired estimator on the same clover colt serial row and 0.0 \
+                elsewhere — CI fails the build at >= 2%";
     let mut json = String::new();
     let _ =
-        write!(json, "{{\"schema_version\":9,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
+        write!(json, "{{\"schema_version\":10,\"cores\":{cores},\"note\":\"{note}\",\"results\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"exec\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{},\"skew\":{:.2},\"profile_overhead_pct\":{:.2},\"trace_overhead_pct\":{:.2}}}",
+            "\n  {{\"query\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"cache\":\"{}\",\"exec\":\"{}\",\"trie_hits\":{},\"trie_misses\":{},\"wall_ms\":{:.3},\"build_ms\":{:.3},\"probe_ms\":{:.3},\"output_tuples\":{},\"tuples_per_sec\":{},\"serve_p50_us\":{},\"serve_p99_us\":{},\"skew\":{:.2},\"profile_overhead_pct\":{:.2},\"trace_overhead_pct\":{:.2},\"cancel_check_overhead_pct\":{:.2}}}",
             r.query, r.strategy, r.threads, r.cache, r.exec, r.trie_hits, r.trie_misses,
             r.wall_ms, r.build_ms, r.probe_ms, r.output_tuples, r.tuples_per_sec(),
             r.serve_p50_us, r.serve_p99_us, r.skew, r.profile_overhead_pct,
-            r.trace_overhead_pct
+            r.trace_overhead_pct, r.cancel_check_overhead_pct
         );
     }
     json.push_str("\n]}\n");

@@ -1,0 +1,263 @@
+//! Fault-injection failpoints for robustness testing.
+//!
+//! A **failpoint** is a named site in production code (`chaos::should_fail
+//! ("serve.socket_read")`) that normally does nothing and can be *armed* by a
+//! test (or the `FJ_CHAOS` environment variable) to inject a typed failure,
+//! a panic, or a delay. The registry follows the same gating discipline as
+//! the profiler and trace rings: the disarmed state is one relaxed atomic
+//! load per site — no lock, no allocation, no branch into the registry — so
+//! leaving failpoints compiled into release binaries costs nothing
+//! (`tests/profile_alloc.rs` pins the no-allocation property).
+//!
+//! Arming is process-global, so concurrent tests should use distinct site
+//! names. A site can be armed for a bounded number of hits
+//! ([`arm_times`]) — e.g. "fail the next 2 socket reads, then recover" —
+//! which is how retry paths are exercised end to end.
+//!
+//! ```
+//! use fj_obs::chaos;
+//!
+//! assert!(!chaos::should_fail("docs.example")); // disarmed: free
+//! chaos::arm_times("docs.example", chaos::ChaosAction::Fail, 1);
+//! assert!(chaos::should_fail("docs.example"));  // injected failure
+//! assert!(!chaos::should_fail("docs.example")); // exhausted: recovered
+//! assert_eq!(chaos::hits("docs.example"), 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What an armed failpoint injects when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Panic at the site (exercises `catch_unwind` isolation).
+    Panic,
+    /// Report failure: [`should_fail`] returns `true` and the site surfaces
+    /// its own typed error (an `io::Error`, an engine error, ...).
+    Fail,
+    /// Sleep this many milliseconds at the site, then proceed normally
+    /// (exercises deadlines and slow-peer handling).
+    DelayMs(u64),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    /// `None` once disarmed; hits are retained for assertions.
+    action: Option<ChaosAction>,
+    /// Remaining hits before the point exhausts; `None` = unlimited.
+    remaining: Option<u32>,
+    hits: u64,
+}
+
+impl Entry {
+    fn live(&self) -> bool {
+        self.action.is_some() && self.remaining != Some(0)
+    }
+}
+
+/// Fast-path gate: `false` means no failpoint anywhere is live, and every
+/// site returns after one relaxed load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// The registry proper: a handful of entries at most, linear scan is fine.
+static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+fn with_registry<R>(f: impl FnOnce(&mut Vec<Entry>) -> R) -> R {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let out = f(&mut reg);
+    ARMED.store(reg.iter().any(Entry::live), Ordering::Release);
+    out
+}
+
+/// Arm `name` to inject `action` on every hit until disarmed.
+pub fn arm(name: &str, action: ChaosAction) {
+    arm_inner(name, action, None);
+}
+
+/// Arm `name` to inject `action` for the next `times` hits, then recover.
+pub fn arm_times(name: &str, action: ChaosAction, times: u32) {
+    arm_inner(name, action, Some(times));
+}
+
+fn arm_inner(name: &str, action: ChaosAction, remaining: Option<u32>) {
+    with_registry(|reg| match reg.iter_mut().find(|e| e.name == name) {
+        Some(e) => {
+            e.action = Some(action);
+            e.remaining = remaining;
+        }
+        None => {
+            reg.push(Entry { name: name.to_string(), action: Some(action), remaining, hits: 0 })
+        }
+    });
+}
+
+/// Disarm `name` (hit count is retained for assertions). No-op if unknown.
+pub fn disarm(name: &str) {
+    with_registry(|reg| {
+        if let Some(e) = reg.iter_mut().find(|e| e.name == name) {
+            e.action = None;
+        }
+    });
+}
+
+/// Disarm every failpoint and forget all hit counts.
+pub fn disarm_all() {
+    with_registry(Vec::clear);
+}
+
+/// Times `name` has injected its action since it was first armed.
+pub fn hits(name: &str) -> u64 {
+    with_registry(|reg| reg.iter().find(|e| e.name == name).map_or(0, |e| e.hits))
+}
+
+/// Arm failpoints from the `FJ_CHAOS` environment variable:
+/// a comma-separated list of `site=panic`, `site=fail`, `site=delay:<ms>`,
+/// each optionally suffixed `*<times>` (e.g. `serve.read=fail*2`). Unknown
+/// actions are ignored rather than panicking — chaos config must never take
+/// the process down by itself. Returns the number of failpoints armed.
+pub fn arm_from_env() -> usize {
+    match std::env::var("FJ_CHAOS") {
+        Ok(spec) => arm_from_spec(&spec),
+        Err(_) => 0,
+    }
+}
+
+/// [`arm_from_env`]'s parser, callable directly with a config string.
+pub fn arm_from_spec(spec: &str) -> usize {
+    let mut armed = 0;
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let Some((name, rhs)) = part.split_once('=') else { continue };
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        let (action_str, times) = match rhs.split_once('*') {
+            Some((a, n)) => (a, n.parse::<u32>().ok()),
+            None => (rhs, None),
+        };
+        let action = if action_str == "panic" {
+            ChaosAction::Panic
+        } else if action_str == "fail" {
+            ChaosAction::Fail
+        } else if let Some(ms) = action_str.strip_prefix("delay:") {
+            match ms.parse::<u64>() {
+                Ok(ms) => ChaosAction::DelayMs(ms),
+                Err(_) => continue,
+            }
+        } else {
+            continue;
+        };
+        match times {
+            Some(n) => arm_times(name, action, n),
+            None => arm(name, action),
+        }
+        armed += 1;
+    }
+    armed
+}
+
+/// The failpoint hook: returns the armed action for `name` and consumes one
+/// hit, or `None` on the (fast, lock-free) disarmed path. Prefer
+/// [`should_fail`] unless the site needs to translate actions itself.
+#[inline]
+pub fn check(name: &str) -> Option<ChaosAction> {
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    check_slow(name)
+}
+
+#[cold]
+fn check_slow(name: &str) -> Option<ChaosAction> {
+    with_registry(|reg| {
+        let e = reg.iter_mut().find(|e| e.name == name)?;
+        if !e.live() {
+            return None;
+        }
+        if let Some(r) = e.remaining.as_mut() {
+            *r -= 1;
+        }
+        e.hits += 1;
+        e.action
+    })
+}
+
+/// Hit the failpoint `name`, executing its armed action: panics on
+/// [`ChaosAction::Panic`], sleeps on [`ChaosAction::DelayMs`] (then reports
+/// no failure), and returns `true` on [`ChaosAction::Fail`] so the site can
+/// surface its own typed error. Disarmed sites cost one relaxed load.
+#[inline]
+pub fn should_fail(name: &str) -> bool {
+    match check(name) {
+        None => false,
+        Some(ChaosAction::Fail) => true,
+        Some(ChaosAction::Panic) => panic!("chaos failpoint '{name}' injected a panic"),
+        Some(ChaosAction::DelayMs(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Chaos state is process-global and tests run concurrently: every test
+    // uses its own site names and never calls `disarm_all`.
+
+    #[test]
+    fn disarmed_site_never_fires() {
+        assert!(!should_fail("chaos.test.never_armed"));
+        assert_eq!(hits("chaos.test.never_armed"), 0);
+    }
+
+    #[test]
+    fn bounded_arming_exhausts_then_recovers() {
+        arm_times("chaos.test.bounded", ChaosAction::Fail, 2);
+        assert!(should_fail("chaos.test.bounded"));
+        assert!(should_fail("chaos.test.bounded"));
+        assert!(!should_fail("chaos.test.bounded"), "exhausted after 2 hits");
+        assert_eq!(hits("chaos.test.bounded"), 2);
+    }
+
+    #[test]
+    fn disarm_stops_injection_but_keeps_hits() {
+        arm("chaos.test.disarm", ChaosAction::Fail);
+        assert!(should_fail("chaos.test.disarm"));
+        disarm("chaos.test.disarm");
+        assert!(!should_fail("chaos.test.disarm"));
+        assert_eq!(hits("chaos.test.disarm"), 1);
+    }
+
+    #[test]
+    fn delay_action_reports_no_failure() {
+        arm_times("chaos.test.delay", ChaosAction::DelayMs(1), 1);
+        let t0 = std::time::Instant::now();
+        assert!(!should_fail("chaos.test.delay"));
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+        assert_eq!(hits("chaos.test.delay"), 1);
+    }
+
+    #[test]
+    fn panic_action_panics_at_the_site() {
+        arm_times("chaos.test.panic", ChaosAction::Panic, 1);
+        let r = std::panic::catch_unwind(|| should_fail("chaos.test.panic"));
+        assert!(r.is_err());
+        assert!(!should_fail("chaos.test.panic"), "bounded panic exhausts");
+    }
+
+    #[test]
+    fn spec_parser_arms_and_ignores_junk() {
+        let armed = arm_from_spec(
+            "chaos.test.spec_a=fail*1, chaos.test.spec_b=delay:7*1, \
+             chaos.test.spec_c=frobnicate, =fail, chaos.test.spec_d=delay:x,",
+        );
+        assert_eq!(armed, 2);
+        assert!(should_fail("chaos.test.spec_a"));
+        assert!(!should_fail("chaos.test.spec_a"));
+        assert_eq!(check("chaos.test.spec_b"), Some(ChaosAction::DelayMs(7)));
+        assert!(!should_fail("chaos.test.spec_c"));
+    }
+}

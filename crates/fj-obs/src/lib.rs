@@ -1,6 +1,6 @@
 //! Observability substrate for the Free Join workspace.
 //!
-//! Three independent pieces live here, all dependency-free so every other
+//! Four independent pieces live here, all dependency-free so every other
 //! crate (including the otherwise dependency-less `fj-cache`) can use them:
 //!
 //! * [`MetricsRegistry`] — a registry of named counters, gauges and
@@ -20,7 +20,11 @@
 //!   splits, trie fetches, adaptive reorders), assembled into a
 //!   [`QueryTrace`] with a schedule-independent structural span tree and a
 //!   Chrome trace-event JSON export for Perfetto.
+//! * [`chaos`] — named fault-injection failpoints for robustness testing:
+//!   armed by tests or `FJ_CHAOS`, one relaxed atomic load per site when
+//!   disarmed (the same zero-cost-when-off discipline as the profiler).
 
+pub mod chaos;
 mod metrics;
 mod profile;
 mod trace;

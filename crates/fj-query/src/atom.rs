@@ -86,13 +86,15 @@ impl Atom {
 }
 
 impl fmt::Display for Atom {
-    /// Renders in the parser's grammar, including the `where` clause when
-    /// the filter is expressible in it (conjunctions of column/constant
-    /// comparisons — see `Predicate::to_query_text`), so query text built
-    /// with `to_string` round-trips through `parse_query` filters and all.
-    /// Filters outside the grammar render as `where <unprintable>`, which
-    /// deliberately fails to re-parse rather than silently dropping the
-    /// selection (pre-PR-4 behavior, which made the text claim rows the
+    /// Renders in the parser's grammar, including the `where` clause — the
+    /// grammar now covers the whole predicate enum (`and`/`or`/`not`,
+    /// `is [not] null`, integer/string/column comparisons — see
+    /// `Predicate::to_query_text`), so query text built with `to_string`
+    /// round-trips through `parse_query` filters and all. The few shapes
+    /// that never come out of the parser (already-interned string ids, a
+    /// literal with both quote characters) render as `where <unprintable>`,
+    /// which deliberately fails to re-parse rather than silently dropping
+    /// the selection (pre-PR-4 behavior, which made the text claim rows the
     /// filtered query never produced).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.alias == self.relation {

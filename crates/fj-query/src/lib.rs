@@ -32,4 +32,4 @@ pub use output::{
     Aggregate, ExecStats, OutputBuilder, OutputKind, QueryOutput, ResultChunk, CHUNK_CAPACITY,
 };
 pub use parser::{parse_filter, parse_query, ParseError};
-pub use query::{ConjunctiveQuery, QueryError};
+pub use query::{CancelReason, ConjunctiveQuery, QueryError};

@@ -482,7 +482,7 @@ fn expand_chunks(chunks: &[ResultChunk], total: u64) -> Vec<Row> {
 /// excluded time takes up on average less than 1% of the total execution
 /// time"), and separately discusses trie/hash build cost, so all three phases
 /// are tracked here.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Time spent applying base-table selections.
     pub selection_time: Duration,

@@ -5,10 +5,19 @@
 //! ```text
 //! query   := name '(' vars ')' ':-' atom (',' atom)* '.'?
 //! atom    := rel ('as' alias)? '(' vars ')' ('where' filter)?
-//! filter  := cond ('and' cond)*
-//! cond    := column op constant | column op column
+//! filter  := and_expr ('or' and_expr)*
+//! and_expr:= unary ('and' unary)*
+//! unary   := 'not' unary | '(' filter ')' | cond
+//! cond    := column 'is' 'not'? 'null'
+//!          | column op (integer | string | column)
 //! op      := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! string  := "'" text "'" | '"' text '"'
 //! ```
+//!
+//! `not` binds tighter than `and`, which binds tighter than `or`. String
+//! literals compare only with `=` and `!=` — they are interned into the
+//! catalog dictionary at bind time, and dictionary ids are insertion-ordered,
+//! not lexicographic, so range comparisons would be meaningless.
 //!
 //! Example (the paper's triangle query over filtered views):
 //!
@@ -181,22 +190,82 @@ impl<'a> Parser<'a> {
         Some(parsed)
     }
 
+    fn string_literal(&mut self) -> Result<Option<String>, ParseError> {
+        self.skip_ws();
+        let Some(quote) = self.rest().chars().next().filter(|&c| c == '\'' || c == '"') else {
+            return Ok(None);
+        };
+        let start = self.pos + 1;
+        match self.input[start..].find(quote) {
+            Some(len) => {
+                let text = self.input[start..start + len].to_string();
+                self.pos = start + len + 1;
+                Ok(Some(text))
+            }
+            None => self.error("unterminated string literal"),
+        }
+    }
+
     fn condition(&mut self) -> Result<Predicate, ParseError> {
         let left = self.identifier()?;
+        if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            if !self.eat_keyword("null") {
+                return self.error("expected \"null\" after \"is\"");
+            }
+            return Ok(if negated {
+                Predicate::IsNotNull { column: left }
+            } else {
+                Predicate::IsNull { column: left }
+            });
+        }
         let op = self.cmp_op()?;
         if let Some(value) = self.integer() {
             return Ok(Predicate::ColCmpConst { column: left, op, value: Value::Int(value) });
+        }
+        if let Some(text) = self.string_literal()? {
+            if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                return self.error(
+                    "string literals compare only with = and != \
+                     (dictionary ids are not ordered)",
+                );
+            }
+            return Ok(Predicate::ColCmpStr { column: left, op, text });
         }
         let right = self.identifier()?;
         Ok(Predicate::ColCmpCol { left, op, right })
     }
 
-    fn filter(&mut self) -> Result<Predicate, ParseError> {
-        let mut pred = self.condition()?;
+    fn unary(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_keyword("not") {
+            return Ok(Predicate::Not(Box::new(self.unary()?)));
+        }
+        if self.eat("(") {
+            let inner = self.filter()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        self.condition()
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut pred = self.unary()?;
         while self.eat_keyword("and") {
-            pred = pred.and(self.condition()?);
+            pred = pred.and(self.unary()?);
         }
         Ok(pred)
+    }
+
+    fn filter(&mut self) -> Result<Predicate, ParseError> {
+        let first = self.and_expr()?;
+        if !self.peek_keyword("or") {
+            return Ok(first);
+        }
+        let mut branches = vec![first];
+        while self.eat_keyword("or") {
+            branches.push(self.and_expr()?);
+        }
+        Ok(Predicate::Or(branches))
     }
 
     fn atom(&mut self) -> Result<Atom, ParseError> {
@@ -234,10 +303,10 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
 }
 
 /// Parse a standalone filter expression (the `where` clause grammar:
-/// conditions joined by `and`), as shipped over the wire by serving
-/// front-ends for per-execution parameter overrides. The inverse of
-/// `fj_storage::Predicate::to_query_text`; an empty (or all-whitespace)
-/// input is the trivial `Predicate::True`.
+/// `and`/`or`/`not`, `is [not] null`, integer/string/column comparisons), as
+/// shipped over the wire by serving front-ends for per-execution parameter
+/// overrides. The inverse of `fj_storage::Predicate::to_query_text`; an
+/// empty (or all-whitespace) input is the trivial `Predicate::True`.
 pub fn parse_filter(input: &str) -> Result<Predicate, ParseError> {
     let mut parser = Parser::new(input);
     parser.skip_ws();
@@ -357,6 +426,82 @@ mod tests {
         assert_eq!(parse_filter("   ").unwrap(), Predicate::True);
         assert!(parse_filter("w > 30 garbage").is_err());
         assert!(parse_filter("w >").is_err());
+    }
+
+    #[test]
+    fn parse_widened_filter_grammar() {
+        // or / not / parens / is-null, with standard precedence.
+        let f = parse_filter("u = 1 or v = 2 and w = 3").unwrap();
+        assert_eq!(
+            f,
+            Predicate::Or(vec![
+                Predicate::eq_const("u", 1i64),
+                Predicate::eq_const("v", 2i64).and(Predicate::eq_const("w", 3i64)),
+            ])
+        );
+        let f = parse_filter("(u = 1 or v = 2) and w = 3").unwrap();
+        assert_eq!(
+            f,
+            Predicate::Or(vec![Predicate::eq_const("u", 1i64), Predicate::eq_const("v", 2i64)])
+                .and(Predicate::eq_const("w", 3i64))
+        );
+        assert_eq!(
+            parse_filter("not u = 1").unwrap(),
+            Predicate::Not(Box::new(Predicate::eq_const("u", 1i64)))
+        );
+        assert_eq!(
+            parse_filter("not (u = 1 and v = 2)").unwrap(),
+            Predicate::Not(Box::new(
+                Predicate::eq_const("u", 1i64).and(Predicate::eq_const("v", 2i64))
+            ))
+        );
+        assert_eq!(parse_filter("u is null").unwrap(), Predicate::IsNull { column: "u".into() });
+        assert_eq!(
+            parse_filter("u is not null").unwrap(),
+            Predicate::IsNotNull { column: "u".into() }
+        );
+        assert!(parse_filter("u is 3").is_err());
+        assert!(parse_filter("(u = 1").is_err());
+    }
+
+    #[test]
+    fn parse_string_literals() {
+        assert_eq!(
+            parse_filter("name = 'alice'").unwrap(),
+            Predicate::ColCmpStr { column: "name".into(), op: CmpOp::Eq, text: "alice".into() }
+        );
+        assert_eq!(
+            parse_filter("name != \"o'brien\"").unwrap(),
+            Predicate::ColCmpStr { column: "name".into(), op: CmpOp::Ne, text: "o'brien".into() }
+        );
+        // Only equality comparisons: dictionary ids are not ordered.
+        assert!(parse_filter("name < 'alice'").is_err());
+        assert!(parse_filter("name = 'unterminated").is_err());
+        // Inside a full query's where clause too.
+        let q = parse_query("Q(x) :- R(x) where name = 'alice' and x > 3.").unwrap();
+        match &q.atoms[0].filter {
+            Predicate::And(ps) => {
+                assert_eq!(ps[0], Predicate::eq_str("name", "alice"));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn widened_filters_round_trip_through_query_text() {
+        for text in [
+            "u = 1 or v = 2 and w = 3",
+            "u = 1 and (v = 2 or v = 3)",
+            "not (u = 1 and v = 2)",
+            "u is null and v is not null",
+            "name = 'alice' or not name != \"bob\"",
+        ] {
+            let parsed = parse_filter(text).unwrap();
+            let rendered = parsed
+                .to_query_text()
+                .unwrap_or_else(|| panic!("servable filter {text:?} must render: {parsed:?}"));
+            assert_eq!(parse_filter(&rendered).unwrap(), parsed, "via {rendered:?}");
+        }
     }
 
     #[test]

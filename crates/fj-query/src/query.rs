@@ -1,11 +1,36 @@
 //! Full conjunctive queries.
 
 use crate::atom::Atom;
-use crate::output::Aggregate;
+use crate::output::{Aggregate, ExecStats};
 use fj_storage::Catalog;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Why a query execution was cancelled before running to completion.
+///
+/// Carried inside [`QueryError::Cancelled`]; the engine's cooperative
+/// cancellation token records exactly one reason (the first trip wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CancelReason {
+    /// The per-query deadline elapsed while the join was running.
+    Deadline,
+    /// An external caller (e.g. a serve-path `OP_CANCEL` frame) requested
+    /// cancellation.
+    Explicit,
+    /// The query's result-buffer accounting exceeded `max_result_bytes`.
+    MemoryBudget,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Deadline => write!(f, "deadline exceeded"),
+            CancelReason::Explicit => write!(f, "cancelled by caller"),
+            CancelReason::MemoryBudget => write!(f, "result memory budget exceeded"),
+        }
+    }
+}
 
 /// Errors raised when validating a query against a catalog.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +56,10 @@ pub enum QueryError {
     /// The join graph is disconnected (cross products are not supported by
     /// the execution engines).
     Disconnected,
+    /// Execution was stopped cooperatively before completion. `partial_stats`
+    /// reflects the work done up to the point the cancellation was observed
+    /// (probes, expansions, per-phase timings) so callers can report progress.
+    Cancelled { reason: CancelReason, partial_stats: Box<ExecStats> },
 }
 
 impl fmt::Display for QueryError {
@@ -61,6 +90,13 @@ impl fmt::Display for QueryError {
             }
             QueryError::Disconnected => {
                 write!(f, "query join graph is disconnected (cross product)")
+            }
+            QueryError::Cancelled { reason, partial_stats } => {
+                write!(
+                    f,
+                    "query cancelled: {reason} (after {} probes, {} output tuples)",
+                    partial_stats.probes, partial_stats.output_tuples
+                )
             }
         }
     }

@@ -11,7 +11,8 @@ use crate::protocol::{
 use fj_query::Aggregate;
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A typed client-side failure.
 #[derive(Debug)]
@@ -102,19 +103,46 @@ pub struct TraceAnswer {
     pub chrome_json: String,
 }
 
+/// Per-request execution options: the request id `Cancel` frames target,
+/// and the client-side deadline the server clamps by its `max_query_ms`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecuteOpts {
+    /// Client-chosen id identifying this execution to [`Client::cancel`]
+    /// (from another connection). `0` = not cancellable by id.
+    pub request_id: u64,
+    /// Wall-clock deadline for this execution, milliseconds; the server
+    /// clamps it by its own cap and unwinds the query cooperatively past
+    /// it. `0` = no client deadline (the server cap still applies).
+    pub deadline_ms: u64,
+}
+
 /// A blocking connection to an fj-serve server.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The resolved address, kept so [`Client::execute_retry`] can
+    /// reconnect after an I/O failure.
+    addr: SocketAddr,
 }
 
 impl Client {
     /// Connect. The server may still shed this connection at admission; the
     /// first request then fails with [`ClientError::Busy`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client { stream, addr })
+    }
+
+    /// Drop the current socket and dial the server again.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        Ok(())
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -156,12 +184,83 @@ impl Client {
         handle: PreparedHandle,
         params: &[(&str, &str)],
     ) -> Result<Answer, ClientError> {
+        self.execute_opts(handle, params, ExecuteOpts::default())
+    }
+
+    /// Execute with parameter overrides plus a request id and/or deadline.
+    pub fn execute_opts(
+        &mut self,
+        handle: PreparedHandle,
+        params: &[(&str, &str)],
+        opts: ExecuteOpts,
+    ) -> Result<Answer, ClientError> {
         let params = params.iter().map(|(a, f)| (a.to_string(), f.to_string())).collect::<Vec<_>>();
-        match self.round_trip(&Request::Execute { handle: handle.handle, params })? {
+        let request = Request::Execute {
+            handle: handle.handle,
+            params,
+            request_id: opts.request_id,
+            deadline_ms: opts.deadline_ms,
+        };
+        match self.round_trip(&request)? {
             Response::Answer { cardinality, tries_built, service_us } => {
                 Ok(Answer { cardinality, tries_built, service_us })
             }
             _ => Err(ClientError::UnexpectedResponse("Answer")),
+        }
+    }
+
+    /// Cancel an in-flight execution by the request id its issuer chose
+    /// (typically from a different connection — this one is blocked on its
+    /// own response while the query runs). A typed server error means no
+    /// such execution is in flight (never started, or already finished).
+    pub fn cancel(&mut self, request_id: u64) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Cancel { request_id })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("Ok")),
+        }
+    }
+
+    /// Execute with retries: jittered exponential backoff honoring the
+    /// server's `retry_after_ms` hint on [`ClientError::Busy`], and a
+    /// reconnect + retry on I/O failures (a shed or faulted connection).
+    /// Typed server errors are NOT retried — the request ran and failed.
+    pub fn execute_retry(
+        &mut self,
+        handle: PreparedHandle,
+        params: &[(&str, &str)],
+        max_retries: u32,
+    ) -> Result<Answer, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let error = match self.execute_with(handle, params) {
+                Ok(answer) => return Ok(answer),
+                Err(e) => e,
+            };
+            attempt += 1;
+            if attempt > max_retries {
+                return Err(error);
+            }
+            let hint = match &error {
+                ClientError::Busy { retry_after_ms, .. } => *retry_after_ms,
+                ClientError::Io(_) | ClientError::Disconnected => {
+                    // The socket is suspect; redial before retrying. A failed
+                    // reconnect still burns this attempt's backoff below.
+                    let _ = self.reconnect();
+                    1
+                }
+                _ => return Err(error),
+            };
+            // Jittered exponential backoff: [base/2, base] where base is the
+            // server hint doubled per attempt, capped at ~10 s. Jitter comes
+            // from the subsecond clock — no RNG dependency, and perfectly
+            // adequate for de-synchronizing retry herds.
+            let base =
+                hint.max(1).saturating_mul(1 << attempt.saturating_sub(1).min(6)).min(10_000);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.subsec_nanos());
+            let jittered = base / 2 + u64::from(nanos) % (base / 2 + 1);
+            std::thread::sleep(Duration::from_millis(jittered));
         }
     }
 
@@ -173,7 +272,9 @@ impl Client {
         params: &[(&str, &str)],
     ) -> Result<TraceAnswer, ClientError> {
         let params = params.iter().map(|(a, f)| (a.to_string(), f.to_string())).collect::<Vec<_>>();
-        match self.round_trip(&Request::TraceExecute { handle: handle.handle, params })? {
+        let request =
+            Request::TraceExecute { handle: handle.handle, params, request_id: 0, deadline_ms: 0 };
+        match self.round_trip(&request)? {
             Response::Trace { trace_id, cardinality, service_us, span_tree, chrome_json } => {
                 Ok(TraceAnswer { trace_id, cardinality, service_us, span_tree, chrome_json })
             }

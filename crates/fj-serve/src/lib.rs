@@ -63,7 +63,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Answer, Client, ClientError, PreparedHandle, TraceAnswer};
+pub use client::{Answer, Client, ClientError, ExecuteOpts, PreparedHandle, TraceAnswer};
 pub use metrics::{LatencyHistogram, ServerMetrics, ServerStats};
 pub use protocol::{BusyReason, Request, Response, WireError};
 pub use server::{Server, ServerConfig};

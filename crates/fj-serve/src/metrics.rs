@@ -179,6 +179,19 @@ pub struct ServerMetrics {
     /// Queries whose execution exceeded the slow-query threshold
     /// (`fj_serve_slow_queries_total`).
     pub slow_queries: Counter,
+    /// Requests shed by the per-client token bucket
+    /// (`fj_serve_rejected_rate_limited`).
+    pub rate_limited: Counter,
+    /// Executions stopped by a per-request or server deadline
+    /// (`fj_serve_deadline_exceeded_total`).
+    pub deadline_exceeded: Counter,
+    /// Executions stopped by an explicit `Cancel` frame or a memory budget
+    /// (`fj_serve_cancellations_total`).
+    pub cancellations: Counter,
+    /// Request handlers that panicked and were isolated by the worker's
+    /// `catch_unwind` (`fj_serve_panics_total`); the worker and its
+    /// connection both survive.
+    pub panics: Counter,
     /// Service time (read-to-response) per served request, microseconds.
     /// Exposed as `fj_serve_latency_us` histogram series in the metrics
     /// frame.
@@ -196,6 +209,10 @@ impl ServerMetrics {
             served: registry.counter("fj_serve_requests_served"),
             errors: registry.counter("fj_serve_request_errors"),
             slow_queries: registry.counter("fj_serve_slow_queries_total"),
+            rate_limited: registry.counter("fj_serve_rejected_rate_limited"),
+            deadline_exceeded: registry.counter("fj_serve_deadline_exceeded_total"),
+            cancellations: registry.counter("fj_serve_cancellations_total"),
+            panics: registry.counter("fj_serve_panics_total"),
             latency: LatencyHistogram::default(),
         }
     }

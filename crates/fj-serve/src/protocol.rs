@@ -18,6 +18,8 @@
 //! [`Request::TraceExecute`] (execute with span tracing on) and
 //! [`Request::TraceFetch`] (re-fetch a sampled trace by id) →
 //! [`Response::Trace`] (trace id + rendered span tree + Chrome JSON);
+//! [`Request::Cancel`] (stop an in-flight execution by its client-chosen
+//! request id, from another connection) → [`Response::Ok`];
 //! [`Request::Shutdown`] → [`Response::Ok`] and a graceful drain.
 //! [`Response::Busy`] is the typed load-shedding reply (queue full or
 //! in-flight byte budget exhausted), carrying a `retry_after_ms` backoff
@@ -44,6 +46,9 @@ pub enum BusyReason {
     /// Admitting this request would exceed the server's in-flight byte
     /// budget; retry later or send smaller frames.
     ByteBudget,
+    /// This client exhausted its per-peer token bucket (fairness shedding);
+    /// retry after the hinted backoff while other clients are served.
+    RateLimited,
 }
 
 impl fmt::Display for BusyReason {
@@ -51,6 +56,7 @@ impl fmt::Display for BusyReason {
         match self {
             BusyReason::QueueFull => write!(f, "pending-connection queue full"),
             BusyReason::ByteBudget => write!(f, "in-flight byte budget exceeded"),
+            BusyReason::RateLimited => write!(f, "per-client rate limit exceeded"),
         }
     }
 }
@@ -64,7 +70,13 @@ pub enum Request {
     Prepare { query: String, aggregate: Aggregate },
     /// Execute a prepared handle, optionally overriding per-atom filters
     /// with `(alias, filter text)` pairs (`fj_query::parse_filter` syntax).
-    Execute { handle: u64, params: Vec<(String, String)> },
+    ///
+    /// `request_id` names this in-flight execution so a [`Request::Cancel`]
+    /// sent on *another* connection can stop it (`0` = not cancellable by
+    /// id). `deadline_ms` is the client's per-request deadline in
+    /// milliseconds (`0` = none); the server clamps it to its own
+    /// `max_query_ms` and arms a cancel token from the result.
+    Execute { handle: u64, params: Vec<(String, String)>, request_id: u64, deadline_ms: u64 },
     /// Snapshot cache + server counters and latency quantiles.
     Stats,
     /// Begin graceful shutdown: drain in-flight work, refuse new arrivals.
@@ -79,10 +91,18 @@ pub enum Request {
     /// Execute a prepared handle with span tracing forced on for this
     /// request (per-request opt-in, independent of the server's
     /// `trace_sample_n` sampling). Replies with [`Response::Trace`].
-    TraceExecute { handle: u64, params: Vec<(String, String)> },
+    /// `request_id` / `deadline_ms` as on [`Request::Execute`].
+    TraceExecute { handle: u64, params: Vec<(String, String)>, request_id: u64, deadline_ms: u64 },
     /// Fetch a previously recorded trace by its server-minted id (sampled
     /// traces land in a bounded ring; slow-query lines carry the ids).
     TraceFetch { trace_id: u64 },
+    /// Cancel the in-flight execution whose [`Request::Execute`] carried
+    /// this non-zero `request_id`. Sent on a *separate* connection (the
+    /// issuing one is blocked awaiting its answer). Replies [`Response::Ok`]
+    /// if the id was found and its token fired, or a typed
+    /// [`Response::Error`] if no such execution is in flight (it may have
+    /// already finished — cancellation is inherently racy and idempotent).
+    Cancel { request_id: u64 },
 }
 
 /// A server → client message.
@@ -159,6 +179,7 @@ const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
 const OP_METRICS: u8 = 0x05;
 const OP_TRACE: u8 = 0x06;
+const OP_CANCEL: u8 = 0x07;
 // Response opcodes (high bit set).
 const OP_PREPARED: u8 = 0x81;
 const OP_ANSWER: u8 = 0x82;
@@ -261,9 +282,11 @@ impl Request {
                 }
                 put_str(&mut out, query);
             }
-            Request::Execute { handle, params } => {
+            Request::Execute { handle, params, request_id, deadline_ms } => {
                 out.push(OP_EXECUTE);
                 put_u64(&mut out, *handle);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *deadline_ms);
                 put_u64(&mut out, params.len() as u64);
                 for (alias, filter) in params {
                     put_str(&mut out, alias);
@@ -273,10 +296,12 @@ impl Request {
             Request::Stats => out.push(OP_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
             Request::Metrics => out.push(OP_METRICS),
-            Request::TraceExecute { handle, params } => {
+            Request::TraceExecute { handle, params, request_id, deadline_ms } => {
                 out.push(OP_TRACE);
                 out.push(TRACE_EXECUTE);
                 put_u64(&mut out, *handle);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *deadline_ms);
                 put_u64(&mut out, params.len() as u64);
                 for (alias, filter) in params {
                     put_str(&mut out, alias);
@@ -287,6 +312,10 @@ impl Request {
                 out.push(OP_TRACE);
                 out.push(TRACE_FETCH);
                 put_u64(&mut out, *trace_id);
+            }
+            Request::Cancel { request_id } => {
+                out.push(OP_CANCEL);
+                put_u64(&mut out, *request_id);
             }
         }
         out
@@ -322,6 +351,8 @@ impl Request {
             }
             OP_EXECUTE => {
                 let handle = r.u64()?;
+                let request_id = r.u64()?;
+                let deadline_ms = r.u64()?;
                 let n = r.u64()? as usize;
                 // Each (alias, filter) pair costs >= 16 bytes of length
                 // prefixes; see the group-count guard above.
@@ -334,7 +365,7 @@ impl Request {
                     let filter = r.str()?;
                     params.push((alias, filter));
                 }
-                Request::Execute { handle, params }
+                Request::Execute { handle, params, request_id, deadline_ms }
             }
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
@@ -342,6 +373,8 @@ impl Request {
             OP_TRACE => match r.u8()? {
                 TRACE_EXECUTE => {
                     let handle = r.u64()?;
+                    let request_id = r.u64()?;
+                    let deadline_ms = r.u64()?;
                     let n = r.u64()? as usize;
                     if n > r.remaining() / 16 {
                         return wire_err("parameter count exceeds payload");
@@ -352,11 +385,12 @@ impl Request {
                         let filter = r.str()?;
                         params.push((alias, filter));
                     }
-                    Request::TraceExecute { handle, params }
+                    Request::TraceExecute { handle, params, request_id, deadline_ms }
                 }
                 TRACE_FETCH => Request::TraceFetch { trace_id: r.u64()? },
                 mode => return wire_err(format!("unknown trace mode {mode:#x}")),
             },
+            OP_CANCEL => Request::Cancel { request_id: r.u64()? },
             op => return wire_err(format!("unknown request opcode {op:#x}")),
         };
         r.finish()?;
@@ -390,6 +424,7 @@ impl Response {
                 out.push(match reason {
                     BusyReason::QueueFull => 0,
                     BusyReason::ByteBudget => 1,
+                    BusyReason::RateLimited => 2,
                 });
                 put_u64(&mut out, *retry_after_ms);
             }
@@ -432,6 +467,7 @@ impl Response {
                 let reason = match r.u8()? {
                     0 => BusyReason::QueueFull,
                     1 => BusyReason::ByteBudget,
+                    2 => BusyReason::RateLimited,
                     tag => return wire_err(format!("unknown busy reason {tag:#x}")),
                 };
                 Response::Busy { reason, retry_after_ms: r.u64()? }
@@ -514,20 +550,35 @@ mod tests {
             query: "Q() :- R(x, city).".into(),
             aggregate: Aggregate::GroupCount(vec!["city".into(), "x".into()]),
         });
-        round_trip_request(Request::Execute { handle: 7, params: vec![] });
+        round_trip_request(Request::Execute {
+            handle: 7,
+            params: vec![],
+            request_id: 0,
+            deadline_ms: 0,
+        });
         round_trip_request(Request::Execute {
             handle: u64::MAX,
             params: vec![("e".into(), "src < 3".into()), ("p".into(), String::new())],
+            request_id: 41,
+            deadline_ms: 1500,
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::Metrics);
-        round_trip_request(Request::TraceExecute { handle: 3, params: vec![] });
+        round_trip_request(Request::TraceExecute {
+            handle: 3,
+            params: vec![],
+            request_id: 0,
+            deadline_ms: 0,
+        });
         round_trip_request(Request::TraceExecute {
             handle: 9,
             params: vec![("e".into(), "src < 3".into())],
+            request_id: 8,
+            deadline_ms: 30,
         });
         round_trip_request(Request::TraceFetch { trace_id: 17 });
+        round_trip_request(Request::Cancel { request_id: u64::MAX });
     }
 
     #[test]
@@ -537,6 +588,7 @@ mod tests {
         round_trip_response(Response::Ok);
         round_trip_response(Response::Busy { reason: BusyReason::QueueFull, retry_after_ms: 250 });
         round_trip_response(Response::Busy { reason: BusyReason::ByteBudget, retry_after_ms: 1 });
+        round_trip_response(Response::Busy { reason: BusyReason::RateLimited, retry_after_ms: 9 });
         round_trip_response(Response::Error { message: "unknown handle 9".into() });
         round_trip_response(Response::Metrics { text: String::new() });
         round_trip_response(Response::Metrics {
@@ -582,6 +634,8 @@ mod tests {
         // rejected up front, before any count-sized preallocation.
         let mut inflated = vec![OP_EXECUTE];
         put_u64(&mut inflated, 1); // handle
+        put_u64(&mut inflated, 0); // request_id
+        put_u64(&mut inflated, 0); // deadline_ms
         put_u64(&mut inflated, 100); // claims 100 params...
         inflated.extend_from_slice(&[0u8; 200]); // ...in 200 bytes
         assert!(Request::decode(&inflated).is_err());

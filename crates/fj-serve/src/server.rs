@@ -51,14 +51,15 @@
 //! [`fj_obs::QueryProfile`], rendered as `#`-prefixed comment lines.
 
 use crate::metrics::{ServerMetrics, ServerStats};
-use crate::protocol::{read_frame, write_frame, BusyReason, Request, Response};
-use fj_obs::{Counter, MetricsRegistry, QueryProfile, TraceBuf, TraceCat, SESSION_WORKER};
-use fj_query::{parse_filter, parse_query, Aggregate, ConjunctiveQuery};
+use crate::protocol::{write_frame, BusyReason, Request, Response};
+use fj_obs::{chaos, Counter, MetricsRegistry, QueryProfile, TraceBuf, TraceCat, SESSION_WORKER};
+use fj_query::{parse_filter, parse_query, Aggregate, ConjunctiveQuery, QueryError};
 use fj_storage::Catalog;
-use free_join::{Params, Prepared, Session};
+use free_join::{CancelReason, CancelToken, EngineError, Params, Prepared, Session};
 use std::collections::{HashMap, VecDeque};
-use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, Read};
+use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -66,7 +67,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::start`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads serving connections. `0` = available parallelism
     /// (thread-per-core).
@@ -106,6 +107,37 @@ pub struct ServerConfig {
     /// (both explicit `TraceExecute` requests and sampled executions).
     /// `0` disables retention; `TraceFetch` then always misses.
     pub trace_ring: usize,
+    /// Server-side cap on any single execution's wall time, milliseconds.
+    /// Clamps the client-supplied per-request `deadline_ms` and applies
+    /// when the client sends none; past it the execution unwinds
+    /// cooperatively into a typed deadline-exceeded error. `0` = no cap
+    /// (client deadlines still honored).
+    pub max_query_ms: u64,
+    /// Total per-request read deadline, milliseconds: once a frame header
+    /// starts arriving, the whole frame (header + body) must complete
+    /// within this budget, regardless of how many 1-byte trickles the peer
+    /// splits it into — a slowloris peer is disconnected instead of pinning
+    /// a worker. `0` falls back to a 30 s budget.
+    pub read_deadline_ms: u64,
+    /// Per-client fairness: sustained requests/second each peer IP may
+    /// issue, enforced by a token bucket per peer. Requests beyond it are
+    /// shed with `Busy(RateLimited)` + a retry hint, without executing.
+    /// `0` disables rate limiting.
+    pub rate_limit_per_sec: u32,
+    /// Token-bucket burst capacity (instantaneous requests a quiet client
+    /// may issue before pacing kicks in). Floored at 1 when rate limiting
+    /// is enabled.
+    pub rate_limit_burst: u32,
+    /// Warm-up queries prepared synchronously inside [`Server::start`]
+    /// (before the listener accepts), each `(datalog text, aggregate)` —
+    /// the first client of each listed shape hits a warm plan cache.
+    pub warmup: Vec<(String, Aggregate)>,
+    /// Persisted shadow file of hot plan fingerprints: every successful
+    /// `Prepare` appends `fnv1a_hex aggregate_tag query_text` (deduped,
+    /// bounded), and `Server::start` replays the file as extra warm-up —
+    /// a restarted server re-prepares yesterday's working set by itself.
+    /// `None` disables persistence.
+    pub shadow_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +153,12 @@ impl Default for ServerConfig {
             slow_query_log: 8,
             trace_sample_n: 0,
             trace_ring: 8,
+            max_query_ms: 0,
+            read_deadline_ms: 30_000,
+            rate_limit_per_sec: 0,
+            rate_limit_burst: 0,
+            warmup: Vec::new(),
+            shadow_path: None,
         }
     }
 }
@@ -196,7 +234,28 @@ struct Shared {
     /// Events the bounded trace rings dropped across all traced
     /// executions (`fj_obs_trace_events_dropped_total`).
     trace_events_dropped: Counter,
+    /// Cancel tokens of in-flight executions, keyed by the client-chosen
+    /// request id — the `Cancel` frame (arriving on another connection)
+    /// fires the token here. Entries are registered just before execution
+    /// and removed on every exit path (a drop guard).
+    inflight_cancels: Mutex<HashMap<u64, CancelToken>>,
+    /// Per-peer token buckets behind `rate_limit_per_sec` fairness.
+    rate_buckets: Mutex<HashMap<IpAddr, TokenBucket>>,
+    /// In-memory mirror of the shadow file (fnv1a, rendered line), oldest
+    /// first — rewritten to `shadow_path` on change, bounded at
+    /// [`SHADOW_CAP`] entries.
+    shadow: Mutex<VecDeque<(u64, String)>>,
 }
+
+/// One peer's fairness bucket: fractional tokens refilled at
+/// `rate_limit_per_sec`, capped at the burst size.
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Most prepared-query shapes the shadow file retains (oldest evicted).
+const SHADOW_CAP: usize = 64;
 
 /// One retained trace, rendered at execution time (the ring stores the
 /// rendered strings, not the event buffers — fetches are lock-and-clone).
@@ -386,6 +445,126 @@ impl Shared {
         let ring = self.traces.lock().expect("trace ring lock not poisoned");
         ring.iter().rev().find(|t| t.trace_id == trace_id).cloned()
     }
+
+    /// Per-peer token-bucket fairness: may this peer issue a request now?
+    /// Disabled rate limiting, or a peer without a resolvable address
+    /// (shouldn't happen on TCP), always admits.
+    fn allow(&self, peer: Option<IpAddr>) -> bool {
+        let rate = self.config.rate_limit_per_sec;
+        if rate == 0 {
+            return true;
+        }
+        let Some(peer) = peer else { return true };
+        let burst = f64::from(self.config.rate_limit_burst.max(1));
+        let mut buckets = self.rate_buckets.lock().expect("rate-bucket lock not poisoned");
+        let now = Instant::now();
+        // Bound the map: full buckets are indistinguishable from absent ones,
+        // so a peer-churning scanner can't grow server memory.
+        if buckets.len() > 1024 {
+            buckets.retain(|_, b| b.tokens < burst);
+        }
+        let bucket = buckets.entry(peer).or_insert(TokenBucket { tokens: burst, last: now });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.last = now;
+        bucket.tokens = (bucket.tokens + elapsed * f64::from(rate)).min(burst);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Build the cancel token for one execution: the client's `deadline_ms`
+    /// clamped by [`ServerConfig::max_query_ms`] (either zero means "the
+    /// other wins"; both zero with no request id means no token at all, so
+    /// the common un-deadlined path stays on the zero-overhead disabled
+    /// token).
+    fn arm_token(&self, request_id: u64, deadline_ms: u64) -> CancelToken {
+        let capped = match (deadline_ms, self.config.max_query_ms) {
+            (0, 0) => 0,
+            (0, max) => max,
+            (d, 0) => d,
+            (d, max) => d.min(max),
+        };
+        if capped == 0 && request_id == 0 {
+            return CancelToken::disabled();
+        }
+        CancelToken::with_limits(
+            (capped > 0).then(|| Instant::now() + Duration::from_millis(capped)),
+            0,
+        )
+    }
+
+    /// Remember a successfully prepared query shape in the shadow state and
+    /// rewrite the shadow file (dedup by fingerprint, bounded, oldest out).
+    fn record_shadow(&self, query_text: &str, aggregate: &Aggregate) {
+        let Some(path) = &self.config.shadow_path else { return };
+        let line = render_shadow_line(query_text, aggregate);
+        let fp = fnv1a(line.as_bytes());
+        let mut shadow = self.shadow.lock().expect("shadow lock not poisoned");
+        if shadow.iter().any(|(existing, _)| *existing == fp) {
+            return;
+        }
+        shadow.push_back((fp, line));
+        while shadow.len() > SHADOW_CAP {
+            shadow.pop_front();
+        }
+        let mut text = String::new();
+        for (_, line) in shadow.iter() {
+            text.push_str(line);
+            text.push('\n');
+        }
+        // Persistence is best-effort: a read-only disk costs the next
+        // restart its warm-up, never this request.
+        let _ = std::fs::write(path, text);
+    }
+}
+
+/// FNV-1a over `bytes` — the shadow file's stable fingerprint. Deliberately
+/// not the planner's fingerprint (which hashes plan structure and may shift
+/// across releases): the shadow file must stay readable by future builds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One shadow-file line: `fnv1a_hex aggregate_tag query_text` with newlines
+/// flattened so the file stays line-oriented.
+fn render_shadow_line(query_text: &str, aggregate: &Aggregate) -> String {
+    let flat = query_text.replace(['\n', '\r'], " ");
+    let tag = match aggregate {
+        Aggregate::Materialize => "materialize".to_string(),
+        Aggregate::Count => "count".to_string(),
+        Aggregate::GroupCount(vars) => format!("group_count:{}", vars.join(",")),
+    };
+    let body = format!("{tag} {flat}");
+    format!("{:016x} {body}", fnv1a(body.as_bytes()))
+}
+
+/// Parse one shadow-file line back into `(query_text, aggregate)`; `None`
+/// on corrupt lines (bad hash, unknown tag) so a damaged file degrades to
+/// fewer warm-ups, never an error.
+fn parse_shadow_line(line: &str) -> Option<(String, Aggregate)> {
+    let (hash_hex, body) = line.split_once(' ')?;
+    let hash = u64::from_str_radix(hash_hex, 16).ok()?;
+    if hash != fnv1a(body.as_bytes()) {
+        return None;
+    }
+    let (tag, query_text) = body.split_once(' ')?;
+    let aggregate = match tag {
+        "materialize" => Aggregate::Materialize,
+        "count" => Aggregate::Count,
+        _ => {
+            let vars = tag.strip_prefix("group_count:")?;
+            Aggregate::GroupCount(vars.split(',').map(str::to_string).collect())
+        }
+    };
+    Some((query_text.to_string(), aggregate))
 }
 
 /// A running serving front-end. Dropping the handle does **not** stop the
@@ -408,8 +587,13 @@ impl Server {
         session: Session,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        // Failpoints arm from the environment once per server start, so a
+        // chaos run needs no code changes (`FJ_CHAOS=serve.socket_read=fail`).
+        chaos::arm_from_env();
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let queue_capacity = config.queue_capacity.max(1);
+        let worker_count = config.effective_workers().max(1);
         let registry = MetricsRegistry::new();
         let trace_events_dropped = registry.counter("fj_obs_trace_events_dropped_total");
         let shared = Arc::new(Shared {
@@ -430,12 +614,30 @@ impl Server {
             execute_seq: AtomicU64::new(0),
             next_trace_id: AtomicU64::new(1),
             trace_events_dropped,
+            inflight_cancels: Mutex::new(HashMap::new()),
+            rate_buckets: Mutex::new(HashMap::new()),
+            shadow: Mutex::new(VecDeque::new()),
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
+        // Warm-up runs synchronously before the listener starts accepting:
+        // shadow-file shapes from the last run first, then the configured
+        // list. Failures are skipped — a stale shadow entry naming a dropped
+        // relation must not stop the server from starting.
+        let mut warmup: Vec<(String, Aggregate)> = Vec::new();
+        if let Some(path) = &shared.config.shadow_path {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                warmup.extend(text.lines().filter_map(parse_shadow_line));
+            }
+        }
+        warmup.extend(shared.config.warmup.iter().cloned());
+        for (query_text, aggregate) in &warmup {
+            let _ = prepare(&shared, query_text, aggregate.clone());
+        }
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
 
-        let workers = (0..config.effective_workers().max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let rx = Arc::clone(&rx);
@@ -525,8 +727,34 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
                     retry_after_ms: shared.retry_after_ms(),
                 };
                 let _ = write_frame(&mut stream, &busy.encode());
-                let _ = stream.shutdown(Shutdown::Both);
+                shed_gracefully(stream);
             }
+        }
+    }
+}
+
+/// Part with a shed connection without losing the `Busy` frame just
+/// written to it. A bare close is not enough: if the peer's first request
+/// is in flight (or lands just after the close), the kernel answers the
+/// unread bytes with RST, and the RST discards the buffered `Busy` frame
+/// on the peer before it is read — the client then reports a broken pipe
+/// instead of the typed rejection. Half-close the write side so the frame
+/// is followed by a clean FIN, then briefly read and discard whatever the
+/// peer sent so the final close finds no unread data. Both the per-read
+/// timeout and the total drain window are bounded: a peer trickling bytes
+/// cannot pin the acceptor on a connection it already rejected.
+fn shed_gracefully(mut stream: TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(50);
+    let mut sink = [0u8; 512];
+    while Instant::now() < deadline {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+        match stream.read(&mut sink) {
+            // EOF: the peer saw the FIN (and with it the frame) and hung
+            // up. Timeout or error: nothing more is coming that could
+            // trigger an RST before the peer reads the frame.
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
         }
     }
 }
@@ -574,23 +802,119 @@ fn await_frame(shared: &Shared, stream: &TcpStream) -> bool {
     }
 }
 
+/// Read exactly `buf.len()` bytes before `deadline`, slicing the wait into
+/// short read timeouts so a trickling peer is checked against the *total*
+/// budget, not a fresh per-`read` one. `Ok(false)` means clean EOF before
+/// any byte arrived (only meaningful for the first read of a frame).
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "read deadline exceeded mid-frame",
+            ));
+        }
+        let slice = (deadline - now).min(Duration::from_millis(250));
+        let _ = stream.set_read_timeout(Some(slice));
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one length-prefixed frame under a total per-request deadline: once
+/// the header starts arriving, header + body must complete within `budget`
+/// — a slowloris peer trickling one byte per 29 s is disconnected instead
+/// of pinning this worker forever. `Ok(None)` is clean EOF at a frame
+/// boundary.
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    max_bytes: usize,
+    budget: Duration,
+) -> io::Result<Option<Vec<u8>>> {
+    if chaos::should_fail("serve.socket_read") {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected fault at chaos failpoint serve.socket_read",
+        ));
+    }
+    let deadline = Instant::now() + budget;
+    let mut header = [0u8; 4];
+    if !read_exact_deadline(stream, &mut header, deadline)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_bytes}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_exact_deadline(stream, &mut payload, deadline)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed between header and body",
+        ));
+    }
+    Ok(Some(payload))
+}
+
 /// Serve one connection's request/response loop to completion.
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
+    let read_budget = Duration::from_millis(match shared.config.read_deadline_ms {
+        0 => 30_000,
+        ms => ms,
+    });
     loop {
         if !await_frame(shared, &stream) {
             return;
         }
-        // A frame is arriving: switch to a generous timeout for its bytes
-        // (a peer that stalls mid-frame is broken, not idle).
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-        let payload = match read_frame(&mut stream, shared.config.max_frame_bytes) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return,
-            Err(_) => return, // oversized or truncated frame: unrecoverable
-        };
+        // A frame is arriving: read it under the total per-request deadline
+        // (a peer that trickles bytes mid-frame is broken, not idle).
+        let payload =
+            match read_frame_deadline(&mut stream, shared.config.max_frame_bytes, read_budget) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return,
+                Err(_) => return, // oversized, truncated, or too-slow frame: unrecoverable
+            };
         let _ = stream.set_read_timeout(Some(IDLE_POLL));
+
+        // Per-client fairness, checked before anything is reserved: a peer
+        // past its rate gets a typed retry hint and keeps its connection.
+        if !shared.allow(peer) {
+            shared.metrics.rate_limited.inc();
+            let busy = Response::Busy {
+                reason: BusyReason::RateLimited,
+                retry_after_ms: shared.retry_after_ms(),
+            }
+            .encode();
+            if write_frame(&mut stream, &busy).is_err() {
+                return;
+            }
+            continue;
+        }
 
         // Admission axis 2: the in-flight byte budget.
         if !shared.reserve_inflight(payload.len()) {
@@ -607,8 +931,28 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         }
 
         let start = Instant::now();
-        let (mut response, shutdown_after) = handle_request(shared, &payload);
+        // Panic isolation: a panicking handler (engine bug, injected fault)
+        // must not take the worker thread — and with it every queued
+        // connection — down. The shared state is all locks and atomics, and
+        // poisoned mutexes surface as panics on later requests rather than
+        // silent corruption, so crossing the unwind boundary is sound.
+        let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(shared, &payload)
+        }));
+        // Release AFTER the unwind boundary: a panicking request must not
+        // leak its reservation and slowly strangle the byte budget.
         shared.release_inflight(payload.len());
+        let (mut response, shutdown_after) = handled.unwrap_or_else(|_| {
+            shared.metrics.panics.inc();
+            (
+                Response::Error {
+                    message:
+                        "internal error: request handler panicked; connection still serviceable"
+                            .to_string(),
+                },
+                false,
+            )
+        });
 
         let service_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         if let Response::Answer { service_us: slot, .. } = &mut response {
@@ -621,7 +965,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         if matches!(response, Response::Error { .. }) {
             shared.metrics.errors.inc();
         }
-        let write_ok = write_frame(&mut stream, &response.encode()).is_ok();
+        let write_ok = !chaos::should_fail("serve.socket_write")
+            && write_frame(&mut stream, &response.encode()).is_ok();
         if shutdown_after {
             shared.begin_shutdown();
             return;
@@ -634,8 +979,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// Decode and dispatch one request. Returns the response and whether the
 /// server should begin shutdown after sending it. Engine and parse errors
-/// become typed `Error` responses; nothing on this path panics on peer
-/// input.
+/// become typed `Error` responses. Malformed peer input never panics; a
+/// panic that does escape this path (an engine bug, an injected fault) is
+/// caught at the connection loop's `catch_unwind` boundary — the peer gets
+/// a typed `Error`, `fj_serve_panics_total` increments, and the worker
+/// keeps serving.
 fn handle_request(shared: &Shared, payload: &[u8]) -> (Response, bool) {
     let request = match Request::decode(payload) {
         Ok(request) => request,
@@ -643,8 +991,13 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> (Response, bool) {
     };
     match request {
         Request::Prepare { query, aggregate } => (prepare(shared, &query, aggregate), false),
-        Request::Execute { handle, params } => (execute(shared, handle, &params), false),
-        Request::TraceExecute { handle, params } => (trace_execute(shared, handle, &params), false),
+        Request::Execute { handle, params, request_id, deadline_ms } => {
+            (execute(shared, handle, &params, request_id, deadline_ms), false)
+        }
+        Request::TraceExecute { handle, params, request_id, deadline_ms } => {
+            (trace_execute(shared, handle, &params, request_id, deadline_ms), false)
+        }
+        Request::Cancel { request_id } => (cancel_inflight(shared, request_id), false),
         Request::TraceFetch { trace_id } => (fetch_trace(shared, trace_id), false),
         Request::Stats => (
             Response::Stats(Box::new(shared.metrics.snapshot(shared.session.cache_stats()))),
@@ -655,9 +1008,74 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> (Response, bool) {
     }
 }
 
+/// Fire the cancel token of an in-flight execution by request id. The
+/// counters increment where the execution actually unwinds (so a cancel
+/// that lands after completion counts nothing).
+fn cancel_inflight(shared: &Shared, request_id: u64) -> Response {
+    let cancels = shared.inflight_cancels.lock().expect("cancel registry lock not poisoned");
+    match cancels.get(&request_id) {
+        Some(token) => {
+            token.cancel(CancelReason::Explicit);
+            Response::Ok
+        }
+        None => Response::Error {
+            message: format!("no in-flight execution with request id {request_id}"),
+        },
+    }
+}
+
+/// RAII registration of an execution's cancel token under its request id:
+/// constructed just before the engine runs, dropped on every exit path
+/// (success, error, panic unwinding to the connection loop's
+/// `catch_unwind`), so the cancel registry never leaks entries.
+struct CancelRegistration<'a> {
+    shared: &'a Shared,
+    request_id: u64,
+}
+
+impl<'a> CancelRegistration<'a> {
+    fn register(shared: &'a Shared, request_id: u64, token: &CancelToken) -> Option<Self> {
+        if request_id == 0 || token.is_disabled() {
+            return None;
+        }
+        shared
+            .inflight_cancels
+            .lock()
+            .expect("cancel registry lock not poisoned")
+            .insert(request_id, token.clone());
+        Some(CancelRegistration { shared, request_id })
+    }
+}
+
+impl Drop for CancelRegistration<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .inflight_cancels
+            .lock()
+            .expect("cancel registry lock not poisoned")
+            .remove(&self.request_id);
+    }
+}
+
+/// Map an engine error to its typed response, bumping the deadline /
+/// cancellation counters when the execution unwound cooperatively.
+fn typed_error(shared: &Shared, e: &EngineError) -> Response {
+    Response::Error { message: typed_error_message(shared, e) }
+}
+
+fn typed_error_message(shared: &Shared, e: &EngineError) -> String {
+    if let EngineError::Query(QueryError::Cancelled { reason, .. }) = e {
+        match reason {
+            CancelReason::Deadline => shared.metrics.deadline_exceeded.inc(),
+            _ => shared.metrics.cancellations.inc(),
+        }
+    }
+    e.to_string()
+}
+
 fn prepare(shared: &Shared, query_text: &str, aggregate: Aggregate) -> Response {
     let query: ConjunctiveQuery = match parse_query(query_text) {
-        Ok(query) => query.with_aggregate(aggregate),
+        Ok(query) => query.with_aggregate(aggregate.clone()),
         Err(e) => return Response::Error { message: e.to_string() },
     };
     let prepared = match shared.session.prepare(&shared.catalog, &query) {
@@ -665,6 +1083,7 @@ fn prepare(shared: &Shared, query_text: &str, aggregate: Aggregate) -> Response 
         Err(e) => return Response::Error { message: e.to_string() },
     };
     let fingerprint = prepared.fingerprint();
+    shared.record_shadow(query_text, &aggregate);
     let mut registry = shared.prepared.write().expect("prepared registry lock not poisoned");
     let handle = match registry.find_identical(&prepared) {
         Some(existing) => existing,
@@ -709,17 +1128,39 @@ fn resolve(
     Ok((prepared, overrides))
 }
 
-fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Response {
+fn execute(
+    shared: &Shared,
+    handle: u64,
+    params: &[(String, String)],
+    request_id: u64,
+    deadline_ms: u64,
+) -> Response {
     let (prepared, overrides) = match resolve(shared, handle, params) {
         Ok(resolved) => resolved,
         Err(response) => return response,
     };
+    let token = shared.arm_token(request_id, deadline_ms);
+    if !token.is_disabled() {
+        // The cancellable path: registered for `Cancel` frames while it
+        // runs, skipping sampling/profiling (a deadlined request wants the
+        // result or the typed error, not observability side quests).
+        let _registration = CancelRegistration::register(shared, request_id, &token);
+        return match prepared.execute_cancellable(&shared.catalog, &overrides, &token) {
+            Ok((output, stats)) => Response::Answer {
+                cardinality: output.cardinality(),
+                tries_built: stats.tries_built,
+                service_us: 0, // stamped by the connection loop, which owns the clock
+            },
+            Err(e) => typed_error(shared, &e),
+        };
+    }
     // `trace_sample_n` sampling: every Nth execute runs traced; the client
     // still gets a plain `Answer`, the rendered trace lands in the ring.
     let seq = shared.execute_seq.fetch_add(1, Ordering::Relaxed);
     let n = shared.config.trace_sample_n as u64;
     if n > 0 && seq.is_multiple_of(n) {
-        return match run_traced(shared, handle, &prepared, &overrides, params.len() as u64) {
+        return match run_traced(shared, handle, &prepared, &overrides, params.len() as u64, &token)
+        {
             Ok((stored, tries_built)) => Response::Answer {
                 cardinality: stored.cardinality,
                 tries_built,
@@ -747,7 +1188,7 @@ fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Respons
                     service_us: 0, // stamped by the connection loop, which owns the clock
                 }
             }
-            Err(e) => Response::Error { message: e.to_string() },
+            Err(e) => typed_error(shared, &e),
         }
     } else {
         match prepared.execute_with(&shared.catalog, &overrides) {
@@ -756,7 +1197,7 @@ fn execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Respons
                 tries_built: stats.tries_built,
                 service_us: 0, // stamped by the connection loop, which owns the clock
             },
-            Err(e) => Response::Error { message: e.to_string() },
+            Err(e) => typed_error(shared, &e),
         }
     }
 }
@@ -772,6 +1213,7 @@ fn run_traced(
     prepared: &Prepared,
     overrides: &Params,
     n_params: u64,
+    token: &CancelToken,
 ) -> Result<(StoredTrace, u64), String> {
     // The serve-layer lifecycle ring is built around the execution so its
     // timestamps stay monotone and the execute span has real extent. It is
@@ -783,8 +1225,9 @@ fn run_traced(
     tb.instant(TraceCat::Decode, 0, n_params, &[]);
     tb.begin(TraceCat::Execute, 0, 0, &[]);
     let start = Instant::now();
-    let (output, stats, mut trace) =
-        prepared.execute_traced(&shared.catalog, overrides).map_err(|e| e.to_string())?;
+    let (output, stats, mut trace) = prepared
+        .execute_traced_cancellable(&shared.catalog, overrides, token)
+        .map_err(|e| typed_error_message(shared, &e))?;
     let service_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
     let cardinality = output.cardinality();
     let trace_id = shared.next_trace_id.fetch_add(1, Ordering::Relaxed);
@@ -814,12 +1257,20 @@ fn run_traced(
     Ok((stored, stats.tries_built))
 }
 
-fn trace_execute(shared: &Shared, handle: u64, params: &[(String, String)]) -> Response {
+fn trace_execute(
+    shared: &Shared,
+    handle: u64,
+    params: &[(String, String)],
+    request_id: u64,
+    deadline_ms: u64,
+) -> Response {
     let (prepared, overrides) = match resolve(shared, handle, params) {
         Ok(resolved) => resolved,
         Err(response) => return response,
     };
-    match run_traced(shared, handle, &prepared, &overrides, params.len() as u64) {
+    let token = shared.arm_token(request_id, deadline_ms);
+    let _registration = CancelRegistration::register(shared, request_id, &token);
+    match run_traced(shared, handle, &prepared, &overrides, params.len() as u64, &token) {
         Ok((stored, _tries_built)) => Response::Trace {
             trace_id: stored.trace_id,
             cardinality: stored.cardinality,
@@ -869,6 +1320,9 @@ mod tests {
             execute_seq: AtomicU64::new(0),
             next_trace_id: AtomicU64::new(1),
             trace_events_dropped,
+            inflight_cancels: Mutex::new(HashMap::new()),
+            rate_buckets: Mutex::new(HashMap::new()),
+            shadow: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -971,7 +1425,7 @@ mod tests {
         shared.prepared.write().unwrap().insert(7, Arc::new(prepared), 8);
 
         for _ in 0..3 {
-            let response = execute(&shared, 7, &[]);
+            let response = execute(&shared, 7, &[], 0, 0);
             assert!(matches!(response, Response::Answer { cardinality: 64, .. }), "{response:?}");
         }
         assert_eq!(shared.metrics.slow_queries.get(), 3);

@@ -17,6 +17,9 @@ pub enum StorageError {
     DuplicateRelation(String),
     /// Schema arity does not match the number of supplied columns or values.
     ArityMismatch { expected: usize, found: usize },
+    /// A string-literal predicate reached evaluation without being resolved
+    /// against the catalog dictionary (see `Predicate::resolve_strings`).
+    UnresolvedStringLiteral { column: String, text: String },
     /// CSV parsing failed.
     Csv { line: usize, message: String },
     /// An I/O error occurred (stringified to keep the error type `Clone`).
@@ -43,6 +46,10 @@ impl fmt::Display for StorageError {
             StorageError::ArityMismatch { expected, found } => {
                 write!(f, "arity mismatch: expected {expected}, found {found}")
             }
+            StorageError::UnresolvedStringLiteral { column, text } => write!(
+                f,
+                "string literal {column} vs '{text}' was not resolved against the dictionary"
+            ),
             StorageError::Csv { line, message } => {
                 write!(f, "CSV error at line {line}: {message}")
             }

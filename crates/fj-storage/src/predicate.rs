@@ -74,6 +74,14 @@ pub enum Predicate {
     True,
     /// `column <op> constant`
     ColCmpConst { column: String, op: CmpOp, value: Value },
+    /// `column <op> 'string literal'` — a string constant still in source
+    /// form, awaiting interning against the catalog dictionary. The engine
+    /// resolves it to [`Predicate::ColCmpConst`] over `Value::Str` via
+    /// [`Predicate::resolve_strings`] at bind time; evaluating it unresolved
+    /// is a typed error on the checked path. Only `=` and `!=` are
+    /// meaningful (dictionary ids are insertion-ordered, not lexicographic),
+    /// which the parser enforces.
+    ColCmpStr { column: String, op: CmpOp, text: String },
     /// `column <op> column` (both in the same relation, e.g. `t.v = t.w`).
     ColCmpCol { left: String, op: CmpOp, right: String },
     /// `column IS NULL`
@@ -102,6 +110,52 @@ impl Predicate {
     /// `left <op> right` over two columns of the same relation.
     pub fn cmp_cols(left: impl Into<String>, op: CmpOp, right: impl Into<String>) -> Self {
         Predicate::ColCmpCol { left: left.into(), op, right: right.into() }
+    }
+
+    /// `column = 'text'` — an unresolved string constant (see
+    /// [`Predicate::ColCmpStr`]).
+    pub fn eq_str(column: impl Into<String>, text: impl Into<String>) -> Self {
+        Predicate::ColCmpStr { column: column.into(), op: CmpOp::Eq, text: text.into() }
+    }
+
+    /// Resolve string-literal constants against the catalog dictionary,
+    /// rewriting [`Predicate::ColCmpStr`] into `ColCmpConst` over
+    /// `Value::Str`. A literal absent from the dictionary can match nothing:
+    /// `=` becomes constant-false, `!=` becomes `IS NOT NULL` (every
+    /// non-null value differs from a string that no row contains; NULLs
+    /// compare false either way).
+    pub fn resolve_strings(&self, dict: &crate::dict::Dictionary) -> Predicate {
+        match self {
+            Predicate::ColCmpStr { column, op, text } => match (dict.lookup(text), op) {
+                (Some(id), op) => Predicate::ColCmpConst {
+                    column: column.clone(),
+                    op: *op,
+                    value: Value::Str(id),
+                },
+                (None, CmpOp::Ne) => Predicate::IsNotNull { column: column.clone() },
+                (None, _) => Predicate::Not(Box::new(Predicate::True)),
+            },
+            Predicate::And(ps) => {
+                Predicate::And(ps.iter().map(|p| p.resolve_strings(dict)).collect())
+            }
+            Predicate::Or(ps) => {
+                Predicate::Or(ps.iter().map(|p| p.resolve_strings(dict)).collect())
+            }
+            Predicate::Not(p) => Predicate::Not(Box::new(p.resolve_strings(dict))),
+            other => other.clone(),
+        }
+    }
+
+    /// Does the predicate still contain an unresolved string literal?
+    fn has_unresolved_str(&self) -> Option<(&str, &str)> {
+        match self {
+            Predicate::ColCmpStr { column, text, .. } => Some((column, text)),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().find_map(Predicate::has_unresolved_str)
+            }
+            Predicate::Not(p) => p.has_unresolved_str(),
+            _ => None,
+        }
     }
 
     /// Conjunction of two predicates, flattening nested `And`s and dropping
@@ -138,6 +192,7 @@ impl Predicate {
         match self {
             Predicate::True => {}
             Predicate::ColCmpConst { column, .. }
+            | Predicate::ColCmpStr { column, .. }
             | Predicate::IsNull { column }
             | Predicate::IsNotNull { column } => out.push(column),
             Predicate::ColCmpCol { left, right, .. } => {
@@ -158,6 +213,12 @@ impl Predicate {
     /// not. [`crate::Relation::try_filter`] calls this before evaluating, so
     /// user-supplied predicates fail with `Err` instead of a panic.
     pub fn validate_for(&self, relation: &Relation) -> crate::error::StorageResult<()> {
+        if let Some((column, text)) = self.has_unresolved_str() {
+            return Err(crate::error::StorageError::UnresolvedStringLiteral {
+                column: column.to_string(),
+                text: text.to_string(),
+            });
+        }
         for column in self.columns() {
             if relation.schema().index_of(column).is_none() {
                 return Err(crate::error::StorageError::UnknownColumn {
@@ -184,6 +245,10 @@ impl Predicate {
                 });
                 op.eval(relation.column(idx).get(row), *value)
             }
+            Predicate::ColCmpStr { column, text, .. } => panic!(
+                "string predicate on {column} vs '{text}' was not resolved against the \
+                 dictionary; call Predicate::resolve_strings (or go through try_filter) first"
+            ),
             Predicate::ColCmpCol { left, op, right } => {
                 let li = relation.schema().index_of(left).unwrap_or_else(|| {
                     panic!("predicate column {left} not in relation {}", relation.name())
@@ -207,36 +272,70 @@ impl Predicate {
         }
     }
 
-    /// Render the predicate in the datalog grammar's filter syntax
-    /// (`cond and cond and ...`), the form `fj_query::parse_filter` parses
-    /// back — the textual encoding serving front-ends ship over the wire.
-    /// Returns `None` for predicates the grammar cannot express (`Or`,
-    /// `Not`, `IS [NOT] NULL`, non-integer constants); `True` renders as
-    /// the empty string (no filter).
+    /// Render the predicate in the datalog grammar's filter syntax, the form
+    /// `fj_query::parse_filter` parses back — the textual encoding serving
+    /// front-ends ship over the wire. The grammar covers the whole enum
+    /// (`and`/`or`/`not` with standard precedence, `is [not] null`, quoted
+    /// string literals), so every predicate a parsed query can carry renders;
+    /// `None` remains only for shapes that never come out of the parser: a
+    /// constant that is neither an integer nor an unresolved string literal
+    /// (already-interned `Value::Str` ids have no source text), or a string
+    /// containing both quote characters. `True` renders as the empty string
+    /// (no filter).
     pub fn to_query_text(&self) -> Option<String> {
-        fn push_conditions(pred: &Predicate, out: &mut Vec<String>) -> Option<()> {
-            match pred {
-                Predicate::True => Some(()),
-                Predicate::ColCmpConst { column, op, value: Value::Int(v) } => {
-                    out.push(format!("{column} {op} {v}"));
-                    Some(())
-                }
-                Predicate::ColCmpCol { left, op, right } => {
-                    out.push(format!("{left} {op} {right}"));
-                    Some(())
-                }
-                Predicate::And(ps) => {
-                    for p in ps {
-                        push_conditions(p, out)?;
-                    }
-                    Some(())
-                }
-                _ => None,
+        if matches!(self, Predicate::True) {
+            return Some(String::new());
+        }
+        self.render(0)
+    }
+
+    /// Recursive renderer behind [`Predicate::to_query_text`]. `level` is the
+    /// binding strength of the surrounding context — 0 for `or`, 1 for `and`,
+    /// 2 under `not` — and anything looser than the context is parenthesised.
+    fn render(&self, level: u8) -> Option<String> {
+        fn quote(text: &str) -> Option<String> {
+            if !text.contains('\'') {
+                Some(format!("'{text}'"))
+            } else if !text.contains('"') {
+                Some(format!("\"{text}\""))
+            } else {
+                None
             }
         }
-        let mut conditions = Vec::new();
-        push_conditions(self, &mut conditions)?;
-        Some(conditions.join(" and "))
+        match self {
+            Predicate::True => None,
+            Predicate::ColCmpConst { column, op, value: Value::Int(v) } => {
+                Some(format!("{column} {op} {v}"))
+            }
+            Predicate::ColCmpConst { .. } => None,
+            Predicate::ColCmpStr { column, op, text } => {
+                Some(format!("{column} {op} {}", quote(text)?))
+            }
+            Predicate::ColCmpCol { left, op, right } => Some(format!("{left} {op} {right}")),
+            Predicate::IsNull { column } => Some(format!("{column} is null")),
+            Predicate::IsNotNull { column } => Some(format!("{column} is not null")),
+            Predicate::And(ps) => {
+                let parts: Vec<String> = ps
+                    .iter()
+                    .filter(|p| !matches!(p, Predicate::True))
+                    .map(|p| p.render(1))
+                    .collect::<Option<_>>()?;
+                if parts.is_empty() {
+                    return None;
+                }
+                let body = parts.join(" and ");
+                Some(if level >= 2 { format!("({body})") } else { body })
+            }
+            Predicate::Or(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| p.render(1)).collect::<Option<_>>()?;
+                if parts.is_empty() {
+                    return None;
+                }
+                let body = parts.join(" or ");
+                Some(if level >= 1 { format!("({body})") } else { body })
+            }
+            Predicate::Not(p) => Some(format!("not {}", p.render(2)?)),
+        }
     }
 
     /// Estimated fraction of rows that satisfy the predicate, used by the
@@ -245,8 +344,9 @@ impl Predicate {
     pub fn selectivity(&self) -> f64 {
         match self {
             Predicate::True => 1.0,
-            Predicate::ColCmpConst { op, .. } => op.default_selectivity(),
-            Predicate::ColCmpCol { op, .. } => op.default_selectivity(),
+            Predicate::ColCmpConst { op, .. }
+            | Predicate::ColCmpStr { op, .. }
+            | Predicate::ColCmpCol { op, .. } => op.default_selectivity(),
             Predicate::IsNull { .. } => 0.05,
             Predicate::IsNotNull { .. } => 0.95,
             Predicate::And(ps) => ps.iter().map(Predicate::selectivity).product(),
@@ -376,7 +476,7 @@ mod tests {
     }
 
     #[test]
-    fn to_query_text_renders_the_grammar_subset() {
+    fn to_query_text_renders_the_whole_grammar() {
         assert_eq!(Predicate::True.to_query_text().as_deref(), Some(""));
         assert_eq!(
             Predicate::cmp_const("w", CmpOp::Gt, 30i64).to_query_text().as_deref(),
@@ -388,20 +488,98 @@ mod tests {
             "w",
         ));
         assert_eq!(conj.to_query_text().as_deref(), Some("w > -30 and v != w"));
-        // Shapes outside the grammar are not expressible.
-        assert_eq!(Predicate::IsNull { column: "u".into() }.to_query_text(), None);
         assert_eq!(
-            Predicate::Or(vec![Predicate::eq_const("u", 1i64)]).to_query_text(),
-            None,
-            "Or is not in the filter grammar"
+            Predicate::IsNull { column: "u".into() }.to_query_text().as_deref(),
+            Some("u is null")
+        );
+        assert_eq!(
+            Predicate::IsNotNull { column: "u".into() }.to_query_text().as_deref(),
+            Some("u is not null")
+        );
+        assert_eq!(
+            Predicate::Or(vec![Predicate::eq_const("u", 1i64), Predicate::eq_const("u", 3i64)])
+                .to_query_text()
+                .as_deref(),
+            Some("u = 1 or u = 3")
         );
         assert_eq!(
             Predicate::eq_const("u", 1i64)
                 .and(Predicate::Not(Box::new(Predicate::eq_const("u", 2i64))))
-                .to_query_text(),
-            None,
-            "one inexpressible conjunct poisons the whole rendering"
+                .to_query_text()
+                .as_deref(),
+            Some("u = 1 and not u = 2")
         );
+        // Precedence: `or` under `and` is parenthesised, compounds under
+        // `not` likewise.
+        let nested = Predicate::eq_const("u", 1i64).and(Predicate::Or(vec![
+            Predicate::eq_const("v", 2i64),
+            Predicate::eq_const("v", 3i64),
+        ]));
+        assert_eq!(nested.to_query_text().as_deref(), Some("u = 1 and (v = 2 or v = 3)"));
+        let negated_conj = Predicate::Not(Box::new(
+            Predicate::eq_const("u", 1i64).and(Predicate::eq_const("v", 2i64)),
+        ));
+        assert_eq!(negated_conj.to_query_text().as_deref(), Some("not (u = 1 and v = 2)"));
+        // String literals render in source form, switching quote style when
+        // the text contains the default quote.
+        assert_eq!(
+            Predicate::eq_str("name", "alice").to_query_text().as_deref(),
+            Some("name = 'alice'")
+        );
+        assert_eq!(
+            Predicate::eq_str("name", "o'brien").to_query_text().as_deref(),
+            Some("name = \"o'brien\"")
+        );
+        // The only shapes left outside the grammar never come out of the
+        // parser: both quote styles in one literal, interned-id constants.
+        assert_eq!(Predicate::eq_str("name", "both '\" quotes").to_query_text(), None);
+        assert_eq!(Predicate::cmp_const("name", CmpOp::Eq, Value::Str(7)).to_query_text(), None);
+    }
+
+    #[test]
+    fn resolve_strings_rewrites_hits_and_misses() {
+        let mut dict = crate::dict::Dictionary::new();
+        let alice = dict.intern("alice");
+
+        let hit = Predicate::eq_str("name", "alice").resolve_strings(&dict);
+        assert_eq!(hit, Predicate::cmp_const("name", CmpOp::Eq, Value::Str(alice)));
+
+        // A literal not in the dictionary matches no row: `=` is
+        // constant-false, `!=` keeps every non-null row.
+        let miss_eq = Predicate::eq_str("name", "bob").resolve_strings(&dict);
+        assert_eq!(miss_eq, Predicate::Not(Box::new(Predicate::True)));
+        let miss_ne =
+            Predicate::ColCmpStr { column: "name".into(), op: CmpOp::Ne, text: "bob".into() }
+                .resolve_strings(&dict);
+        assert_eq!(miss_ne, Predicate::IsNotNull { column: "name".into() });
+
+        // Resolution recurses through the combinators.
+        let nested = Predicate::Not(Box::new(Predicate::Or(vec![
+            Predicate::eq_str("name", "alice"),
+            Predicate::cmp_const("age", CmpOp::Gt, 30i64),
+        ])));
+        let resolved = nested.resolve_strings(&dict);
+        assert_eq!(
+            resolved,
+            Predicate::Not(Box::new(Predicate::Or(vec![
+                Predicate::cmp_const("name", CmpOp::Eq, Value::Str(alice)),
+                Predicate::cmp_const("age", CmpOp::Gt, 30i64),
+            ])))
+        );
+    }
+
+    #[test]
+    fn unresolved_string_literal_is_a_typed_validation_error() {
+        use crate::error::StorageError;
+        let rel = sample_relation();
+        let pred = Predicate::eq_const("u", 1i64).and(Predicate::eq_str("v", "alice"));
+        match pred.validate_for(&rel) {
+            Err(StorageError::UnresolvedStringLiteral { column, text }) => {
+                assert_eq!(column, "v");
+                assert_eq!(text, "alice");
+            }
+            other => panic!("expected UnresolvedStringLiteral, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,16 +18,19 @@
 //! 3. `join_pipeline` runs one compiled pipeline over its tries and emits
 //!    the output (or a materialized intermediate for bushy plans).
 
+use crate::cancel::CancelToken;
 use crate::compile::{compile, compile_query, CompiledPlan};
 use crate::error::{EngineError, EngineResult};
-use crate::exec::{execute_pipeline, execute_pipeline_parallel, ExecCounters};
+use crate::exec::{
+    execute_pipeline_cancellable, execute_pipeline_parallel_cancellable, ExecCounters,
+};
 use crate::options::FreeJoinOptions;
 use crate::prep::{materialize_intermediate, prepare_inputs, BoundInput};
 use crate::sink::{MaterializeSink, OutputSink};
 use crate::trie::InputTrie;
 use fj_obs::{ProfileSheet, TraceBuf};
 use fj_plan::{optimize, BinaryPlan, CatalogStats, FreeJoinPlan, OptimizerOptions, PipeInput};
-use fj_query::{ConjunctiveQuery, ExecStats, OutputBuilder, QueryOutput};
+use fj_query::{CancelReason, ConjunctiveQuery, ExecStats, OutputBuilder, QueryError, QueryOutput};
 use fj_storage::{Catalog, DataType};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -80,6 +83,7 @@ impl FreeJoinEngine {
         }
         let compiled = compile_query(query, plan, &self.options)?;
         let prepared = prepare_inputs(catalog, query)?;
+        let token = self.options.cancel_token();
         let mut stats =
             ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
 
@@ -110,10 +114,14 @@ impl FreeJoinEngine {
                 &mut stats,
                 &mut ProfileSheet::disabled(),
                 &mut Vec::new(),
+                &token,
             )?;
             for trie in &tries {
                 stats.tries_built += trie.maps_built();
                 stats.lazy_expansions += trie.lazy_built();
+            }
+            if let Some(reason) = token.poll() {
+                return Err(cancelled(reason, &stats));
             }
             match pipeline_result {
                 PipelineResult::Output(out) => output = Some(out),
@@ -139,6 +147,7 @@ impl FreeJoinEngine {
         fj_plan: &FreeJoinPlan,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
         let prepared = prepare_inputs(catalog, query)?;
+        let token = self.options.cancel_token();
         let mut stats =
             ExecStats { selection_time: prepared.selection_time, ..ExecStats::default() };
         let input_vars: Vec<Vec<String>> = prepared.atoms.iter().map(|i| i.vars.clone()).collect();
@@ -154,10 +163,14 @@ impl FreeJoinEngine {
             &mut stats,
             &mut ProfileSheet::disabled(),
             &mut Vec::new(),
+            &token,
         )?;
         for trie in &tries {
             stats.tries_built += trie.maps_built();
             stats.lazy_expansions += trie.lazy_built();
+        }
+        if let Some(reason) = token.poll() {
+            return Err(cancelled(reason, &stats));
         }
         match result {
             PipelineResult::Output(output) => {
@@ -167,6 +180,12 @@ impl FreeJoinEngine {
             PipelineResult::Intermediate(_) => unreachable!("final pipeline yields output"),
         }
     }
+}
+
+/// The typed error for a cooperatively cancelled execution, carrying the
+/// stats accumulated up to the trip.
+pub(crate) fn cancelled(reason: CancelReason, stats: &ExecStats) -> EngineError {
+    EngineError::Query(QueryError::Cancelled { reason, partial_stats: Box::new(stats.clone()) })
 }
 
 /// Build one trie per pipeline input with the configured strategy, charging
@@ -244,6 +263,7 @@ pub(crate) fn join_pipeline(
     stats: &mut ExecStats,
     profile: &mut ProfileSheet,
     traces: &mut Vec<TraceBuf>,
+    token: &CancelToken,
 ) -> EngineResult<PipelineResult> {
     let threads = options.effective_threads();
     let join_start = Instant::now();
@@ -252,10 +272,14 @@ pub(crate) fn join_pipeline(
             OutputBuilder::try_new(&query.head, query.aggregate.clone(), &compiled.binding_order)
                 .map_err(EngineError::Query)?;
         let output = if threads > 1 {
-            let (sinks, counters) =
-                execute_pipeline_parallel(tries, compiled, options, threads, || {
-                    OutputSink::new(builder.clone())
-                });
+            let (sinks, counters) = execute_pipeline_parallel_cancellable(
+                tries,
+                compiled,
+                options,
+                threads,
+                || OutputSink::new(builder.clone()),
+                token,
+            );
             absorb_counters(stats, counters, profile, traces);
             let mut merged = OutputSink::new(builder);
             for sink in sinks {
@@ -265,7 +289,7 @@ pub(crate) fn join_pipeline(
             merged.finish()
         } else {
             let mut sink = OutputSink::new(builder);
-            let counters = execute_pipeline(tries, compiled, options, &mut sink);
+            let counters = execute_pipeline_cancellable(tries, compiled, options, &mut sink, token);
             absorb_counters(stats, counters, profile, traces);
             stats.result_chunks += sink.chunks_received();
             sink.finish()
@@ -273,8 +297,14 @@ pub(crate) fn join_pipeline(
         PipelineResult::Output(output)
     } else {
         let rows = if threads > 1 {
-            let (sinks, counters) =
-                execute_pipeline_parallel(tries, compiled, options, threads, MaterializeSink::new);
+            let (sinks, counters) = execute_pipeline_parallel_cancellable(
+                tries,
+                compiled,
+                options,
+                threads,
+                MaterializeSink::new,
+                token,
+            );
             absorb_counters(stats, counters, profile, traces);
             let mut merged = MaterializeSink::new();
             for sink in sinks {
@@ -284,7 +314,7 @@ pub(crate) fn join_pipeline(
             merged.into_rows()
         } else {
             let mut sink = MaterializeSink::new();
-            let counters = execute_pipeline(tries, compiled, options, &mut sink);
+            let counters = execute_pipeline_cancellable(tries, compiled, options, &mut sink, token);
             absorb_counters(stats, counters, profile, traces);
             stats.result_chunks += sink.chunks_received();
             sink.into_rows()

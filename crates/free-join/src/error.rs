@@ -20,6 +20,10 @@ pub enum EngineError {
     UnboundVariable(String),
     /// A parameter targets an atom alias the prepared query does not have.
     UnknownAtomAlias(String),
+    /// A fault injected by an armed [`fj_obs::chaos`] failpoint (robustness
+    /// testing only — never raised in a production configuration). Carries
+    /// the failpoint name so tests can assert which site fired.
+    Faulted(String),
 }
 
 impl fmt::Display for EngineError {
@@ -34,6 +38,9 @@ impl fmt::Display for EngineError {
             EngineError::UnboundVariable(v) => write!(f, "variable {v} is never bound"),
             EngineError::UnknownAtomAlias(a) => {
                 write!(f, "no atom with alias {a} in the prepared query")
+            }
+            EngineError::Faulted(site) => {
+                write!(f, "injected fault at chaos failpoint {site}")
             }
         }
     }

@@ -83,11 +83,13 @@
 //! race-free. The serial path (`num_threads == 1`) runs the identical
 //! single-threaded algorithm with one sink and one chunk buffer.
 
+use crate::cancel::CancelToken;
 use crate::compile::{CompiledNode, CompiledPlan, CompiledSubatom, IterAction};
 use crate::options::FreeJoinOptions;
 use crate::sink::{ChunkBuffer, Sink};
 use crate::trie::{InputTrie, TrieNode};
 use fj_obs::{ProfileSheet, TraceBuf, TraceCat, DEFAULT_TRACE_CAPACITY};
+use fj_query::CancelReason;
 use fj_storage::{LevelKey, Value};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -128,7 +130,22 @@ pub struct ExecCounters {
     /// check — unless `FreeJoinOptions::trace` is set. One ring per worker
     /// that executed part of this pipeline.
     pub traces: Vec<TraceBuf>,
+    /// Shared cooperative-cancellation token. Every worker clones the same
+    /// query-level token; the disabled default makes each check a single
+    /// discriminant test. Not merged (it is shared, not additive).
+    pub cancel: CancelToken,
+    /// First cancellation reason this worker observed, cached so every later
+    /// check short-circuits; `None` while live.
+    pub cancelled: Option<CancelReason>,
+    /// Check counter driving the amortized deadline clock poll.
+    cancel_tick: u32,
 }
+
+/// Consult the wall clock once per this many cancellation checks. The cancel
+/// flag itself is read on every check (an explicit cancel or a tripped byte
+/// budget is observed at the very next boundary); only `Instant::now` for the
+/// deadline is amortized.
+const CANCEL_POLL_PERIOD: u32 = 256;
 
 impl ExecCounters {
     /// Accumulate another worker's counters.
@@ -153,6 +170,29 @@ impl ExecCounters {
     /// tests to check that parallel execution does exactly the serial work.
     pub fn work(&self) -> (u64, u64, u64) {
         (self.probes, self.probe_hits, self.expansions)
+    }
+
+    /// Cooperative cancellation check, called at task/morsel/flush and cover
+    /// boundaries. Returns `true` when execution should unwind. Costs one
+    /// `Option` discriminant test with the disabled token, one cached-field
+    /// test once a trip was observed, and one relaxed atomic load otherwise;
+    /// the deadline's `Instant::now` runs every `CANCEL_POLL_PERIOD`th
+    /// check.
+    #[inline]
+    pub fn check_cancel(&mut self) -> bool {
+        if self.cancelled.is_some() {
+            return true;
+        }
+        if self.cancel.is_disabled() {
+            return false;
+        }
+        self.cancel_tick = self.cancel_tick.wrapping_add(1);
+        self.cancelled = if self.cancel_tick.is_multiple_of(CANCEL_POLL_PERIOD) {
+            self.cancel.poll()
+        } else {
+            self.cancel.fired()
+        };
+        self.cancelled.is_some()
     }
 }
 
@@ -193,8 +233,23 @@ pub fn execute_pipeline(
     options: &FreeJoinOptions,
     sink: &mut dyn Sink,
 ) -> ExecCounters {
+    execute_pipeline_cancellable(tries, plan, options, sink, &CancelToken::disabled())
+}
+
+/// [`execute_pipeline`] with cooperative cancellation: `token` is checked per
+/// cover entry (and at every node/flush boundary), and chunk-buffer flushes
+/// charge its result-byte budget. A fired token makes the remaining walk a
+/// cheap no-op; the caller detects the trip via [`CancelToken::fired`] (or
+/// the returned counters' `cancelled` field) and discards the partial sink.
+pub fn execute_pipeline_cancellable(
+    tries: &[Arc<InputTrie>],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    sink: &mut dyn Sink,
+    token: &CancelToken,
+) -> ExecCounters {
     debug_assert_eq!(tries.len(), plan.num_inputs);
-    let mut counters = ExecCounters::default();
+    let mut counters = ExecCounters { cancel: token.clone(), ..ExecCounters::default() };
     if options.profile {
         counters.profile = ProfileSheet::enabled(plan.nodes.len());
     }
@@ -204,7 +259,7 @@ pub fn execute_pipeline(
     let mut tuple = vec![Value::Null; plan.binding_order.len()];
     let mut current: Vec<Arc<TrieNode>> = tries.iter().map(|t| t.root()).collect();
     let mut scratch: Vec<NodeScratch> = plan.nodes.iter().map(|_| NodeScratch::default()).collect();
-    let mut out = ChunkBuffer::for_sink(sink, plan.binding_order.len());
+    let mut out = ChunkBuffer::for_sink_metered(sink, plan.binding_order.len(), token.clone());
     run_node(
         tries,
         plan,
@@ -545,9 +600,36 @@ where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
+    execute_pipeline_parallel_cancellable(
+        tries,
+        plan,
+        options,
+        num_threads,
+        make_sink,
+        &CancelToken::disabled(),
+    )
+}
+
+/// [`execute_pipeline_parallel`] with cooperative cancellation. Workers check
+/// `token` at every task boundary and inside the recursive walk; once it
+/// fires they stop running tasks but keep draining their deques and the
+/// injector (each drained task is marked complete without executing), so the
+/// `pending == 0` exit condition is still reached and no worker spins.
+pub fn execute_pipeline_parallel_cancellable<S, F>(
+    tries: &[Arc<InputTrie>],
+    plan: &CompiledPlan,
+    options: &FreeJoinOptions,
+    num_threads: usize,
+    make_sink: F,
+    token: &CancelToken,
+) -> (Vec<S>, ExecCounters)
+where
+    S: Sink + Send,
+    F: Fn() -> S + Sync,
+{
     debug_assert_eq!(tries.len(), plan.num_inputs);
     let serial = |mut sink: S| {
-        let counters = execute_pipeline(tries, plan, options, &mut sink);
+        let counters = execute_pipeline_cancellable(tries, plan, options, &mut sink, token);
         (vec![sink], counters)
     };
     if num_threads <= 1 || plan.nodes.is_empty() {
@@ -633,7 +715,8 @@ where
                 let mut current: Vec<Arc<TrieNode>> = roots.clone();
                 let mut scratch: Vec<NodeScratch> =
                     plan.nodes.iter().map(|_| NodeScratch::default()).collect();
-                let mut counters = ExecCounters::default();
+                let mut counters =
+                    ExecCounters { cancel: token.clone(), ..ExecCounters::default() };
                 if options.profile {
                     counters.profile = ProfileSheet::enabled(plan.nodes.len());
                 }
@@ -651,6 +734,13 @@ where
                         std::thread::yield_now();
                         continue;
                     };
+                    // Drain on observe: a fired token turns every remaining
+                    // task into a completed no-op, so the deques and the
+                    // injector empty out and `pending` still reaches zero.
+                    if counters.check_cancel() {
+                        sched.pending.fetch_sub(1, Ordering::AcqRel);
+                        continue;
+                    }
                     if task.spawner != usize::MAX && task.spawner != id {
                         counters.tasks_stolen += 1;
                         if let Some(tb) = counters.traces.last_mut() {
@@ -666,7 +756,11 @@ where
                         tb.begin(TraceCat::Task, task.node_idx as u32, task.weight, &task.path);
                     }
                     let mut sink = make_sink();
-                    let mut out = ChunkBuffer::for_sink(&sink, plan.binding_order.len());
+                    let mut out = ChunkBuffer::for_sink_metered(
+                        &sink,
+                        plan.binding_order.len(),
+                        token.clone(),
+                    );
                     {
                         let mut splitter =
                             WorkerSplitter { sched, worker: id, path: &task.path, next_child: 0 };
@@ -717,6 +811,8 @@ where
 
     let mut counters = total_counters.into_inner().expect("no poisoned counters");
     counters.tasks_spawned = sched.spawned.load(Ordering::Relaxed);
+    counters.cancel = token.clone();
+    counters.cancelled = token.fired();
     let mut segments = segments.into_inner().expect("no poisoned segments");
     // The deterministic merge: lexicographic path-key order reproduces the
     // task-tree (depth-first, expansion-order) traversal regardless of which
@@ -745,6 +841,11 @@ fn run_task(
     out: &mut ChunkBuffer,
     splitter: &mut dyn Splitter,
 ) {
+    // Chaos failpoint: an injected panic here unwinds out of a worker thread
+    // mid-join — the serve layer's catch_unwind isolation (and the scoped
+    // executor's teardown) must both survive it. Disarmed cost: one relaxed
+    // load per task, not per tuple.
+    let _ = fj_obs::chaos::should_fail("exec.task");
     tuple.clear();
     tuple.extend_from_slice(&task.tuple);
     current.clear();
@@ -795,6 +896,9 @@ fn run_task(
         match &task.items {
             TaskItems::Entries { entries, .. } => {
                 for (key, child) in &entries[lo..hi] {
+                    if counters.check_cancel() {
+                        break;
+                    }
                     counters.expansions += 1;
                     counters.profile.add_expansions(node_idx, 1);
                     buffer_cover_entry(
@@ -817,6 +921,9 @@ fn run_task(
             }
             TaskItems::Rows { .. } => {
                 for offset in lo..hi {
+                    if counters.check_cancel() {
+                        break;
+                    }
                     cover_trie.read_key_into(cover.level, offset as u32, key_buf);
                     counters.expansions += 1;
                     counters.profile.add_expansions(node_idx, 1);
@@ -946,6 +1053,9 @@ fn run_node(
     out: &mut ChunkBuffer,
     splitter: &mut dyn Splitter,
 ) {
+    if counters.check_cancel() {
+        return;
+    }
     if node_idx == plan.nodes.len() {
         out.push(sink, tuple, weight);
         return;
@@ -1096,6 +1206,9 @@ fn expand_independent_tail(
     }
     let mut first_sum: u64 = 0;
     trie.for_each(&node_cur, sub.level, |key, child| {
+        if counters.check_cancel() {
+            return;
+        }
         counters.expansions += inner_count.max(1);
         counters.profile.add_expansions(node_idx, inner_count.max(1));
         for action in &sub.iter_actions {
@@ -1109,7 +1222,7 @@ fn expand_independent_tail(
         if inner.is_empty() {
             out.push(sink, tuple, w);
         } else {
-            emit_product(inner, gathered, 0, tuple, w, sink, out);
+            emit_product(inner, gathered, 0, tuple, w, sink, counters, out);
         }
     });
     profile_tail_rows(&mut counters.profile, node_idx, first_sum, gathered);
@@ -1218,6 +1331,9 @@ fn run_tail_range(
     }
     let mut first_sum: u64 = 0;
     for i in lo..hi {
+        if counters.check_cancel() {
+            break;
+        }
         counters.expansions += inner_count.max(1);
         counters.profile.add_expansions(node_idx, inner_count.max(1));
         tuple[node.bound_before..node.bound_after]
@@ -1227,7 +1343,7 @@ fn run_tail_range(
         if inner.is_empty() {
             out.push(sink, tuple, w);
         } else {
-            emit_product(inner, gathered, 0, tuple, w, sink, out);
+            emit_product(inner, gathered, 0, tuple, w, sink, counters, out);
         }
     }
     profile_tail_rows(&mut counters.profile, node_idx, first_sum, gathered);
@@ -1242,7 +1358,10 @@ fn run_tail_range(
 /// Emit the Cartesian product of gathered tail lists, depth-first in list
 /// order (the recursion order of the plan walk this replaces). Each level
 /// copies its entry's values into the tuple's slots and multiplies its
-/// weight; the innermost level appends to the chunk buffer.
+/// weight; the innermost level appends to the chunk buffer. A single product
+/// can dominate a query's output, so every level's loop is a cancellation
+/// boundary (one cached check per product row once a trip is observed).
+#[allow(clippy::too_many_arguments)]
 fn emit_product(
     nodes: &[CompiledNode],
     lists: &[NodeScratch],
@@ -1250,6 +1369,7 @@ fn emit_product(
     tuple: &mut Vec<Value>,
     weight: u64,
     sink: &mut dyn Sink,
+    counters: &mut ExecCounters,
     out: &mut ChunkBuffer,
 ) {
     let node = &nodes[depth];
@@ -1257,13 +1377,16 @@ fn emit_product(
     let stride = node.bound_after - node.bound_before;
     let last = depth + 1 == nodes.len();
     for (i, &entry_weight) in list.weights.iter().enumerate() {
+        if counters.check_cancel() {
+            return;
+        }
         tuple[node.bound_before..node.bound_after]
             .copy_from_slice(&list.writes[i * stride..(i + 1) * stride]);
         let w = weight.saturating_mul(entry_weight);
         if last {
             out.push(sink, tuple, w);
         } else {
-            emit_product(nodes, lists, depth + 1, tuple, w, sink, out);
+            emit_product(nodes, lists, depth + 1, tuple, w, sink, counters, out);
         }
     }
 }
@@ -1372,6 +1495,11 @@ fn process_cover_entry(
     out: &mut ChunkBuffer,
     splitter: &mut dyn Splitter,
 ) {
+    // The serial path's per-cover-entry cancellation boundary: a fired token
+    // turns every remaining `for_each` callback into this one test.
+    if counters.check_cancel() {
+        return;
+    }
     let node = &plan.nodes[node_idx];
     let cover = &node.subatoms[cover_idx];
     let cover_trie = &tries[cover.input];
@@ -1540,6 +1668,11 @@ fn run_node_vectorized(
     mine.count = 0;
 
     cover_trie.for_each(&cover_node, cover.level, |key, child| {
+        // Checked before buffering: once cancelled, flush_batch refuses to
+        // drain, so appending again would overrun the batch buffers.
+        if counters.check_cancel() {
+            return;
+        }
         counters.expansions += 1;
         counters.profile.add_expansions(node_idx, 1);
         buffer_cover_entry(node, cover_idx, cover_trie, key, child, tuple, weight, mine);
@@ -1639,6 +1772,13 @@ fn flush_batch(
     splitter: &mut dyn Splitter,
 ) {
     if mine.count == 0 {
+        return;
+    }
+    if counters.check_cancel() {
+        // Abandon the buffered batch; the entries are dead (the query's
+        // partial output is discarded) and resetting keeps the scratch
+        // reusable.
+        mine.count = 0;
         return;
     }
     let node = &plan.nodes[node_idx];

@@ -61,6 +61,7 @@
 //! assert!(output.cardinality() > 0);
 //! ```
 
+pub mod cancel;
 pub mod compile;
 pub mod engine;
 pub mod error;
@@ -71,14 +72,19 @@ pub mod session;
 pub mod sink;
 pub mod trie;
 
+pub use cancel::CancelToken;
 pub use compile::{compile_query, CompiledQuery};
 pub use engine::FreeJoinEngine;
 pub use error::{EngineError, EngineResult};
-pub use exec::{execute_pipeline, execute_pipeline_parallel, ExecCounters};
+pub use exec::{
+    execute_pipeline, execute_pipeline_cancellable, execute_pipeline_parallel,
+    execute_pipeline_parallel_cancellable, ExecCounters,
+};
 pub use fj_obs::{
     NodeProfile, PipelineProfile, ProfileSheet, QueryProfile, QueryTrace, TraceBuf, TraceCat,
     TraceEvent, TraceKind,
 };
+pub use fj_query::CancelReason;
 pub use options::{FreeJoinOptions, TrieStrategy};
 pub use prep::{prepare_inputs, BoundInput};
 pub use session::{EngineCaches, Params, Prepared, Session, SessionCacheStats};

@@ -77,7 +77,15 @@ pub struct PreparedQuery {
 /// semantics cannot drift between the two.
 pub fn bind_atom(catalog: &Catalog, atom: &Atom) -> EngineResult<BoundInput> {
     let base = catalog.get(&atom.relation)?;
-    let filtered = if atom.has_filter() { Arc::new(base.try_filter(&atom.filter)?) } else { base };
+    let filtered = if atom.has_filter() {
+        // String literals stay in source form through parsing; the catalog
+        // dictionary only exists here, so this is where they become
+        // `Value::Str` comparisons.
+        let filter = atom.filter.resolve_strings(catalog.dictionary());
+        Arc::new(base.try_filter(&filter)?)
+    } else {
+        base
+    };
     Ok(BoundInput {
         name: atom.alias.clone(),
         relation: filtered,
@@ -186,6 +194,32 @@ mod tests {
             .build();
         let prepared = prepare_inputs(&cat, &q).unwrap();
         assert_eq!(prepared.atoms[0].num_rows(), 6); // w in {40,...,90}
+    }
+
+    #[test]
+    fn string_literal_filters_resolve_against_the_dictionary() {
+        use fj_storage::{Field, Value};
+        let mut cat = Catalog::new();
+        let alice = cat.intern("alice");
+        let bob = cat.intern("bob");
+        let mut p =
+            RelationBuilder::new("P", Schema::new(vec![Field::int("id"), Field::str("name")]));
+        p.push_row(vec![Value::Int(1), alice]).unwrap();
+        p.push_row(vec![Value::Int(2), bob]).unwrap();
+        p.push_row(vec![Value::Int(3), alice]).unwrap();
+        cat.add(p.finish()).unwrap();
+
+        // The source form a served query arrives in.
+        let q = fj_query::parse_query("Q(id, n) :- P(id, n) where name = 'alice'.").unwrap();
+        let prepared = prepare_inputs(&cat, &q).unwrap();
+        assert_eq!(prepared.atoms[0].num_rows(), 2);
+
+        // A literal missing from the dictionary matches nothing for `=` and
+        // everything non-null for `!=`.
+        let q = fj_query::parse_query("Q(id, n) :- P(id, n) where name = 'carol'.").unwrap();
+        assert_eq!(prepare_inputs(&cat, &q).unwrap().atoms[0].num_rows(), 0);
+        let q = fj_query::parse_query("Q(id, n) :- P(id, n) where name != 'carol'.").unwrap();
+        assert_eq!(prepare_inputs(&cat, &q).unwrap().atoms[0].num_rows(), 3);
     }
 
     #[test]

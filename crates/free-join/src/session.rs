@@ -56,8 +56,9 @@
 //! assert!(session.cache_stats().tries.hits > 0);
 //! ```
 
+use crate::cancel::CancelToken;
 use crate::compile::{compile_query, CompiledQuery};
-use crate::engine::{join_pipeline, PipelineResult};
+use crate::engine::{cancelled, join_pipeline, PipelineResult};
 use crate::error::{EngineError, EngineResult};
 use crate::options::{FreeJoinOptions, TrieStrategy};
 use crate::prep::{bind_atom, record_var_types, BoundInput};
@@ -507,7 +508,24 @@ impl Prepared {
         catalog: &Catalog,
         params: &Params,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
-        self.execute_inner(catalog, params, &self.options, None, None)
+        self.execute_inner(catalog, params, &self.options, None, None, &CancelToken::disabled())
+    }
+
+    /// Execute under an externally controlled [`CancelToken`]: the serving
+    /// path's entry point. The token is polled at every task/morsel/flush
+    /// boundary inside the executor and at pipeline boundaries here; once it
+    /// fires, the execution unwinds cooperatively and returns
+    /// [`fj_query::QueryError::Cancelled`] with the partial stats gathered so
+    /// far. Passing a disabled token falls back to the deadline/budget
+    /// configured in the session options (if any), making this a strict
+    /// superset of [`Prepared::execute_with`].
+    pub fn execute_cancellable(
+        &self,
+        catalog: &Catalog,
+        params: &Params,
+        token: &CancelToken,
+    ) -> EngineResult<(QueryOutput, ExecStats)> {
+        self.execute_inner(catalog, params, &self.options, None, None, token)
     }
 
     /// Execute with profiling forced on, returning the per-node
@@ -521,8 +539,14 @@ impl Prepared {
     ) -> EngineResult<(QueryOutput, ExecStats, QueryProfile)> {
         let options = self.options.with_profile(true);
         let mut sheets = Vec::with_capacity(self.plan.compiled.pipelines.len());
-        let (output, stats) =
-            self.execute_inner(catalog, params, &options, Some(&mut sheets), None)?;
+        let (output, stats) = self.execute_inner(
+            catalog,
+            params,
+            &options,
+            Some(&mut sheets),
+            None,
+            &CancelToken::disabled(),
+        )?;
         let profile = self.assemble_profile(&sheets);
         // This run has per-node actuals: count the nodes that bust their
         // prepare-time estimate (the same predicate behind the rendered `!`
@@ -542,10 +566,22 @@ impl Prepared {
         catalog: &Catalog,
         params: &Params,
     ) -> EngineResult<(QueryOutput, ExecStats, QueryTrace)> {
+        self.execute_traced_cancellable(catalog, params, &CancelToken::disabled())
+    }
+
+    /// [`Prepared::execute_traced`] under an externally controlled
+    /// [`CancelToken`] — the serving path's traced entry point, so
+    /// per-request deadlines apply to traced executions too.
+    pub fn execute_traced_cancellable(
+        &self,
+        catalog: &Catalog,
+        params: &Params,
+        token: &CancelToken,
+    ) -> EngineResult<(QueryOutput, ExecStats, QueryTrace)> {
         let options = self.options.with_trace(true);
         let mut trace = QueryTrace::new();
         let (output, stats) =
-            self.execute_inner(catalog, params, &options, None, Some(&mut trace))?;
+            self.execute_inner(catalog, params, &options, None, Some(&mut trace), token)?;
         Ok((output, stats, trace))
     }
 
@@ -564,7 +600,12 @@ impl Prepared {
         options: &FreeJoinOptions,
         mut sheets: Option<&mut Vec<ProfileSheet>>,
         mut trace: Option<&mut QueryTrace>,
+        token: &CancelToken,
     ) -> EngineResult<(QueryOutput, ExecStats)> {
+        // An explicit caller token wins; otherwise arm one from the options'
+        // deadline/budget (disabled when neither is configured, costing one
+        // branch per check site).
+        let token = if token.is_disabled() { options.cancel_token() } else { token.clone() };
         let query = self.query_with(params)?;
         let query = query.as_ref();
         // Re-validate against the *current* catalog: relations may have been
@@ -589,6 +630,11 @@ impl Prepared {
         let mut intermediates: Vec<Option<BoundInput>> = vec![None; compiled.pipelines.len()];
         let mut output = None;
         for (p, pipeline) in compiled.pipelines.iter().enumerate() {
+            // Pipeline boundary: consult the deadline clock (trie builds for
+            // this pipeline can be long, so trip before starting them).
+            if let Some(reason) = token.poll() {
+                return Err(cancelled(reason, &stats));
+            }
             let mut tries: Vec<Arc<InputTrie>> = Vec::with_capacity(pipeline.inputs.len());
             // (maps_built, lazy_built) at acquisition: zero for tries this
             // execution built, current counters for cache hits, so the
@@ -658,6 +704,7 @@ impl Prepared {
                 &mut stats,
                 &mut sheet,
                 &mut pipe_traces,
+                &token,
             )?;
             if let Some(sheets) = sheets.as_deref_mut() {
                 sheets.push(sheet);
@@ -679,6 +726,15 @@ impl Prepared {
                 }
                 stats.tries_built += trie.maps_built().saturating_sub(*maps0);
                 stats.lazy_expansions += trie.lazy_built().saturating_sub(*lazy0);
+            }
+            // The executor unwinds cooperatively once the token fires and
+            // returns whatever it had produced; surface the typed error
+            // instead of a silently truncated result.
+            if let Some(reason) = token.fired() {
+                if let PipelineResult::Output(out) = &result {
+                    stats.output_tuples = out.cardinality();
+                }
+                return Err(cancelled(reason, &stats));
             }
             match result {
                 PipelineResult::Output(out) => output = Some(out),
@@ -761,6 +817,11 @@ impl Prepared {
         schema: &[Vec<String>],
         stats: &mut ExecStats,
     ) -> EngineResult<(Arc<InputTrie>, bool)> {
+        // Chaos failpoint: a fault in the cache-fetch path (e.g. a poisoned
+        // shard) must surface as a typed error, not a panic.
+        if fj_obs::chaos::should_fail("session.trie_fetch") {
+            return Err(EngineError::Faulted("session.trie_fetch".into()));
+        }
         let version = catalog.version_of(&atom.relation);
         let key = trie_key(atom, version, self.options.trie, schema)?;
         let mut built_here = false;
@@ -768,6 +829,13 @@ impl Prepared {
         let mut build_time = Duration::ZERO;
         let trie = self.caches.tries.try_get_or_build(&key, || -> EngineResult<_> {
             built_here = true;
+            // Chaos failpoint: mid-build faults (and injected panics, which
+            // unwind through the single-flight build into the serve layer's
+            // catch_unwind) happen inside the build closure, where they must
+            // not wedge concurrent waiters.
+            if fj_obs::chaos::should_fail("session.trie_build") {
+                return Err(EngineError::Faulted("session.trie_build".into()));
+            }
             let selection_start = Instant::now();
             let bound = bind_atom(catalog, atom)?;
             selection_time = selection_start.elapsed();
@@ -1177,6 +1245,57 @@ mod tests {
         assert!(report.contains("e1("), "{report}");
         let (out, _) = s.execute(&cat, &two_hop()).unwrap();
         assert!(report.contains(&format!("output_rows={}", out.cardinality())), "{report}");
+    }
+
+    /// A fired token surfaces as the typed `Cancelled` error carrying partial
+    /// stats, and the same `Prepared` keeps working afterwards (no shared
+    /// state is corrupted by the early unwind).
+    #[test]
+    fn cancelled_execution_is_typed_and_leaves_prepared_reusable() {
+        use fj_query::{CancelReason, QueryError};
+        let cat = catalog();
+        let s = session();
+        let prepared = s.prepare(&cat, &two_hop()).unwrap();
+        let (expected, _) = prepared.execute(&cat).unwrap();
+
+        // Pre-fired explicit cancel: trips at the first boundary.
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Explicit);
+        match prepared.execute_cancellable(&cat, &Params::new(), &token) {
+            Err(EngineError::Query(QueryError::Cancelled { reason, .. })) => {
+                assert_eq!(reason, CancelReason::Explicit)
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        // Already-expired deadline: trips as Deadline.
+        let token = CancelToken::with_limits(Some(Instant::now()), 0);
+        match prepared.execute_cancellable(&cat, &Params::new(), &token) {
+            Err(EngineError::Query(QueryError::Cancelled { reason, .. })) => {
+                assert_eq!(reason, CancelReason::Deadline)
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        // A one-byte result budget: the materializing path trips MemoryBudget
+        // once the first chunk flushes.
+        let q = QueryBuilder::new("mat")
+            .atom_as("edge", "e1", &["a", "b"])
+            .atom_as("edge", "e2", &["b", "c"])
+            .build();
+        let p = s.prepare(&cat, &q).unwrap();
+        let token = CancelToken::with_limits(None, 1);
+        match p.execute_cancellable(&cat, &Params::new(), &token) {
+            Err(EngineError::Query(QueryError::Cancelled { reason, partial_stats })) => {
+                assert_eq!(reason, CancelReason::MemoryBudget);
+                assert!(partial_stats.probes > 0, "partial stats reflect work done");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        // The shared Prepared still executes correctly after every trip.
+        let (after, _) = prepared.execute(&cat).unwrap();
+        assert!(after.result_eq(&expected));
     }
 
     #[test]

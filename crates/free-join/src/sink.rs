@@ -12,6 +12,7 @@
 //! path. A thin per-tuple adapter ([`Sink::push`]) remains for tests and
 //! simple callers.
 
+use crate::cancel::CancelToken;
 use fj_query::{OutputBuilder, QueryOutput, ResultChunk};
 use fj_storage::{Row, Value};
 
@@ -72,15 +73,26 @@ pub struct ChunkBuffer {
     slots: Option<Vec<usize>>,
     /// Chunks flushed so far.
     flushed: u64,
+    /// Memory-budget meter: every flush charges an estimate of the chunk's
+    /// materialized size against this token, so `max_result_bytes` trips the
+    /// shared cancel flag mid-query. The disabled token costs one `Option`
+    /// check per flush (not per tuple).
+    meter: CancelToken,
 }
 
 impl ChunkBuffer {
     /// A buffer shaped for `sink`'s projection over a `num_slots`-wide
     /// binding order.
     pub fn for_sink(sink: &dyn Sink, num_slots: usize) -> Self {
+        Self::for_sink_metered(sink, num_slots, CancelToken::disabled())
+    }
+
+    /// Like [`ChunkBuffer::for_sink`] but charging flushed bytes against
+    /// `meter`'s result-byte budget.
+    pub fn for_sink_metered(sink: &dyn Sink, num_slots: usize, meter: CancelToken) -> Self {
         let slots = sink.projected_slots();
         let width = slots.as_ref().map_or(num_slots, Vec::len);
-        ChunkBuffer { chunk: ResultChunk::new(width), slots, flushed: 0 }
+        ChunkBuffer { chunk: ResultChunk::new(width), slots, flushed: 0, meter }
     }
 
     /// Append one result tuple (weight 0 entries are dropped), flushing to
@@ -100,6 +112,13 @@ impl ChunkBuffer {
     /// (or task) so no result stays behind in the buffer.
     pub fn flush(&mut self, sink: &mut dyn Sink) {
         if !self.chunk.is_empty() {
+            if !self.meter.is_disabled() {
+                // Estimate of the chunk's resident size: each entry holds
+                // `width` 16-byte values plus an 8-byte weight.
+                let width = self.chunk.num_columns() as u64;
+                let bytes = (self.chunk.len() as u64) * (width * 16 + 8);
+                self.meter.charge_bytes(bytes);
+            }
             sink.push_chunk(&self.chunk);
             self.chunk.clear();
             self.flushed += 1;

@@ -1,0 +1,341 @@
+//! Fault-injection tests for the serving path: every degradation mode the
+//! robustness layer promises is demonstrated end to end over loopback TCP —
+//! deadlines firing mid-join with partial stats, explicit cancellation by
+//! request id, injected panics that the worker survives, and injected
+//! socket faults that surface as typed client errors with retries
+//! succeeding afterwards.
+//!
+//! The chaos failpoint registry is process-global, so every test (including
+//! the ones that arm nothing and must not become victims of another test's
+//! armed panic) serializes on one mutex.
+
+use freejoin::obs::chaos::{self, ChaosAction};
+use freejoin::prelude::*;
+use freejoin::serve::{Client, ClientError, ExecuteOpts, ServerConfig};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Serializes the tests in this binary: the chaos registry and its armed
+/// failpoints are process-global state.
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A panicking test poisons the mutex without invalidating the registry
+    // (tests disarm on their own exit paths); keep the suite running.
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A star query whose single hub key cross-products into `rows`³ counted
+/// tuples — ~1 s of single-threaded work at `rows = 200` in debug builds,
+/// long enough that a deadline or cancel frame reliably lands mid-join.
+fn long_workload(rows: usize) -> freejoin::workloads::Workload {
+    freejoin::workloads::micro::star(2, rows, 1, 0.0, 1)
+}
+
+fn start_server(catalog: Arc<Catalog>, config: ServerConfig) -> freejoin::serve::Server {
+    let session = Session::new(Arc::new(EngineCaches::with_defaults()))
+        .with_options(FreeJoinOptions::default().with_num_threads(1));
+    freejoin::serve::Server::start("127.0.0.1:0", catalog, session, config)
+        .expect("server binds an ephemeral loopback port")
+}
+
+/// A per-request deadline fires mid-join: the client gets a typed error
+/// naming the deadline and carrying partial progress (probes already done),
+/// the execution stops far short of its natural runtime, and
+/// `fj_serve_deadline_exceeded_total` increments.
+#[test]
+fn deadline_fires_mid_join_with_partial_stats() {
+    let _guard = chaos_lock();
+    let workload = long_workload(200);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server = start_server(Arc::clone(&catalog), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+
+    let start = Instant::now();
+    let opts = ExecuteOpts { request_id: 0, deadline_ms: 50 };
+    let message = match client.execute_opts(handle, &[], opts) {
+        Err(ClientError::Server(message)) => message,
+        other => panic!("expected a typed deadline error, got {other:?}"),
+    };
+    let elapsed = start.elapsed();
+    assert!(message.contains("deadline exceeded"), "{message}");
+    // Partial stats ride the error: the join had made real progress.
+    let probes: u64 = message
+        .split("after ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .expect("the cancelled error reports partial probe counts");
+    assert!(probes > 0, "deadline fired mid-join, after some probes: {message}");
+    // The full query takes ~1 s; a 50 ms deadline must stop it way before.
+    assert!(elapsed < Duration::from_millis(700), "cancelled promptly, not at completion");
+
+    // The same connection and handle still work (with a roomy deadline).
+    let answer = client
+        .execute_opts(handle, &[], ExecuteOpts { request_id: 0, deadline_ms: 600_000 })
+        .expect("execution with a roomy deadline completes");
+    assert_eq!(answer.cardinality, 8_000_000);
+
+    let text = client.metrics().unwrap();
+    assert!(text.contains("fj_serve_deadline_exceeded_total 1"), "{text}");
+    assert!(text.contains("fj_serve_cancellations_total 0"), "{text}");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// An `OP_CANCEL` frame from a second connection stops a long in-flight
+/// query by request id: the issuer gets a typed cancelled-by-caller error
+/// promptly, and `fj_serve_cancellations_total` increments.
+#[test]
+fn cancel_frame_stops_a_long_query() {
+    let _guard = chaos_lock();
+    let workload = long_workload(250);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    // Two workers: one runs the long query, the other serves the canceller.
+    let server =
+        start_server(Arc::clone(&catalog), ServerConfig { workers: 2, ..ServerConfig::default() });
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+
+    const REQUEST_ID: u64 = 42;
+    let start = Instant::now();
+    let runner = std::thread::spawn(move || {
+        let result = client.execute_opts(
+            handle,
+            &[],
+            ExecuteOpts { request_id: REQUEST_ID, deadline_ms: 0 },
+        );
+        (client, result, start.elapsed())
+    });
+
+    // Cancel from a second connection, retrying until the execution has
+    // actually registered (a cancel for an unknown id is a typed error).
+    let mut canceller = Client::connect(addr).unwrap();
+    let mut cancelled = false;
+    for _ in 0..500 {
+        match canceller.cancel(REQUEST_ID) {
+            Ok(()) => {
+                cancelled = true;
+                break;
+            }
+            Err(ClientError::Server(m)) => {
+                assert!(m.contains("no in-flight execution"), "{m}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(other) => panic!("unexpected cancel failure: {other}"),
+        }
+    }
+    assert!(cancelled, "the cancel frame found the in-flight execution");
+
+    let (mut client, result, elapsed) = runner.join().expect("runner thread completes");
+    let message = match result {
+        Err(ClientError::Server(message)) => message,
+        other => panic!("expected a typed cancellation error, got {other:?}"),
+    };
+    assert!(message.contains("cancelled by caller"), "{message}");
+    // rows = 250 runs ~2 s uncancelled; the cancel must cut that short.
+    assert!(elapsed < Duration::from_millis(1_500), "cancel landed mid-join ({elapsed:?})");
+
+    // The request id is gone from the registry: cancelling again misses.
+    assert!(matches!(canceller.cancel(REQUEST_ID), Err(ClientError::Server(_))));
+    let text = client.metrics().unwrap();
+    assert!(text.contains("fj_serve_cancellations_total 1"), "{text}");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// An injected panic inside the engine (a trie build blowing up) is caught
+/// at the worker's unwind boundary: the peer gets a typed error, the worker
+/// keeps serving on the same connection, `fj_serve_panics_total`
+/// increments, and the panicked request's in-flight bytes are released —
+/// proven by running under a budget with room for exactly one request.
+#[test]
+fn injected_panic_leaves_the_server_serving() {
+    let _guard = chaos_lock();
+    let workload = freejoin::workloads::micro::clover(50);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    // A budget a few requests wide: if panicked requests leaked their
+    // reservations, the later executions below would shed with ByteBudget.
+    let server = start_server(
+        Arc::clone(&catalog),
+        ServerConfig { workers: 1, inflight_byte_budget: 64, ..ServerConfig::default() },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+
+    // Arm the failpoint for exactly one hit: the cold execution's trie
+    // build panics, everything after runs clean.
+    chaos::arm_times("session.trie_build", ChaosAction::Panic, 1);
+    match client.execute(handle) {
+        Err(ClientError::Server(message)) => {
+            assert!(message.contains("panicked"), "{message}");
+            assert!(message.contains("still serviceable"), "{message}");
+        }
+        other => panic!("expected a typed panic error, got {other:?}"),
+    }
+    assert_eq!(chaos::hits("session.trie_build"), 1);
+
+    // Same connection, same worker: the server is still serving, and the
+    // budget has its bytes back (three more requests fit through it).
+    for _ in 0..3 {
+        let answer = client.execute(handle).expect("the worker survived the panic");
+        assert_eq!(answer.cardinality, 1, "clover joins to its single hub tuple");
+    }
+    let text = client.metrics().unwrap();
+    assert!(text.contains("fj_serve_panics_total 1"), "{text}");
+    assert!(text.contains("fj_serve_rejected_byte_budget 0"), "{text}");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Injected socket faults (a failed read, a failed response write) surface
+/// as typed I/O-level client errors — never hangs, never corrupt frames —
+/// and [`Client::execute_retry`] reconnects and succeeds afterwards. A
+/// chaos-injected engine fault (`Fail`, not `Panic`) likewise comes back as
+/// a typed server error naming the failpoint.
+#[test]
+fn injected_socket_faults_are_typed_and_retries_succeed() {
+    let _guard = chaos_lock();
+    let workload = freejoin::workloads::micro::clover(50);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server =
+        start_server(Arc::clone(&catalog), ServerConfig { workers: 2, ..ServerConfig::default() });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    let expected = client.execute(handle).unwrap().cardinality;
+
+    // A server-side read fault: the connection drops mid-request; the retry
+    // helper reconnects and the re-issued request succeeds.
+    chaos::arm_times("serve.socket_read", ChaosAction::Fail, 1);
+    let answer = client.execute_retry(handle, &[], 3).expect("retry recovers from a read fault");
+    assert_eq!(answer.cardinality, expected);
+    assert_eq!(chaos::hits("serve.socket_read"), 1);
+
+    // A server-side write fault: the request executes but its response is
+    // lost and the connection closes; the retry reconnects and succeeds.
+    chaos::arm_times("serve.socket_write", ChaosAction::Fail, 1);
+    let answer = client.execute_retry(handle, &[], 3).expect("retry recovers from a write fault");
+    assert_eq!(answer.cardinality, expected);
+    assert_eq!(chaos::hits("serve.socket_write"), 1);
+
+    // Without the retry helper the same faults are *typed* client errors.
+    chaos::arm_times("serve.socket_read", ChaosAction::Fail, 1);
+    match client.execute(handle) {
+        Err(ClientError::Io(_) | ClientError::Disconnected) => {}
+        other => panic!("expected a typed I/O failure, got {other:?}"),
+    }
+    client.reconnect().unwrap();
+
+    // An engine-level injected fault (cache fetch) is a typed server error
+    // naming the failpoint, and the connection survives it.
+    chaos::arm_times("session.trie_fetch", ChaosAction::Fail, 1);
+    match client.execute(handle) {
+        Err(ClientError::Server(m)) => assert!(m.contains("session.trie_fetch"), "{m}"),
+        other => panic!("expected a typed injected-fault error, got {other:?}"),
+    }
+    assert_eq!(client.execute(handle).unwrap().cardinality, expected);
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The warm-up + shadow-file loop: a server with a shadow path records
+/// prepared shapes; a *restarted* server replays them before accepting, so
+/// the first client of the same shape sees a warm plan cache (prepare is a
+/// pure cache hit — zero plan misses for it).
+#[test]
+fn shadow_file_warms_up_a_restarted_server() {
+    let _guard = chaos_lock();
+    let workload = freejoin::workloads::micro::clover(50);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let dir = std::env::temp_dir().join(format!("fj-shadow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let shadow_path = dir.join("shadow.txt");
+    let config = || ServerConfig {
+        workers: 1,
+        shadow_path: Some(shadow_path.clone()),
+        ..ServerConfig::default()
+    };
+
+    // First server: prepare writes the shape into the shadow file.
+    let server = start_server(Arc::clone(&catalog), config());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    client.shutdown_server().unwrap();
+    server.join();
+    let contents = std::fs::read_to_string(&shadow_path).unwrap();
+    assert_eq!(contents.lines().count(), 1, "one prepared shape recorded: {contents}");
+
+    // Second server, same shadow path: the shape is re-prepared during
+    // startup, so the client's prepare is served entirely from cache.
+    let server = start_server(Arc::clone(&catalog), config());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache.plans.misses, 1, "the only plan compile was the warm-up's");
+    assert!(stats.cache.plans.hits >= 1, "the client's prepare hit the warmed cache");
+    assert_eq!(client.execute(handle).unwrap().cardinality, 1);
+    client.shutdown_server().unwrap();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Per-client token-bucket fairness: past the configured rate a peer is
+/// shed with typed `Busy(RateLimited)` + a retry hint, without executing,
+/// and the bucket refills with time.
+#[test]
+fn rate_limiting_sheds_with_typed_busy() {
+    let _guard = chaos_lock();
+    let workload = freejoin::workloads::micro::clover(50);
+    let catalog = Arc::new(workload.catalog);
+    let named = &workload.queries[0];
+    let server = start_server(
+        Arc::clone(&catalog),
+        ServerConfig {
+            workers: 1,
+            rate_limit_per_sec: 50,
+            rate_limit_burst: 3,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Burst 3 admits prepare + two executes; the fourth request in the
+    // same instant is rate-limited.
+    let handle = client.prepare(named.query.to_string(), named.query.aggregate.clone()).unwrap();
+    let expected = client.execute(handle).unwrap().cardinality;
+    client.execute(handle).unwrap();
+    match client.execute(handle) {
+        Err(ClientError::Busy {
+            reason: freejoin::serve::BusyReason::RateLimited,
+            retry_after_ms,
+        }) => {
+            assert!(retry_after_ms > 0, "rate-limit sheds carry the retry hint");
+        }
+        other => panic!("expected Busy(RateLimited), got {other:?}"),
+    }
+    // At 50 tokens/s the bucket refills within the retry helper's backoff.
+    let answer = client.execute_retry(handle, &[], 5).expect("the bucket refills");
+    assert_eq!(answer.cardinality, expected);
+    // The in-process accessor — the wire metrics request would itself be
+    // racing the freshly re-drained bucket.
+    let text = server.metrics_text();
+    let shed: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("fj_serve_rejected_rate_limited "))
+        .and_then(|v| v.parse().ok())
+        .expect("the rate-limited counter is in the exposition");
+    assert!(shed >= 1, "at least the fourth burst request was shed: {text}");
+    // Let the bucket refill so the shutdown frame itself is admitted.
+    std::thread::sleep(Duration::from_millis(120));
+    client.shutdown_server().unwrap();
+    server.join();
+}

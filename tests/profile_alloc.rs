@@ -58,6 +58,16 @@ fn disabled_profiling_is_allocation_free() {
     assert!(!sheet.is_enabled() && !during.is_enabled());
     assert_eq!(allocations(), before, "disabled-sheet operations must not allocate");
 
+    // Disarmed chaos failpoints share the contract: the hot-path check is
+    // one relaxed atomic load, so a production binary with failpoints
+    // compiled in (they always are) pays no allocation and no lock.
+    let before = allocations();
+    for _ in 0..1_000_000usize {
+        assert!(!freejoin::obs::chaos::should_fail("exec.task"));
+        assert!(freejoin::obs::chaos::check("session.trie_build").is_none());
+    }
+    assert_eq!(allocations(), before, "disarmed chaos checks must not allocate");
+
     // Part 2: warm executions. After two warm-up runs (trie + plan caches
     // settled), every further unprofiled run allocates an identical amount,
     // and a profiled run allocates strictly more — the delta IS the

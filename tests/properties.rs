@@ -188,6 +188,82 @@ proptest! {
         check_all_engines(&catalog, &query);
     }
 
+    // Robustness: a run that dies mid-flight (explicit cancel, expired
+    // deadline, or a 1-byte result budget) must leave no mark on shared
+    // state — the same `Prepared` afterwards re-executes byte-identical to
+    // a session that never saw a cancellation, across every trie strategy,
+    // thread count, and steal setting.
+    #[test]
+    fn cancelled_runs_never_corrupt_shared_state(r in rows(14), s in rows(14), t in rows(14)) {
+        use freejoin::engine::EngineError;
+        use freejoin::query::QueryError;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let mut catalog = Catalog::new();
+        catalog.add(relation("R", &["a", "b"], &r)).unwrap();
+        catalog.add(relation("S", &["a", "b"], &s)).unwrap();
+        catalog.add(relation("T", &["a", "b"], &t)).unwrap();
+        // Materialized rows, not a count: the comparison surface is the
+        // canonical row bytes, so any corruption of cached tries or plans
+        // shows up as more than an off-by-one.
+        let query = QueryBuilder::new("tri")
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .atom("T", &["z", "x"])
+            .build();
+
+        for trie in [TrieStrategy::Simple, TrieStrategy::Slt, TrieStrategy::Colt] {
+            for threads in [1usize, 4] {
+                for steal in [true, false] {
+                    let options = FreeJoinOptions { trie, steal, ..FreeJoinOptions::default() }
+                        .with_num_threads(threads);
+                    let untouched = Session::new(Arc::new(EngineCaches::with_defaults()))
+                        .with_options(options);
+                    let baseline =
+                        untouched.prepare(&catalog, &query).unwrap().execute(&catalog).unwrap().0;
+                    let baseline_bytes = format!("{:?}", baseline.canonical_rows());
+
+                    let session = Session::new(Arc::new(EngineCaches::with_defaults()))
+                        .with_options(options);
+                    let prepared = session.prepare(&catalog, &query).unwrap();
+                    let pre_cancelled = CancelToken::new();
+                    pre_cancelled.cancel(CancelReason::Explicit);
+                    let doomed = [
+                        pre_cancelled,
+                        CancelToken::with_deadline(Duration::ZERO),
+                        CancelToken::with_limits(None, 1),
+                    ];
+                    for token in &doomed {
+                        match prepared.execute_cancellable(&catalog, &Params::new(), token) {
+                            Err(EngineError::Query(QueryError::Cancelled { .. })) => {}
+                            // An empty join can finish before the first
+                            // cooperative check; completing with the right
+                            // answer is also "uncorrupted".
+                            Ok((out, _)) => {
+                                prop_assert_eq!(
+                                    format!("{:?}", out.canonical_rows()),
+                                    baseline_bytes.clone()
+                                );
+                            }
+                            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+                        }
+                    }
+                    // The surviving Prepared re-executes byte-identical —
+                    // twice, so the first post-cancel run did not poison the
+                    // caches for the second either.
+                    for _ in 0..2 {
+                        let (out, _) = prepared.execute(&catalog).unwrap();
+                        prop_assert_eq!(
+                            format!("{:?}", out.canonical_rows()),
+                            baseline_bytes.clone()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn factoring_preserves_validity_on_random_schemas(
         arities in prop::collection::vec(1usize..4, 2..6),

@@ -8,14 +8,16 @@
 
 use proc_macro::TokenStream;
 
-/// No-op stand-in for `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// No-op stand-in for `#[derive(Serialize)]`. Registers the `serde` helper
+/// attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op stand-in for `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// No-op stand-in for `#[derive(Deserialize)]`. Registers the `serde` helper
+/// attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
